@@ -1,0 +1,59 @@
+// Figure 6: example-at-a-time query latency of the six benchmarks under the
+// Python baseline, Willump compilation, and compilation + cascades. Tables
+// stored locally. Latency is the mean over a stream of single-row queries.
+
+#include "bench_util.hpp"
+
+using namespace willump;
+using namespace willump::bench;
+
+namespace {
+
+double pointwise_latency_micros(const core::OptimizedPipeline& p,
+                                const data::Batch& test, std::size_t n_queries) {
+  const std::size_t n = test.num_rows();
+  // Pre-slice rows so slicing cost is not measured.
+  std::vector<data::Batch> rows;
+  rows.reserve(n_queries);
+  for (std::size_t i = 0; i < n_queries; ++i) rows.push_back(test.row(i % n));
+  return mean_latency_micros(n_queries,
+                             [&](std::size_t i) { (void)p.predict_one(rows[i]); });
+}
+
+}  // namespace
+
+int main() {
+  print_banner("Example-at-a-time latency (us/query)",
+               "Willump paper, Figure 6");
+  TablePrinter table(
+      {"benchmark", "python", "compiled", "+cascades", "speedupC", "speedupK"});
+  table.print_header();
+
+  const std::size_t kQueries = 300;
+  for (const auto& name : all_workloads()) {
+    const auto wl = make_workload(name);
+
+    const auto python = optimize(wl, python_config());
+    const auto compiled = optimize(wl, compiled_config());
+
+    const double py_lat = pointwise_latency_micros(python, wl.test.inputs, kQueries);
+    const double c_lat = pointwise_latency_micros(compiled, wl.test.inputs, kQueries);
+
+    double k_lat = 0.0;
+    if (wl.classification) {
+      const auto cascaded = optimize(wl, cascades_config());
+      k_lat = pointwise_latency_micros(cascaded, wl.test.inputs, kQueries);
+    }
+
+    table.print_row({name, fmt("%.0f", py_lat), fmt("%.0f", c_lat),
+                     wl.classification ? fmt("%.0f", k_lat) : "N/A",
+                     fmt("%.1fx", py_lat / c_lat),
+                     wl.classification ? fmt("%.2fx", c_lat / k_lat) : "-"});
+  }
+
+  std::printf(
+      "\nPaper shape: compilation reduces latency by 1-2 orders of magnitude\n"
+      "(boxed interpretation dominates single-row queries); cascades add\n"
+      "1.8-4.3x on Product/Toxic, little on Music/Tracking with local tables.\n");
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Figure 7: throughput-versus-accuracy tradeoff of end-to-end cascades on
+// the four classification benchmarks, produced by sweeping the cascade
+// threshold. The full model (blue circle in the paper) is the high-accuracy,
+// low-throughput endpoint; the small model alone (orange X) is the
+// low-accuracy, high-throughput endpoint; cascaded models with intermediate
+// thresholds trace the curve between them.
+
+#include "bench_util.hpp"
+
+using namespace willump;
+using namespace willump::bench;
+
+int main() {
+  print_banner("Cascade threshold sweep: throughput vs accuracy",
+               "Willump paper, Figure 7");
+
+  for (const auto& name : classification_workloads()) {
+    const auto wl = make_workload(name);
+    core::OptimizeOptions opts = cascades_config();
+    auto p = optimize(wl, opts);
+    if (!p.cascades_enabled()) {
+      std::printf("\n--- %s: cascades not applicable (no efficient subset)\n",
+                  name.c_str());
+      continue;
+    }
+
+    std::printf("\n--- %s ---\n", name.c_str());
+    TablePrinter table({"threshold", "tput(rows/s)", "accuracy", "smallfrac"});
+    table.print_header();
+
+    const auto& batch = wl.test.inputs;
+    const std::size_t rows = batch.num_rows();
+
+    // Full model endpoint (threshold above 1.0: nothing short-circuits).
+    auto eval_at = [&](double threshold, const char* label) {
+      core::TrainedCascade c = p.cascade();
+      c.threshold = threshold;
+      core::CascadeRunStats stats;
+      std::vector<double> preds;
+      const double tput = throughput_rows_per_sec(rows, 2, [&] {
+        stats = {};
+        preds = core::cascade_predict(p.executor(), c, batch, {}, &stats);
+      });
+      table.print_row({label, fmt("%.0f", tput),
+                       fmt("%.4f", models::accuracy(preds, wl.test.targets)),
+                       fmt("%.2f", stats.short_circuit_rate())});
+    };
+
+    eval_at(1.01, "full(o)");
+    for (double t = 1.0; t >= 0.5 - 1e-9; t -= 0.1) {
+      eval_at(t, fmt("%.1f", t).c_str());
+    }
+    // Small model alone (threshold 0: every prediction short-circuits;
+    // confidence is always > 0).
+    eval_at(0.0, "small(x)");
+  }
+
+  std::printf(
+      "\nPaper shape: high thresholds match full-model accuracy at much\n"
+      "higher throughput; accuracy falls off as the threshold decreases; the\n"
+      "small model alone is fast but inaccurate.\n");
+  return 0;
+}

@@ -1,0 +1,93 @@
+// Table 2: percent reduction in remote feature-store requests for the
+// Music and Tracking benchmarks under four optimization configurations,
+// relative to the unoptimized pipeline, over a Zipf-skewed stream of
+// example-at-a-time queries against remotely stored tables.
+
+#include "bench_util.hpp"
+#include "serving/e2e_cache.hpp"
+
+using namespace willump;
+using namespace willump::bench;
+
+namespace {
+
+constexpr std::size_t kQueries = 4000;
+
+/// Serve the stream one query at a time; return total remote keys fetched.
+std::uint64_t serve_and_count(const workloads::Workload& wl,
+                              const core::OptimizedPipeline& p,
+                              const std::vector<data::Batch>& stream,
+                              bool e2e_cache) {
+  wl.tables->reset_stats();
+  serving::EndToEndCache cache(0);
+  for (const auto& q : stream) {
+    if (e2e_cache) {
+      if (auto hit = cache.get(q)) continue;
+      cache.put(q, p.predict_one(q));
+    } else {
+      (void)p.predict_one(q);
+    }
+  }
+  std::uint64_t keys = 0;
+  for (const auto& c : wl.tables->clients()) {
+    keys += c->stats().keys_fetched.load();
+  }
+  return keys;
+}
+
+}  // namespace
+
+int main() {
+  print_banner("Reduction in remote requests (%)", "Willump paper, Table 2");
+  TablePrinter table({"configuration", "music", "tracking"}, 34);
+  table.print_header();
+
+  struct Config {
+    const char* label;
+    bool e2e_cache, feature_cache, cascades;
+  };
+  const Config configs[] = {
+      {"End-to-end Caching + No Cascades", true, false, false},
+      {"Feature-Level Caching + No Cascades", false, true, false},
+      {"No Caching + Cascades", false, false, true},
+      {"Feature-Level Caching + Cascades", false, true, true},
+  };
+
+  std::vector<std::vector<std::string>> rows(4);
+  for (auto& r : rows) r.reserve(3);
+  for (int i = 0; i < 4; ++i) rows[i].push_back(configs[i].label);
+
+  for (const auto& name : {std::string("music"), std::string("tracking")}) {
+    auto wl = make_workload(name);
+    wl.tables->set_network(workloads::default_remote_network());
+
+    common::Rng rng(99);
+    std::vector<data::Batch> stream;
+    stream.reserve(kQueries);
+    const auto batch = wl.query_sampler(kQueries, rng);
+    for (std::size_t i = 0; i < kQueries; ++i) stream.push_back(batch.row(i));
+
+    // Baseline: compiled pipeline, no caching, no cascades.
+    const auto baseline_p = optimize(wl, compiled_config());
+    const auto baseline_keys = serve_and_count(wl, baseline_p, stream, false);
+
+    for (int i = 0; i < 4; ++i) {
+      core::OptimizeOptions opts;
+      opts.cascades = configs[i].cascades;
+      opts.feature_cache = configs[i].feature_cache;
+      const auto p = optimize(wl, opts);
+      const auto keys = serve_and_count(wl, p, stream, configs[i].e2e_cache);
+      const double reduction =
+          100.0 * (1.0 - static_cast<double>(keys) /
+                             static_cast<double>(baseline_keys));
+      rows[static_cast<std::size_t>(i)].push_back(fmt("%.1f%%", reduction));
+    }
+  }
+
+  for (const auto& r : rows) table.print_row(r);
+  std::printf(
+      "\nPaper shape: feature-level caching removes far more requests than\n"
+      "end-to-end caching (92.3%% vs 0.8%% on Music, 50.1%% vs 22.1%% on\n"
+      "Tracking); cascades alone remove 29-42%%; combined 71-93%%.\n");
+  return 0;
+}

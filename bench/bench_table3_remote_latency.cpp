@@ -1,0 +1,82 @@
+// Table 3: average per-input latency of the Music and Tracking benchmarks
+// with remotely stored feature tables, under the unoptimized pipeline and
+// the four caching/cascading configurations of Table 2.
+
+#include "bench_util.hpp"
+#include "serving/e2e_cache.hpp"
+
+using namespace willump;
+using namespace willump::bench;
+
+namespace {
+
+constexpr std::size_t kQueries = 1500;
+
+double serve_mean_latency_ms(const core::OptimizedPipeline& p,
+                             const std::vector<data::Batch>& stream,
+                             bool e2e_cache) {
+  serving::EndToEndCache cache(0);
+  common::Timer t;
+  for (const auto& q : stream) {
+    if (e2e_cache) {
+      if (auto hit = cache.get(q)) continue;
+      cache.put(q, p.predict_one(q));
+    } else {
+      (void)p.predict_one(q);
+    }
+  }
+  return t.elapsed_seconds() * 1e3 / static_cast<double>(stream.size());
+}
+
+}  // namespace
+
+int main() {
+  print_banner("Average per-input latency, remote tables (ms)",
+               "Willump paper, Table 3");
+  TablePrinter table({"configuration", "music", "tracking"}, 34);
+  table.print_header();
+
+  struct Config {
+    const char* label;
+    bool python, e2e_cache, feature_cache, cascades;
+  };
+  const Config configs[] = {
+      {"Unoptimized", true, false, false, false},
+      {"End-to-end Caching + No Cascades", false, true, false, false},
+      {"Feature-Level Caching + No Cascades", false, false, true, false},
+      {"No Caching + Cascades", false, false, false, true},
+      {"Feature-Level Caching + Cascades", false, false, true, true},
+  };
+
+  std::vector<std::vector<std::string>> rows(5);
+  for (int i = 0; i < 5; ++i) rows[static_cast<std::size_t>(i)].push_back(configs[i].label);
+
+  for (const auto& name : {std::string("music"), std::string("tracking")}) {
+    auto wl = make_workload(name);
+    wl.tables->set_network(workloads::default_remote_network());
+
+    common::Rng rng(77);
+    std::vector<data::Batch> stream;
+    stream.reserve(kQueries);
+    const auto batch = wl.query_sampler(kQueries, rng);
+    for (std::size_t i = 0; i < kQueries; ++i) stream.push_back(batch.row(i));
+
+    for (int i = 0; i < 5; ++i) {
+      core::OptimizeOptions opts;
+      opts.compile = !configs[i].python;
+      opts.cascades = configs[i].cascades;
+      opts.feature_cache = configs[i].feature_cache;
+      const auto p = optimize(wl, opts);
+      const double ms = serve_mean_latency_ms(p, stream, configs[i].e2e_cache);
+      rows[static_cast<std::size_t>(i)].push_back(fmt("%.3f", ms));
+    }
+  }
+
+  for (const auto& r : rows) table.print_row(r);
+  std::printf(
+      "\nPaper shape (Music/Tracking): unoptimized 10.56/8.47 ms; e2e caching\n"
+      "barely helps (10.48/6.61); feature caching 2.95/5.10; cascades\n"
+      "7.52/4.99; combined best at 2.85/3.34. Absolute numbers differ (our\n"
+      "simulated RTT is ~120us); the ordering is the reproduction target.\n");
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Table 4: top-K (K=100) query performance and accuracy with automatically
+// constructed filter models. For each benchmark except Tracking (whose
+// top-K is ill-defined — many elements have positive-class probability ~1):
+// Python / compiled / compiled+filtered throughput, plus precision, mAP,
+// and average value of the filtered top-K relative to the unoptimized
+// (full-model) query. Lookup workloads store tables remotely.
+
+#include "bench_util.hpp"
+
+using namespace willump;
+using namespace willump::bench;
+
+int main() {
+  print_banner("Top-K (K=100) filter models", "Willump paper, Table 4");
+  TablePrinter table({"benchmark", "py_tput", "c_tput", "filt_tput", "precision",
+                      "mAP", "avg_value", "full_avg"},
+                     12);
+  table.print_header();
+
+  constexpr std::size_t kK = 100;
+  for (const auto& name :
+       {std::string("product"), std::string("toxic"), std::string("price"),
+        std::string("music"), std::string("credit")}) {
+    auto wl = make_workload(name, kTopKBatchRows);
+    if (wl.tables) wl.tables->set_network(workloads::default_remote_network());
+
+    const auto& batch = wl.test.inputs;
+    const std::size_t rows = batch.num_rows();
+
+    const auto python = optimize(wl, python_config());
+    core::OptimizeOptions filt_opts;
+    filt_opts.topk_filter = true;
+    const auto filtered = optimize(wl, filt_opts);
+
+    // Exact top-K reference: the unoptimized query (full model on all rows).
+    const auto full_scores = filtered.predict_full(batch);
+    const auto exact = models::top_k_indices(full_scores, kK);
+
+    const double py_tput = throughput_rows_per_sec(rows, 2, [&] {
+      (void)models::top_k_indices(python.predict(batch), kK);
+    });
+    const double c_tput = throughput_rows_per_sec(rows, 2, [&] {
+      (void)models::top_k_indices(filtered.predict_full(batch), kK);
+    });
+    std::vector<std::size_t> predicted;
+    const double f_tput = throughput_rows_per_sec(
+        rows, 2, [&] { predicted = filtered.top_k(batch, kK); });
+
+    const auto acc = topk_accuracy(predicted, exact, full_scores);
+    const double full_avg = models::average_value(exact, full_scores);
+
+    table.print_row({name, fmt("%.0f", py_tput), fmt("%.0f", c_tput),
+                     fmt("%.0f", f_tput), fmt("%.2f", acc.precision),
+                     fmt("%.2f", acc.map), fmt("%.4f", acc.average_value),
+                     fmt("%.4f", full_avg)});
+  }
+
+  std::printf(
+      "\nPaper shape: filtering improves top-K throughput 1.3-5.8x over\n"
+      "compiled; precision 0.49-1.0 and mAP 0.28-1.0 relative to the exact\n"
+      "query, with the average value of the predicted top-100 within ~0.03%%\n"
+      "of the true top-100 even on the least precise benchmarks.\n");
+  return 0;
+}

@@ -1,0 +1,95 @@
+// Table 5: automatically constructed top-K filter models versus random
+// sampling on the benchmarks where filter models were least accurate
+// (Music, Product, Credit). The sampling ratio is chosen so the sampled
+// query costs about the same as the filtered query; the comparison is then
+// purely about accuracy at equal compute.
+
+#include "bench_util.hpp"
+
+using namespace willump;
+using namespace willump::bench;
+
+namespace {
+
+constexpr std::size_t kK = 100;
+
+/// Exact top-K over a random sample of the batch of the given ratio.
+std::vector<std::size_t> sampled_top_k(const core::OptimizedPipeline& p,
+                                       const data::Batch& batch, double ratio,
+                                       common::Rng& rng) {
+  const std::size_t n = batch.num_rows();
+  const auto keep = static_cast<std::size_t>(static_cast<double>(n) / ratio);
+  auto perm = rng.permutation(n);
+  perm.resize(std::max(keep, kK));
+  std::sort(perm.begin(), perm.end());
+  const auto scores = p.predict_full(batch.select_rows(perm));
+  const auto local = models::top_k_indices(scores, kK);
+  std::vector<std::size_t> out;
+  out.reserve(local.size());
+  for (std::size_t i : local) out.push_back(perm[i]);
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  print_banner("Filter models vs random sampling", "Willump paper, Table 5");
+  TablePrinter table({"metric", "music", "product", "credit"}, 22);
+  table.print_header();
+
+  std::vector<std::string> ratio_row{"Sampling Ratio"};
+  std::vector<std::string> sp_row{"Sampled Precision"}, fp_row{"Filtered Precision"};
+  std::vector<std::string> sm_row{"Sampled mAP"}, fm_row{"Filtered mAP"};
+  std::vector<std::string> sa_row{"Sampled Avg Value"}, fa_row{"Filtered Avg Value"};
+  std::vector<std::string> ta_row{"True Avg Value"};
+
+  for (const auto& name :
+       {std::string("music"), std::string("product"), std::string("credit")}) {
+    auto wl = make_workload(name, kTopKBatchRows);
+    if (wl.tables) wl.tables->set_network(workloads::default_remote_network());
+    const auto& batch = wl.test.inputs;
+    const std::size_t rows = batch.num_rows();
+
+    core::OptimizeOptions filt_opts;
+    filt_opts.topk_filter = true;
+    const auto p = optimize(wl, filt_opts);
+
+    const auto full_scores = p.predict_full(batch);
+    const auto exact = models::top_k_indices(full_scores, kK);
+
+    // Time the filtered and full queries to derive the equal-cost ratio.
+    std::vector<std::size_t> filtered;
+    const double filt_tput = throughput_rows_per_sec(
+        rows, 2, [&] { filtered = p.top_k(batch, kK); });
+    const double full_tput = throughput_rows_per_sec(rows, 2, [&] {
+      (void)models::top_k_indices(p.predict_full(batch), kK);
+    });
+    const double ratio = std::max(1.0, filt_tput / full_tput);
+
+    common::Rng rng(55);
+    const auto sampled = sampled_top_k(p, batch, ratio, rng);
+
+    const auto facc = topk_accuracy(filtered, exact, full_scores);
+    const auto sacc = topk_accuracy(sampled, exact, full_scores);
+
+    ratio_row.push_back(fmt("%.1fx", ratio));
+    sp_row.push_back(fmt("%.2f", sacc.precision));
+    fp_row.push_back(fmt("%.2f", facc.precision));
+    sm_row.push_back(fmt("%.2f", sacc.map));
+    fm_row.push_back(fmt("%.2f", facc.map));
+    sa_row.push_back(fmt("%.4f", sacc.average_value));
+    fa_row.push_back(fmt("%.4f", facc.average_value));
+    ta_row.push_back(fmt("%.4f", models::average_value(exact, full_scores)));
+  }
+
+  for (const auto& r : {ratio_row, sp_row, fp_row, sm_row, fm_row, sa_row,
+                        fa_row, ta_row}) {
+    table.print_row(r);
+  }
+
+  std::printf(
+      "\nPaper shape: at matched cost, automatically constructed filter\n"
+      "models beat random sampling by a wide margin on every metric (e.g.\n"
+      "Music precision 0.92 vs 0.30, mAP 0.83 vs 0.04).\n");
+  return 0;
+}

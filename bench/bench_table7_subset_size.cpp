@@ -1,0 +1,67 @@
+// Table 7: effect of the top-K filtered-subset size on performance and
+// accuracy for top-100 queries on Music (remote tables) and Toxic. When the
+// subset is much smaller than the batch, shrinking it further barely helps
+// throughput (the filter model dominates) but costs accuracy — the paper's
+// justification for the 5%-of-batch minimum subset size.
+
+#include "bench_util.hpp"
+
+using namespace willump;
+using namespace willump::bench;
+
+int main() {
+  print_banner("Top-K subset-size sweep (K=100)", "Willump paper, Table 7");
+  TablePrinter table({"benchmark", "subset", "size", "tput", "precision", "mAP",
+                      "avg_value"},
+                     12);
+  table.print_header();
+
+  constexpr std::size_t kK = 100;
+  for (const auto& name : {std::string("music"), std::string("toxic")}) {
+    auto wl = make_workload(name, kTopKBatchRows);
+    if (wl.tables) wl.tables->set_network(workloads::default_remote_network());
+    const auto& batch = wl.test.inputs;
+    const std::size_t rows = batch.num_rows();
+
+    const auto python = optimize(wl, python_config());
+    core::OptimizeOptions filt_opts;
+    filt_opts.topk_filter = true;
+    auto p = optimize(wl, filt_opts);
+
+    const auto full_scores = p.predict_full(batch);
+    const auto exact = models::top_k_indices(full_scores, kK);
+
+    // Python reference row.
+    const double py_tput = throughput_rows_per_sec(rows, 2, [&] {
+      (void)models::top_k_indices(python.predict(batch), kK);
+    });
+    table.print_row({name, "python", "-", fmt("%.0f", py_tput), "1.00", "1.00",
+                     fmt("%.4f", models::average_value(exact, full_scores))});
+
+    for (double frac : {0.05, 0.04, 0.03, 0.02, 0.01, 0.0055}) {
+      core::TopKConfig cfg;
+      cfg.ck = 0.0;  // isolate the fraction knob, as the paper's sweep does
+      cfg.min_subset_frac = frac;
+      core::TopKPipeline pipeline(
+          std::shared_ptr<const core::Executor>(&p.executor(),
+                                                [](const core::Executor*) {}),
+          p.cascade(), cfg);
+
+      std::vector<std::size_t> predicted;
+      const double tput = throughput_rows_per_sec(
+          rows, 2, [&] { predicted = pipeline.top_k(batch, kK); });
+      const auto acc = topk_accuracy(predicted, exact, full_scores);
+      table.print_row({name, fmt("%.2f%%", frac * 100.0),
+                       fmt("%.0f", static_cast<double>(
+                                       pipeline.subset_size(kK, rows))),
+                       fmt("%.0f", tput), fmt("%.2f", acc.precision),
+                       fmt("%.2f", acc.map), fmt("%.4f", acc.average_value)});
+    }
+  }
+
+  std::printf(
+      "\nPaper shape: below ~5%% of the batch, halving the subset changes\n"
+      "throughput by ~10%% but costs large accuracy drops (Music mAP falls\n"
+      "0.83 -> 0.21 from 5%% to 0.55%%); Toxic tolerates smaller subsets.\n");
+  return 0;
+}

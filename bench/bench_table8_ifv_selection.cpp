@@ -1,0 +1,122 @@
+// Table 8: comparison of Willump's efficient-IFV selection (Algorithm 1)
+// against choosing the most important IFVs, the cheapest IFVs, and an
+// oracle (exhaustive search over IFV subsets), on the two benchmarks with
+// the most IFV cost variance (Product, Toxic). Also runs the paper's §6.4
+// ablation of the gamma stopping rule on Music, the classification
+// benchmark with the most IFVs.
+
+#include "bench_util.hpp"
+
+using namespace willump;
+using namespace willump::bench;
+
+namespace {
+
+/// Cascade throughput for an explicitly given efficient mask.
+double masked_cascade_tput(const workloads::Workload& wl,
+                           const core::OptimizedPipeline& base,
+                           const std::vector<bool>& mask, double accuracy_target) {
+  // Retrain small model on the masked IFVs and re-pick the threshold, then
+  // measure serving throughput.
+  const auto& ex = base.executor();
+  core::TrainedCascade c = base.cascade();
+  c.efficient_mask = mask;
+  c.inefficient_mask.assign(mask.size(), false);
+  for (std::size_t f = 0; f < mask.size(); ++f) c.inefficient_mask[f] = !mask[f];
+
+  core::ExecOptions eff_opts;
+  eff_opts.fg_mask = mask;
+  auto small = std::shared_ptr<models::Model>(
+      wl.pipeline.model_proto->clone_untrained());
+  small->fit(ex.compute_matrix(wl.train.inputs, eff_opts), wl.train.targets);
+  c.small_model = small;
+
+  const auto small_p = small->predict(ex.compute_matrix(wl.valid.inputs, eff_opts));
+  const auto full_p = c.full_model->predict(ex.compute_matrix(wl.valid.inputs));
+  c.threshold = core::CascadeTrainer::select_threshold(small_p, full_p,
+                                                       wl.valid.targets,
+                                                       accuracy_target);
+
+  const std::size_t rows = wl.test.inputs.num_rows();
+  return throughput_rows_per_sec(rows, 2, [&] {
+    (void)core::cascade_predict(ex, c, wl.test.inputs, {});
+  });
+}
+
+}  // namespace
+
+int main() {
+  print_banner("Efficient-IFV selection policies", "Willump paper, Table 8");
+  TablePrinter table({"benchmark", "orig_tput", "willump", "important", "cheap",
+                      "oracle"},
+                     13);
+  table.print_header();
+
+  constexpr double kTarget = 0.001;
+  for (const auto& name : {std::string("product"), std::string("toxic")}) {
+    const auto wl = make_workload(name);
+    const auto base = optimize(wl, cascades_config(kTarget));
+    const auto& stats = base.cascade().stats;
+    const std::size_t num_fg = stats.cost_seconds.size();
+
+    const double orig_tput = throughput_rows_per_sec(
+        wl.test.inputs.num_rows(), 2,
+        [&] { (void)base.predict_full(wl.test.inputs); });
+
+    auto policy_tput = [&](core::SelectionPolicy policy) {
+      const auto sel = core::select_by_policy(policy, stats.importance,
+                                              stats.cost_seconds, 0.25);
+      if (sel.empty() || sel.num_selected() == num_fg) return orig_tput;
+      return masked_cascade_tput(wl, base, sel.mask, kTarget);
+    };
+
+    const double willump_tput = policy_tput(core::SelectionPolicy::Willump);
+    const double important_tput = policy_tput(core::SelectionPolicy::MostImportant);
+    const double cheap_tput = policy_tput(core::SelectionPolicy::Cheapest);
+
+    // Oracle: exhaustive search over proper non-empty subsets.
+    double oracle_tput = orig_tput;
+    for (std::uint32_t bits = 1; bits + 1 < (1u << num_fg); ++bits) {
+      std::vector<bool> mask(num_fg);
+      for (std::size_t f = 0; f < num_fg; ++f) mask[f] = (bits >> f) & 1u;
+      oracle_tput = std::max(oracle_tput,
+                             masked_cascade_tput(wl, base, mask, kTarget));
+    }
+
+    table.print_row({name, fmt("%.0f", orig_tput), fmt("%.0f", willump_tput),
+                     fmt("%.0f", important_tput), fmt("%.0f", cheap_tput),
+                     fmt("%.0f", oracle_tput)});
+  }
+
+  // gamma-rule ablation on Music with remote tables (where cascades matter).
+  std::printf("\nGamma-rule ablation on Music (remote tables), speedup over "
+              "compiled:\n");
+  TablePrinter ab({"acc_target", "with_rule", "without_rule"}, 16);
+  ab.print_header();
+  for (double target : {0.001, 0.005}) {
+    auto wl = make_workload("music");
+    wl.tables->set_network(workloads::default_remote_network());
+    const auto compiled = optimize(wl, compiled_config());
+    const double base_tput = throughput_rows_per_sec(
+        wl.test.inputs.num_rows(), 2,
+        [&] { (void)compiled.predict(wl.test.inputs); });
+
+    auto run = [&](bool disable_gamma) {
+      core::OptimizeOptions opts = cascades_config(target);
+      opts.cascade_cfg.disable_gamma_rule = disable_gamma;
+      const auto p = optimize(wl, opts);
+      return throughput_rows_per_sec(wl.test.inputs.num_rows(), 2, [&] {
+        (void)p.predict(wl.test.inputs);
+      });
+    };
+    ab.print_row({fmt("%.1f%%", target * 100.0),
+                  fmt("%.2fx", run(false) / base_tput),
+                  fmt("%.2fx", run(true) / base_tput)});
+  }
+
+  std::printf(
+      "\nPaper shape: Willump matches the oracle and beats important-only\n"
+      "selection; on Toxic it coincides with cheapest-first. With the gamma\n"
+      "rule, Music cascades speed up 1.41x/1.75x vs 1.31x/1.47x without.\n");
+  return 0;
+}

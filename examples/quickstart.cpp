@@ -1,0 +1,68 @@
+// Quickstart: build a small ML inference pipeline, optimize it with Willump,
+// and compare the unoptimized ("Python"), compiled, and cascaded versions.
+//
+// The pipeline is a miniature toxic-comment classifier: a cheap curse-word
+// counter IFV plus an expensive char-TF-IDF IFV feeding a logistic model —
+// the paper's §1 motivating example.
+
+#include <cstdio>
+
+#include "common/timer.hpp"
+#include "core/optimizer.hpp"
+#include "models/metrics.hpp"
+#include "workloads/toxic.hpp"
+
+using namespace willump;
+
+int main() {
+  std::printf("== Willump quickstart ==\n");
+
+  // 1. A user pipeline: transformation graph + model prototype.
+  workloads::ToxicConfig cfg;
+  cfg.sizes = {.train = 2000, .valid = 800, .test = 800};
+  workloads::Workload wl = workloads::make_toxic(cfg);
+  std::printf("pipeline: %s (%zu graph nodes)\n", wl.name.c_str(),
+              wl.pipeline.graph.size());
+
+  // 2. Optimize three ways.
+  core::OptimizeOptions python_opts;
+  python_opts.compile = false;
+  const auto python = core::WillumpOptimizer::optimize(wl.pipeline, wl.train,
+                                                       wl.valid, python_opts);
+
+  core::OptimizeOptions compiled_opts;  // compile only
+  const auto compiled = core::WillumpOptimizer::optimize(wl.pipeline, wl.train,
+                                                         wl.valid, compiled_opts);
+
+  core::OptimizeOptions cascade_opts;
+  cascade_opts.cascades = true;
+  cascade_opts.cascade_cfg.accuracy_target = 0.001;
+  const auto cascaded = core::WillumpOptimizer::optimize(wl.pipeline, wl.train,
+                                                         wl.valid, cascade_opts);
+
+  // 3. Compare throughput and accuracy on the test set.
+  auto bench = [&](const char* name, const core::OptimizedPipeline& p) {
+    common::Timer t;
+    const auto preds = p.predict(wl.test.inputs);
+    const double secs = t.elapsed_seconds();
+    const double acc = models::accuracy(preds, wl.test.targets);
+    std::printf("%-22s %8.0f rows/s   accuracy %.4f\n", name,
+                static_cast<double>(wl.test.inputs.num_rows()) / secs, acc);
+  };
+  bench("python (interpreted)", python);
+  bench("willump compiled", compiled);
+  bench("willump + cascades", cascaded);
+
+  if (cascaded.cascades_enabled()) {
+    std::printf("cascade: threshold=%.1f, %zu/%zu IFVs efficient, %.0f%% "
+                "short-circuited\n",
+                cascaded.cascade().threshold,
+                std::count(cascaded.cascade().efficient_mask.begin(),
+                           cascaded.cascade().efficient_mask.end(), true),
+                cascaded.executor().analysis().num_generators(),
+                100.0 * cascaded.run_stats().short_circuit_rate());
+  } else {
+    std::printf("cascade: disabled (no efficient IFV subset found)\n");
+  }
+  return 0;
+}

@@ -1,0 +1,89 @@
+// Low-latency serving against a remote feature store (the paper's Table 2/3
+// scenario): a stream of example-at-a-time ad-click queries whose per-entity
+// features live behind a simulated network.
+//
+// Demonstrates: feature-level caching (one LRU per independent feature
+// vector, §4.5) versus Clipper-style end-to-end prediction caching, and how
+// cascades additionally remove remote fetches for easy inputs.
+
+#include <cstdio>
+
+#include "common/timer.hpp"
+#include "core/optimizer.hpp"
+#include "serving/e2e_cache.hpp"
+#include "workloads/tracking.hpp"
+
+using namespace willump;
+
+namespace {
+
+struct RunResult {
+  double mean_latency_ms;
+  std::uint64_t remote_keys;
+};
+
+RunResult serve_stream(const workloads::Workload& wl,
+                       const core::OptimizedPipeline& p,
+                       const std::vector<data::Batch>& stream, bool e2e) {
+  wl.tables->reset_stats();
+  serving::EndToEndCache cache(0);
+  common::Timer t;
+  for (const auto& q : stream) {
+    if (e2e) {
+      if (auto hit = cache.get(q)) continue;
+      cache.put(q, p.predict_one(q));
+    } else {
+      (void)p.predict_one(q);
+    }
+  }
+  std::uint64_t keys = 0;
+  for (const auto& c : wl.tables->clients()) keys += c->stats().keys_fetched.load();
+  return {t.elapsed_seconds() * 1e3 / static_cast<double>(stream.size()), keys};
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== Remote feature-store serving with feature-level caching ==\n");
+
+  workloads::Workload wl = workloads::make_tracking({});
+  wl.tables->set_network(workloads::default_remote_network());
+
+  common::Rng rng(7);
+  std::vector<data::Batch> stream;
+  const auto batch = wl.query_sampler(2500, rng);
+  for (std::size_t i = 0; i < batch.num_rows(); ++i) stream.push_back(batch.row(i));
+
+  struct Config {
+    const char* label;
+    bool e2e, feature_cache, cascades;
+  };
+  const Config configs[] = {
+      {"no caching", false, false, false},
+      {"end-to-end prediction cache", true, false, false},
+      {"feature-level cache", false, true, false},
+      {"feature cache + cascades", false, true, true},
+  };
+
+  std::printf("%-32s %12s %14s\n", "configuration", "latency(ms)", "remote keys");
+  std::uint64_t baseline_keys = 0;
+  for (const auto& cfg : configs) {
+    core::OptimizeOptions opts;
+    opts.feature_cache = cfg.feature_cache;
+    opts.cascades = cfg.cascades;
+    const auto p =
+        core::WillumpOptimizer::optimize(wl.pipeline, wl.train, wl.valid, opts);
+    const auto r = serve_stream(wl, p, stream, cfg.e2e);
+    if (baseline_keys == 0) baseline_keys = r.remote_keys;
+    std::printf("%-32s %12.3f %10llu (-%2.0f%%)\n", cfg.label, r.mean_latency_ms,
+                static_cast<unsigned long long>(r.remote_keys),
+                100.0 * (1.0 - static_cast<double>(r.remote_keys) /
+                                   static_cast<double>(baseline_keys)));
+  }
+
+  std::printf(
+      "\nFeature-level caching keys each IFV on its own sources, so repeated\n"
+      "entities (hot IPs, popular apps) hit even when the full query tuple is\n"
+      "new - which is why it beats end-to-end caching (paper Table 2).\n");
+  return 0;
+}

@@ -1,0 +1,34 @@
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace willump::common {
+
+/// FNV-1a 64-bit hash of a byte string; stable across platforms and runs,
+/// unlike std::hash, so cache keys and hashed features are reproducible.
+constexpr std::uint64_t fnv1a(std::string_view s) {
+  std::uint64_t h = 0xCBF29CE484222325ULL;
+  for (char c : s) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 0x100000001B3ULL;
+  }
+  return h;
+}
+
+/// Mix two 64-bit hashes (boost::hash_combine-style, 64-bit constants).
+constexpr std::uint64_t hash_combine(std::uint64_t a, std::uint64_t b) {
+  a ^= b + 0x9E3779B97F4A7C15ULL + (a << 12) + (a >> 4);
+  return a;
+}
+
+/// Hash an integer key (splitmix64 finalizer over an offset input, so that
+/// 0 does not map to 0).
+constexpr std::uint64_t hash_u64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace willump::common

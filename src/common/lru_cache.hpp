@@ -1,0 +1,81 @@
+#pragma once
+
+#include <cstddef>
+#include <list>
+#include <optional>
+#include <unordered_map>
+#include <utility>
+
+namespace willump::common {
+
+/// Fixed-capacity LRU cache.
+///
+/// Willump allocates one of these per independent feature vector (IFV); the
+/// key is the tuple of the IFV's feature-generator sources and the value is
+/// the computed feature row (paper §4.5). It is also reused by the Clipper
+/// simulator's end-to-end prediction cache.
+template <typename K, typename V>
+class LruCache {
+ public:
+  /// capacity == 0 means unbounded (the paper's Table 2/3 configuration).
+  explicit LruCache(std::size_t capacity = 0) : capacity_(capacity) {}
+
+  /// Look up `key`; refreshes recency on hit.
+  std::optional<V> get(const K& key) {
+    auto it = map_.find(key);
+    if (it == map_.end()) {
+      ++misses_;
+      return std::nullopt;
+    }
+    ++hits_;
+    order_.splice(order_.begin(), order_, it->second);
+    return it->second->second;
+  }
+
+  /// Insert or overwrite `key`; evicts the least-recently-used entry when full.
+  void put(const K& key, V value) {
+    auto it = map_.find(key);
+    if (it != map_.end()) {
+      it->second->second = std::move(value);
+      order_.splice(order_.begin(), order_, it->second);
+      return;
+    }
+    order_.emplace_front(key, std::move(value));
+    map_[key] = order_.begin();
+    if (capacity_ != 0 && map_.size() > capacity_) {
+      auto& back = order_.back();
+      map_.erase(back.first);
+      order_.pop_back();
+      ++evictions_;
+    }
+  }
+
+  bool contains(const K& key) const { return map_.find(key) != map_.end(); }
+
+  void clear() {
+    map_.clear();
+    order_.clear();
+    hits_ = misses_ = evictions_ = 0;
+  }
+
+  std::size_t size() const { return map_.size(); }
+  std::size_t capacity() const { return capacity_; }
+  std::size_t hits() const { return hits_; }
+  std::size_t misses() const { return misses_; }
+  std::size_t evictions() const { return evictions_; }
+
+  double hit_rate() const {
+    const std::size_t total = hits_ + misses_;
+    return total == 0 ? 0.0 : static_cast<double>(hits_) / static_cast<double>(total);
+  }
+
+ private:
+  std::size_t capacity_;
+  std::list<std::pair<K, V>> order_;  // front = most recent
+  std::unordered_map<K, typename std::list<std::pair<K, V>>::iterator> map_;
+  std::size_t hits_ = 0;
+  std::size_t misses_ = 0;
+  std::size_t evictions_ = 0;
+};
+
+}  // namespace willump::common

@@ -1,0 +1,72 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace willump::common {
+
+/// Deterministic 64-bit PRNG (xoshiro256**), seeded via splitmix64.
+///
+/// All synthetic-workload generation and model training in this repository
+/// goes through this generator so every experiment is reproducible bit-for-bit
+/// from its seed.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 42) { reseed(seed); }
+
+  void reseed(std::uint64_t seed);
+
+  /// Uniform 64-bit integer.
+  std::uint64_t next_u64();
+
+  /// Uniform double in [0, 1).
+  double next_double();
+
+  /// Uniform integer in [0, bound) (bound must be > 0).
+  std::uint64_t next_below(std::uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t next_int(std::int64_t lo, std::int64_t hi);
+
+  /// Standard normal via Box-Muller.
+  double next_gaussian();
+
+  /// Bernoulli draw with probability p of true.
+  bool next_bernoulli(double p) { return next_double() < p; }
+
+  /// Fisher-Yates shuffle of indices [0, n).
+  std::vector<std::size_t> permutation(std::size_t n);
+
+  /// In-place Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::size_t j = static_cast<std::size_t>(next_below(i));
+      std::swap(v[i - 1], v[j]);
+    }
+  }
+
+ private:
+  std::uint64_t s_[4];
+  bool have_gauss_ = false;
+  double gauss_cache_ = 0.0;
+};
+
+/// Zipf-distributed sampler over [0, n) with exponent `s`.
+///
+/// Used to model skewed entity popularity (users, songs, IPs) so that
+/// feature-level caching sees realistic repeat rates (paper Table 2).
+class ZipfSampler {
+ public:
+  ZipfSampler(std::size_t n, double s);
+
+  /// Draw a rank in [0, n); rank 0 is the most popular item.
+  std::size_t sample(Rng& rng) const;
+
+  std::size_t size() const { return cdf_.size(); }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace willump::common

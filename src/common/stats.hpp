@@ -1,0 +1,46 @@
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace willump::common {
+
+/// Arithmetic mean; 0 for empty input.
+double mean(std::span<const double> xs);
+
+/// Unbiased sample standard deviation; 0 for fewer than two samples.
+double stddev(std::span<const double> xs);
+
+/// Median (copies and partially sorts); 0 for empty input.
+double median(std::vector<double> xs);
+
+/// p-th percentile with linear interpolation, p in [0, 100].
+double percentile(std::vector<double> xs, double p);
+
+/// Half-width of the 95% normal-approximation confidence interval for a
+/// binomial proportion observed as `accuracy` over `n` trials.
+///
+/// The paper (§6.3) declares a cascade's accuracy loss "not statistically
+/// significant" when it falls inside this interval for the full model's
+/// test-set accuracy; we apply the identical criterion.
+double binomial_ci95_half_width(double accuracy, std::size_t n);
+
+/// True when |acc_a - acc_b| lies within the 95% CI of acc_b over n trials.
+bool accuracy_within_ci95(double acc_a, double acc_b, std::size_t n);
+
+/// Pearson correlation; 0 when either side is constant.
+double pearson(std::span<const double> xs, std::span<const double> ys);
+
+/// Summary of repeated timing measurements, in the units of the samples.
+struct Summary {
+  double mean = 0.0;
+  double median = 0.0;
+  double p99 = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+};
+
+Summary summarize(std::vector<double> samples);
+
+}  // namespace willump::common

@@ -1,0 +1,88 @@
+#include "common/string_util.hpp"
+
+#include <cctype>
+
+namespace willump::common {
+
+std::string to_lower(std::string_view s) {
+  std::string out(s);
+  for (char& c : out) {
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  return out;
+}
+
+std::vector<std::string_view> split_ws(std::string_view s) {
+  std::vector<std::string_view> out;
+  std::size_t i = 0;
+  while (i < s.size()) {
+    while (i < s.size() && std::isspace(static_cast<unsigned char>(s[i]))) ++i;
+    std::size_t start = i;
+    while (i < s.size() && !std::isspace(static_cast<unsigned char>(s[i]))) ++i;
+    if (i > start) out.push_back(s.substr(start, i - start));
+  }
+  return out;
+}
+
+std::vector<std::string_view> split(std::string_view s, char delim) {
+  std::vector<std::string_view> out;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i <= s.size(); ++i) {
+    if (i == s.size() || s[i] == delim) {
+      out.push_back(s.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return out;
+}
+
+std::string strip_punct(std::string_view s) {
+  std::string out(s);
+  for (char& c : out) {
+    if (std::ispunct(static_cast<unsigned char>(c))) c = ' ';
+  }
+  return out;
+}
+
+std::size_t count_occurrences(std::string_view haystack, std::string_view needle) {
+  if (needle.empty()) return 0;
+  std::size_t count = 0;
+  std::size_t pos = 0;
+  while ((pos = haystack.find(needle, pos)) != std::string_view::npos) {
+    ++count;
+    pos += needle.size();
+  }
+  return count;
+}
+
+double upper_ratio(std::string_view s) {
+  std::size_t alpha = 0, upper = 0;
+  for (char c : s) {
+    const auto uc = static_cast<unsigned char>(c);
+    if (std::isalpha(uc)) {
+      ++alpha;
+      if (std::isupper(uc)) ++upper;
+    }
+  }
+  return alpha == 0 ? 0.0 : static_cast<double>(upper) / static_cast<double>(alpha);
+}
+
+double digit_ratio(std::string_view s) {
+  if (s.empty()) return 0.0;
+  std::size_t digits = 0;
+  for (char c : s) {
+    if (std::isdigit(static_cast<unsigned char>(c))) ++digits;
+  }
+  return static_cast<double>(digits) / static_cast<double>(s.size());
+}
+
+std::string join(const std::vector<std::string>& parts, std::string_view sep) {
+  std::string out;
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) out += sep;
+    out += parts[i];
+  }
+  return out;
+}
+
+}  // namespace willump::common

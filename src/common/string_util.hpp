@@ -1,0 +1,33 @@
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace willump::common {
+
+/// ASCII lowercase copy.
+std::string to_lower(std::string_view s);
+
+/// Split on any run of whitespace; no empty tokens.
+std::vector<std::string_view> split_ws(std::string_view s);
+
+/// Split on a single delimiter character; keeps empty fields.
+std::vector<std::string_view> split(std::string_view s, char delim);
+
+/// Remove ASCII punctuation, replacing it with spaces.
+std::string strip_punct(std::string_view s);
+
+/// Count occurrences of `needle` in `haystack` (non-overlapping).
+std::size_t count_occurrences(std::string_view haystack, std::string_view needle);
+
+/// Fraction of alphabetic characters that are uppercase; 0 if none.
+double upper_ratio(std::string_view s);
+
+/// Fraction of characters that are digits.
+double digit_ratio(std::string_view s);
+
+/// Join strings with a separator.
+std::string join(const std::vector<std::string>& parts, std::string_view sep);
+
+}  // namespace willump::common

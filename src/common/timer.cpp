@@ -1,0 +1,30 @@
+#include "common/timer.hpp"
+
+#include <vector>
+
+#include "common/stats.hpp"
+
+namespace willump::common {
+
+void spin_wait_micros(double micros) {
+  if (micros <= 0.0) return;
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::nanoseconds(static_cast<std::int64_t>(micros * 1e3));
+  while (std::chrono::steady_clock::now() < deadline) {
+    // Intentional busy loop; see header.
+  }
+}
+
+double time_median_seconds(int reps, const std::function<void()>& fn) {
+  std::vector<double> samples;
+  samples.reserve(static_cast<std::size_t>(reps));
+  for (int i = 0; i < reps; ++i) {
+    Timer t;
+    fn();
+    samples.push_back(t.elapsed_seconds());
+  }
+  return median(std::move(samples));
+}
+
+}  // namespace willump::common

@@ -1,0 +1,37 @@
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+
+namespace willump::common {
+
+/// Monotonic stopwatch used by the cost model and the benchmark harness.
+class Timer {
+ public:
+  Timer() : start_(clock::now()) {}
+
+  void reset() { start_ = clock::now(); }
+
+  double elapsed_seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+  double elapsed_micros() const { return elapsed_seconds() * 1e6; }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+/// Busy-wait for `micros` microseconds on a monotonic clock.
+///
+/// The store and serving simulators use this to model network/RPC time with
+/// real (deterministically measurable) wall-clock delay instead of a sleep,
+/// which would be scheduler-noisy at the 100 µs scale the paper operates at.
+void spin_wait_micros(double micros);
+
+/// Run `fn` `reps` times and return the median per-run seconds.
+double time_median_seconds(int reps, const std::function<void()>& fn);
+
+}  // namespace willump::common

@@ -1,0 +1,170 @@
+#include "core/cascades.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/importance.hpp"
+#include "models/metrics.hpp"
+
+namespace willump::core {
+
+namespace {
+
+/// Gather the rows of each computed block (used to reuse already-computed
+/// efficient blocks for the rows that cascade to the full model).
+std::vector<data::FeatureMatrix> gather_block_rows(
+    const std::vector<data::FeatureMatrix>& blocks,
+    const std::vector<bool>& mask, std::span<const std::size_t> rows) {
+  std::vector<data::FeatureMatrix> out(blocks.size());
+  for (std::size_t f = 0; f < blocks.size(); ++f) {
+    if (f < mask.size() && mask[f]) out[f] = blocks[f].select_rows(rows);
+  }
+  return out;
+}
+
+}  // namespace
+
+double CascadeTrainer::select_threshold(std::span<const double> small_probas,
+                                        std::span<const double> full_probas,
+                                        std::span<const double> labels,
+                                        double accuracy_target) {
+  const double full_acc = models::accuracy(full_probas, labels);
+  // Thresholds are integer multiples of 0.1 to avoid overfitting the
+  // validation set (§4.2); binary confidences live in [0.5, 1.0].
+  double best = 1.0;
+  for (double t = 0.5; t <= 1.0 + 1e-9; t += 0.1) {
+    std::size_t correct = 0;
+    for (std::size_t i = 0; i < labels.size(); ++i) {
+      const double p = models::confidence(small_probas[i]) > t ? small_probas[i]
+                                                               : full_probas[i];
+      if (models::predicted_label(p) == labels[i]) ++correct;
+    }
+    const double acc =
+        labels.empty() ? 0.0
+                       : static_cast<double>(correct) / static_cast<double>(labels.size());
+    if (acc >= full_acc - accuracy_target) {
+      best = t;
+      break;  // lowest such threshold
+    }
+  }
+  return best;
+}
+
+TrainedCascade CascadeTrainer::train(const Executor& executor,
+                                     const models::Model& model_proto,
+                                     const LabeledData& train,
+                                     const LabeledData& valid,
+                                     const CascadeConfig& cfg) {
+  TrainedCascade out;
+  const auto& analysis = executor.analysis();
+  const std::size_t num_fg = analysis.num_generators();
+
+  // Stage 1: IFV statistics. Costs are measured while computing training
+  // features; importances come from a full model trained on all features.
+  out.stats.cost_seconds = measure_fg_costs(executor, train.inputs);
+
+  const data::FeatureMatrix x_train_full = executor.compute_matrix(train.inputs);
+  auto full_model = std::shared_ptr<models::Model>(model_proto.clone_untrained());
+  full_model->fit(x_train_full, train.targets);
+  out.full_model = full_model;
+
+  const auto per_feature =
+      feature_importances(*full_model, x_train_full, train.targets);
+  out.stats.importance = ifv_importances(analysis, per_feature);
+
+  // Stage 2: efficient-IFV selection (Algorithm 1 or an ablation policy).
+  const double gamma = cfg.disable_gamma_rule ? 0.0 : cfg.gamma;
+  const EfficientIfvResult sel = select_by_policy(
+      cfg.policy, out.stats.importance, out.stats.cost_seconds, gamma);
+  if (sel.empty() || sel.num_selected() == num_fg) {
+    // No useful approximation exists (nothing selected, or the "small"
+    // model would need every IFV anyway): cascades stay disabled.
+    return out;
+  }
+  out.efficient_mask = sel.mask;
+  out.inefficient_mask.assign(num_fg, false);
+  for (std::size_t f = 0; f < num_fg; ++f) {
+    out.inefficient_mask[f] = !sel.mask[f];
+  }
+
+  // Stage 3: train the small model on the efficient feature vectors.
+  ExecOptions eff_opts;
+  eff_opts.fg_mask = out.efficient_mask;
+  const data::FeatureMatrix x_train_eff =
+      executor.compute_matrix(train.inputs, eff_opts);
+  auto small_model = std::shared_ptr<models::Model>(model_proto.clone_untrained());
+  small_model->fit(x_train_eff, train.targets);
+  out.small_model = small_model;
+
+  // Stage 4: threshold search on the validation set (classification only;
+  // regression pipelines use cascades solely as top-K filter models, where
+  // no threshold is involved).
+  if (model_proto.is_classifier()) {
+    const data::FeatureMatrix x_valid_full = executor.compute_matrix(valid.inputs);
+    const data::FeatureMatrix x_valid_eff =
+        executor.compute_matrix(valid.inputs, eff_opts);
+    const auto small_probas = small_model->predict(x_valid_eff);
+    const auto full_probas = full_model->predict(x_valid_full);
+    out.threshold = select_threshold(small_probas, full_probas, valid.targets,
+                                     cfg.accuracy_target);
+    out.full_valid_accuracy = models::accuracy(full_probas, valid.targets);
+
+    std::vector<double> casc(valid.targets.size());
+    for (std::size_t i = 0; i < casc.size(); ++i) {
+      casc[i] = models::confidence(small_probas[i]) > out.threshold
+                    ? small_probas[i]
+                    : full_probas[i];
+    }
+    out.cascade_valid_accuracy = models::accuracy(casc, valid.targets);
+  }
+  return out;
+}
+
+std::vector<double> cascade_predict(const Executor& executor,
+                                    const TrainedCascade& cascade,
+                                    const data::Batch& batch,
+                                    const ExecOptions& opts,
+                                    CascadeRunStats* stats) {
+  const std::size_t n = batch.num_rows();
+
+  // Stage 5a: compute efficient IFVs and predict with the small model.
+  ExecOptions eff_opts = opts;
+  eff_opts.fg_mask = cascade.efficient_mask;
+  const auto eff_blocks = executor.compute_blocks(batch, eff_opts);
+  const data::FeatureMatrix x_eff =
+      executor.assemble(eff_blocks, cascade.efficient_mask);
+  std::vector<double> preds = cascade.small_model->predict(x_eff);
+
+  // Stage 5b: rows whose confidence does not exceed the threshold cascade
+  // to the full model.
+  std::vector<std::size_t> hard_rows;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (models::confidence(preds[i]) <= cascade.threshold) hard_rows.push_back(i);
+  }
+  if (stats != nullptr) {
+    stats->total_rows += n;
+    stats->short_circuited += n - hard_rows.size();
+  }
+  if (hard_rows.empty()) return preds;
+
+  // Compute only the remaining IFVs, only for the hard rows; reuse the
+  // already-computed efficient blocks for those rows.
+  const data::Batch hard_batch = batch.select_rows(hard_rows);
+  ExecOptions ineff_opts = opts;
+  ineff_opts.fg_mask = cascade.inefficient_mask;
+  auto hard_blocks = executor.compute_blocks(hard_batch, ineff_opts);
+  const auto eff_hard = gather_block_rows(eff_blocks, cascade.efficient_mask, hard_rows);
+  for (std::size_t f = 0; f < hard_blocks.size(); ++f) {
+    if (f < cascade.efficient_mask.size() && cascade.efficient_mask[f]) {
+      hard_blocks[f] = eff_hard[f];
+    }
+  }
+  const data::FeatureMatrix x_full = executor.assemble(hard_blocks, {});
+  const auto full_preds = cascade.full_model->predict(x_full);
+  for (std::size_t i = 0; i < hard_rows.size(); ++i) {
+    preds[hard_rows[i]] = full_preds[i];
+  }
+  return preds;
+}
+
+}  // namespace willump::core

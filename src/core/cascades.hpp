@@ -1,0 +1,92 @@
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "core/cost_model.hpp"
+#include "core/efficient_ifv.hpp"
+#include "core/executors.hpp"
+#include "models/model.hpp"
+
+namespace willump::core {
+
+/// Labeled raw inputs: what the cascade trainer consumes.
+struct LabeledData {
+  data::Batch inputs;
+  std::vector<double> targets;
+};
+
+/// Cascade construction settings (§4.2).
+struct CascadeConfig {
+  /// Maximum validation-accuracy loss of the cascade vs the full model
+  /// ("user-specified accuracy target", stage 4).
+  double accuracy_target = 0.001;
+  /// γ of Algorithm 1's stopping rule (the paper leaves γ unspecified; 0.1
+  /// reproduces its reported selections across our six workloads).
+  double gamma = 0.1;
+  /// Disable the γ rule (the Table 8 / §6.4 ablation).
+  bool disable_gamma_rule = false;
+  /// Override selection policy (Table 8 ablation); Willump = Algorithm 1.
+  SelectionPolicy policy = SelectionPolicy::Willump;
+};
+
+/// A trained end-to-end cascade: small model over the efficient IFVs,
+/// full model over all IFVs, and the confidence threshold routing between
+/// them (§4.2, Figure 3).
+struct TrainedCascade {
+  std::vector<bool> efficient_mask;
+  std::vector<bool> inefficient_mask;
+  std::shared_ptr<models::Model> small_model;
+  std::shared_ptr<models::Model> full_model;
+  double threshold = 1.0;  // predictions with confidence > threshold short-circuit
+  IfvStats stats;
+  double full_valid_accuracy = 0.0;
+  double cascade_valid_accuracy = 0.0;
+
+  bool enabled() const { return small_model != nullptr; }
+};
+
+/// Serving-time counters for one cascade run.
+struct CascadeRunStats {
+  std::size_t total_rows = 0;
+  std::size_t short_circuited = 0;  // classified by the small model
+  double short_circuit_rate() const {
+    return total_rows == 0
+               ? 0.0
+               : static_cast<double>(short_circuited) / static_cast<double>(total_rows);
+  }
+};
+
+/// Builds end-to-end cascades (stages 1-4 of §4.2): IFV statistics,
+/// efficient-IFV selection (Algorithm 1), small/full model training, and
+/// validation-set threshold search on a 0.1 grid.
+class CascadeTrainer {
+ public:
+  /// `executor` must have its layout probed. Returns a cascade whose
+  /// small_model is null when no useful efficient subset exists (the
+  /// optimizer then serves the full model only).
+  static TrainedCascade train(const Executor& executor,
+                              const models::Model& model_proto,
+                              const LabeledData& train, const LabeledData& valid,
+                              const CascadeConfig& cfg);
+
+  /// Stage 4 in isolation: lowest threshold on the 0.1 grid whose cascaded
+  /// validation accuracy is within `accuracy_target` of the full model's.
+  static double select_threshold(std::span<const double> small_probas,
+                                 std::span<const double> full_probas,
+                                 std::span<const double> labels,
+                                 double accuracy_target);
+};
+
+/// Serves predictions from a trained cascade (stage 5, Figure 3): predict
+/// with the small model on the efficient IFVs; short-circuit confident rows;
+/// compute remaining IFVs and the full model for the rest.
+std::vector<double> cascade_predict(const Executor& executor,
+                                    const TrainedCascade& cascade,
+                                    const data::Batch& batch,
+                                    const ExecOptions& opts,
+                                    CascadeRunStats* stats = nullptr);
+
+}  // namespace willump::core

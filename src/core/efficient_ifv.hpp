@@ -1,0 +1,52 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace willump::core {
+
+/// Result of the efficient-IFV search.
+struct EfficientIfvResult {
+  std::vector<bool> mask;  // selected generators
+  double selected_cost = 0.0;
+  double total_cost = 0.0;
+  std::size_t num_selected() const;
+  bool empty() const { return num_selected() == 0; }
+};
+
+/// IFVs costing at most this fraction of the total pipeline cost are always
+/// included in the efficient set and excluded from the γ-rule average (see
+/// select_efficient_ifvs).
+inline constexpr double kFreeIfvFraction = 0.02;
+
+/// A candidate whose share of total prediction importance reaches this
+/// fraction is exempt from the γ stopping rule (it remains subject to the
+/// half-cost budget); see select_efficient_ifvs.
+inline constexpr double kGammaEscapeImportanceShare = 0.1;
+
+/// Paper Algorithm 1: greedily select the most cost-effective IFVs
+/// (importance / cost), subject to two stopping rules:
+///  - γ rule (line 8): stop once the next candidate's cost-effectiveness
+///    falls below γ times the average cost-effectiveness of the selected
+///    set (low-CE IFVs "do not improve accuracy enough to justify their
+///    cost", §6.4);
+///  - half-cost rule (line 11): skip candidates that would push the
+///    selected set's cost past half the total cost (otherwise the "small"
+///    model would not be meaningfully cheaper), but keep draining the queue
+///    since later, cheaper candidates may still fit.
+EfficientIfvResult select_efficient_ifvs(std::span<const double> importance,
+                                         std::span<const double> cost,
+                                         double gamma);
+
+/// Ablation baselines for the selection-policy comparison (paper Table 8).
+enum class SelectionPolicy {
+  Willump,        // Algorithm 1
+  MostImportant,  // greedy by importance alone
+  Cheapest,       // greedy by cost alone
+};
+
+EfficientIfvResult select_by_policy(SelectionPolicy policy,
+                                    std::span<const double> importance,
+                                    std::span<const double> cost, double gamma);
+
+}  // namespace willump::core

@@ -1,0 +1,616 @@
+#include "core/executors.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+
+#include "common/timer.hpp"
+#include "runtime/boxed.hpp"
+
+namespace willump::core {
+
+namespace {
+
+/// Incrementally assembles a columnar Value from single-row Values.
+class RowAccumulator {
+ public:
+  void append(const data::Value& one_row) {
+    if (one_row.is_column()) {
+      const auto& c = one_row.column();
+      switch (c.type()) {
+        case data::ColumnType::Int:
+          ints_.push_back(c.ints()[0]);
+          break;
+        case data::ColumnType::Double:
+          doubles_.push_back(c.doubles()[0]);
+          break;
+        case data::ColumnType::String:
+          strings_.push_back(c.strings()[0]);
+          break;
+      }
+      kind_ = Kind::Column;
+      col_type_ = c.type();
+      return;
+    }
+    const auto& m = one_row.features();
+    if (m.is_dense()) {
+      dense_rows_.emplace_back(
+          std::vector<double>(m.dense().row(0).begin(), m.dense().row(0).end()));
+      kind_ = Kind::Dense;
+    } else {
+      sparse_rows_.push_back(m.sparse().row_vector(0));
+      sparse_cols_ = m.sparse().cols();
+      kind_ = Kind::Sparse;
+    }
+  }
+
+  data::Value finish() {
+    switch (kind_) {
+      case Kind::Column:
+        switch (col_type_) {
+          case data::ColumnType::Int:
+            return data::Value(data::Column(std::move(ints_)));
+          case data::ColumnType::Double:
+            return data::Value(data::Column(std::move(doubles_)));
+          case data::ColumnType::String:
+            return data::Value(data::Column(std::move(strings_)));
+        }
+        break;
+      case Kind::Dense:
+        return data::Value(
+            data::FeatureMatrix(data::DenseMatrix::from_rows(dense_rows_)));
+      case Kind::Sparse:
+        return data::Value(data::FeatureMatrix(
+            data::CsrMatrix::from_rows(sparse_cols_, sparse_rows_)));
+      case Kind::Empty:
+        break;
+    }
+    return {};
+  }
+
+  bool empty() const { return kind_ == Kind::Empty; }
+
+ private:
+  enum class Kind { Empty, Column, Dense, Sparse };
+  Kind kind_ = Kind::Empty;
+  data::ColumnType col_type_ = data::ColumnType::Int;
+  data::IntColumn ints_;
+  data::DoubleColumn doubles_;
+  data::StringColumn strings_;
+  std::vector<data::DenseVector> dense_rows_;
+  std::vector<data::SparseVector> sparse_rows_;
+  std::int32_t sparse_cols_ = 0;
+};
+
+/// Box one row of `v` into the Python-like object model and immediately
+/// unbox it back into a single-row Value. The round trip is the honest
+/// overhead the interpreted engine pays on every edge element.
+data::Value boxed_row_roundtrip(const data::Value& v, std::size_t row) {
+  namespace bx = willump::runtime::boxed;
+  if (v.is_column()) {
+    auto b = bx::box_row(v.column(), row);
+    return data::Value(bx::unbox_to_column(b, v.column().type()));
+  }
+  const auto& m = v.features();
+  auto b = bx::box_feature_row(m, row);
+  return data::Value(bx::unbox_to_features(b, m.is_sparse(), m.cols()));
+}
+
+/// Extract a single CachedRow from row `r` of a block.
+CachedRow cached_row_of(const data::FeatureMatrix& block, std::size_t r) {
+  if (block.is_dense()) {
+    auto rv = block.dense().row(r);
+    return data::DenseVector(std::vector<double>(rv.begin(), rv.end()));
+  }
+  return block.sparse().row_vector(r);
+}
+
+/// Assemble a block from per-row CachedRow values.
+data::FeatureMatrix block_from_rows(const std::vector<CachedRow>& rows) {
+  if (rows.empty()) return data::FeatureMatrix(data::DenseMatrix(0, 0));
+  if (std::holds_alternative<data::DenseVector>(rows[0])) {
+    std::vector<data::DenseVector> dense;
+    dense.reserve(rows.size());
+    for (const auto& r : rows) dense.push_back(std::get<data::DenseVector>(r));
+    return data::FeatureMatrix(data::DenseMatrix::from_rows(dense));
+  }
+  std::vector<data::SparseVector> sparse;
+  sparse.reserve(rows.size());
+  for (const auto& r : rows) sparse.push_back(std::get<data::SparseVector>(r));
+  return data::FeatureMatrix(
+      data::CsrMatrix::from_rows(sparse[0].dim(), sparse));
+}
+
+}  // namespace
+
+Executor::Executor(Graph graph, IfvAnalysis analysis)
+    : graph_(std::move(graph)), analysis_(std::move(analysis)) {}
+
+data::FeatureMatrix Executor::assemble(
+    const std::vector<data::FeatureMatrix>& blocks,
+    const std::vector<bool>& mask) const {
+  std::vector<data::FeatureMatrix> selected;
+  bool full = true;
+  for (std::size_t f = 0; f < analysis_.generators.size(); ++f) {
+    if (fg_selected(mask, f)) {
+      selected.push_back(blocks[f]);
+    } else {
+      full = false;
+    }
+  }
+  data::FeatureMatrix m = data::FeatureMatrix::hconcat_all(selected);
+
+  for (int post : analysis_.post_chain) {
+    const auto& op = *graph_.node(post).op;
+    if (full) {
+      data::Value v[1] = {data::Value(std::move(m))};
+      m = op.eval_batch(v).features();
+    } else {
+      const auto* sliceable = dynamic_cast<const ops::ColumnSliceable*>(&op);
+      if (sliceable == nullptr) {
+        throw std::logic_error("assemble: post-chain op '" + op.name() +
+                               "' is not column-sliceable");
+      }
+      const auto cols = analysis_.columns_of(
+          mask.empty() ? std::vector<bool>(analysis_.generators.size(), true)
+                       : mask);
+      m = sliceable->apply_columns(m, cols);
+    }
+  }
+  return m;
+}
+
+data::FeatureMatrix Executor::compute_matrix(const data::Batch& batch,
+                                             const ExecOptions& opts) const {
+  return assemble(compute_blocks(batch, opts), opts.fg_mask);
+}
+
+void Executor::probe_layout(const data::Batch& probe) {
+  const auto blocks = compute_blocks(probe, {});
+  analysis_.block_cols.resize(blocks.size());
+  analysis_.col_begin.resize(blocks.size());
+  std::size_t offset = 0;
+  for (std::size_t f = 0; f < blocks.size(); ++f) {
+    analysis_.block_cols[f] = blocks[f].cols();
+    analysis_.col_begin[f] = offset;
+    offset += blocks[f].cols();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Interpreted engine
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Per-call dispatch work of the simulated Python runtime, in
+/// dictionary-operation units. A plain Python-level function call resolves
+/// names through frame/global dictionaries (`kDispatchFunction`); a call
+/// into a library like pandas/scikit-learn/scipy additionally traverses
+/// many wrapper layers and constructs result objects (`kDispatchLibrary`).
+/// These constants were sized so that single-example dispatch costs land in
+/// the tens-of-microseconds range CPython exhibits, which is what makes the
+/// paper's unoptimized example-at-a-time latencies milliseconds while batch
+/// throughput is only a few times below compiled (§6.3). The work is real
+/// (allocations + hash-table traffic), not a sleep.
+constexpr int kDispatchFunction = 96;
+constexpr int kDispatchLibrary = 384;
+
+/// Sink that keeps the dispatch simulation observable (non-elidable).
+std::atomic<std::int64_t> g_dispatch_sink{0};
+
+void simulate_interpreter_dispatch(int dict_ops) {
+  namespace bx = willump::runtime::boxed;
+  bx::Namespace frame;
+  std::string key;
+  for (int i = 0; i < dict_ops; ++i) {
+    key = "name";
+    key += std::to_string(i);
+    frame.set(key, bx::make_int(i));
+  }
+  std::int64_t acc = 0;
+  for (int i = 0; i < dict_ops; ++i) {
+    key = "name";
+    key += std::to_string(i);
+    acc += std::get<std::int64_t>(frame.get(key)->payload);
+  }
+  g_dispatch_sink.fetch_add(acc, std::memory_order_relaxed);
+}
+
+/// Evaluate one transform node the way the Python interpreter would: for
+/// compilable ops, loop over rows through boxed frames; for external-I/O ops
+/// (table lookups), call the native batch kernel once but box/unbox the
+/// result boundary (the numpy/pandas <-> Python object frontier).
+data::Value interpret_node(const Graph& g, const Node& node,
+                           std::span<const data::Value> inputs,
+                           std::size_t n_rows) {
+  namespace bx = willump::runtime::boxed;
+  const auto& op = *node.op;
+
+  // Every node evaluation is at least one Python-level call; library-backed
+  // nodes (external I/O, feature-block producers) pay the deeper wrapper
+  // stack once per call.
+  simulate_interpreter_dispatch(kDispatchFunction);
+  if (!op.compilable()) simulate_interpreter_dispatch(kDispatchLibrary);
+
+  if (!op.compilable()) {
+    data::Value out = op.eval_batch(inputs);
+    RowAccumulator acc;
+    for (std::size_t r = 0; r < n_rows; ++r) {
+      acc.append(boxed_row_roundtrip(out, r));
+    }
+    return acc.empty() ? out : acc.finish();
+  }
+
+  RowAccumulator acc;
+  std::vector<data::Value> row_inputs(inputs.size());
+  for (std::size_t r = 0; r < n_rows; ++r) {
+    // CPython-frame analog: arguments are bound into a dictionary and
+    // loaded back by name before the kernel runs.
+    bx::Namespace frame;
+    for (std::size_t i = 0; i < inputs.size(); ++i) {
+      const std::string name = "arg" + std::to_string(i);
+      if (inputs[i].is_column()) {
+        frame.set(name, bx::box_row(inputs[i].column(), r));
+        row_inputs[i] = data::Value(bx::unbox_to_column(
+            frame.get(name), inputs[i].column().type()));
+      } else {
+        frame.set(name, bx::box_feature_row(inputs[i].features(), r));
+        row_inputs[i] = data::Value(
+            bx::unbox_to_features(frame.get(name), inputs[i].features().is_sparse(),
+                                  inputs[i].features().cols()));
+      }
+    }
+    data::Value out_row = op.eval_batch(row_inputs);
+    acc.append(boxed_row_roundtrip(out_row, 0));
+  }
+  if (acc.empty()) {
+    // Zero-row batch: fall back to the batch kernel for a correctly typed
+    // empty output.
+    return op.eval_batch(inputs);
+  }
+  (void)g;
+  data::Value out = acc.finish();
+  if (out.is_features()) {
+    // Feature-block producers are library calls in the Python pipelines
+    // (scikit-learn vectorizers, scipy sparse constructors).
+    simulate_interpreter_dispatch(kDispatchLibrary);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<data::FeatureMatrix> InterpretedExecutor::compute_blocks(
+    const data::Batch& batch, const ExecOptions& opts) const {
+  const std::size_t n = batch.num_rows();
+  std::vector<data::Value> store(graph_.size());
+
+  auto ensure_sources = [&](const std::vector<int>& node_ids) {
+    for (int id : node_ids) {
+      for (int in : graph_.node(id).inputs) {
+        const Node& src = graph_.node(in);
+        if (src.kind == NodeKind::Source && store[static_cast<std::size_t>(in)].empty()) {
+          store[static_cast<std::size_t>(in)] =
+              data::Value(batch.get(src.name));
+        }
+      }
+    }
+  };
+
+  auto eval_nodes = [&](const std::vector<int>& node_ids) {
+    ensure_sources(node_ids);
+    for (int id : node_ids) {
+      const Node& node = graph_.node(id);
+      std::vector<data::Value> inputs;
+      inputs.reserve(node.inputs.size());
+      for (int in : node.inputs) inputs.push_back(store[static_cast<std::size_t>(in)]);
+      common::Timer t;
+      store[static_cast<std::size_t>(id)] =
+          interpret_node(graph_, node, inputs, n);
+      if (opts.profiler != nullptr) opts.profiler->record(id, t.elapsed_seconds());
+    }
+  };
+
+  eval_nodes(analysis_.preprocessing);
+
+  std::vector<data::FeatureMatrix> blocks(analysis_.generators.size());
+  for (std::size_t f = 0; f < analysis_.generators.size(); ++f) {
+    if (!fg_selected(opts.fg_mask, f)) continue;
+    const auto& fg = analysis_.generators[f];
+    eval_nodes(fg.nodes);
+    blocks[f] = store[static_cast<std::size_t>(fg.output_node)].features();
+  }
+  return blocks;
+}
+
+// ---------------------------------------------------------------------------
+// Compiled engine
+// ---------------------------------------------------------------------------
+
+int count_language_transitions(const Graph& g, const std::vector<int>& order) {
+  int transitions = 0;
+  bool have_prev = false;
+  bool prev_compilable = false;
+  for (int id : order) {
+    const Node& n = g.node(id);
+    if (n.kind != NodeKind::Transform) continue;
+    const bool c = n.op->compilable();
+    if (have_prev && c != prev_compilable) ++transitions;
+    prev_compilable = c;
+    have_prev = true;
+  }
+  return transitions;
+}
+
+namespace {
+
+/// Hoist each non-compilable ("Python") node to the earliest position that
+/// still follows all of its inputs — the paper's transition-minimizing sort.
+std::vector<int> hoist_python_nodes(const Graph& g, std::vector<int> order) {
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    const int id = order[i];
+    const Node& n = g.node(id);
+    if (n.kind != NodeKind::Transform || n.op->compilable()) continue;
+    // Earliest allowable slot: right after the last input's position.
+    std::size_t earliest = 0;
+    for (int in : n.inputs) {
+      const auto pos = static_cast<std::size_t>(
+          std::find(order.begin(), order.end(), in) - order.begin());
+      earliest = std::max(earliest, pos + 1);
+    }
+    if (earliest < i) {
+      order.erase(order.begin() + static_cast<std::ptrdiff_t>(i));
+      order.insert(order.begin() + static_cast<std::ptrdiff_t>(earliest), id);
+    }
+  }
+  return order;
+}
+
+/// Group a generator's node list into steps, fusing maximal chains of
+/// string-map ops that form a linear producer/consumer sequence.
+std::vector<PlanStep> fuse_steps(const Graph& g, const std::vector<int>& nodes) {
+  std::vector<PlanStep> steps;
+  std::size_t i = 0;
+  while (i < nodes.size()) {
+    const Node& n = g.node(nodes[i]);
+    PlanStep step;
+    step.nodes.push_back(nodes[i]);
+    if (n.kind == NodeKind::Transform && n.op->is_string_map()) {
+      // Extend the chain while the next node is a string map consuming
+      // exactly the previous node's output.
+      std::size_t j = i + 1;
+      while (j < nodes.size()) {
+        const Node& m = g.node(nodes[j]);
+        if (m.kind != NodeKind::Transform || !m.op->is_string_map() ||
+            m.inputs.size() != 1 || m.inputs[0] != step.nodes.back()) {
+          break;
+        }
+        step.nodes.push_back(nodes[j]);
+        ++j;
+      }
+      i = j;
+    } else {
+      ++i;
+    }
+    steps.push_back(std::move(step));
+  }
+  return steps;
+}
+
+}  // namespace
+
+CompiledPlan compile_plan(const Graph& g, const IfvAnalysis& a) {
+  CompiledPlan plan;
+  const auto topo = g.execution_order();
+  plan.transitions_before = count_language_transitions(g, topo);
+  plan.sorted_order = hoist_python_nodes(g, topo);
+  plan.transitions_after = count_language_transitions(g, plan.sorted_order);
+
+  plan.preprocessing = fuse_steps(g, a.preprocessing);
+  plan.fg_steps.reserve(a.generators.size());
+  plan.fg_compilable.reserve(a.generators.size());
+  for (const auto& fg : a.generators) {
+    plan.fg_steps.push_back(fuse_steps(g, fg.nodes));
+    bool compilable = true;
+    for (int id : fg.nodes) {
+      if (!g.node(id).op->compilable()) compilable = false;
+    }
+    plan.fg_compilable.push_back(compilable);
+  }
+  return plan;
+}
+
+CompiledExecutor::CompiledExecutor(Graph graph, IfvAnalysis analysis)
+    : Executor(std::move(graph), std::move(analysis)),
+      plan_(compile_plan(graph_, analysis_)) {}
+
+void CompiledExecutor::run_steps(const std::vector<PlanStep>& steps,
+                                 const data::Batch& batch,
+                                 std::vector<data::Value>& store,
+                                 const ExecOptions& opts) const {
+  for (const auto& step : steps) {
+    common::Timer driver_timer;
+    // Driver stage: bind source inputs and gather operand values — the O(1)
+    // marshaling the paper's C++ drivers perform.
+    const Node& first = graph_.node(step.nodes.front());
+    for (int in : first.inputs) {
+      const Node& src = graph_.node(in);
+      if (src.kind == NodeKind::Source &&
+          store[static_cast<std::size_t>(in)].empty()) {
+        store[static_cast<std::size_t>(in)] = data::Value(batch.get(src.name));
+      }
+    }
+    std::vector<data::Value> inputs;
+    inputs.reserve(first.inputs.size());
+    for (int in : first.inputs) {
+      inputs.push_back(store[static_cast<std::size_t>(in)]);
+    }
+    const double driver_s = driver_timer.elapsed_seconds();
+
+    common::Timer kernel_timer;
+    data::Value out;
+    if (step.fused()) {
+      // Fused string chain: one pass over the column, no intermediate
+      // materialization (loop fusion).
+      const auto& in_col = inputs[0].column().strings();
+      data::StringColumn out_col;
+      out_col.reserve(in_col.size());
+      for (const auto& s : in_col) {
+        std::string cur = graph_.node(step.nodes[0]).op->map_string(s);
+        for (std::size_t k = 1; k < step.nodes.size(); ++k) {
+          cur = graph_.node(step.nodes[k]).op->map_string(cur);
+        }
+        out_col.push_back(std::move(cur));
+      }
+      out = data::Value(data::Column(std::move(out_col)));
+    } else {
+      out = first.op->eval_batch(inputs);
+    }
+    const double kernel_s = kernel_timer.elapsed_seconds();
+
+    store[static_cast<std::size_t>(step.nodes.back())] = std::move(out);
+
+    if (opts.profiler != nullptr) {
+      opts.profiler->record(step.nodes.back(), driver_s + kernel_s);
+    }
+    if (opts.drivers != nullptr) {
+      opts.drivers->driver_seconds += driver_s;
+      opts.drivers->kernel_seconds += kernel_s;
+      ++opts.drivers->block_entries;
+    }
+  }
+}
+
+data::FeatureMatrix CompiledExecutor::compute_block_plain(
+    const data::Batch& batch, std::size_t f, std::vector<data::Value>& store,
+    const ExecOptions& opts) const {
+  const auto& fg = analysis_.generators[f];
+  run_steps(plan_.fg_steps[f], batch, store, opts);
+  return store[static_cast<std::size_t>(fg.output_node)].features();
+}
+
+data::FeatureMatrix CompiledExecutor::compute_block_cached(
+    const data::Batch& batch, std::size_t f, const ExecOptions& opts) const {
+  const auto& fg = analysis_.generators[f];
+  auto& cache = opts.cache->cache(f);
+  const std::size_t n = batch.num_rows();
+
+  std::vector<CachedRow> rows(n, data::DenseVector{});
+  std::vector<std::uint64_t> keys(n);
+  // Deduplicate misses within the batch: one representative row per unique
+  // missing key (so repeated entities cost one computation and one fetch
+  // even on their first appearance).
+  std::vector<std::size_t> missing;
+  std::unordered_map<std::uint64_t, std::size_t> missing_index;
+  for (std::size_t r = 0; r < n; ++r) {
+    keys[r] = cache_key_of_row(batch, graph_, fg, r);
+    if (auto hit = cache.get(keys[r])) {
+      rows[r] = std::move(*hit);
+    } else if (missing_index.find(keys[r]) == missing_index.end()) {
+      missing_index.emplace(keys[r], missing.size());
+      missing.push_back(r);
+    }
+  }
+
+  if (!missing.empty()) {
+    // Recompute only the missing rows: preprocessing + this generator on the
+    // row subset (so a remote lookup fetches only the missing keys).
+    const data::Batch sub = batch.select_rows(missing);
+    std::vector<data::Value> store(graph_.size());
+    run_steps(plan_.preprocessing, sub, store, opts);
+    const data::FeatureMatrix block = compute_block_plain(sub, f, store, opts);
+    for (std::size_t i = 0; i < missing.size(); ++i) {
+      cache.put(keys[missing[i]], cached_row_of(block, i));
+    }
+    for (std::size_t r = 0; r < n; ++r) {
+      auto it = missing_index.find(keys[r]);
+      if (it != missing_index.end()) {
+        rows[r] = cached_row_of(block, it->second);
+      }
+    }
+  }
+  return block_from_rows(rows);
+}
+
+std::vector<data::FeatureMatrix> CompiledExecutor::compute_blocks(
+    const data::Batch& batch, const ExecOptions& opts) const {
+  const std::size_t num_fg = analysis_.generators.size();
+  std::vector<data::FeatureMatrix> blocks(num_fg);
+
+  // Which generators are we computing?
+  std::vector<std::size_t> selected;
+  for (std::size_t f = 0; f < num_fg; ++f) {
+    if (fg_selected(opts.fg_mask, f)) selected.push_back(f);
+  }
+
+  if (opts.cache != nullptr) {
+    // Cached path processes each generator independently (preprocessing is
+    // recomputed per missing subset; cached workloads have none).
+    for (std::size_t f : selected) {
+      blocks[f] = compute_block_cached(batch, f, opts);
+    }
+    return blocks;
+  }
+
+  std::vector<data::Value> store(graph_.size());
+  run_steps(plan_.preprocessing, batch, store, opts);
+
+  if (opts.pool == nullptr || selected.size() < 2) {
+    for (std::size_t f : selected) {
+      blocks[f] = compute_block_plain(batch, f, store, opts);
+    }
+    return blocks;
+  }
+
+  // Per-input parallelization (§4.4): statically assign compiled generators
+  // to threads, balancing measured costs (longest-processing-time greedy);
+  // non-compiled generators run on the calling thread (Willump cannot
+  // parallelize "Python" code).
+  std::vector<std::size_t> parallel_fgs, serial_fgs;
+  for (std::size_t f : selected) {
+    (plan_.fg_compilable[f] ? parallel_fgs : serial_fgs).push_back(f);
+  }
+
+  const std::size_t n_groups = opts.pool->num_threads() + 1;
+  std::vector<std::vector<std::size_t>> groups(n_groups);
+  std::vector<double> group_cost(n_groups, 0.0);
+  std::sort(parallel_fgs.begin(), parallel_fgs.end(),
+            [&](std::size_t a, std::size_t b) {
+              const double ca = a < fg_costs_.size() ? fg_costs_[a] : 1.0;
+              const double cb = b < fg_costs_.size() ? fg_costs_[b] : 1.0;
+              return ca > cb;
+            });
+  for (std::size_t f : parallel_fgs) {
+    const auto g = static_cast<std::size_t>(
+        std::min_element(group_cost.begin(), group_cost.end()) -
+        group_cost.begin());
+    groups[g].push_back(f);
+    group_cost[g] += f < fg_costs_.size() ? fg_costs_[f] : 1.0;
+  }
+
+  std::vector<std::function<void()>> tasks;
+  for (auto& group : groups) {
+    if (group.empty()) continue;
+    tasks.push_back([this, &batch, &blocks, &store, &opts, group] {
+      // Each task gets its own store copy seeded with preprocessing
+      // results; generators write disjoint block slots.
+      std::vector<data::Value> local = store;
+      ExecOptions local_opts = opts;
+      local_opts.profiler = nullptr;  // profiler is not thread-safe
+      local_opts.drivers = nullptr;
+      for (std::size_t f : group) {
+        blocks[f] = compute_block_plain(batch, f, local, local_opts);
+      }
+    });
+  }
+  opts.pool->run_all(std::move(tasks));
+
+  for (std::size_t f : serial_fgs) {
+    blocks[f] = compute_block_plain(batch, f, store, opts);
+  }
+  return blocks;
+}
+
+}  // namespace willump::core

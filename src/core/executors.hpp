@@ -1,0 +1,161 @@
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/feature_cache.hpp"
+#include "core/graph.hpp"
+#include "core/ifv_analysis.hpp"
+#include "runtime/profiler.hpp"
+#include "runtime/thread_pool.hpp"
+
+namespace willump::core {
+
+/// Marshaling/kernel time split of a compiled execution — the analog of the
+/// paper's Weld-driver overhead measurement (§6.4, "Weld Drivers").
+struct DriverStats {
+  double driver_seconds = 0.0;  // input gathering + output placement
+  double kernel_seconds = 0.0;  // operator kernels
+  std::size_t block_entries = 0;
+
+  double overhead_fraction() const {
+    const double total = driver_seconds + kernel_seconds;
+    return total > 0.0 ? driver_seconds / total : 0.0;
+  }
+};
+
+/// Per-call execution options.
+struct ExecOptions {
+  /// Which feature generators to compute; empty = all. Masked-out
+  /// generators produce empty blocks.
+  std::vector<bool> fg_mask;
+  /// Feature-level caching (§4.5); nullptr disables.
+  FeatureCacheBank* cache = nullptr;
+  /// Thread pool for per-input parallelization of compiled feature
+  /// generators (§4.4); nullptr = sequential.
+  runtime::ThreadPool* pool = nullptr;
+  /// Per-node timing (cost model input); nullptr disables.
+  runtime::Profiler* profiler = nullptr;
+  /// Driver/kernel split accounting; nullptr disables.
+  DriverStats* drivers = nullptr;
+};
+
+/// Common machinery of both execution engines: graph + IFV analysis
+/// ownership, block assembly, and layout probing.
+class Executor {
+ public:
+  Executor(Graph graph, IfvAnalysis analysis);
+  virtual ~Executor() = default;
+
+  /// Compute the feature block of every selected generator. The result is
+  /// indexed by generator; unselected generators yield empty matrices.
+  virtual std::vector<data::FeatureMatrix> compute_blocks(
+      const data::Batch& batch, const ExecOptions& opts) const = 0;
+
+  /// Concatenate selected blocks in canonical order and apply the
+  /// post-concatenation commutative chain. With a partial mask, post-chain
+  /// ops must be ColumnSliceable (paper: transforms that "commute with
+  /// vector concatenation", §5.1).
+  data::FeatureMatrix assemble(const std::vector<data::FeatureMatrix>& blocks,
+                               const std::vector<bool>& mask) const;
+
+  /// compute_blocks + assemble in one call.
+  data::FeatureMatrix compute_matrix(const data::Batch& batch,
+                                     const ExecOptions& opts = {}) const;
+
+  /// Execute once on `probe` to record each generator's block width in the
+  /// analysis (cascades need the column layout before training models).
+  void probe_layout(const data::Batch& probe);
+
+  const Graph& graph() const { return graph_; }
+  const IfvAnalysis& analysis() const { return analysis_; }
+
+  /// Per-generator costs (seconds per training run), used for static
+  /// assignment of generators to threads (§5.2, Parallelization).
+  void set_fg_costs(std::vector<double> costs) { fg_costs_ = std::move(costs); }
+  const std::vector<double>& fg_costs() const { return fg_costs_; }
+
+ protected:
+  bool fg_selected(const std::vector<bool>& mask, std::size_t f) const {
+    return mask.empty() || (f < mask.size() && mask[f]);
+  }
+
+  Graph graph_;
+  IfvAnalysis analysis_;
+  std::vector<double> fg_costs_;
+};
+
+/// Reference engine modeling the unoptimized Python baseline: every edge is
+/// materialized as boxed per-row objects, compilable operators run
+/// row-at-a-time through dictionary-based "frames", and only external-I/O
+/// operators (table lookups — the pandas-merge / RPC class) run as batch
+/// kernels. See runtime/boxed.hpp for why this is an honest stand-in.
+class InterpretedExecutor final : public Executor {
+ public:
+  InterpretedExecutor(Graph graph, IfvAnalysis analysis)
+      : Executor(std::move(graph), std::move(analysis)) {}
+
+  std::vector<data::FeatureMatrix> compute_blocks(
+      const data::Batch& batch, const ExecOptions& opts) const override;
+};
+
+/// One step of a compiled plan: either a single node or a fused chain of
+/// element-wise string ops executed in one pass (loop fusion — the Weld
+/// optimization the paper leans on, §5.2).
+struct PlanStep {
+  std::vector<int> nodes;  // >1 => fused string-map chain
+  bool fused() const { return nodes.size() > 1; }
+};
+
+/// The compiled plan for one graph: sorted node order (non-compilable
+/// "Python" nodes hoisted to their earliest allowable position to minimize
+/// language transitions, §5.2 Sorting), per-generator fused steps, and
+/// preprocessing steps.
+struct CompiledPlan {
+  std::vector<int> sorted_order;
+  int transitions_before = 0;  // language transitions in plain topo order
+  int transitions_after = 0;   // after hoisting
+  std::vector<PlanStep> preprocessing;
+  std::vector<std::vector<PlanStep>> fg_steps;  // per generator
+  std::vector<bool> fg_compilable;              // all nodes compilable?
+};
+
+/// Build the compiled plan (sorting + fusion stages of §5.2).
+CompiledPlan compile_plan(const Graph& g, const IfvAnalysis& a);
+
+/// Count interpreter<->compiled transitions along an execution order.
+int count_language_transitions(const Graph& g, const std::vector<int>& order);
+
+/// Optimized engine (the Weld analog): columnar batch kernels, fused
+/// string chains, constant-time "drivers", optional feature-level caching
+/// and per-input parallel generator execution.
+class CompiledExecutor final : public Executor {
+ public:
+  CompiledExecutor(Graph graph, IfvAnalysis analysis);
+
+  std::vector<data::FeatureMatrix> compute_blocks(
+      const data::Batch& batch, const ExecOptions& opts) const override;
+
+  const CompiledPlan& plan() const { return plan_; }
+
+ private:
+  /// Evaluate a step list over `batch` into `store` (node id -> value).
+  void run_steps(const std::vector<PlanStep>& steps, const data::Batch& batch,
+                 std::vector<data::Value>& store, const ExecOptions& opts) const;
+
+  /// Compute one generator's block with per-row feature caching.
+  data::FeatureMatrix compute_block_cached(const data::Batch& batch,
+                                           std::size_t f,
+                                           const ExecOptions& opts) const;
+
+  /// Plain (uncached) computation of one generator's block given computed
+  /// preprocessing values.
+  data::FeatureMatrix compute_block_plain(const data::Batch& batch,
+                                          std::size_t f,
+                                          std::vector<data::Value>& store,
+                                          const ExecOptions& opts) const;
+
+  CompiledPlan plan_;
+};
+
+}  // namespace willump::core

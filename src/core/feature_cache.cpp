@@ -1,0 +1,53 @@
+#include "core/feature_cache.hpp"
+
+#include <bit>
+
+#include "common/hash.hpp"
+
+namespace willump::core {
+
+std::size_t FeatureCacheBank::total_hits() const {
+  std::size_t acc = 0;
+  for (const auto& c : caches_) acc += c.hits();
+  return acc;
+}
+
+std::size_t FeatureCacheBank::total_misses() const {
+  std::size_t acc = 0;
+  for (const auto& c : caches_) acc += c.misses();
+  return acc;
+}
+
+double FeatureCacheBank::hit_rate() const {
+  const std::size_t total = total_hits() + total_misses();
+  return total == 0 ? 0.0
+                    : static_cast<double>(total_hits()) / static_cast<double>(total);
+}
+
+void FeatureCacheBank::clear() {
+  for (auto& c : caches_) c.clear();
+}
+
+std::uint64_t cache_key_of_row(const data::Batch& batch, const Graph& g,
+                               const FeatureGenerator& fg, std::size_t row) {
+  std::uint64_t h = 0x51AFE5;
+  for (int src : fg.key_sources) {
+    const auto& col = batch.get(g.node(src).name);
+    std::uint64_t hv = 0;
+    switch (col.type()) {
+      case data::ColumnType::Int:
+        hv = common::hash_u64(static_cast<std::uint64_t>(col.ints()[row]));
+        break;
+      case data::ColumnType::Double:
+        hv = common::hash_u64(std::bit_cast<std::uint64_t>(col.doubles()[row]));
+        break;
+      case data::ColumnType::String:
+        hv = common::fnv1a(col.strings()[row]);
+        break;
+    }
+    h = common::hash_combine(h, hv);
+  }
+  return h;
+}
+
+}  // namespace willump::core

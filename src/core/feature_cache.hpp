@@ -1,0 +1,51 @@
+#pragma once
+
+#include <cstdint>
+#include <variant>
+#include <vector>
+
+#include "common/lru_cache.hpp"
+#include "core/ifv_analysis.hpp"
+#include "data/value.hpp"
+
+namespace willump::core {
+
+/// One cached IFV row: the features a feature generator produced for one
+/// data input (dense or sparse depending on the generator's output block).
+using CachedRow = std::variant<data::DenseVector, data::SparseVector>;
+
+/// Willump's feature-level cache (§4.5): one fixed-size LRU cache per IFV,
+/// keyed by (a stable 64-bit hash of) the tuple of the IFV's feature-
+/// generator sources, holding the IFV's computed features.
+///
+/// Contrast with the end-to-end prediction caching of systems like Clipper,
+/// which keys on the *entire* input and therefore misses whenever any one
+/// raw input differs; per-IFV caching captures recomputation of the same
+/// features across different data inputs (paper Table 2).
+class FeatureCacheBank {
+ public:
+  /// `capacity_per_ifv` of 0 means unbounded (the paper's Table 2/3 setup).
+  FeatureCacheBank(std::size_t num_generators, std::size_t capacity_per_ifv)
+      : caches_(num_generators,
+                common::LruCache<std::uint64_t, CachedRow>(capacity_per_ifv)) {}
+
+  common::LruCache<std::uint64_t, CachedRow>& cache(std::size_t fg) {
+    return caches_[fg];
+  }
+
+  std::size_t num_caches() const { return caches_.size(); }
+
+  std::size_t total_hits() const;
+  std::size_t total_misses() const;
+  double hit_rate() const;
+  void clear();
+
+ private:
+  std::vector<common::LruCache<std::uint64_t, CachedRow>> caches_;
+};
+
+/// Stable per-row cache key over the generator's key-source columns.
+std::uint64_t cache_key_of_row(const data::Batch& batch, const Graph& g,
+                               const FeatureGenerator& fg, std::size_t row);
+
+}  // namespace willump::core

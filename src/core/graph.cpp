@@ -1,0 +1,92 @@
+#include "core/graph.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace willump::core {
+
+int Graph::add_source(std::string name, data::ColumnType type) {
+  Node n;
+  n.id = static_cast<int>(nodes_.size());
+  n.kind = NodeKind::Source;
+  n.name = std::move(name);
+  n.source_type = type;
+  nodes_.push_back(std::move(n));
+  return nodes_.back().id;
+}
+
+int Graph::add_transform(std::string name, ops::OperatorPtr op,
+                         std::vector<int> inputs) {
+  if (!op) throw std::invalid_argument("add_transform: null operator");
+  const int id = static_cast<int>(nodes_.size());
+  for (int in : inputs) {
+    if (in < 0 || in >= id) {
+      // Inputs must precede their consumer, which makes the graph acyclic
+      // by construction.
+      throw std::invalid_argument("add_transform: input id out of range");
+    }
+  }
+  Node n;
+  n.id = id;
+  n.kind = NodeKind::Transform;
+  n.name = std::move(name);
+  n.op = std::move(op);
+  n.inputs = std::move(inputs);
+  nodes_.push_back(std::move(n));
+  return id;
+}
+
+void Graph::set_output(int id) {
+  if (id < 0 || static_cast<std::size_t>(id) >= nodes_.size()) {
+    throw std::invalid_argument("set_output: unknown node");
+  }
+  output_ = id;
+}
+
+std::vector<int> Graph::execution_order() const {
+  if (output_ < 0) throw std::logic_error("Graph: output not set");
+  // Nodes are already in a valid topological order by construction
+  // (inputs < id); restrict to the ancestors of the output.
+  std::vector<bool> needed(nodes_.size(), false);
+  needed[static_cast<std::size_t>(output_)] = true;
+  for (int id = output_; id >= 0; --id) {
+    if (!needed[static_cast<std::size_t>(id)]) continue;
+    for (int in : nodes_[static_cast<std::size_t>(id)].inputs) {
+      needed[static_cast<std::size_t>(in)] = true;
+    }
+  }
+  std::vector<int> order;
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    if (needed[i]) order.push_back(static_cast<int>(i));
+  }
+  return order;
+}
+
+std::vector<int> Graph::ancestors(int id) const {
+  std::vector<bool> anc(nodes_.size(), false);
+  std::vector<int> stack(nodes_.at(static_cast<std::size_t>(id)).inputs);
+  while (!stack.empty()) {
+    const int u = stack.back();
+    stack.pop_back();
+    if (anc[static_cast<std::size_t>(u)]) continue;
+    anc[static_cast<std::size_t>(u)] = true;
+    for (int in : nodes_[static_cast<std::size_t>(u)].inputs) stack.push_back(in);
+  }
+  std::vector<int> out;
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    if (anc[i]) out.push_back(static_cast<int>(i));
+  }
+  return out;
+}
+
+std::vector<int> Graph::source_ancestors(int id) const {
+  std::vector<int> out;
+  for (int a : ancestors(id)) {
+    if (nodes_[static_cast<std::size_t>(a)].kind == NodeKind::Source) {
+      out.push_back(a);
+    }
+  }
+  return out;
+}
+
+}  // namespace willump::core

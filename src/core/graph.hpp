@@ -1,0 +1,61 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "data/value.hpp"
+#include "ops/operator.hpp"
+
+namespace willump::core {
+
+enum class NodeKind { Source, Transform };
+
+/// One node of a transformation graph: a raw-input source or a feature
+/// transformation. Edges are represented by `inputs` (ids of producer nodes).
+struct Node {
+  int id = -1;
+  NodeKind kind = NodeKind::Source;
+  std::string name;
+  data::ColumnType source_type = data::ColumnType::Int;  // sources only
+  ops::OperatorPtr op;                                   // transforms only
+  std::vector<int> inputs;
+};
+
+/// Willump's internal representation of an ML inference pipeline (§3, §5.1):
+/// a DAG from raw-input sources to a single output node whose value (the
+/// full feature vector) feeds the model sink.
+///
+/// The paper constructs this graph by walking the Python AST of the user's
+/// inference function; in this C++ reproduction pipelines are constructed
+/// directly through this builder API, which yields the identical structure
+/// the analyses operate on (see DESIGN.md §1).
+class Graph {
+ public:
+  /// Add a raw-input source; `name` must match a `data::Batch` column name.
+  int add_source(std::string name, data::ColumnType type);
+
+  /// Add a transformation consuming previously added nodes.
+  int add_transform(std::string name, ops::OperatorPtr op, std::vector<int> inputs);
+
+  /// Designate the node producing the full feature vector (the model input).
+  void set_output(int id);
+  int output() const { return output_; }
+
+  const Node& node(int id) const { return nodes_.at(static_cast<std::size_t>(id)); }
+  std::size_t size() const { return nodes_.size(); }
+
+  /// Nodes needed to compute the output, in a valid execution order.
+  std::vector<int> execution_order() const;
+
+  /// All transitive ancestors of `id` (not including `id`).
+  std::vector<int> ancestors(int id) const;
+
+  /// Ids of all source nodes among the ancestors of `id`, ascending.
+  std::vector<int> source_ancestors(int id) const;
+
+ private:
+  std::vector<Node> nodes_;
+  int output_ = -1;
+};
+
+}  // namespace willump::core

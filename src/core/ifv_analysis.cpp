@@ -1,0 +1,141 @@
+#include "core/ifv_analysis.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace willump::core {
+
+namespace {
+
+bool is_commutative(const Graph& g, int id) {
+  const Node& n = g.node(id);
+  return n.kind == NodeKind::Transform && n.op->commutative();
+}
+
+}  // namespace
+
+std::size_t IfvAnalysis::total_cols() const {
+  return std::accumulate(block_cols.begin(), block_cols.end(), std::size_t{0});
+}
+
+std::vector<std::size_t> IfvAnalysis::columns_of(const std::vector<bool>& mask) const {
+  std::vector<std::size_t> cols;
+  for (std::size_t f = 0; f < generators.size(); ++f) {
+    if (f < mask.size() && !mask[f]) continue;
+    for (std::size_t c = 0; c < block_cols[f]; ++c) cols.push_back(col_begin[f] + c);
+  }
+  return cols;
+}
+
+IfvAnalysis analyze_ifvs(const Graph& g) {
+  IfvAnalysis out;
+  const int output = g.output();
+  if (output < 0) throw std::logic_error("analyze_ifvs: graph output not set");
+
+  // Descend the commutative region from the node closest to the model
+  // (paper §5.1). Collect the post-concat chain of single-input commutative
+  // nodes, then the concat node itself.
+  int cursor = output;
+  std::vector<int> post_chain_rev;
+  while (is_commutative(g, cursor) && g.node(cursor).inputs.size() == 1) {
+    post_chain_rev.push_back(cursor);
+    cursor = g.node(cursor).inputs[0];
+  }
+
+  std::vector<int> block_tops;  // direct IFV producers, in concat input order
+  if (is_commutative(g, cursor)) {
+    out.concat_node = cursor;
+    block_tops = g.node(cursor).inputs;
+  } else {
+    // Output is not commutative: the whole graph is one feature generator
+    // (no cascade decomposition possible, but execution still works).
+    if (!post_chain_rev.empty()) {
+      throw std::invalid_argument(
+          "analyze_ifvs: commutative chain ends in a non-commutative node");
+    }
+    block_tops = {cursor};
+  }
+  out.post_chain.assign(post_chain_rev.rbegin(), post_chain_rev.rend());
+
+  // Rule 1: descend per-block single-input commutative nodes to find each
+  // generator's root (the first non-commutative ancestor).
+  struct BlockInfo {
+    int top;
+    int root;
+    std::vector<int> chain;  // commutative nodes between root and concat
+  };
+  std::vector<BlockInfo> blocks;
+  for (int top : block_tops) {
+    BlockInfo b{top, top, {}};
+    int node = top;
+    std::vector<int> chain_rev;
+    while (is_commutative(g, node)) {
+      if (g.node(node).inputs.size() != 1) {
+        throw std::invalid_argument(
+            "analyze_ifvs: nested multi-input commutative nodes unsupported");
+      }
+      chain_rev.push_back(node);
+      node = g.node(node).inputs[0];
+    }
+    b.root = node;
+    b.chain.assign(chain_rev.rbegin(), chain_rev.rend());
+    blocks.push_back(std::move(b));
+  }
+
+  // Rules 2 and 3: classify every ancestor by how many generator roots it
+  // feeds. Count, for each node, the number of distinct roots it is an
+  // ancestor of.
+  std::vector<int> root_count(g.size(), 0);
+  for (const auto& b : blocks) {
+    std::vector<bool> seen(g.size(), false);
+    for (int a : g.ancestors(b.root)) seen[static_cast<std::size_t>(a)] = true;
+    for (std::size_t i = 0; i < g.size(); ++i) {
+      if (seen[i]) ++root_count[i];
+    }
+  }
+
+  // Preprocessing = transform nodes feeding multiple roots (rule 3).
+  for (std::size_t i = 0; i < g.size(); ++i) {
+    if (root_count[i] > 1 &&
+        g.node(static_cast<int>(i)).kind == NodeKind::Transform) {
+      out.preprocessing.push_back(static_cast<int>(i));
+    }
+  }
+
+  // Assemble generators (rule 2: exclusive ancestors join the generator).
+  for (const auto& b : blocks) {
+    FeatureGenerator fg;
+    fg.root = b.root;
+    fg.block_chain = b.chain;
+    fg.output_node = b.chain.empty() ? b.root : b.chain.back();
+
+    std::unordered_set<int> exclusive;
+    for (int a : g.ancestors(b.root)) {
+      if (root_count[static_cast<std::size_t>(a)] == 1) exclusive.insert(a);
+    }
+    // Execution order: ascending ids are a valid topological order.
+    std::vector<int> nodes;
+    for (int a : g.ancestors(b.root)) {
+      if (exclusive.count(a) != 0 &&
+          g.node(a).kind == NodeKind::Transform) {
+        nodes.push_back(a);
+      }
+      if (exclusive.count(a) != 0 && g.node(a).kind == NodeKind::Source) {
+        fg.exclusive_sources.push_back(a);
+      }
+    }
+    std::sort(nodes.begin(), nodes.end());
+    nodes.push_back(b.root);
+    for (int c : b.chain) nodes.push_back(c);
+    fg.nodes = std::move(nodes);
+    fg.key_sources = g.source_ancestors(b.root);
+    out.generators.push_back(std::move(fg));
+  }
+
+  return out;
+}
+
+}  // namespace willump::core

@@ -1,0 +1,74 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/graph.hpp"
+
+namespace willump::core {
+
+/// A feature generator: the disjoint subgraph computing one independent
+/// feature vector (IFV), per paper §4.1/§5.1.
+struct FeatureGenerator {
+  /// First non-commutative node found descending from the commutative region
+  /// (paper rule 1).
+  int root = -1;
+  /// Single-input commutative nodes sitting between `root` and the concat
+  /// node (e.g. a per-block scaler); executed as part of this generator,
+  /// in order from root outward.
+  std::vector<int> block_chain;
+  /// All nodes executed for this generator (exclusive ancestors of root,
+  /// then root, then block_chain), in execution order. Excludes sources and
+  /// preprocessing nodes.
+  std::vector<int> nodes;
+  /// Source nodes feeding this generator exclusively.
+  std::vector<int> exclusive_sources;
+  /// ALL source nodes this generator's output depends on (including those
+  /// reaching it through preprocessing nodes) — the cache key for the IFV's
+  /// feature-level cache (§4.5).
+  std::vector<int> key_sources;
+  /// Node whose output is this generator's IFV (top of block_chain, or root).
+  int output_node = -1;
+};
+
+/// Result of Willump's IFV-identification dataflow analysis (§5.1).
+///
+/// The analysis descends the commutative nodes from the model sink and
+/// applies the paper's three rules:
+///   1. a non-commutative ancestor of a commutative node roots a generator;
+///   2. an ancestor of exactly one generator root joins that generator;
+///   3. an ancestor of multiple generator roots is a preprocessing node,
+///      executed before any feature is computed.
+struct IfvAnalysis {
+  /// Generators in concatenation (column) order.
+  std::vector<FeatureGenerator> generators;
+  /// Preprocessing nodes (rule 3), in execution order; excludes sources.
+  std::vector<int> preprocessing;
+  /// The concatenation node joining the IFVs (commutative, multi-input);
+  /// -1 when the graph has a single generator and no concat.
+  int concat_node = -1;
+  /// Commutative single-input nodes between the concat node and the model
+  /// sink, in execution order (each must be ColumnSliceable for cascades to
+  /// evaluate IFV subsets through them).
+  std::vector<int> post_chain;
+
+  /// Column layout of the full concatenated feature matrix, filled in by a
+  /// probe execution (`Executors::probe_layout`): block widths and starting
+  /// offsets per generator.
+  std::vector<std::size_t> block_cols;
+  std::vector<std::size_t> col_begin;
+
+  std::size_t num_generators() const { return generators.size(); }
+  std::size_t total_cols() const;
+
+  /// Global column indices covered by the generators selected in `mask`.
+  std::vector<std::size_t> columns_of(const std::vector<bool>& mask) const;
+};
+
+/// Run the IFV-identification analysis on `g`. Throws std::invalid_argument
+/// if the graph's commutative region is not a chain-plus-concat shape (see
+/// DESIGN.md §4); falls back to a single whole-graph generator when the
+/// output node itself is not commutative.
+IfvAnalysis analyze_ifvs(const Graph& g);
+
+}  // namespace willump::core

@@ -1,0 +1,37 @@
+#include "core/importance.hpp"
+
+#include "models/gbdt.hpp"
+
+namespace willump::core {
+
+std::vector<double> feature_importances(const models::Model& model,
+                                        const data::FeatureMatrix& x,
+                                        std::span<const double> y) {
+  std::vector<double> imp = model.feature_importances();
+  if (!imp.empty()) return imp;
+
+  // GBDT proxy for models with no native importance measure (paper §4.2).
+  models::GbdtConfig cfg;
+  cfg.n_trees = 20;
+  cfg.max_depth = 4;
+  cfg.classification = model.is_classifier();
+  cfg.permutation_rows = 0;  // gain importances suffice for the proxy
+  models::Gbdt proxy(cfg);
+  proxy.fit(x, y);
+  return proxy.feature_importances();
+}
+
+std::vector<double> ifv_importances(const IfvAnalysis& analysis,
+                                    std::span<const double> per_feature) {
+  std::vector<double> out(analysis.generators.size(), 0.0);
+  for (std::size_t f = 0; f < analysis.generators.size(); ++f) {
+    const std::size_t begin = analysis.col_begin[f];
+    const std::size_t end = begin + analysis.block_cols[f];
+    for (std::size_t c = begin; c < end && c < per_feature.size(); ++c) {
+      out[f] += per_feature[c];
+    }
+  }
+  return out;
+}
+
+}  // namespace willump::core

@@ -1,0 +1,27 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/ifv_analysis.hpp"
+#include "models/model.hpp"
+
+namespace willump::core {
+
+/// Per-feature prediction importances for a trained model, following the
+/// paper's model-specific strategy (§4.2):
+///  - models with a native measure (linear: |w|*mean|x|; GBDT: permutation
+///    importances computed during construction) report it directly;
+///  - models without one (neural nets) fall back to a GBDT proxy trained on
+///    the same features, "similar to the common practice of using GBDT
+///    feature importances for feature selection".
+std::vector<double> feature_importances(const models::Model& model,
+                                        const data::FeatureMatrix& x,
+                                        std::span<const double> y);
+
+/// Aggregate per-feature importances into per-IFV importances: the
+/// prediction importance of an IFV is the sum over its features (§4.2).
+std::vector<double> ifv_importances(const IfvAnalysis& analysis,
+                                    std::span<const double> per_feature);
+
+}  // namespace willump::core

@@ -1,0 +1,102 @@
+#include "core/optimizer.hpp"
+
+#include <stdexcept>
+
+namespace willump::core {
+
+ExecOptions OptimizedPipeline::exec_options() const {
+  ExecOptions opts;
+  opts.cache = cache_.get();
+  opts.pool = pool_.get();
+  return opts;
+}
+
+std::vector<double> OptimizedPipeline::predict(const data::Batch& batch) const {
+  const ExecOptions opts = exec_options();
+  if (cascades_enabled()) {
+    return cascade_predict(*executor_, cascade_, batch, opts, &run_stats_);
+  }
+  return cascade_.full_model->predict(executor_->compute_matrix(batch, opts));
+}
+
+double OptimizedPipeline::predict_one(const data::Batch& row) const {
+  if (row.num_rows() != 1) {
+    throw std::invalid_argument("predict_one: expects a single-row batch");
+  }
+  return predict(row)[0];
+}
+
+std::vector<double> OptimizedPipeline::predict_full(const data::Batch& batch) const {
+  const ExecOptions opts = exec_options();
+  return cascade_.full_model->predict(executor_->compute_matrix(batch, opts));
+}
+
+std::vector<std::size_t> OptimizedPipeline::top_k(const data::Batch& batch,
+                                                  std::size_t k) const {
+  TopKPipeline pipeline(executor_, cascade_, topk_cfg_);
+  return pipeline.top_k(batch, k, exec_options(), &topk_stats_);
+}
+
+OptimizedPipeline WillumpOptimizer::optimize(const Pipeline& pipeline,
+                                             const LabeledData& train,
+                                             const LabeledData& valid,
+                                             const OptimizeOptions& opts) {
+  // Dataflow stage: infer the IFV structure of the transformation graph.
+  IfvAnalysis analysis = analyze_ifvs(pipeline.graph);
+
+  // Compilation stage: pick the engine. The interpreted engine is the
+  // unoptimized baseline; the compiled engine applies sorting + fusion +
+  // O(1) drivers (§5.2).
+  std::shared_ptr<Executor> executor;
+  if (opts.compile) {
+    executor = std::make_shared<CompiledExecutor>(pipeline.graph, std::move(analysis));
+  } else {
+    executor =
+        std::make_shared<InterpretedExecutor>(pipeline.graph, std::move(analysis));
+  }
+
+  // Record the feature-column layout (block widths per IFV).
+  std::vector<std::size_t> probe_rows;
+  const std::size_t probe_n = std::min<std::size_t>(train.inputs.num_rows(), 8);
+  for (std::size_t i = 0; i < probe_n; ++i) probe_rows.push_back(i);
+  executor->probe_layout(train.inputs.select_rows(probe_rows));
+
+  OptimizedPipeline out;
+
+  // Optimization stage.
+  const bool want_cascades = opts.cascades || opts.topk_filter;
+  if (want_cascades) {
+    // CascadeTrainer also trains the full model and measures costs.
+    out.cascade_ = CascadeTrainer::train(*executor, *pipeline.model_proto, train,
+                                         valid, opts.cascade_cfg);
+    // Cascades only short-circuit classification pipelines (§6.3); for
+    // regression the trained small model still serves as the top-K filter.
+    out.use_cascades_ = opts.cascades && pipeline.classification();
+  } else {
+    out.cascade_.full_model =
+        std::shared_ptr<models::Model>(pipeline.model_proto->clone_untrained());
+    out.cascade_.full_model->fit(executor->compute_matrix(train.inputs),
+                                 train.targets);
+    if (opts.parallel_threads > 1) {
+      // Static thread assignment needs measured generator costs (§5.2,
+      // Parallelization) even when no cascade was trained.
+      out.cascade_.stats.cost_seconds = measure_fg_costs(*executor, train.inputs);
+    }
+  }
+
+  executor->set_fg_costs(out.cascade_.stats.cost_seconds);
+
+  if (opts.feature_cache) {
+    out.cache_ = std::make_shared<FeatureCacheBank>(
+        executor->analysis().num_generators(), opts.cache_capacity);
+  }
+  if (opts.parallel_threads > 1) {
+    out.pool_ = std::make_shared<runtime::ThreadPool>(opts.parallel_threads - 1);
+  }
+
+  out.topk_cfg_ = opts.topk;
+  out.executor_ = std::move(executor);
+  return out;
+}
+
+}  // namespace willump::core

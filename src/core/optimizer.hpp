@@ -1,0 +1,95 @@
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "core/cascades.hpp"
+#include "core/topk.hpp"
+
+namespace willump::core {
+
+/// A user pipeline handed to Willump: a transformation graph plus an
+/// untrained model prototype (the paper's "functions from raw inputs to
+/// predictions"; see DESIGN.md on the builder-API substitution for the
+/// Python AST frontend).
+struct Pipeline {
+  Graph graph;
+  std::shared_ptr<models::Model> model_proto;
+
+  bool classification() const { return model_proto->is_classifier(); }
+};
+
+/// Which optimizations to apply — mirrors the paper's evaluated
+/// configurations (Python / Willump-compiled / +cascades / +caching /
+/// +parallelization).
+struct OptimizeOptions {
+  /// false = the unoptimized interpreted baseline ("Python").
+  bool compile = true;
+  /// Automatic end-to-end cascades (§4.2); classification pipelines only.
+  bool cascades = false;
+  CascadeConfig cascade_cfg;
+  /// Feature-level caching (§4.5). capacity 0 = unbounded.
+  bool feature_cache = false;
+  std::size_t cache_capacity = 0;
+  /// Per-input parallelization (§4.4).
+  std::size_t parallel_threads = 0;
+  /// Build the automatic top-K filter model (§4.3).
+  bool topk_filter = false;
+  TopKConfig topk;
+};
+
+/// The optimized pipeline Willump returns: same serving interface as the
+/// original ("the optimized pipeline ... has the same signature", §3) plus
+/// counters the evaluation reads.
+class OptimizedPipeline {
+ public:
+  /// Batch prediction (throughput-oriented; Figure 5).
+  std::vector<double> predict(const data::Batch& batch) const;
+
+  /// Example-at-a-time prediction (latency-oriented; Figure 6).
+  double predict_one(const data::Batch& row) const;
+
+  /// Top-K query (§4.3; Table 4).
+  std::vector<std::size_t> top_k(const data::Batch& batch, std::size_t k) const;
+
+  /// Full-model scores with no approximation (the "unoptimized query"
+  /// accuracy reference of Table 4).
+  std::vector<double> predict_full(const data::Batch& batch) const;
+
+  const Executor& executor() const { return *executor_; }
+  const TrainedCascade& cascade() const { return cascade_; }
+  bool cascades_enabled() const { return use_cascades_ && cascade_.enabled(); }
+  const models::Model& full_model() const { return *cascade_.full_model; }
+
+  FeatureCacheBank* cache() const { return cache_.get(); }
+  CascadeRunStats& run_stats() const { return run_stats_; }
+  TopKRunStats& topk_stats() const { return topk_stats_; }
+
+ private:
+  friend class WillumpOptimizer;
+
+  ExecOptions exec_options() const;
+
+  std::shared_ptr<const Executor> executor_;
+  TrainedCascade cascade_;  // full_model always set; small only if cascades
+  bool use_cascades_ = false;
+  TopKConfig topk_cfg_;
+  std::shared_ptr<FeatureCacheBank> cache_;
+  std::shared_ptr<runtime::ThreadPool> pool_;
+  mutable CascadeRunStats run_stats_;
+  mutable TopKRunStats topk_stats_;
+};
+
+/// Willump's entry point (§3): infer the transformation graph's IFV
+/// structure, apply the selected optimizations, train whatever models the
+/// optimizations need, and return an optimized pipeline.
+class WillumpOptimizer {
+ public:
+  static OptimizedPipeline optimize(const Pipeline& pipeline,
+                                    const LabeledData& train,
+                                    const LabeledData& valid,
+                                    const OptimizeOptions& opts);
+};
+
+}  // namespace willump::core

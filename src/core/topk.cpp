@@ -1,0 +1,53 @@
+#include "core/topk.hpp"
+
+#include <algorithm>
+
+#include "models/metrics.hpp"
+
+namespace willump::core {
+
+std::size_t TopKPipeline::subset_size(std::size_t k, std::size_t n) const {
+  const auto by_ck = static_cast<std::size_t>(cfg_.ck * static_cast<double>(k));
+  const auto by_frac =
+      static_cast<std::size_t>(cfg_.min_subset_frac * static_cast<double>(n));
+  return std::min(n, std::max({by_ck, by_frac, k}));
+}
+
+std::vector<std::size_t> TopKPipeline::top_k(const data::Batch& batch,
+                                             std::size_t k, const ExecOptions& opts,
+                                             TopKRunStats* stats) const {
+  const std::size_t n = batch.num_rows();
+
+  if (!has_filter()) {
+    // No filter model available: score everything with the full model.
+    const auto scores =
+        cascade_.full_model->predict(executor_->compute_matrix(batch, opts));
+    if (stats != nullptr) *stats = {n, n};
+    return models::top_k_indices(scores, k);
+  }
+
+  // Filter stage: the approximate pipeline (small model on efficient IFVs)
+  // scores every element of the batch.
+  ExecOptions eff_opts = opts;
+  eff_opts.fg_mask = cascade_.efficient_mask;
+  const auto filter_scores = cascade_.small_model->predict(
+      executor_->compute_matrix(batch, eff_opts));
+
+  // Keep the top max(ck*K, 5%*N) candidates...
+  const std::size_t subset = subset_size(k, n);
+  auto candidates = models::top_k_indices(filter_scores, subset);
+  if (stats != nullptr) *stats = {n, subset};
+
+  // ...and re-rank only those with the full pipeline.
+  const data::Batch sub_batch = batch.select_rows(candidates);
+  const auto full_scores =
+      cascade_.full_model->predict(executor_->compute_matrix(sub_batch, opts));
+  const auto local_top = models::top_k_indices(full_scores, k);
+
+  std::vector<std::size_t> out;
+  out.reserve(local_top.size());
+  for (std::size_t i : local_top) out.push_back(candidates[i]);
+  return out;
+}
+
+}  // namespace willump::core

@@ -1,0 +1,54 @@
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "core/cascades.hpp"
+
+namespace willump::core {
+
+/// Top-K filter-model settings (§4.3).
+struct TopKConfig {
+  /// Subset multiplier: the filter passes ck * K candidates to the full
+  /// model ("like prior manually constructed retrieval models, we choose a
+  /// (user-tunable) default ck = 10").
+  double ck = 10.0;
+  /// Minimum subset size as a fraction of the input batch ("a (user-tunable)
+  /// minimum subset size of 5% of the input set size").
+  double min_subset_frac = 0.05;
+};
+
+/// Serving-time counters for one top-K query.
+struct TopKRunStats {
+  std::size_t batch_size = 0;
+  std::size_t subset_size = 0;
+};
+
+/// A compiled top-K query plan: an automatically constructed filter model
+/// (built exactly like a cascade's small model, §4.3) scores the whole
+/// batch; the full model re-ranks only the top-scoring subset.
+class TopKPipeline {
+ public:
+  TopKPipeline(std::shared_ptr<const Executor> executor, TrainedCascade cascade,
+               TopKConfig cfg)
+      : executor_(std::move(executor)), cascade_(std::move(cascade)), cfg_(cfg) {}
+
+  /// Indices (into `batch`) of the predicted top K, best first.
+  std::vector<std::size_t> top_k(const data::Batch& batch, std::size_t k,
+                                 const ExecOptions& opts = {},
+                                 TopKRunStats* stats = nullptr) const;
+
+  /// The subset size rule: max(ck*K, min_subset_frac*N), clamped to N.
+  std::size_t subset_size(std::size_t k, std::size_t n) const;
+
+  bool has_filter() const { return cascade_.enabled(); }
+  const TrainedCascade& cascade() const { return cascade_; }
+
+ private:
+  std::shared_ptr<const Executor> executor_;
+  TrainedCascade cascade_;
+  TopKConfig cfg_;
+};
+
+}  // namespace willump::core

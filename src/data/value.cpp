@@ -1,0 +1,71 @@
+#include "data/value.hpp"
+
+#include <stdexcept>
+
+namespace willump::data {
+
+std::size_t Column::size() const {
+  return std::visit([](const auto& v) { return v.size(); }, v_);
+}
+
+Column Column::select_rows(std::span<const std::size_t> idx) const {
+  return std::visit(
+      [&](const auto& v) -> Column {
+        std::decay_t<decltype(v)> out;
+        out.reserve(idx.size());
+        for (std::size_t i : idx) out.push_back(v[i]);
+        return Column(std::move(out));
+      },
+      v_);
+}
+
+std::size_t Value::size() const {
+  if (is_column()) return column().size();
+  if (is_features()) return features().rows();
+  return 0;
+}
+
+Value Value::select_rows(std::span<const std::size_t> idx) const {
+  if (is_column()) return Value(column().select_rows(idx));
+  if (is_features()) return Value(features().select_rows(idx));
+  return {};
+}
+
+void Batch::add(std::string name, Column col) {
+  if (!cols_.empty() && col.size() != cols_.front().size()) {
+    throw std::invalid_argument("Batch::add: column length mismatch for " + name);
+  }
+  names_.push_back(std::move(name));
+  cols_.push_back(std::move(col));
+}
+
+const Column& Batch::get(const std::string& name) const {
+  for (std::size_t i = 0; i < names_.size(); ++i) {
+    if (names_[i] == name) return cols_[i];
+  }
+  throw std::out_of_range("Batch::get: no column named " + name);
+}
+
+bool Batch::has(const std::string& name) const {
+  for (const auto& n : names_) {
+    if (n == name) return true;
+  }
+  return false;
+}
+
+std::size_t Batch::num_rows() const { return cols_.empty() ? 0 : cols_.front().size(); }
+
+Batch Batch::select_rows(std::span<const std::size_t> idx) const {
+  Batch out;
+  for (std::size_t i = 0; i < names_.size(); ++i) {
+    out.add(names_[i], cols_[i].select_rows(idx));
+  }
+  return out;
+}
+
+Batch Batch::row(std::size_t r) const {
+  const std::size_t idx[1] = {r};
+  return select_rows(idx);
+}
+
+}  // namespace willump::data

@@ -1,0 +1,96 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "data/matrix.hpp"
+
+namespace willump::data {
+
+/// A typed column of raw input data flowing along a transformation-graph edge.
+///
+/// Graph sources produce columns (one entry per example in the batch);
+/// transforms consume columns and produce either new columns or feature
+/// blocks (`FeatureMatrix`).
+using IntColumn = std::vector<std::int64_t>;
+using DoubleColumn = std::vector<double>;
+using StringColumn = std::vector<std::string>;
+
+enum class ColumnType { Int, Double, String };
+
+class Column {
+ public:
+  Column() = default;
+  Column(IntColumn v) : v_(std::move(v)) {}     // NOLINT(implicit)
+  Column(DoubleColumn v) : v_(std::move(v)) {}  // NOLINT(implicit)
+  Column(StringColumn v) : v_(std::move(v)) {}  // NOLINT(implicit)
+
+  ColumnType type() const {
+    if (std::holds_alternative<IntColumn>(v_)) return ColumnType::Int;
+    if (std::holds_alternative<DoubleColumn>(v_)) return ColumnType::Double;
+    return ColumnType::String;
+  }
+
+  std::size_t size() const;
+
+  const IntColumn& ints() const { return std::get<IntColumn>(v_); }
+  const DoubleColumn& doubles() const { return std::get<DoubleColumn>(v_); }
+  const StringColumn& strings() const { return std::get<StringColumn>(v_); }
+
+  Column select_rows(std::span<const std::size_t> idx) const;
+
+ private:
+  std::variant<IntColumn, DoubleColumn, StringColumn> v_;
+};
+
+/// The value materialized on a graph edge: nothing, a raw column, or a
+/// computed feature block.
+class Value {
+ public:
+  Value() = default;
+  Value(Column c) : v_(std::move(c)) {}         // NOLINT(implicit)
+  Value(FeatureMatrix m) : v_(std::move(m)) {}  // NOLINT(implicit)
+
+  bool empty() const { return std::holds_alternative<std::monostate>(v_); }
+  bool is_column() const { return std::holds_alternative<Column>(v_); }
+  bool is_features() const { return std::holds_alternative<FeatureMatrix>(v_); }
+
+  const Column& column() const { return std::get<Column>(v_); }
+  const FeatureMatrix& features() const { return std::get<FeatureMatrix>(v_); }
+
+  /// Number of examples represented (rows of the column / matrix).
+  std::size_t size() const;
+
+  Value select_rows(std::span<const std::size_t> idx) const;
+
+ private:
+  std::variant<std::monostate, Column, FeatureMatrix> v_;
+};
+
+/// A named batch of raw input columns — what a serving request carries.
+class Batch {
+ public:
+  Batch() = default;
+
+  void add(std::string name, Column col);
+  const Column& get(const std::string& name) const;
+  bool has(const std::string& name) const;
+
+  std::size_t num_rows() const;
+  std::size_t num_columns() const { return names_.size(); }
+  const std::vector<std::string>& names() const { return names_; }
+
+  /// Gather a subset of rows from every column.
+  Batch select_rows(std::span<const std::size_t> idx) const;
+
+  /// Single-row slice (example-at-a-time serving).
+  Batch row(std::size_t r) const;
+
+ private:
+  std::vector<std::string> names_;
+  std::vector<Column> cols_;
+};
+
+}  // namespace willump::data

@@ -1,0 +1,117 @@
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace willump::data {
+
+/// A dense feature row: a thin owning wrapper over contiguous doubles.
+class DenseVector {
+ public:
+  DenseVector() = default;
+  explicit DenseVector(std::size_t dim, double fill = 0.0) : v_(dim, fill) {}
+  explicit DenseVector(std::vector<double> v) : v_(std::move(v)) {}
+  DenseVector(std::initializer_list<double> init) : v_(init) {}
+
+  std::size_t dim() const { return v_.size(); }
+  double operator[](std::size_t i) const { return v_[i]; }
+  double& operator[](std::size_t i) { return v_[i]; }
+
+  std::span<const double> values() const { return v_; }
+  std::vector<double>& mutable_values() { return v_; }
+
+  void push_back(double x) { v_.push_back(x); }
+
+  /// Append another dense vector (feature-vector concatenation).
+  void concat(const DenseVector& other) {
+    v_.insert(v_.end(), other.v_.begin(), other.v_.end());
+  }
+
+  bool operator==(const DenseVector&) const = default;
+
+ private:
+  std::vector<double> v_;
+};
+
+/// One nonzero of a sparse row.
+struct SparseEntry {
+  std::int32_t index = 0;
+  double value = 0.0;
+  bool operator==(const SparseEntry&) const = default;
+};
+
+/// A sparse feature row with a fixed dimensionality.
+/// Entries are kept sorted by index; duplicate indices are not allowed.
+class SparseVector {
+ public:
+  SparseVector() = default;
+  explicit SparseVector(std::int32_t dim) : dim_(dim) {}
+  SparseVector(std::int32_t dim, std::vector<SparseEntry> entries)
+      : dim_(dim), entries_(std::move(entries)) {}
+
+  std::int32_t dim() const { return dim_; }
+  std::size_t nnz() const { return entries_.size(); }
+  std::span<const SparseEntry> entries() const { return entries_; }
+
+  /// Append a nonzero; `index` must be strictly greater than the last one.
+  void push_back(std::int32_t index, double value) {
+    entries_.push_back({index, value});
+  }
+
+  /// Value at `index` (linear in nnz; intended for tests).
+  double at(std::int32_t index) const {
+    for (const auto& e : entries_) {
+      if (e.index == index) return e.value;
+    }
+    return 0.0;
+  }
+
+  /// Concatenate: `other`'s indices are shifted by this->dim().
+  void concat(const SparseVector& other) {
+    for (const auto& e : other.entries_) {
+      entries_.push_back({e.index + dim_, e.value});
+    }
+    dim_ += other.dim_;
+  }
+
+  /// L2 norm of the nonzeros.
+  double l2_norm() const;
+
+  /// Scale all nonzeros in place.
+  void scale(double s) {
+    for (auto& e : entries_) e.value *= s;
+  }
+
+  bool operator==(const SparseVector&) const = default;
+
+ private:
+  std::int32_t dim_ = 0;
+  std::vector<SparseEntry> entries_;
+};
+
+inline double SparseVector::l2_norm() const {
+  double acc = 0.0;
+  for (const auto& e : entries_) acc += e.value * e.value;
+  return acc > 0.0 ? std::sqrt(acc) : 0.0;
+}
+
+/// Dot product of a sparse row with a dense weight vector.
+inline double dot(const SparseVector& x, std::span<const double> w) {
+  double acc = 0.0;
+  for (const auto& e : x.entries()) {
+    acc += e.value * w[static_cast<std::size_t>(e.index)];
+  }
+  return acc;
+}
+
+/// Dot product of two dense spans.
+inline double dot(std::span<const double> a, std::span<const double> b) {
+  double acc = 0.0;
+  const std::size_t n = a.size() < b.size() ? a.size() : b.size();
+  for (std::size_t i = 0; i < n; ++i) acc += a[i] * b[i];
+  return acc;
+}
+
+}  // namespace willump::data

@@ -1,0 +1,317 @@
+#include "models/gbdt.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/rng.hpp"
+
+namespace willump::models {
+
+namespace {
+
+double sigmoid(double z) { return 1.0 / (1.0 + std::exp(-z)); }
+
+/// Per-feature histogram bin edges built from (sampled) training quantiles.
+struct Binner {
+  // edges[f] has at most n_bins-1 ascending thresholds; bin = upper_bound.
+  std::vector<std::vector<double>> edges;
+
+  static Binner build(const data::DenseMatrix& x, int n_bins, common::Rng& rng) {
+    Binner b;
+    const std::size_t n = x.rows();
+    const std::size_t d = x.cols();
+    b.edges.resize(d);
+    const std::size_t sample_n = std::min<std::size_t>(n, 4000);
+    auto sample_idx = rng.permutation(n);
+    sample_idx.resize(sample_n);
+    std::vector<double> col;
+    col.reserve(sample_n);
+    for (std::size_t f = 0; f < d; ++f) {
+      col.clear();
+      for (std::size_t i : sample_idx) col.push_back(x(i, f));
+      std::sort(col.begin(), col.end());
+      auto& e = b.edges[f];
+      for (int q = 1; q < n_bins; ++q) {
+        const std::size_t pos =
+            std::min(sample_n - 1, sample_n * static_cast<std::size_t>(q) /
+                                       static_cast<std::size_t>(n_bins));
+        const double v = col[pos];
+        if (e.empty() || v > e.back()) e.push_back(v);
+      }
+      if (e.empty()) e.push_back(col.empty() ? 0.0 : col[0]);
+    }
+    return b;
+  }
+
+  std::uint8_t bin_of(std::size_t f, double v) const {
+    const auto& e = edges[f];
+    const auto it = std::upper_bound(e.begin(), e.end(), v);
+    return static_cast<std::uint8_t>(it - e.begin());
+  }
+
+  /// Raw threshold value corresponding to "bin <= b" for feature f.
+  double threshold_of(std::size_t f, int b) const { return edges[f][static_cast<std::size_t>(b)]; }
+
+  int bins_of(std::size_t f) const { return static_cast<int>(edges[f].size()) + 1; }
+};
+
+struct HistBin {
+  double grad = 0.0;
+  double hess = 0.0;
+  std::int32_t count = 0;
+};
+
+struct SplitDecision {
+  double gain = 0.0;
+  std::int32_t feature = -1;
+  int bin = -1;  // go left when binned value <= bin
+  double grad_left = 0.0, hess_left = 0.0;
+  std::int32_t count_left = 0;
+};
+
+}  // namespace
+
+double Tree::predict_row(std::span<const double> row) const {
+  std::int32_t node = 0;
+  while (nodes_[static_cast<std::size_t>(node)].feature >= 0) {
+    const auto& nd = nodes_[static_cast<std::size_t>(node)];
+    node = row[static_cast<std::size_t>(nd.feature)] <= nd.threshold ? nd.left
+                                                                     : nd.right;
+  }
+  return nodes_[static_cast<std::size_t>(node)].value;
+}
+
+void Gbdt::fit(const data::FeatureMatrix& xin, std::span<const double> y) {
+  // GBDT consumes dense tabular features; densify sparse inputs.
+  const data::DenseMatrix x = xin.is_dense() ? xin.dense() : xin.sparse().to_dense();
+  const std::size_t n = x.rows();
+  const std::size_t d = x.cols();
+  trees_.clear();
+  gain_importance_.assign(d, 0.0);
+  perm_importance_.assign(d, 0.0);
+
+  common::Rng rng(cfg_.seed);
+  const Binner binner = Binner::build(x, cfg_.n_bins, rng);
+
+  // Pre-bin all columns (column-major uint8 codes).
+  std::vector<std::vector<std::uint8_t>> codes(d, std::vector<std::uint8_t>(n));
+  for (std::size_t f = 0; f < d; ++f) {
+    for (std::size_t r = 0; r < n; ++r) codes[f][r] = binner.bin_of(f, x(r, f));
+  }
+
+  // Initial margin.
+  double mean_y = 0.0;
+  for (double v : y) mean_y += v;
+  mean_y /= std::max<std::size_t>(n, 1);
+  if (cfg_.classification) {
+    const double p = std::clamp(mean_y, 1e-6, 1.0 - 1e-6);
+    base_score_ = std::log(p / (1.0 - p));
+  } else {
+    base_score_ = mean_y;
+  }
+
+  std::vector<double> margin(n, base_score_);
+  std::vector<double> grad(n), hess(n);
+  std::vector<std::size_t> all_rows(n);
+  for (std::size_t i = 0; i < n; ++i) all_rows[i] = i;
+
+  for (int t = 0; t < cfg_.n_trees; ++t) {
+    // Gradients/hessians of the loss at the current margin.
+    for (std::size_t i = 0; i < n; ++i) {
+      if (cfg_.classification) {
+        const double p = sigmoid(margin[i]);
+        grad[i] = p - y[i];
+        hess[i] = std::max(p * (1.0 - p), 1e-6);
+      } else {
+        grad[i] = margin[i] - y[i];
+        hess[i] = 1.0;
+      }
+    }
+
+    std::vector<std::size_t> rows;
+    if (cfg_.subsample < 1.0) {
+      rows.reserve(static_cast<std::size_t>(static_cast<double>(n) * cfg_.subsample));
+      for (std::size_t i = 0; i < n; ++i) {
+        if (rng.next_double() < cfg_.subsample) rows.push_back(i);
+      }
+      if (rows.empty()) rows = all_rows;
+    } else {
+      rows = all_rows;
+    }
+
+    Tree tree;
+    auto& nodes = tree.nodes();
+    nodes.push_back({});
+
+    // Frontier of (node index, rows) pairs grown breadth-first.
+    struct Work {
+      std::int32_t node;
+      std::vector<std::size_t> rows;
+      int depth;
+    };
+    std::vector<Work> frontier;
+    frontier.push_back({0, std::move(rows), 0});
+
+    while (!frontier.empty()) {
+      Work w = std::move(frontier.back());
+      frontier.pop_back();
+
+      double gsum = 0.0, hsum = 0.0;
+      for (std::size_t r : w.rows) {
+        gsum += grad[r];
+        hsum += hess[r];
+      }
+      const double leaf_value = -gsum / (hsum + cfg_.lambda);
+
+      auto make_leaf = [&]() {
+        nodes[static_cast<std::size_t>(w.node)].feature = -1;
+        nodes[static_cast<std::size_t>(w.node)].value =
+            cfg_.learning_rate * leaf_value;
+      };
+
+      if (w.depth >= cfg_.max_depth ||
+          w.rows.size() < 2 * static_cast<std::size_t>(cfg_.min_samples_leaf)) {
+        make_leaf();
+        continue;
+      }
+
+      // Histogram split search over all features.
+      SplitDecision best;
+      const double parent_score = gsum * gsum / (hsum + cfg_.lambda);
+      std::vector<HistBin> hist;
+      for (std::size_t f = 0; f < d; ++f) {
+        const int nb = binner.bins_of(f);
+        hist.assign(static_cast<std::size_t>(nb), {});
+        const auto& code_f = codes[f];
+        for (std::size_t r : w.rows) {
+          auto& hb = hist[code_f[r]];
+          hb.grad += grad[r];
+          hb.hess += hess[r];
+          ++hb.count;
+        }
+        double gl = 0.0, hl = 0.0;
+        std::int32_t cl = 0;
+        for (int b = 0; b + 1 < nb; ++b) {
+          gl += hist[static_cast<std::size_t>(b)].grad;
+          hl += hist[static_cast<std::size_t>(b)].hess;
+          cl += hist[static_cast<std::size_t>(b)].count;
+          const std::int32_t cr = static_cast<std::int32_t>(w.rows.size()) - cl;
+          if (cl < cfg_.min_samples_leaf || cr < cfg_.min_samples_leaf) continue;
+          const double gr = gsum - gl;
+          const double hr = hsum - hl;
+          const double gain = gl * gl / (hl + cfg_.lambda) +
+                              gr * gr / (hr + cfg_.lambda) - parent_score;
+          if (gain > best.gain) {
+            best = {gain, static_cast<std::int32_t>(f), b, gl, hl, cl};
+          }
+        }
+      }
+
+      if (best.feature < 0 || best.gain < 1e-9) {
+        make_leaf();
+        continue;
+      }
+
+      gain_importance_[static_cast<std::size_t>(best.feature)] += best.gain;
+
+      // Partition rows by the chosen split.
+      std::vector<std::size_t> left_rows, right_rows;
+      left_rows.reserve(static_cast<std::size_t>(best.count_left));
+      right_rows.reserve(w.rows.size() - static_cast<std::size_t>(best.count_left));
+      const auto& code_f = codes[static_cast<std::size_t>(best.feature)];
+      for (std::size_t r : w.rows) {
+        if (code_f[r] <= best.bin) {
+          left_rows.push_back(r);
+        } else {
+          right_rows.push_back(r);
+        }
+      }
+
+      const std::int32_t left_id = static_cast<std::int32_t>(nodes.size());
+      const std::int32_t right_id = left_id + 1;
+      nodes.push_back({});
+      nodes.push_back({});
+      // Note: take the reference only after both push_backs (reallocation).
+      TreeNode& nd = nodes[static_cast<std::size_t>(w.node)];
+      nd.feature = best.feature;
+      nd.threshold =
+          binner.threshold_of(static_cast<std::size_t>(best.feature), best.bin);
+      nd.left = left_id;
+      nd.right = right_id;
+      frontier.push_back({left_id, std::move(left_rows), w.depth + 1});
+      frontier.push_back({right_id, std::move(right_rows), w.depth + 1});
+    }
+
+    // Update margins with the new tree.
+    for (std::size_t i = 0; i < n; ++i) {
+      margin[i] += tree.predict_row(x.row(i));
+    }
+    trees_.push_back(std::move(tree));
+  }
+
+  if (cfg_.permutation_rows > 0) {
+    compute_permutation_importance(x, y);
+  } else {
+    perm_importance_ = gain_importance_;
+  }
+}
+
+double Gbdt::predict_margin_row(std::span<const double> row) const {
+  double m = base_score_;
+  for (const auto& t : trees_) m += t.predict_row(row);
+  return m;
+}
+
+std::vector<double> Gbdt::predict(const data::FeatureMatrix& xin) const {
+  const data::DenseMatrix x = xin.is_dense() ? xin.dense() : xin.sparse().to_dense();
+  std::vector<double> out(x.rows());
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    const double m = predict_margin_row(x.row(r));
+    out[r] = cfg_.classification ? sigmoid(m) : m;
+  }
+  return out;
+}
+
+void Gbdt::compute_permutation_importance(const data::DenseMatrix& x,
+                                          std::span<const double> y) {
+  common::Rng rng(cfg_.seed + 1);
+  const std::size_t n = std::min(x.rows(), cfg_.permutation_rows);
+  auto sample = rng.permutation(x.rows());
+  sample.resize(n);
+
+  auto loss_of = [&](const data::DenseMatrix& m) {
+    double loss = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double margin = predict_margin_row(m.row(i));
+      const double target = y[sample[i]];
+      if (cfg_.classification) {
+        const double p = std::clamp(sigmoid(margin), 1e-9, 1.0 - 1e-9);
+        loss += -(target * std::log(p) + (1.0 - target) * std::log(1.0 - p));
+      } else {
+        loss += (margin - target) * (margin - target);
+      }
+    }
+    return loss / static_cast<double>(n);
+  };
+
+  data::DenseMatrix sub = x.select_rows(sample);
+  const double base_loss = loss_of(sub);
+
+  std::vector<double> saved(n);
+  auto perm = rng.permutation(n);
+  for (std::size_t f = 0; f < x.cols(); ++f) {
+    for (std::size_t i = 0; i < n; ++i) saved[i] = sub(i, f);
+    rng.shuffle(perm);
+    for (std::size_t i = 0; i < n; ++i) sub(i, f) = saved[perm[i]];
+    perm_importance_[f] = std::max(0.0, loss_of(sub) - base_loss);
+    for (std::size_t i = 0; i < n; ++i) sub(i, f) = saved[i];
+  }
+}
+
+std::vector<double> Gbdt::feature_importances() const {
+  if (cfg_.permutation_rows > 0) return perm_importance_;
+  return gain_importance_;
+}
+
+}  // namespace willump::models

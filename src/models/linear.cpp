@@ -1,0 +1,109 @@
+#include "models/linear.hpp"
+
+#include <cmath>
+
+#include "common/rng.hpp"
+
+namespace willump::models {
+
+double LogisticRegression::link(double margin) const {
+  return 1.0 / (1.0 + std::exp(-margin));
+}
+
+double LinearModelBase::margin_dense(std::span<const double> row) const {
+  double acc = b_;
+  for (std::size_t i = 0; i < row.size(); ++i) acc += row[i] * w_[i];
+  return acc;
+}
+
+double LinearModelBase::margin_sparse(const data::CsrMatrix::RowView& row) const {
+  double acc = b_;
+  for (std::size_t k = 0; k < row.nnz(); ++k) {
+    acc += row.values[k] * w_[static_cast<std::size_t>(row.indices[k])];
+  }
+  return acc;
+}
+
+void LinearModelBase::fit(const data::FeatureMatrix& x, std::span<const double> y) {
+  const std::size_t n = x.rows();
+  const std::size_t d = x.cols();
+  w_.assign(d, 0.0);
+  b_ = 0.0;
+  mean_abs_.assign(d, 0.0);
+
+  // Record mean |x_i| for the paper's linear importance definition.
+  if (x.is_dense()) {
+    const auto& m = x.dense();
+    for (std::size_t r = 0; r < n; ++r) {
+      auto row = m.row(r);
+      for (std::size_t c = 0; c < d; ++c) mean_abs_[c] += std::abs(row[c]);
+    }
+  } else {
+    const auto& m = x.sparse();
+    for (std::size_t r = 0; r < n; ++r) {
+      auto row = m.row(r);
+      for (std::size_t k = 0; k < row.nnz(); ++k) {
+        mean_abs_[static_cast<std::size_t>(row.indices[k])] += std::abs(row.values[k]);
+      }
+    }
+  }
+  if (n > 0) {
+    for (auto& v : mean_abs_) v /= static_cast<double>(n);
+  }
+
+  std::vector<double> g2(d, 1e-8);  // Adagrad accumulators
+  double g2b = 1e-8;
+  common::Rng rng(cfg_.seed);
+
+  for (int epoch = 0; epoch < cfg_.epochs; ++epoch) {
+    auto order = rng.permutation(n);
+    for (std::size_t r : order) {
+      if (x.is_dense()) {
+        auto row = x.dense().row(r);
+        const double g = gradient(margin_dense(row), y[r]);
+        for (std::size_t c = 0; c < d; ++c) {
+          const double gi = g * row[c] + cfg_.l2 * w_[c];
+          g2[c] += gi * gi;
+          w_[c] -= cfg_.learning_rate * gi / std::sqrt(g2[c]);
+        }
+        g2b += g * g;
+        b_ -= cfg_.learning_rate * g / std::sqrt(g2b);
+      } else {
+        auto row = x.sparse().row(r);
+        const double g = gradient(margin_sparse(row), y[r]);
+        for (std::size_t k = 0; k < row.nnz(); ++k) {
+          const auto c = static_cast<std::size_t>(row.indices[k]);
+          const double gi = g * row.values[k] + cfg_.l2 * w_[c];
+          g2[c] += gi * gi;
+          w_[c] -= cfg_.learning_rate * gi / std::sqrt(g2[c]);
+        }
+        g2b += g * g;
+        b_ -= cfg_.learning_rate * g / std::sqrt(g2b);
+      }
+    }
+  }
+}
+
+std::vector<double> LinearModelBase::predict(const data::FeatureMatrix& x) const {
+  std::vector<double> out(x.rows());
+  if (x.is_dense()) {
+    for (std::size_t r = 0; r < x.rows(); ++r) {
+      out[r] = link(margin_dense(x.dense().row(r)));
+    }
+  } else {
+    for (std::size_t r = 0; r < x.rows(); ++r) {
+      out[r] = link(margin_sparse(x.sparse().row(r)));
+    }
+  }
+  return out;
+}
+
+std::vector<double> LinearModelBase::feature_importances() const {
+  std::vector<double> imp(w_.size());
+  for (std::size_t i = 0; i < w_.size(); ++i) {
+    imp[i] = std::abs(w_[i]) * mean_abs_[i];
+  }
+  return imp;
+}
+
+}  // namespace willump::models

@@ -1,0 +1,78 @@
+#pragma once
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "models/model.hpp"
+
+namespace willump::models {
+
+/// Hyperparameters shared by the linear model family.
+struct LinearConfig {
+  int epochs = 12;
+  double learning_rate = 0.2;   // Adagrad base step
+  double l2 = 1e-6;             // L2 regularization strength
+  std::uint64_t seed = 7;       // shuffling seed
+};
+
+/// Generalized linear model trained with Adagrad SGD.
+///
+/// Supports dense and CSR feature matrices (sparse training touches only
+/// nonzero coordinates). Serves as the paper's "Linear" model family for the
+/// Product and Toxic benchmarks. Feature importances are |w_i| * mean|x_i|,
+/// exactly the paper's definition for linear models (§4.2).
+class LinearModelBase : public Model {
+ public:
+  explicit LinearModelBase(LinearConfig cfg) : cfg_(cfg) {}
+
+  void fit(const data::FeatureMatrix& x, std::span<const double> y) override;
+  std::vector<double> predict(const data::FeatureMatrix& x) const override;
+  std::vector<double> feature_importances() const override;
+
+  std::span<const double> weights() const { return w_; }
+  double bias() const { return b_; }
+
+ protected:
+  /// Link function applied to the raw margin (identity or sigmoid).
+  virtual double link(double margin) const = 0;
+  /// d(loss)/d(margin) for one example: prediction - target for both
+  /// squared loss with identity link and log loss with sigmoid link.
+  double gradient(double margin, double target) const { return link(margin) - target; }
+
+  double margin_dense(std::span<const double> row) const;
+  double margin_sparse(const data::CsrMatrix::RowView& row) const;
+
+  LinearConfig cfg_;
+  std::vector<double> w_;
+  double b_ = 0.0;
+  std::vector<double> mean_abs_;  // mean |x_i| recorded at fit time
+};
+
+class LogisticRegression final : public LinearModelBase {
+ public:
+  explicit LogisticRegression(LinearConfig cfg = {}) : LinearModelBase(cfg) {}
+  bool is_classifier() const override { return true; }
+  std::unique_ptr<Model> clone_untrained() const override {
+    return std::make_unique<LogisticRegression>(cfg_);
+  }
+  std::string name() const override { return "logistic_regression"; }
+
+ protected:
+  double link(double margin) const override;
+};
+
+class LinearRegression final : public LinearModelBase {
+ public:
+  explicit LinearRegression(LinearConfig cfg = {}) : LinearModelBase(cfg) {}
+  bool is_classifier() const override { return false; }
+  std::unique_ptr<Model> clone_untrained() const override {
+    return std::make_unique<LinearRegression>(cfg_);
+  }
+  std::string name() const override { return "linear_regression"; }
+
+ protected:
+  double link(double margin) const override { return margin; }
+};
+
+}  // namespace willump::models

@@ -1,0 +1,121 @@
+#include "models/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <unordered_set>
+
+#include "common/stats.hpp"
+
+namespace willump::models {
+
+double accuracy(std::span<const double> probas, std::span<const double> labels) {
+  if (probas.empty()) return 0.0;
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < probas.size(); ++i) {
+    const double pred = probas[i] > 0.5 ? 1.0 : 0.0;
+    if (pred == labels[i]) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(probas.size());
+}
+
+double mse(std::span<const double> preds, std::span<const double> targets) {
+  if (preds.empty()) return 0.0;
+  double acc = 0.0;
+  for (std::size_t i = 0; i < preds.size(); ++i) {
+    const double d = preds[i] - targets[i];
+    acc += d * d;
+  }
+  return acc / static_cast<double>(preds.size());
+}
+
+double r2(std::span<const double> preds, std::span<const double> targets) {
+  if (preds.size() < 2) return 0.0;
+  const double m = common::mean(targets);
+  double ss_res = 0.0, ss_tot = 0.0;
+  for (std::size_t i = 0; i < preds.size(); ++i) {
+    ss_res += (targets[i] - preds[i]) * (targets[i] - preds[i]);
+    ss_tot += (targets[i] - m) * (targets[i] - m);
+  }
+  if (ss_tot == 0.0) return 0.0;
+  return 1.0 - ss_res / ss_tot;
+}
+
+double auc(std::span<const double> scores, std::span<const double> labels) {
+  std::vector<std::size_t> order(scores.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t a, std::size_t b) { return scores[a] < scores[b]; });
+  // Rank-sum (Mann-Whitney U) with midranks for ties.
+  std::vector<double> ranks(scores.size());
+  std::size_t i = 0;
+  while (i < order.size()) {
+    std::size_t j = i;
+    while (j + 1 < order.size() && scores[order[j + 1]] == scores[order[i]]) ++j;
+    const double midrank = (static_cast<double>(i) + static_cast<double>(j)) / 2.0 + 1.0;
+    for (std::size_t k = i; k <= j; ++k) ranks[order[k]] = midrank;
+    i = j + 1;
+  }
+  double rank_sum_pos = 0.0;
+  std::size_t n_pos = 0;
+  for (std::size_t k = 0; k < labels.size(); ++k) {
+    if (labels[k] > 0.5) {
+      rank_sum_pos += ranks[k];
+      ++n_pos;
+    }
+  }
+  const std::size_t n_neg = labels.size() - n_pos;
+  if (n_pos == 0 || n_neg == 0) return 0.5;
+  const double u = rank_sum_pos - static_cast<double>(n_pos) *
+                                      (static_cast<double>(n_pos) + 1.0) / 2.0;
+  return u / (static_cast<double>(n_pos) * static_cast<double>(n_neg));
+}
+
+std::vector<std::size_t> top_k_indices(std::span<const double> scores, std::size_t k) {
+  k = std::min(k, scores.size());
+  std::vector<std::size_t> idx(scores.size());
+  std::iota(idx.begin(), idx.end(), std::size_t{0});
+  std::partial_sort(idx.begin(), idx.begin() + static_cast<std::ptrdiff_t>(k), idx.end(),
+                    [&](std::size_t a, std::size_t b) {
+                      if (scores[a] != scores[b]) return scores[a] > scores[b];
+                      return a < b;
+                    });
+  idx.resize(k);
+  return idx;
+}
+
+double precision_at_k(std::span<const std::size_t> predicted,
+                      std::span<const std::size_t> truth) {
+  if (predicted.empty()) return 0.0;
+  std::unordered_set<std::size_t> truth_set(truth.begin(), truth.end());
+  std::size_t hits = 0;
+  for (std::size_t p : predicted) {
+    if (truth_set.count(p) != 0) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(predicted.size());
+}
+
+double mean_average_precision(std::span<const std::size_t> predicted,
+                              std::span<const std::size_t> truth) {
+  if (predicted.empty() || truth.empty()) return 0.0;
+  std::unordered_set<std::size_t> truth_set(truth.begin(), truth.end());
+  double ap = 0.0;
+  std::size_t hits = 0;
+  for (std::size_t i = 0; i < predicted.size(); ++i) {
+    if (truth_set.count(predicted[i]) != 0) {
+      ++hits;
+      ap += static_cast<double>(hits) / static_cast<double>(i + 1);
+    }
+  }
+  return ap / static_cast<double>(truth.size());
+}
+
+double average_value(std::span<const std::size_t> predicted,
+                     std::span<const double> true_scores) {
+  if (predicted.empty()) return 0.0;
+  double acc = 0.0;
+  for (std::size_t p : predicted) acc += true_scores[p];
+  return acc / static_cast<double>(predicted.size());
+}
+
+}  // namespace willump::models

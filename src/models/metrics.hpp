@@ -1,0 +1,38 @@
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace willump::models {
+
+/// Classification accuracy of probabilistic predictions vs {0,1} labels.
+double accuracy(std::span<const double> probas, std::span<const double> labels);
+
+/// Mean squared error.
+double mse(std::span<const double> preds, std::span<const double> targets);
+
+/// Coefficient of determination (R^2); can be negative for bad fits.
+double r2(std::span<const double> preds, std::span<const double> targets);
+
+/// Area under the ROC curve via rank statistic. Returns 0.5 when degenerate.
+double auc(std::span<const double> scores, std::span<const double> labels);
+
+/// Indices of the K highest-scoring elements, best first (stable on ties by
+/// lower index). K is clamped to the input size.
+std::vector<std::size_t> top_k_indices(std::span<const double> scores, std::size_t k);
+
+/// Precision of `predicted` top-K vs `truth` top-K: |intersection| / K.
+double precision_at_k(std::span<const std::size_t> predicted,
+                      std::span<const std::size_t> truth);
+
+/// Mean average precision of a predicted ranking against a truth set
+/// (the paper's "mAP relative to the unoptimized query", Table 4).
+double mean_average_precision(std::span<const std::size_t> predicted,
+                              std::span<const std::size_t> truth);
+
+/// Mean of true scores over a predicted top-K (the paper's "average value").
+double average_value(std::span<const std::size_t> predicted,
+                     std::span<const double> true_scores);
+
+}  // namespace willump::models

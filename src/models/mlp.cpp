@@ -1,0 +1,150 @@
+#include "models/mlp.hpp"
+
+#include <cmath>
+
+#include "common/rng.hpp"
+
+namespace willump::models {
+
+namespace {
+
+/// Adam state for one parameter tensor.
+struct Adam {
+  std::vector<double> m, v;
+  double beta1 = 0.9, beta2 = 0.999, eps = 1e-8;
+  int t = 0;
+
+  explicit Adam(std::size_t n) : m(n, 0.0), v(n, 0.0) {}
+
+  void step_begin() { ++t; }
+
+  double update(std::size_t i, double g, double lr) {
+    m[i] = beta1 * m[i] + (1 - beta1) * g;
+    v[i] = beta2 * v[i] + (1 - beta2) * g * g;
+    const double mh = m[i] / (1 - std::pow(beta1, t));
+    const double vh = v[i] / (1 - std::pow(beta2, t));
+    return lr * mh / (std::sqrt(vh) + eps);
+  }
+};
+
+}  // namespace
+
+double Mlp::output_of(double z) const {
+  return cfg_.classification ? 1.0 / (1.0 + std::exp(-z)) : z;
+}
+
+double Mlp::forward_dense(std::span<const double> row,
+                          std::vector<double>& h) const {
+  const auto hidden = static_cast<std::size_t>(cfg_.hidden);
+  h.assign(hidden, 0.0);
+  for (std::size_t j = 0; j < hidden; ++j) {
+    double acc = b1_[j];
+    const double* wrow = w1_.data() + j * in_dim_;
+    for (std::size_t i = 0; i < row.size(); ++i) acc += wrow[i] * row[i];
+    h[j] = acc > 0.0 ? acc : 0.0;
+  }
+  double z = b2_;
+  for (std::size_t j = 0; j < hidden; ++j) z += w2_[j] * h[j];
+  return z;
+}
+
+double Mlp::forward_sparse(const data::CsrMatrix::RowView& row,
+                           std::vector<double>& h) const {
+  const auto hidden = static_cast<std::size_t>(cfg_.hidden);
+  h.assign(hidden, 0.0);
+  for (std::size_t j = 0; j < hidden; ++j) {
+    double acc = b1_[j];
+    const double* wrow = w1_.data() + j * in_dim_;
+    for (std::size_t k = 0; k < row.nnz(); ++k) {
+      acc += wrow[static_cast<std::size_t>(row.indices[k])] * row.values[k];
+    }
+    h[j] = acc > 0.0 ? acc : 0.0;
+  }
+  double z = b2_;
+  for (std::size_t j = 0; j < hidden; ++j) z += w2_[j] * h[j];
+  return z;
+}
+
+void Mlp::fit(const data::FeatureMatrix& x, std::span<const double> y) {
+  const std::size_t n = x.rows();
+  in_dim_ = x.cols();
+  const auto hidden = static_cast<std::size_t>(cfg_.hidden);
+
+  common::Rng rng(cfg_.seed);
+  const double scale = std::sqrt(2.0 / static_cast<double>(in_dim_ + 1));
+  w1_.assign(hidden * in_dim_, 0.0);
+  for (auto& w : w1_) w = rng.next_gaussian() * scale;
+  b1_.assign(hidden, 0.0);
+  w2_.assign(hidden, 0.0);
+  for (auto& w : w2_) w = rng.next_gaussian() * std::sqrt(2.0 / static_cast<double>(hidden));
+  b2_ = 0.0;
+
+  Adam opt_w1(w1_.size()), opt_b1(b1_.size()), opt_w2(w2_.size()), opt_b2(1);
+
+  std::vector<double> h;
+  std::vector<double> dh(hidden);
+
+  for (int epoch = 0; epoch < cfg_.epochs; ++epoch) {
+    auto order = rng.permutation(n);
+    for (std::size_t r : order) {
+      double z;
+      data::CsrMatrix::RowView srow{};
+      std::span<const double> drow;
+      const bool dense = x.is_dense();
+      if (dense) {
+        drow = x.dense().row(r);
+        z = forward_dense(drow, h);
+      } else {
+        srow = x.sparse().row(r);
+        z = forward_sparse(srow, h);
+      }
+      const double pred = output_of(z);
+      // d(loss)/dz is (pred - y) for both squared loss (identity output,
+      // up to a factor of 2 folded into the learning rate) and log loss.
+      const double dz = pred - y[r];
+
+      opt_w1.step_begin();
+      opt_b1.step_begin();
+      opt_w2.step_begin();
+      opt_b2.step_begin();
+
+      for (std::size_t j = 0; j < hidden; ++j) {
+        dh[j] = h[j] > 0.0 ? dz * w2_[j] : 0.0;
+        const double gw2 = dz * h[j] + cfg_.l2 * w2_[j];
+        w2_[j] -= opt_w2.update(j, gw2, cfg_.learning_rate);
+      }
+      b2_ -= opt_b2.update(0, dz, cfg_.learning_rate);
+
+      for (std::size_t j = 0; j < hidden; ++j) {
+        if (dh[j] == 0.0) continue;
+        double* wrow = w1_.data() + j * in_dim_;
+        if (dense) {
+          for (std::size_t i = 0; i < drow.size(); ++i) {
+            const double g = dh[j] * drow[i] + cfg_.l2 * wrow[i];
+            wrow[i] -= opt_w1.update(j * in_dim_ + i, g, cfg_.learning_rate);
+          }
+        } else {
+          for (std::size_t k = 0; k < srow.nnz(); ++k) {
+            const auto i = static_cast<std::size_t>(srow.indices[k]);
+            const double g = dh[j] * srow.values[k] + cfg_.l2 * wrow[i];
+            wrow[i] -= opt_w1.update(j * in_dim_ + i, g, cfg_.learning_rate);
+          }
+        }
+        b1_[j] -= opt_b1.update(j, dh[j], cfg_.learning_rate);
+      }
+    }
+  }
+}
+
+std::vector<double> Mlp::predict(const data::FeatureMatrix& x) const {
+  std::vector<double> out(x.rows());
+  std::vector<double> h;
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    const double z = x.is_dense() ? forward_dense(x.dense().row(r), h)
+                                  : forward_sparse(x.sparse().row(r), h);
+    out[r] = output_of(z);
+  }
+  return out;
+}
+
+}  // namespace willump::models

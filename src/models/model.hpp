@@ -1,0 +1,53 @@
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "data/matrix.hpp"
+
+namespace willump::models {
+
+/// Abstract trainable model over feature matrices.
+///
+/// Classifiers return P(class = 1) from `predict`; the predicted label is
+/// `p > 0.5` and the confidence used by Willump's cascades is max(p, 1-p).
+/// Regressors return the raw score. Every model exposes per-feature
+/// prediction importances, which Willump's cascade optimizer aggregates into
+/// per-IFV importances (paper §4.2, stage 1).
+class Model {
+ public:
+  virtual ~Model() = default;
+
+  /// Train on `x` with targets `y` (labels in {0,1} for classifiers).
+  virtual void fit(const data::FeatureMatrix& x, std::span<const double> y) = 0;
+
+  /// Per-row probability (classifier) or score (regressor).
+  virtual std::vector<double> predict(const data::FeatureMatrix& x) const = 0;
+
+  /// Whether `predict` returns probabilities of the positive class.
+  virtual bool is_classifier() const = 0;
+
+  /// Per-feature prediction importances (same length as training columns).
+  ///
+  /// Strategy follows the paper: linear models report |w_i| * mean|x_i|;
+  /// ensembles report importances computed during construction; models with
+  /// no native notion (the MLP) report none and callers fall back to a
+  /// GBDT proxy (see core::Importance).
+  virtual std::vector<double> feature_importances() const = 0;
+
+  /// Untrained copy with identical hyperparameters (used to train the small
+  /// model of a cascade from the same model family).
+  virtual std::unique_ptr<Model> clone_untrained() const = 0;
+
+  virtual std::string name() const = 0;
+};
+
+/// Binary prediction threshold shared across the library.
+inline double predicted_label(double proba) { return proba > 0.5 ? 1.0 : 0.0; }
+
+/// Confidence of a binary probabilistic prediction: max(p, 1-p).
+inline double confidence(double proba) { return proba > 0.5 ? proba : 1.0 - proba; }
+
+}  // namespace willump::models

@@ -1,0 +1,18 @@
+#pragma once
+
+#include "ops/operator.hpp"
+
+namespace willump::ops {
+
+/// Horizontal concatenation of feature blocks — the canonical commutative
+/// node of every transformation graph (Figure 1's "Feature Concatenation").
+/// Willump's IFV identification starts its descent from the model through
+/// nodes like this one (§5.1).
+class ConcatOp final : public Operator {
+ public:
+  std::string name() const override { return "concat"; }
+  data::Value eval_batch(std::span<const data::Value> inputs) const override;
+  bool commutative() const override { return true; }
+};
+
+}  // namespace willump::ops

@@ -1,0 +1,27 @@
+#include "ops/lookup.hpp"
+
+#include <stdexcept>
+
+namespace willump::ops {
+
+data::Value TableLookupOp::eval_batch(std::span<const data::Value> inputs) const {
+  if (inputs.size() != 1 || !inputs[0].is_column() ||
+      inputs[0].column().type() != data::ColumnType::Int) {
+    throw std::invalid_argument(name() + ": expects one int key column");
+  }
+  const auto& keys = inputs[0].column().ints();
+
+  std::vector<const data::DenseVector*> rows;
+  client_->get_batch(keys, rows);
+
+  const std::size_t dim = client_->table().feature_dim();
+  data::DenseMatrix out(keys.size(), dim);
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    auto src = rows[r]->values();
+    auto dst = out.mutable_row(r);
+    std::copy(src.begin(), src.end(), dst.begin());
+  }
+  return data::Value(data::FeatureMatrix(std::move(out)));
+}
+
+}  // namespace willump::ops

@@ -1,0 +1,36 @@
+#pragma once
+
+#include <memory>
+
+#include "ops/operator.hpp"
+#include "store/kv_store.hpp"
+
+namespace willump::ops {
+
+/// Fetch per-entity feature rows for an integer key column from a feature
+/// table (local or simulated-remote) — the paper's "remote data lookup /
+/// data join" operator family (Music, Credit, Tracking; Table 1).
+///
+/// All keys of one batch are fetched in a single pipelined round trip,
+/// matching the paper's asynchronous Redis queries (§6.3). The op is NOT
+/// compilable: it is external I/O ("Willump does not compile RPC
+/// processing"), so it never joins a fused block and its cost dominates when
+/// the table is remote.
+class TableLookupOp final : public Operator {
+ public:
+  explicit TableLookupOp(std::shared_ptr<store::TableClient> client)
+      : client_(std::move(client)) {}
+
+  std::string name() const override {
+    return "lookup_" + client_->table().name();
+  }
+  data::Value eval_batch(std::span<const data::Value> inputs) const override;
+  bool compilable() const override { return false; }
+
+  const store::TableClient& client() const { return *client_; }
+
+ private:
+  std::shared_ptr<store::TableClient> client_;
+};
+
+}  // namespace willump::ops

@@ -1,0 +1,61 @@
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string>
+#include <string_view>
+
+#include "data/value.hpp"
+
+namespace willump::ops {
+
+/// A feature transformation: the payload of a transformation-graph node.
+///
+/// Operators are pure batch kernels over columnar `data::Value`s. Three
+/// properties drive Willump's analyses (paper §5.1):
+///  - `commutative()`: the op commutes with feature-vector concatenation
+///    (concatenation itself, per-feature scaling, ...). The IFV-identification
+///    rules descend through commutative nodes from the model sink.
+///  - `compilable()`: the op can be compiled into a fused block (the Weld
+///    analog). Non-compilable ops (remote table lookups — "RPC processing",
+///    §6.3) execute outside fused blocks and cannot be parallelized per-input.
+///  - `is_string_map()`: element-wise string→string ops that the compiled
+///    executor fuses into a single pass (loop fusion).
+class Operator {
+ public:
+  virtual ~Operator() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Compute the output for a batch of inputs (one Value per graph input
+  /// edge, all with equal row counts).
+  virtual data::Value eval_batch(std::span<const data::Value> inputs) const = 0;
+
+  virtual bool commutative() const { return false; }
+  virtual bool compilable() const { return true; }
+  virtual bool is_string_map() const { return false; }
+
+  /// For string-map ops only: transform one element (used by fused blocks).
+  virtual std::string map_string(std::string_view s) const {
+    (void)s;
+    return {};
+  }
+};
+
+using OperatorPtr = std::shared_ptr<const Operator>;
+
+/// Mixin for commutative ops whose parameters are per-feature so they can be
+/// applied to a column subset of the concatenated feature matrix (needed when
+/// cascades evaluate only the efficient IFVs through a post-concatenation
+/// commutative chain).
+class ColumnSliceable {
+ public:
+  virtual ~ColumnSliceable() = default;
+
+  /// Apply the op to `m`, whose local column j corresponds to global feature
+  /// column `global_cols[j]` of the full concatenated layout.
+  virtual data::FeatureMatrix apply_columns(
+      const data::FeatureMatrix& m, std::span<const std::size_t> global_cols) const = 0;
+};
+
+}  // namespace willump::ops

@@ -1,0 +1,77 @@
+#include "ops/scale.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace willump::ops {
+
+ScaleOp ScaleOp::standardize(const data::FeatureMatrix& train) {
+  if (!train.is_dense()) {
+    throw std::invalid_argument("ScaleOp::standardize: dense input required");
+  }
+  const auto& m = train.dense();
+  const std::size_t n = m.rows();
+  const std::size_t d = m.cols();
+  std::vector<double> mean(d, 0.0), var(d, 0.0);
+  for (std::size_t r = 0; r < n; ++r) {
+    auto row = m.row(r);
+    for (std::size_t c = 0; c < d; ++c) mean[c] += row[c];
+  }
+  for (auto& v : mean) v /= std::max<std::size_t>(n, 1);
+  for (std::size_t r = 0; r < n; ++r) {
+    auto row = m.row(r);
+    for (std::size_t c = 0; c < d; ++c) {
+      var[c] += (row[c] - mean[c]) * (row[c] - mean[c]);
+    }
+  }
+  std::vector<double> scale(d, 1.0);
+  for (std::size_t c = 0; c < d; ++c) {
+    const double sd = std::sqrt(var[c] / std::max<std::size_t>(n, 1));
+    scale[c] = sd > 1e-12 ? 1.0 / sd : 1.0;
+  }
+  return ScaleOp(std::move(scale), std::move(mean));
+}
+
+data::Value ScaleOp::eval_batch(std::span<const data::Value> inputs) const {
+  if (inputs.size() != 1 || !inputs[0].is_features()) {
+    throw std::invalid_argument("scale: expects one feature matrix");
+  }
+  std::vector<std::size_t> all(dim());
+  for (std::size_t i = 0; i < all.size(); ++i) all[i] = i;
+  return data::Value(apply_columns(inputs[0].features(), all));
+}
+
+data::FeatureMatrix ScaleOp::apply_columns(
+    const data::FeatureMatrix& m, std::span<const std::size_t> global_cols) const {
+  if (m.cols() != global_cols.size()) {
+    throw std::invalid_argument("scale: column mapping size mismatch");
+  }
+  if (m.is_dense()) {
+    data::DenseMatrix out = m.dense();
+    for (std::size_t r = 0; r < out.rows(); ++r) {
+      auto row = out.mutable_row(r);
+      for (std::size_t c = 0; c < row.size(); ++c) {
+        const std::size_t g = global_cols[c];
+        row[c] = (row[c] - offset_[g]) * scale_[g];
+      }
+    }
+    return data::FeatureMatrix(std::move(out));
+  }
+  // Sparse: scaling only (offsets would densify; sparse pipelines fit
+  // offset = 0, which standardize() does not produce for sparse inputs).
+  const auto& in = m.sparse();
+  data::CsrMatrix out(in.cols());
+  std::vector<data::SparseEntry> entries;
+  for (std::size_t r = 0; r < in.rows(); ++r) {
+    auto rv = in.row(r);
+    entries.clear();
+    for (std::size_t k = 0; k < rv.nnz(); ++k) {
+      const std::size_t g = global_cols[static_cast<std::size_t>(rv.indices[k])];
+      entries.push_back({rv.indices[k], rv.values[k] * scale_[g]});
+    }
+    out.append_row(entries);
+  }
+  return data::FeatureMatrix(std::move(out));
+}
+
+}  // namespace willump::ops

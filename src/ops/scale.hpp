@@ -1,0 +1,39 @@
+#pragma once
+
+#include <vector>
+
+#include "ops/operator.hpp"
+
+namespace willump::ops {
+
+/// Per-feature affine scaling of a feature matrix: x -> (x - offset) * scale.
+///
+/// Commutes with concatenation (scaling columns independently is the same
+/// before or after concat), so it can sit between the concat node and the
+/// model; the IFV analysis descends through it (§5.1). It is also
+/// column-sliceable so cascades can apply it to just the efficient IFVs'
+/// columns.
+class ScaleOp final : public Operator, public ColumnSliceable {
+ public:
+  ScaleOp(std::vector<double> scale, std::vector<double> offset)
+      : scale_(std::move(scale)), offset_(std::move(offset)) {}
+
+  /// Standard-scaler parameters fitted from a training feature matrix.
+  static ScaleOp standardize(const data::FeatureMatrix& train);
+
+  std::string name() const override { return "scale"; }
+  data::Value eval_batch(std::span<const data::Value> inputs) const override;
+  bool commutative() const override { return true; }
+
+  data::FeatureMatrix apply_columns(
+      const data::FeatureMatrix& m,
+      std::span<const std::size_t> global_cols) const override;
+
+  std::size_t dim() const { return scale_.size(); }
+
+ private:
+  std::vector<double> scale_;
+  std::vector<double> offset_;
+};
+
+}  // namespace willump::ops

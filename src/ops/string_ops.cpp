@@ -1,0 +1,88 @@
+#include "ops/string_ops.hpp"
+
+#include <cctype>
+#include <stdexcept>
+#include <unordered_set>
+
+#include "common/string_util.hpp"
+
+namespace willump::ops {
+
+namespace {
+
+const data::StringColumn& string_input(std::span<const data::Value> inputs,
+                                       const char* who) {
+  if (inputs.size() != 1 || !inputs[0].is_column() ||
+      inputs[0].column().type() != data::ColumnType::String) {
+    throw std::invalid_argument(std::string(who) + ": expects one string column");
+  }
+  return inputs[0].column().strings();
+}
+
+}  // namespace
+
+data::Value LowercaseOp::eval_batch(std::span<const data::Value> inputs) const {
+  const auto& in = string_input(inputs, "lowercase");
+  data::StringColumn out;
+  out.reserve(in.size());
+  for (const auto& s : in) out.push_back(common::to_lower(s));
+  return data::Value(data::Column(std::move(out)));
+}
+
+std::string LowercaseOp::map_string(std::string_view s) const {
+  return common::to_lower(s);
+}
+
+data::Value StripPunctOp::eval_batch(std::span<const data::Value> inputs) const {
+  const auto& in = string_input(inputs, "strip_punct");
+  data::StringColumn out;
+  out.reserve(in.size());
+  for (const auto& s : in) out.push_back(common::strip_punct(s));
+  return data::Value(data::Column(std::move(out)));
+}
+
+std::string StripPunctOp::map_string(std::string_view s) const {
+  return common::strip_punct(s);
+}
+
+void StringStatsOp::features_of(std::string_view s, std::span<double> out) {
+  const auto words = common::split_ws(s);
+  double total_word_len = 0.0;
+  std::unordered_set<std::string_view> unique(words.begin(), words.end());
+  for (auto w : words) total_word_len += static_cast<double>(w.size());
+  const double n_words = static_cast<double>(words.size());
+  out[0] = static_cast<double>(s.size());
+  out[1] = n_words;
+  out[2] = n_words > 0 ? total_word_len / n_words : 0.0;
+  out[3] = common::upper_ratio(s);
+  out[4] = common::digit_ratio(s);
+  out[5] = n_words > 0 ? static_cast<double>(unique.size()) / n_words : 0.0;
+}
+
+data::Value StringStatsOp::eval_batch(std::span<const data::Value> inputs) const {
+  const auto& in = string_input(inputs, "string_stats");
+  data::DenseMatrix out(in.size(), kNumFeatures);
+  for (std::size_t r = 0; r < in.size(); ++r) {
+    features_of(in[r], out.mutable_row(r));
+  }
+  return data::Value(data::FeatureMatrix(std::move(out)));
+}
+
+data::Value KeywordCountOp::eval_batch(std::span<const data::Value> inputs) const {
+  const auto& in = string_input(inputs, "keyword_count");
+  data::DenseMatrix out(in.size(), num_features());
+  for (std::size_t r = 0; r < in.size(); ++r) {
+    auto row = out.mutable_row(r);
+    double total = 0.0;
+    for (std::size_t k = 0; k < keywords_.size(); ++k) {
+      const double c =
+          static_cast<double>(common::count_occurrences(in[r], keywords_[k]));
+      row[k] = c;
+      total += c;
+    }
+    row[keywords_.size()] = total;
+  }
+  return data::Value(data::FeatureMatrix(std::move(out)));
+}
+
+}  // namespace willump::ops

@@ -1,0 +1,61 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ops/operator.hpp"
+
+namespace willump::ops {
+
+/// Element-wise ASCII lowercasing (string map; fusable).
+class LowercaseOp final : public Operator {
+ public:
+  std::string name() const override { return "lowercase"; }
+  data::Value eval_batch(std::span<const data::Value> inputs) const override;
+  bool is_string_map() const override { return true; }
+  std::string map_string(std::string_view s) const override;
+};
+
+/// Element-wise punctuation stripping (string map; fusable).
+class StripPunctOp final : public Operator {
+ public:
+  std::string name() const override { return "strip_punct"; }
+  data::Value eval_batch(std::span<const data::Value> inputs) const override;
+  bool is_string_map() const override { return true; }
+  std::string map_string(std::string_view s) const override;
+};
+
+/// Cheap per-string summary features: length, word count, mean word length,
+/// uppercase ratio, digit ratio, unique-word ratio. The classic "efficient
+/// IFV" for the Product benchmark (the approximate model can often classify
+/// titles from these alone).
+class StringStatsOp final : public Operator {
+ public:
+  static constexpr std::size_t kNumFeatures = 6;
+
+  std::string name() const override { return "string_stats"; }
+  data::Value eval_batch(std::span<const data::Value> inputs) const override;
+
+  /// Compute the feature row for one string (used by tests and fused paths).
+  static void features_of(std::string_view s, std::span<double> out);
+};
+
+/// Counts occurrences of each keyword from a fixed list, plus a total count.
+/// Models the paper's toxic-comment example: "the presence of curse words
+/// quickly classifies some inputs as toxic" (§1).
+class KeywordCountOp final : public Operator {
+ public:
+  explicit KeywordCountOp(std::vector<std::string> keywords)
+      : keywords_(std::move(keywords)) {}
+
+  std::string name() const override { return "keyword_count"; }
+  data::Value eval_batch(std::span<const data::Value> inputs) const override;
+
+  std::size_t num_features() const { return keywords_.size() + 1; }
+  const std::vector<std::string>& keywords() const { return keywords_; }
+
+ private:
+  std::vector<std::string> keywords_;
+};
+
+}  // namespace willump::ops

@@ -1,0 +1,104 @@
+#include "ops/tfidf.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace willump::ops {
+
+TfIdfModel TfIdfModel::fit(const data::StringColumn& corpus, TfIdfConfig cfg) {
+  TfIdfModel m;
+  m.cfg_ = cfg;
+
+  // Document frequencies over the corpus.
+  std::unordered_map<std::string, std::int32_t> df;
+  std::unordered_map<std::string, std::int32_t> seen_doc;  // term -> last doc id
+  std::int32_t doc_id = 0;
+  for (const auto& doc : corpus) {
+    for_each_ngram(doc, cfg.analyzer, cfg.ngrams, [&](std::string_view g) {
+      auto [it, inserted] = seen_doc.try_emplace(std::string(g), doc_id);
+      if (inserted || it->second != doc_id) {
+        it->second = doc_id;
+        ++df[it->first];
+      }
+    });
+    ++doc_id;
+  }
+
+  // Rank terms by document frequency (stable by term for determinism) and
+  // keep the top max_features above min_df.
+  std::vector<std::pair<std::string, std::int32_t>> ranked(df.begin(), df.end());
+  std::erase_if(ranked, [&](const auto& p) { return p.second < cfg.min_df; });
+  std::sort(ranked.begin(), ranked.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  });
+  if (cfg.max_features > 0 &&
+      ranked.size() > static_cast<std::size_t>(cfg.max_features)) {
+    ranked.resize(static_cast<std::size_t>(cfg.max_features));
+  }
+
+  const double n_docs = static_cast<double>(corpus.size());
+  m.vocab_.reserve(ranked.size());
+  m.idf_.reserve(ranked.size());
+  for (const auto& [term, dfreq] : ranked) {
+    m.vocab_.emplace(term, static_cast<std::int32_t>(m.idf_.size()));
+    // Smoothed IDF, scikit-learn formulation.
+    const double idf =
+        cfg.use_idf
+            ? std::log((1.0 + n_docs) / (1.0 + static_cast<double>(dfreq))) + 1.0
+            : 1.0;
+    m.idf_.push_back(idf);
+  }
+  m.dim_ = static_cast<std::int32_t>(m.idf_.size());
+  return m;
+}
+
+std::int32_t TfIdfModel::term_index(const std::string& term) const {
+  auto it = vocab_.find(term);
+  return it == vocab_.end() ? -1 : it->second;
+}
+
+data::SparseVector TfIdfModel::transform_one(std::string_view doc) const {
+  // Accumulate term counts into a small flat map (vocab hits only).
+  std::unordered_map<std::int32_t, double> counts;
+  for_each_ngram(doc, cfg_.analyzer, cfg_.ngrams, [&](std::string_view g) {
+    // Transparent lookup via temporary string; acceptable since fitting
+    // dominates and serving strings are short.
+    auto it = vocab_.find(std::string(g));
+    if (it != vocab_.end()) counts[it->second] += 1.0;
+  });
+
+  std::vector<data::SparseEntry> entries;
+  entries.reserve(counts.size());
+  for (const auto& [idx, c] : counts) {
+    double tf = cfg_.sublinear_tf ? 1.0 + std::log(c) : c;
+    entries.push_back({idx, tf * idf_[static_cast<std::size_t>(idx)]});
+  }
+  std::sort(entries.begin(), entries.end(),
+            [](const auto& a, const auto& b) { return a.index < b.index; });
+
+  data::SparseVector v(dim_, std::move(entries));
+  if (cfg_.l2_normalize) {
+    const double norm = v.l2_norm();
+    if (norm > 0.0) v.scale(1.0 / norm);
+  }
+  return v;
+}
+
+data::CsrMatrix TfIdfModel::transform(const data::StringColumn& docs) const {
+  data::CsrMatrix out(dim_);
+  for (const auto& doc : docs) out.append_row(transform_one(doc));
+  return out;
+}
+
+data::Value TfIdfOp::eval_batch(std::span<const data::Value> inputs) const {
+  if (inputs.size() != 1 || !inputs[0].is_column() ||
+      inputs[0].column().type() != data::ColumnType::String) {
+    throw std::invalid_argument("tfidf: expects one string column");
+  }
+  return data::Value(
+      data::FeatureMatrix(model_->transform(inputs[0].column().strings())));
+}
+
+}  // namespace willump::ops

@@ -1,0 +1,72 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "data/matrix.hpp"
+#include "data/value.hpp"
+#include "ops/operator.hpp"
+#include "ops/tokenizer.hpp"
+
+namespace willump::ops {
+
+/// TF-IDF vectorizer settings (scikit-learn-compatible subset).
+struct TfIdfConfig {
+  Analyzer analyzer = Analyzer::Word;
+  NgramRange ngrams{1, 1};
+  int max_features = 4000;  // keep the most frequent terms
+  int min_df = 2;           // drop terms in fewer documents
+  bool use_idf = true;
+  bool sublinear_tf = false;  // 1 + log(tf)
+  bool l2_normalize = true;
+};
+
+/// Fitted TF-IDF state: vocabulary plus smoothed IDF weights.
+///
+/// Fitting happens at training time; the graph node (`TfIdfOp`) holds a
+/// shared immutable `TfIdfModel`, matching the paper's assumption that the
+/// same feature pipeline runs at train and serve time (§4.2).
+class TfIdfModel {
+ public:
+  static TfIdfModel fit(const data::StringColumn& corpus, TfIdfConfig cfg);
+
+  /// Transform one document into a sorted sparse row.
+  data::SparseVector transform_one(std::string_view doc) const;
+
+  /// Transform a column of documents into a CSR block.
+  data::CsrMatrix transform(const data::StringColumn& docs) const;
+
+  std::int32_t vocabulary_size() const { return dim_; }
+  const TfIdfConfig& config() const { return cfg_; }
+
+  /// Term index, or -1 if out of vocabulary.
+  std::int32_t term_index(const std::string& term) const;
+
+ private:
+  TfIdfConfig cfg_;
+  std::int32_t dim_ = 0;
+  std::unordered_map<std::string, std::int32_t> vocab_;
+  std::vector<double> idf_;
+};
+
+/// Graph node applying a fitted TF-IDF model to a string column.
+/// Compilable (the paper compiles TF-IDF through parameterized Weld
+/// templates, §5.2) but not a string map (output is a feature block).
+class TfIdfOp final : public Operator {
+ public:
+  explicit TfIdfOp(std::shared_ptr<const TfIdfModel> model, std::string label = "tfidf")
+      : model_(std::move(model)), label_(std::move(label)) {}
+
+  std::string name() const override { return label_; }
+  data::Value eval_batch(std::span<const data::Value> inputs) const override;
+
+  const TfIdfModel& model() const { return *model_; }
+
+ private:
+  std::shared_ptr<const TfIdfModel> model_;
+  std::string label_;
+};
+
+}  // namespace willump::ops

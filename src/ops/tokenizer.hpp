@@ -1,0 +1,32 @@
+#pragma once
+
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace willump::ops {
+
+/// Analyzer families for text vectorization, mirroring the paper's
+/// "several different tokenizers, n-gram ranges, and norms" (§5.2).
+enum class Analyzer { Word, Char };
+
+/// N-gram extraction settings.
+struct NgramRange {
+  int min_n = 1;
+  int max_n = 1;
+};
+
+/// Emit every n-gram of `s` under (analyzer, range) to `sink`.
+///
+/// Word analyzer: whitespace tokens joined by a single space.
+/// Char analyzer: sliding character windows (including spaces, as in
+/// scikit-learn's `analyzer='char'`).
+void for_each_ngram(std::string_view s, Analyzer analyzer, NgramRange range,
+                    const std::function<void(std::string_view)>& sink);
+
+/// Collect all n-grams of a string (testing/fitting convenience).
+std::vector<std::string> ngrams_of(std::string_view s, Analyzer analyzer,
+                                   NgramRange range);
+
+}  // namespace willump::ops

@@ -1,0 +1,94 @@
+#include "runtime/boxed.hpp"
+
+#include <stdexcept>
+
+namespace willump::runtime::boxed {
+
+BoxPtr make_int(std::int64_t v) { return std::make_shared<Box>(Box{v}); }
+BoxPtr make_double(double v) { return std::make_shared<Box>(Box{v}); }
+BoxPtr make_string(std::string v) { return std::make_shared<Box>(Box{std::move(v)}); }
+BoxPtr make_list(std::vector<BoxPtr> v) { return std::make_shared<Box>(Box{std::move(v)}); }
+
+const BoxPtr& Namespace::get(const std::string& name) const {
+  auto it = vars_.find(name);
+  if (it == vars_.end()) {
+    throw std::out_of_range("Namespace: undefined name " + name);
+  }
+  return it->second;
+}
+
+BoxPtr box_row(const data::Column& col, std::size_t row) {
+  switch (col.type()) {
+    case data::ColumnType::Int:
+      return make_int(col.ints()[row]);
+    case data::ColumnType::Double:
+      return make_double(col.doubles()[row]);
+    case data::ColumnType::String:
+      return make_string(col.strings()[row]);
+  }
+  throw std::logic_error("box_row: unknown column type");
+}
+
+std::vector<BoxPtr> box_column(const data::Column& col) {
+  std::vector<BoxPtr> out;
+  out.reserve(col.size());
+  for (std::size_t r = 0; r < col.size(); ++r) out.push_back(box_row(col, r));
+  return out;
+}
+
+BoxPtr box_feature_row(const data::FeatureMatrix& m, std::size_t row) {
+  std::vector<BoxPtr> items;
+  if (m.is_dense()) {
+    auto rv = m.dense().row(row);
+    items.reserve(rv.size());
+    for (double v : rv) items.push_back(make_double(v));
+  } else {
+    auto rv = m.sparse().row(row);
+    items.reserve(rv.nnz());
+    for (std::size_t k = 0; k < rv.nnz(); ++k) {
+      std::vector<BoxPtr> pair;
+      pair.push_back(make_int(rv.indices[k]));
+      pair.push_back(make_double(rv.values[k]));
+      items.push_back(make_list(std::move(pair)));
+    }
+  }
+  return make_list(std::move(items));
+}
+
+data::Column unbox_to_column(const BoxPtr& box, data::ColumnType type) {
+  switch (type) {
+    case data::ColumnType::Int:
+      return data::Column(data::IntColumn{std::get<std::int64_t>(box->payload)});
+    case data::ColumnType::Double:
+      return data::Column(data::DoubleColumn{std::get<double>(box->payload)});
+    case data::ColumnType::String:
+      return data::Column(data::StringColumn{std::get<std::string>(box->payload)});
+  }
+  throw std::logic_error("unbox_to_column: unknown column type");
+}
+
+data::FeatureMatrix unbox_to_features(const BoxPtr& box, bool sparse,
+                                      std::size_t cols) {
+  const auto& items = std::get<std::vector<BoxPtr>>(box->payload);
+  if (!sparse) {
+    data::DenseMatrix m(1, cols);
+    auto row = m.mutable_row(0);
+    for (std::size_t i = 0; i < items.size() && i < cols; ++i) {
+      row[i] = std::get<double>(items[i]->payload);
+    }
+    return data::FeatureMatrix(std::move(m));
+  }
+  data::CsrMatrix m(static_cast<std::int32_t>(cols));
+  std::vector<data::SparseEntry> entries;
+  entries.reserve(items.size());
+  for (const auto& item : items) {
+    const auto& pair = std::get<std::vector<BoxPtr>>(item->payload);
+    entries.push_back(
+        {static_cast<std::int32_t>(std::get<std::int64_t>(pair[0]->payload)),
+         std::get<double>(pair[1]->payload)});
+  }
+  m.append_row(entries);
+  return data::FeatureMatrix(std::move(m));
+}
+
+}  // namespace willump::runtime::boxed

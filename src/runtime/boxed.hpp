@@ -1,0 +1,67 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <variant>
+#include <vector>
+
+#include "data/value.hpp"
+
+namespace willump::runtime::boxed {
+
+/// A Python-like boxed object: every scalar lives behind a reference-counted
+/// heap allocation, and aggregates are vectors of references.
+///
+/// The interpreted executor materializes every transformation-graph edge as
+/// lists of these boxes and evaluates operators row-at-a-time through them.
+/// This reproduces — with real work, not sleeps — the mechanisms that make
+/// the paper's unoptimized Python baseline slow: per-element allocation,
+/// reference counting, dynamic type dispatch, string copies, and
+/// dictionary-based name lookups. Compilation then removes exactly these
+/// overheads, as Weld does in the paper.
+struct Box;
+using BoxPtr = std::shared_ptr<Box>;
+
+struct Box {
+  std::variant<std::int64_t, double, std::string, std::vector<BoxPtr>> payload;
+};
+
+BoxPtr make_int(std::int64_t v);
+BoxPtr make_double(double v);
+BoxPtr make_string(std::string v);
+BoxPtr make_list(std::vector<BoxPtr> v);
+
+/// A Python-frame-like environment: names resolved through a string-keyed
+/// dictionary, as the CPython interpreter resolves locals/globals.
+class Namespace {
+ public:
+  void set(const std::string& name, BoxPtr value) { vars_[name] = std::move(value); }
+  const BoxPtr& get(const std::string& name) const;
+  bool has(const std::string& name) const { return vars_.count(name) != 0; }
+  std::size_t size() const { return vars_.size(); }
+
+ private:
+  std::unordered_map<std::string, BoxPtr> vars_;
+};
+
+/// Box one row of a raw column (allocates; strings are copied).
+BoxPtr box_row(const data::Column& col, std::size_t row);
+
+/// Box an entire column into a list of per-row boxes.
+std::vector<BoxPtr> box_column(const data::Column& col);
+
+/// Box one row of a feature matrix as a list-of-doubles box (dense) or a
+/// list of [index, value] pair boxes (sparse) — like a Python list of floats
+/// or a scipy COO row.
+BoxPtr box_feature_row(const data::FeatureMatrix& m, std::size_t row);
+
+/// Rebuild a raw single-row column from a boxed row (unboxing copies back).
+data::Column unbox_to_column(const BoxPtr& box, data::ColumnType type);
+
+/// Rebuild a single-row feature matrix from a boxed feature row.
+data::FeatureMatrix unbox_to_features(const BoxPtr& box, bool sparse,
+                                      std::size_t cols);
+
+}  // namespace willump::runtime::boxed

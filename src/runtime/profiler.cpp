@@ -1,0 +1,12 @@
+#include "runtime/profiler.hpp"
+
+namespace willump::runtime {
+
+std::vector<std::pair<int, double>> Profiler::totals() const {
+  std::vector<std::pair<int, double>> out;
+  out.reserve(entries_.size());
+  for (const auto& [id, e] : entries_) out.emplace_back(id, e.total_seconds);
+  return out;
+}
+
+}  // namespace willump::runtime

@@ -1,0 +1,45 @@
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace willump::runtime {
+
+/// Accumulates per-node wall-clock during graph execution.
+///
+/// Willump's cost model measures the runtime of each feature generator's
+/// nodes while computing training features (§4.2, "Computing IFV
+/// Statistics"); the profiler is how those measurements are collected.
+class Profiler {
+ public:
+  void record(int node_id, double seconds) {
+    auto& e = entries_[node_id];
+    e.total_seconds += seconds;
+    ++e.calls;
+  }
+
+  double total_seconds(int node_id) const {
+    auto it = entries_.find(node_id);
+    return it == entries_.end() ? 0.0 : it->second.total_seconds;
+  }
+
+  std::size_t calls(int node_id) const {
+    auto it = entries_.find(node_id);
+    return it == entries_.end() ? 0 : it->second.calls;
+  }
+
+  void clear() { entries_.clear(); }
+
+  /// All (node, total seconds) pairs, for reports.
+  std::vector<std::pair<int, double>> totals() const;
+
+ private:
+  struct Entry {
+    double total_seconds = 0.0;
+    std::size_t calls = 0;
+  };
+  std::map<int, Entry> entries_;
+};
+
+}  // namespace willump::runtime

@@ -1,0 +1,121 @@
+#include "runtime/thread_pool.hpp"
+
+namespace willump::runtime {
+
+namespace {
+
+/// Spin iterations before falling back to blocking (roughly two
+/// milliseconds of polling — long enough that a serving thread stays hot
+/// across consecutive example-at-a-time queries).
+constexpr int kSpinRounds = 150000;
+/// Poll the (locked) queue every this many spin iterations.
+constexpr int kPollEvery = 64;
+
+inline void cpu_relax() {
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_ia32_pause();
+#else
+  std::this_thread::yield();
+#endif
+}
+
+}  // namespace
+
+ThreadPool::ThreadPool(std::size_t num_threads) {
+  workers_.reserve(num_threads);
+  for (std::size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  stop_.store(true);
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+bool ThreadPool::try_pop(std::function<void()>& task) {
+  std::unique_lock<std::mutex> lock(mu_, std::try_to_lock);
+  if (!lock.owns_lock() || queue_.empty()) return false;
+  task = std::move(queue_.front());
+  queue_.pop();
+  return true;
+}
+
+void ThreadPool::run_one(std::function<void()>& task) {
+  try {
+    task();
+  } catch (...) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!first_error_) first_error_ = std::current_exception();
+  }
+  if (in_flight_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    // Last task: wake a caller that fell back to blocking.
+    std::lock_guard<std::mutex> lock(mu_);
+    done_cv_.notify_all();
+  }
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    bool got = false;
+
+    // Spin phase: poll for work without sleeping.
+    for (int i = 0; i < kSpinRounds && !got; ++i) {
+      if (i % kPollEvery == 0) {
+        if (stop_.load(std::memory_order_relaxed)) break;
+        got = try_pop(task);
+      }
+      if (!got) cpu_relax();
+    }
+
+    if (!got) {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stop_.load() || !queue_.empty(); });
+      if (queue_.empty()) {
+        if (stop_.load()) return;
+        continue;
+      }
+      task = std::move(queue_.front());
+      queue_.pop();
+    }
+    run_one(task);
+  }
+}
+
+void ThreadPool::run_all(std::vector<std::function<void()>> tasks) {
+  if (tasks.empty()) return;
+  // Keep the last task for the calling thread; enqueue the rest.
+  std::function<void()> local = std::move(tasks.back());
+  tasks.pop_back();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    first_error_ = nullptr;
+    in_flight_.fetch_add(tasks.size() + 1, std::memory_order_acq_rel);
+    for (auto& t : tasks) queue_.push(std::move(t));
+  }
+  cv_.notify_all();
+
+  run_one(local);
+
+  // Spin-wait for stragglers, then block if they are genuinely slow.
+  for (int i = 0; i < kSpinRounds; ++i) {
+    if (in_flight_.load(std::memory_order_acquire) == 0) break;
+    cpu_relax();
+  }
+  if (in_flight_.load(std::memory_order_acquire) != 0) {
+    std::unique_lock<std::mutex> lock(mu_);
+    done_cv_.wait(lock, [this] { return in_flight_.load() == 0; });
+  }
+
+  std::exception_ptr err;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    err = first_error_;
+    first_error_ = nullptr;
+  }
+  if (err) std::rethrow_exception(err);
+}
+
+}  // namespace willump::runtime

@@ -1,0 +1,52 @@
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace willump::runtime {
+
+/// A small low-latency thread pool.
+///
+/// Willump parallelizes example-at-a-time queries by running feature
+/// generators concurrently on worker threads (§4.4). The tasks are
+/// microseconds long, so condition-variable wakeups (tens to hundreds of
+/// microseconds on a loaded box) would swamp the gains; workers therefore
+/// spin briefly polling for work before blocking, and the caller spins
+/// briefly waiting for completion before blocking — the handoff pattern of
+/// low-latency runtimes like Weld's, which the paper relies on.
+class ThreadPool {
+ public:
+  explicit ThreadPool(std::size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t num_threads() const { return workers_.size(); }
+
+  /// Run all tasks, using the calling thread for one share of the work, and
+  /// block until every task completed. Exceptions in tasks propagate (the
+  /// first one observed is rethrown).
+  void run_all(std::vector<std::function<void()>> tasks);
+
+ private:
+  void worker_loop();
+  bool try_pop(std::function<void()>& task);
+  void run_one(std::function<void()>& task);
+
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::condition_variable done_cv_;
+  std::queue<std::function<void()>> queue_;
+  std::atomic<std::size_t> in_flight_{0};
+  std::exception_ptr first_error_;
+  std::atomic<bool> stop_{false};
+};
+
+}  // namespace willump::runtime

@@ -1,0 +1,209 @@
+#include "serving/clipper_sim.hpp"
+
+#include <charconv>
+#include <cstdio>
+#include <stdexcept>
+
+#include "common/string_util.hpp"
+#include "common/timer.hpp"
+
+namespace willump::serving {
+
+namespace {
+
+void append_escaped(std::string& out, const std::string& s) {
+  out.push_back('"');
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  out.push_back('"');
+}
+
+std::string parse_escaped(std::string_view s, std::size_t& pos) {
+  std::string out;
+  if (s[pos] != '"') throw std::invalid_argument("wire: expected string");
+  ++pos;
+  while (pos < s.size() && s[pos] != '"') {
+    if (s[pos] == '\\') ++pos;
+    out.push_back(s[pos]);
+    ++pos;
+  }
+  ++pos;  // closing quote
+  return out;
+}
+
+}  // namespace
+
+std::string ClipperSim::serialize_batch(const data::Batch& batch) {
+  std::string out;
+  out.reserve(batch.num_rows() * 32);
+  out.push_back('{');
+  for (const auto& name : batch.names()) {
+    append_escaped(out, name);
+    out.push_back(':');
+    out.push_back('[');
+    const auto& col = batch.get(name);
+    char buf[64];
+    for (std::size_t r = 0; r < col.size(); ++r) {
+      if (r > 0) out.push_back(',');
+      switch (col.type()) {
+        case data::ColumnType::Int:
+          out.append(buf, static_cast<std::size_t>(
+                              std::snprintf(buf, sizeof buf, "%lld",
+                                            static_cast<long long>(col.ints()[r]))));
+          break;
+        case data::ColumnType::Double:
+          out.append(buf, static_cast<std::size_t>(std::snprintf(
+                              buf, sizeof buf, "%.17g", col.doubles()[r])));
+          break;
+        case data::ColumnType::String:
+          append_escaped(out, col.strings()[r]);
+          break;
+      }
+    }
+    out.push_back(']');
+    out.push_back(';');
+  }
+  out.push_back('}');
+  return out;
+}
+
+data::Batch ClipperSim::deserialize_batch(const std::string& wire,
+                                          const data::Batch& schema) {
+  data::Batch out;
+  std::size_t pos = 1;  // skip '{'
+  while (pos < wire.size() && wire[pos] != '}') {
+    const std::string name = parse_escaped(wire, pos);
+    ++pos;  // ':'
+    ++pos;  // '['
+    const auto type = schema.get(name).type();
+    data::IntColumn ints;
+    data::DoubleColumn doubles;
+    data::StringColumn strings;
+    while (wire[pos] != ']') {
+      if (wire[pos] == ',') ++pos;
+      switch (type) {
+        case data::ColumnType::Int: {
+          std::int64_t v = 0;
+          const auto r = std::from_chars(wire.data() + pos, wire.data() + wire.size(), v);
+          pos = static_cast<std::size_t>(r.ptr - wire.data());
+          ints.push_back(v);
+          break;
+        }
+        case data::ColumnType::Double: {
+          double v = 0;
+          const auto r = std::from_chars(wire.data() + pos, wire.data() + wire.size(), v);
+          pos = static_cast<std::size_t>(r.ptr - wire.data());
+          doubles.push_back(v);
+          break;
+        }
+        case data::ColumnType::String:
+          strings.push_back(parse_escaped(wire, pos));
+          break;
+      }
+    }
+    ++pos;  // ']'
+    ++pos;  // ';'
+    switch (type) {
+      case data::ColumnType::Int:
+        out.add(name, data::Column(std::move(ints)));
+        break;
+      case data::ColumnType::Double:
+        out.add(name, data::Column(std::move(doubles)));
+        break;
+      case data::ColumnType::String:
+        out.add(name, data::Column(std::move(strings)));
+        break;
+    }
+  }
+  return out;
+}
+
+std::string ClipperSim::serialize_predictions(const std::vector<double>& preds) {
+  std::string out;
+  out.reserve(preds.size() * 20);
+  char buf[64];
+  for (std::size_t i = 0; i < preds.size(); ++i) {
+    if (i > 0) out.push_back(',');
+    out.append(buf, static_cast<std::size_t>(
+                        std::snprintf(buf, sizeof buf, "%.17g", preds[i])));
+  }
+  return out;
+}
+
+std::vector<double> ClipperSim::deserialize_predictions(const std::string& wire) {
+  std::vector<double> out;
+  std::size_t pos = 0;
+  while (pos < wire.size()) {
+    if (wire[pos] == ',') ++pos;
+    double v = 0;
+    const auto r = std::from_chars(wire.data() + pos, wire.data() + wire.size(), v);
+    pos = static_cast<std::size_t>(r.ptr - wire.data());
+    out.push_back(v);
+  }
+  return out;
+}
+
+std::vector<double> ClipperSim::serve(const data::Batch& batch) {
+  ++stats_.queries;
+  stats_.rows += batch.num_rows();
+
+  // Client -> frontend: serialize the query and pay the RPC dispatch cost.
+  common::Timer ser_timer;
+  data::Batch container_batch = batch;
+  if (cfg_.serialize) {
+    const std::string wire = serialize_batch(batch);
+    container_batch = deserialize_batch(wire, batch);
+  }
+  stats_.serialize_seconds += ser_timer.elapsed_seconds();
+
+  common::Timer rpc_timer;
+  common::spin_wait_micros(cfg_.rpc_fixed_micros);
+  stats_.rpc_seconds += rpc_timer.elapsed_seconds();
+
+  // Container-side inference, with Clipper's end-to-end prediction cache
+  // consulted per data input when enabled.
+  common::Timer inf_timer;
+  std::vector<double> preds(container_batch.num_rows(), 0.0);
+  if (cfg_.enable_e2e_cache) {
+    std::vector<std::size_t> missing;
+    for (std::size_t r = 0; r < container_batch.num_rows(); ++r) {
+      const data::Batch row = container_batch.row(r);
+      if (auto hit = cache_.get(row)) {
+        preds[r] = *hit;
+        ++stats_.cache_hits;
+      } else {
+        missing.push_back(r);
+      }
+    }
+    if (!missing.empty()) {
+      const auto missing_preds =
+          pipeline_->predict(container_batch.select_rows(missing));
+      for (std::size_t i = 0; i < missing.size(); ++i) {
+        preds[missing[i]] = missing_preds[i];
+        cache_.put(container_batch.row(missing[i]), missing_preds[i]);
+      }
+    }
+  } else {
+    preds = pipeline_->predict(container_batch);
+  }
+  stats_.inference_seconds += inf_timer.elapsed_seconds();
+
+  // Frontend -> client: serialize predictions back.
+  common::Timer ser2_timer;
+  if (cfg_.serialize) {
+    const std::string wire = serialize_predictions(preds);
+    preds = deserialize_predictions(wire);
+  }
+  stats_.serialize_seconds += ser2_timer.elapsed_seconds();
+  return preds;
+}
+
+double ClipperSim::serve_timed(const data::Batch& batch) {
+  common::Timer t;
+  (void)serve(batch);
+  return t.elapsed_seconds();
+}
+
+}  // namespace willump::serving

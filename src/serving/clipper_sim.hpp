@@ -1,0 +1,71 @@
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/optimizer.hpp"
+#include "serving/e2e_cache.hpp"
+
+namespace willump::serving {
+
+/// Overhead parameters of the simulated model-serving frontend. Defaults
+/// approximate the fixed and variable overheads the paper attributes to
+/// Clipper (§6.3: "large fixed overheads (RPC processing time, etc.) which
+/// are amortized over a batch" and "large variable overheads (serialization
+/// time, etc.) which Willump cannot reduce").
+struct ClipperConfig {
+  double rpc_fixed_micros = 900.0;  // per-query RPC dispatch cost
+  bool serialize = true;            // JSON-encode inputs and predictions
+  std::size_t e2e_cache_capacity = 0;
+  bool enable_e2e_cache = false;
+};
+
+/// Traffic/latency counters for one serving session.
+struct ClipperStats {
+  std::size_t queries = 0;
+  std::size_t rows = 0;
+  std::size_t cache_hits = 0;
+  double serialize_seconds = 0.0;
+  double rpc_seconds = 0.0;
+  double inference_seconds = 0.0;
+};
+
+/// A Clipper-like general-purpose model-serving frontend.
+///
+/// Clipper treats the pipeline as a black box behind an RPC interface: each
+/// query serializes its inputs, pays an RPC round trip, runs the pipeline
+/// container-side, and serializes predictions back. The serialization here
+/// is real work (a JSON wire format is built and parsed); the RPC cost is a
+/// measured spin-wait. Willump integrates by swapping the black-box
+/// pipeline for an optimized one — exactly the Table 6 experiment.
+class ClipperSim {
+ public:
+  ClipperSim(const core::OptimizedPipeline* pipeline, ClipperConfig cfg)
+      : pipeline_(pipeline), cfg_(cfg), cache_(cfg.e2e_cache_capacity) {}
+
+  /// Serve one query batch end-to-end; returns the predictions.
+  std::vector<double> serve(const data::Batch& batch);
+
+  /// End-to-end latency (seconds) of serving `batch` once.
+  double serve_timed(const data::Batch& batch);
+
+  const ClipperStats& stats() const { return stats_; }
+  void reset_stats() { stats_ = {}; }
+  EndToEndCache& cache() { return cache_; }
+
+  /// Wire-format helpers (exposed for tests).
+  static std::string serialize_batch(const data::Batch& batch);
+  static data::Batch deserialize_batch(const std::string& wire,
+                                       const data::Batch& schema);
+  static std::string serialize_predictions(const std::vector<double>& preds);
+  static std::vector<double> deserialize_predictions(const std::string& wire);
+
+ private:
+  const core::OptimizedPipeline* pipeline_;
+  ClipperConfig cfg_;
+  EndToEndCache cache_;
+  ClipperStats stats_;
+};
+
+}  // namespace willump::serving

@@ -1,0 +1,31 @@
+#include "serving/e2e_cache.hpp"
+
+#include <bit>
+
+#include "common/hash.hpp"
+
+namespace willump::serving {
+
+std::uint64_t EndToEndCache::key_of(const data::Batch& row) {
+  std::uint64_t h = 0xE2E;
+  for (const auto& name : row.names()) {
+    h = common::hash_combine(h, common::fnv1a(name));
+    const auto& col = row.get(name);
+    switch (col.type()) {
+      case data::ColumnType::Int:
+        h = common::hash_combine(
+            h, common::hash_u64(static_cast<std::uint64_t>(col.ints()[0])));
+        break;
+      case data::ColumnType::Double:
+        h = common::hash_combine(
+            h, common::hash_u64(std::bit_cast<std::uint64_t>(col.doubles()[0])));
+        break;
+      case data::ColumnType::String:
+        h = common::hash_combine(h, common::fnv1a(col.strings()[0]));
+        break;
+    }
+  }
+  return h;
+}
+
+}  // namespace willump::serving

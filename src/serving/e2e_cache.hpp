@@ -1,0 +1,43 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "common/lru_cache.hpp"
+#include "data/value.hpp"
+
+namespace willump::serving {
+
+/// Clipper-style end-to-end prediction cache: keys on the *entire* raw
+/// input of one example and stores the final prediction (paper §4.5:
+/// "existing model serving systems cache ML inference pipelines end-to-end,
+/// caching the prediction made for each data input received").
+///
+/// Its weakness — which Willump's feature-level cache fixes — is that a
+/// query misses whenever ANY raw input differs, even if most of its
+/// features were computed before for other inputs (Table 2).
+class EndToEndCache {
+ public:
+  /// capacity 0 = unbounded (the paper's Table 2/3 configuration).
+  explicit EndToEndCache(std::size_t capacity = 0) : cache_(capacity) {}
+
+  /// Stable hash over every column of a single-row batch.
+  static std::uint64_t key_of(const data::Batch& row);
+
+  std::optional<double> get(const data::Batch& row) {
+    return cache_.get(key_of(row));
+  }
+  void put(const data::Batch& row, double prediction) {
+    cache_.put(key_of(row), prediction);
+  }
+
+  std::size_t hits() const { return cache_.hits(); }
+  std::size_t misses() const { return cache_.misses(); }
+  double hit_rate() const { return cache_.hit_rate(); }
+  void clear() { cache_.clear(); }
+
+ private:
+  common::LruCache<std::uint64_t, double> cache_;
+};
+
+}  // namespace willump::serving

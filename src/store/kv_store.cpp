@@ -1,0 +1,71 @@
+#include "store/kv_store.hpp"
+
+#include <stdexcept>
+
+#include "common/timer.hpp"
+
+namespace willump::store {
+
+void FeatureTable::put(std::int64_t key, data::DenseVector row) {
+  if (row.dim() != dim_) {
+    throw std::invalid_argument("FeatureTable " + name_ + ": row dim mismatch");
+  }
+  rows_[key] = std::move(row);
+}
+
+const data::DenseVector& FeatureTable::get(std::int64_t key) const {
+  auto it = rows_.find(key);
+  return it == rows_.end() ? default_row_ : it->second;
+}
+
+void TableClient::get_batch(std::span<const std::int64_t> keys,
+                            std::vector<const data::DenseVector*>& out) const {
+  out.clear();
+  out.reserve(keys.size());
+  if (keys.empty()) return;
+  if (net_.is_remote()) {
+    const double wait = net_.batch_cost_micros(keys.size());
+    common::spin_wait_micros(wait);
+    stats_.round_trips.fetch_add(1, std::memory_order_relaxed);
+    stats_.keys_fetched.fetch_add(keys.size(), std::memory_order_relaxed);
+    stats_.simulated_wait_nanos.fetch_add(
+        static_cast<std::uint64_t>(wait * 1e3), std::memory_order_relaxed);
+  }
+  for (std::int64_t k : keys) out.push_back(&table_->get(k));
+}
+
+std::shared_ptr<TableClient> TableRegistry::add(
+    std::shared_ptr<const FeatureTable> table, NetworkModel net) {
+  auto client = std::make_shared<TableClient>(std::move(table), net);
+  clients_.push_back(client);
+  return client;
+}
+
+std::shared_ptr<TableClient> TableRegistry::find(const std::string& name) const {
+  for (const auto& c : clients_) {
+    if (c->table().name() == name) return c;
+  }
+  return nullptr;
+}
+
+void TableRegistry::set_network(NetworkModel net) {
+  for (auto& c : clients_) c->set_network(net);
+}
+
+std::uint64_t TableRegistry::total_round_trips() const {
+  std::uint64_t acc = 0;
+  for (const auto& c : clients_) acc += c->stats().round_trips.load();
+  return acc;
+}
+
+std::uint64_t TableRegistry::total_keys_fetched() const {
+  std::uint64_t acc = 0;
+  for (const auto& c : clients_) acc += c->stats().keys_fetched.load();
+  return acc;
+}
+
+void TableRegistry::reset_stats() {
+  for (auto& c : clients_) c->stats().reset();
+}
+
+}  // namespace willump::store

@@ -1,0 +1,120 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "data/vector.hpp"
+
+namespace willump::store {
+
+/// A feature table: integer key -> dense feature row.
+///
+/// This models the per-entity feature tables (user features, song features,
+/// IP statistics, ...) that the paper's Music/Credit/Tracking benchmarks
+/// store in Redis. A default row is returned for unknown keys, mirroring the
+/// benchmarks' cold-start handling.
+class FeatureTable {
+ public:
+  FeatureTable(std::string name, std::size_t feature_dim)
+      : name_(std::move(name)), dim_(feature_dim), default_row_(feature_dim, 0.0) {}
+
+  void put(std::int64_t key, data::DenseVector row);
+  const data::DenseVector& get(std::int64_t key) const;
+  bool contains(std::int64_t key) const { return rows_.find(key) != rows_.end(); }
+
+  const std::string& name() const { return name_; }
+  std::size_t feature_dim() const { return dim_; }
+  std::size_t size() const { return rows_.size(); }
+
+ private:
+  std::string name_;
+  std::size_t dim_;
+  data::DenseVector default_row_;
+  std::unordered_map<std::int64_t, data::DenseVector> rows_;
+};
+
+/// Network model for a remote store: one round trip costs
+/// `rtt_micros + per_key_micros * keys` when fetched as a single pipelined
+/// batch (the paper queries Redis asynchronously, §6.3).
+struct NetworkModel {
+  double rtt_micros = 0.0;      // 0 = local table, no simulated delay
+  double per_key_micros = 0.0;
+
+  bool is_remote() const { return rtt_micros > 0.0 || per_key_micros > 0.0; }
+  double batch_cost_micros(std::size_t keys) const {
+    return keys == 0 ? 0.0
+                     : rtt_micros + per_key_micros * static_cast<double>(keys);
+  }
+};
+
+/// Cumulative traffic counters for one table client (paper Table 2 counts
+/// the remote requests each optimization configuration avoids).
+struct StoreStats {
+  std::atomic<std::uint64_t> round_trips{0};
+  std::atomic<std::uint64_t> keys_fetched{0};
+  std::atomic<std::uint64_t> simulated_wait_nanos{0};
+
+  void reset() {
+    round_trips = 0;
+    keys_fetched = 0;
+    simulated_wait_nanos = 0;
+  }
+};
+
+/// Client handle to a feature table behind a (possibly simulated-remote)
+/// network. All lookups in a `get_batch` call share one round trip.
+class TableClient {
+ public:
+  TableClient(std::shared_ptr<const FeatureTable> table, NetworkModel net)
+      : table_(std::move(table)), net_(net) {}
+
+  /// Fetch rows for `keys` in one pipelined round trip; `out` receives
+  /// pointers into the table (valid while the table lives).
+  void get_batch(std::span<const std::int64_t> keys,
+                 std::vector<const data::DenseVector*>& out) const;
+
+  const FeatureTable& table() const { return *table_; }
+  const NetworkModel& network() const { return net_; }
+  /// Swap the network model (local <-> remote); resets traffic stats.
+  void set_network(NetworkModel net) {
+    net_ = net;
+    stats_.reset();
+  }
+  StoreStats& stats() const { return stats_; }
+
+ private:
+  std::shared_ptr<const FeatureTable> table_;
+  NetworkModel net_;
+  mutable StoreStats stats_;
+};
+
+/// Registry of all tables a workload uses; owns client handles so an
+/// experiment can flip every table between local and remote and read the
+/// aggregate traffic counters.
+class TableRegistry {
+ public:
+  std::shared_ptr<TableClient> add(std::shared_ptr<const FeatureTable> table,
+                                   NetworkModel net);
+  std::shared_ptr<TableClient> find(const std::string& name) const;
+
+  /// Replace every client's network model (e.g. make all tables remote).
+  void set_network(NetworkModel net);
+
+  std::uint64_t total_round_trips() const;
+  std::uint64_t total_keys_fetched() const;
+  void reset_stats();
+
+  const std::vector<std::shared_ptr<TableClient>>& clients() const {
+    return clients_;
+  }
+
+ private:
+  std::vector<std::shared_ptr<TableClient>> clients_;
+};
+
+}  // namespace willump::store

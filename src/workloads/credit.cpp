@@ -1,0 +1,156 @@
+#include "workloads/credit.hpp"
+
+#include <cmath>
+
+#include "models/gbdt.hpp"
+#include "ops/concat.hpp"
+#include "ops/encoders.hpp"
+#include "ops/lookup.hpp"
+#include "ops/scale.hpp"
+
+namespace willump::workloads {
+
+namespace {
+
+struct ClientState {
+  double credit_history;  // higher = better
+  double debt_ratio;
+  double prev_defaults;
+  double employment_years;
+};
+
+}  // namespace
+
+Workload make_credit(const CreditConfig& cfg) {
+  common::Rng rng(cfg.seed);
+
+  std::vector<ClientState> clients(cfg.n_clients);
+  for (auto& c : clients) {
+    c.credit_history = rng.next_gaussian();
+    c.debt_ratio = std::abs(rng.next_gaussian());
+    c.prev_defaults = rng.next_bernoulli(0.2) ? 1.0 + rng.next_below(3) : 0.0;
+    c.employment_years = std::abs(rng.next_gaussian()) * 8.0;
+  }
+
+  auto tables = std::make_shared<store::TableRegistry>();
+  auto client_table = std::make_shared<store::FeatureTable>("client_features", 15);
+  auto bureau_table = std::make_shared<store::FeatureTable>("bureau_features", 10);
+  auto prev_table =
+      std::make_shared<store::FeatureTable>("prev_application_features", 8);
+  for (std::size_t k = 0; k < cfg.n_clients; ++k) {
+    const auto& c = clients[k];
+    data::DenseVector cf(15), bf(10), pf(8);
+    cf[0] = c.credit_history;
+    cf[1] = c.employment_years;
+    cf[2] = c.debt_ratio + rng.next_gaussian() * 0.1;
+    for (std::size_t i = 3; i < 15; ++i) cf[i] = rng.next_gaussian() * 0.3;
+    bf[0] = c.debt_ratio;
+    bf[1] = c.credit_history + rng.next_gaussian() * 0.2;
+    for (std::size_t i = 2; i < 10; ++i) bf[i] = rng.next_gaussian() * 0.3;
+    pf[0] = c.prev_defaults;
+    for (std::size_t i = 1; i < 8; ++i) pf[i] = rng.next_gaussian() * 0.3;
+    client_table->put(static_cast<std::int64_t>(k), std::move(cf));
+    bureau_table->put(static_cast<std::int64_t>(k), std::move(bf));
+    prev_table->put(static_cast<std::int64_t>(k), std::move(pf));
+  }
+  auto client_client = tables->add(client_table, store::NetworkModel{});
+  auto bureau_client = tables->add(bureau_table, store::NetworkModel{});
+  auto prev_client = tables->add(prev_table, store::NetworkModel{});
+
+  // Sample loan applications.
+  common::ZipfSampler client_sampler(cfg.n_clients, cfg.client_zipf);
+  const std::size_t n = cfg.sizes.total();
+  data::IntColumn client_ids;
+  data::DoubleColumn incomes, amounts, annuities;
+  std::vector<double> risk;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t k = client_sampler.sample(rng);
+    const auto& c = clients[k];
+    const double income = 30.0 + std::abs(rng.next_gaussian()) * 40.0;
+    const double amount = 50.0 + std::abs(rng.next_gaussian()) * 150.0;
+    const double annuity = amount / (6.0 + rng.next_below(18));
+    // Planted default-risk surface (the regression target in [0, 1]). The
+    // loan-burden ratio (annuity / income) dominates the upper tail, as
+    // affordability does in the real Home Credit data; this is what makes a
+    // cheap filter model over the raw numeric IFV highly precise on top-K
+    // queries (the paper reports Credit filter precision 0.99, Table 4).
+    // Coefficients keep even the top percentile inside sigmoid's responsive
+    // range (the paper's true top-100 average value is 0.78, i.e.
+    // unsaturated) so that top-K ranking stays meaningful.
+    const double burden = annuity / std::max(income, 1.0) * 2.5;
+    const double z = -2.2 - 0.3 * c.credit_history + 0.25 * c.debt_ratio +
+                     0.25 * c.prev_defaults - 0.012 * c.employment_years +
+                     1.3 * burden + 0.002 * amount / std::max(income, 1.0) +
+                     rng.next_gaussian() * 0.12;
+    client_ids.push_back(static_cast<std::int64_t>(k));
+    incomes.push_back(income);
+    amounts.push_back(amount);
+    annuities.push_back(annuity);
+    risk.push_back(1.0 / (1.0 + std::exp(-z)));
+  }
+
+  Workload w;
+  w.name = "credit";
+  w.classification = false;
+  w.tables = tables;
+
+  core::Graph& g = w.pipeline.graph;
+  const int client = g.add_source("client_id", data::ColumnType::Int);
+  const int income = g.add_source("income", data::ColumnType::Double);
+  const int amount = g.add_source("amount", data::ColumnType::Double);
+  const int annuity = g.add_source("annuity", data::ColumnType::Double);
+  // Derived affordability ratios, as the real Home Credit kernels compute
+  // (burden = annuity/income is the dominant risk driver); they live inside
+  // the numeric feature generator as exclusive ancestor nodes.
+  const int burden = g.add_transform(
+      "burden_ratio", std::make_shared<ops::ColumnMathOp>(ops::ColumnMathOp::Kind::Div),
+      {annuity, income});
+  const int leverage = g.add_transform(
+      "leverage_ratio",
+      std::make_shared<ops::ColumnMathOp>(ops::ColumnMathOp::Kind::Div),
+      {amount, income});
+  const int numeric =
+      g.add_transform("numeric", std::make_shared<ops::NumericColumnsOp>("numeric"),
+                      {income, amount, annuity, burden, leverage});
+  const int cf = g.add_transform(
+      "client_lookup", std::make_shared<ops::TableLookupOp>(client_client),
+      {client});
+  const int bf = g.add_transform(
+      "bureau_lookup", std::make_shared<ops::TableLookupOp>(bureau_client),
+      {client});
+  const int pf = g.add_transform(
+      "prev_lookup", std::make_shared<ops::TableLookupOp>(prev_client), {client});
+  const int concat = g.add_transform("concat", std::make_shared<ops::ConcatOp>(),
+                                     {numeric, cf, bf, pf});
+  // Post-concat standardizer: parameters derived from the known generator
+  // distributions (analytic rather than fitted, so the graph is static).
+  std::vector<double> scale(5 + 15 + 10 + 8, 1.0);
+  std::vector<double> offset(scale.size(), 0.0);
+  scale[0] = 1.0 / 40.0;   // income
+  scale[1] = 1.0 / 150.0;  // amount
+  scale[2] = 1.0 / 15.0;   // annuity
+  offset[0] = 30.0;
+  offset[1] = 50.0;
+  const int scaled = g.add_transform(
+      "scale", std::make_shared<ops::ScaleOp>(std::move(scale), std::move(offset)),
+      {concat});
+  g.set_output(scaled);
+
+  models::GbdtConfig gbdt;
+  gbdt.n_trees = 60;
+  gbdt.max_depth = 4;
+  gbdt.classification = false;
+  gbdt.n_bins = 64;
+  gbdt.learning_rate = 0.1;
+  w.pipeline.model_proto = std::make_shared<models::Gbdt>(gbdt);
+
+  data::Batch inputs;
+  inputs.add("client_id", data::Column(std::move(client_ids)));
+  inputs.add("income", data::Column(std::move(incomes)));
+  inputs.add("amount", data::Column(std::move(amounts)));
+  inputs.add("annuity", data::Column(std::move(annuities)));
+  split_labeled(inputs, risk, cfg.sizes, w);
+  return w;
+}
+
+}  // namespace willump::workloads

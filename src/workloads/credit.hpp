@@ -1,0 +1,30 @@
+#pragma once
+
+#include "workloads/workload.hpp"
+
+namespace willump::workloads {
+
+/// Configuration for the Credit workload generator.
+struct CreditConfig {
+  SplitSizes sizes{.train = 5000, .valid = 1500, .test = 1500};
+  std::uint64_t seed = 404;
+  std::size_t n_clients = 5000;
+  double client_zipf = 0.8;  // mild repeat-query skew
+};
+
+/// Credit: predict the probability a client defaults on a loan (the paper's
+/// Home Credit Kaggle entry; Table 1: remote data lookup, data joins; GBDT,
+/// REGRESSION — so cascades never apply, but the automatic top-K filter
+/// model does, Table 4).
+///
+/// Graph (4 IFVs + a post-concatenation standardizing scaler, which
+/// exercises Willump's handling of commutative transforms between the
+/// concat node and the model, §5.1):
+///   income, amount, annuity -> [numeric assembly]           (FG1, ~free)
+///   client_id -> [client_features lookup]                   (FG2)
+///   client_id -> [bureau_features lookup]                   (FG3)
+///   client_id -> [prev_application_features lookup]         (FG4)
+///   concat -> scale -> model
+Workload make_credit(const CreditConfig& cfg = {});
+
+}  // namespace willump::workloads

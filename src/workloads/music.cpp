@@ -1,0 +1,214 @@
+#include "workloads/music.hpp"
+
+#include <cmath>
+
+#include "models/gbdt.hpp"
+#include "ops/concat.hpp"
+#include "ops/lookup.hpp"
+
+namespace willump::workloads {
+
+namespace {
+
+/// All per-entity state of the synthetic music universe.
+struct MusicWorld {
+  std::vector<std::vector<double>> user_latent;
+  std::vector<std::vector<double>> song_latent;
+  std::vector<std::size_t> song_genre;
+  std::vector<std::size_t> song_artist;
+  std::vector<double> genre_affinity;   // per-genre base like rate shift
+  std::vector<double> artist_quality;
+  std::vector<double> user_activity;
+  std::vector<double> song_popularity;
+};
+
+std::vector<double> random_unit(common::Rng& rng, int dim) {
+  std::vector<double> v(static_cast<std::size_t>(dim));
+  double norm = 0.0;
+  for (auto& x : v) {
+    x = rng.next_gaussian();
+    norm += x * x;
+  }
+  norm = std::sqrt(norm);
+  for (auto& x : v) x /= norm;
+  return v;
+}
+
+MusicWorld make_world(const MusicConfig& cfg, common::Rng& rng) {
+  MusicWorld w;
+  w.user_latent.reserve(cfg.n_users);
+  for (std::size_t u = 0; u < cfg.n_users; ++u) {
+    w.user_latent.push_back(random_unit(rng, cfg.latent_dim));
+  }
+  w.song_latent.reserve(cfg.n_songs);
+  for (std::size_t s = 0; s < cfg.n_songs; ++s) {
+    w.song_latent.push_back(random_unit(rng, cfg.latent_dim));
+    w.song_genre.push_back(rng.next_below(cfg.n_genres));
+    w.song_artist.push_back(rng.next_below(cfg.n_artists));
+    w.song_popularity.push_back(rng.next_gaussian() * 0.4);
+  }
+  for (std::size_t g = 0; g < cfg.n_genres; ++g) {
+    w.genre_affinity.push_back(rng.next_gaussian() * 0.8);
+  }
+  for (std::size_t a = 0; a < cfg.n_artists; ++a) {
+    w.artist_quality.push_back(rng.next_gaussian() * 0.3);
+  }
+  for (std::size_t u = 0; u < cfg.n_users; ++u) {
+    w.user_activity.push_back(rng.next_gaussian() * 0.2);
+  }
+  return w;
+}
+
+/// P(like) for a (user, song) pair — the planted ground truth. The latent
+/// dot product and genre affinity dominate; artist/stats features add a
+/// small correction (so their IFVs carry little prediction importance).
+double like_probability(const MusicWorld& w, std::size_t u, std::size_t s) {
+  double z = 0.0;
+  for (std::size_t k = 0; k < w.user_latent[u].size(); ++k) {
+    z += w.user_latent[u][k] * w.song_latent[s][k];
+  }
+  z = 3.0 * z + w.genre_affinity[w.song_genre[s]] +
+      0.4 * w.artist_quality[w.song_artist[s]] + 0.3 * w.song_popularity[s] +
+      0.2 * w.user_activity[u];
+  return 1.0 / (1.0 + std::exp(-z));
+}
+
+}  // namespace
+
+Workload make_music(const MusicConfig& cfg) {
+  common::Rng rng(cfg.seed);
+  MusicWorld world = make_world(cfg, rng);
+
+  // Build the feature tables. The "features" are noisy views of the planted
+  // entity state (as precomputed latent factors would be in the real
+  // KKBox pipeline).
+  auto tables = std::make_shared<store::TableRegistry>();
+  auto make_table = [&](const std::string& name, std::size_t keys,
+                        std::size_t dim, auto&& fill) {
+    auto t = std::make_shared<store::FeatureTable>(name, dim);
+    for (std::size_t k = 0; k < keys; ++k) {
+      data::DenseVector row(dim);
+      fill(k, row);
+      t->put(static_cast<std::int64_t>(k), std::move(row));
+    }
+    return tables->add(std::move(t), store::NetworkModel{});
+  };
+
+  const auto ld = static_cast<std::size_t>(cfg.latent_dim);
+  auto user_client = make_table(
+      "user_features", cfg.n_users, ld + 4, [&](std::size_t u, auto& row) {
+        for (std::size_t k = 0; k < ld; ++k) row[k] = world.user_latent[u][k];
+        row[ld] = world.user_activity[u];
+        for (std::size_t k = 1; k < 4; ++k) row[ld + k] = rng.next_gaussian();
+      });
+  auto song_client = make_table(
+      "song_features", cfg.n_songs, ld + 4, [&](std::size_t s, auto& row) {
+        for (std::size_t k = 0; k < ld; ++k) row[k] = world.song_latent[s][k];
+        row[ld] = world.song_popularity[s];
+        for (std::size_t k = 1; k < 4; ++k) row[ld + k] = rng.next_gaussian();
+      });
+  auto genre_client = make_table(
+      "genre_features", cfg.n_genres, 6, [&](std::size_t gid, auto& row) {
+        row[0] = world.genre_affinity[gid];
+        for (std::size_t k = 1; k < 6; ++k) row[k] = rng.next_gaussian() * 0.2;
+      });
+  auto artist_client = make_table(
+      "artist_features", cfg.n_artists, 8, [&](std::size_t a, auto& row) {
+        row[0] = world.artist_quality[a];
+        for (std::size_t k = 1; k < 8; ++k) row[k] = rng.next_gaussian() * 0.2;
+      });
+  auto user_stats_client = make_table(
+      "user_stats", cfg.n_users, 6, [&](std::size_t u, auto& row) {
+        row[0] = world.user_activity[u] + rng.next_gaussian() * 0.3;
+        for (std::size_t k = 1; k < 6; ++k) row[k] = rng.next_gaussian() * 0.2;
+      });
+  auto song_stats_client = make_table(
+      "song_stats", cfg.n_songs, 6, [&](std::size_t s, auto& row) {
+        row[0] = world.song_popularity[s] + rng.next_gaussian() * 0.3;
+        for (std::size_t k = 1; k < 6; ++k) row[k] = rng.next_gaussian() * 0.2;
+      });
+
+  // Sample labeled interactions with Zipf-skewed popularity.
+  common::ZipfSampler user_sampler(cfg.n_users, cfg.user_zipf);
+  common::ZipfSampler song_sampler(cfg.n_songs, cfg.song_zipf);
+
+  const std::size_t n = cfg.sizes.total();
+  data::IntColumn user_ids, song_ids, genre_ids, artist_ids;
+  std::vector<double> labels;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t u = user_sampler.sample(rng);
+    const std::size_t s = song_sampler.sample(rng);
+    user_ids.push_back(static_cast<std::int64_t>(u));
+    song_ids.push_back(static_cast<std::int64_t>(s));
+    genre_ids.push_back(static_cast<std::int64_t>(world.song_genre[s]));
+    artist_ids.push_back(static_cast<std::int64_t>(world.song_artist[s]));
+    labels.push_back(rng.next_bernoulli(like_probability(world, u, s)) ? 1.0 : 0.0);
+  }
+
+  Workload w;
+  w.name = "music";
+  w.classification = true;
+  w.tables = tables;
+
+  core::Graph& g = w.pipeline.graph;
+  const int user = g.add_source("user_id", data::ColumnType::Int);
+  const int song = g.add_source("song_id", data::ColumnType::Int);
+  const int genre = g.add_source("genre_id", data::ColumnType::Int);
+  const int artist = g.add_source("artist_id", data::ColumnType::Int);
+  const int uf = g.add_transform(
+      "user_lookup", std::make_shared<ops::TableLookupOp>(user_client), {user});
+  const int sf = g.add_transform(
+      "song_lookup", std::make_shared<ops::TableLookupOp>(song_client), {song});
+  const int gf = g.add_transform(
+      "genre_lookup", std::make_shared<ops::TableLookupOp>(genre_client), {genre});
+  const int af = g.add_transform(
+      "artist_lookup", std::make_shared<ops::TableLookupOp>(artist_client),
+      {artist});
+  const int us = g.add_transform(
+      "user_stats_lookup", std::make_shared<ops::TableLookupOp>(user_stats_client),
+      {user});
+  const int ss = g.add_transform(
+      "song_stats_lookup", std::make_shared<ops::TableLookupOp>(song_stats_client),
+      {song});
+  const int concat = g.add_transform("concat", std::make_shared<ops::ConcatOp>(),
+                                     {uf, sf, gf, af, us, ss});
+  g.set_output(concat);
+
+  models::GbdtConfig gbdt;
+  gbdt.n_trees = 40;
+  gbdt.max_depth = 4;
+  w.pipeline.model_proto = std::make_shared<models::Gbdt>(gbdt);
+
+  data::Batch inputs;
+  inputs.add("user_id", data::Column(std::move(user_ids)));
+  inputs.add("song_id", data::Column(std::move(song_ids)));
+  inputs.add("genre_id", data::Column(std::move(genre_ids)));
+  inputs.add("artist_id", data::Column(std::move(artist_ids)));
+  split_labeled(inputs, labels, cfg.sizes, w);
+
+  // Serving stream with the same popularity skew (fresh draws, so caches
+  // are exercised by genuine repetition, not test-set reuse).
+  const auto song_genre = world.song_genre;
+  const auto song_artist = world.song_artist;
+  w.query_sampler = [user_sampler, song_sampler, song_genre,
+                     song_artist](std::size_t count, common::Rng& qrng) {
+    data::IntColumn u, s, ge, ar;
+    for (std::size_t i = 0; i < count; ++i) {
+      const std::size_t ui = user_sampler.sample(qrng);
+      const std::size_t si = song_sampler.sample(qrng);
+      u.push_back(static_cast<std::int64_t>(ui));
+      s.push_back(static_cast<std::int64_t>(si));
+      ge.push_back(static_cast<std::int64_t>(song_genre[si]));
+      ar.push_back(static_cast<std::int64_t>(song_artist[si]));
+    }
+    data::Batch b;
+    b.add("user_id", data::Column(std::move(u)));
+    b.add("song_id", data::Column(std::move(s)));
+    b.add("genre_id", data::Column(std::move(ge)));
+    b.add("artist_id", data::Column(std::move(ar)));
+    return b;
+  };
+  return w;
+}
+
+}  // namespace willump::workloads

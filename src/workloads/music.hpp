@@ -1,0 +1,40 @@
+#pragma once
+
+#include "workloads/workload.hpp"
+
+namespace willump::workloads {
+
+/// Configuration for the Music workload generator.
+struct MusicConfig {
+  SplitSizes sizes{.train = 6000, .valid = 2000, .test = 2000};
+  std::uint64_t seed = 303;
+  std::size_t n_users = 4000;
+  std::size_t n_songs = 3000;
+  std::size_t n_genres = 40;
+  std::size_t n_artists = 800;
+  /// Popularity skew of the serving stream (higher = more cache hits).
+  double user_zipf = 1.05;
+  double song_zipf = 1.15;
+  int latent_dim = 8;
+};
+
+/// Music: predict whether a user will like a song (the paper's WSDM Cup
+/// 2018 KKBox entry; Table 1: remote data lookup, data joins; GBDT). The
+/// paper's Figure 1 diagrams a simplified version of exactly this pipeline.
+///
+/// Graph (6 IFVs — the classification benchmark with the most IFVs, used
+/// for the §6.4 γ-rule ablation):
+///   user_id   -> [user_features lookup]    (latent factors + demographics)
+///   song_id   -> [song_features lookup]    (latent factors + audio stats)
+///   genre_id  -> [genre_features lookup]
+///   artist_id -> [artist_features lookup]
+///   user_id   -> [user_stats lookup]       (listening counts)
+///   song_id   -> [song_stats lookup]       (play/skip counts)
+///
+/// Planted structure: the label is driven mostly by the user/song latent
+/// dot product plus genre affinity, so the user/song/genre IFVs form a
+/// natural efficient set; user/song popularity is Zipf-distributed so the
+/// per-IFV feature caches see realistic repeat rates (paper Table 2).
+Workload make_music(const MusicConfig& cfg = {});
+
+}  // namespace willump::workloads

@@ -1,0 +1,120 @@
+#include "workloads/price.hpp"
+
+#include <cmath>
+
+#include "common/string_util.hpp"
+#include "models/mlp.hpp"
+#include "ops/concat.hpp"
+#include "ops/encoders.hpp"
+#include "ops/string_ops.hpp"
+#include "ops/tfidf.hpp"
+#include "workloads/text_gen.hpp"
+
+namespace willump::workloads {
+
+Workload make_price(const PriceConfig& cfg) {
+  common::Rng rng(cfg.seed);
+  const auto noun_vocab = TextGen::make_vocab(500, 0xC1);
+  const auto premium_vocab = TextGen::make_vocab(25, 0xC2);  // "leather, gold..."
+  const auto budget_vocab = TextGen::make_vocab(25, 0xC3);   // "used, broken..."
+
+  std::vector<double> brand_premium(cfg.n_brands);
+  for (auto& b : brand_premium) b = rng.next_gaussian() * 0.35;
+  std::vector<double> category_base(cfg.n_categories);
+  for (auto& c : category_base) c = 2.5 + rng.next_gaussian() * 1.0;
+
+  const std::size_t n = cfg.sizes.total();
+  data::StringColumn names;
+  data::IntColumn brands, categories, shippings, conditions;
+  std::vector<double> log_price;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t brand = rng.next_below(cfg.n_brands);
+    const std::size_t cat = rng.next_below(cfg.n_categories);
+    const std::int64_t shipping = rng.next_bernoulli(0.45) ? 1 : 0;
+    const std::int64_t condition = rng.next_int(1, 5);
+
+    std::string name = TextGen::make_doc(noun_vocab, 3 + rng.next_below(6), rng);
+    double keyword_effect = 0.0;
+    if (rng.next_bernoulli(0.3)) {
+      name += " " + TextGen::pick(premium_vocab, rng);
+      keyword_effect += 0.6;
+    }
+    if (rng.next_bernoulli(0.2)) {
+      name = TextGen::pick(budget_vocab, rng) + " " + name;
+      keyword_effect -= 0.5;
+    }
+
+    const double y = category_base[cat] + brand_premium[brand] + keyword_effect +
+                     0.08 * static_cast<double>(condition) -
+                     0.1 * static_cast<double>(shipping) +
+                     rng.next_gaussian() * 0.25;
+    names.push_back(std::move(name));
+    brands.push_back(static_cast<std::int64_t>(brand));
+    categories.push_back(static_cast<std::int64_t>(cat));
+    shippings.push_back(shipping);
+    conditions.push_back(condition);
+    log_price.push_back(y);
+  }
+
+  data::StringColumn train_corpus(
+      names.begin(), names.begin() + static_cast<std::ptrdiff_t>(cfg.sizes.train));
+  for (auto& doc : train_corpus) doc = common::to_lower(doc);
+
+  ops::TfIdfConfig word_cfg;
+  word_cfg.analyzer = ops::Analyzer::Word;
+  word_cfg.ngrams = {1, 2};
+  word_cfg.max_features = cfg.name_tfidf_features;
+  auto word_model = std::make_shared<ops::TfIdfModel>(
+      ops::TfIdfModel::fit(train_corpus, word_cfg));
+
+  Workload w;
+  w.name = "price";
+  w.classification = false;
+
+  core::Graph& g = w.pipeline.graph;
+  const int name = g.add_source("name", data::ColumnType::String);
+  const int brand = g.add_source("brand_id", data::ColumnType::Int);
+  const int category = g.add_source("category_id", data::ColumnType::Int);
+  const int shipping = g.add_source("shipping", data::ColumnType::Int);
+  const int condition = g.add_source("condition", data::ColumnType::Int);
+
+  const int stats =
+      g.add_transform("stats", std::make_shared<ops::StringStatsOp>(), {name});
+  const int lower =
+      g.add_transform("lower", std::make_shared<ops::LowercaseOp>(), {name});
+  const int name_tfidf = g.add_transform(
+      "name_tfidf", std::make_shared<ops::TfIdfOp>(word_model, "name_tfidf"),
+      {lower});
+  const int brand_oh = g.add_transform(
+      "brand_onehot",
+      std::make_shared<ops::OneHotHashOp>(1024, 0xBEEF, "brand_onehot"), {brand});
+  const int cat_oh = g.add_transform(
+      "category_onehot",
+      std::make_shared<ops::OneHotHashOp>(256, 0xCAFE, "category_onehot"),
+      {category});
+  const int numeric = g.add_transform(
+      "numeric", std::make_shared<ops::NumericColumnsOp>("numeric"),
+      {shipping, condition});
+  const int concat =
+      g.add_transform("concat", std::make_shared<ops::ConcatOp>(),
+                      {stats, name_tfidf, brand_oh, cat_oh, numeric});
+  g.set_output(concat);
+
+  models::MlpConfig mlp;
+  mlp.hidden = 64;
+  mlp.epochs = 25;
+  mlp.learning_rate = 0.015;
+  mlp.classification = false;
+  w.pipeline.model_proto = std::make_shared<models::Mlp>(mlp);
+
+  data::Batch inputs;
+  inputs.add("name", data::Column(std::move(names)));
+  inputs.add("brand_id", data::Column(std::move(brands)));
+  inputs.add("category_id", data::Column(std::move(categories)));
+  inputs.add("shipping", data::Column(std::move(shippings)));
+  inputs.add("condition", data::Column(std::move(conditions)));
+  split_labeled(inputs, log_price, cfg.sizes, w);
+  return w;
+}
+
+}  // namespace willump::workloads

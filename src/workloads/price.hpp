@@ -1,0 +1,32 @@
+#pragma once
+
+#include "workloads/workload.hpp"
+
+namespace willump::workloads {
+
+/// Configuration for the Price workload generator.
+struct PriceConfig {
+  SplitSizes sizes{.train = 5000, .valid = 1500, .test = 1500};
+  std::uint64_t seed = 505;
+  std::size_t n_brands = 600;
+  std::size_t n_categories = 150;
+  int name_tfidf_features = 2000;
+};
+
+/// Price: predict product prices for online sellers (the paper's Mercari
+/// Kaggle winner; Table 1: feature encoding, string processing, TF-IDF;
+/// neural net, REGRESSION — cascades never apply, top-K filtering does).
+///
+/// Graph (5 IFVs, Figure 4d shape):
+///   name ----------------------------> [string stats]     (FG1, ~free)
+///   name -> lowercase(shared preproc) -> word tfidf        (FG2, expensive)
+///   brand_id ------------------------> [one-hot hash 256]  (FG3, cheap)
+///   category_id ---------------------> [one-hot hash 64]   (FG4, cheap)
+///   shipping, condition -------------> [numeric assembly]  (FG5, ~free)
+///
+/// The model is a sparse-input MLP; per the paper (§4.2) its IFV
+/// importances come from a GBDT proxy, which this workload exercises.
+/// Target: log1p(price) with planted brand/category/keyword effects.
+Workload make_price(const PriceConfig& cfg = {});
+
+}  // namespace willump::workloads

@@ -1,0 +1,118 @@
+#include "workloads/product.hpp"
+
+#include "common/string_util.hpp"
+#include "models/linear.hpp"
+#include "ops/concat.hpp"
+#include "ops/string_ops.hpp"
+#include "ops/tfidf.hpp"
+#include "workloads/text_gen.hpp"
+
+namespace willump::workloads {
+
+Workload make_product(const ProductConfig& cfg) {
+  common::Rng rng(cfg.seed);
+  const auto common_vocab = TextGen::make_vocab(400, 0xA1);
+  const auto brand_vocab = TextGen::make_vocab(80, 0xA2);
+  const auto spam_vocab = TextGen::make_vocab(40, 0xA3);
+
+  const std::size_t n = cfg.sizes.total();
+  data::StringColumn titles;
+  std::vector<double> labels;
+  titles.reserve(n);
+  labels.reserve(n);
+
+  for (std::size_t i = 0; i < n; ++i) {
+    const bool concise = rng.next_bernoulli(0.5);
+    const bool easy = rng.next_bernoulli(cfg.easy_fraction);
+    std::string title;
+    if (concise) {
+      if (easy) {
+        // Short, calm title: surface stats suffice.
+        title = TextGen::pick(brand_vocab, rng) + " " +
+                TextGen::make_doc(common_vocab, 2 + rng.next_below(4), rng);
+      } else {
+        // Long but still concise: length alone misleads; the absence of
+        // spam words (FG2) resolves it.
+        title = TextGen::pick(brand_vocab, rng) + " " +
+                TextGen::make_doc(common_vocab, 9 + rng.next_below(6), rng);
+      }
+    } else {
+      if (easy) {
+        // Long, shouty, digit-ridden spam: surface stats suffice.
+        title = TextGen::make_doc(common_vocab, 8 + rng.next_below(8), rng);
+        for (int k = 0; k < 3; ++k) {
+          title += " " + TextGen::pick(spam_vocab, rng);
+        }
+        title += " " + std::to_string(rng.next_below(9000) + 1000);
+        TextGen::shout(title, 0.5, rng);
+      } else if (rng.next_bernoulli(0.5)) {
+        // Short but contains spam words: needs word identity (FG2).
+        title = TextGen::pick(spam_vocab, rng) + " " +
+                TextGen::make_doc(common_vocab, 3 + rng.next_below(3), rng);
+      } else {
+        // Short and calm but with punctuation bursts: only the char n-gram
+        // view of the un-stripped string (FG3) sees "!!" / "$$".
+        title = TextGen::pick(brand_vocab, rng) + " " +
+                TextGen::make_doc(common_vocab, 3 + rng.next_below(3), rng);
+        title += rng.next_bernoulli(0.5) ? "!!" : "$$";
+      }
+    }
+    titles.push_back(std::move(title));
+    labels.push_back(concise ? 1.0 : 0.0);
+  }
+
+  // Fit the vectorizers on the training slice only.
+  data::StringColumn train_corpus(titles.begin(),
+                                  titles.begin() + static_cast<std::ptrdiff_t>(
+                                                       cfg.sizes.train));
+  for (auto& doc : train_corpus) doc = common::to_lower(doc);
+
+  ops::TfIdfConfig word_cfg;
+  word_cfg.analyzer = ops::Analyzer::Word;
+  word_cfg.ngrams = {1, 2};
+  word_cfg.max_features = cfg.word_tfidf_features;
+  data::StringColumn stripped_corpus = train_corpus;
+  for (auto& doc : stripped_corpus) doc = common::strip_punct(doc);
+  auto word_model = std::make_shared<ops::TfIdfModel>(
+      ops::TfIdfModel::fit(stripped_corpus, word_cfg));
+
+  ops::TfIdfConfig char_cfg;
+  char_cfg.analyzer = ops::Analyzer::Char;
+  char_cfg.ngrams = {2, 4};
+  char_cfg.max_features = cfg.char_tfidf_features;
+  auto char_model = std::make_shared<ops::TfIdfModel>(
+      ops::TfIdfModel::fit(train_corpus, char_cfg));
+
+  Workload w;
+  w.name = "product";
+  w.classification = true;
+
+  core::Graph& g = w.pipeline.graph;
+  const int title = g.add_source("title", data::ColumnType::String);
+  const int stats =
+      g.add_transform("stats", std::make_shared<ops::StringStatsOp>(), {title});
+  const int lower =
+      g.add_transform("lower", std::make_shared<ops::LowercaseOp>(), {title});
+  const int strip =
+      g.add_transform("strip", std::make_shared<ops::StripPunctOp>(), {lower});
+  const int word_tfidf = g.add_transform(
+      "word_tfidf", std::make_shared<ops::TfIdfOp>(word_model, "word_tfidf"),
+      {strip});
+  const int char_tfidf = g.add_transform(
+      "char_tfidf", std::make_shared<ops::TfIdfOp>(char_model, "char_tfidf"),
+      {lower});
+  const int concat = g.add_transform("concat", std::make_shared<ops::ConcatOp>(),
+                                     {stats, word_tfidf, char_tfidf});
+  g.set_output(concat);
+
+  models::LinearConfig lin;
+  lin.epochs = 10;
+  w.pipeline.model_proto = std::make_shared<models::LogisticRegression>(lin);
+
+  data::Batch inputs;
+  inputs.add("title", data::Column(std::move(titles)));
+  split_labeled(inputs, labels, cfg.sizes, w);
+  return w;
+}
+
+}  // namespace willump::workloads

@@ -1,0 +1,33 @@
+#pragma once
+
+#include "workloads/workload.hpp"
+
+namespace willump::workloads {
+
+/// Configuration for the Product workload generator.
+struct ProductConfig {
+  SplitSizes sizes{};
+  std::uint64_t seed = 101;
+  /// Fraction of titles classifiable from cheap surface statistics alone
+  /// (the "easy" inputs cascades short-circuit).
+  double easy_fraction = 0.72;
+  int word_tfidf_features = 1500;
+  int char_tfidf_features = 2500;
+};
+
+/// Product: classify product titles as concise or not (the paper's CIKM
+/// AnalytiCup 2017 Lazada entry; Table 1: string processing, n-grams,
+/// TF-IDF; linear model).
+///
+/// Graph (3 IFVs, Figure 4a shape):
+///   title ---------------------> [string_stats]             (FG1, cheap)
+///   title -> lowercase(shared) -> strip_punct -> word tfidf (FG2, medium)
+///                              \-> char 2-4gram tfidf       (FG3, expensive)
+///
+/// Planted structure: "concise" titles are short, calm, low-digit; easy
+/// negatives are long/shouty/spammy (visible to FG1); hard cases hinge on
+/// specific spam words (FG2) or punctuation-burst character patterns that
+/// survive only in FG3's un-stripped input.
+Workload make_product(const ProductConfig& cfg = {});
+
+}  // namespace willump::workloads

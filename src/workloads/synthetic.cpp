@@ -1,0 +1,72 @@
+#include "workloads/synthetic.hpp"
+
+#include "common/string_util.hpp"
+#include "models/linear.hpp"
+#include "ops/concat.hpp"
+#include "ops/tfidf.hpp"
+#include "workloads/text_gen.hpp"
+
+namespace willump::workloads {
+
+Workload make_synthetic_parallel(const SyntheticParallelConfig& cfg) {
+  common::Rng rng(cfg.seed);
+  const auto vocab = TextGen::make_vocab(400, 0xD1);
+  const auto marker_vocab = TextGen::make_vocab(20, 0xD2);
+
+  const std::size_t n = cfg.sizes.total();
+  data::StringColumn docs;
+  std::vector<double> labels;
+  for (std::size_t i = 0; i < n; ++i) {
+    const bool positive = rng.next_bernoulli(0.5);
+    std::string doc = TextGen::make_doc(
+        vocab,
+        cfg.doc_words_min + rng.next_below(cfg.doc_words_max - cfg.doc_words_min),
+        rng);
+    if (positive) {
+      // Two marker words so positives carry a strong n-gram signal.
+      doc += " " + TextGen::pick(marker_vocab, rng) + " " +
+             TextGen::pick(marker_vocab, rng);
+    }
+    docs.push_back(std::move(doc));
+    labels.push_back(positive ? 1.0 : 0.0);
+  }
+
+  data::StringColumn train_corpus(
+      docs.begin(), docs.begin() + static_cast<std::ptrdiff_t>(cfg.sizes.train));
+
+  // The Toxic benchmark's char-TF-IDF configuration.
+  ops::TfIdfConfig char_cfg;
+  char_cfg.analyzer = ops::Analyzer::Char;
+  char_cfg.ngrams = {3, 5};
+  char_cfg.max_features = cfg.tfidf_features;
+  auto model = std::make_shared<ops::TfIdfModel>(
+      ops::TfIdfModel::fit(train_corpus, char_cfg));
+
+  Workload w;
+  w.name = "synthetic_parallel";
+  w.classification = true;
+
+  core::Graph& g = w.pipeline.graph;
+  const int doc = g.add_source("doc", data::ColumnType::String);
+  std::vector<int> fgs;
+  for (int k = 0; k < cfg.n_generators; ++k) {
+    fgs.push_back(g.add_transform(
+        "tfidf_" + std::to_string(k),
+        std::make_shared<ops::TfIdfOp>(model, "tfidf_" + std::to_string(k)),
+        {doc}));
+  }
+  const int concat =
+      g.add_transform("concat", std::make_shared<ops::ConcatOp>(), fgs);
+  g.set_output(concat);
+
+  models::LinearConfig lin;
+  lin.epochs = 6;
+  w.pipeline.model_proto = std::make_shared<models::LogisticRegression>(lin);
+
+  data::Batch inputs;
+  inputs.add("doc", data::Column(std::move(docs)));
+  split_labeled(inputs, labels, cfg.sizes, w);
+  return w;
+}
+
+}  // namespace willump::workloads

@@ -1,0 +1,30 @@
+#pragma once
+
+#include "workloads/workload.hpp"
+
+namespace willump::workloads {
+
+/// Configuration for the synthetic linearly-parallelizable workload.
+struct SyntheticParallelConfig {
+  SplitSizes sizes{.train = 1200, .valid = 400, .test = 400};
+  std::uint64_t seed = 707;
+  /// Number of identical feature generators (the paper uses four copies of
+  /// the Toxic benchmark's TF-IDF vectorizer, §6.4 Parallelization).
+  int n_generators = 4;
+  /// Large enough that the rare class-marker n-grams stay in vocabulary.
+  int tfidf_features = 9000;
+  /// Document length range; longer documents make each generator heavier,
+  /// which is what lets per-input parallelization approach linear speedup
+  /// (fixed dispatch overhead amortizes).
+  std::size_t doc_words_min = 80;
+  std::size_t doc_words_max = 140;
+};
+
+/// The paper's synthetic parallelization benchmark (Figure 8, right): the
+/// same expensive feature-computing operator (a char TF-IDF vectorizer
+/// taken from the Toxic benchmark) run `n_generators` times on the same
+/// input, concatenated, and fed to a linear model. Every generator costs
+/// the same, so per-input parallelization should scale near-linearly.
+Workload make_synthetic_parallel(const SyntheticParallelConfig& cfg = {});
+
+}  // namespace willump::workloads

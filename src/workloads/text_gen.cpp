@@ -1,0 +1,61 @@
+#include "workloads/text_gen.hpp"
+
+#include <cctype>
+#include <unordered_set>
+
+namespace willump::workloads {
+
+namespace {
+
+const char* kConsonants[] = {"b", "d",  "f", "g", "k",  "l",  "m",
+                             "n", "p",  "r", "s", "t",  "v",  "z",
+                             "ch", "sh", "th", "br", "st", "tr"};
+const char* kVowels[] = {"a", "e", "i", "o", "u", "ai", "ou", "ea"};
+
+std::string make_syllable(common::Rng& rng) {
+  std::string s = kConsonants[rng.next_below(std::size(kConsonants))];
+  s += kVowels[rng.next_below(std::size(kVowels))];
+  return s;
+}
+
+}  // namespace
+
+std::vector<std::string> TextGen::make_vocab(std::size_t n, std::uint64_t salt) {
+  common::Rng rng(0x7E87 ^ salt);
+  std::unordered_set<std::string> seen;
+  std::vector<std::string> out;
+  out.reserve(n);
+  while (out.size() < n) {
+    const std::size_t syllables = 2 + rng.next_below(3);
+    std::string w;
+    for (std::size_t i = 0; i < syllables; ++i) w += make_syllable(rng);
+    if (seen.insert(w).second) out.push_back(std::move(w));
+  }
+  return out;
+}
+
+const std::string& TextGen::pick(const std::vector<std::string>& vocab,
+                                 common::Rng& rng) {
+  return vocab[rng.next_below(vocab.size())];
+}
+
+std::string TextGen::make_doc(const std::vector<std::string>& vocab,
+                              std::size_t n_words, common::Rng& rng) {
+  std::string out;
+  for (std::size_t i = 0; i < n_words; ++i) {
+    if (i > 0) out.push_back(' ');
+    out += pick(vocab, rng);
+  }
+  return out;
+}
+
+void TextGen::shout(std::string& s, double fraction, common::Rng& rng) {
+  for (char& c : s) {
+    if (std::isalpha(static_cast<unsigned char>(c)) &&
+        rng.next_double() < fraction) {
+      c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+    }
+  }
+}
+
+}  // namespace willump::workloads

@@ -1,0 +1,33 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace willump::workloads {
+
+/// Deterministic synthetic-vocabulary text generation.
+///
+/// Words are pronounceable consonant-vowel syllable sequences so that char
+/// n-gram features carry real signal (shared stems, affixes) the way they do
+/// on natural-language data. Vocabularies are disjoint across calls with
+/// different salts.
+class TextGen {
+ public:
+  /// Generate `n` distinct words of 2-4 syllables.
+  static std::vector<std::string> make_vocab(std::size_t n, std::uint64_t salt);
+
+  /// One random word from `vocab`.
+  static const std::string& pick(const std::vector<std::string>& vocab,
+                                 common::Rng& rng);
+
+  /// A document of `n_words` drawn from `vocab`, space-separated.
+  static std::string make_doc(const std::vector<std::string>& vocab,
+                              std::size_t n_words, common::Rng& rng);
+
+  /// Uppercase a fraction of characters (shouting), in place.
+  static void shout(std::string& s, double fraction, common::Rng& rng);
+};
+
+}  // namespace willump::workloads

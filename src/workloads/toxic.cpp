@@ -1,0 +1,108 @@
+#include "workloads/toxic.hpp"
+
+#include "common/string_util.hpp"
+#include "models/linear.hpp"
+#include "ops/concat.hpp"
+#include "ops/string_ops.hpp"
+#include "ops/tfidf.hpp"
+#include "workloads/text_gen.hpp"
+
+namespace willump::workloads {
+
+const std::vector<std::string>& toxic_curse_vocab() {
+  static const std::vector<std::string> vocab = TextGen::make_vocab(12, 0xB1);
+  return vocab;
+}
+
+Workload make_toxic(const ToxicConfig& cfg) {
+  common::Rng rng(cfg.seed);
+  const auto common_vocab = TextGen::make_vocab(600, 0xB2);
+  const auto insult_vocab = TextGen::make_vocab(30, 0xB3);
+  const auto& curse_vocab = toxic_curse_vocab();
+
+  const std::size_t n = cfg.sizes.total();
+  data::StringColumn comments;
+  std::vector<double> labels;
+  comments.reserve(n);
+  labels.reserve(n);
+
+  for (std::size_t i = 0; i < n; ++i) {
+    const bool toxic = rng.next_bernoulli(cfg.toxic_fraction);
+    std::string comment = TextGen::make_doc(
+        common_vocab, cfg.words_min + rng.next_below(cfg.words_max - cfg.words_min),
+        rng);
+    if (toxic) {
+      if (rng.next_bernoulli(cfg.cursing_fraction)) {
+        // Easy: explicit curse words, often repeated and shouted.
+        const int curses = 1 + static_cast<int>(rng.next_below(3));
+        for (int k = 0; k < curses; ++k) {
+          comment += " " + TextGen::pick(curse_vocab, rng);
+        }
+        if (rng.next_bernoulli(0.4)) TextGen::shout(comment, 0.6, rng);
+      } else if (rng.next_bernoulli(0.6)) {
+        // Subtle: insult vocabulary without curses (word identity, FG2).
+        comment += " " + TextGen::pick(insult_vocab, rng) + " " +
+                   TextGen::pick(insult_vocab, rng);
+      } else {
+        // Hostile character pattern: stretched vowels + exclamations that
+        // only char n-grams capture.
+        comment += " " + TextGen::pick(common_vocab, rng) + "aaaaa!!!";
+      }
+    } else if (rng.next_bernoulli(0.03)) {
+      // Hard negative: quotes an insult word in a benign context.
+      comment += " " + TextGen::pick(insult_vocab, rng);
+    }
+    comments.push_back(std::move(comment));
+    labels.push_back(toxic ? 1.0 : 0.0);
+  }
+
+  data::StringColumn train_corpus(
+      comments.begin(),
+      comments.begin() + static_cast<std::ptrdiff_t>(cfg.sizes.train));
+  for (auto& doc : train_corpus) doc = common::to_lower(doc);
+
+  ops::TfIdfConfig word_cfg;
+  word_cfg.analyzer = ops::Analyzer::Word;
+  word_cfg.ngrams = {1, 1};
+  word_cfg.max_features = cfg.word_tfidf_features;
+  auto word_model = std::make_shared<ops::TfIdfModel>(
+      ops::TfIdfModel::fit(train_corpus, word_cfg));
+
+  ops::TfIdfConfig char_cfg;
+  char_cfg.analyzer = ops::Analyzer::Char;
+  char_cfg.ngrams = {3, 5};
+  char_cfg.max_features = cfg.char_tfidf_features;
+  auto char_model = std::make_shared<ops::TfIdfModel>(
+      ops::TfIdfModel::fit(train_corpus, char_cfg));
+
+  Workload w;
+  w.name = "toxic";
+  w.classification = true;
+
+  core::Graph& g = w.pipeline.graph;
+  const int comment = g.add_source("comment", data::ColumnType::String);
+  const int curses = g.add_transform(
+      "curse_count", std::make_shared<ops::KeywordCountOp>(curse_vocab), {comment});
+  const int lower =
+      g.add_transform("lower", std::make_shared<ops::LowercaseOp>(), {comment});
+  const int word_tfidf = g.add_transform(
+      "word_tfidf", std::make_shared<ops::TfIdfOp>(word_model, "word_tfidf"),
+      {lower});
+  const int char_tfidf = g.add_transform(
+      "char_tfidf", std::make_shared<ops::TfIdfOp>(char_model, "char_tfidf"),
+      {lower});
+  const int concat = g.add_transform("concat", std::make_shared<ops::ConcatOp>(),
+                                     {curses, word_tfidf, char_tfidf});
+  g.set_output(concat);
+
+  models::LinearConfig lin;
+  lin.epochs = 10;
+  w.pipeline.model_proto = std::make_shared<models::LogisticRegression>(lin);
+
+  data::Batch inputs;
+  inputs.add("comment", data::Column(std::move(comments)));
+  split_labeled(inputs, labels, cfg.sizes, w);
+  return w;
+}
+
+}  // namespace willump::workloads

@@ -1,0 +1,39 @@
+#pragma once
+
+#include "workloads/workload.hpp"
+
+namespace willump::workloads {
+
+/// Configuration for the Toxic workload generator.
+struct ToxicConfig {
+  SplitSizes sizes{};
+  std::uint64_t seed = 202;
+  double toxic_fraction = 0.25;
+  /// Fraction of toxic comments containing explicit curse words (the easy
+  /// inputs of the paper's §1 motivating example).
+  double cursing_fraction = 0.7;
+  int word_tfidf_features = 2000;
+  int char_tfidf_features = 3000;
+  /// Comment length range in words; the parallelization experiment
+  /// (Figure 8) uses longer comments so generator cost dominates dispatch.
+  std::size_t words_min = 8;
+  std::size_t words_max = 28;
+};
+
+/// Toxic: classify comments as toxic or not (the paper's Jigsaw Kaggle
+/// entry; Table 1: string processing, n-grams, TF-IDF; linear model).
+///
+/// Graph (3 IFVs, Figure 4b shape):
+///   comment --------------------------> [curse keyword counts] (FG1, ~free)
+///   comment -> lowercase(shared) ------> word tfidf            (FG2, medium)
+///                                  \---> char 3-5gram tfidf    (FG3, expensive)
+///
+/// Planted structure: most toxic comments contain curse words — FG1 decides
+/// them instantly, the paper's canonical cascade example; subtly toxic
+/// comments use insult words (FG2) or hostile character patterns (FG3).
+Workload make_toxic(const ToxicConfig& cfg = {});
+
+/// The curse-word vocabulary the generator and FG1 share (synthetic tokens).
+const std::vector<std::string>& toxic_curse_vocab();
+
+}  // namespace willump::workloads

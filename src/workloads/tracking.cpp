@@ -1,0 +1,141 @@
+#include "workloads/tracking.hpp"
+
+#include <cmath>
+
+#include "models/gbdt.hpp"
+#include "ops/concat.hpp"
+#include "ops/encoders.hpp"
+#include "ops/lookup.hpp"
+
+namespace willump::workloads {
+
+Workload make_tracking(const TrackingConfig& cfg) {
+  common::Rng rng(cfg.seed);
+
+  std::vector<double> ip_reputation(cfg.n_ips);
+  for (auto& v : ip_reputation) v = rng.next_gaussian();
+  std::vector<double> app_ctr(cfg.n_apps);
+  for (auto& v : app_ctr) v = rng.next_gaussian() * 1.4;
+  std::vector<double> channel_quality(cfg.n_channels);
+  for (auto& v : channel_quality) v = rng.next_gaussian() * 1.1;
+  std::vector<double> device_factor(cfg.n_devices);
+  for (auto& v : device_factor) v = rng.next_gaussian() * 0.2;
+  std::vector<double> os_factor(cfg.n_os);
+  for (auto& v : os_factor) v = rng.next_gaussian() * 0.2;
+
+  auto tables = std::make_shared<store::TableRegistry>();
+  auto make_table = [&](const std::string& name, const std::vector<double>& base,
+                        std::size_t dim) {
+    auto t = std::make_shared<store::FeatureTable>(name, dim);
+    for (std::size_t k = 0; k < base.size(); ++k) {
+      data::DenseVector row(dim);
+      row[0] = base[k];
+      for (std::size_t i = 1; i < dim; ++i) row[i] = rng.next_gaussian() * 0.25;
+      t->put(static_cast<std::int64_t>(k), std::move(row));
+    }
+    return tables->add(std::move(t), store::NetworkModel{});
+  };
+  auto ip_client = make_table("ip_features", ip_reputation, 8);
+  auto app_client = make_table("app_features", app_ctr, 6);
+  auto channel_client = make_table("channel_features", channel_quality, 6);
+  auto device_client = make_table("device_features", device_factor, 4);
+  auto os_client = make_table("os_features", os_factor, 4);
+
+  common::ZipfSampler ip_sampler(cfg.n_ips, cfg.ip_zipf);
+  common::ZipfSampler app_sampler(cfg.n_apps, 1.0);
+  common::ZipfSampler channel_sampler(cfg.n_channels, 1.0);
+
+  // Captures by value so the sampler stays valid inside Workload::query_sampler
+  // after this function returns.
+  auto sample_rows = [cfg, ip_sampler, app_sampler, channel_sampler, ip_reputation,
+                      app_ctr, channel_quality, device_factor,
+                      os_factor](std::size_t count, common::Rng& r,
+                                 data::Batch& out, std::vector<double>* labels) {
+    data::IntColumn ips, apps, channels, devices, oss;
+    data::DoubleColumn hours;
+    for (std::size_t i = 0; i < count; ++i) {
+      const std::size_t ip = ip_sampler.sample(r);
+      const std::size_t app = app_sampler.sample(r);
+      const std::size_t channel = channel_sampler.sample(r);
+      const std::size_t device = r.next_below(cfg.n_devices);
+      const std::size_t os = r.next_below(cfg.n_os);
+      const double hour = static_cast<double>(r.next_below(24));
+      if (labels != nullptr) {
+        const double night_bonus = (hour >= 1.0 && hour <= 6.0) ? 0.4 : 0.0;
+        const double z = -1.1 + app_ctr[app] + channel_quality[channel] +
+                         0.5 * ip_reputation[ip] + device_factor[device] +
+                         os_factor[os] + night_bonus + r.next_gaussian() * 0.3;
+        const double p = 1.0 / (1.0 + std::exp(-z));
+        labels->push_back(r.next_bernoulli(p) ? 1.0 : 0.0);
+      }
+      ips.push_back(static_cast<std::int64_t>(ip));
+      apps.push_back(static_cast<std::int64_t>(app));
+      channels.push_back(static_cast<std::int64_t>(channel));
+      devices.push_back(static_cast<std::int64_t>(device));
+      oss.push_back(static_cast<std::int64_t>(os));
+      hours.push_back(hour);
+    }
+    out.add("ip_id", data::Column(std::move(ips)));
+    out.add("app_id", data::Column(std::move(apps)));
+    out.add("channel_id", data::Column(std::move(channels)));
+    out.add("device_id", data::Column(std::move(devices)));
+    out.add("os_id", data::Column(std::move(oss)));
+    out.add("hour", data::Column(std::move(hours)));
+  };
+
+  data::Batch inputs;
+  std::vector<double> labels;
+  sample_rows(cfg.sizes.total(), rng, inputs, &labels);
+
+  Workload w;
+  w.name = "tracking";
+  w.classification = true;
+  w.tables = tables;
+
+  core::Graph& g = w.pipeline.graph;
+  const int ip = g.add_source("ip_id", data::ColumnType::Int);
+  const int app = g.add_source("app_id", data::ColumnType::Int);
+  const int channel = g.add_source("channel_id", data::ColumnType::Int);
+  const int device = g.add_source("device_id", data::ColumnType::Int);
+  const int os = g.add_source("os_id", data::ColumnType::Int);
+  const int hour = g.add_source("hour", data::ColumnType::Double);
+
+  const int ipf = g.add_transform(
+      "ip_lookup", std::make_shared<ops::TableLookupOp>(ip_client), {ip});
+  const int appf = g.add_transform(
+      "app_lookup", std::make_shared<ops::TableLookupOp>(app_client), {app});
+  const int chf = g.add_transform(
+      "channel_lookup", std::make_shared<ops::TableLookupOp>(channel_client),
+      {channel});
+  const int devf = g.add_transform(
+      "device_lookup", std::make_shared<ops::TableLookupOp>(device_client),
+      {device});
+  const int osf = g.add_transform(
+      "os_lookup", std::make_shared<ops::TableLookupOp>(os_client), {os});
+  const int hour_bucket = g.add_transform(
+      "hour_bucket",
+      std::make_shared<ops::BucketizeOp>(std::vector<double>{6.0, 12.0, 18.0}),
+      {hour});
+  const int hourf = g.add_transform(
+      "hour_numeric", std::make_shared<ops::NumericColumnsOp>("hour_numeric"),
+      {hour_bucket, hour});
+  const int concat = g.add_transform("concat", std::make_shared<ops::ConcatOp>(),
+                                     {ipf, appf, chf, devf, osf, hourf});
+  g.set_output(concat);
+
+  models::GbdtConfig gbdt;
+  gbdt.n_trees = 40;
+  gbdt.max_depth = 4;
+  w.pipeline.model_proto = std::make_shared<models::Gbdt>(gbdt);
+
+  split_labeled(inputs, labels, cfg.sizes, w);
+
+  w.query_sampler = [sample_rows](std::size_t count, common::Rng& qrng) mutable {
+    data::Batch b;
+    sample_rows(count, qrng, b, nullptr);
+    return b;
+  };
+  return w;
+}
+
+}  // namespace willump::workloads

@@ -1,0 +1,39 @@
+#pragma once
+
+#include "workloads/workload.hpp"
+
+namespace willump::workloads {
+
+/// Configuration for the Tracking workload generator.
+struct TrackingConfig {
+  SplitSizes sizes{.train = 6000, .valid = 2000, .test = 2000};
+  std::uint64_t seed = 606;
+  std::size_t n_ips = 8000;
+  std::size_t n_apps = 200;
+  std::size_t n_channels = 100;
+  std::size_t n_devices = 50;
+  std::size_t n_os = 30;
+  double ip_zipf = 1.1;
+};
+
+/// Tracking: predict whether a user downloads an app after clicking a
+/// mobile-app ad (the paper's TalkingData Kaggle entry; Table 1: remote
+/// data lookup, data joins; GBDT).
+///
+/// Graph (6 IFVs; one generator is a multi-node chain — bucketize(hour) ->
+/// numeric — exercising generators with more than one transform):
+///   ip_id      -> [ip_features lookup]        (reputation/click counts)
+///   app_id     -> [app_features lookup]       (historical CTR)
+///   channel_id -> [channel_features lookup]
+///   device_id  -> [device_features lookup]
+///   os_id      -> [os_features lookup]
+///   hour       -> bucketize -> [numeric]      (time-of-day)
+///
+/// Planted structure: app CTR and channel quality dominate (many clicks are
+/// trivially fraud/not-fraud — the paper notes "many dataset elements have
+/// positive class probability 1", which is why Tracking is excluded from
+/// the top-K evaluation); ip popularity is Zipf-skewed for the caching
+/// experiments.
+Workload make_tracking(const TrackingConfig& cfg = {});
+
+}  // namespace willump::workloads

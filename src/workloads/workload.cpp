@@ -1,0 +1,31 @@
+#include "workloads/workload.hpp"
+
+#include <numeric>
+#include <stdexcept>
+
+namespace willump::workloads {
+
+void split_labeled(const data::Batch& inputs, const std::vector<double>& targets,
+                   const SplitSizes& sizes, Workload& out) {
+  if (inputs.num_rows() != targets.size() || inputs.num_rows() < sizes.total()) {
+    throw std::invalid_argument("split_labeled: size mismatch");
+  }
+  auto take = [&](std::size_t begin, std::size_t count) {
+    std::vector<std::size_t> idx(count);
+    std::iota(idx.begin(), idx.end(), begin);
+    core::LabeledData d;
+    d.inputs = inputs.select_rows(idx);
+    d.targets.assign(targets.begin() + static_cast<std::ptrdiff_t>(begin),
+                     targets.begin() + static_cast<std::ptrdiff_t>(begin + count));
+    return d;
+  };
+  out.train = take(0, sizes.train);
+  out.valid = take(sizes.train, sizes.valid);
+  out.test = take(sizes.train + sizes.valid, sizes.test);
+}
+
+store::NetworkModel default_remote_network() {
+  return store::NetworkModel{.rtt_micros = 120.0, .per_key_micros = 1.0};
+}
+
+}  // namespace willump::workloads

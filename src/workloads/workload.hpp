@@ -1,0 +1,56 @@
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "common/rng.hpp"
+#include "core/optimizer.hpp"
+#include "store/kv_store.hpp"
+
+namespace willump::workloads {
+
+/// One benchmark workload: a pipeline, labeled train/valid/test splits, and
+/// (for lookup workloads) the feature tables behind it.
+///
+/// These are synthetic stand-ins for the paper's six Kaggle/CIKM/WSDM
+/// benchmarks (Table 1). Each generator plants the statistical structure
+/// the corresponding optimization exploits: an easy/hard input mixture for
+/// cascades, Zipf-skewed entity popularity for feature caching, and
+/// high-score concentration for top-K filtering. See DESIGN.md §1.
+struct Workload {
+  std::string name;
+  core::Pipeline pipeline;
+  core::LabeledData train;
+  core::LabeledData valid;
+  core::LabeledData test;
+  bool classification = true;
+
+  /// Feature tables (lookup workloads only); experiments flip these between
+  /// local and remote via tables->set_network(...).
+  std::shared_ptr<store::TableRegistry> tables;
+
+  /// Draw a fresh serving stream with realistic entity-popularity skew
+  /// (lookup workloads; null for pure string workloads).
+  std::function<data::Batch(std::size_t n, common::Rng&)> query_sampler;
+};
+
+/// Split sizes shared by the workload generators.
+struct SplitSizes {
+  std::size_t train = 4000;
+  std::size_t valid = 1500;
+  std::size_t test = 1500;
+  std::size_t total() const { return train + valid + test; }
+};
+
+/// Split `inputs`/`targets` (already shuffled by generation) into
+/// train/valid/test according to `sizes`.
+void split_labeled(const data::Batch& inputs, const std::vector<double>& targets,
+                   const SplitSizes& sizes, Workload& out);
+
+/// The default remote-network model used by the remote-table experiments:
+/// one pipelined round trip costs ~120 µs plus 1 µs per key, approximating
+/// same-datacenter Redis as in the paper's setup (§6.1).
+store::NetworkModel default_remote_network();
+
+}  // namespace willump::workloads

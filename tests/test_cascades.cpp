@@ -1,0 +1,163 @@
+#include "core/cascades.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/stats.hpp"
+#include "models/metrics.hpp"
+#include "workloads/toxic.hpp"
+
+namespace willump::core {
+namespace {
+
+/// One small Toxic workload + compiled executor shared by all tests in this
+/// file (training cascades repeatedly would dominate test time otherwise).
+struct CascadeFixture {
+  workloads::Workload wl;
+  std::shared_ptr<CompiledExecutor> ex;
+  TrainedCascade cascade;
+
+  CascadeFixture() {
+    workloads::ToxicConfig cfg;
+    cfg.sizes = {.train = 1500, .valid = 700, .test = 700};
+    wl = workloads::make_toxic(cfg);
+    ex = std::make_shared<CompiledExecutor>(wl.pipeline.graph,
+                                            analyze_ifvs(wl.pipeline.graph));
+    ex->probe_layout(wl.train.inputs.select_rows(std::vector<std::size_t>{0, 1}));
+    cascade = CascadeTrainer::train(*ex, *wl.pipeline.model_proto, wl.train,
+                                    wl.valid, CascadeConfig{});
+  }
+};
+
+CascadeFixture& fixture() {
+  static CascadeFixture f;
+  return f;
+}
+
+TEST(CascadeTrainer, ProducesEnabledCascade) {
+  const auto& c = fixture().cascade;
+  ASSERT_TRUE(c.enabled());
+  EXPECT_NE(c.small_model, nullptr);
+  EXPECT_NE(c.full_model, nullptr);
+  EXPECT_GE(c.threshold, 0.5);
+  EXPECT_LE(c.threshold, 1.0);
+}
+
+TEST(CascadeTrainer, EfficientSetIsProperSubset) {
+  const auto& c = fixture().cascade;
+  const auto n_eff = static_cast<std::size_t>(
+      std::count(c.efficient_mask.begin(), c.efficient_mask.end(), true));
+  EXPECT_GT(n_eff, 0u);
+  EXPECT_LT(n_eff, c.efficient_mask.size());
+  for (std::size_t f = 0; f < c.efficient_mask.size(); ++f) {
+    EXPECT_NE(c.efficient_mask[f], c.inefficient_mask[f]);
+  }
+}
+
+TEST(CascadeTrainer, EfficientSetCostsLessThanHalf) {
+  const auto& c = fixture().cascade;
+  double eff_cost = 0.0;
+  for (std::size_t f = 0; f < c.efficient_mask.size(); ++f) {
+    if (c.efficient_mask[f]) eff_cost += c.stats.cost_seconds[f];
+  }
+  EXPECT_LE(eff_cost, c.stats.total_cost() / 2.0 + 1e-12);
+}
+
+TEST(CascadeTrainer, ValidationAccuracyWithinTarget) {
+  const auto& c = fixture().cascade;
+  EXPECT_GE(c.cascade_valid_accuracy, c.full_valid_accuracy - 0.001 - 1e-12);
+}
+
+TEST(CascadePredict, AccuracyWithinCiOfFullModel) {
+  auto& f = fixture();
+  const auto casc_preds =
+      cascade_predict(*f.ex, f.cascade, f.wl.test.inputs, {});
+  const auto full_preds =
+      f.cascade.full_model->predict(f.ex->compute_matrix(f.wl.test.inputs));
+  const double casc_acc = models::accuracy(casc_preds, f.wl.test.targets);
+  const double full_acc = models::accuracy(full_preds, f.wl.test.targets);
+  EXPECT_TRUE(common::accuracy_within_ci95(casc_acc, full_acc,
+                                           f.wl.test.targets.size()));
+}
+
+TEST(CascadePredict, ShortCircuitsSomeRows) {
+  auto& f = fixture();
+  CascadeRunStats stats;
+  (void)cascade_predict(*f.ex, f.cascade, f.wl.test.inputs, {}, &stats);
+  EXPECT_EQ(stats.total_rows, f.wl.test.inputs.num_rows());
+  // At least some rows must be classified by the small model (on this small
+  // fixture the small model can be confident on every row, so no strict
+  // upper bound is asserted).
+  EXPECT_GT(stats.short_circuited, 0u);
+  EXPECT_LE(stats.short_circuited, stats.total_rows);
+}
+
+TEST(CascadePredict, HardRowsMatchFullModelExactly) {
+  auto& f = fixture();
+  const auto casc = cascade_predict(*f.ex, f.cascade, f.wl.test.inputs, {});
+  const auto full =
+      f.cascade.full_model->predict(f.ex->compute_matrix(f.wl.test.inputs));
+  // Rows that cascaded must carry the full model's exact prediction.
+  const auto eff = f.ex->compute_matrix(
+      f.wl.test.inputs,
+      [&] {
+        ExecOptions o;
+        o.fg_mask = f.cascade.efficient_mask;
+        return o;
+      }());
+  const auto small = f.cascade.small_model->predict(eff);
+  for (std::size_t i = 0; i < casc.size(); ++i) {
+    if (models::confidence(small[i]) <= f.cascade.threshold) {
+      ASSERT_DOUBLE_EQ(casc[i], full[i]);
+    } else {
+      ASSERT_DOUBLE_EQ(casc[i], small[i]);
+    }
+  }
+}
+
+TEST(ThresholdSelect, PicksLowestFeasibleGridPoint) {
+  // Small model confident and right on rows 0-2; wrong on row 3 with
+  // confidence 0.85. Full model always right.
+  const std::vector<double> small{0.95, 0.05, 0.99, 0.85};
+  const std::vector<double> full{0.9, 0.1, 0.9, 0.1};
+  const std::vector<double> labels{1.0, 0.0, 1.0, 0.0};
+  // Target 0: need threshold above 0.85 so row 3 cascades -> t=0.9.
+  EXPECT_DOUBLE_EQ(CascadeTrainer::select_threshold(small, full, labels, 0.0),
+                   0.9);
+  // Allowing one error (25% loss) lets t=0.5 pass.
+  EXPECT_DOUBLE_EQ(CascadeTrainer::select_threshold(small, full, labels, 0.3),
+                   0.5);
+}
+
+TEST(ThresholdSelect, ThresholdOneAlwaysFeasible) {
+  // Small model is always wrong but never > 1.0 confident: cascading
+  // everything reproduces the full model.
+  const std::vector<double> small{0.9, 0.9};
+  const std::vector<double> full{0.9, 0.1};
+  const std::vector<double> labels{1.0, 0.0};
+  const double t = CascadeTrainer::select_threshold(small, full, labels, 0.0);
+  EXPECT_LE(t, 1.0);
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    const double p = models::confidence(small[i]) > t ? small[i] : full[i];
+    if (models::predicted_label(p) == labels[i]) ++correct;
+  }
+  EXPECT_EQ(correct, labels.size());
+}
+
+TEST(CascadeConfig, PolicyAblationChangesSelection) {
+  auto& f = fixture();
+  CascadeConfig cheap_cfg;
+  cheap_cfg.policy = SelectionPolicy::Cheapest;
+  const auto cheap = CascadeTrainer::train(*f.ex, *f.wl.pipeline.model_proto,
+                                           f.wl.train, f.wl.valid, cheap_cfg);
+  ASSERT_TRUE(cheap.enabled());
+  // Cheapest never selects the most expensive generator.
+  const auto max_cost_fg = static_cast<std::size_t>(
+      std::max_element(cheap.stats.cost_seconds.begin(),
+                       cheap.stats.cost_seconds.end()) -
+      cheap.stats.cost_seconds.begin());
+  EXPECT_FALSE(cheap.efficient_mask[max_cost_fg]);
+}
+
+}  // namespace
+}  // namespace willump::core

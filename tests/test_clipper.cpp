@@ -1,0 +1,126 @@
+#include "serving/clipper_sim.hpp"
+
+#include <gtest/gtest.h>
+
+#include "workloads/toxic.hpp"
+
+namespace willump::serving {
+namespace {
+
+struct ClipperFixture {
+  workloads::Workload wl;
+  core::OptimizedPipeline pipeline;
+
+  ClipperFixture()
+      : wl([] {
+          workloads::ToxicConfig cfg;
+          cfg.sizes = {.train = 1000, .valid = 400, .test = 400};
+          return workloads::make_toxic(cfg);
+        }()),
+        pipeline(core::WillumpOptimizer::optimize(wl.pipeline, wl.train,
+                                                  wl.valid, {})) {}
+};
+
+ClipperFixture& fixture() {
+  static ClipperFixture f;
+  return f;
+}
+
+TEST(ClipperWire, BatchRoundTrip) {
+  data::Batch b;
+  b.add("s", data::Column(data::StringColumn{"hello \"world\"", "a\\b"}));
+  b.add("i", data::Column(data::IntColumn{-5, 12}));
+  b.add("d", data::Column(data::DoubleColumn{1.5, -0.25}));
+  const auto wire = ClipperSim::serialize_batch(b);
+  const auto back = ClipperSim::deserialize_batch(wire, b);
+  EXPECT_EQ(back.get("s").strings()[0], "hello \"world\"");
+  EXPECT_EQ(back.get("s").strings()[1], "a\\b");
+  EXPECT_EQ(back.get("i").ints()[0], -5);
+  EXPECT_DOUBLE_EQ(back.get("d").doubles()[1], -0.25);
+}
+
+TEST(ClipperWire, PredictionsRoundTrip) {
+  const std::vector<double> preds{0.125, 1.0, 3.14159e-7};
+  const auto wire = ClipperSim::serialize_predictions(preds);
+  const auto back = ClipperSim::deserialize_predictions(wire);
+  ASSERT_EQ(back.size(), preds.size());
+  for (std::size_t i = 0; i < preds.size(); ++i) {
+    EXPECT_DOUBLE_EQ(back[i], preds[i]);
+  }
+}
+
+TEST(ClipperSim, ServeMatchesDirectPrediction) {
+  auto& f = fixture();
+  ClipperConfig cfg;
+  cfg.rpc_fixed_micros = 10.0;
+  ClipperSim clipper(&f.pipeline, cfg);
+  const auto batch = f.wl.test.inputs.select_rows(
+      std::vector<std::size_t>{0, 1, 2, 3, 4});
+  const auto served = clipper.serve(batch);
+  const auto direct = f.pipeline.predict(batch);
+  ASSERT_EQ(served.size(), direct.size());
+  for (std::size_t i = 0; i < served.size(); ++i) {
+    EXPECT_DOUBLE_EQ(served[i], direct[i]);
+  }
+}
+
+TEST(ClipperSim, StatsAccountOverheads) {
+  auto& f = fixture();
+  ClipperConfig cfg;
+  cfg.rpc_fixed_micros = 200.0;
+  ClipperSim clipper(&f.pipeline, cfg);
+  (void)clipper.serve(f.wl.test.inputs.row(0));
+  (void)clipper.serve(f.wl.test.inputs.row(1));
+  EXPECT_EQ(clipper.stats().queries, 2u);
+  EXPECT_EQ(clipper.stats().rows, 2u);
+  EXPECT_GT(clipper.stats().rpc_seconds, 350e-6);
+  EXPECT_GT(clipper.stats().serialize_seconds, 0.0);
+  EXPECT_GT(clipper.stats().inference_seconds, 0.0);
+  clipper.reset_stats();
+  EXPECT_EQ(clipper.stats().queries, 0u);
+}
+
+TEST(ClipperSim, EndToEndCacheHitsIdenticalInputs) {
+  auto& f = fixture();
+  ClipperConfig cfg;
+  cfg.rpc_fixed_micros = 1.0;
+  cfg.enable_e2e_cache = true;
+  ClipperSim clipper(&f.pipeline, cfg);
+  const auto row = f.wl.test.inputs.row(7);
+  const auto p1 = clipper.serve(row);
+  const auto p2 = clipper.serve(row);
+  EXPECT_DOUBLE_EQ(p1[0], p2[0]);
+  EXPECT_EQ(clipper.stats().cache_hits, 1u);
+  // A different input misses.
+  (void)clipper.serve(f.wl.test.inputs.row(8));
+  EXPECT_EQ(clipper.stats().cache_hits, 1u);
+}
+
+TEST(ClipperSim, RpcOverheadAmortizedOverBatch) {
+  auto& f = fixture();
+  ClipperConfig cfg;
+  cfg.rpc_fixed_micros = 500.0;
+  ClipperSim clipper(&f.pipeline, cfg);
+
+  std::vector<std::size_t> idx1{0};
+  std::vector<std::size_t> idx100;
+  for (std::size_t i = 0; i < 100; ++i) idx100.push_back(i);
+  const double lat1 = clipper.serve_timed(f.wl.test.inputs.select_rows(idx1));
+  const double lat100 = clipper.serve_timed(f.wl.test.inputs.select_rows(idx100));
+  // 100x the rows costs far less than 100x the latency (fixed overheads).
+  EXPECT_LT(lat100, lat1 * 50.0);
+}
+
+TEST(EndToEndCache, KeyCoversAllColumns) {
+  data::Batch a;
+  a.add("x", data::Column(data::IntColumn{1}));
+  a.add("y", data::Column(data::StringColumn{"s"}));
+  data::Batch b;
+  b.add("x", data::Column(data::IntColumn{1}));
+  b.add("y", data::Column(data::StringColumn{"t"}));
+  EXPECT_NE(EndToEndCache::key_of(a), EndToEndCache::key_of(b));
+  EXPECT_EQ(EndToEndCache::key_of(a), EndToEndCache::key_of(a));
+}
+
+}  // namespace
+}  // namespace willump::serving

@@ -1,0 +1,118 @@
+#include "core/efficient_ifv.hpp"
+
+#include <gtest/gtest.h>
+
+namespace willump::core {
+namespace {
+
+TEST(EfficientIfv, PicksMostCostEffectiveUnderBudget) {
+  // CE ratios: 10, 5, 0.1. Total cost 3: budget 1.5.
+  const std::vector<double> imp{10.0, 5.0, 0.1};
+  const std::vector<double> cost{1.0, 1.0, 1.0};
+  const auto r = select_efficient_ifvs(imp, cost, 0.0);
+  EXPECT_TRUE(r.mask[0]);
+  // Adding a second unit of cost would hit 2.0 > 1.5: half-cost rule skips.
+  EXPECT_FALSE(r.mask[1]);
+  EXPECT_FALSE(r.mask[2]);
+  EXPECT_DOUBLE_EQ(r.selected_cost, 1.0);
+  EXPECT_DOUBLE_EQ(r.total_cost, 3.0);
+}
+
+TEST(EfficientIfv, HalfCostRuleSkipsButContinues) {
+  // The most cost-effective candidate is too big, but a later cheap one fits.
+  const std::vector<double> imp{100.0, 1.0, 0.5};
+  const std::vector<double> cost{6.0, 1.0, 1.0};  // total 8, budget 4
+  const auto r = select_efficient_ifvs(imp, cost, 0.0);
+  EXPECT_FALSE(r.mask[0]);  // 6 > 4
+  EXPECT_TRUE(r.mask[1]);
+  EXPECT_TRUE(r.mask[2]);
+}
+
+TEST(EfficientIfv, GammaRuleStopsOnCostEffectivenessCliff) {
+  // First IFV: CE 10. Later IFVs: CE 0.625 and 0.1. With gamma 0.25 the
+  // next candidate falls below 0.25*10 and the loop breaks.
+  const std::vector<double> imp{100.0, 1.0, 50.0};
+  const std::vector<double> cost{10.0, 10.0, 80.0};  // total 100, budget 50
+  const auto r = select_efficient_ifvs(imp, cost, 0.25);
+  EXPECT_TRUE(r.mask[0]);
+  EXPECT_FALSE(r.mask[1]);
+  EXPECT_FALSE(r.mask[2]);
+}
+
+TEST(EfficientIfv, NearFreeIfvsAlwaysIncluded) {
+  // IFV 0 costs under 2% of the pipeline: it joins the efficient set
+  // unconditionally and does NOT poison the gamma-rule average, so the
+  // substantive IFV 1 is still considered (and selected) afterwards.
+  const std::vector<double> imp{5.0, 10.0, 8.0};
+  const std::vector<double> cost{0.01, 1.0, 4.0};  // total 5.01, budget 2.5
+  const auto r = select_efficient_ifvs(imp, cost, 0.25);
+  EXPECT_TRUE(r.mask[0]);   // free
+  EXPECT_TRUE(r.mask[1]);   // substantive, fits budget
+  EXPECT_FALSE(r.mask[2]);  // would exceed the half-cost budget
+}
+
+TEST(EfficientIfv, GammaZeroDisablesCliffRule) {
+  const std::vector<double> imp{100.0, 1.0};
+  const std::vector<double> cost{1.0, 1.0};  // total 2, budget 1... both too big
+  const auto r = select_efficient_ifvs(imp, cost, 0.0);
+  // Budget allows only the first (cost 1 <= 1).
+  EXPECT_TRUE(r.mask[0]);
+  EXPECT_FALSE(r.mask[1]);
+}
+
+TEST(EfficientIfv, FirstCandidateAlwaysPassesGamma) {
+  // avgCE is 0 for an empty set, so the gamma rule cannot reject the first.
+  const std::vector<double> imp{0.001};
+  const std::vector<double> cost{1.0};
+  const auto r = select_efficient_ifvs(imp, cost, 0.9);
+  // (Still rejected by the half-cost rule: 1 > 0.5.)
+  EXPECT_TRUE(r.empty());
+}
+
+TEST(EfficientIfv, EmptyInput) {
+  const auto r = select_efficient_ifvs({}, {}, 0.25);
+  EXPECT_TRUE(r.empty());
+  EXPECT_DOUBLE_EQ(r.total_cost, 0.0);
+}
+
+TEST(EfficientIfv, TypicalTwoOfThreeSelection) {
+  // Mirrors the Product shape: near-free informative stats (auto-included),
+  // medium word-tfidf (selected on cost-effectiveness), expensive
+  // char-tfidf (rejected by the half-cost budget).
+  const std::vector<double> imp{3.0, 5.0, 4.0};
+  const std::vector<double> cost{0.1, 1.0, 6.0};  // total 7.1, budget 3.55
+  const auto r = select_efficient_ifvs(imp, cost, 0.1);
+  EXPECT_TRUE(r.mask[0]);
+  EXPECT_TRUE(r.mask[1]);
+  EXPECT_FALSE(r.mask[2]);
+  EXPECT_EQ(r.num_selected(), 2u);
+}
+
+TEST(SelectionPolicy, MostImportantIgnoresCost) {
+  const std::vector<double> imp{10.0, 9.0, 1.0};
+  const std::vector<double> cost{2.0, 5.0, 1.0};  // total 8, budget 4
+  const auto r = select_by_policy(SelectionPolicy::MostImportant, imp, cost, 0.25);
+  EXPECT_TRUE(r.mask[0]);   // most important fits (cost 2)
+  EXPECT_FALSE(r.mask[1]);  // second would exceed budget (2+5 > 4)
+  EXPECT_TRUE(r.mask[2]);   // least important but still fits (2+1 <= 4)
+}
+
+TEST(SelectionPolicy, CheapestIgnoresImportance) {
+  const std::vector<double> imp{0.0, 0.0, 100.0};
+  const std::vector<double> cost{1.0, 2.0, 10.0};  // total 13, budget 6.5
+  const auto r = select_by_policy(SelectionPolicy::Cheapest, imp, cost, 0.25);
+  EXPECT_TRUE(r.mask[0]);
+  EXPECT_TRUE(r.mask[1]);
+  EXPECT_FALSE(r.mask[2]);
+}
+
+TEST(SelectionPolicy, WillumpDelegatesToAlgorithm1) {
+  const std::vector<double> imp{3.0, 5.0, 4.0};
+  const std::vector<double> cost{0.1, 1.0, 6.0};
+  const auto a = select_by_policy(SelectionPolicy::Willump, imp, cost, 0.25);
+  const auto b = select_efficient_ifvs(imp, cost, 0.25);
+  EXPECT_EQ(a.mask, b.mask);
+}
+
+}  // namespace
+}  // namespace willump::core

@@ -1,0 +1,155 @@
+#include "core/feature_cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/executors.hpp"
+#include "ops/concat.hpp"
+#include "ops/lookup.hpp"
+
+namespace willump::core {
+namespace {
+
+struct LookupFixture {
+  Graph g;
+  std::shared_ptr<store::TableClient> user_client;
+  std::shared_ptr<store::TableClient> item_client;
+
+  LookupFixture() {
+    auto users = std::make_shared<store::FeatureTable>("users", 2);
+    auto items = std::make_shared<store::FeatureTable>("items", 3);
+    for (std::int64_t k = 0; k < 50; ++k) {
+      users->put(k, data::DenseVector({static_cast<double>(k), 1.0}));
+      items->put(k, data::DenseVector({0.0, static_cast<double>(k), 2.0}));
+    }
+    user_client = std::make_shared<store::TableClient>(users, store::NetworkModel{});
+    item_client = std::make_shared<store::TableClient>(items, store::NetworkModel{});
+
+    const int user = g.add_source("user", data::ColumnType::Int);
+    const int item = g.add_source("item", data::ColumnType::Int);
+    const int uf = g.add_transform(
+        "uf", std::make_shared<ops::TableLookupOp>(user_client), {user});
+    const int itf = g.add_transform(
+        "if", std::make_shared<ops::TableLookupOp>(item_client), {item});
+    const int cat = g.add_transform("cat", std::make_shared<ops::ConcatOp>(), {uf, itf});
+    g.set_output(cat);
+  }
+
+  data::Batch batch(std::initializer_list<std::int64_t> users,
+                    std::initializer_list<std::int64_t> items) const {
+    data::Batch b;
+    b.add("user", data::Column(data::IntColumn(users)));
+    b.add("item", data::Column(data::IntColumn(items)));
+    return b;
+  }
+};
+
+TEST(FeatureCache, KeyDependsOnlyOnGeneratorSources) {
+  LookupFixture f;
+  const auto a = analyze_ifvs(f.g);
+  const auto b1 = f.batch({1, 1}, {5, 9});
+  // The user generator's key ignores the item column.
+  EXPECT_EQ(cache_key_of_row(b1, f.g, a.generators[0], 0),
+            cache_key_of_row(b1, f.g, a.generators[0], 1));
+  // The item generator's key differs.
+  EXPECT_NE(cache_key_of_row(b1, f.g, a.generators[1], 0),
+            cache_key_of_row(b1, f.g, a.generators[1], 1));
+}
+
+TEST(FeatureCache, CachedExecutionMatchesUncached) {
+  LookupFixture f;
+  CompiledExecutor ex(f.g, analyze_ifvs(f.g));
+  FeatureCacheBank bank(2, 0);
+  const auto batch = f.batch({1, 2, 1, 3}, {7, 7, 8, 9});
+
+  const auto plain = ex.compute_matrix(batch);
+  ExecOptions opts;
+  opts.cache = &bank;
+  const auto cached1 = ex.compute_matrix(batch, opts);
+  const auto cached2 = ex.compute_matrix(batch, opts);  // all hits
+
+  const auto dp = plain.dense();
+  const auto d1 = cached1.dense();
+  const auto d2 = cached2.dense();
+  for (std::size_t r = 0; r < dp.rows(); ++r) {
+    for (std::size_t c = 0; c < dp.cols(); ++c) {
+      ASSERT_DOUBLE_EQ(d1(r, c), dp(r, c));
+      ASSERT_DOUBLE_EQ(d2(r, c), dp(r, c));
+    }
+  }
+}
+
+TEST(FeatureCache, HitsAccumulateAcrossBatches) {
+  LookupFixture f;
+  CompiledExecutor ex(f.g, analyze_ifvs(f.g));
+  FeatureCacheBank bank(2, 0);
+  ExecOptions opts;
+  opts.cache = &bank;
+
+  (void)ex.compute_matrix(f.batch({1, 2}, {7, 8}), opts);
+  EXPECT_EQ(bank.total_hits(), 0u);
+  EXPECT_EQ(bank.total_misses(), 4u);
+
+  (void)ex.compute_matrix(f.batch({1, 2}, {7, 9}), opts);
+  EXPECT_EQ(bank.total_hits(), 3u);  // user 1, user 2, item 7
+  EXPECT_EQ(bank.total_misses(), 5u);
+}
+
+TEST(FeatureCache, ReducesRemoteKeysFetched) {
+  LookupFixture f;
+  f.user_client->set_network({.rtt_micros = 5.0, .per_key_micros = 0.1});
+  f.item_client->set_network({.rtt_micros = 5.0, .per_key_micros = 0.1});
+  CompiledExecutor ex(f.g, analyze_ifvs(f.g));
+  FeatureCacheBank bank(2, 0);
+  ExecOptions opts;
+  opts.cache = &bank;
+
+  // Heavily repeated keys: only the unique ones should be fetched.
+  (void)ex.compute_matrix(f.batch({1, 1, 1, 2, 2, 1}, {7, 7, 7, 7, 8, 7}), opts);
+  EXPECT_EQ(f.user_client->stats().keys_fetched.load(), 2u);  // users 1, 2
+  EXPECT_EQ(f.item_client->stats().keys_fetched.load(), 2u);  // items 7, 8
+
+  // Without the cache every row hits the store.
+  f.user_client->set_network({.rtt_micros = 5.0, .per_key_micros = 0.1});
+  (void)ex.compute_matrix(f.batch({1, 1, 1, 2, 2, 1}, {7, 7, 7, 7, 8, 7}), {});
+  EXPECT_EQ(f.user_client->stats().keys_fetched.load(), 6u);
+}
+
+TEST(FeatureCache, BoundedCapacityEvicts) {
+  LookupFixture f;
+  CompiledExecutor ex(f.g, analyze_ifvs(f.g));
+  FeatureCacheBank bank(2, 2);  // room for 2 rows per generator
+  ExecOptions opts;
+  opts.cache = &bank;
+  (void)ex.compute_matrix(f.batch({1, 2, 3}, {7, 8, 9}), opts);
+  EXPECT_LE(bank.cache(0).size(), 2u);
+  EXPECT_GT(bank.cache(0).evictions(), 0u);
+}
+
+TEST(FeatureCache, MaskedGeneratorsBypassCache) {
+  LookupFixture f;
+  CompiledExecutor ex(f.g, analyze_ifvs(f.g));
+  ex.probe_layout(f.batch({1}, {1}));
+  FeatureCacheBank bank(2, 0);
+  ExecOptions opts;
+  opts.cache = &bank;
+  opts.fg_mask = {true, false};
+  (void)ex.compute_blocks(f.batch({1, 2}, {7, 8}), opts);
+  EXPECT_GT(bank.cache(0).misses(), 0u);
+  EXPECT_EQ(bank.cache(1).misses() + bank.cache(1).hits(), 0u);
+}
+
+TEST(FeatureCacheBank, StatsAndClear) {
+  FeatureCacheBank bank(3, 4);
+  EXPECT_EQ(bank.num_caches(), 3u);
+  bank.cache(0).put(1, data::DenseVector({1.0}));
+  (void)bank.cache(0).get(1);
+  (void)bank.cache(1).get(2);
+  EXPECT_EQ(bank.total_hits(), 1u);
+  EXPECT_EQ(bank.total_misses(), 1u);
+  EXPECT_DOUBLE_EQ(bank.hit_rate(), 0.5);
+  bank.clear();
+  EXPECT_EQ(bank.total_hits(), 0u);
+}
+
+}  // namespace
+}  // namespace willump::core

@@ -1,0 +1,171 @@
+#include "models/gbdt.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "models/metrics.hpp"
+
+namespace willump::models {
+namespace {
+
+/// Nonlinear binary problem (XOR-like) that a linear model cannot solve.
+data::DenseMatrix make_xor(common::Rng& rng, std::size_t n,
+                           std::vector<double>& y) {
+  data::DenseMatrix x(n, 4);
+  y.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x(i, 0) = rng.next_gaussian();
+    x(i, 1) = rng.next_gaussian();
+    x(i, 2) = rng.next_gaussian() * 0.05;  // noise feature
+    x(i, 3) = rng.next_gaussian() * 0.05;  // noise feature
+    y[i] = (x(i, 0) > 0.0) != (x(i, 1) > 0.0) ? 1.0 : 0.0;
+  }
+  return x;
+}
+
+TEST(Gbdt, LearnsNonlinearBoundary) {
+  common::Rng rng(1);
+  std::vector<double> y;
+  const auto x = make_xor(rng, 2000, y);
+  GbdtConfig cfg;
+  cfg.n_trees = 30;
+  cfg.max_depth = 4;
+  Gbdt m(cfg);
+  m.fit(data::FeatureMatrix(x), y);
+  EXPECT_GT(accuracy(m.predict(data::FeatureMatrix(x)), y), 0.9);
+}
+
+TEST(Gbdt, RegressionFitsSmoothFunction) {
+  common::Rng rng(2);
+  const std::size_t n = 1500;
+  data::DenseMatrix x(n, 2);
+  std::vector<double> y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x(i, 0) = rng.next_double() * 4.0 - 2.0;
+    x(i, 1) = rng.next_double() * 4.0 - 2.0;
+    y[i] = std::sin(x(i, 0)) + 0.5 * x(i, 1) * x(i, 1);
+  }
+  GbdtConfig cfg;
+  cfg.classification = false;
+  cfg.n_trees = 60;
+  Gbdt m(cfg);
+  m.fit(data::FeatureMatrix(x), y);
+  EXPECT_GT(r2(m.predict(data::FeatureMatrix(x)), y), 0.9);
+}
+
+TEST(Gbdt, GainImportanceFindsInformativeFeatures) {
+  common::Rng rng(3);
+  std::vector<double> y;
+  const auto x = make_xor(rng, 2000, y);
+  Gbdt m;
+  m.fit(data::FeatureMatrix(x), y);
+  const auto gain = m.gain_importances();
+  ASSERT_EQ(gain.size(), 4u);
+  EXPECT_GT(gain[0] + gain[1], 10.0 * (gain[2] + gain[3]));
+}
+
+TEST(Gbdt, PermutationImportanceFindsInformativeFeatures) {
+  common::Rng rng(4);
+  std::vector<double> y;
+  const auto x = make_xor(rng, 2000, y);
+  Gbdt m;
+  m.fit(data::FeatureMatrix(x), y);
+  const auto perm = m.permutation_importances();
+  ASSERT_EQ(perm.size(), 4u);
+  EXPECT_GT(perm[0], perm[2]);
+  EXPECT_GT(perm[1], perm[3]);
+}
+
+TEST(Gbdt, ClassifierOutputsProbabilities) {
+  common::Rng rng(5);
+  std::vector<double> y;
+  const auto x = make_xor(rng, 500, y);
+  Gbdt m;
+  m.fit(data::FeatureMatrix(x), y);
+  for (double p : m.predict(data::FeatureMatrix(x))) {
+    EXPECT_GE(p, 0.0);
+    EXPECT_LE(p, 1.0);
+  }
+}
+
+TEST(Gbdt, DeterministicTraining) {
+  common::Rng rng(6);
+  std::vector<double> y;
+  const auto x = make_xor(rng, 600, y);
+  Gbdt a, b;
+  a.fit(data::FeatureMatrix(x), y);
+  b.fit(data::FeatureMatrix(x), y);
+  const auto pa = a.predict(data::FeatureMatrix(x));
+  const auto pb = b.predict(data::FeatureMatrix(x));
+  for (std::size_t i = 0; i < pa.size(); ++i) {
+    EXPECT_DOUBLE_EQ(pa[i], pb[i]);
+  }
+}
+
+TEST(Gbdt, MoreTreesFitBetter) {
+  common::Rng rng(7);
+  std::vector<double> y;
+  const auto x = make_xor(rng, 1500, y);
+  GbdtConfig small_cfg, big_cfg;
+  small_cfg.n_trees = 3;
+  big_cfg.n_trees = 40;
+  small_cfg.permutation_rows = big_cfg.permutation_rows = 0;
+  Gbdt small(small_cfg), big(big_cfg);
+  small.fit(data::FeatureMatrix(x), y);
+  big.fit(data::FeatureMatrix(x), y);
+  EXPECT_GT(accuracy(big.predict(data::FeatureMatrix(x)), y),
+            accuracy(small.predict(data::FeatureMatrix(x)), y));
+}
+
+TEST(Gbdt, HandlesConstantTarget) {
+  data::DenseMatrix x(50, 2);
+  std::vector<double> y(50, 1.0);
+  Gbdt m;
+  m.fit(data::FeatureMatrix(x), y);
+  for (double p : m.predict(data::FeatureMatrix(x))) {
+    EXPECT_GT(p, 0.9);
+  }
+}
+
+TEST(Gbdt, SparseInputDensifies) {
+  common::Rng rng(8);
+  std::vector<double> y;
+  const auto xd = make_xor(rng, 400, y);
+  const auto xs = data::FeatureMatrix(xd).to_csr();
+  Gbdt md, ms;
+  md.fit(data::FeatureMatrix(xd), y);
+  ms.fit(data::FeatureMatrix(xs), y);
+  const auto pd = md.predict(data::FeatureMatrix(xd));
+  const auto ps = ms.predict(data::FeatureMatrix(xs));
+  for (std::size_t i = 0; i < pd.size(); ++i) {
+    EXPECT_NEAR(pd[i], ps[i], 1e-12);
+  }
+}
+
+TEST(Gbdt, SubsampleStillLearns) {
+  common::Rng rng(9);
+  std::vector<double> y;
+  const auto x = make_xor(rng, 1500, y);
+  GbdtConfig cfg;
+  cfg.subsample = 0.7;
+  Gbdt m(cfg);
+  m.fit(data::FeatureMatrix(x), y);
+  EXPECT_GT(accuracy(m.predict(data::FeatureMatrix(x)), y), 0.85);
+}
+
+TEST(Tree, PredictTraversesSplits) {
+  Tree t;
+  auto& nodes = t.nodes();
+  nodes.push_back({0, 0.5, 1, 2, 0.0});  // split on feature 0 at 0.5
+  nodes.push_back({-1, 0.0, -1, -1, -1.0});
+  nodes.push_back({-1, 0.0, -1, -1, +1.0});
+  const std::vector<double> left{0.2};
+  const std::vector<double> right{0.9};
+  EXPECT_DOUBLE_EQ(t.predict_row(left), -1.0);
+  EXPECT_DOUBLE_EQ(t.predict_row(right), 1.0);
+}
+
+}  // namespace
+}  // namespace willump::models

@@ -1,0 +1,92 @@
+#include "core/graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ops/concat.hpp"
+#include "ops/string_ops.hpp"
+
+namespace willump::core {
+namespace {
+
+TEST(Graph, BuildAndQuery) {
+  Graph g;
+  const int src = g.add_source("x", data::ColumnType::String);
+  const int lower =
+      g.add_transform("lower", std::make_shared<ops::LowercaseOp>(), {src});
+  g.set_output(lower);
+  EXPECT_EQ(g.size(), 2u);
+  EXPECT_EQ(g.node(src).kind, NodeKind::Source);
+  EXPECT_EQ(g.node(lower).kind, NodeKind::Transform);
+  EXPECT_EQ(g.output(), lower);
+}
+
+TEST(Graph, RejectsForwardReferences) {
+  Graph g;
+  (void)g.add_source("x", data::ColumnType::String);
+  EXPECT_THROW(
+      g.add_transform("bad", std::make_shared<ops::LowercaseOp>(), {5}),
+      std::invalid_argument);
+  EXPECT_THROW(
+      g.add_transform("bad", std::make_shared<ops::LowercaseOp>(), {-1}),
+      std::invalid_argument);
+}
+
+TEST(Graph, RejectsNullOperator) {
+  Graph g;
+  const int src = g.add_source("x", data::ColumnType::String);
+  EXPECT_THROW(g.add_transform("bad", nullptr, {src}), std::invalid_argument);
+}
+
+TEST(Graph, SetOutputValidates) {
+  Graph g;
+  EXPECT_THROW(g.set_output(0), std::invalid_argument);
+  const int src = g.add_source("x", data::ColumnType::String);
+  g.set_output(src);
+  EXPECT_EQ(g.output(), src);
+}
+
+TEST(Graph, ExecutionOrderSkipsUnreachable) {
+  Graph g;
+  const int a = g.add_source("a", data::ColumnType::String);
+  (void)g.add_source("unused", data::ColumnType::Int);
+  const int lower =
+      g.add_transform("lower", std::make_shared<ops::LowercaseOp>(), {a});
+  g.set_output(lower);
+  const auto order = g.execution_order();
+  ASSERT_EQ(order.size(), 2u);
+  EXPECT_EQ(order[0], a);
+  EXPECT_EQ(order[1], lower);
+}
+
+TEST(Graph, ExecutionOrderRequiresOutput) {
+  Graph g;
+  (void)g.add_source("a", data::ColumnType::String);
+  EXPECT_THROW(g.execution_order(), std::logic_error);
+}
+
+TEST(Graph, AncestorsTransitive) {
+  Graph g;
+  const int a = g.add_source("a", data::ColumnType::String);
+  const int l1 = g.add_transform("l1", std::make_shared<ops::LowercaseOp>(), {a});
+  const int l2 = g.add_transform("l2", std::make_shared<ops::StripPunctOp>(), {l1});
+  const auto anc = g.ancestors(l2);
+  ASSERT_EQ(anc.size(), 2u);
+  EXPECT_EQ(anc[0], a);
+  EXPECT_EQ(anc[1], l1);
+  EXPECT_TRUE(g.ancestors(a).empty());
+}
+
+TEST(Graph, SourceAncestors) {
+  Graph g;
+  const int a = g.add_source("a", data::ColumnType::String);
+  const int b = g.add_source("b", data::ColumnType::String);
+  const int la = g.add_transform("la", std::make_shared<ops::LowercaseOp>(), {a});
+  const int cat = g.add_transform("cat", std::make_shared<ops::ConcatOp>(), {la, b});
+  const auto srcs = g.source_ancestors(cat);
+  ASSERT_EQ(srcs.size(), 2u);
+  EXPECT_EQ(srcs[0], a);
+  EXPECT_EQ(srcs[1], b);
+}
+
+}  // namespace
+}  // namespace willump::core

@@ -1,0 +1,182 @@
+#include "core/ifv_analysis.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ops/concat.hpp"
+#include "ops/scale.hpp"
+#include "ops/string_ops.hpp"
+#include "ops/tfidf.hpp"
+
+namespace willump::core {
+namespace {
+
+/// Build the Product-like graph used throughout these tests:
+///   title -> stats                 (FG with root = stats)
+///   title -> lower -> strip -> word_tfidf   (lower shared)
+///   title -> lower -> char_tfidf
+///   concat(stats, word_tfidf, char_tfidf)
+struct TestGraph {
+  Graph g;
+  int title, stats, lower, strip, word_tfidf, char_tfidf, concat;
+};
+
+std::shared_ptr<ops::TfIdfModel> tiny_tfidf(ops::Analyzer a) {
+  ops::TfIdfConfig cfg;
+  cfg.analyzer = a;
+  cfg.min_df = 1;
+  if (a == ops::Analyzer::Char) cfg.ngrams = {2, 2};
+  return std::make_shared<ops::TfIdfModel>(
+      ops::TfIdfModel::fit({"aa bb", "bb cc", "cc dd"}, cfg));
+}
+
+TestGraph make_test_graph() {
+  TestGraph t;
+  t.title = t.g.add_source("title", data::ColumnType::String);
+  t.stats = t.g.add_transform("stats", std::make_shared<ops::StringStatsOp>(),
+                              {t.title});
+  t.lower =
+      t.g.add_transform("lower", std::make_shared<ops::LowercaseOp>(), {t.title});
+  t.strip =
+      t.g.add_transform("strip", std::make_shared<ops::StripPunctOp>(), {t.lower});
+  t.word_tfidf = t.g.add_transform(
+      "word", std::make_shared<ops::TfIdfOp>(tiny_tfidf(ops::Analyzer::Word)),
+      {t.strip});
+  t.char_tfidf = t.g.add_transform(
+      "char", std::make_shared<ops::TfIdfOp>(tiny_tfidf(ops::Analyzer::Char)),
+      {t.lower});
+  t.concat = t.g.add_transform("concat", std::make_shared<ops::ConcatOp>(),
+                               {t.stats, t.word_tfidf, t.char_tfidf});
+  t.g.set_output(t.concat);
+  return t;
+}
+
+TEST(IfvAnalysis, FindsGeneratorsInConcatOrder) {
+  auto t = make_test_graph();
+  const auto a = analyze_ifvs(t.g);
+  ASSERT_EQ(a.num_generators(), 3u);
+  EXPECT_EQ(a.generators[0].root, t.stats);
+  EXPECT_EQ(a.generators[1].root, t.word_tfidf);
+  EXPECT_EQ(a.generators[2].root, t.char_tfidf);
+  EXPECT_EQ(a.concat_node, t.concat);
+}
+
+TEST(IfvAnalysis, Rule3SharedAncestorIsPreprocessing) {
+  auto t = make_test_graph();
+  const auto a = analyze_ifvs(t.g);
+  // `lower` feeds both tfidf roots -> preprocessing (rule 3).
+  ASSERT_EQ(a.preprocessing.size(), 1u);
+  EXPECT_EQ(a.preprocessing[0], t.lower);
+}
+
+TEST(IfvAnalysis, Rule2ExclusiveAncestorJoinsGenerator) {
+  auto t = make_test_graph();
+  const auto a = analyze_ifvs(t.g);
+  // `strip` feeds only the word-tfidf root -> part of that generator.
+  const auto& fg = a.generators[1];
+  ASSERT_EQ(fg.nodes.size(), 2u);
+  EXPECT_EQ(fg.nodes[0], t.strip);
+  EXPECT_EQ(fg.nodes[1], t.word_tfidf);
+}
+
+TEST(IfvAnalysis, KeySourcesIncludeSharedSources) {
+  auto t = make_test_graph();
+  const auto a = analyze_ifvs(t.g);
+  for (const auto& fg : a.generators) {
+    ASSERT_EQ(fg.key_sources.size(), 1u);
+    EXPECT_EQ(fg.key_sources[0], t.title);
+  }
+}
+
+TEST(IfvAnalysis, PostChainCollectsCommutativeOps) {
+  auto t = make_test_graph();
+  // Add scale(concat) -> output: commutative chain above the concat.
+  const int scaled = t.g.add_transform(
+      "scale",
+      std::make_shared<ops::ScaleOp>(std::vector<double>(10, 1.0),
+                                     std::vector<double>(10, 0.0)),
+      {t.concat});
+  t.g.set_output(scaled);
+  const auto a = analyze_ifvs(t.g);
+  ASSERT_EQ(a.post_chain.size(), 1u);
+  EXPECT_EQ(a.post_chain[0], scaled);
+  EXPECT_EQ(a.num_generators(), 3u);
+}
+
+TEST(IfvAnalysis, BlockChainPerGeneratorScale) {
+  Graph g;
+  const int x = g.add_source("x", data::ColumnType::String);
+  const int stats =
+      g.add_transform("stats", std::make_shared<ops::StringStatsOp>(), {x});
+  // Per-block commutative scale between the root and the concat.
+  const int block_scale = g.add_transform(
+      "bscale",
+      std::make_shared<ops::ScaleOp>(std::vector<double>(6, 2.0),
+                                     std::vector<double>(6, 0.0)),
+      {stats});
+  const int kw = g.add_transform(
+      "kw", std::make_shared<ops::KeywordCountOp>(std::vector<std::string>{"a"}),
+      {x});
+  const int cat =
+      g.add_transform("concat", std::make_shared<ops::ConcatOp>(), {block_scale, kw});
+  g.set_output(cat);
+
+  const auto a = analyze_ifvs(g);
+  ASSERT_EQ(a.num_generators(), 2u);
+  EXPECT_EQ(a.generators[0].root, stats);
+  ASSERT_EQ(a.generators[0].block_chain.size(), 1u);
+  EXPECT_EQ(a.generators[0].block_chain[0], block_scale);
+  EXPECT_EQ(a.generators[0].output_node, block_scale);
+  EXPECT_EQ(a.generators[1].output_node, kw);
+}
+
+TEST(IfvAnalysis, NonCommutativeOutputIsSingleGenerator) {
+  Graph g;
+  const int x = g.add_source("x", data::ColumnType::String);
+  const int stats =
+      g.add_transform("stats", std::make_shared<ops::StringStatsOp>(), {x});
+  g.set_output(stats);
+  const auto a = analyze_ifvs(g);
+  ASSERT_EQ(a.num_generators(), 1u);
+  EXPECT_EQ(a.generators[0].root, stats);
+  EXPECT_EQ(a.concat_node, -1);
+  EXPECT_TRUE(a.post_chain.empty());
+}
+
+TEST(IfvAnalysis, ColumnsOfMask) {
+  IfvAnalysis a;
+  a.generators.resize(3);
+  a.block_cols = {2, 3, 4};
+  a.col_begin = {0, 2, 5};
+  EXPECT_EQ(a.total_cols(), 9u);
+  const auto cols = a.columns_of({true, false, true});
+  ASSERT_EQ(cols.size(), 6u);
+  EXPECT_EQ(cols[0], 0u);
+  EXPECT_EQ(cols[1], 1u);
+  EXPECT_EQ(cols[2], 5u);
+  EXPECT_EQ(cols[5], 8u);
+}
+
+TEST(IfvAnalysis, FigureOneShape) {
+  // The paper's Figure 1: three lookups, concat, model. No preprocessing.
+  Graph g;
+  const int user = g.add_source("user", data::ColumnType::String);
+  const int song = g.add_source("song", data::ColumnType::String);
+  const int genre = g.add_source("genre", data::ColumnType::String);
+  // Stand-in feature ops (string stats instead of DB lookups).
+  const int uf = g.add_transform("uf", std::make_shared<ops::StringStatsOp>(), {user});
+  const int sf = g.add_transform("sf", std::make_shared<ops::StringStatsOp>(), {song});
+  const int gf = g.add_transform("gf", std::make_shared<ops::StringStatsOp>(), {genre});
+  const int cat = g.add_transform("cat", std::make_shared<ops::ConcatOp>(), {uf, sf, gf});
+  g.set_output(cat);
+
+  const auto a = analyze_ifvs(g);
+  EXPECT_EQ(a.num_generators(), 3u);
+  EXPECT_TRUE(a.preprocessing.empty());
+  for (const auto& fg : a.generators) {
+    EXPECT_EQ(fg.nodes.size(), 1u);
+    EXPECT_EQ(fg.exclusive_sources.size(), 1u);
+  }
+}
+
+}  // namespace
+}  // namespace willump::core

@@ -1,0 +1,132 @@
+#include "models/linear.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "models/metrics.hpp"
+
+namespace willump::models {
+namespace {
+
+data::DenseMatrix make_separable(common::Rng& rng, std::size_t n,
+                                 std::vector<double>& y) {
+  data::DenseMatrix x(n, 3);
+  y.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const bool pos = rng.next_bernoulli(0.5);
+    x(i, 0) = rng.next_gaussian() + (pos ? 2.0 : -2.0);
+    x(i, 1) = rng.next_gaussian();
+    x(i, 2) = rng.next_gaussian() * 0.1;
+    y[i] = pos ? 1.0 : 0.0;
+  }
+  return x;
+}
+
+TEST(LogisticRegression, LearnsSeparableData) {
+  common::Rng rng(1);
+  std::vector<double> y;
+  const auto x = make_separable(rng, 800, y);
+  LogisticRegression m;
+  m.fit(data::FeatureMatrix(x), y);
+  EXPECT_GT(accuracy(m.predict(data::FeatureMatrix(x)), y), 0.95);
+}
+
+TEST(LogisticRegression, OutputsAreProbabilities) {
+  common::Rng rng(2);
+  std::vector<double> y;
+  const auto x = make_separable(rng, 200, y);
+  LogisticRegression m;
+  m.fit(data::FeatureMatrix(x), y);
+  for (double p : m.predict(data::FeatureMatrix(x))) {
+    EXPECT_GE(p, 0.0);
+    EXPECT_LE(p, 1.0);
+  }
+}
+
+TEST(LogisticRegression, ImportanceRanksInformativeFeature) {
+  common::Rng rng(3);
+  std::vector<double> y;
+  const auto x = make_separable(rng, 800, y);
+  LogisticRegression m;
+  m.fit(data::FeatureMatrix(x), y);
+  const auto imp = m.feature_importances();
+  ASSERT_EQ(imp.size(), 3u);
+  EXPECT_GT(imp[0], imp[1]);
+  EXPECT_GT(imp[0], imp[2]);
+}
+
+TEST(LogisticRegression, SparseMatchesDense) {
+  common::Rng rng(4);
+  std::vector<double> y;
+  const auto xd = make_separable(rng, 400, y);
+  const auto xs = data::FeatureMatrix(xd).to_csr();
+  LogisticRegression md, ms;
+  md.fit(data::FeatureMatrix(xd), y);
+  ms.fit(data::FeatureMatrix(xs), y);
+  const auto pd = md.predict(data::FeatureMatrix(xd));
+  const auto ps = ms.predict(data::FeatureMatrix(xs));
+  for (std::size_t i = 0; i < pd.size(); ++i) {
+    EXPECT_NEAR(pd[i], ps[i], 1e-9);
+  }
+}
+
+TEST(LinearRegression, RecoversLinearTarget) {
+  common::Rng rng(5);
+  const std::size_t n = 1000;
+  data::DenseMatrix x(n, 2);
+  std::vector<double> y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x(i, 0) = rng.next_gaussian();
+    x(i, 1) = rng.next_gaussian();
+    y[i] = 3.0 * x(i, 0) - 2.0 * x(i, 1) + 0.5;
+  }
+  LinearRegression m;
+  m.fit(data::FeatureMatrix(x), y);
+  EXPECT_GT(r2(m.predict(data::FeatureMatrix(x)), y), 0.98);
+  ASSERT_EQ(m.weights().size(), 2u);
+  EXPECT_NEAR(m.weights()[0], 3.0, 0.25);
+  EXPECT_NEAR(m.weights()[1], -2.0, 0.25);
+}
+
+TEST(LinearRegression, IsNotClassifier) {
+  LinearRegression reg;
+  LogisticRegression clf;
+  EXPECT_FALSE(reg.is_classifier());
+  EXPECT_TRUE(clf.is_classifier());
+}
+
+TEST(LinearModel, CloneUntrainedKeepsHyperparams) {
+  LinearConfig cfg;
+  cfg.epochs = 3;
+  LogisticRegression m(cfg);
+  auto clone = m.clone_untrained();
+  EXPECT_EQ(clone->name(), "logistic_regression");
+  EXPECT_TRUE(clone->is_classifier());
+  // A fresh clone has no weights until fitted.
+  EXPECT_TRUE(clone->feature_importances().empty());
+}
+
+TEST(LinearModel, DeterministicTraining) {
+  common::Rng rng(6);
+  std::vector<double> y;
+  const auto x = make_separable(rng, 300, y);
+  LogisticRegression a, b;
+  a.fit(data::FeatureMatrix(x), y);
+  b.fit(data::FeatureMatrix(x), y);
+  const auto pa = a.predict(data::FeatureMatrix(x));
+  const auto pb = b.predict(data::FeatureMatrix(x));
+  for (std::size_t i = 0; i < pa.size(); ++i) {
+    EXPECT_DOUBLE_EQ(pa[i], pb[i]);
+  }
+}
+
+TEST(ModelHelpers, LabelAndConfidence) {
+  EXPECT_DOUBLE_EQ(predicted_label(0.7), 1.0);
+  EXPECT_DOUBLE_EQ(predicted_label(0.3), 0.0);
+  EXPECT_DOUBLE_EQ(confidence(0.7), 0.7);
+  EXPECT_DOUBLE_EQ(confidence(0.2), 0.8);
+  EXPECT_DOUBLE_EQ(confidence(0.5), 0.5);
+}
+
+}  // namespace
+}  // namespace willump::models

@@ -1,0 +1,91 @@
+#include "common/lru_cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace willump::common {
+namespace {
+
+TEST(LruCache, MissThenHit) {
+  LruCache<int, std::string> c(4);
+  EXPECT_FALSE(c.get(1).has_value());
+  c.put(1, "one");
+  const auto v = c.get(1);
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(*v, "one");
+  EXPECT_EQ(c.hits(), 1u);
+  EXPECT_EQ(c.misses(), 1u);
+}
+
+TEST(LruCache, EvictsLeastRecentlyUsed) {
+  LruCache<int, int> c(2);
+  c.put(1, 10);
+  c.put(2, 20);
+  ASSERT_TRUE(c.get(1).has_value());  // 1 is now most recent
+  c.put(3, 30);                       // evicts 2
+  EXPECT_FALSE(c.get(2).has_value());
+  EXPECT_TRUE(c.get(1).has_value());
+  EXPECT_TRUE(c.get(3).has_value());
+  EXPECT_EQ(c.evictions(), 1u);
+}
+
+TEST(LruCache, PutRefreshesRecency) {
+  LruCache<int, int> c(2);
+  c.put(1, 10);
+  c.put(2, 20);
+  c.put(1, 11);  // overwrite refreshes 1
+  c.put(3, 30);  // evicts 2
+  EXPECT_FALSE(c.get(2).has_value());
+  EXPECT_EQ(*c.get(1), 11);
+}
+
+TEST(LruCache, ZeroCapacityIsUnbounded) {
+  LruCache<int, int> c(0);
+  for (int i = 0; i < 1000; ++i) c.put(i, i);
+  EXPECT_EQ(c.size(), 1000u);
+  EXPECT_EQ(c.evictions(), 0u);
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_TRUE(c.get(i).has_value());
+  }
+}
+
+TEST(LruCache, OverwriteKeepsSize) {
+  LruCache<int, int> c(4);
+  c.put(1, 10);
+  c.put(1, 20);
+  EXPECT_EQ(c.size(), 1u);
+  EXPECT_EQ(*c.get(1), 20);
+}
+
+TEST(LruCache, ClearResetsEverything) {
+  LruCache<int, int> c(2);
+  c.put(1, 10);
+  (void)c.get(1);
+  (void)c.get(2);
+  c.clear();
+  EXPECT_EQ(c.size(), 0u);
+  EXPECT_EQ(c.hits(), 0u);
+  EXPECT_EQ(c.misses(), 0u);
+  EXPECT_FALSE(c.contains(1));
+}
+
+TEST(LruCache, HitRate) {
+  LruCache<int, int> c(8);
+  c.put(1, 1);
+  (void)c.get(1);
+  (void)c.get(1);
+  (void)c.get(2);
+  EXPECT_NEAR(c.hit_rate(), 2.0 / 3.0, 1e-12);
+}
+
+TEST(LruCache, CapacityOne) {
+  LruCache<int, int> c(1);
+  c.put(1, 10);
+  c.put(2, 20);
+  EXPECT_FALSE(c.get(1).has_value());
+  EXPECT_EQ(*c.get(2), 20);
+}
+
+}  // namespace
+}  // namespace willump::common

@@ -1,0 +1,100 @@
+#include "models/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace willump::models {
+namespace {
+
+TEST(Metrics, Accuracy) {
+  const std::vector<double> p{0.9, 0.2, 0.6, 0.4};
+  const std::vector<double> y{1.0, 0.0, 0.0, 0.0};
+  EXPECT_DOUBLE_EQ(accuracy(p, y), 0.75);
+  EXPECT_DOUBLE_EQ(accuracy({}, {}), 0.0);
+}
+
+TEST(Metrics, Mse) {
+  const std::vector<double> p{1.0, 2.0};
+  const std::vector<double> y{0.0, 4.0};
+  EXPECT_DOUBLE_EQ(mse(p, y), (1.0 + 4.0) / 2.0);
+}
+
+TEST(Metrics, R2PerfectIsOne) {
+  const std::vector<double> y{1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(r2(y, y), 1.0);
+}
+
+TEST(Metrics, R2MeanPredictorIsZero) {
+  const std::vector<double> p{2.0, 2.0, 2.0};
+  const std::vector<double> y{1.0, 2.0, 3.0};
+  EXPECT_NEAR(r2(p, y), 0.0, 1e-12);
+}
+
+TEST(Metrics, AucPerfectSeparation) {
+  const std::vector<double> s{0.1, 0.2, 0.8, 0.9};
+  const std::vector<double> y{0.0, 0.0, 1.0, 1.0};
+  EXPECT_DOUBLE_EQ(auc(s, y), 1.0);
+}
+
+TEST(Metrics, AucRandomIsHalf) {
+  const std::vector<double> s{0.5, 0.5, 0.5, 0.5};
+  const std::vector<double> y{0.0, 1.0, 0.0, 1.0};
+  EXPECT_DOUBLE_EQ(auc(s, y), 0.5);
+}
+
+TEST(Metrics, AucDegenerateLabels) {
+  const std::vector<double> s{0.1, 0.9};
+  const std::vector<double> y{1.0, 1.0};
+  EXPECT_DOUBLE_EQ(auc(s, y), 0.5);
+}
+
+TEST(Metrics, TopKIndicesOrderedByScore) {
+  const std::vector<double> s{0.1, 0.9, 0.5, 0.7};
+  const auto top = top_k_indices(s, 2);
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0], 1u);
+  EXPECT_EQ(top[1], 3u);
+}
+
+TEST(Metrics, TopKClampsToSize) {
+  const std::vector<double> s{0.1, 0.2};
+  EXPECT_EQ(top_k_indices(s, 10).size(), 2u);
+}
+
+TEST(Metrics, TopKTieBreaksByIndex) {
+  const std::vector<double> s{0.5, 0.5, 0.5};
+  const auto top = top_k_indices(s, 2);
+  EXPECT_EQ(top[0], 0u);
+  EXPECT_EQ(top[1], 1u);
+}
+
+TEST(Metrics, PrecisionAtK) {
+  const std::vector<std::size_t> pred{1, 2, 3, 4};
+  const std::vector<std::size_t> truth{2, 4, 6, 8};
+  EXPECT_DOUBLE_EQ(precision_at_k(pred, truth), 0.5);
+  EXPECT_DOUBLE_EQ(precision_at_k({}, truth), 0.0);
+}
+
+TEST(Metrics, MapPerfectOrder) {
+  const std::vector<std::size_t> pred{7, 8, 9};
+  const std::vector<std::size_t> truth{7, 8, 9};
+  EXPECT_DOUBLE_EQ(mean_average_precision(pred, truth), 1.0);
+}
+
+TEST(Metrics, MapPenalizesLateHits) {
+  const std::vector<std::size_t> early{7, 1, 2};
+  const std::vector<std::size_t> late{1, 2, 7};
+  const std::vector<std::size_t> truth{7};
+  EXPECT_GT(mean_average_precision(early, truth),
+            mean_average_precision(late, truth));
+}
+
+TEST(Metrics, AverageValue) {
+  const std::vector<std::size_t> pred{0, 2};
+  const std::vector<double> scores{1.0, 100.0, 3.0};
+  EXPECT_DOUBLE_EQ(average_value(pred, scores), 2.0);
+}
+
+}  // namespace
+}  // namespace willump::models

@@ -1,0 +1,110 @@
+#include "models/mlp.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "models/metrics.hpp"
+
+namespace willump::models {
+namespace {
+
+TEST(Mlp, FitsNonlinearRegression) {
+  common::Rng rng(1);
+  const std::size_t n = 1500;
+  data::DenseMatrix x(n, 2);
+  std::vector<double> y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x(i, 0) = rng.next_double() * 2.0 - 1.0;
+    x(i, 1) = rng.next_double() * 2.0 - 1.0;
+    y[i] = std::abs(x(i, 0)) + 0.5 * x(i, 1);
+  }
+  MlpConfig cfg;
+  cfg.hidden = 24;
+  cfg.epochs = 30;
+  Mlp m(cfg);
+  m.fit(data::FeatureMatrix(x), y);
+  EXPECT_GT(r2(m.predict(data::FeatureMatrix(x)), y), 0.85);
+}
+
+TEST(Mlp, SparseInputLearns) {
+  common::Rng rng(2);
+  const std::size_t n = 1200;
+  const std::int32_t dim = 50;
+  data::CsrMatrix x(dim);
+  std::vector<double> y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    data::SparseVector row(dim);
+    const auto a = static_cast<std::int32_t>(rng.next_below(25));
+    const auto b = static_cast<std::int32_t>(25 + rng.next_below(25));
+    row.push_back(a, 1.0);
+    row.push_back(b, 1.0);
+    x.append_row(row);
+    y[i] = (a < 12 ? 1.0 : -1.0) + (b < 37 ? 0.5 : -0.5);
+  }
+  MlpConfig cfg;
+  cfg.epochs = 20;
+  Mlp m(cfg);
+  m.fit(data::FeatureMatrix(x), y);
+  EXPECT_GT(r2(m.predict(data::FeatureMatrix(x)), y), 0.8);
+}
+
+TEST(Mlp, ClassificationOutputsProbabilities) {
+  common::Rng rng(3);
+  const std::size_t n = 600;
+  data::DenseMatrix x(n, 2);
+  std::vector<double> y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x(i, 0) = rng.next_gaussian();
+    x(i, 1) = rng.next_gaussian();
+    y[i] = x(i, 0) + x(i, 1) > 0.0 ? 1.0 : 0.0;
+  }
+  MlpConfig cfg;
+  cfg.classification = true;
+  cfg.epochs = 15;
+  Mlp m(cfg);
+  m.fit(data::FeatureMatrix(x), y);
+  const auto p = m.predict(data::FeatureMatrix(x));
+  for (double v : p) {
+    EXPECT_GE(v, 0.0);
+    EXPECT_LE(v, 1.0);
+  }
+  EXPECT_GT(accuracy(p, y), 0.9);
+}
+
+TEST(Mlp, NoNativeImportances) {
+  Mlp m;
+  EXPECT_TRUE(m.feature_importances().empty());
+}
+
+TEST(Mlp, DeterministicTraining) {
+  common::Rng rng(4);
+  const std::size_t n = 300;
+  data::DenseMatrix x(n, 3);
+  std::vector<double> y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t c = 0; c < 3; ++c) x(i, c) = rng.next_gaussian();
+    y[i] = x(i, 0);
+  }
+  Mlp a, b;
+  a.fit(data::FeatureMatrix(x), y);
+  b.fit(data::FeatureMatrix(x), y);
+  const auto pa = a.predict(data::FeatureMatrix(x));
+  const auto pb = b.predict(data::FeatureMatrix(x));
+  for (std::size_t i = 0; i < pa.size(); ++i) {
+    EXPECT_DOUBLE_EQ(pa[i], pb[i]);
+  }
+}
+
+TEST(Mlp, CloneUntrainedSameFamily) {
+  MlpConfig cfg;
+  cfg.classification = true;
+  Mlp m(cfg);
+  auto c = m.clone_untrained();
+  EXPECT_EQ(c->name(), "mlp");
+  EXPECT_TRUE(c->is_classifier());
+}
+
+}  // namespace
+}  // namespace willump::models

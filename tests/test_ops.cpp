@@ -1,0 +1,233 @@
+#include <gtest/gtest.h>
+
+#include "ops/concat.hpp"
+#include "ops/encoders.hpp"
+#include "ops/scale.hpp"
+#include "ops/string_ops.hpp"
+
+namespace willump::ops {
+namespace {
+
+data::Value str_col(std::initializer_list<const char*> vals) {
+  data::StringColumn c;
+  for (const char* v : vals) c.emplace_back(v);
+  return data::Value(data::Column(std::move(c)));
+}
+
+TEST(StringOps, LowercaseBatch) {
+  LowercaseOp op;
+  const data::Value in[] = {str_col({"Hello", "WORLD"})};
+  const auto out = op.eval_batch(in);
+  EXPECT_EQ(out.column().strings()[0], "hello");
+  EXPECT_EQ(out.column().strings()[1], "world");
+  EXPECT_TRUE(op.is_string_map());
+  EXPECT_EQ(op.map_string("AbC"), "abc");
+}
+
+TEST(StringOps, StripPunctBatch) {
+  StripPunctOp op;
+  const data::Value in[] = {str_col({"a,b!c"})};
+  EXPECT_EQ(op.eval_batch(in).column().strings()[0], "a b c");
+}
+
+TEST(StringOps, WrongInputThrows) {
+  LowercaseOp op;
+  const data::Value in[] = {data::Value(data::Column(data::IntColumn{1}))};
+  EXPECT_THROW(op.eval_batch(in), std::invalid_argument);
+}
+
+TEST(StringOps, StatsFeatures) {
+  StringStatsOp op;
+  const data::Value in[] = {str_col({"Hello World 42"})};
+  const auto out = op.eval_batch(in).features().dense();
+  ASSERT_EQ(out.cols(), StringStatsOp::kNumFeatures);
+  EXPECT_DOUBLE_EQ(out(0, 0), 14.0);  // length
+  EXPECT_DOUBLE_EQ(out(0, 1), 3.0);   // words
+  EXPECT_DOUBLE_EQ(out(0, 2), 4.0);   // mean word length
+  EXPECT_GT(out(0, 3), 0.0);          // upper ratio
+  EXPECT_GT(out(0, 4), 0.0);          // digit ratio
+  EXPECT_DOUBLE_EQ(out(0, 5), 1.0);   // unique ratio
+}
+
+TEST(StringOps, StatsEmptyString) {
+  StringStatsOp op;
+  const data::Value in[] = {str_col({""})};
+  const auto out = op.eval_batch(in).features().dense();
+  for (std::size_t c = 0; c < out.cols(); ++c) {
+    EXPECT_DOUBLE_EQ(out(0, c), 0.0);
+  }
+}
+
+TEST(StringOps, KeywordCounts) {
+  KeywordCountOp op({"foo", "bar"});
+  const data::Value in[] = {str_col({"foo bar foo", "none here"})};
+  const auto out = op.eval_batch(in).features().dense();
+  ASSERT_EQ(out.cols(), 3u);        // 2 keywords + total
+  EXPECT_DOUBLE_EQ(out(0, 0), 2.0);  // foo
+  EXPECT_DOUBLE_EQ(out(0, 1), 1.0);  // bar
+  EXPECT_DOUBLE_EQ(out(0, 2), 3.0);  // total
+  EXPECT_DOUBLE_EQ(out(1, 2), 0.0);
+}
+
+TEST(Encoders, OneHotHashStable) {
+  OneHotHashOp op(16);
+  EXPECT_EQ(op.bucket_of(42), op.bucket_of(42));
+  const data::Value in[] = {data::Value(data::Column(data::IntColumn{42, 42, 7}))};
+  const auto out = op.eval_batch(in).features().sparse();
+  EXPECT_EQ(out.rows(), 3u);
+  EXPECT_EQ(out.row(0).indices[0], out.row(1).indices[0]);
+  EXPECT_DOUBLE_EQ(out.row(0).values[0], 1.0);
+}
+
+TEST(Encoders, OneHotSaltChangesBuckets) {
+  OneHotHashOp a(1024, 1), b(1024, 2);
+  int differ = 0;
+  for (std::int64_t k = 0; k < 50; ++k) {
+    if (a.bucket_of(k) != b.bucket_of(k)) ++differ;
+  }
+  EXPECT_GT(differ, 40);
+}
+
+TEST(Encoders, NumericColumnsAssembles) {
+  NumericColumnsOp op;
+  const data::Value in[] = {
+      data::Value(data::Column(data::IntColumn{1, 2})),
+      data::Value(data::Column(data::DoubleColumn{0.5, 1.5}))};
+  const auto out = op.eval_batch(in).features().dense();
+  ASSERT_EQ(out.rows(), 2u);
+  ASSERT_EQ(out.cols(), 2u);
+  EXPECT_DOUBLE_EQ(out(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(out(1, 1), 1.5);
+}
+
+TEST(Encoders, NumericRejectsStrings) {
+  NumericColumnsOp op;
+  const data::Value in[] = {str_col({"x"})};
+  EXPECT_THROW(op.eval_batch(in), std::invalid_argument);
+}
+
+TEST(Encoders, Bucketize) {
+  BucketizeOp op({10.0, 20.0});
+  const data::Value in[] = {
+      data::Value(data::Column(data::DoubleColumn{5.0, 10.0, 15.0, 25.0}))};
+  const auto out = op.eval_batch(in).column().doubles();
+  EXPECT_DOUBLE_EQ(out[0], 0.0);
+  EXPECT_DOUBLE_EQ(out[1], 1.0);  // bucket = number of boundaries <= v
+  EXPECT_DOUBLE_EQ(out[2], 1.0);
+  EXPECT_DOUBLE_EQ(out[3], 2.0);
+}
+
+TEST(Encoders, ColumnMathKinds) {
+  const data::Value a(data::Column(data::DoubleColumn{4.0, 9.0}));
+  const data::Value b(data::Column(data::DoubleColumn{2.0, 3.0}));
+  const data::Value ab[] = {a, b};
+  EXPECT_DOUBLE_EQ(
+      ColumnMathOp(ColumnMathOp::Kind::Add).eval_batch(ab).column().doubles()[0],
+      6.0);
+  EXPECT_DOUBLE_EQ(
+      ColumnMathOp(ColumnMathOp::Kind::Sub).eval_batch(ab).column().doubles()[1],
+      6.0);
+  EXPECT_DOUBLE_EQ(
+      ColumnMathOp(ColumnMathOp::Kind::Mul).eval_batch(ab).column().doubles()[0],
+      8.0);
+  EXPECT_DOUBLE_EQ(
+      ColumnMathOp(ColumnMathOp::Kind::Div).eval_batch(ab).column().doubles()[1],
+      3.0);
+  const data::Value unary[] = {a};
+  EXPECT_NEAR(ColumnMathOp(ColumnMathOp::Kind::Log1p)
+                  .eval_batch(unary)
+                  .column()
+                  .doubles()[0],
+              std::log(5.0), 1e-12);
+}
+
+TEST(Encoders, DivByZeroYieldsZero) {
+  const data::Value a(data::Column(data::DoubleColumn{1.0}));
+  const data::Value b(data::Column(data::DoubleColumn{0.0}));
+  const data::Value ab[] = {a, b};
+  EXPECT_DOUBLE_EQ(
+      ColumnMathOp(ColumnMathOp::Kind::Div).eval_batch(ab).column().doubles()[0],
+      0.0);
+}
+
+TEST(Concat, JoinsBlocksInOrder) {
+  ConcatOp op;
+  data::DenseMatrix a(1, 1), b(1, 2);
+  a(0, 0) = 1.0;
+  b(0, 0) = 2.0;
+  b(0, 1) = 3.0;
+  const data::Value in[] = {data::Value(data::FeatureMatrix(a)),
+                            data::Value(data::FeatureMatrix(b))};
+  const auto out = op.eval_batch(in).features().dense();
+  ASSERT_EQ(out.cols(), 3u);
+  EXPECT_DOUBLE_EQ(out(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(out(0, 2), 3.0);
+  EXPECT_TRUE(op.commutative());
+}
+
+TEST(Concat, RejectsColumns) {
+  ConcatOp op;
+  const data::Value in[] = {str_col({"x"})};
+  EXPECT_THROW(op.eval_batch(in), std::invalid_argument);
+}
+
+TEST(Scale, DenseAffine) {
+  ScaleOp op({2.0, 0.5}, {1.0, 0.0});
+  data::DenseMatrix m(1, 2);
+  m(0, 0) = 3.0;
+  m(0, 1) = 4.0;
+  const data::Value in[] = {data::Value(data::FeatureMatrix(m))};
+  const auto out = op.eval_batch(in).features().dense();
+  EXPECT_DOUBLE_EQ(out(0, 0), 4.0);  // (3-1)*2
+  EXPECT_DOUBLE_EQ(out(0, 1), 2.0);  // (4-0)*0.5
+  EXPECT_TRUE(op.commutative());
+}
+
+TEST(Scale, ColumnSubsetUsesGlobalIndices) {
+  ScaleOp op({2.0, 3.0, 4.0}, {0.0, 0.0, 0.0});
+  data::DenseMatrix m(1, 2);
+  m(0, 0) = 1.0;
+  m(0, 1) = 1.0;
+  // Local columns 0,1 map to global columns 0,2 (IFV subset layout).
+  const std::vector<std::size_t> cols{0, 2};
+  const auto out = op.apply_columns(data::FeatureMatrix(m), cols).dense();
+  EXPECT_DOUBLE_EQ(out(0, 0), 2.0);
+  EXPECT_DOUBLE_EQ(out(0, 1), 4.0);
+}
+
+TEST(Scale, SparseScalesNonzeros) {
+  ScaleOp op({2.0, 3.0}, {0.0, 0.0});
+  data::CsrMatrix m(2);
+  data::SparseVector r(2);
+  r.push_back(1, 5.0);
+  m.append_row(r);
+  const std::vector<std::size_t> cols{0, 1};
+  const auto out = op.apply_columns(data::FeatureMatrix(m), cols).sparse();
+  EXPECT_DOUBLE_EQ(out.row_vector(0).at(1), 15.0);
+}
+
+TEST(Scale, StandardizeFromData) {
+  data::DenseMatrix m(4, 1);
+  m(0, 0) = 0.0;
+  m(1, 0) = 2.0;
+  m(2, 0) = 4.0;
+  m(3, 0) = 6.0;
+  const auto op = ScaleOp::standardize(data::FeatureMatrix(m));
+  const data::Value in[] = {data::Value(data::FeatureMatrix(m))};
+  const auto out = op.eval_batch(in).features().dense();
+  // Mean 3, population sd sqrt(5): standardized mean is 0.
+  double mean = 0.0;
+  for (std::size_t r = 0; r < 4; ++r) mean += out(r, 0);
+  EXPECT_NEAR(mean / 4.0, 0.0, 1e-12);
+}
+
+TEST(Scale, MappingSizeMismatchThrows) {
+  ScaleOp op({1.0, 1.0}, {0.0, 0.0});
+  data::DenseMatrix m(1, 2);
+  const std::vector<std::size_t> wrong{0};
+  EXPECT_THROW(op.apply_columns(data::FeatureMatrix(m), wrong),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace willump::ops

@@ -1,0 +1,190 @@
+// Property-based and parameterized invariant tests spanning modules:
+// executor equivalence across batch sizes, cascade accuracy bounds across
+// targets, top-K subset monotonicity across ck, and a model-based check of
+// the LRU cache against a reference implementation.
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "common/lru_cache.hpp"
+#include "common/rng.hpp"
+#include "core/optimizer.hpp"
+#include "models/metrics.hpp"
+#include "workloads/toxic.hpp"
+
+namespace willump {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Shared fixture: one small toxic workload + both engines.
+// ---------------------------------------------------------------------------
+
+struct Shared {
+  workloads::Workload wl;
+  std::shared_ptr<core::CompiledExecutor> compiled;
+  std::shared_ptr<core::InterpretedExecutor> interpreted;
+
+  Shared() {
+    workloads::ToxicConfig cfg;
+    cfg.sizes = {.train = 1200, .valid = 600, .test = 600};
+    wl = workloads::make_toxic(cfg);
+    compiled = std::make_shared<core::CompiledExecutor>(
+        wl.pipeline.graph, core::analyze_ifvs(wl.pipeline.graph));
+    interpreted = std::make_shared<core::InterpretedExecutor>(
+        wl.pipeline.graph, core::analyze_ifvs(wl.pipeline.graph));
+    compiled->probe_layout(
+        wl.train.inputs.select_rows(std::vector<std::size_t>{0, 1}));
+  }
+};
+
+Shared& shared() {
+  static Shared s;
+  return s;
+}
+
+// ---------------------------------------------------------------------------
+// Property: compiled and interpreted engines agree for every batch size.
+// ---------------------------------------------------------------------------
+
+class EngineEquivalence : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(EngineEquivalence, SameFeaturesAtEveryBatchSize) {
+  auto& s = shared();
+  const std::size_t n = GetParam();
+  std::vector<std::size_t> idx;
+  for (std::size_t i = 0; i < n; ++i) idx.push_back(i);
+  const auto batch = s.wl.test.inputs.select_rows(idx);
+
+  const auto a = s.compiled->compute_matrix(batch);
+  const auto b = s.interpreted->compute_matrix(batch);
+  ASSERT_EQ(a.rows(), n);
+  ASSERT_EQ(a.cols(), b.cols());
+  const auto da = a.is_dense() ? a.dense() : a.sparse().to_dense();
+  const auto db = b.is_dense() ? b.dense() : b.sparse().to_dense();
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t c = 0; c < da.cols(); ++c) {
+      ASSERT_NEAR(da(r, c), db(r, c), 1e-12);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(BatchSizes, EngineEquivalence,
+                         ::testing::Values(0, 1, 2, 7, 64));
+
+// ---------------------------------------------------------------------------
+// Property: the cascade's validation accuracy respects every accuracy target.
+// ---------------------------------------------------------------------------
+
+class CascadeTargetBound : public ::testing::TestWithParam<double> {};
+
+TEST_P(CascadeTargetBound, ValidationAccuracyWithinTarget) {
+  auto& s = shared();
+  core::CascadeConfig cfg;
+  cfg.accuracy_target = GetParam();
+  const auto cascade = core::CascadeTrainer::train(
+      *s.compiled, *s.wl.pipeline.model_proto, s.wl.train, s.wl.valid, cfg);
+  ASSERT_TRUE(cascade.enabled());
+  EXPECT_GE(cascade.cascade_valid_accuracy,
+            cascade.full_valid_accuracy - GetParam() - 1e-12);
+  // Tighter targets never yield lower thresholds than looser ones would
+  // accept; the threshold always stays on the 0.1 grid in [0.5, 1.0].
+  const double t = cascade.threshold;
+  EXPECT_GE(t, 0.5);
+  EXPECT_LE(t, 1.0);
+  EXPECT_NEAR(t * 10.0, std::round(t * 10.0), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Targets, CascadeTargetBound,
+                         ::testing::Values(0.0, 0.001, 0.01, 0.05));
+
+// ---------------------------------------------------------------------------
+// Property: top-K accuracy is non-decreasing in the subset multiplier ck.
+// ---------------------------------------------------------------------------
+
+class TopKSubsetMonotone : public ::testing::TestWithParam<double> {};
+
+TEST_P(TopKSubsetMonotone, PrecisionGrowsWithCk) {
+  auto& s = shared();
+  static const auto cascade = core::CascadeTrainer::train(
+      *s.compiled, *s.wl.pipeline.model_proto, s.wl.train, s.wl.valid, {});
+  ASSERT_TRUE(cascade.enabled());
+
+  const auto full_scores =
+      cascade.full_model->predict(s.compiled->compute_matrix(s.wl.test.inputs));
+  const auto exact = models::top_k_indices(full_scores, 20);
+
+  auto precision_at_ck = [&](double ck) {
+    core::TopKConfig cfg;
+    cfg.ck = ck;
+    cfg.min_subset_frac = 0.0;
+    core::TopKPipeline p(s.compiled, cascade, cfg);
+    return models::precision_at_k(p.top_k(s.wl.test.inputs, 20), exact);
+  };
+
+  const double ck = GetParam();
+  // Precision at ck never beats precision with the whole batch (ck huge)
+  // and never loses to pure filter ranking (ck == 1).
+  const double p_ck = precision_at_ck(ck);
+  const double p_all = precision_at_ck(1e9);
+  const double p_one = precision_at_ck(1.0);
+  EXPECT_DOUBLE_EQ(p_all, 1.0);
+  EXPECT_LE(p_one, p_ck + 1e-12);
+  EXPECT_LE(p_ck, p_all + 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(CkValues, TopKSubsetMonotone,
+                         ::testing::Values(2.0, 5.0, 10.0));
+
+// ---------------------------------------------------------------------------
+// Model-based test: LruCache behaves like a reference map + recency list
+// under a random operation sequence, for several capacities.
+// ---------------------------------------------------------------------------
+
+class LruModelCheck : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(LruModelCheck, MatchesReferenceModel) {
+  const std::size_t capacity = GetParam();
+  common::LruCache<int, int> cache(capacity);
+  std::map<int, int> model;           // key -> value
+  std::vector<int> recency;           // front = most recent
+
+  auto touch = [&](int key) {
+    auto it = std::find(recency.begin(), recency.end(), key);
+    if (it != recency.end()) recency.erase(it);
+    recency.insert(recency.begin(), key);
+  };
+
+  common::Rng rng(2024);
+  for (int step = 0; step < 3000; ++step) {
+    const int key = static_cast<int>(rng.next_below(20));
+    if (rng.next_bernoulli(0.5)) {
+      const int value = static_cast<int>(rng.next_below(1000));
+      cache.put(key, value);
+      model[key] = value;
+      touch(key);
+      if (capacity != 0 && model.size() > capacity) {
+        const int victim = recency.back();
+        recency.pop_back();
+        model.erase(victim);
+      }
+    } else {
+      const auto got = cache.get(key);
+      const auto it = model.find(key);
+      if (it == model.end()) {
+        ASSERT_FALSE(got.has_value()) << "step " << step;
+      } else {
+        ASSERT_TRUE(got.has_value()) << "step " << step;
+        ASSERT_EQ(*got, it->second) << "step " << step;
+        touch(key);
+      }
+    }
+    ASSERT_EQ(cache.size(), model.size()) << "step " << step;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Capacities, LruModelCheck,
+                         ::testing::Values(0, 1, 3, 8, 32));
+
+}  // namespace
+}  // namespace willump

@@ -1,0 +1,153 @@
+#include "common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <set>
+
+namespace willump::common {
+namespace {
+
+TEST(Rng, DeterministicFromSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, ReseedRestartsStream) {
+  Rng a(7);
+  const auto x0 = a.next_u64();
+  const auto x1 = a.next_u64();
+  a.reseed(7);
+  EXPECT_EQ(a.next_u64(), x0);
+  EXPECT_EQ(a.next_u64(), x1);
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Rng r(42);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = r.next_double();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(Rng, DoubleMeanNearHalf) {
+  Rng r(42);
+  double acc = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) acc += r.next_double();
+  EXPECT_NEAR(acc / n, 0.5, 0.02);
+}
+
+TEST(Rng, NextBelowRespectsBound) {
+  Rng r(9);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(r.next_below(17), 17u);
+  }
+}
+
+TEST(Rng, NextBelowCoversRange) {
+  Rng r(9);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(r.next_below(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, NextIntInclusiveRange) {
+  Rng r(5);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 5000; ++i) {
+    const auto v = r.next_int(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= v == -3;
+    saw_hi |= v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, GaussianMoments) {
+  Rng r(11);
+  const int n = 50000;
+  double sum = 0.0, sum2 = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double x = r.next_gaussian();
+    sum += x;
+    sum2 += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.03);
+  EXPECT_NEAR(sum2 / n, 1.0, 0.05);
+}
+
+TEST(Rng, PermutationIsValid) {
+  Rng r(3);
+  const auto p = r.permutation(100);
+  ASSERT_EQ(p.size(), 100u);
+  std::vector<std::size_t> sorted = p;
+  std::sort(sorted.begin(), sorted.end());
+  for (std::size_t i = 0; i < 100; ++i) EXPECT_EQ(sorted[i], i);
+}
+
+TEST(Rng, ShufflePreservesElements) {
+  Rng r(3);
+  std::vector<int> v{1, 2, 3, 4, 5, 6};
+  auto w = v;
+  r.shuffle(w);
+  std::sort(w.begin(), w.end());
+  EXPECT_EQ(v, w);
+}
+
+TEST(Rng, BernoulliRate) {
+  Rng r(13);
+  int hits = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    if (r.next_bernoulli(0.3)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+TEST(ZipfSampler, RankZeroMostPopular) {
+  Rng r(1);
+  ZipfSampler z(100, 1.2);
+  std::vector<int> counts(100, 0);
+  for (int i = 0; i < 20000; ++i) ++counts[z.sample(r)];
+  EXPECT_GT(counts[0], counts[10]);
+  EXPECT_GT(counts[0], counts[50]);
+  EXPECT_GT(counts[1], counts[50]);
+}
+
+TEST(ZipfSampler, CoversSupport) {
+  Rng r(2);
+  ZipfSampler z(5, 0.5);
+  std::set<std::size_t> seen;
+  for (int i = 0; i < 2000; ++i) seen.insert(z.sample(r));
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(ZipfSampler, HigherExponentMoreSkew) {
+  Rng r1(4), r2(4);
+  ZipfSampler mild(1000, 0.5), heavy(1000, 1.5);
+  int mild_top = 0, heavy_top = 0;
+  for (int i = 0; i < 10000; ++i) {
+    if (mild.sample(r1) < 10) ++mild_top;
+    if (heavy.sample(r2) < 10) ++heavy_top;
+  }
+  EXPECT_GT(heavy_top, mild_top * 2);
+}
+
+}  // namespace
+}  // namespace willump::common

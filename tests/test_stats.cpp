@@ -1,0 +1,79 @@
+#include "common/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace willump::common {
+namespace {
+
+TEST(Stats, MeanBasics) {
+  const std::vector<double> xs{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(mean(xs), 2.5);
+  EXPECT_DOUBLE_EQ(mean(std::vector<double>{}), 0.0);
+}
+
+TEST(Stats, StddevKnownValue) {
+  const std::vector<double> xs{2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  EXPECT_NEAR(stddev(xs), 2.138, 0.001);
+  EXPECT_DOUBLE_EQ(stddev(std::vector<double>{1.0}), 0.0);
+}
+
+TEST(Stats, MedianOddEven) {
+  EXPECT_DOUBLE_EQ(median({3.0, 1.0, 2.0}), 2.0);
+  EXPECT_DOUBLE_EQ(median({4.0, 1.0, 2.0, 3.0}), 2.5);
+  EXPECT_DOUBLE_EQ(median({}), 0.0);
+}
+
+TEST(Stats, PercentileInterpolates) {
+  std::vector<double> xs{10.0, 20.0, 30.0, 40.0, 50.0};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 100.0), 50.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 50.0), 30.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 25.0), 20.0);
+}
+
+TEST(Stats, BinomialCiShrinksWithN) {
+  const double w100 = binomial_ci95_half_width(0.9, 100);
+  const double w10000 = binomial_ci95_half_width(0.9, 10000);
+  EXPECT_GT(w100, w10000);
+  EXPECT_NEAR(w10000, 1.96 * std::sqrt(0.9 * 0.1 / 10000.0), 1e-12);
+}
+
+TEST(Stats, BinomialCiDegenerate) {
+  EXPECT_DOUBLE_EQ(binomial_ci95_half_width(0.5, 0), 1.0);
+  EXPECT_DOUBLE_EQ(binomial_ci95_half_width(1.0, 100), 0.0);
+}
+
+TEST(Stats, AccuracyWithinCi) {
+  // 90% accuracy over 1000 trials: CI half-width ~ 1.86%.
+  EXPECT_TRUE(accuracy_within_ci95(0.89, 0.90, 1000));
+  EXPECT_FALSE(accuracy_within_ci95(0.85, 0.90, 1000));
+}
+
+TEST(Stats, PearsonPerfectAndInverse) {
+  const std::vector<double> xs{1.0, 2.0, 3.0, 4.0};
+  const std::vector<double> ys{2.0, 4.0, 6.0, 8.0};
+  std::vector<double> neg{8.0, 6.0, 4.0, 2.0};
+  EXPECT_NEAR(pearson(xs, ys), 1.0, 1e-12);
+  EXPECT_NEAR(pearson(xs, neg), -1.0, 1e-12);
+}
+
+TEST(Stats, PearsonConstantIsZero) {
+  const std::vector<double> xs{1.0, 1.0, 1.0};
+  const std::vector<double> ys{1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(pearson(xs, ys), 0.0);
+}
+
+TEST(Stats, SummaryFields) {
+  const auto s = summarize({1.0, 2.0, 3.0, 4.0, 100.0});
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 100.0);
+  EXPECT_DOUBLE_EQ(s.median, 3.0);
+  EXPECT_DOUBLE_EQ(s.mean, 22.0);
+  EXPECT_GT(s.p99, s.median);
+}
+
+}  // namespace
+}  // namespace willump::common

@@ -1,0 +1,118 @@
+#include "store/kv_store.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/timer.hpp"
+#include "ops/lookup.hpp"
+
+namespace willump::store {
+namespace {
+
+std::shared_ptr<FeatureTable> make_table() {
+  auto t = std::make_shared<FeatureTable>("test", 2);
+  t->put(1, data::DenseVector({1.0, 2.0}));
+  t->put(2, data::DenseVector({3.0, 4.0}));
+  return t;
+}
+
+TEST(FeatureTable, GetAndDefault) {
+  const auto t = make_table();
+  EXPECT_DOUBLE_EQ(t->get(1)[0], 1.0);
+  EXPECT_TRUE(t->contains(2));
+  EXPECT_FALSE(t->contains(99));
+  // Unknown key yields the all-zero default row.
+  EXPECT_DOUBLE_EQ(t->get(99)[0], 0.0);
+  EXPECT_EQ(t->get(99).dim(), 2u);
+}
+
+TEST(FeatureTable, DimMismatchThrows) {
+  FeatureTable t("t", 3);
+  EXPECT_THROW(t.put(1, data::DenseVector({1.0})), std::invalid_argument);
+}
+
+TEST(TableClient, LocalLookupNoTrafficCounted) {
+  TableClient c(make_table(), NetworkModel{});
+  std::vector<const data::DenseVector*> rows;
+  const std::vector<std::int64_t> keys{1, 2, 1};
+  c.get_batch(keys, rows);
+  ASSERT_EQ(rows.size(), 3u);
+  EXPECT_DOUBLE_EQ((*rows[1])[1], 4.0);
+  EXPECT_EQ(c.stats().round_trips.load(), 0u);
+  EXPECT_EQ(c.stats().keys_fetched.load(), 0u);
+}
+
+TEST(TableClient, RemoteBatchIsOneRoundTrip) {
+  TableClient c(make_table(), NetworkModel{.rtt_micros = 30.0, .per_key_micros = 0.5});
+  std::vector<const data::DenseVector*> rows;
+  const std::vector<std::int64_t> keys{1, 2, 1, 2};
+  c.get_batch(keys, rows);
+  EXPECT_EQ(c.stats().round_trips.load(), 1u);
+  EXPECT_EQ(c.stats().keys_fetched.load(), 4u);
+  EXPECT_GT(c.stats().simulated_wait_nanos.load(), 0u);
+}
+
+TEST(TableClient, RemoteWaitScalesWithRtt) {
+  TableClient slow(make_table(), NetworkModel{.rtt_micros = 300.0, .per_key_micros = 0.0});
+  std::vector<const data::DenseVector*> rows;
+  const std::vector<std::int64_t> keys{1};
+  common::Timer t;
+  slow.get_batch(keys, rows);
+  EXPECT_GE(t.elapsed_micros(), 250.0);  // spin-wait really waits
+}
+
+TEST(TableClient, EmptyKeysNoTraffic) {
+  TableClient c(make_table(), NetworkModel{.rtt_micros = 30.0, .per_key_micros = 0.5});
+  std::vector<const data::DenseVector*> rows;
+  c.get_batch({}, rows);
+  EXPECT_TRUE(rows.empty());
+  EXPECT_EQ(c.stats().round_trips.load(), 0u);
+}
+
+TEST(TableRegistry, FindAndAggregate) {
+  TableRegistry reg;
+  auto c1 = reg.add(make_table(), NetworkModel{.rtt_micros = 1.0, .per_key_micros = 0.0});
+  auto t2 = std::make_shared<FeatureTable>("other", 1);
+  auto c2 = reg.add(t2, NetworkModel{.rtt_micros = 1.0, .per_key_micros = 0.0});
+  EXPECT_EQ(reg.find("test"), c1);
+  EXPECT_EQ(reg.find("other"), c2);
+  EXPECT_EQ(reg.find("nope"), nullptr);
+
+  std::vector<const data::DenseVector*> rows;
+  const std::vector<std::int64_t> keys{1, 2};
+  c1->get_batch(keys, rows);
+  c2->get_batch(keys, rows);
+  EXPECT_EQ(reg.total_round_trips(), 2u);
+  EXPECT_EQ(reg.total_keys_fetched(), 4u);
+  reg.reset_stats();
+  EXPECT_EQ(reg.total_round_trips(), 0u);
+}
+
+TEST(TableRegistry, SetNetworkFlipsAllClients) {
+  TableRegistry reg;
+  auto c = reg.add(make_table(), NetworkModel{});
+  EXPECT_FALSE(c->network().is_remote());
+  reg.set_network(NetworkModel{.rtt_micros = 50.0, .per_key_micros = 1.0});
+  EXPECT_TRUE(c->network().is_remote());
+  reg.set_network(NetworkModel{});
+  EXPECT_FALSE(c->network().is_remote());
+}
+
+TEST(LookupOp, FetchesRowsInInputOrder) {
+  auto client = std::make_shared<TableClient>(make_table(), NetworkModel{});
+  ops::TableLookupOp op(client);
+  const data::Value in[] = {data::Value(data::Column(data::IntColumn{2, 1}))};
+  const auto out = op.eval_batch(in).features().dense();
+  EXPECT_DOUBLE_EQ(out(0, 0), 3.0);
+  EXPECT_DOUBLE_EQ(out(1, 0), 1.0);
+  EXPECT_FALSE(op.compilable());  // external I/O is never compiled
+}
+
+TEST(LookupOp, RejectsNonIntKeys) {
+  auto client = std::make_shared<TableClient>(make_table(), NetworkModel{});
+  ops::TableLookupOp op(client);
+  const data::Value in[] = {data::Value(data::Column(data::DoubleColumn{1.0}))};
+  EXPECT_THROW(op.eval_batch(in), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace willump::store

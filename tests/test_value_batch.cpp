@@ -1,0 +1,83 @@
+#include <gtest/gtest.h>
+
+#include "data/value.hpp"
+
+namespace willump::data {
+namespace {
+
+TEST(Column, TypeAndSize) {
+  const Column ci(IntColumn{1, 2, 3});
+  const Column cd(DoubleColumn{1.5});
+  const Column cs(StringColumn{"a", "b"});
+  EXPECT_EQ(ci.type(), ColumnType::Int);
+  EXPECT_EQ(cd.type(), ColumnType::Double);
+  EXPECT_EQ(cs.type(), ColumnType::String);
+  EXPECT_EQ(ci.size(), 3u);
+  EXPECT_EQ(cs.size(), 2u);
+}
+
+TEST(Column, SelectRows) {
+  const Column c(StringColumn{"a", "b", "c"});
+  const std::vector<std::size_t> idx{2, 0};
+  const auto s = c.select_rows(idx);
+  ASSERT_EQ(s.size(), 2u);
+  EXPECT_EQ(s.strings()[0], "c");
+  EXPECT_EQ(s.strings()[1], "a");
+}
+
+TEST(Value, EmptyByDefault) {
+  const Value v;
+  EXPECT_TRUE(v.empty());
+  EXPECT_EQ(v.size(), 0u);
+}
+
+TEST(Value, HoldsColumnAndFeatures) {
+  const Value vc(Column(IntColumn{1, 2}));
+  EXPECT_TRUE(vc.is_column());
+  EXPECT_EQ(vc.size(), 2u);
+
+  DenseMatrix m(3, 2);
+  const Value vf{FeatureMatrix(m)};
+  EXPECT_TRUE(vf.is_features());
+  EXPECT_EQ(vf.size(), 3u);
+}
+
+TEST(Batch, AddAndGet) {
+  Batch b;
+  b.add("x", Column(IntColumn{1, 2}));
+  b.add("y", Column(StringColumn{"a", "b"}));
+  EXPECT_EQ(b.num_rows(), 2u);
+  EXPECT_EQ(b.num_columns(), 2u);
+  EXPECT_TRUE(b.has("x"));
+  EXPECT_FALSE(b.has("z"));
+  EXPECT_EQ(b.get("y").strings()[1], "b");
+  EXPECT_THROW(b.get("z"), std::out_of_range);
+}
+
+TEST(Batch, LengthMismatchThrows) {
+  Batch b;
+  b.add("x", Column(IntColumn{1, 2}));
+  EXPECT_THROW(b.add("y", Column(IntColumn{1})), std::invalid_argument);
+}
+
+TEST(Batch, SelectRowsAllColumns) {
+  Batch b;
+  b.add("x", Column(IntColumn{10, 20, 30}));
+  b.add("y", Column(DoubleColumn{1.0, 2.0, 3.0}));
+  const std::vector<std::size_t> idx{1};
+  const auto s = b.select_rows(idx);
+  EXPECT_EQ(s.num_rows(), 1u);
+  EXPECT_EQ(s.get("x").ints()[0], 20);
+  EXPECT_DOUBLE_EQ(s.get("y").doubles()[0], 2.0);
+}
+
+TEST(Batch, RowSlice) {
+  Batch b;
+  b.add("x", Column(IntColumn{10, 20, 30}));
+  const auto r = b.row(2);
+  EXPECT_EQ(r.num_rows(), 1u);
+  EXPECT_EQ(r.get("x").ints()[0], 30);
+}
+
+}  // namespace
+}  // namespace willump::data

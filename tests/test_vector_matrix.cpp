@@ -1,0 +1,165 @@
+#include <gtest/gtest.h>
+
+#include "data/matrix.hpp"
+#include "data/vector.hpp"
+
+namespace willump::data {
+namespace {
+
+TEST(DenseVector, ConcatAppends) {
+  DenseVector a({1.0, 2.0});
+  const DenseVector b({3.0});
+  a.concat(b);
+  ASSERT_EQ(a.dim(), 3u);
+  EXPECT_DOUBLE_EQ(a[2], 3.0);
+}
+
+TEST(SparseVector, AtAndNnz) {
+  SparseVector v(10);
+  v.push_back(2, 1.5);
+  v.push_back(7, -2.0);
+  EXPECT_EQ(v.nnz(), 2u);
+  EXPECT_DOUBLE_EQ(v.at(2), 1.5);
+  EXPECT_DOUBLE_EQ(v.at(3), 0.0);
+  EXPECT_DOUBLE_EQ(v.at(7), -2.0);
+}
+
+TEST(SparseVector, ConcatShiftsIndices) {
+  SparseVector a(4);
+  a.push_back(1, 1.0);
+  SparseVector b(3);
+  b.push_back(0, 2.0);
+  a.concat(b);
+  EXPECT_EQ(a.dim(), 7);
+  EXPECT_DOUBLE_EQ(a.at(4), 2.0);
+}
+
+TEST(SparseVector, L2NormAndScale) {
+  SparseVector v(5);
+  v.push_back(0, 3.0);
+  v.push_back(4, 4.0);
+  EXPECT_DOUBLE_EQ(v.l2_norm(), 5.0);
+  v.scale(0.5);
+  EXPECT_DOUBLE_EQ(v.at(0), 1.5);
+}
+
+TEST(Dot, SparseDense) {
+  SparseVector x(4);
+  x.push_back(1, 2.0);
+  x.push_back(3, -1.0);
+  const std::vector<double> w{10.0, 20.0, 30.0, 40.0};
+  EXPECT_DOUBLE_EQ(dot(x, w), 2.0 * 20.0 - 40.0);
+}
+
+TEST(DenseMatrix, FromRowsAndAccess) {
+  const auto m = DenseMatrix::from_rows(
+      {DenseVector({1.0, 2.0}), DenseVector({3.0, 4.0})});
+  ASSERT_EQ(m.rows(), 2u);
+  ASSERT_EQ(m.cols(), 2u);
+  EXPECT_DOUBLE_EQ(m(1, 0), 3.0);
+  EXPECT_DOUBLE_EQ(m.column(1)[0], 2.0);
+}
+
+TEST(DenseMatrix, FromRowsRejectsRagged) {
+  EXPECT_THROW(DenseMatrix::from_rows(
+                   {DenseVector({1.0}), DenseVector({1.0, 2.0})}),
+               std::invalid_argument);
+}
+
+TEST(DenseMatrix, SelectRows) {
+  const auto m = DenseMatrix::from_rows(
+      {DenseVector({1.0}), DenseVector({2.0}), DenseVector({3.0})});
+  const std::vector<std::size_t> idx{2, 0};
+  const auto s = m.select_rows(idx);
+  ASSERT_EQ(s.rows(), 2u);
+  EXPECT_DOUBLE_EQ(s(0, 0), 3.0);
+  EXPECT_DOUBLE_EQ(s(1, 0), 1.0);
+}
+
+TEST(DenseMatrix, HconcatMismatchThrows) {
+  DenseMatrix a(2, 1), b(3, 1);
+  EXPECT_THROW(DenseMatrix::hconcat(a, b), std::invalid_argument);
+}
+
+TEST(CsrMatrix, AppendAndRowView) {
+  CsrMatrix m(5);
+  SparseVector r0(5);
+  r0.push_back(1, 1.0);
+  m.append_row(r0);
+  m.append_row(SparseVector(5));  // empty row
+  ASSERT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.row(0).nnz(), 1u);
+  EXPECT_EQ(m.row(1).nnz(), 0u);
+  EXPECT_EQ(m.nnz(), 1u);
+}
+
+TEST(CsrMatrix, ToDenseRoundTrip) {
+  CsrMatrix m(3);
+  SparseVector r(3);
+  r.push_back(0, 1.0);
+  r.push_back(2, 2.0);
+  m.append_row(r);
+  const auto d = m.to_dense();
+  EXPECT_DOUBLE_EQ(d(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(d(0, 1), 0.0);
+  EXPECT_DOUBLE_EQ(d(0, 2), 2.0);
+}
+
+TEST(CsrMatrix, HconcatShiftsColumns) {
+  CsrMatrix a(2), b(3);
+  SparseVector ra(2);
+  ra.push_back(1, 1.0);
+  a.append_row(ra);
+  SparseVector rb(3);
+  rb.push_back(0, 2.0);
+  b.append_row(rb);
+  const auto c = CsrMatrix::hconcat(a, b);
+  EXPECT_EQ(c.cols(), 5);
+  EXPECT_DOUBLE_EQ(c.row_vector(0).at(1), 1.0);
+  EXPECT_DOUBLE_EQ(c.row_vector(0).at(2), 2.0);
+}
+
+TEST(CsrMatrix, SelectRows) {
+  CsrMatrix m(2);
+  for (int i = 0; i < 3; ++i) {
+    SparseVector r(2);
+    r.push_back(0, static_cast<double>(i));
+    m.append_row(r);
+  }
+  const std::vector<std::size_t> idx{2, 1};
+  const auto s = m.select_rows(idx);
+  EXPECT_DOUBLE_EQ(s.row_vector(0).at(0), 2.0);
+  EXPECT_DOUBLE_EQ(s.row_vector(1).at(0), 1.0);
+}
+
+TEST(FeatureMatrix, MixedHconcatPromotesToSparse) {
+  DenseMatrix d(1, 2);
+  d(0, 0) = 1.0;
+  d(0, 1) = 0.0;
+  CsrMatrix s(2);
+  SparseVector r(2);
+  r.push_back(1, 3.0);
+  s.append_row(r);
+  const auto fm = FeatureMatrix::hconcat(FeatureMatrix(d), FeatureMatrix(s));
+  EXPECT_TRUE(fm.is_sparse());
+  EXPECT_EQ(fm.cols(), 4u);
+  EXPECT_DOUBLE_EQ(fm.sparse().row_vector(0).at(0), 1.0);
+  EXPECT_DOUBLE_EQ(fm.sparse().row_vector(0).at(3), 3.0);
+}
+
+TEST(FeatureMatrix, HconcatAllEmptyListIsEmpty) {
+  const auto fm = FeatureMatrix::hconcat_all({});
+  EXPECT_EQ(fm.rows(), 0u);
+  EXPECT_EQ(fm.cols(), 0u);
+}
+
+TEST(FeatureMatrix, DenseToCsrSkipsZeros) {
+  DenseMatrix d(1, 3);
+  d(0, 1) = 5.0;
+  const auto csr = FeatureMatrix(d).to_csr();
+  EXPECT_EQ(csr.nnz(), 1u);
+  EXPECT_DOUBLE_EQ(csr.row_vector(0).at(1), 5.0);
+}
+
+}  // namespace
+}  // namespace willump::data

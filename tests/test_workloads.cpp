@@ -1,0 +1,200 @@
+#include <gtest/gtest.h>
+
+#include "common/stats.hpp"
+#include "core/optimizer.hpp"
+#include "models/metrics.hpp"
+#include "workloads/credit.hpp"
+#include "workloads/music.hpp"
+#include "workloads/price.hpp"
+#include "workloads/product.hpp"
+#include "workloads/synthetic.hpp"
+#include "workloads/toxic.hpp"
+#include "workloads/tracking.hpp"
+
+namespace willump::workloads {
+namespace {
+
+/// Shrunk-size workload factory for tests, keyed by name.
+Workload make_small(const std::string& name) {
+  const SplitSizes sizes{.train = 1200, .valid = 500, .test = 500};
+  if (name == "product") {
+    ProductConfig c;
+    c.sizes = sizes;
+    c.word_tfidf_features = 500;
+    c.char_tfidf_features = 800;
+    return make_product(c);
+  }
+  if (name == "toxic") {
+    ToxicConfig c;
+    c.sizes = sizes;
+    c.word_tfidf_features = 600;
+    c.char_tfidf_features = 900;
+    return make_toxic(c);
+  }
+  if (name == "music") {
+    MusicConfig c;
+    c.sizes = sizes;
+    c.n_users = 800;
+    c.n_songs = 600;
+    c.n_artists = 150;
+    return make_music(c);
+  }
+  if (name == "credit") {
+    CreditConfig c;
+    c.sizes = sizes;
+    c.n_clients = 1500;
+    return make_credit(c);
+  }
+  if (name == "price") {
+    PriceConfig c;
+    c.sizes = sizes;
+    c.name_tfidf_features = 600;
+    return make_price(c);
+  }
+  if (name == "tracking") {
+    TrackingConfig c;
+    c.sizes = sizes;
+    c.n_ips = 1500;
+    return make_tracking(c);
+  }
+  throw std::invalid_argument("unknown workload " + name);
+}
+
+struct Expectation {
+  const char* name;
+  std::size_t num_ifvs;
+  bool classification;
+  bool has_tables;
+};
+
+class WorkloadSuite : public ::testing::TestWithParam<Expectation> {};
+
+TEST_P(WorkloadSuite, StructureMatchesPaperTopology) {
+  const auto& e = GetParam();
+  const auto wl = make_small(e.name);
+  EXPECT_EQ(wl.name, e.name);
+  EXPECT_EQ(wl.classification, e.classification);
+  EXPECT_EQ(wl.pipeline.classification(), e.classification);
+  EXPECT_EQ(wl.tables != nullptr, e.has_tables);
+
+  const auto analysis = core::analyze_ifvs(wl.pipeline.graph);
+  EXPECT_EQ(analysis.num_generators(), e.num_ifvs);
+}
+
+TEST_P(WorkloadSuite, SplitsAreDisjointSizes) {
+  const auto wl = make_small(GetParam().name);
+  EXPECT_EQ(wl.train.inputs.num_rows(), 1200u);
+  EXPECT_EQ(wl.valid.inputs.num_rows(), 500u);
+  EXPECT_EQ(wl.test.inputs.num_rows(), 500u);
+  EXPECT_EQ(wl.train.targets.size(), 1200u);
+}
+
+TEST_P(WorkloadSuite, ModelBeatsTrivialBaseline) {
+  const auto& e = GetParam();
+  const auto wl = make_small(e.name);
+  const auto p =
+      core::WillumpOptimizer::optimize(wl.pipeline, wl.train, wl.valid, {});
+  const auto preds = p.predict(wl.test.inputs);
+
+  if (e.classification) {
+    // Beat the majority-class baseline.
+    double pos = 0.0;
+    for (double y : wl.test.targets) pos += y;
+    const double majority =
+        std::max(pos, static_cast<double>(wl.test.targets.size()) - pos) /
+        static_cast<double>(wl.test.targets.size());
+    EXPECT_GT(models::accuracy(preds, wl.test.targets), majority + 0.02)
+        << e.name;
+  } else {
+    EXPECT_GT(models::r2(preds, wl.test.targets), 0.3) << e.name;
+  }
+}
+
+TEST_P(WorkloadSuite, CompiledMatchesInterpreted) {
+  const auto wl = make_small(GetParam().name);
+  core::OptimizeOptions interp_opts;
+  interp_opts.compile = false;
+  const auto interp = core::WillumpOptimizer::optimize(wl.pipeline, wl.train,
+                                                       wl.valid, interp_opts);
+  const auto compiled =
+      core::WillumpOptimizer::optimize(wl.pipeline, wl.train, wl.valid, {});
+  const auto probe = wl.test.inputs.select_rows(
+      std::vector<std::size_t>{0, 1, 2, 3, 4, 5, 6, 7});
+  const auto pi = interp.predict(probe);
+  const auto pc = compiled.predict(probe);
+  for (std::size_t i = 0; i < pi.size(); ++i) {
+    ASSERT_NEAR(pi[i], pc[i], 1e-9) << GetParam().name;
+  }
+}
+
+TEST_P(WorkloadSuite, QuerySamplerMatchesSchema) {
+  const auto wl = make_small(GetParam().name);
+  if (!wl.query_sampler) GTEST_SKIP() << "no query sampler";
+  common::Rng rng(1);
+  const auto q = wl.query_sampler(64, rng);
+  EXPECT_EQ(q.num_rows(), 64u);
+  for (const auto& name : wl.test.inputs.names()) {
+    EXPECT_TRUE(q.has(name)) << name;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBenchmarks, WorkloadSuite,
+    ::testing::Values(Expectation{"product", 3, true, false},
+                      Expectation{"toxic", 3, true, false},
+                      Expectation{"music", 6, true, true},
+                      Expectation{"credit", 4, false, true},
+                      Expectation{"price", 5, false, false},
+                      Expectation{"tracking", 6, true, true}),
+    [](const auto& info) { return std::string(info.param.name); });
+
+TEST(SyntheticParallel, HasEqualCostGenerators) {
+  SyntheticParallelConfig cfg;
+  cfg.sizes = {.train = 400, .valid = 150, .test = 150};
+  const auto wl = make_synthetic_parallel(cfg);
+  const auto analysis = core::analyze_ifvs(wl.pipeline.graph);
+  EXPECT_EQ(analysis.num_generators(), 4u);
+  // All generators share one source; their blocks are identical widths.
+  core::CompiledExecutor ex(wl.pipeline.graph, core::analyze_ifvs(wl.pipeline.graph));
+  ex.probe_layout(wl.train.inputs.select_rows(std::vector<std::size_t>{0, 1}));
+  const auto& a = ex.analysis();
+  for (std::size_t f = 1; f < a.num_generators(); ++f) {
+    EXPECT_EQ(a.block_cols[f], a.block_cols[0]);
+  }
+}
+
+TEST(SyntheticParallel, ModelLearns) {
+  SyntheticParallelConfig cfg;
+  cfg.sizes = {.train = 600, .valid = 200, .test = 200};
+  const auto wl = make_synthetic_parallel(cfg);
+  const auto p =
+      core::WillumpOptimizer::optimize(wl.pipeline, wl.train, wl.valid, {});
+  EXPECT_GT(models::accuracy(p.predict(wl.test.inputs), wl.test.targets), 0.8);
+}
+
+TEST(Workloads, MusicZipfSkewsQueries) {
+  MusicConfig c;
+  c.sizes = {.train = 1200, .valid = 500, .test = 500};
+  c.n_users = 800;
+  c.n_songs = 600;
+  c.n_artists = 150;
+  const auto wl = make_music(c);
+  common::Rng rng(7);
+  const auto q = wl.query_sampler(2000, rng);
+  // Top song id (rank 0) appears far more often than uniform would predict.
+  std::size_t top_count = 0;
+  for (auto s : q.get("song_id").ints()) {
+    if (s == 0) ++top_count;
+  }
+  EXPECT_GT(top_count, 2000 / 600 * 5);
+}
+
+TEST(Workloads, RemoteNetworkDefaults) {
+  const auto net = default_remote_network();
+  EXPECT_TRUE(net.is_remote());
+  EXPECT_GT(net.batch_cost_micros(10), net.rtt_micros);
+  EXPECT_DOUBLE_EQ(net.batch_cost_micros(0), 0.0);
+}
+
+}  // namespace
+}  // namespace willump::workloads
