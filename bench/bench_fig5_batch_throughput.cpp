@@ -9,7 +9,8 @@
 using namespace willump;
 using namespace willump::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  parse_args(argc, argv);
   print_banner("Batch-query throughput (rows/s)", "Willump paper, Figure 5");
   TablePrinter table(
       {"benchmark", "python", "compiled", "+cascades", "speedupC", "speedupK"});

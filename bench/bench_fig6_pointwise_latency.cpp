@@ -22,14 +22,15 @@ double pointwise_latency_micros(const core::OptimizedPipeline& p,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  parse_args(argc, argv);
   print_banner("Example-at-a-time latency (us/query)",
                "Willump paper, Figure 6");
   TablePrinter table(
       {"benchmark", "python", "compiled", "+cascades", "speedupC", "speedupK"});
   table.print_header();
 
-  const std::size_t kQueries = 300;
+  const std::size_t kQueries = smoke() ? 50 : 300;
   for (const auto& name : all_workloads()) {
     const auto wl = make_workload(name);
 

@@ -10,7 +10,8 @@
 using namespace willump;
 using namespace willump::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  parse_args(argc, argv);
   print_banner("Cascade threshold sweep: throughput vs accuracy",
                "Willump paper, Figure 7");
 

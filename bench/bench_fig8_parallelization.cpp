@@ -24,20 +24,22 @@ double pointwise_latency(const core::OptimizedPipeline& p,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  parse_args(argc, argv);
   print_banner("Per-input parallelization speedup", "Willump paper, Figure 8");
 
   std::printf("\n--- real benchmarks (left plot) ---\n");
   TablePrinter table({"benchmark", "threads", "latency_us", "speedup"});
   table.print_header();
 
-  const std::size_t kQueries = 250;
+  const std::size_t kQueries = smoke() ? 50 : 250;
   for (const auto& name : {std::string("toxic"), std::string("product")}) {
     // Paragraph-length comments for Toxic, as in the paper's dataset
     // (Wikipedia talk pages), so generator cost dominates thread dispatch.
     workloads::Workload wl;
     if (name == "toxic") {
       workloads::ToxicConfig cfg;
+      if (smoke()) cfg.sizes = smoke_sizes();
       cfg.words_min = 80;
       cfg.words_max = 200;
       wl = workloads::make_toxic(cfg);

@@ -42,6 +42,7 @@ void bm_compiled_features(benchmark::State& state, const std::string& name) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  parse_args(argc, argv);
   for (const auto& name : all_workloads()) {
     benchmark::RegisterBenchmark(("drivers/" + name).c_str(),
                                  [name](benchmark::State& s) {

@@ -9,7 +9,8 @@
 using namespace willump;
 using namespace willump::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  parse_args(argc, argv);
   print_banner("Willump optimization times (s)", "Willump paper, §6.4");
   TablePrinter table({"benchmark", "compile_only", "cascades", "topk_filter"}, 16);
   table.print_header();

@@ -9,7 +9,8 @@
 using namespace willump;
 using namespace willump::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  parse_args(argc, argv);
   print_banner("Cascade threshold robustness across validation sets",
                "Willump paper, §6.4");
   TablePrinter table({"benchmark", "threshold", "acc_valA", "acc_valB",

@@ -11,7 +11,7 @@ using namespace willump::bench;
 
 namespace {
 
-constexpr std::size_t kQueries = 4000;
+inline std::size_t n_queries() { return willump::bench::smoke() ? 300 : 4000; }
 
 /// Serve the stream one query at a time; return total remote keys fetched.
 std::uint64_t serve_and_count(const workloads::Workload& wl,
@@ -37,7 +37,8 @@ std::uint64_t serve_and_count(const workloads::Workload& wl,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  parse_args(argc, argv);
   print_banner("Reduction in remote requests (%)", "Willump paper, Table 2");
   TablePrinter table({"configuration", "music", "tracking"}, 34);
   table.print_header();
@@ -63,6 +64,7 @@ int main() {
 
     common::Rng rng(99);
     std::vector<data::Batch> stream;
+    const std::size_t kQueries = n_queries();
     stream.reserve(kQueries);
     const auto batch = wl.query_sampler(kQueries, rng);
     for (std::size_t i = 0; i < kQueries; ++i) stream.push_back(batch.row(i));

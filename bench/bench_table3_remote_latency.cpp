@@ -10,7 +10,7 @@ using namespace willump::bench;
 
 namespace {
 
-constexpr std::size_t kQueries = 1500;
+inline std::size_t n_queries() { return willump::bench::smoke() ? 150 : 1500; }
 
 double serve_mean_latency_ms(const core::OptimizedPipeline& p,
                              const std::vector<data::Batch>& stream,
@@ -30,7 +30,8 @@ double serve_mean_latency_ms(const core::OptimizedPipeline& p,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  parse_args(argc, argv);
   print_banner("Average per-input latency, remote tables (ms)",
                "Willump paper, Table 3");
   TablePrinter table({"configuration", "music", "tracking"}, 34);
@@ -57,6 +58,7 @@ int main() {
 
     common::Rng rng(77);
     std::vector<data::Batch> stream;
+    const std::size_t kQueries = n_queries();
     stream.reserve(kQueries);
     const auto batch = wl.query_sampler(kQueries, rng);
     for (std::size_t i = 0; i < kQueries; ++i) stream.push_back(batch.row(i));

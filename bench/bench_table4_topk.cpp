@@ -10,7 +10,8 @@
 using namespace willump;
 using namespace willump::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  parse_args(argc, argv);
   print_banner("Top-K (K=100) filter models", "Willump paper, Table 4");
   TablePrinter table({"benchmark", "py_tput", "c_tput", "filt_tput", "precision",
                       "mAP", "avg_value", "full_avg"},
@@ -21,7 +22,7 @@ int main() {
   for (const auto& name :
        {std::string("product"), std::string("toxic"), std::string("price"),
         std::string("music"), std::string("credit")}) {
-    auto wl = make_workload(name, kTopKBatchRows);
+    auto wl = make_workload(name, topk_batch_rows());
     if (wl.tables) wl.tables->set_network(workloads::default_remote_network());
 
     const auto& batch = wl.test.inputs;

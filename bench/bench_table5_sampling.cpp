@@ -32,7 +32,8 @@ std::vector<std::size_t> sampled_top_k(const core::OptimizedPipeline& p,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  parse_args(argc, argv);
   print_banner("Filter models vs random sampling", "Willump paper, Table 5");
   TablePrinter table({"metric", "music", "product", "credit"}, 22);
   table.print_header();
@@ -45,7 +46,7 @@ int main() {
 
   for (const auto& name :
        {std::string("music"), std::string("product"), std::string("credit")}) {
-    auto wl = make_workload(name, kTopKBatchRows);
+    auto wl = make_workload(name, topk_batch_rows());
     if (wl.tables) wl.tables->set_network(workloads::default_remote_network());
     const auto& batch = wl.test.inputs;
     const std::size_t rows = batch.num_rows();

@@ -24,7 +24,8 @@ double mean_serve_ms(serving::ClipperSim& clipper,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  parse_args(argc, argv);
   print_banner("Clipper integration: end-to-end latency (ms)",
                "Willump paper, Table 6");
   TablePrinter table({"benchmark", "batch", "clipper", "clipper+willump",
@@ -40,7 +41,8 @@ int main() {
     for (std::size_t batch_size : {std::size_t{1}, std::size_t{10}, std::size_t{100}}) {
       // A stream of query batches cut from the test set.
       std::vector<data::Batch> queries;
-      const std::size_t n_queries = batch_size == 1 ? 60 : (batch_size == 10 ? 30 : 10);
+      std::size_t n_queries = batch_size == 1 ? 60 : (batch_size == 10 ? 30 : 10);
+      if (smoke()) n_queries = 5;
       for (std::size_t q = 0; q < n_queries; ++q) {
         std::vector<std::size_t> idx;
         for (std::size_t i = 0; i < batch_size; ++i) {

@@ -9,7 +9,8 @@
 using namespace willump;
 using namespace willump::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  parse_args(argc, argv);
   print_banner("Top-K subset-size sweep (K=100)", "Willump paper, Table 7");
   TablePrinter table({"benchmark", "subset", "size", "tput", "precision", "mAP",
                       "avg_value"},
@@ -18,7 +19,7 @@ int main() {
 
   constexpr std::size_t kK = 100;
   for (const auto& name : {std::string("music"), std::string("toxic")}) {
-    auto wl = make_workload(name, kTopKBatchRows);
+    auto wl = make_workload(name, topk_batch_rows());
     if (wl.tables) wl.tables->set_network(workloads::default_remote_network());
     const auto& batch = wl.test.inputs;
     const std::size_t rows = batch.num_rows();

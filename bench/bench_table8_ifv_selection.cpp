@@ -45,7 +45,8 @@ double masked_cascade_tput(const workloads::Workload& wl,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  parse_args(argc, argv);
   print_banner("Efficient-IFV selection policies", "Willump paper, Table 8");
   TablePrinter table({"benchmark", "orig_tput", "willump", "important", "cheap",
                       "oracle"},

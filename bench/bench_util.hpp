@@ -6,8 +6,10 @@
 // at "bench scale", timing, and table formatting.
 
 #include <cstdio>
+#include <cstdlib>
 #include <functional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/stats.hpp"
@@ -24,6 +26,38 @@
 
 namespace willump::bench {
 
+/// Smoke mode: tiny workloads and single-rep timing so CI can drive every
+/// bench binary end-to-end in seconds. The numbers it prints are NOT
+/// paper-comparable; it only verifies the binaries run. Enabled by the
+/// `--smoke` flag or the WILLUMP_BENCH_SMOKE environment variable.
+inline bool& smoke_flag() {
+  static bool v = std::getenv("WILLUMP_BENCH_SMOKE") != nullptr;
+  return v;
+}
+
+inline bool smoke() { return smoke_flag(); }
+
+/// Parse shared bench CLI flags (currently just --smoke), removing the ones
+/// recognized here so binaries with their own flag parsing (Google
+/// Benchmark) don't see them. Call first in every main().
+inline void parse_args(int& argc, char** argv) {
+  int out = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string_view(argv[i]) == "--smoke") {
+      smoke_flag() = true;
+      continue;
+    }
+    argv[out++] = argv[i];
+  }
+  argc = out;
+  argv[argc] = nullptr;  // restore the argv[argc] == NULL sentinel
+}
+
+/// Split sizes used for every workload under smoke mode.
+inline workloads::SplitSizes smoke_sizes() {
+  return {.train = 600, .valid = 250, .test = 250};
+}
+
 /// Build a benchmark workload by name at default (paper-shaped) scale.
 /// `test_rows` of 0 keeps each workload's default test-split size; top-K
 /// benches pass a large value so that K=100 is small relative to the
@@ -32,41 +66,52 @@ inline workloads::Workload make_workload(const std::string& name,
                                          std::size_t test_rows = 0) {
   if (name == "product") {
     workloads::ProductConfig c;
+    if (smoke()) c.sizes = smoke_sizes();
     if (test_rows != 0) c.sizes.test = test_rows;
     return workloads::make_product(c);
   }
   if (name == "toxic") {
     workloads::ToxicConfig c;
+    if (smoke()) c.sizes = smoke_sizes();
     if (test_rows != 0) c.sizes.test = test_rows;
     return workloads::make_toxic(c);
   }
   if (name == "music") {
     workloads::MusicConfig c;
+    if (smoke()) c.sizes = smoke_sizes();
     if (test_rows != 0) c.sizes.test = test_rows;
     return workloads::make_music(c);
   }
   if (name == "credit") {
     workloads::CreditConfig c;
+    if (smoke()) c.sizes = smoke_sizes();
     if (test_rows != 0) c.sizes.test = test_rows;
     return workloads::make_credit(c);
   }
   if (name == "price") {
     workloads::PriceConfig c;
+    if (smoke()) c.sizes = smoke_sizes();
     if (test_rows != 0) c.sizes.test = test_rows;
     return workloads::make_price(c);
   }
   if (name == "tracking") {
     workloads::TrackingConfig c;
+    if (smoke()) c.sizes = smoke_sizes();
     if (test_rows != 0) c.sizes.test = test_rows;
     return workloads::make_tracking(c);
   }
-  if (name == "synthetic") return workloads::make_synthetic_parallel({});
+  if (name == "synthetic") {
+    workloads::SyntheticParallelConfig c;
+    if (smoke()) c.sizes = smoke_sizes();
+    return workloads::make_synthetic_parallel(c);
+  }
   std::fprintf(stderr, "unknown workload %s\n", name.c_str());
   std::abort();
 }
 
-/// Test-batch size used by the top-K benches (Tables 4, 5, 7).
-constexpr std::size_t kTopKBatchRows = 8000;
+/// Test-batch size used by the top-K benches (Tables 4, 5, 7); shrunk in
+/// smoke mode so K=100 queries still fit.
+inline std::size_t topk_batch_rows() { return smoke() ? 800 : 8000; }
 
 inline const std::vector<std::string>& all_workloads() {
   static const std::vector<std::string> names{"product", "music",   "toxic",
@@ -85,14 +130,14 @@ inline const std::vector<std::string>& classification_workloads() {
 inline double throughput_rows_per_sec(std::size_t rows, int reps,
                                       const std::function<void()>& fn) {
   fn();  // warmup
-  const double secs = common::time_median_seconds(reps, fn);
+  const double secs = common::time_median_seconds(smoke() ? 1 : reps, fn);
   return static_cast<double>(rows) / secs;
 }
 
 /// Median per-query latency in microseconds of `fn` over `reps` runs.
 inline double latency_micros(int reps, const std::function<void()>& fn) {
   fn();  // warmup
-  return common::time_median_seconds(reps, fn) * 1e6;
+  return common::time_median_seconds(smoke() ? 1 : reps, fn) * 1e6;
 }
 
 /// Mean per-query latency in microseconds over a query stream of `n` calls.

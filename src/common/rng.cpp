@@ -44,8 +44,10 @@ double Rng::next_double() {
 
 std::uint64_t Rng::next_below(std::uint64_t bound) {
   // Lemire's nearly-divisionless bounded sampling; bias negligible for our use.
-  return static_cast<std::uint64_t>(
-      (static_cast<unsigned __int128>(next_u64()) * bound) >> 64);
+  // __extension__ keeps -Wpedantic quiet about the GCC/Clang 128-bit type.
+  __extension__ typedef unsigned __int128 u128;
+  return static_cast<std::uint64_t>((static_cast<u128>(next_u64()) * bound) >>
+                                    64);
 }
 
 std::int64_t Rng::next_int(std::int64_t lo, std::int64_t hi) {

@@ -4,33 +4,16 @@
 
 #include "common/stats.hpp"
 #include "models/metrics.hpp"
-#include "workloads/toxic.hpp"
+#include "test_support.hpp"
 
 namespace willump::core {
 namespace {
 
-/// One small Toxic workload + compiled executor shared by all tests in this
-/// file (training cascades repeatedly would dominate test time otherwise).
-struct CascadeFixture {
-  workloads::Workload wl;
-  std::shared_ptr<CompiledExecutor> ex;
-  TrainedCascade cascade;
-
-  CascadeFixture() {
-    workloads::ToxicConfig cfg;
-    cfg.sizes = {.train = 1500, .valid = 700, .test = 700};
-    wl = workloads::make_toxic(cfg);
-    ex = std::make_shared<CompiledExecutor>(wl.pipeline.graph,
-                                            analyze_ifvs(wl.pipeline.graph));
-    ex->probe_layout(wl.train.inputs.select_rows(std::vector<std::size_t>{0, 1}));
-    cascade = CascadeTrainer::train(*ex, *wl.pipeline.model_proto, wl.train,
-                                    wl.valid, CascadeConfig{});
-  }
-};
-
-CascadeFixture& fixture() {
-  static CascadeFixture f;
-  return f;
+/// One small Toxic workload + compiled executor + trained cascade shared by
+/// all tests in this file (training cascades repeatedly would dominate test
+/// time otherwise); see tests/test_support.hpp.
+willump::testing::ExecutorFixture& fixture() {
+  return willump::testing::shared_toxic();
 }
 
 TEST(CascadeTrainer, ProducesEnabledCascade) {
@@ -70,9 +53,9 @@ TEST(CascadeTrainer, ValidationAccuracyWithinTarget) {
 TEST(CascadePredict, AccuracyWithinCiOfFullModel) {
   auto& f = fixture();
   const auto casc_preds =
-      cascade_predict(*f.ex, f.cascade, f.wl.test.inputs, {});
+      cascade_predict(*f.compiled, f.cascade, f.wl.test.inputs, {});
   const auto full_preds =
-      f.cascade.full_model->predict(f.ex->compute_matrix(f.wl.test.inputs));
+      f.cascade.full_model->predict(f.compiled->compute_matrix(f.wl.test.inputs));
   const double casc_acc = models::accuracy(casc_preds, f.wl.test.targets);
   const double full_acc = models::accuracy(full_preds, f.wl.test.targets);
   EXPECT_TRUE(common::accuracy_within_ci95(casc_acc, full_acc,
@@ -82,7 +65,7 @@ TEST(CascadePredict, AccuracyWithinCiOfFullModel) {
 TEST(CascadePredict, ShortCircuitsSomeRows) {
   auto& f = fixture();
   CascadeRunStats stats;
-  (void)cascade_predict(*f.ex, f.cascade, f.wl.test.inputs, {}, &stats);
+  (void)cascade_predict(*f.compiled, f.cascade, f.wl.test.inputs, {}, &stats);
   EXPECT_EQ(stats.total_rows, f.wl.test.inputs.num_rows());
   // At least some rows must be classified by the small model (on this small
   // fixture the small model can be confident on every row, so no strict
@@ -93,11 +76,11 @@ TEST(CascadePredict, ShortCircuitsSomeRows) {
 
 TEST(CascadePredict, HardRowsMatchFullModelExactly) {
   auto& f = fixture();
-  const auto casc = cascade_predict(*f.ex, f.cascade, f.wl.test.inputs, {});
+  const auto casc = cascade_predict(*f.compiled, f.cascade, f.wl.test.inputs, {});
   const auto full =
-      f.cascade.full_model->predict(f.ex->compute_matrix(f.wl.test.inputs));
+      f.cascade.full_model->predict(f.compiled->compute_matrix(f.wl.test.inputs));
   // Rows that cascaded must carry the full model's exact prediction.
-  const auto eff = f.ex->compute_matrix(
+  const auto eff = f.compiled->compute_matrix(
       f.wl.test.inputs,
       [&] {
         ExecOptions o;
@@ -148,7 +131,7 @@ TEST(CascadeConfig, PolicyAblationChangesSelection) {
   auto& f = fixture();
   CascadeConfig cheap_cfg;
   cheap_cfg.policy = SelectionPolicy::Cheapest;
-  const auto cheap = CascadeTrainer::train(*f.ex, *f.wl.pipeline.model_proto,
+  const auto cheap = CascadeTrainer::train(*f.compiled, *f.wl.pipeline.model_proto,
                                            f.wl.train, f.wl.valid, cheap_cfg);
   ASSERT_TRUE(cheap.enabled());
   // Cheapest never selects the most expensive generator.

@@ -2,28 +2,14 @@
 
 #include <gtest/gtest.h>
 
-#include "workloads/toxic.hpp"
+#include "test_support.hpp"
 
 namespace willump::serving {
 namespace {
 
-struct ClipperFixture {
-  workloads::Workload wl;
-  core::OptimizedPipeline pipeline;
-
-  ClipperFixture()
-      : wl([] {
-          workloads::ToxicConfig cfg;
-          cfg.sizes = {.train = 1000, .valid = 400, .test = 400};
-          return workloads::make_toxic(cfg);
-        }()),
-        pipeline(core::WillumpOptimizer::optimize(wl.pipeline, wl.train,
-                                                  wl.valid, {})) {}
-};
-
-ClipperFixture& fixture() {
-  static ClipperFixture f;
-  return f;
+// Shared fixture: optimized Toxic pipeline from test_support.
+willump::testing::OptimizedFixture& fixture() {
+  return willump::testing::shared_toxic_optimized();
 }
 
 TEST(ClipperWire, BatchRoundTrip) {

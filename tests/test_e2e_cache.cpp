@@ -1,0 +1,90 @@
+#include "serving/e2e_cache.hpp"
+
+#include <gtest/gtest.h>
+
+namespace willump::serving {
+namespace {
+
+data::Batch row_isd(std::int64_t i, const std::string& s, double d) {
+  data::Batch b;
+  b.add("i", data::Column(data::IntColumn{i}));
+  b.add("s", data::Column(data::StringColumn{s}));
+  b.add("d", data::Column(data::DoubleColumn{d}));
+  return b;
+}
+
+TEST(EndToEndCacheKey, StableForIdenticalRows) {
+  EXPECT_EQ(EndToEndCache::key_of(row_isd(1, "a", 0.5)),
+            EndToEndCache::key_of(row_isd(1, "a", 0.5)));
+}
+
+TEST(EndToEndCacheKey, AnySingleColumnChangeChangesKey) {
+  // The cache's defining weakness (paper Table 2): ANY differing raw input
+  // is a miss, so each column must feed the key.
+  const auto base = EndToEndCache::key_of(row_isd(1, "a", 0.5));
+  EXPECT_NE(base, EndToEndCache::key_of(row_isd(2, "a", 0.5)));
+  EXPECT_NE(base, EndToEndCache::key_of(row_isd(1, "b", 0.5)));
+  EXPECT_NE(base, EndToEndCache::key_of(row_isd(1, "a", 0.25)));
+}
+
+TEST(EndToEndCache, MissThenHit) {
+  EndToEndCache cache;
+  const auto row = row_isd(7, "q", 1.0);
+  EXPECT_FALSE(cache.get(row).has_value());
+  cache.put(row, 0.75);
+  const auto got = cache.get(row);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_DOUBLE_EQ(*got, 0.75);
+  EXPECT_EQ(cache.misses(), 1u);
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_DOUBLE_EQ(cache.hit_rate(), 0.5);
+}
+
+TEST(EndToEndCache, PutOverwritesPrediction) {
+  EndToEndCache cache;
+  const auto row = row_isd(7, "q", 1.0);
+  cache.put(row, 0.25);
+  cache.put(row, 0.75);
+  ASSERT_TRUE(cache.get(row).has_value());
+  EXPECT_DOUBLE_EQ(*cache.get(row), 0.75);
+}
+
+TEST(EndToEndCache, BoundedCapacityEvictsLru) {
+  EndToEndCache cache(2);
+  cache.put(row_isd(1, "a", 0.0), 0.1);
+  cache.put(row_isd(2, "b", 0.0), 0.2);
+  // Touch row 1 so row 2 is the LRU victim when row 3 arrives.
+  ASSERT_TRUE(cache.get(row_isd(1, "a", 0.0)).has_value());
+  cache.put(row_isd(3, "c", 0.0), 0.3);
+  EXPECT_TRUE(cache.get(row_isd(1, "a", 0.0)).has_value());
+  EXPECT_FALSE(cache.get(row_isd(2, "b", 0.0)).has_value());
+  EXPECT_TRUE(cache.get(row_isd(3, "c", 0.0)).has_value());
+}
+
+TEST(EndToEndCache, UnboundedCapacityKeepsEverything) {
+  EndToEndCache cache;  // capacity 0 = unbounded (paper Table 2/3 config)
+  for (std::int64_t i = 0; i < 500; ++i) {
+    cache.put(row_isd(i, "x", 0.0), static_cast<double>(i));
+  }
+  for (std::int64_t i = 0; i < 500; ++i) {
+    const auto got = cache.get(row_isd(i, "x", 0.0));
+    ASSERT_TRUE(got.has_value()) << i;
+    EXPECT_DOUBLE_EQ(*got, static_cast<double>(i));
+  }
+}
+
+TEST(EndToEndCache, ClearDropsEntriesAndCounters) {
+  EndToEndCache cache;
+  const auto row = row_isd(7, "q", 1.0);
+  cache.put(row, 0.75);
+  ASSERT_TRUE(cache.get(row).has_value());
+  cache.clear();
+  EXPECT_FALSE(cache.get(row).has_value());
+  // clear() also resets the hit/miss counters: only the post-clear miss
+  // remains.
+  EXPECT_EQ(cache.hits(), 0u);
+  EXPECT_EQ(cache.misses(), 1u);
+}
+
+}  // namespace
+}  // namespace willump::serving

@@ -1,0 +1,94 @@
+#include "core/importance.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "models/linear.hpp"
+#include "models/mlp.hpp"
+
+namespace willump::core {
+namespace {
+
+/// Binary problem where feature 0 decides the label and features 1-2 are
+/// low-amplitude noise.
+data::DenseMatrix make_informative(common::Rng& rng, std::size_t n,
+                                   std::vector<double>& y) {
+  data::DenseMatrix x(n, 3);
+  y.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x(i, 0) = rng.next_gaussian();
+    x(i, 1) = rng.next_gaussian() * 0.05;
+    x(i, 2) = rng.next_gaussian() * 0.05;
+    y[i] = x(i, 0) > 0.0 ? 1.0 : 0.0;
+  }
+  return x;
+}
+
+TEST(FeatureImportances, LinearModelReportsNativeMeasure) {
+  common::Rng rng(11);
+  std::vector<double> y;
+  const data::FeatureMatrix x(make_informative(rng, 1200, y));
+  models::LogisticRegression m;
+  m.fit(x, y);
+
+  const auto imp = feature_importances(m, x, y);
+  // Native path: identical to the model's own |w_i| * mean|x_i| measure.
+  EXPECT_EQ(imp, m.feature_importances());
+  ASSERT_EQ(imp.size(), 3u);
+  EXPECT_GT(imp[0], imp[1]);
+  EXPECT_GT(imp[0], imp[2]);
+}
+
+TEST(FeatureImportances, MlpFallsBackToGbdtProxy) {
+  common::Rng rng(12);
+  std::vector<double> y;
+  const data::FeatureMatrix x(make_informative(rng, 1200, y));
+  models::MlpConfig cfg;
+  cfg.classification = true;
+  cfg.seed = 5;
+  models::Mlp m(cfg);
+  m.fit(x, y);
+
+  // The MLP has no native measure; the proxy must still cover every feature
+  // and rank the informative one first.
+  ASSERT_TRUE(m.feature_importances().empty());
+  const auto imp = feature_importances(m, x, y);
+  ASSERT_EQ(imp.size(), 3u);
+  for (double v : imp) EXPECT_GE(v, 0.0);
+  EXPECT_GT(imp[0], imp[1]);
+  EXPECT_GT(imp[0], imp[2]);
+}
+
+/// Layout-only analysis: three generators of widths 2, 1, 3.
+IfvAnalysis layout_321() {
+  IfvAnalysis a;
+  a.generators.resize(3);
+  a.block_cols = {2, 1, 3};
+  a.col_begin = {0, 2, 3};
+  return a;
+}
+
+TEST(IfvImportances, SumsPerFeatureValuesWithinEachBlock) {
+  const auto a = layout_321();
+  const std::vector<double> per_feature{1.0, 2.0, 4.0, 8.0, 16.0, 32.0};
+  const auto agg = ifv_importances(a, per_feature);
+  ASSERT_EQ(agg.size(), 3u);
+  EXPECT_DOUBLE_EQ(agg[0], 3.0);
+  EXPECT_DOUBLE_EQ(agg[1], 4.0);
+  EXPECT_DOUBLE_EQ(agg[2], 56.0);
+}
+
+TEST(IfvImportances, TruncatedFeatureVectorIgnoresMissingColumns) {
+  // A per-feature vector shorter than the layout (e.g. a masked run) only
+  // contributes the columns it has.
+  const auto a = layout_321();
+  const std::vector<double> per_feature{1.0, 2.0, 4.0, 8.0};
+  const auto agg = ifv_importances(a, per_feature);
+  ASSERT_EQ(agg.size(), 3u);
+  EXPECT_DOUBLE_EQ(agg[0], 3.0);
+  EXPECT_DOUBLE_EQ(agg[1], 4.0);
+  EXPECT_DOUBLE_EQ(agg[2], 8.0);
+}
+
+}  // namespace
+}  // namespace willump::core

@@ -11,37 +11,13 @@
 #include "common/rng.hpp"
 #include "core/optimizer.hpp"
 #include "models/metrics.hpp"
-#include "workloads/toxic.hpp"
+#include "test_support.hpp"
 
 namespace willump {
 namespace {
 
-// ---------------------------------------------------------------------------
-// Shared fixture: one small toxic workload + both engines.
-// ---------------------------------------------------------------------------
-
-struct Shared {
-  workloads::Workload wl;
-  std::shared_ptr<core::CompiledExecutor> compiled;
-  std::shared_ptr<core::InterpretedExecutor> interpreted;
-
-  Shared() {
-    workloads::ToxicConfig cfg;
-    cfg.sizes = {.train = 1200, .valid = 600, .test = 600};
-    wl = workloads::make_toxic(cfg);
-    compiled = std::make_shared<core::CompiledExecutor>(
-        wl.pipeline.graph, core::analyze_ifvs(wl.pipeline.graph));
-    interpreted = std::make_shared<core::InterpretedExecutor>(
-        wl.pipeline.graph, core::analyze_ifvs(wl.pipeline.graph));
-    compiled->probe_layout(
-        wl.train.inputs.select_rows(std::vector<std::size_t>{0, 1}));
-  }
-};
-
-Shared& shared() {
-  static Shared s;
-  return s;
-}
+// Shared fixture: one small toxic workload + both engines (test_support).
+testing::ExecutorFixture& shared() { return testing::shared_toxic(); }
 
 // ---------------------------------------------------------------------------
 // Property: compiled and interpreted engines agree for every batch size.
@@ -106,8 +82,7 @@ class TopKSubsetMonotone : public ::testing::TestWithParam<double> {};
 
 TEST_P(TopKSubsetMonotone, PrecisionGrowsWithCk) {
   auto& s = shared();
-  static const auto cascade = core::CascadeTrainer::train(
-      *s.compiled, *s.wl.pipeline.model_proto, s.wl.train, s.wl.valid, {});
+  const auto& cascade = s.cascade;  // default-config cascade from the fixture
   ASSERT_TRUE(cascade.enabled());
 
   const auto full_scores =

@@ -1,0 +1,119 @@
+#pragma once
+
+// Shared fixtures for the GoogleTest suites.
+//
+// Training a workload's cascade is by far the most expensive thing a suite
+// does, so the repeated workload + executor + cascade setup lives here and
+// each binary builds it at most once (function-local statics). Every factory
+// seeds its workload explicitly: a parallel `ctest -j` run must be
+// reproducible run-to-run regardless of suite scheduling.
+
+#include <memory>
+#include <vector>
+
+#include "core/cascades.hpp"
+#include "core/executors.hpp"
+#include "core/ifv_analysis.hpp"
+#include "core/optimizer.hpp"
+#include "workloads/credit.hpp"
+#include "workloads/product.hpp"
+#include "workloads/toxic.hpp"
+
+namespace willump::testing {
+
+// Explicit workload seeds. These match the config defaults on purpose: the
+// point is that no suite depends on a default silently changing.
+inline constexpr std::uint64_t kToxicSeed = 202;
+inline constexpr std::uint64_t kProductSeed = 101;
+inline constexpr std::uint64_t kCreditSeed = 404;
+
+/// Small Toxic classification workload (cascade-friendly easy/hard mixture).
+inline workloads::Workload small_toxic() {
+  workloads::ToxicConfig cfg;
+  cfg.seed = kToxicSeed;
+  cfg.sizes = {.train = 1500, .valid = 700, .test = 700};
+  return workloads::make_toxic(cfg);
+}
+
+/// Small Product classification workload with shrunk TF-IDF vocabularies.
+inline workloads::Workload small_product() {
+  workloads::ProductConfig cfg;
+  cfg.seed = kProductSeed;
+  cfg.sizes = {.train = 1200, .valid = 500, .test = 600};
+  cfg.word_tfidf_features = 600;
+  cfg.char_tfidf_features = 900;
+  return workloads::make_product(cfg);
+}
+
+/// Small Credit regression workload with remote feature tables: gives the
+/// cost model the lookup-dominated structure top-K filtering exploits
+/// (paper Table 4 setup).
+inline workloads::Workload small_credit_remote() {
+  workloads::CreditConfig cfg;
+  cfg.seed = kCreditSeed;
+  cfg.sizes = {.train = 1500, .valid = 600, .test = 1000};
+  auto wl = workloads::make_credit(cfg);
+  wl.tables->set_network(workloads::default_remote_network());
+  return wl;
+}
+
+/// A workload with both execution engines built, layout probed, and a
+/// default-config cascade trained.
+struct ExecutorFixture {
+  workloads::Workload wl;
+  std::shared_ptr<core::CompiledExecutor> compiled;
+  std::shared_ptr<core::InterpretedExecutor> interpreted;
+  core::TrainedCascade cascade;
+
+  explicit ExecutorFixture(workloads::Workload workload)
+      : wl(std::move(workload)) {
+    compiled = std::make_shared<core::CompiledExecutor>(
+        wl.pipeline.graph, core::analyze_ifvs(wl.pipeline.graph));
+    interpreted = std::make_shared<core::InterpretedExecutor>(
+        wl.pipeline.graph, core::analyze_ifvs(wl.pipeline.graph));
+    compiled->probe_layout(
+        wl.train.inputs.select_rows(std::vector<std::size_t>{0, 1}));
+    cascade = core::CascadeTrainer::train(*compiled, *wl.pipeline.model_proto,
+                                          wl.train, wl.valid,
+                                          core::CascadeConfig{});
+  }
+};
+
+/// Process-wide Toxic fixture (built on first use).
+inline ExecutorFixture& shared_toxic() {
+  static ExecutorFixture f(small_toxic());
+  return f;
+}
+
+/// Process-wide Credit-with-remote-tables fixture (built on first use).
+inline ExecutorFixture& shared_credit_remote() {
+  static ExecutorFixture f(small_credit_remote());
+  return f;
+}
+
+/// Process-wide Product workload without executors (suites that call the
+/// whole-pipeline optimizer only need the data).
+inline const workloads::Workload& shared_product_wl() {
+  static const workloads::Workload wl = small_product();
+  return wl;
+}
+
+/// A workload plus the default-options optimized pipeline Willump produces
+/// for it (serving-layer suites exercise the end product, not the engines).
+struct OptimizedFixture {
+  workloads::Workload wl;
+  core::OptimizedPipeline pipeline;
+
+  explicit OptimizedFixture(workloads::Workload workload)
+      : wl(std::move(workload)),
+        pipeline(core::WillumpOptimizer::optimize(wl.pipeline, wl.train,
+                                                  wl.valid, {})) {}
+};
+
+/// Process-wide optimized Toxic pipeline (built on first use).
+inline OptimizedFixture& shared_toxic_optimized() {
+  static OptimizedFixture f(small_toxic());
+  return f;
+}
+
+}  // namespace willump::testing

@@ -5,43 +5,23 @@
 #include <unordered_set>
 
 #include "models/metrics.hpp"
-#include "workloads/credit.hpp"
-#include "workloads/toxic.hpp"
+#include "test_support.hpp"
 
 namespace willump::core {
 namespace {
 
 /// Shared fixture: a small Credit workload (regression, so top-K is the
-/// only approximation that applies) with a trained filter model.
-struct TopKFixture {
-  workloads::Workload wl;
-  std::shared_ptr<CompiledExecutor> ex;
-  TrainedCascade cascade;
-
-  TopKFixture() {
-    workloads::CreditConfig cfg;
-    cfg.sizes = {.train = 1500, .valid = 600, .test = 1000};
-    wl = workloads::make_credit(cfg);
-    // Remote tables, as in the paper's Table 4 setup: gives the cost model
-    // the lookup-dominated cost structure the filter model exploits.
-    wl.tables->set_network(workloads::default_remote_network());
-    ex = std::make_shared<CompiledExecutor>(wl.pipeline.graph,
-                                            analyze_ifvs(wl.pipeline.graph));
-    ex->probe_layout(wl.train.inputs.select_rows(std::vector<std::size_t>{0, 1}));
-    cascade = CascadeTrainer::train(*ex, *wl.pipeline.model_proto, wl.train,
-                                    wl.valid, CascadeConfig{});
-  }
-};
-
-TopKFixture& fixture() {
-  static TopKFixture f;
-  return f;
+/// only approximation that applies) with remote tables — the paper's
+/// Table 4 setup, whose lookup-dominated cost structure the filter model
+/// exploits — and a trained filter model; see tests/test_support.hpp.
+willump::testing::ExecutorFixture& fixture() {
+  return willump::testing::shared_credit_remote();
 }
 
 TEST(TopKPipeline, SubsetSizeRule) {
   auto& f = fixture();
   TopKConfig cfg;  // ck=10, min 5%
-  TopKPipeline p(f.ex, f.cascade, cfg);
+  TopKPipeline p(f.compiled, f.cascade, cfg);
   // ck*K dominates: 10*20=200 > 5% of 1000 = 50.
   EXPECT_EQ(p.subset_size(20, 1000), 200u);
   // 5% floor dominates: 10*2=20 < 50.
@@ -52,13 +32,13 @@ TEST(TopKPipeline, SubsetSizeRule) {
   TopKConfig tiny;
   tiny.ck = 0.5;
   tiny.min_subset_frac = 0.0;
-  TopKPipeline q(f.ex, f.cascade, tiny);
+  TopKPipeline q(f.compiled, f.cascade, tiny);
   EXPECT_EQ(q.subset_size(30, 1000), 30u);
 }
 
 TEST(TopKPipeline, ReturnsKDistinctIndices) {
   auto& f = fixture();
-  TopKPipeline p(f.ex, f.cascade, TopKConfig{});
+  TopKPipeline p(f.compiled, f.cascade, TopKConfig{});
   const auto top = p.top_k(f.wl.test.inputs, 50);
   ASSERT_EQ(top.size(), 50u);
   std::unordered_set<std::size_t> distinct(top.begin(), top.end());
@@ -70,10 +50,10 @@ TEST(TopKPipeline, ReturnsKDistinctIndices) {
 
 TEST(TopKPipeline, RankedByFullModelScore) {
   auto& f = fixture();
-  TopKPipeline p(f.ex, f.cascade, TopKConfig{});
+  TopKPipeline p(f.compiled, f.cascade, TopKConfig{});
   const auto top = p.top_k(f.wl.test.inputs, 30);
   const auto full_scores =
-      f.cascade.full_model->predict(f.ex->compute_matrix(f.wl.test.inputs));
+      f.cascade.full_model->predict(f.compiled->compute_matrix(f.wl.test.inputs));
   for (std::size_t i = 1; i < top.size(); ++i) {
     EXPECT_GE(full_scores[top[i - 1]], full_scores[top[i]] - 1e-12);
   }
@@ -81,10 +61,10 @@ TEST(TopKPipeline, RankedByFullModelScore) {
 
 TEST(TopKPipeline, HighPrecisionVsExactTopK) {
   auto& f = fixture();
-  TopKPipeline p(f.ex, f.cascade, TopKConfig{});
+  TopKPipeline p(f.compiled, f.cascade, TopKConfig{});
   const auto approx = p.top_k(f.wl.test.inputs, 50);
   const auto full_scores =
-      f.cascade.full_model->predict(f.ex->compute_matrix(f.wl.test.inputs));
+      f.cascade.full_model->predict(f.compiled->compute_matrix(f.wl.test.inputs));
   const auto exact = models::top_k_indices(full_scores, 50);
   EXPECT_GT(models::precision_at_k(approx, exact), 0.7);
   // Average value of the approximate top-K is close to the true top-K's.
@@ -96,7 +76,7 @@ TEST(TopKPipeline, HighPrecisionVsExactTopK) {
 TEST(TopKPipeline, LargerSubsetNeverLessAccurate) {
   auto& f = fixture();
   const auto full_scores =
-      f.cascade.full_model->predict(f.ex->compute_matrix(f.wl.test.inputs));
+      f.cascade.full_model->predict(f.compiled->compute_matrix(f.wl.test.inputs));
   const auto exact = models::top_k_indices(full_scores, 50);
 
   double prev_precision = -1.0;
@@ -104,7 +84,7 @@ TEST(TopKPipeline, LargerSubsetNeverLessAccurate) {
     TopKConfig cfg;
     cfg.ck = 0.0;
     cfg.min_subset_frac = frac;
-    TopKPipeline p(f.ex, f.cascade, cfg);
+    TopKPipeline p(f.compiled, f.cascade, cfg);
     const auto approx = p.top_k(f.wl.test.inputs, 50);
     const double prec = models::precision_at_k(approx, exact);
     EXPECT_GE(prec, prev_precision - 0.05);  // allow tiny non-monotonic noise
@@ -116,7 +96,7 @@ TEST(TopKPipeline, LargerSubsetNeverLessAccurate) {
 
 TEST(TopKPipeline, StatsReportSubsetSize) {
   auto& f = fixture();
-  TopKPipeline p(f.ex, f.cascade, TopKConfig{});
+  TopKPipeline p(f.compiled, f.cascade, TopKConfig{});
   TopKRunStats stats;
   (void)p.top_k(f.wl.test.inputs, 10, {}, &stats);
   EXPECT_EQ(stats.batch_size, f.wl.test.inputs.num_rows());
@@ -127,27 +107,20 @@ TEST(TopKPipeline, NoFilterFallsBackToFullModel) {
   auto& f = fixture();
   TrainedCascade no_filter;
   no_filter.full_model = f.cascade.full_model;
-  TopKPipeline p(f.ex, no_filter, TopKConfig{});
+  TopKPipeline p(f.compiled, no_filter, TopKConfig{});
   EXPECT_FALSE(p.has_filter());
   const auto top = p.top_k(f.wl.test.inputs, 25);
   const auto full_scores =
-      f.cascade.full_model->predict(f.ex->compute_matrix(f.wl.test.inputs));
+      f.cascade.full_model->predict(f.compiled->compute_matrix(f.wl.test.inputs));
   const auto exact = models::top_k_indices(full_scores, 25);
   EXPECT_EQ(top, exact);
 }
 
 TEST(TopKPipeline, WorksOnClassificationWorkloadToo) {
-  workloads::ToxicConfig cfg;
-  cfg.sizes = {.train = 1200, .valid = 500, .test = 600};
-  auto wl = workloads::make_toxic(cfg);
-  auto ex = std::make_shared<CompiledExecutor>(wl.pipeline.graph,
-                                               analyze_ifvs(wl.pipeline.graph));
-  ex->probe_layout(wl.train.inputs.select_rows(std::vector<std::size_t>{0, 1}));
-  const auto cascade = CascadeTrainer::train(*ex, *wl.pipeline.model_proto,
-                                             wl.train, wl.valid, CascadeConfig{});
-  ASSERT_TRUE(cascade.enabled());
-  TopKPipeline p(ex, cascade, TopKConfig{});
-  const auto top = p.top_k(wl.test.inputs, 20);
+  auto& t = willump::testing::shared_toxic();
+  ASSERT_TRUE(t.cascade.enabled());
+  TopKPipeline p(t.compiled, t.cascade, TopKConfig{});
+  const auto top = p.top_k(t.wl.test.inputs, 20);
   EXPECT_EQ(top.size(), 20u);
 }
 

@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <map>
+
 #include "common/stats.hpp"
 #include "core/optimizer.hpp"
 #include "models/metrics.hpp"
@@ -14,11 +16,13 @@
 namespace willump::workloads {
 namespace {
 
-/// Shrunk-size workload factory for tests, keyed by name.
-Workload make_small(const std::string& name) {
+/// Shrunk-size workload factory for tests, keyed by name. Every config gets
+/// an explicit seed so a parallel ctest run is reproducible run-to-run.
+Workload make_small_uncached(const std::string& name) {
   const SplitSizes sizes{.train = 1200, .valid = 500, .test = 500};
   if (name == "product") {
     ProductConfig c;
+    c.seed = 101;
     c.sizes = sizes;
     c.word_tfidf_features = 500;
     c.char_tfidf_features = 800;
@@ -26,6 +30,7 @@ Workload make_small(const std::string& name) {
   }
   if (name == "toxic") {
     ToxicConfig c;
+    c.seed = 202;
     c.sizes = sizes;
     c.word_tfidf_features = 600;
     c.char_tfidf_features = 900;
@@ -33,6 +38,7 @@ Workload make_small(const std::string& name) {
   }
   if (name == "music") {
     MusicConfig c;
+    c.seed = 303;
     c.sizes = sizes;
     c.n_users = 800;
     c.n_songs = 600;
@@ -41,23 +47,35 @@ Workload make_small(const std::string& name) {
   }
   if (name == "credit") {
     CreditConfig c;
+    c.seed = 404;
     c.sizes = sizes;
     c.n_clients = 1500;
     return make_credit(c);
   }
   if (name == "price") {
     PriceConfig c;
+    c.seed = 505;
     c.sizes = sizes;
     c.name_tfidf_features = 600;
     return make_price(c);
   }
   if (name == "tracking") {
     TrackingConfig c;
+    c.seed = 606;
     c.sizes = sizes;
     c.n_ips = 1500;
     return make_tracking(c);
   }
   throw std::invalid_argument("unknown workload " + name);
+}
+
+/// Memoized: the parameterized suites below each rebuild their workload;
+/// generating all six once per process keeps the binary fast under ctest.
+const Workload& make_small(const std::string& name) {
+  static std::map<std::string, Workload> cache;
+  auto it = cache.find(name);
+  if (it == cache.end()) it = cache.emplace(name, make_small_uncached(name)).first;
+  return it->second;
 }
 
 struct Expectation {
@@ -71,7 +89,7 @@ class WorkloadSuite : public ::testing::TestWithParam<Expectation> {};
 
 TEST_P(WorkloadSuite, StructureMatchesPaperTopology) {
   const auto& e = GetParam();
-  const auto wl = make_small(e.name);
+  const auto& wl = make_small(e.name);
   EXPECT_EQ(wl.name, e.name);
   EXPECT_EQ(wl.classification, e.classification);
   EXPECT_EQ(wl.pipeline.classification(), e.classification);
@@ -82,7 +100,7 @@ TEST_P(WorkloadSuite, StructureMatchesPaperTopology) {
 }
 
 TEST_P(WorkloadSuite, SplitsAreDisjointSizes) {
-  const auto wl = make_small(GetParam().name);
+  const auto& wl = make_small(GetParam().name);
   EXPECT_EQ(wl.train.inputs.num_rows(), 1200u);
   EXPECT_EQ(wl.valid.inputs.num_rows(), 500u);
   EXPECT_EQ(wl.test.inputs.num_rows(), 500u);
@@ -91,7 +109,7 @@ TEST_P(WorkloadSuite, SplitsAreDisjointSizes) {
 
 TEST_P(WorkloadSuite, ModelBeatsTrivialBaseline) {
   const auto& e = GetParam();
-  const auto wl = make_small(e.name);
+  const auto& wl = make_small(e.name);
   const auto p =
       core::WillumpOptimizer::optimize(wl.pipeline, wl.train, wl.valid, {});
   const auto preds = p.predict(wl.test.inputs);
@@ -111,7 +129,7 @@ TEST_P(WorkloadSuite, ModelBeatsTrivialBaseline) {
 }
 
 TEST_P(WorkloadSuite, CompiledMatchesInterpreted) {
-  const auto wl = make_small(GetParam().name);
+  const auto& wl = make_small(GetParam().name);
   core::OptimizeOptions interp_opts;
   interp_opts.compile = false;
   const auto interp = core::WillumpOptimizer::optimize(wl.pipeline, wl.train,
@@ -128,7 +146,7 @@ TEST_P(WorkloadSuite, CompiledMatchesInterpreted) {
 }
 
 TEST_P(WorkloadSuite, QuerySamplerMatchesSchema) {
-  const auto wl = make_small(GetParam().name);
+  const auto& wl = make_small(GetParam().name);
   if (!wl.query_sampler) GTEST_SKIP() << "no query sampler";
   common::Rng rng(1);
   const auto q = wl.query_sampler(64, rng);
@@ -150,6 +168,7 @@ INSTANTIATE_TEST_SUITE_P(
 
 TEST(SyntheticParallel, HasEqualCostGenerators) {
   SyntheticParallelConfig cfg;
+  cfg.seed = 707;
   cfg.sizes = {.train = 400, .valid = 150, .test = 150};
   const auto wl = make_synthetic_parallel(cfg);
   const auto analysis = core::analyze_ifvs(wl.pipeline.graph);
@@ -165,6 +184,7 @@ TEST(SyntheticParallel, HasEqualCostGenerators) {
 
 TEST(SyntheticParallel, ModelLearns) {
   SyntheticParallelConfig cfg;
+  cfg.seed = 707;
   cfg.sizes = {.train = 600, .valid = 200, .test = 200};
   const auto wl = make_synthetic_parallel(cfg);
   const auto p =
@@ -174,6 +194,7 @@ TEST(SyntheticParallel, ModelLearns) {
 
 TEST(Workloads, MusicZipfSkewsQueries) {
   MusicConfig c;
+  c.seed = 303;
   c.sizes = {.train = 1200, .valid = 500, .test = 500};
   c.n_users = 800;
   c.n_songs = 600;
