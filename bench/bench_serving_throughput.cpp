@@ -1,0 +1,113 @@
+// Serving-engine throughput/latency: closed-loop saturation and open-loop
+// (Poisson-arrival, Zipf-entity) sweeps over the request-level engine, by
+// batching policy. This is the frontend-side experiment the paper's Table 6
+// presupposes: adaptive micro-batching amortizes fixed per-query overheads
+// (Clipper, NSDI 2017 §4.3), so throughput at saturation should grow with
+// max_batch while batch-size-1 serving pays full per-call overhead per row.
+//
+// The workload is Music with remote feature tables (the paper's §6.1
+// setup): every pipeline execution pays one pipelined round trip per table
+// regardless of batch size, so coalescing K pointwise queries divides the
+// fixed RTT cost by K — the same amortization Tables 3 and 6 measure.
+
+#include "bench_util.hpp"
+#include "serving/server.hpp"
+#include "workloads/traffic.hpp"
+
+using namespace willump;
+using namespace willump::bench;
+
+namespace {
+
+constexpr std::uint64_t kSeed = 0x5E21;
+constexpr double kZipf = 1.1;
+
+struct Policy {
+  std::size_t max_batch;
+  const char* label;
+};
+
+std::string us(double seconds) { return fmt("%.0f", seconds * 1e6); }
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  parse_args(argc, argv);
+  print_banner("Serving engine: throughput and latency vs batching policy",
+               "Clipper-style frontend for Willump paper, Table 6 setup");
+
+  auto wl = make_workload("music");
+  wl.tables->set_network(workloads::default_remote_network());
+  const auto pipeline = optimize(wl, compiled_config());
+
+  const std::size_t clients = smoke() ? 4 : 16;
+  const std::size_t queries_per_client = smoke() ? 10 : 200;
+  const std::vector<Policy> policies = {
+      {1, "batch-1"}, {16, "batch-16"}, {32, "batch-32"}};
+
+  // ---- Closed loop: self-clocked saturation, per batching policy. ----
+  std::printf("\nClosed loop: %zu clients x %zu queries, 2 workers, "
+              "drain-only flush\n\n",
+              clients, queries_per_client);
+  TablePrinter closed({"policy", "qps", "p50_us", "p99_us", "mean_batch"}, 14);
+  closed.print_header();
+
+  double batch1_qps = 0.0, best_micro_qps = 0.0, capacity_qps = 0.0;
+  for (const auto& p : policies) {
+    serving::ServerConfig cfg;
+    cfg.num_workers = 2;
+    cfg.max_batch = p.max_batch;
+    cfg.max_delay_micros = 0.0;  // closed loop: never hold a partial batch
+    serving::Server server(&pipeline, cfg);
+    // Warmup one round so lazy one-time costs stay out of the measurement.
+    (void)workloads::run_closed_loop(server, wl, clients, 2, kZipf, kSeed);
+    const auto res = workloads::run_closed_loop(
+        server, wl, clients, queries_per_client, kZipf, kSeed);
+    closed.print_row({p.label, fmt("%.0f", res.achieved_qps),
+                      us(res.latency.median), us(res.latency.p99),
+                      fmt("%.1f", res.mean_batch_rows)});
+    if (p.max_batch == 1) batch1_qps = res.achieved_qps;
+    if (p.max_batch >= 16) best_micro_qps = std::max(best_micro_qps, res.achieved_qps);
+    capacity_qps = std::max(capacity_qps, res.achieved_qps);
+  }
+  std::printf("\nmicro-batching speedup at saturation (max_batch>=16 vs 1): "
+              "%.2fx\n",
+              batch1_qps > 0.0 ? best_micro_qps / batch1_qps : 0.0);
+
+  // ---- Open loop: Poisson arrivals at fractions of measured capacity. ----
+  const std::size_t n_open = smoke() ? 40 : 1500;
+  std::printf("\nOpen loop: Poisson arrivals, Zipf(s=%.1f) entities, "
+              "%zu queries per point\n\n", kZipf, n_open);
+  TablePrinter open({"policy", "offered_qps", "achieved", "p50_us", "p99_us",
+                     "mean_batch"},
+                    14);
+  open.print_header();
+
+  for (const auto& p : {policies.front(), policies.back()}) {
+    for (double frac : {0.5, 0.8, 1.2}) {
+      const double qps = std::max(1.0, capacity_qps * frac);
+      serving::ServerConfig cfg;
+      cfg.num_workers = 2;
+      cfg.max_batch = p.max_batch;
+      // A small flush window lets under-loaded arrivals coalesce without
+      // adding visible idle latency at this timescale.
+      cfg.max_delay_micros = 200.0;
+      serving::Server server(&pipeline, cfg);
+      const auto res = workloads::run_open_loop(server, wl, n_open, qps,
+                                                kZipf, kSeed);
+      open.print_row({p.label, fmt("%.0f", res.offered_qps),
+                      fmt("%.0f", res.achieved_qps), us(res.latency.median),
+                      us(res.latency.p99), fmt("%.1f", res.mean_batch_rows)});
+    }
+  }
+
+  std::printf(
+      "\nExpected shape: at saturation, micro-batching (max_batch >= 16)\n"
+      "beats batch-size-1 serving on throughput because per-call overheads\n"
+      "(here: one simulated RTT per feature table per pipeline call)\n"
+      "amortize over coalesced rows. Open loop: batch-1 caps out near its\n"
+      "closed-loop capacity while micro-batching tracks the offered rate;\n"
+      "absolute open-loop latencies are noisy on few-core machines, where\n"
+      "the dispatcher competes with spin-waiting workers for CPU.\n");
+  return 0;
+}

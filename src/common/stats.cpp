@@ -57,6 +57,10 @@ double pearson(std::span<const double> xs, std::span<const double> ys) {
   return sxy / std::sqrt(sxx * syy);
 }
 
+double LatencyRecorder::percentile(double p) const {
+  return common::percentile(samples_, p);
+}
+
 Summary summarize(std::vector<double> samples) {
   Summary s;
   if (samples.empty()) return s;

@@ -43,4 +43,35 @@ struct Summary {
 
 Summary summarize(std::vector<double> samples);
 
+/// Accumulates per-query latency samples and reduces them to percentile
+/// summaries — the accounting behind every "p50/p99 vs offered load" report
+/// in the serving benchmarks.
+///
+/// Not internally synchronized: concurrent recorders (the serving engine,
+/// closed-loop clients) guard it with their own lock or record into
+/// per-thread instances and merge().
+class LatencyRecorder {
+ public:
+  void record(double seconds) { samples_.push_back(seconds); }
+  void merge(const LatencyRecorder& other) {
+    samples_.insert(samples_.end(), other.samples_.begin(),
+                    other.samples_.end());
+  }
+
+  std::size_t count() const { return samples_.size(); }
+  bool empty() const { return samples_.empty(); }
+
+  /// p-th percentile of the recorded samples, p in [0, 100].
+  double percentile(double p) const;
+
+  /// Mean/median/p99/min/max over everything recorded so far.
+  Summary summary() const { return summarize(samples_); }
+
+  const std::vector<double>& samples() const { return samples_; }
+  void clear() { samples_.clear(); }
+
+ private:
+  std::vector<double> samples_;
+};
+
 }  // namespace willump::common

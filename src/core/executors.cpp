@@ -494,7 +494,7 @@ data::FeatureMatrix CompiledExecutor::compute_block_plain(
 data::FeatureMatrix CompiledExecutor::compute_block_cached(
     const data::Batch& batch, std::size_t f, const ExecOptions& opts) const {
   const auto& fg = analysis_.generators[f];
-  auto& cache = opts.cache->cache(f);
+  FeatureCacheBank& cache = *opts.cache;
   const std::size_t n = batch.num_rows();
 
   std::vector<CachedRow> rows(n, data::DenseVector{});
@@ -506,7 +506,7 @@ data::FeatureMatrix CompiledExecutor::compute_block_cached(
   std::unordered_map<std::uint64_t, std::size_t> missing_index;
   for (std::size_t r = 0; r < n; ++r) {
     keys[r] = cache_key_of_row(batch, graph_, fg, r);
-    if (auto hit = cache.get(keys[r])) {
+    if (auto hit = cache.lookup(f, keys[r])) {
       rows[r] = std::move(*hit);
     } else if (missing_index.find(keys[r]) == missing_index.end()) {
       missing_index.emplace(keys[r], missing.size());
@@ -522,7 +522,7 @@ data::FeatureMatrix CompiledExecutor::compute_block_cached(
     run_steps(plan_.preprocessing, sub, store, opts);
     const data::FeatureMatrix block = compute_block_plain(sub, f, store, opts);
     for (std::size_t i = 0; i < missing.size(); ++i) {
-      cache.put(keys[missing[i]], cached_row_of(block, i));
+      cache.insert(f, keys[missing[i]], cached_row_of(block, i));
     }
     for (std::size_t r = 0; r < n; ++r) {
       auto it = missing_index.find(keys[r]);

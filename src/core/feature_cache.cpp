@@ -8,24 +8,34 @@ namespace willump::core {
 
 std::size_t FeatureCacheBank::total_hits() const {
   std::size_t acc = 0;
-  for (const auto& c : caches_) acc += c.hits();
+  for (std::size_t f = 0; f < caches_.size(); ++f) {
+    std::lock_guard<std::mutex> lock(locks_[f]);
+    acc += caches_[f].hits();
+  }
   return acc;
 }
 
 std::size_t FeatureCacheBank::total_misses() const {
   std::size_t acc = 0;
-  for (const auto& c : caches_) acc += c.misses();
+  for (std::size_t f = 0; f < caches_.size(); ++f) {
+    std::lock_guard<std::mutex> lock(locks_[f]);
+    acc += caches_[f].misses();
+  }
   return acc;
 }
 
 double FeatureCacheBank::hit_rate() const {
-  const std::size_t total = total_hits() + total_misses();
+  const std::size_t hits = total_hits();
+  const std::size_t total = hits + total_misses();
   return total == 0 ? 0.0
-                    : static_cast<double>(total_hits()) / static_cast<double>(total);
+                    : static_cast<double>(hits) / static_cast<double>(total);
 }
 
 void FeatureCacheBank::clear() {
-  for (auto& c : caches_) c.clear();
+  for (std::size_t f = 0; f < caches_.size(); ++f) {
+    std::lock_guard<std::mutex> lock(locks_[f]);
+    caches_[f].clear();
+  }
 }
 
 std::uint64_t cache_key_of_row(const data::Batch& batch, const Graph& g,

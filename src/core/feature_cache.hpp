@@ -1,6 +1,8 @@
 #pragma once
 
 #include <cstdint>
+#include <mutex>
+#include <optional>
 #include <variant>
 #include <vector>
 
@@ -22,13 +24,36 @@ using CachedRow = std::variant<data::DenseVector, data::SparseVector>;
 /// which keys on the *entire* input and therefore misses whenever any one
 /// raw input differs; per-IFV caching captures recomputation of the same
 /// features across different data inputs (paper Table 2).
+///
+/// lookup()/insert() are thread-safe with one lock per IFV: per-input
+/// parallelization (§4.4) and the serving engine's workers both touch the
+/// bank concurrently, but contention only arises when two threads hit the
+/// *same* generator's cache.
 class FeatureCacheBank {
  public:
   /// `capacity_per_ifv` of 0 means unbounded (the paper's Table 2/3 setup).
   FeatureCacheBank(std::size_t num_generators, std::size_t capacity_per_ifv)
       : caches_(num_generators,
-                common::LruCache<std::uint64_t, CachedRow>(capacity_per_ifv)) {}
+                common::LruCache<std::uint64_t, CachedRow>(capacity_per_ifv)),
+        locks_(num_generators) {}
 
+  FeatureCacheBank(const FeatureCacheBank&) = delete;
+  FeatureCacheBank& operator=(const FeatureCacheBank&) = delete;
+
+  /// Thread-safe lookup in generator `fg`'s cache (refreshes LRU recency).
+  std::optional<CachedRow> lookup(std::size_t fg, std::uint64_t key) {
+    std::lock_guard<std::mutex> lock(locks_[fg]);
+    return caches_[fg].get(key);
+  }
+
+  /// Thread-safe insert into generator `fg`'s cache.
+  void insert(std::size_t fg, std::uint64_t key, CachedRow row) {
+    std::lock_guard<std::mutex> lock(locks_[fg]);
+    caches_[fg].put(key, std::move(row));
+  }
+
+  /// Direct access to one IFV's cache for inspection. NOT thread-safe:
+  /// reserve for tests and single-threaded reporting.
   common::LruCache<std::uint64_t, CachedRow>& cache(std::size_t fg) {
     return caches_[fg];
   }
@@ -42,6 +67,7 @@ class FeatureCacheBank {
 
  private:
   std::vector<common::LruCache<std::uint64_t, CachedRow>> caches_;
+  mutable std::vector<std::mutex> locks_;
 };
 
 /// Stable per-row cache key over the generator's key-source columns.

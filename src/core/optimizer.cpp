@@ -1,5 +1,6 @@
 #include "core/optimizer.hpp"
 
+#include <atomic>
 #include <stdexcept>
 
 namespace willump::core {
@@ -14,7 +15,18 @@ ExecOptions OptimizedPipeline::exec_options() const {
 std::vector<double> OptimizedPipeline::predict(const data::Batch& batch) const {
   const ExecOptions opts = exec_options();
   if (cascades_enabled()) {
-    return cascade_predict(*executor_, cascade_, batch, opts, &run_stats_);
+    // Accumulate run counters locally, then merge atomically: concurrent
+    // serving workers share one pipeline, and plain increments on the
+    // shared counters would race (the executor itself is const and
+    // stateless per call; these counters are the only mutable state on
+    // this path).
+    CascadeRunStats local;
+    auto preds = cascade_predict(*executor_, cascade_, batch, opts, &local);
+    std::atomic_ref<std::size_t>(run_stats_.total_rows)
+        .fetch_add(local.total_rows, std::memory_order_relaxed);
+    std::atomic_ref<std::size_t>(run_stats_.short_circuited)
+        .fetch_add(local.short_circuited, std::memory_order_relaxed);
+    return preds;
   }
   return cascade_.full_model->predict(executor_->compute_matrix(batch, opts));
 }

@@ -42,6 +42,13 @@ struct OptimizeOptions {
 /// The optimized pipeline Willump returns: same serving interface as the
 /// original ("the optimized pipeline ... has the same signature", §3) plus
 /// counters the evaluation reads.
+///
+/// Thread-safety: predict / predict_one / predict_full are safe to call
+/// concurrently on one shared instance — execution state is per-call, the
+/// feature cache takes per-IFV locks, the thread pool's fork-join groups
+/// are per-call, and cascade run counters merge atomically. top_k is
+/// single-caller (its run counters are plain), and the run_stats()/
+/// topk_stats() accessors are meant to be read once serving quiesces.
 class OptimizedPipeline {
  public:
   /// Batch prediction (throughput-oriented; Figure 5).

@@ -19,6 +19,18 @@ Column Column::select_rows(std::span<const std::size_t> idx) const {
       v_);
 }
 
+void Column::append(const Column& other) {
+  if (type() != other.type()) {
+    throw std::invalid_argument("Column::append: type mismatch");
+  }
+  std::visit(
+      [&](auto& v) {
+        const auto& src = std::get<std::decay_t<decltype(v)>>(other.v_);
+        v.insert(v.end(), src.begin(), src.end());
+      },
+      v_);
+}
+
 std::size_t Value::size() const {
   if (is_column()) return column().size();
   if (is_features()) return features().rows();
@@ -66,6 +78,15 @@ Batch Batch::select_rows(std::span<const std::size_t> idx) const {
 Batch Batch::row(std::size_t r) const {
   const std::size_t idx[1] = {r};
   return select_rows(idx);
+}
+
+void Batch::append_rows(const Batch& other) {
+  if (other.names_ != names_) {
+    throw std::invalid_argument("Batch::append_rows: column names differ");
+  }
+  for (std::size_t i = 0; i < cols_.size(); ++i) {
+    cols_[i].append(other.cols_[i]);
+  }
 }
 
 }  // namespace willump::data

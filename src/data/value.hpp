@@ -41,6 +41,9 @@ class Column {
 
   Column select_rows(std::span<const std::size_t> idx) const;
 
+  /// Append every entry of `other`, which must hold the same type.
+  void append(const Column& other);
+
  private:
   std::variant<IntColumn, DoubleColumn, StringColumn> v_;
 };
@@ -87,6 +90,11 @@ class Batch {
 
   /// Single-row slice (example-at-a-time serving).
   Batch row(std::size_t r) const;
+
+  /// Append every row of `other`, which must have identical column names
+  /// (in order) and types. The serving engine uses this to coalesce queued
+  /// pointwise queries into one micro-batch.
+  void append_rows(const Batch& other);
 
  private:
   std::vector<std::string> names_;

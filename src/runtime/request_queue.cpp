@@ -1,0 +1,10 @@
+#include "runtime/request_queue.hpp"
+
+namespace willump::runtime {
+
+QueueClosedError::QueueClosedError()
+    : std::runtime_error(
+          "request queue closed: the serving engine is shutting down and no "
+          "longer accepts work") {}
+
+}  // namespace willump::runtime

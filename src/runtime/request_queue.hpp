@@ -1,0 +1,135 @@
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <stdexcept>
+
+namespace willump::runtime {
+
+/// Thrown by serving-layer entry points when work is offered to a queue (or
+/// an engine draining one) that has been closed.
+class QueueClosedError : public std::runtime_error {
+ public:
+  QueueClosedError();
+};
+
+/// A bounded, blocking, multi-producer/multi-consumer FIFO queue.
+///
+/// This is the admission-control point of the serving engine: client
+/// threads push pointwise requests, worker threads drain them into
+/// micro-batches. A bounded capacity turns overload into producer
+/// back-pressure (blocked push) instead of unbounded memory growth — the
+/// standard serving-frontend design (Clipper, NSDI 2017, batches its
+/// request queues the same way).
+///
+/// close() initiates shutdown: pending and subsequent pushes return false,
+/// while pops continue to drain remaining items and return nullopt only
+/// once the queue is empty — so no accepted request is ever dropped.
+template <typename T>
+class RequestQueue {
+ public:
+  /// capacity 0 = unbounded.
+  explicit RequestQueue(std::size_t capacity = 0) : capacity_(capacity) {}
+
+  RequestQueue(const RequestQueue&) = delete;
+  RequestQueue& operator=(const RequestQueue&) = delete;
+
+  /// Block until there is space, then enqueue. Returns false (dropping
+  /// `item`) if the queue is, or becomes, closed while waiting.
+  bool push(T item) {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_full_.wait(lock, [this] { return closed_ || !full_locked(); });
+    if (closed_) return false;
+    items_.push_back(std::move(item));
+    lock.unlock();
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Enqueue without blocking. Returns false when full or closed.
+  bool try_push(T item) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (closed_ || full_locked()) return false;
+      items_.push_back(std::move(item));
+    }
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Block until an item is available and dequeue it. Returns nullopt only
+  /// when the queue is closed and fully drained.
+  std::optional<T> pop() {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_empty_.wait(lock, [this] { return closed_ || !items_.empty(); });
+    return pop_locked(lock);
+  }
+
+  /// Dequeue without blocking; nullopt when empty.
+  std::optional<T> try_pop() {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (items_.empty()) return std::nullopt;
+    return pop_locked(lock);
+  }
+
+  /// Block until an item is available or `deadline` passes. A deadline in
+  /// the past degrades to try_pop. This is what an adaptive-batching worker
+  /// uses to wait out the remainder of a batch's flush window.
+  std::optional<T> pop_until(std::chrono::steady_clock::time_point deadline) {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_empty_.wait_until(lock, deadline,
+                          [this] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return std::nullopt;
+    return pop_locked(lock);
+  }
+
+  /// Close the queue: wake every blocked producer (their pushes fail) and
+  /// consumer (their pops drain, then report exhaustion). Idempotent.
+  void close() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      closed_ = true;
+    }
+    not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return closed_;
+  }
+
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return items_.size();
+  }
+
+  std::size_t capacity() const { return capacity_; }
+
+ private:
+  bool full_locked() const {
+    return capacity_ != 0 && items_.size() >= capacity_;
+  }
+
+  std::optional<T> pop_locked(std::unique_lock<std::mutex>& lock) {
+    if (items_.empty()) return std::nullopt;
+    T out = std::move(items_.front());
+    items_.pop_front();
+    lock.unlock();
+    not_full_.notify_one();
+    return out;
+  }
+
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace willump::runtime

@@ -19,6 +19,31 @@ inline void cpu_relax() {
 #endif
 }
 
+/// Per-run_all completion state. Heap-allocated and shared with every
+/// enqueued wrapper so a worker finishing the last task can safely notify
+/// even after the calling thread has already observed completion via the
+/// spin path and returned.
+struct TaskGroup {
+  std::atomic<std::size_t> remaining{0};
+  std::mutex mu;
+  std::condition_variable done_cv;
+  std::exception_ptr first_error;
+
+  void run(std::function<void()>& task) {
+    try {
+      task();
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(mu);
+      if (!first_error) first_error = std::current_exception();
+    }
+    if (remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      // Last task: wake a caller that fell back to blocking.
+      std::lock_guard<std::mutex> lock(mu);
+      done_cv.notify_all();
+    }
+  }
+};
+
 }  // namespace
 
 ThreadPool::ThreadPool(std::size_t num_threads) {
@@ -29,7 +54,13 @@ ThreadPool::ThreadPool(std::size_t num_threads) {
 }
 
 ThreadPool::~ThreadPool() {
-  stop_.store(true);
+  {
+    // Holding mu_ while setting stop_ closes the window where a worker has
+    // evaluated the wait predicate (stop_ false, queue empty) but not yet
+    // blocked: it would miss this notify and sleep through the join.
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_.store(true);
+  }
   cv_.notify_all();
   for (auto& w : workers_) w.join();
 }
@@ -42,18 +73,12 @@ bool ThreadPool::try_pop(std::function<void()>& task) {
   return true;
 }
 
-void ThreadPool::run_one(std::function<void()>& task) {
-  try {
-    task();
-  } catch (...) {
+void ThreadPool::enqueue(std::function<void()> fn) {
+  {
     std::lock_guard<std::mutex> lock(mu_);
-    if (!first_error_) first_error_ = std::current_exception();
+    queue_.push(std::move(fn));
   }
-  if (in_flight_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
-    // Last task: wake a caller that fell back to blocking.
-    std::lock_guard<std::mutex> lock(mu_);
-    done_cv_.notify_all();
-  }
+  cv_.notify_one();
 }
 
 void ThreadPool::worker_loop() {
@@ -74,46 +99,54 @@ void ThreadPool::worker_loop() {
       std::unique_lock<std::mutex> lock(mu_);
       cv_.wait(lock, [this] { return stop_.load() || !queue_.empty(); });
       if (queue_.empty()) {
+        // stop_ set and nothing left to drain: exit. Draining first keeps
+        // every submit() future satisfied through shutdown.
         if (stop_.load()) return;
         continue;
       }
       task = std::move(queue_.front());
       queue_.pop();
     }
-    run_one(task);
+    // Queued items capture their own error handling (TaskGroup::run for
+    // run_all tasks, packaged_task for submit tasks), so a plain call
+    // suffices and nothing a task throws can kill the worker.
+    task();
   }
 }
 
 void ThreadPool::run_all(std::vector<std::function<void()>> tasks) {
   if (tasks.empty()) return;
-  // Keep the last task for the calling thread; enqueue the rest.
-  std::function<void()> local = std::move(tasks.back());
-  tasks.pop_back();
+  auto group = std::make_shared<TaskGroup>();
+  group->remaining.store(tasks.size(), std::memory_order_relaxed);
   {
+    // Keep the last task for the calling thread; enqueue the rest. The
+    // wrappers reference `tasks` elements directly, which stay alive
+    // because this call does not return before remaining hits zero.
     std::lock_guard<std::mutex> lock(mu_);
-    first_error_ = nullptr;
-    in_flight_.fetch_add(tasks.size() + 1, std::memory_order_acq_rel);
-    for (auto& t : tasks) queue_.push(std::move(t));
+    for (std::size_t i = 0; i + 1 < tasks.size(); ++i) {
+      queue_.push([group, t = &tasks[i]] { group->run(*t); });
+    }
   }
   cv_.notify_all();
 
-  run_one(local);
+  group->run(tasks.back());
 
   // Spin-wait for stragglers, then block if they are genuinely slow.
   for (int i = 0; i < kSpinRounds; ++i) {
-    if (in_flight_.load(std::memory_order_acquire) == 0) break;
+    if (group->remaining.load(std::memory_order_acquire) == 0) break;
     cpu_relax();
   }
-  if (in_flight_.load(std::memory_order_acquire) != 0) {
-    std::unique_lock<std::mutex> lock(mu_);
-    done_cv_.wait(lock, [this] { return in_flight_.load() == 0; });
+  if (group->remaining.load(std::memory_order_acquire) != 0) {
+    std::unique_lock<std::mutex> lock(group->mu);
+    group->done_cv.wait(lock, [&group] {
+      return group->remaining.load(std::memory_order_acquire) == 0;
+    });
   }
 
   std::exception_ptr err;
   {
-    std::lock_guard<std::mutex> lock(mu_);
-    err = first_error_;
-    first_error_ = nullptr;
+    std::lock_guard<std::mutex> lock(group->mu);
+    err = group->first_error;
   }
   if (err) std::rethrow_exception(err);
 }

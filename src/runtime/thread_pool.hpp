@@ -3,9 +3,12 @@
 #include <atomic>
 #include <condition_variable>
 #include <functional>
+#include <future>
+#include <memory>
 #include <mutex>
 #include <queue>
 #include <thread>
+#include <type_traits>
 #include <vector>
 
 namespace willump::runtime {
@@ -19,6 +22,15 @@ namespace willump::runtime {
 /// spin briefly polling for work before blocking, and the caller spins
 /// briefly waiting for completion before blocking — the handoff pattern of
 /// low-latency runtimes like Weld's, which the paper relies on.
+///
+/// Two entry points share the worker threads:
+///  - run_all(): fork-join execution of a task set, caller participates.
+///    Completion state lives in a per-call group, so concurrent run_all()
+///    calls (e.g. from several serving workers sharing one pipeline) do not
+///    observe each other's tasks or exceptions.
+///  - submit(): fire-and-forget enqueue of one task whose result (or
+///    exception) is delivered through the returned future. This is the
+///    request-level entry the serving engine builds on.
 class ThreadPool {
  public:
   explicit ThreadPool(std::size_t num_threads);
@@ -31,21 +43,33 @@ class ThreadPool {
 
   /// Run all tasks, using the calling thread for one share of the work, and
   /// block until every task completed. Exceptions in tasks propagate (the
-  /// first one observed is rethrown).
+  /// first one observed is rethrown). Safe to call concurrently from
+  /// multiple threads.
   void run_all(std::vector<std::function<void()>> tasks);
 
+  /// Enqueue one task for asynchronous execution and return a future for
+  /// its result. Unlike run_all, the caller does not participate and does
+  /// not block; exceptions propagate through the future. Tasks still queued
+  /// at destruction are drained before the workers exit, so every returned
+  /// future is eventually satisfied.
+  template <typename F>
+  auto submit(F&& fn) -> std::future<std::invoke_result_t<std::decay_t<F>>> {
+    using R = std::invoke_result_t<std::decay_t<F>>;
+    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    std::future<R> future = task->get_future();
+    enqueue([task] { (*task)(); });
+    return future;
+  }
+
  private:
+  void enqueue(std::function<void()> fn);
   void worker_loop();
   bool try_pop(std::function<void()>& task);
-  void run_one(std::function<void()>& task);
 
   std::vector<std::thread> workers_;
   std::mutex mu_;
   std::condition_variable cv_;
-  std::condition_variable done_cv_;
   std::queue<std::function<void()>> queue_;
-  std::atomic<std::size_t> in_flight_{0};
-  std::exception_ptr first_error_;
   std::atomic<bool> stop_{false};
 };
 

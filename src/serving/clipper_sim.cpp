@@ -20,17 +20,43 @@ void append_escaped(std::string& out, const std::string& s) {
   out.push_back('"');
 }
 
-std::string parse_escaped(std::string_view s, std::size_t& pos) {
-  std::string out;
-  if (s[pos] != '"') throw std::invalid_argument("wire: expected string");
+[[noreturn]] void wire_error(const std::string& what) {
+  throw std::invalid_argument("ClipperSim: malformed wire input: " + what);
+}
+
+/// Consume one character, which must be `expected`.
+void expect_char(std::string_view s, std::size_t& pos, char expected) {
+  if (pos >= s.size() || s[pos] != expected) {
+    wire_error(std::string("expected '") + expected + "' at offset " +
+               std::to_string(pos));
+  }
   ++pos;
+}
+
+std::string parse_escaped(std::string_view s, std::size_t& pos) {
+  expect_char(s, pos, '"');
+  std::string out;
   while (pos < s.size() && s[pos] != '"') {
-    if (s[pos] == '\\') ++pos;
+    if (s[pos] == '\\') {
+      ++pos;
+      if (pos >= s.size()) wire_error("escape at end of input");
+    }
     out.push_back(s[pos]);
     ++pos;
   }
-  ++pos;  // closing quote
+  expect_char(s, pos, '"');  // throws on unterminated string
   return out;
+}
+
+template <typename T>
+T parse_number(std::string_view s, std::size_t& pos) {
+  T v{};
+  const auto r = std::from_chars(s.data() + pos, s.data() + s.size(), v);
+  if (r.ec != std::errc()) {
+    wire_error("bad number at offset " + std::to_string(pos));
+  }
+  pos = static_cast<std::size_t>(r.ptr - s.data());
+  return v;
 }
 
 }  // namespace
@@ -72,39 +98,40 @@ std::string ClipperSim::serialize_batch(const data::Batch& batch) {
 data::Batch ClipperSim::deserialize_batch(const std::string& wire,
                                           const data::Batch& schema) {
   data::Batch out;
-  std::size_t pos = 1;  // skip '{'
+  std::size_t pos = 0;
+  expect_char(wire, pos, '{');
   while (pos < wire.size() && wire[pos] != '}') {
     const std::string name = parse_escaped(wire, pos);
-    ++pos;  // ':'
-    ++pos;  // '['
+    if (!schema.has(name)) {
+      wire_error("unknown column \"" + name + "\"");
+    }
+    if (out.has(name)) {
+      wire_error("duplicate column \"" + name + "\"");
+    }
+    expect_char(wire, pos, ':');
+    expect_char(wire, pos, '[');
     const auto type = schema.get(name).type();
     data::IntColumn ints;
     data::DoubleColumn doubles;
     data::StringColumn strings;
-    while (wire[pos] != ']') {
-      if (wire[pos] == ',') ++pos;
+    bool first = true;
+    while (pos < wire.size() && wire[pos] != ']') {
+      if (!first) expect_char(wire, pos, ',');
+      first = false;
       switch (type) {
-        case data::ColumnType::Int: {
-          std::int64_t v = 0;
-          const auto r = std::from_chars(wire.data() + pos, wire.data() + wire.size(), v);
-          pos = static_cast<std::size_t>(r.ptr - wire.data());
-          ints.push_back(v);
+        case data::ColumnType::Int:
+          ints.push_back(parse_number<std::int64_t>(wire, pos));
           break;
-        }
-        case data::ColumnType::Double: {
-          double v = 0;
-          const auto r = std::from_chars(wire.data() + pos, wire.data() + wire.size(), v);
-          pos = static_cast<std::size_t>(r.ptr - wire.data());
-          doubles.push_back(v);
+        case data::ColumnType::Double:
+          doubles.push_back(parse_number<double>(wire, pos));
           break;
-        }
         case data::ColumnType::String:
           strings.push_back(parse_escaped(wire, pos));
           break;
       }
     }
-    ++pos;  // ']'
-    ++pos;  // ';'
+    expect_char(wire, pos, ']');  // throws on truncated column
+    expect_char(wire, pos, ';');
     switch (type) {
       case data::ColumnType::Int:
         out.add(name, data::Column(std::move(ints)));
@@ -116,6 +143,13 @@ data::Batch ClipperSim::deserialize_batch(const std::string& wire,
         out.add(name, data::Column(std::move(strings)));
         break;
     }
+  }
+  expect_char(wire, pos, '}');
+  if (pos != wire.size()) wire_error("trailing bytes after '}'");
+  // Unknown and duplicate names were rejected above, so an equal count
+  // means every schema column arrived.
+  if (out.num_columns() != schema.num_columns()) {
+    wire_error("missing schema columns");
   }
   return out;
 }
@@ -136,18 +170,15 @@ std::vector<double> ClipperSim::deserialize_predictions(const std::string& wire)
   std::vector<double> out;
   std::size_t pos = 0;
   while (pos < wire.size()) {
-    if (wire[pos] == ',') ++pos;
-    double v = 0;
-    const auto r = std::from_chars(wire.data() + pos, wire.data() + wire.size(), v);
-    pos = static_cast<std::size_t>(r.ptr - wire.data());
-    out.push_back(v);
+    if (!out.empty()) expect_char(wire, pos, ',');
+    out.push_back(parse_number<double>(wire, pos));
   }
   return out;
 }
 
 std::vector<double> ClipperSim::serve(const data::Batch& batch) {
-  ++stats_.queries;
-  stats_.rows += batch.num_rows();
+  ++wire_stats_.queries;
+  wire_stats_.rows += batch.num_rows();
 
   // Client -> frontend: serialize the query and pay the RPC dispatch cost.
   common::Timer ser_timer;
@@ -156,39 +187,17 @@ std::vector<double> ClipperSim::serve(const data::Batch& batch) {
     const std::string wire = serialize_batch(batch);
     container_batch = deserialize_batch(wire, batch);
   }
-  stats_.serialize_seconds += ser_timer.elapsed_seconds();
+  wire_stats_.serialize_seconds += ser_timer.elapsed_seconds();
 
   common::Timer rpc_timer;
   common::spin_wait_micros(cfg_.rpc_fixed_micros);
-  stats_.rpc_seconds += rpc_timer.elapsed_seconds();
+  wire_stats_.rpc_seconds += rpc_timer.elapsed_seconds();
 
-  // Container-side inference, with Clipper's end-to-end prediction cache
-  // consulted per data input when enabled.
+  // Container-side inference (and the end-to-end prediction cache) is the
+  // engine's business; this frontend only forwards the batch.
   common::Timer inf_timer;
-  std::vector<double> preds(container_batch.num_rows(), 0.0);
-  if (cfg_.enable_e2e_cache) {
-    std::vector<std::size_t> missing;
-    for (std::size_t r = 0; r < container_batch.num_rows(); ++r) {
-      const data::Batch row = container_batch.row(r);
-      if (auto hit = cache_.get(row)) {
-        preds[r] = *hit;
-        ++stats_.cache_hits;
-      } else {
-        missing.push_back(r);
-      }
-    }
-    if (!missing.empty()) {
-      const auto missing_preds =
-          pipeline_->predict(container_batch.select_rows(missing));
-      for (std::size_t i = 0; i < missing.size(); ++i) {
-        preds[missing[i]] = missing_preds[i];
-        cache_.put(container_batch.row(missing[i]), missing_preds[i]);
-      }
-    }
-  } else {
-    preds = pipeline_->predict(container_batch);
-  }
-  stats_.inference_seconds += inf_timer.elapsed_seconds();
+  std::vector<double> preds = server_.predict_batch(container_batch);
+  wire_stats_.inference_seconds += inf_timer.elapsed_seconds();
 
   // Frontend -> client: serialize predictions back.
   common::Timer ser2_timer;
@@ -196,7 +205,7 @@ std::vector<double> ClipperSim::serve(const data::Batch& batch) {
     const std::string wire = serialize_predictions(preds);
     preds = deserialize_predictions(wire);
   }
-  stats_.serialize_seconds += ser2_timer.elapsed_seconds();
+  wire_stats_.serialize_seconds += ser2_timer.elapsed_seconds();
   return preds;
 }
 
@@ -204,6 +213,17 @@ double ClipperSim::serve_timed(const data::Batch& batch) {
   common::Timer t;
   (void)serve(batch);
   return t.elapsed_seconds();
+}
+
+ClipperStats ClipperSim::stats() const {
+  ClipperStats s = wire_stats_;
+  s.cache_hits = server_.stats().cache_hits;
+  return s;
+}
+
+void ClipperSim::reset_stats() {
+  wire_stats_ = {};
+  server_.reset_stats();
 }
 
 }  // namespace willump::serving

@@ -1,11 +1,10 @@
 #pragma once
 
-#include <functional>
 #include <string>
 #include <vector>
 
 #include "core/optimizer.hpp"
-#include "serving/e2e_cache.hpp"
+#include "serving/server.hpp"
 
 namespace willump::serving {
 
@@ -39,10 +38,22 @@ struct ClipperStats {
 /// is real work (a JSON wire format is built and parsed); the RPC cost is a
 /// measured spin-wait. Willump integrates by swapping the black-box
 /// pipeline for an optimized one — exactly the Table 6 experiment.
+///
+/// ClipperSim owns only the wire format and RPC overhead accounting; the
+/// container-side inference and end-to-end prediction cache live in the
+/// request-level engine (serving::Server), of which this is a thin
+/// synchronous client. Pre-batched client batches go through the engine's
+/// synchronous path, preserving their composition exactly.
 class ClipperSim {
  public:
   ClipperSim(const core::OptimizedPipeline* pipeline, ClipperConfig cfg)
-      : pipeline_(pipeline), cfg_(cfg), cache_(cfg.e2e_cache_capacity) {}
+      // num_workers 0: serve() is synchronous and pre-batched, so the
+      // engine runs in its inline mode with no idle worker thread.
+      : cfg_(cfg),
+        server_(pipeline, ServerConfig{.num_workers = 0,
+                                       .enable_e2e_cache = cfg.enable_e2e_cache,
+                                       .e2e_cache_capacity =
+                                           cfg.e2e_cache_capacity}) {}
 
   /// Serve one query batch end-to-end; returns the predictions.
   std::vector<double> serve(const data::Batch& batch);
@@ -50,11 +61,16 @@ class ClipperSim {
   /// End-to-end latency (seconds) of serving `batch` once.
   double serve_timed(const data::Batch& batch);
 
-  const ClipperStats& stats() const { return stats_; }
-  void reset_stats() { stats_ = {}; }
-  EndToEndCache& cache() { return cache_; }
+  /// Frontend counters; cache hits come from the backing engine.
+  ClipperStats stats() const;
+  void reset_stats();
 
-  /// Wire-format helpers (exposed for tests).
+  /// The request-level engine serving this frontend.
+  Server& server() { return server_; }
+  EndToEndCache& cache() { return server_.cache(); }
+
+  /// Wire-format helpers (exposed for tests). deserialize_* reject
+  /// malformed wire input with std::invalid_argument.
   static std::string serialize_batch(const data::Batch& batch);
   static data::Batch deserialize_batch(const std::string& wire,
                                        const data::Batch& schema);
@@ -62,10 +78,9 @@ class ClipperSim {
   static std::vector<double> deserialize_predictions(const std::string& wire);
 
  private:
-  const core::OptimizedPipeline* pipeline_;
   ClipperConfig cfg_;
-  EndToEndCache cache_;
-  ClipperStats stats_;
+  Server server_;
+  ClipperStats wire_stats_;  // queries/rows/serialize/rpc/inference timing
 };
 
 }  // namespace willump::serving

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <mutex>
 #include <optional>
 
 #include "common/lru_cache.hpp"
@@ -16,27 +17,55 @@ namespace willump::serving {
 /// Its weakness — which Willump's feature-level cache fixes — is that a
 /// query misses whenever ANY raw input differs, even if most of its
 /// features were computed before for other inputs (Table 2).
+///
+/// All operations are thread-safe: the serving engine consults this cache
+/// from concurrent client threads (before enqueue) and worker threads
+/// (after inference). A single mutex suffices — one LRU lookup is orders of
+/// magnitude cheaper than the inference it short-circuits.
 class EndToEndCache {
  public:
   /// capacity 0 = unbounded (the paper's Table 2/3 configuration).
   explicit EndToEndCache(std::size_t capacity = 0) : cache_(capacity) {}
 
+  EndToEndCache(const EndToEndCache&) = delete;
+  EndToEndCache& operator=(const EndToEndCache&) = delete;
+
   /// Stable hash over every column of a single-row batch.
   static std::uint64_t key_of(const data::Batch& row);
 
-  std::optional<double> get(const data::Batch& row) {
-    return cache_.get(key_of(row));
-  }
-  void put(const data::Batch& row, double prediction) {
-    cache_.put(key_of(row), prediction);
+  std::optional<double> get(const data::Batch& row) { return get(key_of(row)); }
+  std::optional<double> get(std::uint64_t key) {
+    std::lock_guard<std::mutex> lock(mu_);
+    return cache_.get(key);
   }
 
-  std::size_t hits() const { return cache_.hits(); }
-  std::size_t misses() const { return cache_.misses(); }
-  double hit_rate() const { return cache_.hit_rate(); }
-  void clear() { cache_.clear(); }
+  void put(const data::Batch& row, double prediction) {
+    put(key_of(row), prediction);
+  }
+  void put(std::uint64_t key, double prediction) {
+    std::lock_guard<std::mutex> lock(mu_);
+    cache_.put(key, prediction);
+  }
+
+  std::size_t hits() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return cache_.hits();
+  }
+  std::size_t misses() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return cache_.misses();
+  }
+  double hit_rate() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return cache_.hit_rate();
+  }
+  void clear() {
+    std::lock_guard<std::mutex> lock(mu_);
+    cache_.clear();
+  }
 
  private:
+  mutable std::mutex mu_;
   common::LruCache<std::uint64_t, double> cache_;
 };
 

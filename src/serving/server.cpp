@@ -1,0 +1,226 @@
+#include "serving/server.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+#include "common/timer.hpp"
+
+namespace willump::serving {
+
+Server::Server(const core::OptimizedPipeline* pipeline, ServerConfig cfg)
+    : pipeline_(pipeline),
+      cfg_(cfg),
+      cache_(cfg.e2e_cache_capacity),
+      queue_(cfg.queue_capacity) {
+  workers_.reserve(cfg_.num_workers);
+  for (std::size_t i = 0; i < cfg_.num_workers; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+Server::~Server() { shutdown(); }
+
+void Server::shutdown() {
+  queue_.close();
+  std::lock_guard<std::mutex> lock(shutdown_mu_);
+  if (joined_) return;
+  for (auto& w : workers_) w.join();
+  joined_ = true;
+}
+
+std::future<double> Server::submit(data::Batch row) {
+  if (row.num_rows() != 1) {
+    throw std::invalid_argument("Server::submit: expects a single-row batch");
+  }
+  // Reject before counting or consulting the cache: a rejected request is
+  // not a served query. (A close racing past this check is still caught by
+  // the failed push below.)
+  if (queue_.closed()) throw runtime::QueueClosedError();
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++queries_;
+  }
+
+  Request req;
+  req.accepted = std::chrono::steady_clock::now();
+  if (cfg_.enable_e2e_cache) {
+    req.cache_key = EndToEndCache::key_of(row);
+    if (auto hit = cache_.get(req.cache_key)) {
+      // Answered before enqueue: the whole pipeline is skipped, which is
+      // the point of end-to-end caching (paper §4.5).
+      std::promise<double> ready;
+      auto future = ready.get_future();
+      ready.set_value(*hit);
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++cache_hits_;
+      latencies_.record(0.0);
+      return future;
+    }
+  }
+  req.row = std::move(row);
+  auto future = req.promise.get_future();
+  if (workers_.empty()) {
+    // Synchronous-only configuration (num_workers = 0): execute the lone
+    // request inline on the caller's thread. No queue, no coalescing.
+    std::vector<Request> reqs;
+    reqs.push_back(std::move(req));
+    execute(reqs);
+    return future;
+  }
+  if (!queue_.push(std::move(req))) {
+    throw runtime::QueueClosedError();
+  }
+  return future;
+}
+
+void Server::worker_loop() {
+  // Drain until the queue is closed AND empty (shutdown drains accepted work).
+  while (auto first = queue_.pop()) {
+    std::vector<Request> reqs;
+    reqs.push_back(std::move(*first));
+
+    // Adaptive micro-batching (Clipper policy): coalesce queued queries up
+    // to max_batch, or until max_delay has elapsed since the *first* query
+    // of this batch was accepted. With max_delay 0 the deadline is already
+    // past and pop_until degrades to a non-blocking drain.
+    const auto deadline =
+        reqs.front().accepted +
+        std::chrono::microseconds(
+            static_cast<std::int64_t>(cfg_.max_delay_micros));
+    while (reqs.size() < cfg_.max_batch) {
+      auto next = queue_.pop_until(deadline);
+      if (!next) break;
+      reqs.push_back(std::move(*next));
+    }
+    execute(reqs);
+  }
+}
+
+void Server::execute(std::vector<Request>& reqs) {
+  data::Batch combined = reqs.front().row;
+  for (std::size_t i = 1; i < reqs.size(); ++i) {
+    combined.append_rows(reqs[i].row);
+  }
+
+  common::Timer timer;
+  std::vector<double> preds;
+  try {
+    preds = pipeline_->predict(combined);
+  } catch (...) {
+    const auto err = std::current_exception();
+    for (auto& r : reqs) r.promise.set_exception(err);
+    return;
+  }
+  const double secs = timer.elapsed_seconds();
+  const auto completed = std::chrono::steady_clock::now();
+
+  // Record stats before fulfilling any promise: a client observing its
+  // future ready must also observe the counters for its own batch.
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++batches_;
+    rows_ += reqs.size();
+    largest_batch_ = std::max(largest_batch_, reqs.size());
+    inference_seconds_ += secs;
+    for (const auto& r : reqs) {
+      latencies_.record(
+          std::chrono::duration<double>(completed - r.accepted).count());
+    }
+  }
+
+  for (std::size_t i = 0; i < reqs.size(); ++i) {
+    if (cfg_.enable_e2e_cache) {
+      cache_.put(reqs[i].cache_key, preds[i]);
+    }
+    reqs[i].promise.set_value(preds[i]);
+  }
+}
+
+std::vector<double> Server::predict_batch(const data::Batch& batch) {
+  const std::size_t n = batch.num_rows();
+  std::vector<double> preds(n, 0.0);
+  std::size_t batch_hits = 0;
+  std::size_t executed_rows = 0;  // rows the pipeline actually saw
+  double secs = 0.0;
+
+  if (cfg_.enable_e2e_cache) {
+    std::vector<std::size_t> missing;
+    std::vector<std::uint64_t> keys(n);
+    for (std::size_t r = 0; r < n; ++r) {
+      const data::Batch row = batch.row(r);
+      keys[r] = EndToEndCache::key_of(row);
+      if (auto hit = cache_.get(keys[r])) {
+        preds[r] = *hit;
+        ++batch_hits;
+      } else {
+        missing.push_back(r);
+      }
+    }
+    if (!missing.empty()) {
+      common::Timer timer;
+      const auto missing_preds = pipeline_->predict(batch.select_rows(missing));
+      secs = timer.elapsed_seconds();
+      executed_rows = missing.size();
+      for (std::size_t i = 0; i < missing.size(); ++i) {
+        preds[missing[i]] = missing_preds[i];
+        cache_.put(keys[missing[i]], missing_preds[i]);
+      }
+    }
+  } else {
+    common::Timer timer;
+    preds = pipeline_->predict(batch);
+    secs = timer.elapsed_seconds();
+    executed_rows = n;
+  }
+
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  queries_ += n;
+  cache_hits_ += batch_hits;
+  if (executed_rows > 0) {
+    // batches counts pipeline executions; a fully cached call runs none.
+    ++batches_;
+    rows_ += executed_rows;
+    largest_batch_ = std::max(largest_batch_, executed_rows);
+    inference_seconds_ += secs;
+  }
+  return preds;
+}
+
+std::vector<double> Server::predict_rows(const data::Batch& batch) {
+  std::vector<std::future<double>> futures;
+  futures.reserve(batch.num_rows());
+  for (std::size_t r = 0; r < batch.num_rows(); ++r) {
+    futures.push_back(submit(batch.row(r)));
+  }
+  std::vector<double> preds;
+  preds.reserve(futures.size());
+  for (auto& f : futures) preds.push_back(f.get());
+  return preds;
+}
+
+ServerStats Server::stats() const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  ServerStats s;
+  s.queries = queries_;
+  s.cache_hits = cache_hits_;
+  s.batches = batches_;
+  s.rows = rows_;
+  s.largest_batch = largest_batch_;
+  s.inference_seconds = inference_seconds_;
+  s.latency = latencies_.summary();
+  s.latency_samples = latencies_.count();
+  return s;
+}
+
+void Server::reset_stats() {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  queries_ = 0;
+  cache_hits_ = 0;
+  batches_ = 0;
+  rows_ = 0;
+  largest_batch_ = 0;
+  inference_seconds_ = 0.0;
+  latencies_.clear();
+}
+
+}  // namespace willump::serving

@@ -1,0 +1,136 @@
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "core/optimizer.hpp"
+#include "runtime/request_queue.hpp"
+#include "serving/e2e_cache.hpp"
+
+namespace willump::serving {
+
+/// Threading and batching policy of the request-level serving engine.
+struct ServerConfig {
+  /// Worker threads draining the request queue. 0 = synchronous-only: no
+  /// threads are spawned, submit() executes inline on the caller (no
+  /// coalescing) — the right mode when only predict_batch() is used, e.g.
+  /// by a batch-at-a-time frontend embedding the engine.
+  std::size_t num_workers = 1;
+  /// Adaptive micro-batching (the Clipper policy, NSDI 2017 §4.3): a worker
+  /// coalesces up to `max_batch` queued pointwise queries into one pipeline
+  /// execution...
+  std::size_t max_batch = 16;
+  /// ...and flushes a partially filled batch once `max_delay_micros` has
+  /// elapsed since its first query was accepted. 0 = drain-only: execute
+  /// whatever is queued without waiting, so an idle engine adds no latency.
+  double max_delay_micros = 0.0;
+  /// Request-queue bound; pushes beyond it block (back-pressure). 0 = unbounded.
+  std::size_t queue_capacity = 0;
+  /// Clipper-style end-to-end prediction cache, checked before enqueue.
+  bool enable_e2e_cache = false;
+  std::size_t e2e_cache_capacity = 0;
+};
+
+/// Aggregate serving counters (snapshot; see Server::stats()).
+struct ServerStats {
+  std::size_t queries = 0;       // pointwise queries accepted via submit()
+  std::size_t cache_hits = 0;    // answered from the e2e cache, never enqueued
+  std::size_t batches = 0;       // pipeline executions (coalesced or client batches)
+  std::size_t rows = 0;          // rows through the pipeline
+  std::size_t largest_batch = 0; // biggest single pipeline execution
+  double inference_seconds = 0.0;
+  common::Summary latency;       // submit()-to-completion seconds per query
+  std::size_t latency_samples = 0;
+
+  double mean_batch_rows() const {
+    return batches == 0 ? 0.0
+                        : static_cast<double>(rows) / static_cast<double>(batches);
+  }
+};
+
+/// A concurrent request-level serving engine over one optimized pipeline.
+///
+/// This is the frontend the paper's Table 6 experiment presupposes: clients
+/// submit pointwise queries from any number of threads; N workers drain a
+/// bounded MPMC queue and amortize fixed per-query overheads by coalescing
+/// queued queries into micro-batches (Clipper's adaptive batching), executed
+/// through core::OptimizedPipeline — whose predict path is thread-safe for
+/// exactly this sharing. An optional Clipper-style end-to-end cache answers
+/// repeat queries before they are enqueued.
+///
+/// Every future returned by submit() is eventually satisfied: shutdown
+/// closes the queue to new work but drains accepted requests first.
+class Server {
+ public:
+  Server(const core::OptimizedPipeline* pipeline, ServerConfig cfg);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Submit one pointwise query (a single-row batch). Returns a future for
+  /// its prediction; blocks only when the request queue is full. Throws
+  /// runtime::QueueClosedError after shutdown().
+  std::future<double> submit(data::Batch row);
+
+  /// Synchronous pre-batched entry: run a whole client batch through the
+  /// e2e cache and the pipeline on the calling thread. This is the path a
+  /// batch-at-a-time frontend (ClipperSim) uses; it shares the cache and
+  /// accounting with submit() but bypasses the queue, so the client's batch
+  /// composition is preserved exactly.
+  std::vector<double> predict_batch(const data::Batch& batch);
+
+  /// Submit every row of `batch` as pointwise queries and wait for all of
+  /// them (closed-loop convenience; rows coalesce with any other queued
+  /// traffic).
+  std::vector<double> predict_rows(const data::Batch& batch);
+
+  /// Stop accepting queries, drain everything accepted, join the workers.
+  /// Idempotent; also run by the destructor.
+  void shutdown();
+
+  ServerStats stats() const;
+  void reset_stats();
+
+  EndToEndCache& cache() { return cache_; }
+  const ServerConfig& config() const { return cfg_; }
+  const core::OptimizedPipeline& pipeline() const { return *pipeline_; }
+
+ private:
+  struct Request {
+    data::Batch row;
+    std::promise<double> promise;
+    std::uint64_t cache_key = 0;
+    std::chrono::steady_clock::time_point accepted;
+  };
+
+  void worker_loop();
+  /// Execute one coalesced batch and fulfill its promises.
+  void execute(std::vector<Request>& reqs);
+  void record_latencies(const std::vector<Request>& reqs,
+                        std::chrono::steady_clock::time_point completed);
+
+  const core::OptimizedPipeline* pipeline_;
+  const ServerConfig cfg_;
+  EndToEndCache cache_;
+  runtime::RequestQueue<Request> queue_;
+  std::vector<std::thread> workers_;
+  bool joined_ = false;
+  std::mutex shutdown_mu_;
+
+  mutable std::mutex stats_mu_;
+  std::size_t queries_ = 0;
+  std::size_t cache_hits_ = 0;
+  std::size_t batches_ = 0;
+  std::size_t rows_ = 0;
+  std::size_t largest_batch_ = 0;
+  double inference_seconds_ = 0.0;
+  common::LatencyRecorder latencies_;
+};
+
+}  // namespace willump::serving

@@ -1,0 +1,64 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "serving/server.hpp"
+#include "workloads/workload.hpp"
+
+namespace willump::workloads {
+
+/// Samples pointwise queries (single-row batches) for a workload with
+/// Zipf-skewed popularity over its test split, so a serving stream repeats
+/// hot entities the way production traffic does (and end-to-end caches see
+/// realistic hit rates; paper Table 2 uses the same skew).
+class QuerySampler {
+ public:
+  /// `zipf_s` = 0 draws uniformly; larger values concentrate on hot rows.
+  QuerySampler(const Workload& wl, double zipf_s, std::uint64_t seed);
+
+  /// Draw the next single-row query batch.
+  data::Batch next();
+
+ private:
+  const Workload* wl_;
+  common::Rng rng_;
+  double zipf_s_;
+  common::ZipfSampler zipf_;
+  std::vector<std::size_t> rank_to_row_;  // decorrelate popularity from index
+};
+
+/// Inter-arrival gaps of a Poisson process at `qps` queries/second:
+/// i.i.d. exponential with mean 1/qps. Sum-prefix to get arrival times.
+std::vector<double> poisson_interarrival_seconds(std::size_t n, double qps,
+                                                 common::Rng& rng);
+
+/// Result of driving one traffic run against a serving engine.
+struct TrafficResult {
+  std::size_t completed = 0;
+  double duration_seconds = 0.0;
+  double offered_qps = 0.0;   // 0 for closed-loop runs (load is self-clocked)
+  double achieved_qps = 0.0;
+  common::Summary latency;    // client-observed per-query seconds
+  std::size_t cache_hits = 0;
+  double mean_batch_rows = 0.0;
+};
+
+/// Closed-loop traffic: `clients` threads each issue `queries_per_client`
+/// pointwise queries back-to-back — the next query is submitted only when
+/// the previous completes. Measures the engine at self-clocked saturation.
+TrafficResult run_closed_loop(serving::Server& server, const Workload& wl,
+                              std::size_t clients,
+                              std::size_t queries_per_client, double zipf_s,
+                              std::uint64_t seed);
+
+/// Open-loop traffic: one dispatcher submits `n_queries` at Poisson arrival
+/// times paced to `qps`, never waiting for completions (arrivals do not slow
+/// down when the engine falls behind), then waits for everything to finish.
+TrafficResult run_open_loop(serving::Server& server, const Workload& wl,
+                            std::size_t n_queries, double qps, double zipf_s,
+                            std::uint64_t seed);
+
+}  // namespace willump::workloads

@@ -25,6 +25,51 @@ TEST(ClipperWire, BatchRoundTrip) {
   EXPECT_DOUBLE_EQ(back.get("d").doubles()[1], -0.25);
 }
 
+TEST(ClipperWire, EmptyBatchRoundTrip) {
+  data::Batch b;
+  b.add("s", data::Column(data::StringColumn{}));
+  b.add("i", data::Column(data::IntColumn{}));
+  const auto wire = ClipperSim::serialize_batch(b);
+  const auto back = ClipperSim::deserialize_batch(wire, b);
+  EXPECT_EQ(back.num_columns(), 2u);
+  EXPECT_EQ(back.num_rows(), 0u);
+}
+
+TEST(ClipperWire, MalformedInputRejectedWithClearError) {
+  data::Batch schema;
+  schema.add("i", data::Column(data::IntColumn{0}));
+  schema.add("s", data::Column(data::StringColumn{""}));
+
+  const auto expect_rejected = [&](const std::string& wire) {
+    EXPECT_THROW((void)ClipperSim::deserialize_batch(wire, schema),
+                 std::invalid_argument)
+        << "accepted malformed wire: " << wire;
+  };
+  expect_rejected("");                      // no object at all
+  expect_rejected("[");                     // wrong opening token
+  expect_rejected("{");                     // truncated after '{'
+  expect_rejected("{\"i\"");                // truncated after column name
+  expect_rejected("{\"i\":[1,2");           // truncated mid-column
+  expect_rejected("{\"i\":[1,2]");          // missing ';' separator
+  expect_rejected("{\"i\":[1,2];");         // missing closing '}'
+  expect_rejected("{\"i\":[x];}");          // non-numeric int payload
+  expect_rejected("{\"i\":[1 2];}");        // missing ',' between values
+  expect_rejected("{\"unknown\":[1];}");    // column absent from schema
+  expect_rejected("{\"s\":[\"abc];}");      // unterminated string
+  expect_rejected("{\"s\":[\"a\\");         // escape at end of input
+  expect_rejected("{\"i\":[1];}trailing");  // bytes after the object
+  expect_rejected("{}");                    // schema columns all missing
+  expect_rejected("{\"i\":[1];}");          // schema column "s" missing
+  expect_rejected("{\"i\":[1];\"i\":[2];}");  // duplicate column
+}
+
+TEST(ClipperWire, MalformedPredictionsRejected) {
+  EXPECT_THROW((void)ClipperSim::deserialize_predictions("1.5,,2.5"),
+               std::invalid_argument);
+  EXPECT_THROW((void)ClipperSim::deserialize_predictions("abc"),
+               std::invalid_argument);
+}
+
 TEST(ClipperWire, PredictionsRoundTrip) {
   const std::vector<double> preds{0.125, 1.0, 3.14159e-7};
   const auto wire = ClipperSim::serialize_predictions(preds);

@@ -120,18 +120,24 @@ TEST(Optimizer, PredictFullIgnoresCascades) {
   const auto p = WillumpOptimizer::optimize(wl.pipeline, wl.train, wl.valid, opts);
   const auto full = p.predict_full(wl.test.inputs);
   const auto casc = p.predict(wl.test.inputs);
-  // Cascade predictions differ from full on at least one short-circuited row
-  // (they come from the small model) but agree on label for almost all. The
-  // bound is statistical: the cascade trainer only guarantees accuracy within
-  // a CI of the full model, so leave slack below the ~0.94 observed agreement.
-  std::size_t label_agree = 0;
+  // predict_full bypasses the cascade: raw scores differ on at least one
+  // short-circuited row (those come from the small model).
+  std::size_t score_differs = 0;
   for (std::size_t i = 0; i < full.size(); ++i) {
-    if (models::predicted_label(full[i]) == models::predicted_label(casc[i])) {
-      ++label_agree;
-    }
+    if (full[i] != casc[i]) ++score_differs;
   }
-  EXPECT_GT(static_cast<double>(label_agree) / static_cast<double>(full.size()),
-            0.9);
+  EXPECT_GT(score_differs, 0u);
+  // The accuracy bound is statistical, not a fixture-tuned constant: the
+  // trainer guarantees the cascade's accuracy loss is within the configured
+  // target, which the paper (§6.3) calls insignificant when it falls inside
+  // the full model's binomial 95% CI on the evaluation set. Assert exactly
+  // that criterion on the test split.
+  const std::size_t n = wl.test.targets.size();
+  const double acc_full = models::accuracy(full, wl.test.targets);
+  const double acc_casc = models::accuracy(casc, wl.test.targets);
+  EXPECT_TRUE(common::accuracy_within_ci95(acc_casc, acc_full, n))
+      << "cascade accuracy " << acc_casc << " outside the 95% CI of full-model "
+      << "accuracy " << acc_full << " over " << n << " trials";
 }
 
 }  // namespace

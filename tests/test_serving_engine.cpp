@@ -1,0 +1,445 @@
+// Concurrency surface of the request-level serving engine: future-returning
+// ThreadPool::submit, the bounded MPMC RequestQueue, the Server's adaptive
+// micro-batching policy (flush-on-max-batch and flush-on-deadline), and
+// thread-safe end-to-end caching under concurrent clients. This suite is
+// labeled `concurrency` and runs under ThreadSanitizer in CI.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "common/timer.hpp"
+#include "core/optimizer.hpp"
+#include "runtime/request_queue.hpp"
+#include "runtime/thread_pool.hpp"
+#include "serving/server.hpp"
+#include "workloads/toxic.hpp"
+
+namespace willump {
+namespace {
+
+// ---------------------------------------------------------------------------
+// ThreadPool::submit
+// ---------------------------------------------------------------------------
+
+TEST(ThreadPoolSubmit, DeliversResultThroughFuture) {
+  runtime::ThreadPool pool(2);
+  auto f = pool.submit([] { return 6 * 7; });
+  EXPECT_EQ(f.get(), 42);
+}
+
+TEST(ThreadPoolSubmit, PropagatesExceptionThroughFuture) {
+  runtime::ThreadPool pool(1);
+  auto f = pool.submit([]() -> int { throw std::runtime_error("boom"); });
+  EXPECT_THROW(f.get(), std::runtime_error);
+  // The pool stays usable afterwards.
+  EXPECT_EQ(pool.submit([] { return 1; }).get(), 1);
+}
+
+TEST(ThreadPoolSubmit, ManyConcurrentSubmitters) {
+  runtime::ThreadPool pool(3);
+  std::vector<std::thread> submitters;
+  std::vector<std::vector<std::future<int>>> futures(4);
+  for (int t = 0; t < 4; ++t) {
+    submitters.emplace_back([&pool, &futures, t] {
+      for (int i = 0; i < 50; ++i) {
+        futures[t].push_back(pool.submit([t, i] { return t * 1000 + i; }));
+      }
+    });
+  }
+  for (auto& s : submitters) s.join();
+  for (int t = 0; t < 4; ++t) {
+    for (int i = 0; i < 50; ++i) {
+      EXPECT_EQ(futures[t][static_cast<std::size_t>(i)].get(), t * 1000 + i);
+    }
+  }
+}
+
+TEST(ThreadPoolSubmit, QueuedTasksDrainAtDestruction) {
+  std::vector<std::future<int>> futures;
+  {
+    runtime::ThreadPool pool(2);
+    for (int i = 0; i < 64; ++i) {
+      futures.push_back(pool.submit([i] { return i; }));
+    }
+  }
+  for (int i = 0; i < 64; ++i) {
+    EXPECT_EQ(futures[static_cast<std::size_t>(i)].get(), i);
+  }
+}
+
+TEST(ThreadPoolSubmit, CoexistsWithRunAll) {
+  runtime::ThreadPool pool(2);
+  auto f = pool.submit([] { return 7; });
+  std::atomic<int> counter{0};
+  std::vector<std::function<void()>> tasks;
+  for (int i = 0; i < 10; ++i) tasks.push_back([&counter] { ++counter; });
+  pool.run_all(std::move(tasks));
+  EXPECT_EQ(counter.load(), 10);
+  EXPECT_EQ(f.get(), 7);
+}
+
+TEST(ThreadPoolRunAll, ConcurrentCallersDoNotShareState) {
+  runtime::ThreadPool pool(2);
+  std::vector<std::thread> callers;
+  std::atomic<int> ok{0};
+  for (int t = 0; t < 4; ++t) {
+    callers.emplace_back([&pool, &ok, t] {
+      for (int round = 0; round < 20; ++round) {
+        std::atomic<int> counter{0};
+        std::vector<std::function<void()>> tasks;
+        for (int i = 0; i < 8; ++i) tasks.push_back([&counter] { ++counter; });
+        if (t == 0 && round % 3 == 0) {
+          // One caller also throws; its exception must not leak into the
+          // other callers' run_all.
+          tasks.push_back([] { throw std::runtime_error("mine"); });
+          EXPECT_THROW(pool.run_all(std::move(tasks)), std::runtime_error);
+        } else {
+          pool.run_all(std::move(tasks));
+        }
+        if (counter.load() >= 8) ++ok;
+      }
+    });
+  }
+  for (auto& c : callers) c.join();
+  EXPECT_EQ(ok.load(), 80);
+}
+
+// ---------------------------------------------------------------------------
+// RequestQueue
+// ---------------------------------------------------------------------------
+
+TEST(RequestQueue, FifoOrder) {
+  runtime::RequestQueue<int> q;
+  for (int i = 0; i < 5; ++i) ASSERT_TRUE(q.push(i));
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(q.pop(), i);
+  EXPECT_EQ(q.try_pop(), std::nullopt);
+}
+
+TEST(RequestQueue, TryPushRespectsCapacity) {
+  runtime::RequestQueue<int> q(2);
+  EXPECT_TRUE(q.try_push(1));
+  EXPECT_TRUE(q.try_push(2));
+  EXPECT_FALSE(q.try_push(3));
+  EXPECT_EQ(q.pop(), 1);
+  EXPECT_TRUE(q.try_push(3));
+}
+
+TEST(RequestQueue, PushBlocksUntilSpace) {
+  runtime::RequestQueue<int> q(1);
+  ASSERT_TRUE(q.push(1));
+  std::thread producer([&q] { EXPECT_TRUE(q.push(2)); });
+  EXPECT_EQ(q.pop(), 1);  // unblocks the producer
+  producer.join();
+  EXPECT_EQ(q.pop(), 2);
+}
+
+TEST(RequestQueue, CloseDrainsThenReportsExhaustion) {
+  runtime::RequestQueue<int> q;
+  ASSERT_TRUE(q.push(1));
+  ASSERT_TRUE(q.push(2));
+  q.close();
+  EXPECT_FALSE(q.push(3));  // no new work after close
+  EXPECT_EQ(q.pop(), 1);    // accepted work still drains
+  EXPECT_EQ(q.pop(), 2);
+  EXPECT_EQ(q.pop(), std::nullopt);
+}
+
+TEST(RequestQueue, CloseWakesBlockedConsumer) {
+  runtime::RequestQueue<int> q;
+  std::thread consumer([&q] { EXPECT_EQ(q.pop(), std::nullopt); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  q.close();
+  consumer.join();
+}
+
+TEST(RequestQueue, PopUntilTimesOutOnEmptyQueue) {
+  runtime::RequestQueue<int> q;
+  common::Timer t;
+  EXPECT_EQ(q.pop_until(std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(20)),
+            std::nullopt);
+  EXPECT_GE(t.elapsed_seconds(), 0.010);
+}
+
+TEST(RequestQueue, ManyProducersManyConsumers) {
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 100;
+  runtime::RequestQueue<int> q(8);  // small bound: exercises back-pressure
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&q, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        ASSERT_TRUE(q.push(p * kPerProducer + i));
+      }
+    });
+  }
+  std::vector<std::vector<int>> got(3);
+  std::vector<std::thread> consumers;
+  for (int c = 0; c < 3; ++c) {
+    consumers.emplace_back([&q, &got, c] {
+      while (auto v = q.pop()) got[static_cast<std::size_t>(c)].push_back(*v);
+    });
+  }
+  for (auto& p : producers) p.join();
+  q.close();
+  for (auto& c : consumers) c.join();
+
+  std::vector<int> all;
+  for (const auto& g : got) all.insert(all.end(), g.begin(), g.end());
+  std::sort(all.begin(), all.end());
+  ASSERT_EQ(all.size(), static_cast<std::size_t>(kProducers * kPerProducer));
+  for (int i = 0; i < kProducers * kPerProducer; ++i) {
+    EXPECT_EQ(all[static_cast<std::size_t>(i)], i);  // each item exactly once
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Server: adaptive micro-batching over a real optimized pipeline
+// ---------------------------------------------------------------------------
+
+struct EngineFixture {
+  workloads::Workload wl;
+  core::OptimizedPipeline pipeline;
+};
+
+/// Tiny Toxic workload with cascades on, built once per process. Small
+/// enough that the suite stays fast under ThreadSanitizer.
+EngineFixture& fixture() {
+  static EngineFixture* f = [] {
+    workloads::ToxicConfig cfg;
+    cfg.seed = 303;
+    cfg.sizes = {.train = 600, .valid = 250, .test = 250};
+    cfg.word_tfidf_features = 500;
+    cfg.char_tfidf_features = 800;
+    auto wl = workloads::make_toxic(cfg);
+    core::OptimizeOptions opts;
+    opts.cascades = true;
+    auto pipeline =
+        core::WillumpOptimizer::optimize(wl.pipeline, wl.train, wl.valid, opts);
+    return new EngineFixture{std::move(wl), std::move(pipeline)};
+  }();
+  return *f;
+}
+
+TEST(Server, SubmitMatchesDirectPrediction) {
+  auto& f = fixture();
+  serving::Server server(&f.pipeline, {});
+  for (std::size_t r = 0; r < 5; ++r) {
+    const auto row = f.wl.test.inputs.row(r);
+    EXPECT_DOUBLE_EQ(server.submit(row).get(), f.pipeline.predict_one(row));
+  }
+  EXPECT_EQ(server.stats().queries, 5u);
+}
+
+TEST(Server, PredictBatchMatchesDirectPrediction) {
+  auto& f = fixture();
+  serving::Server server(&f.pipeline, {});
+  const auto batch = f.wl.test.inputs.select_rows(
+      std::vector<std::size_t>{0, 1, 2, 3, 4, 5, 6, 7});
+  const auto served = server.predict_batch(batch);
+  const auto direct = f.pipeline.predict(batch);
+  ASSERT_EQ(served.size(), direct.size());
+  for (std::size_t i = 0; i < served.size(); ++i) {
+    EXPECT_DOUBLE_EQ(served[i], direct[i]);
+  }
+  EXPECT_EQ(server.stats().batches, 1u);
+  EXPECT_EQ(server.stats().largest_batch, 8u);
+}
+
+TEST(Server, FlushOnMaxBatch) {
+  auto& f = fixture();
+  serving::ServerConfig cfg;
+  cfg.num_workers = 1;
+  cfg.max_batch = 2;
+  cfg.max_delay_micros = 5e6;  // 5 s: only the size trigger can flush
+  serving::Server server(&f.pipeline, cfg);
+
+  std::vector<std::future<double>> futures;
+  for (std::size_t r = 0; r < 4; ++r) {
+    futures.push_back(server.submit(f.wl.test.inputs.row(r)));
+  }
+  common::Timer t;
+  for (auto& fut : futures) (void)fut.get();
+  // Completion long before the 5 s window proves the size trigger fired.
+  EXPECT_LT(t.elapsed_seconds(), 4.0);
+  const auto stats = server.stats();
+  EXPECT_EQ(stats.batches, 2u);
+  EXPECT_EQ(stats.rows, 4u);
+  EXPECT_EQ(stats.largest_batch, 2u);
+}
+
+TEST(Server, FlushOnDeadline) {
+  auto& f = fixture();
+  serving::ServerConfig cfg;
+  cfg.num_workers = 1;
+  cfg.max_batch = 64;           // never fills from one query
+  cfg.max_delay_micros = 8e4;   // 80 ms flush window
+  serving::Server server(&f.pipeline, cfg);
+
+  common::Timer t;
+  (void)server.submit(f.wl.test.inputs.row(0)).get();
+  // A lone query cannot complete before its batch's flush deadline.
+  EXPECT_GE(t.elapsed_seconds(), 0.05);
+  const auto stats = server.stats();
+  EXPECT_EQ(stats.batches, 1u);
+  EXPECT_EQ(stats.largest_batch, 1u);
+}
+
+TEST(Server, ConcurrentClientsMatchSerialPredictions) {
+  auto& f = fixture();
+  serving::ServerConfig cfg;
+  cfg.num_workers = 2;
+  cfg.max_batch = 8;
+  serving::Server server(&f.pipeline, cfg);
+
+  constexpr std::size_t kClients = 4;
+  constexpr std::size_t kPerClient = 25;
+  std::vector<std::vector<double>> got(kClients);
+  std::vector<std::thread> clients;
+  for (std::size_t c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      for (std::size_t q = 0; q < kPerClient; ++q) {
+        const std::size_t r = c + q * kClients;
+        got[c].push_back(server.submit(f.wl.test.inputs.row(r)).get());
+      }
+    });
+  }
+  for (auto& c : clients) c.join();
+
+  // Row-wise determinism: whatever micro-batch a query landed in, its
+  // prediction equals the serial one.
+  for (std::size_t c = 0; c < kClients; ++c) {
+    for (std::size_t q = 0; q < kPerClient; ++q) {
+      const std::size_t r = c + q * kClients;
+      EXPECT_DOUBLE_EQ(got[c][q], f.pipeline.predict_one(f.wl.test.inputs.row(r)));
+    }
+  }
+  EXPECT_EQ(server.stats().queries, kClients * kPerClient);
+  EXPECT_EQ(server.stats().rows, kClients * kPerClient);
+  EXPECT_EQ(server.stats().latency_samples, kClients * kPerClient);
+}
+
+TEST(Server, CacheHitsUnderConcurrentClients) {
+  auto& f = fixture();
+  serving::ServerConfig cfg;
+  cfg.num_workers = 2;
+  cfg.enable_e2e_cache = true;
+  serving::Server server(&f.pipeline, cfg);
+
+  // Warm the cache serially so the concurrent phase is all hits.
+  constexpr std::size_t kDistinct = 5;
+  std::vector<double> expected;
+  for (std::size_t r = 0; r < kDistinct; ++r) {
+    expected.push_back(server.submit(f.wl.test.inputs.row(r)).get());
+  }
+
+  constexpr std::size_t kClients = 4;
+  constexpr std::size_t kRounds = 10;
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> clients;
+  for (std::size_t c = 0; c < kClients; ++c) {
+    clients.emplace_back([&] {
+      for (std::size_t q = 0; q < kRounds; ++q) {
+        for (std::size_t r = 0; r < kDistinct; ++r) {
+          const double got = server.submit(f.wl.test.inputs.row(r)).get();
+          if (got != expected[r]) ++mismatches;
+        }
+      }
+    });
+  }
+  for (auto& c : clients) c.join();
+
+  EXPECT_EQ(mismatches.load(), 0);
+  const auto stats = server.stats();
+  EXPECT_EQ(stats.queries, kDistinct + kClients * kRounds * kDistinct);
+  EXPECT_EQ(stats.cache_hits, kClients * kRounds * kDistinct);
+  // Hits are answered before enqueue: the pipeline only ever saw the warmup.
+  EXPECT_EQ(stats.rows, kDistinct);
+
+  // Shutdown rejects even queries the cache could answer, and a rejected
+  // query is not counted as served.
+  server.shutdown();
+  EXPECT_THROW((void)server.submit(f.wl.test.inputs.row(0)),
+               runtime::QueueClosedError);
+  EXPECT_EQ(server.stats().queries, stats.queries);
+}
+
+TEST(Server, ZeroWorkersExecutesInline) {
+  auto& f = fixture();
+  serving::ServerConfig cfg;
+  cfg.num_workers = 0;  // synchronous-only mode: no threads spawned
+  serving::Server server(&f.pipeline, cfg);
+  const auto row = f.wl.test.inputs.row(3);
+  EXPECT_DOUBLE_EQ(server.submit(row).get(), f.pipeline.predict_one(row));
+  EXPECT_EQ(server.stats().batches, 1u);
+  server.shutdown();
+  EXPECT_THROW((void)server.submit(row), runtime::QueueClosedError);
+}
+
+TEST(Server, FullyCachedBatchCountsNoPipelineExecution) {
+  auto& f = fixture();
+  serving::ServerConfig cfg;
+  cfg.num_workers = 0;
+  cfg.enable_e2e_cache = true;
+  serving::Server server(&f.pipeline, cfg);
+  const auto batch =
+      f.wl.test.inputs.select_rows(std::vector<std::size_t>{0, 1, 2});
+  const auto first = server.predict_batch(batch);
+  const auto second = server.predict_batch(batch);  // every row hits
+  for (std::size_t i = 0; i < first.size(); ++i) {
+    EXPECT_DOUBLE_EQ(second[i], first[i]);
+  }
+  const auto stats = server.stats();
+  EXPECT_EQ(stats.cache_hits, 3u);
+  EXPECT_EQ(stats.batches, 1u);  // the second call ran no pipeline batch
+  EXPECT_EQ(stats.rows, 3u);
+  EXPECT_DOUBLE_EQ(stats.mean_batch_rows(), 3.0);
+}
+
+TEST(Server, ShutdownDrainsAcceptedWorkAndRejectsNew) {
+  auto& f = fixture();
+  serving::ServerConfig cfg;
+  cfg.num_workers = 1;
+  cfg.max_batch = 4;
+  serving::Server server(&f.pipeline, cfg);
+
+  std::vector<std::future<double>> futures;
+  for (std::size_t r = 0; r < 3; ++r) {
+    futures.push_back(server.submit(f.wl.test.inputs.row(r)));
+  }
+  server.shutdown();
+  for (auto& fut : futures) {
+    EXPECT_NO_THROW((void)fut.get());  // accepted work was drained
+  }
+  EXPECT_THROW((void)server.submit(f.wl.test.inputs.row(0)),
+               runtime::QueueClosedError);
+}
+
+TEST(EndToEndCacheConcurrent, MixedGetPutFromManyThreads) {
+  serving::EndToEndCache cache(64);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&cache, t] {
+      for (int i = 0; i < 500; ++i) {
+        const auto key = static_cast<std::uint64_t>(i % 97);
+        cache.put(key, static_cast<double>(key));
+        if (auto hit = cache.get(key)) {
+          EXPECT_DOUBLE_EQ(*hit, static_cast<double>(key));
+        }
+        (void)t;
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_GT(cache.hits(), 0u);
+}
+
+}  // namespace
+}  // namespace willump

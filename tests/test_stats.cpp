@@ -75,5 +75,30 @@ TEST(Stats, SummaryFields) {
   EXPECT_GT(s.p99, s.median);
 }
 
+TEST(LatencyRecorder, RecordsAndSummarizes) {
+  LatencyRecorder rec;
+  EXPECT_TRUE(rec.empty());
+  for (double v : {4.0, 1.0, 3.0, 2.0}) rec.record(v);
+  EXPECT_EQ(rec.count(), 4u);
+  EXPECT_DOUBLE_EQ(rec.percentile(50.0), 2.5);
+  EXPECT_DOUBLE_EQ(rec.percentile(100.0), 4.0);
+  const auto s = rec.summary();
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 4.0);
+  EXPECT_DOUBLE_EQ(s.mean, 2.5);
+  rec.clear();
+  EXPECT_TRUE(rec.empty());
+}
+
+TEST(LatencyRecorder, MergeCombinesSamples) {
+  LatencyRecorder a, b;
+  a.record(1.0);
+  b.record(3.0);
+  b.record(5.0);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 3u);
+  EXPECT_DOUBLE_EQ(a.percentile(50.0), 3.0);
+}
+
 }  // namespace
 }  // namespace willump::common
