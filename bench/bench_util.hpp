@@ -37,7 +37,20 @@ inline bool& smoke_flag() {
 
 inline bool smoke() { return smoke_flag(); }
 
-/// Parse shared bench CLI flags (currently just --smoke), removing the ones
+/// Trend mode: run at an intermediate scale and *assert* the paper-shaped
+/// trend the bench reproduces (exit non-zero on violation) instead of only
+/// printing numbers. This is what the nightly-labeled ctest tier runs —
+/// strong enough to catch a regression, cheap enough for CI. Enabled by
+/// `--trend` or the WILLUMP_BENCH_TREND environment variable; benches that
+/// have no trend assertions ignore it.
+inline bool& trend_flag() {
+  static bool v = std::getenv("WILLUMP_BENCH_TREND") != nullptr;
+  return v;
+}
+
+inline bool trend() { return trend_flag(); }
+
+/// Parse shared bench CLI flags (--smoke, --trend), removing the ones
 /// recognized here so binaries with their own flag parsing (Google
 /// Benchmark) don't see them. Call first in every main().
 inline void parse_args(int& argc, char** argv) {
@@ -45,6 +58,10 @@ inline void parse_args(int& argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     if (std::string_view(argv[i]) == "--smoke") {
       smoke_flag() = true;
+      continue;
+    }
+    if (std::string_view(argv[i]) == "--trend") {
+      trend_flag() = true;
       continue;
     }
     argv[out++] = argv[i];

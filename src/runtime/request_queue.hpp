@@ -7,6 +7,7 @@
 #include <mutex>
 #include <optional>
 #include <stdexcept>
+#include <vector>
 
 namespace willump::runtime {
 
@@ -74,6 +75,25 @@ class RequestQueue {
     std::unique_lock<std::mutex> lock(mu_);
     if (items_.empty()) return std::nullopt;
     return pop_locked(lock);
+  }
+
+  /// Bulk non-blocking dequeue: move up to `max_items` items into `out`
+  /// under a single lock acquisition. Returns how many were taken. This is
+  /// the coalescing fast path of an adaptive-batching worker — one lock per
+  /// micro-batch instead of one per request — and what lets a multi-queue
+  /// engine drain a whole backlog in one sweep.
+  std::size_t drain(std::vector<T>& out, std::size_t max_items) {
+    std::size_t taken = 0;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      while (taken < max_items && !items_.empty()) {
+        out.push_back(std::move(items_.front()));
+        items_.pop_front();
+        ++taken;
+      }
+    }
+    if (taken > 0) not_full_.notify_all();
+    return taken;
   }
 
   /// Block until an item is available or `deadline` passes. A deadline in

@@ -4,10 +4,6 @@ namespace willump::runtime {
 
 namespace {
 
-/// Spin iterations before falling back to blocking (roughly two
-/// milliseconds of polling — long enough that a serving thread stays hot
-/// across consecutive example-at-a-time queries).
-constexpr int kSpinRounds = 150000;
 /// Poll the (locked) queue every this many spin iterations.
 constexpr int kPollEvery = 64;
 
@@ -46,7 +42,8 @@ struct TaskGroup {
 
 }  // namespace
 
-ThreadPool::ThreadPool(std::size_t num_threads) {
+ThreadPool::ThreadPool(std::size_t num_threads, int spin_rounds)
+    : spin_rounds_(spin_rounds < 0 ? 0 : spin_rounds) {
   workers_.reserve(num_threads);
   for (std::size_t i = 0; i < num_threads; ++i) {
     workers_.emplace_back([this] { worker_loop(); });
@@ -86,8 +83,9 @@ void ThreadPool::worker_loop() {
     std::function<void()> task;
     bool got = false;
 
-    // Spin phase: poll for work without sleeping.
-    for (int i = 0; i < kSpinRounds && !got; ++i) {
+    // Short backoff: poll briefly for the next task of a tight pointwise
+    // loop, then park on the condition variable instead of burning a core.
+    for (int i = 0; i < spin_rounds_ && !got; ++i) {
       if (i % kPollEvery == 0) {
         if (stop_.load(std::memory_order_relaxed)) break;
         got = try_pop(task);
@@ -131,8 +129,9 @@ void ThreadPool::run_all(std::vector<std::function<void()>> tasks) {
 
   group->run(tasks.back());
 
-  // Spin-wait for stragglers, then block if they are genuinely slow.
-  for (int i = 0; i < kSpinRounds; ++i) {
+  // Short backoff for stragglers, then block on the group CV if they are
+  // genuinely slow — same polling budget as the worker idle loop.
+  for (int i = 0; i < spin_rounds_; ++i) {
     if (group->remaining.load(std::memory_order_acquire) == 0) break;
     cpu_relax();
   }

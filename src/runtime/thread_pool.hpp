@@ -17,11 +17,18 @@ namespace willump::runtime {
 ///
 /// Willump parallelizes example-at-a-time queries by running feature
 /// generators concurrently on worker threads (§4.4). The tasks are
-/// microseconds long, so condition-variable wakeups (tens to hundreds of
-/// microseconds on a loaded box) would swamp the gains; workers therefore
-/// spin briefly polling for work before blocking, and the caller spins
-/// briefly waiting for completion before blocking — the handoff pattern of
-/// low-latency runtimes like Weld's, which the paper relies on.
+/// microseconds long, so going straight to a condition-variable wakeup
+/// (tens to hundreds of microseconds on a loaded box) would swamp the
+/// gains; workers therefore poll for work through a *short* backoff spin
+/// (tens of microseconds) before blocking on the condition variable, and
+/// the run_all caller waits for stragglers the same way. The backoff keeps
+/// the low-latency handoff of runtimes like Weld's for back-to-back
+/// pointwise queries while idle workers park on the CV instead of burning
+/// a core — on few-core serving hosts a long spin visibly starves the
+/// open-loop dispatcher (the ROADMAP noise item this bounds).
+///
+/// `spin_rounds` scales the backoff: 0 blocks immediately, larger values
+/// trade idle CPU for handoff latency.
 ///
 /// Two entry points share the worker threads:
 ///  - run_all(): fork-join execution of a task set, caller participates.
@@ -33,7 +40,14 @@ namespace willump::runtime {
 ///    request-level entry the serving engine builds on.
 class ThreadPool {
  public:
-  explicit ThreadPool(std::size_t num_threads);
+  /// Roughly 50 us of polling before a worker parks on the condition
+  /// variable — long enough to catch the next task of a tight
+  /// example-at-a-time loop, short enough that an idle pool is invisible
+  /// to the scheduler.
+  static constexpr int kDefaultSpinRounds = 4096;
+
+  explicit ThreadPool(std::size_t num_threads,
+                      int spin_rounds = kDefaultSpinRounds);
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;
@@ -66,6 +80,7 @@ class ThreadPool {
   void worker_loop();
   bool try_pop(std::function<void()>& task);
 
+  const int spin_rounds_;
   std::vector<std::thread> workers_;
   std::mutex mu_;
   std::condition_variable cv_;

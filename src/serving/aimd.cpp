@@ -1,0 +1,59 @@
+#include "serving/aimd.hpp"
+
+#include <algorithm>
+
+namespace willump::serving {
+
+namespace {
+
+std::size_t clamp_cap(std::size_t cap, const AimdConfig& cfg) {
+  const std::size_t lo = std::max<std::size_t>(cfg.min_batch, 1);
+  const std::size_t hi = std::max(cfg.max_batch, lo);
+  return std::clamp(cap, lo, hi);
+}
+
+}  // namespace
+
+AimdBatchController::AimdBatchController(std::size_t initial_cap,
+                                         AimdConfig cfg)
+    : cfg_(cfg),
+      cap_(cfg.enabled ? clamp_cap(initial_cap, cfg)
+                       : std::max<std::size_t>(initial_cap, 1)) {}
+
+void AimdBatchController::on_batch(std::size_t rows, double batch_seconds) {
+  (void)rows;
+  if (!cfg_.enabled) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  ++observations_;
+  const std::size_t cap = cap_.load(std::memory_order_relaxed);
+  std::size_t next = cap;
+  if (batch_seconds * 1e6 > cfg_.slo_micros) {
+    // Violation: multiplicative decrease. The floor rounding alone cannot
+    // stall at the old value — clamp handles backoff factors near 1.
+    next = clamp_cap(
+        std::min(cap - 1, static_cast<std::size_t>(
+                              static_cast<double>(cap) * cfg_.backoff)),
+        cfg_);
+    if (next < cap) ++backoffs_;
+  } else {
+    // Under the SLO: additive increase, probing for more amortization.
+    next = clamp_cap(cap + std::max<std::size_t>(cfg_.additive_step, 1), cfg_);
+    if (next > cap) ++increases_;
+  }
+  cap_.store(next, std::memory_order_relaxed);
+}
+
+AimdCounters AimdBatchController::counters() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return {cap_.load(std::memory_order_relaxed), increases_, backoffs_,
+          observations_};
+}
+
+void AimdBatchController::reset_counters() {
+  std::lock_guard<std::mutex> lock(mu_);
+  increases_ = 0;
+  backoffs_ = 0;
+  observations_ = 0;
+}
+
+}  // namespace willump::serving

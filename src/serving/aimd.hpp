@@ -1,0 +1,71 @@
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <mutex>
+
+namespace willump::serving {
+
+/// Policy of the AIMD max-batch controller (Clipper, NSDI 2017 §4.3).
+///
+/// Clipper discovers each model's optimal batch size online instead of
+/// hand-tuning it: while measured batch processing latency stays under the
+/// model's latency SLO the batch cap grows additively (probing for more
+/// amortization), and a violation multiplicatively backs the cap off —
+/// classic additive-increase/multiplicative-decrease, which converges to
+/// the largest batch the SLO admits and re-adapts when load shifts.
+struct AimdConfig {
+  bool enabled = false;
+  /// Batch processing-latency objective the controller tunes against.
+  double slo_micros = 5000.0;
+  /// Additive step: cap += step after a batch under the SLO.
+  std::size_t additive_step = 2;
+  /// Multiplicative decrease: cap = max(min_batch, cap * backoff) on
+  /// violation. Must be in (0, 1).
+  double backoff = 0.5;
+  /// Clamp bounds for the tuned cap.
+  std::size_t min_batch = 1;
+  std::size_t max_batch = 256;
+};
+
+/// Counters a stats snapshot reads from the controller.
+struct AimdCounters {
+  std::size_t current_max_batch = 0;
+  std::size_t increases = 0;   // additive growth steps taken
+  std::size_t backoffs = 0;    // multiplicative decreases taken
+  std::size_t observations = 0;  // batches fed to the controller
+};
+
+/// Per-model AIMD tuner for the adaptive-batching cap.
+///
+/// Workers read `cap()` lock-free before coalescing a batch and feed every
+/// executed batch's size and latency to `on_batch()`. When disabled the
+/// controller simply pins the cap at its initial value (the hand-tuned
+/// constant the registry replaces it with).
+class AimdBatchController {
+ public:
+  AimdBatchController(std::size_t initial_cap, AimdConfig cfg);
+
+  /// Current batch cap; always >= 1. Lock-free, safe from any thread.
+  std::size_t cap() const { return cap_.load(std::memory_order_relaxed); }
+
+  /// Record one executed batch of `rows` rows that took `batch_seconds`.
+  /// No-op when tuning is disabled.
+  void on_batch(std::size_t rows, double batch_seconds);
+
+  AimdCounters counters() const;
+  bool enabled() const { return cfg_.enabled; }
+
+  /// Reset the counters (not the learned cap).
+  void reset_counters();
+
+ private:
+  AimdConfig cfg_;
+  std::atomic<std::size_t> cap_;
+  mutable std::mutex mu_;
+  std::size_t increases_ = 0;
+  std::size_t backoffs_ = 0;
+  std::size_t observations_ = 0;
+};
+
+}  // namespace willump::serving

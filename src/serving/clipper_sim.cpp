@@ -176,7 +176,8 @@ std::vector<double> ClipperSim::deserialize_predictions(const std::string& wire)
   return out;
 }
 
-std::vector<double> ClipperSim::serve(const data::Batch& batch) {
+std::vector<double> ClipperSim::serve(std::string_view model,
+                                      const data::Batch& batch) {
   ++wire_stats_.queries;
   wire_stats_.rows += batch.num_rows();
 
@@ -193,10 +194,10 @@ std::vector<double> ClipperSim::serve(const data::Batch& batch) {
   common::spin_wait_micros(cfg_.rpc_fixed_micros);
   wire_stats_.rpc_seconds += rpc_timer.elapsed_seconds();
 
-  // Container-side inference (and the end-to-end prediction cache) is the
-  // engine's business; this frontend only forwards the batch.
+  // Container-side inference (routing, the end-to-end prediction cache) is
+  // the registry's business; this frontend only forwards the batch.
   common::Timer inf_timer;
-  std::vector<double> preds = server_.predict_batch(container_batch);
+  std::vector<double> preds = server_.predict_batch(model, container_batch);
   wire_stats_.inference_seconds += inf_timer.elapsed_seconds();
 
   // Frontend -> client: serialize predictions back.
@@ -207,6 +208,21 @@ std::vector<double> ClipperSim::serve(const data::Batch& batch) {
   }
   wire_stats_.serialize_seconds += ser2_timer.elapsed_seconds();
   return preds;
+}
+
+std::vector<double> ClipperSim::serve(const data::Batch& batch) {
+  const auto names = server_.model_names();
+  if (names.empty()) {
+    throw std::logic_error("ClipperSim::serve: no models hosted");
+  }
+  return serve(names.front(), batch);
+}
+
+double ClipperSim::serve_timed(std::string_view model,
+                               const data::Batch& batch) {
+  common::Timer t;
+  (void)serve(model, batch);
+  return t.elapsed_seconds();
 }
 
 double ClipperSim::serve_timed(const data::Batch& batch) {

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "core/optimizer.hpp"
@@ -20,7 +21,8 @@ struct ClipperConfig {
   bool enable_e2e_cache = false;
 };
 
-/// Traffic/latency counters for one serving session.
+/// Traffic/latency counters for one serving session (aggregate over every
+/// hosted model).
 struct ClipperStats {
   std::size_t queries = 0;
   std::size_t rows = 0;
@@ -32,40 +34,62 @@ struct ClipperStats {
 
 /// A Clipper-like general-purpose model-serving frontend.
 ///
-/// Clipper treats the pipeline as a black box behind an RPC interface: each
-/// query serializes its inputs, pays an RPC round trip, runs the pipeline
-/// container-side, and serializes predictions back. The serialization here
-/// is real work (a JSON wire format is built and parsed); the RPC cost is a
-/// measured spin-wait. Willump integrates by swapping the black-box
-/// pipeline for an optimized one — exactly the Table 6 experiment.
+/// Clipper treats each pipeline as a black box behind an RPC interface: a
+/// query names its model, serializes its inputs, pays an RPC round trip,
+/// runs the pipeline container-side, and serializes predictions back. The
+/// serialization here is real work (a JSON wire format is built and
+/// parsed); the RPC cost is a measured spin-wait. Willump integrates by
+/// swapping a black-box pipeline for an optimized one — exactly the Table 6
+/// experiment.
 ///
 /// ClipperSim owns only the wire format and RPC overhead accounting; the
-/// container-side inference and end-to-end prediction cache live in the
-/// request-level engine (serving::Server), of which this is a thin
-/// synchronous client. Pre-batched client batches go through the engine's
-/// synchronous path, preserving their composition exactly.
+/// container-side inference, routing, and end-to-end prediction caches live
+/// in the model registry (serving::Server), of which this is a thin
+/// synchronous client. Like the real Clipper frontend it hosts any number
+/// of models: construct with `ClipperConfig` and `add_model` each pipeline,
+/// or use the single-model convenience constructor. Pre-batched client
+/// batches go through the engine's synchronous path, preserving their
+/// composition exactly.
 class ClipperSim {
  public:
-  ClipperSim(const core::OptimizedPipeline* pipeline, ClipperConfig cfg)
+  /// Multi-model frontend: host models added via add_model().
+  explicit ClipperSim(ClipperConfig cfg)
       // num_workers 0: serve() is synchronous and pre-batched, so the
       // engine runs in its inline mode with no idle worker thread.
-      : cfg_(cfg),
-        server_(pipeline, ServerConfig{.num_workers = 0,
-                                       .enable_e2e_cache = cfg.enable_e2e_cache,
-                                       .e2e_cache_capacity =
-                                           cfg.e2e_cache_capacity}) {}
+      : cfg_(cfg), server_(ServerConfig{.num_workers = 0}) {}
 
-  /// Serve one query batch end-to-end; returns the predictions.
+  /// Single-model convenience (the PR-2 shape): hosts `pipeline` under the
+  /// registry's default name.
+  ClipperSim(const core::OptimizedPipeline* pipeline, ClipperConfig cfg)
+      : ClipperSim(cfg) {
+    add_model("default", pipeline);
+  }
+
+  /// Register another hosted model (before the first async request; the
+  /// synchronous serve() path never freezes the registry).
+  void add_model(const std::string& name, const core::OptimizedPipeline* pipeline) {
+    ModelConfig model_cfg;
+    model_cfg.enable_e2e_cache = cfg_.enable_e2e_cache;
+    model_cfg.e2e_cache_capacity = cfg_.e2e_cache_capacity;
+    server_.register_model(name, pipeline, model_cfg);
+  }
+
+  /// Serve one query batch end-to-end against `model`; returns the
+  /// predictions.
+  std::vector<double> serve(std::string_view model, const data::Batch& batch);
+
+  /// Single-model convenience: serve against the first hosted model.
   std::vector<double> serve(const data::Batch& batch);
 
   /// End-to-end latency (seconds) of serving `batch` once.
+  double serve_timed(std::string_view model, const data::Batch& batch);
   double serve_timed(const data::Batch& batch);
 
   /// Frontend counters; cache hits come from the backing engine.
   ClipperStats stats() const;
   void reset_stats();
 
-  /// The request-level engine serving this frontend.
+  /// The model registry serving this frontend.
   Server& server() { return server_; }
   EndToEndCache& cache() { return server_.cache(); }
 
@@ -80,7 +104,7 @@ class ClipperSim {
  private:
   ClipperConfig cfg_;
   Server server_;
-  ClipperStats wire_stats_;  // queries/rows/serialize/rpc/inference timing
+  ClipperStats wire_stats_;  // queries/rows/serialize/rpc timing
 };
 
 }  // namespace willump::serving

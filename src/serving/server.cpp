@@ -1,5 +1,6 @@
 #include "serving/server.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 #include <utility>
 
@@ -7,149 +8,420 @@
 
 namespace willump::serving {
 
-Server::Server(const core::OptimizedPipeline* pipeline, ServerConfig cfg)
-    : pipeline_(pipeline),
-      cfg_(cfg),
-      cache_(cfg.e2e_cache_capacity),
-      queue_(cfg.queue_capacity) {
-  workers_.reserve(cfg_.num_workers);
-  for (std::size_t i = 0; i < cfg_.num_workers; ++i) {
-    workers_.emplace_back([this] { worker_loop(); });
-  }
+namespace {
+
+constexpr const char* kDefaultModelName = "default";
+
+std::chrono::steady_clock::duration micros_duration(double micros) {
+  return std::chrono::microseconds(
+      std::max<std::int64_t>(0, static_cast<std::int64_t>(micros)));
+}
+
+}  // namespace
+
+Server::Server(ServerConfig cfg) : cfg_(cfg) {}
+
+Server::Server(const core::OptimizedPipeline* pipeline, ServerConfig cfg,
+               ModelConfig model_cfg)
+    : cfg_(cfg) {
+  register_model(kDefaultModelName, pipeline, model_cfg);
+  start_serving();
 }
 
 Server::~Server() { shutdown(); }
 
+void Server::register_model(std::string name,
+                            const core::OptimizedPipeline* pipeline,
+                            ModelConfig cfg) {
+  if (pipeline == nullptr) {
+    throw std::invalid_argument("Server::register_model: null pipeline");
+  }
+  std::lock_guard<std::mutex> lock(registry_mu_);
+  if (stopping_.load(std::memory_order_acquire)) {
+    throw std::logic_error(
+        "Server::register_model: the engine is shut down");
+  }
+  if (started_.load(std::memory_order_acquire)) {
+    throw std::logic_error(
+        "Server::register_model: serving has started; register every model "
+        "before the first request");
+  }
+  if (by_name_.count(name) != 0) {
+    throw std::invalid_argument("Server::register_model: duplicate model \"" +
+                                name + "\"");
+  }
+  auto entry = std::make_unique<ModelEntry>(name, pipeline, cfg);
+  by_name_.emplace(entry->name, entry.get());
+  models_.push_back(std::move(entry));
+}
+
+std::vector<std::string> Server::model_names() const {
+  std::lock_guard<std::mutex> lock(registry_mu_);
+  std::vector<std::string> names;
+  names.reserve(models_.size());
+  for (const auto& m : models_) names.push_back(m->name);
+  return names;
+}
+
+bool Server::has_model(std::string_view model) const {
+  std::lock_guard<std::mutex> lock(registry_mu_);
+  return by_name_.find(model) != by_name_.end();
+}
+
+Server::ModelEntry& Server::find_model(std::string_view model) const {
+  // Once serving has started the registry is frozen, so lookups from the
+  // request path take no lock. Entries are heap-allocated and stable, so a
+  // reference obtained under the pre-start lock stays valid regardless of
+  // later (rejected) registration attempts.
+  auto lookup = [&]() -> ModelEntry* {
+    auto it = by_name_.find(model);
+    return it == by_name_.end() ? nullptr : it->second;
+  };
+  ModelEntry* entry = nullptr;
+  if (started_.load(std::memory_order_acquire)) {
+    entry = lookup();
+  } else {
+    std::lock_guard<std::mutex> lock(registry_mu_);
+    entry = lookup();
+  }
+  if (entry == nullptr) {
+    throw std::invalid_argument("Server: unknown model \"" +
+                                std::string(model) + "\"");
+  }
+  return *entry;
+}
+
+Server::ModelEntry& Server::first_model() const {
+  if (!started_.load(std::memory_order_acquire)) {
+    std::lock_guard<std::mutex> lock(registry_mu_);
+    if (models_.empty()) {
+      throw std::logic_error("Server: no models registered");
+    }
+    return *models_.front();
+  }
+  return *models_.front();
+}
+
+void Server::start_serving() {
+  if (started_.load(std::memory_order_acquire)) return;
+  std::lock_guard<std::mutex> lock(registry_mu_);
+  if (started_.load(std::memory_order_relaxed)) return;
+  // A submit racing shutdown() must not spawn workers after the join ran:
+  // they would exit unjoined and ~Server would std::terminate.
+  if (stopping_.load(std::memory_order_acquire)) {
+    throw runtime::QueueClosedError();
+  }
+  if (models_.empty()) {
+    throw std::logic_error("Server: no models registered");
+  }
+  if (cfg_.num_workers > 0) {
+    // Shard workers over the models by ModelConfig::workers weight: deal
+    // worker i the i-th slot of a ring where each model appears `workers`
+    // times, so a weight-2 model gets twice the dedicated drain capacity.
+    std::vector<ModelEntry*> ring;
+    for (const auto& m : models_) {
+      const std::size_t w = std::max<std::size_t>(1, m->cfg.workers);
+      for (std::size_t i = 0; i < w; ++i) ring.push_back(m.get());
+    }
+    if (!cfg_.work_stealing) {
+      // Without stealing, a model whose every ring slot falls outside the
+      // first num_workers positions would never be drained and its submits
+      // would block forever — an invalid configuration, not a runtime
+      // condition. (Models occupy consecutive ring slots, so checking each
+      // model's first slot is exact.) Validated before shards_ is built so
+      // a failed start leaves no partial state behind.
+      std::size_t first_slot = 0;
+      for (const auto& m : models_) {
+        if (first_slot >= cfg_.num_workers) {
+          throw std::logic_error(
+              "Server: work_stealing is disabled and model \"" + m->name +
+              "\" has no home worker; raise num_workers or enable stealing");
+        }
+        first_slot += std::max<std::size_t>(1, m->cfg.workers);
+      }
+    }
+    shards_.reserve(cfg_.num_workers);
+    for (std::size_t i = 0; i < cfg_.num_workers; ++i) {
+      shards_.push_back(ring[i % ring.size()]);
+    }
+  }
+  // Publish the frozen registry before any worker (or lock-free lookup)
+  // can observe started_ == true.
+  started_.store(true, std::memory_order_release);
+  workers_.reserve(cfg_.num_workers);
+  for (std::size_t i = 0; i < cfg_.num_workers; ++i) {
+    workers_.emplace_back([this, i] { worker_loop(i); });
+  }
+}
+
 void Server::shutdown() {
-  queue_.close();
+  stopping_.store(true, std::memory_order_release);
+  {
+    // Close under the registry lock so a racing register_model either
+    // observes stopping_ or has its queue closed here.
+    std::lock_guard<std::mutex> lock(registry_mu_);
+    for (const auto& m : models_) m->queue.close();
+  }
   std::lock_guard<std::mutex> lock(shutdown_mu_);
   if (joined_) return;
   for (auto& w : workers_) w.join();
   joined_ = true;
 }
 
+void Server::complete(Request& req, double prediction) {
+  if (req.done) {
+    try {
+      req.done(prediction, nullptr);
+    } catch (...) {
+      // Completion callbacks must not throw; swallowing here protects the
+      // worker (and the other requests of the batch) from a client bug.
+    }
+  } else {
+    req.promise.set_value(prediction);
+  }
+}
+
+void Server::complete_error(Request& req, const std::exception_ptr& err) {
+  if (req.done) {
+    try {
+      req.done(0.0, err);
+    } catch (...) {
+    }
+  } else {
+    req.promise.set_exception(err);
+  }
+}
+
+std::future<double> Server::submit(std::string_view model, data::Batch row) {
+  ModelEntry& m = find_model(model);
+  std::promise<double> promise;
+  auto future = promise.get_future();
+  submit_request(m, std::move(row), Callback{}, &promise);
+  return future;
+}
+
+void Server::submit(std::string_view model, data::Batch row, Callback done) {
+  if (!done) {
+    throw std::invalid_argument("Server::submit: empty completion callback");
+  }
+  ModelEntry& m = find_model(model);
+  submit_request(m, std::move(row), std::move(done), nullptr);
+}
+
 std::future<double> Server::submit(data::Batch row) {
+  ModelEntry& m = first_model();
+  std::promise<double> promise;
+  auto future = promise.get_future();
+  submit_request(m, std::move(row), Callback{}, &promise);
+  return future;
+}
+
+void Server::submit(data::Batch row, Callback done) {
+  if (!done) {
+    throw std::invalid_argument("Server::submit: empty completion callback");
+  }
+  ModelEntry& m = first_model();
+  submit_request(m, std::move(row), std::move(done), nullptr);
+}
+
+void Server::submit_request(ModelEntry& m, data::Batch row, Callback done,
+                            std::promise<double>* inline_promise) {
   if (row.num_rows() != 1) {
     throw std::invalid_argument("Server::submit: expects a single-row batch");
   }
   // Reject before counting or consulting the cache: a rejected request is
   // not a served query. (A close racing past this check is still caught by
   // the failed push below.)
-  if (queue_.closed()) throw runtime::QueueClosedError();
+  if (stopping_.load(std::memory_order_acquire)) {
+    throw runtime::QueueClosedError();
+  }
+  start_serving();
   {
-    std::lock_guard<std::mutex> lock(stats_mu_);
-    ++queries_;
+    std::lock_guard<std::mutex> lock(m.stats_mu);
+    ++m.queries;
   }
 
   Request req;
   req.accepted = std::chrono::steady_clock::now();
-  if (cfg_.enable_e2e_cache) {
+  req.done = std::move(done);
+  if (inline_promise != nullptr) req.promise = std::move(*inline_promise);
+
+  if (m.cfg.enable_e2e_cache) {
     req.cache_key = EndToEndCache::key_of(row);
-    if (auto hit = cache_.get(req.cache_key)) {
+    if (auto hit = m.cache.get(req.cache_key)) {
       // Answered before enqueue: the whole pipeline is skipped, which is
       // the point of end-to-end caching (paper §4.5).
-      std::promise<double> ready;
-      auto future = ready.get_future();
-      ready.set_value(*hit);
-      std::lock_guard<std::mutex> lock(stats_mu_);
-      ++cache_hits_;
-      latencies_.record(0.0);
-      return future;
+      {
+        std::lock_guard<std::mutex> lock(m.stats_mu);
+        ++m.cache_hits;
+        m.latencies.record(0.0);
+      }
+      complete(req, *hit);
+      return;
     }
   }
   req.row = std::move(row);
-  auto future = req.promise.get_future();
-  if (workers_.empty()) {
-    // Synchronous-only configuration (num_workers = 0): execute the lone
-    // request inline on the caller's thread. No queue, no coalescing.
+  if (cfg_.num_workers == 0) {
+    // Synchronous-only configuration: execute the lone request inline on
+    // the caller's thread. No queue, no coalescing.
     std::vector<Request> reqs;
     reqs.push_back(std::move(req));
-    execute(reqs);
-    return future;
+    execute(m, reqs, /*stolen=*/false);
+    return;
   }
-  if (!queue_.push(std::move(req))) {
+  if (!m.queue.push(std::move(req))) {
     throw runtime::QueueClosedError();
   }
-  return future;
 }
 
-void Server::worker_loop() {
-  // Drain until the queue is closed AND empty (shutdown drains accepted work).
-  while (auto first = queue_.pop()) {
-    std::vector<Request> reqs;
-    reqs.push_back(std::move(*first));
+void Server::worker_loop(std::size_t worker_index) {
+  ModelEntry* home = shards_[worker_index];
+  const auto quantum = micros_duration(std::max(1.0, cfg_.steal_quantum_micros));
+  // Rotating sweep start so concurrently idle workers don't all gang up on
+  // the same victim queue.
+  std::size_t sweep_start = worker_index + 1;
+  const bool single_queue = models_.size() == 1;
 
-    // Adaptive micro-batching (Clipper policy): coalesce queued queries up
-    // to max_batch, or until max_delay has elapsed since the *first* query
-    // of this batch was accepted. With max_delay 0 the deadline is already
-    // past and pop_until degrades to a non-blocking drain.
+  for (;;) {
+    // Idle policy: a condition-variable wait on the home queue, bounded by
+    // one steal quantum — not a spin. With a single queue the wait is
+    // unbounded (nothing to steal; close() wakes it for shutdown).
+    std::optional<Request> first =
+        single_queue
+            ? home->queue.pop()
+            : home->queue.pop_until(std::chrono::steady_clock::now() + quantum);
+    ModelEntry* owner = home;
+
+    if (!first && !single_queue &&
+        (cfg_.work_stealing || stopping_.load(std::memory_order_acquire))) {
+      // One non-blocking sweep over the other models' queues. During
+      // shutdown the sweep runs even with stealing disabled: the drain
+      // guarantee outranks the sharding preference.
+      for (std::size_t k = 0; k < models_.size() && !first; ++k) {
+        ModelEntry* cand = models_[(sweep_start + k) % models_.size()].get();
+        if (cand == home) continue;
+        first = cand->queue.try_pop();
+        if (first) owner = cand;
+      }
+      ++sweep_start;
+    }
+
+    if (!first) {
+      if (drained_after_close()) return;
+      continue;
+    }
+    run_batch(*owner, std::move(*first), owner != home);
+  }
+}
+
+bool Server::drained_after_close() const {
+  if (!stopping_.load(std::memory_order_acquire)) return false;
+  for (const auto& m : models_) {
+    if (m->queue.size() != 0) return false;
+  }
+  return true;
+}
+
+void Server::run_batch(ModelEntry& m, Request first, bool stolen) {
+  std::vector<Request> reqs;
+  reqs.push_back(std::move(first));
+
+  // Adaptive micro-batching (Clipper policy): coalesce queued queries up to
+  // the model's live cap — AIMD-tuned when enabled — or until max_delay has
+  // elapsed since the *first* query of this batch was accepted. The bulk
+  // drain takes everything already queued in one lock acquisition; the
+  // pop_until loop then waits out the remainder of the flush window. With
+  // max_delay 0 the deadline is already past and the wait degrades to a
+  // non-blocking drain.
+  const std::size_t cap = std::max<std::size_t>(1, m.aimd.cap());
+  if (reqs.size() < cap) {
+    m.queue.drain(reqs, cap - reqs.size());
     const auto deadline =
-        reqs.front().accepted +
-        std::chrono::microseconds(
-            static_cast<std::int64_t>(cfg_.max_delay_micros));
-    while (reqs.size() < cfg_.max_batch) {
-      auto next = queue_.pop_until(deadline);
+        reqs.front().accepted + micros_duration(m.cfg.max_delay_micros);
+    while (reqs.size() < cap) {
+      auto next = m.queue.pop_until(deadline);
       if (!next) break;
       reqs.push_back(std::move(*next));
+      if (reqs.size() < cap) m.queue.drain(reqs, cap - reqs.size());
     }
-    execute(reqs);
   }
+  execute(m, reqs, stolen);
 }
 
-void Server::execute(std::vector<Request>& reqs) {
-  data::Batch combined = reqs.front().row;
-  for (std::size_t i = 1; i < reqs.size(); ++i) {
-    combined.append_rows(reqs[i].row);
-  }
-
+void Server::execute(ModelEntry& m, std::vector<Request>& reqs, bool stolen) {
   common::Timer timer;
   std::vector<double> preds;
   try {
-    preds = pipeline_->predict(combined);
+    // Combining inside the try keeps a malformed row (e.g. a schema that
+    // does not match the model's) from escaping on the worker thread: the
+    // whole batch is failed through its completions instead.
+    data::Batch combined = reqs.front().row;
+    for (std::size_t i = 1; i < reqs.size(); ++i) {
+      combined.append_rows(reqs[i].row);
+    }
+    preds = m.pipeline->predict(combined);
   } catch (...) {
-    const auto err = std::current_exception();
-    for (auto& r : reqs) r.promise.set_exception(err);
+    if (reqs.size() == 1) {
+      complete_error(reqs.front(), std::current_exception());
+      return;
+    }
+    // Isolate the failure: one malformed request must not fail the
+    // well-formed queries that happened to coalesce with it. Re-execute
+    // each request as its own batch — only the offending one(s) see the
+    // error. Failures are the rare path, so the lost amortization is noise.
+    for (auto& r : reqs) {
+      std::vector<Request> one;
+      one.push_back(std::move(r));
+      execute(m, one, stolen);
+    }
     return;
   }
   const double secs = timer.elapsed_seconds();
   const auto completed = std::chrono::steady_clock::now();
 
-  // Record stats before fulfilling any promise: a client observing its
+  // Feed the controller before the next batch is coalesced so the cap
+  // reflects this batch's observed latency.
+  m.aimd.on_batch(reqs.size(), secs);
+
+  // Record stats before fulfilling any completion: a client observing its
   // future ready must also observe the counters for its own batch.
   {
-    std::lock_guard<std::mutex> lock(stats_mu_);
-    ++batches_;
-    rows_ += reqs.size();
-    largest_batch_ = std::max(largest_batch_, reqs.size());
-    inference_seconds_ += secs;
+    std::lock_guard<std::mutex> lock(m.stats_mu);
+    ++m.batches;
+    m.rows += reqs.size();
+    m.largest_batch = std::max(m.largest_batch, reqs.size());
+    if (stolen) ++m.stolen_batches;
+    m.inference_seconds += secs;
     for (const auto& r : reqs) {
-      latencies_.record(
+      m.latencies.record(
           std::chrono::duration<double>(completed - r.accepted).count());
     }
   }
 
   for (std::size_t i = 0; i < reqs.size(); ++i) {
-    if (cfg_.enable_e2e_cache) {
-      cache_.put(reqs[i].cache_key, preds[i]);
+    if (m.cfg.enable_e2e_cache) {
+      m.cache.put(reqs[i].cache_key, preds[i]);
     }
-    reqs[i].promise.set_value(preds[i]);
+    complete(reqs[i], preds[i]);
   }
 }
 
-std::vector<double> Server::predict_batch(const data::Batch& batch) {
+std::vector<double> Server::predict_batch(std::string_view model,
+                                          const data::Batch& batch) {
+  ModelEntry& m = find_model(model);
   const std::size_t n = batch.num_rows();
   std::vector<double> preds(n, 0.0);
   std::size_t batch_hits = 0;
   std::size_t executed_rows = 0;  // rows the pipeline actually saw
   double secs = 0.0;
 
-  if (cfg_.enable_e2e_cache) {
+  if (m.cfg.enable_e2e_cache) {
     std::vector<std::size_t> missing;
     std::vector<std::uint64_t> keys(n);
     for (std::size_t r = 0; r < n; ++r) {
       const data::Batch row = batch.row(r);
       keys[r] = EndToEndCache::key_of(row);
-      if (auto hit = cache_.get(keys[r])) {
+      if (auto hit = m.cache.get(keys[r])) {
         preds[r] = *hit;
         ++batch_hits;
       } else {
@@ -158,39 +430,41 @@ std::vector<double> Server::predict_batch(const data::Batch& batch) {
     }
     if (!missing.empty()) {
       common::Timer timer;
-      const auto missing_preds = pipeline_->predict(batch.select_rows(missing));
+      const auto missing_preds =
+          m.pipeline->predict(batch.select_rows(missing));
       secs = timer.elapsed_seconds();
       executed_rows = missing.size();
       for (std::size_t i = 0; i < missing.size(); ++i) {
         preds[missing[i]] = missing_preds[i];
-        cache_.put(keys[missing[i]], missing_preds[i]);
+        m.cache.put(keys[missing[i]], missing_preds[i]);
       }
     }
   } else {
     common::Timer timer;
-    preds = pipeline_->predict(batch);
+    preds = m.pipeline->predict(batch);
     secs = timer.elapsed_seconds();
     executed_rows = n;
   }
 
-  std::lock_guard<std::mutex> lock(stats_mu_);
-  queries_ += n;
-  cache_hits_ += batch_hits;
+  std::lock_guard<std::mutex> lock(m.stats_mu);
+  m.queries += n;
+  m.cache_hits += batch_hits;
   if (executed_rows > 0) {
     // batches counts pipeline executions; a fully cached call runs none.
-    ++batches_;
-    rows_ += executed_rows;
-    largest_batch_ = std::max(largest_batch_, executed_rows);
-    inference_seconds_ += secs;
+    ++m.batches;
+    m.rows += executed_rows;
+    m.largest_batch = std::max(m.largest_batch, executed_rows);
+    m.inference_seconds += secs;
   }
   return preds;
 }
 
-std::vector<double> Server::predict_rows(const data::Batch& batch) {
+std::vector<double> Server::predict_rows(std::string_view model,
+                                         const data::Batch& batch) {
   std::vector<std::future<double>> futures;
   futures.reserve(batch.num_rows());
   for (std::size_t r = 0; r < batch.num_rows(); ++r) {
-    futures.push_back(submit(batch.row(r)));
+    futures.push_back(submit(model, batch.row(r)));
   }
   std::vector<double> preds;
   preds.reserve(futures.size());
@@ -198,29 +472,89 @@ std::vector<double> Server::predict_rows(const data::Batch& batch) {
   return preds;
 }
 
+std::vector<double> Server::predict_batch(const data::Batch& batch) {
+  return predict_batch(first_model().name, batch);
+}
+
+std::vector<double> Server::predict_rows(const data::Batch& batch) {
+  return predict_rows(first_model().name, batch);
+}
+
+ModelStats Server::stats(std::string_view model) const {
+  const ModelEntry& m = find_model(model);
+  ModelStats s;
+  const AimdCounters aimd = m.aimd.counters();
+  std::lock_guard<std::mutex> lock(m.stats_mu);
+  s.model = m.name;
+  s.queries = m.queries;
+  s.cache_hits = m.cache_hits;
+  s.batches = m.batches;
+  s.rows = m.rows;
+  s.largest_batch = m.largest_batch;
+  s.stolen_batches = m.stolen_batches;
+  s.inference_seconds = m.inference_seconds;
+  s.latency = m.latencies.summary();
+  s.latency_samples = m.latencies.count();
+  s.current_max_batch = aimd.current_max_batch;
+  s.aimd_increases = aimd.increases;
+  s.aimd_backoffs = aimd.backoffs;
+  return s;
+}
+
 ServerStats Server::stats() const {
-  std::lock_guard<std::mutex> lock(stats_mu_);
+  // Pre-start, the registry can still be mutating: hold the lock for the
+  // snapshot. Post-start it is frozen and per-model locks suffice.
+  std::unique_lock<std::mutex> registry_lock(registry_mu_, std::defer_lock);
+  if (!started_.load(std::memory_order_acquire)) registry_lock.lock();
+
   ServerStats s;
-  s.queries = queries_;
-  s.cache_hits = cache_hits_;
-  s.batches = batches_;
-  s.rows = rows_;
-  s.largest_batch = largest_batch_;
-  s.inference_seconds = inference_seconds_;
-  s.latency = latencies_.summary();
-  s.latency_samples = latencies_.count();
+  common::LatencyRecorder merged;
+  s.models = models_.size();
+  for (const auto& m : models_) {
+    std::lock_guard<std::mutex> lock(m->stats_mu);
+    s.queries += m->queries;
+    s.cache_hits += m->cache_hits;
+    s.batches += m->batches;
+    s.rows += m->rows;
+    s.largest_batch = std::max(s.largest_batch, m->largest_batch);
+    s.stolen_batches += m->stolen_batches;
+    s.inference_seconds += m->inference_seconds;
+    merged.merge(m->latencies);
+  }
+  s.latency = merged.summary();
+  s.latency_samples = merged.count();
   return s;
 }
 
 void Server::reset_stats() {
-  std::lock_guard<std::mutex> lock(stats_mu_);
-  queries_ = 0;
-  cache_hits_ = 0;
-  batches_ = 0;
-  rows_ = 0;
-  largest_batch_ = 0;
-  inference_seconds_ = 0.0;
-  latencies_.clear();
+  std::unique_lock<std::mutex> registry_lock(registry_mu_, std::defer_lock);
+  if (!started_.load(std::memory_order_acquire)) registry_lock.lock();
+  for (const auto& m : models_) {
+    std::lock_guard<std::mutex> lock(m->stats_mu);
+    m->queries = 0;
+    m->cache_hits = 0;
+    m->batches = 0;
+    m->rows = 0;
+    m->largest_batch = 0;
+    m->stolen_batches = 0;
+    m->inference_seconds = 0.0;
+    m->latencies.clear();
+    m->aimd.reset_counters();
+  }
+}
+
+std::size_t Server::current_max_batch(std::string_view model) const {
+  return find_model(model).aimd.cap();
+}
+
+EndToEndCache& Server::cache(std::string_view model) {
+  return find_model(model).cache;
+}
+
+EndToEndCache& Server::cache() { return first_model().cache; }
+
+const core::OptimizedPipeline& Server::pipeline(std::string_view model) const {
+  return *find_model(model).pipeline;
 }
 
 }  // namespace willump::serving

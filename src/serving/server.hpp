@@ -1,50 +1,101 @@
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <functional>
 #include <future>
+#include <memory>
 #include <mutex>
+#include <string>
+#include <string_view>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "common/stats.hpp"
 #include "core/optimizer.hpp"
 #include "runtime/request_queue.hpp"
+#include "serving/aimd.hpp"
 #include "serving/e2e_cache.hpp"
 
 namespace willump::serving {
 
-/// Threading and batching policy of the request-level serving engine.
-struct ServerConfig {
-  /// Worker threads draining the request queue. 0 = synchronous-only: no
-  /// threads are spawned, submit() executes inline on the caller (no
-  /// coalescing) — the right mode when only predict_batch() is used, e.g.
-  /// by a batch-at-a-time frontend embedding the engine.
-  std::size_t num_workers = 1;
-  /// Adaptive micro-batching (the Clipper policy, NSDI 2017 §4.3): a worker
-  /// coalesces up to `max_batch` queued pointwise queries into one pipeline
-  /// execution...
+/// Per-model policy of a registry entry: its queue bound, batching policy
+/// (fixed cap or AIMD-tuned), end-to-end cache, and worker-shard weight.
+struct ModelConfig {
+  /// Batch cap the adaptive micro-batching starts from. With AIMD enabled
+  /// this is only the initial value; otherwise it is the fixed cap.
   std::size_t max_batch = 16;
-  /// ...and flushes a partially filled batch once `max_delay_micros` has
-  /// elapsed since its first query was accepted. 0 = drain-only: execute
-  /// whatever is queued without waiting, so an idle engine adds no latency.
+  /// Flush a partially filled batch once this much time has elapsed since
+  /// its first query was accepted. 0 = drain-only (no added idle latency).
   double max_delay_micros = 0.0;
-  /// Request-queue bound; pushes beyond it block (back-pressure). 0 = unbounded.
+  /// Per-model request-queue bound; pushes beyond it block (back-pressure).
+  /// 0 = unbounded.
   std::size_t queue_capacity = 0;
   /// Clipper-style end-to-end prediction cache, checked before enqueue.
   bool enable_e2e_cache = false;
   std::size_t e2e_cache_capacity = 0;
+  /// How many of the engine's workers call this model home (shard weight).
+  /// Workers are dealt round-robin over a list where each model appears
+  /// `workers` times; an idle worker steals from other models regardless.
+  std::size_t workers = 1;
+  /// Online AIMD tuning of `max_batch` (Clipper's controller). Disabled by
+  /// default: the cap stays fixed.
+  AimdConfig aimd;
 };
 
-/// Aggregate serving counters (snapshot; see Server::stats()).
-struct ServerStats {
+/// Engine-wide threading policy of the serving registry.
+struct ServerConfig {
+  /// Worker threads shared by all registered models, sharded by
+  /// ModelConfig::workers weights. 0 = synchronous-only: no threads are
+  /// spawned and submit() executes inline on the caller (no coalescing) —
+  /// the right mode for a batch-at-a-time frontend embedding the engine.
+  std::size_t num_workers = 1;
+  /// Let a worker whose home queue is idle drain other models' queues, so
+  /// a hot model borrows an idle model's workers.
+  bool work_stealing = true;
+  /// How long an idle worker waits on its home queue's condition variable
+  /// before one non-blocking steal sweep over the other queues. This is a
+  /// CV wait, not a spin: an idle engine costs one wakeup per worker per
+  /// quantum.
+  double steal_quantum_micros = 500.0;
+};
+
+/// Per-model serving counters (snapshot; see Server::stats(model)).
+struct ModelStats {
+  std::string model;
   std::size_t queries = 0;       // pointwise queries accepted via submit()
   std::size_t cache_hits = 0;    // answered from the e2e cache, never enqueued
   std::size_t batches = 0;       // pipeline executions (coalesced or client batches)
   std::size_t rows = 0;          // rows through the pipeline
   std::size_t largest_batch = 0; // biggest single pipeline execution
+  std::size_t stolen_batches = 0;  // batches executed by a non-home worker
   double inference_seconds = 0.0;
   common::Summary latency;       // submit()-to-completion seconds per query
+  std::size_t latency_samples = 0;
+  /// AIMD controller state: the live cap and how it got there.
+  std::size_t current_max_batch = 0;
+  std::size_t aimd_increases = 0;
+  std::size_t aimd_backoffs = 0;
+
+  double mean_batch_rows() const {
+    return batches == 0 ? 0.0
+                        : static_cast<double>(rows) / static_cast<double>(batches);
+  }
+};
+
+/// Aggregate serving counters over every registered model.
+struct ServerStats {
+  std::size_t models = 0;
+  std::size_t queries = 0;
+  std::size_t cache_hits = 0;
+  std::size_t batches = 0;
+  std::size_t rows = 0;
+  std::size_t largest_batch = 0;
+  std::size_t stolen_batches = 0;
+  double inference_seconds = 0.0;
+  common::Summary latency;
   std::size_t latency_samples = 0;
 
   double mean_batch_rows() const {
@@ -53,84 +104,186 @@ struct ServerStats {
   }
 };
 
-/// A concurrent request-level serving engine over one optimized pipeline.
+/// A multi-model request-level serving engine: the registry frontend the
+/// paper's Table 6 deployment (Willump behind Clipper) presupposes.
 ///
-/// This is the frontend the paper's Table 6 experiment presupposes: clients
-/// submit pointwise queries from any number of threads; N workers drain a
-/// bounded MPMC queue and amortize fixed per-query overheads by coalescing
-/// queued queries into micro-batches (Clipper's adaptive batching), executed
-/// through core::OptimizedPipeline — whose predict path is thread-safe for
-/// exactly this sharing. An optional Clipper-style end-to-end cache answers
-/// repeat queries before they are enqueued.
+/// `Server` hosts N named `core::OptimizedPipeline`s. Each registered model
+/// owns a bounded MPMC `runtime::RequestQueue`, a batching policy whose
+/// `max_batch` can be tuned online by an AIMD controller against a latency
+/// SLO (Clipper, NSDI 2017 §4.3), and an optional end-to-end prediction
+/// cache consulted before enqueue. The engine's workers are sharded across
+/// models by `ModelConfig::workers` weight; an idle worker parks on its
+/// home queue's condition variable and periodically steals from hot
+/// models' queues, so capacity follows load.
 ///
-/// Every future returned by submit() is eventually satisfied: shutdown
-/// closes the queue to new work but drains accepted requests first.
+/// Completion is delivered either through a `std::future` or — the
+/// open-loop-friendly async path — through a callback invoked on the worker
+/// that executed the batch. Every accepted request is eventually completed:
+/// shutdown closes the queues to new work but drains accepted requests
+/// first.
+///
+/// Registration happens before serving: `register_model` throws
+/// std::logic_error once the first request has started the workers.
 class Server {
  public:
-  Server(const core::OptimizedPipeline* pipeline, ServerConfig cfg);
+  /// Completion callback of the async path: exactly one of `prediction`
+  /// (with `error == nullptr`) or `error` is meaningful. Invoked on a
+  /// worker thread (or inline on the caller for cache hits and the
+  /// synchronous-only mode); must not throw — escaped exceptions are
+  /// swallowed to protect the workers.
+  using Callback = std::function<void(double prediction, std::exception_ptr error)>;
+
+  /// An empty registry; call register_model() before submitting.
+  explicit Server(ServerConfig cfg = {});
+
+  /// Single-model convenience: registers `pipeline` under the name
+  /// "default" with `model_cfg` and starts serving immediately.
+  Server(const core::OptimizedPipeline* pipeline, ServerConfig cfg,
+         ModelConfig model_cfg = {});
+
   ~Server();
 
   Server(const Server&) = delete;
   Server& operator=(const Server&) = delete;
 
-  /// Submit one pointwise query (a single-row batch). Returns a future for
-  /// its prediction; blocks only when the request queue is full. Throws
+  /// Register a named pipeline. Throws std::invalid_argument on a duplicate
+  /// name and std::logic_error once serving has started (first submit) or
+  /// after shutdown.
+  void register_model(std::string name, const core::OptimizedPipeline* pipeline,
+                      ModelConfig cfg = {});
+
+  /// Registered model names, in registration order.
+  std::vector<std::string> model_names() const;
+  bool has_model(std::string_view model) const;
+
+  /// Submit one pointwise query (a single-row batch) to `model`. Returns a
+  /// future for its prediction; blocks only when the model's queue is full.
+  /// Throws std::invalid_argument for an unknown model and
   /// runtime::QueueClosedError after shutdown().
-  std::future<double> submit(data::Batch row);
+  std::future<double> submit(std::string_view model, data::Batch row);
+
+  /// Async completion path: like submit(model, row) but delivers the
+  /// prediction (or error) through `done` instead of a future, so an
+  /// open-loop driver needs no thread or future per in-flight request.
+  void submit(std::string_view model, data::Batch row, Callback done);
 
   /// Synchronous pre-batched entry: run a whole client batch through the
-  /// e2e cache and the pipeline on the calling thread. This is the path a
-  /// batch-at-a-time frontend (ClipperSim) uses; it shares the cache and
+  /// model's e2e cache and pipeline on the calling thread. This is the path
+  /// a batch-at-a-time frontend (ClipperSim) uses; it shares the cache and
   /// accounting with submit() but bypasses the queue, so the client's batch
   /// composition is preserved exactly.
-  std::vector<double> predict_batch(const data::Batch& batch);
+  std::vector<double> predict_batch(std::string_view model,
+                                    const data::Batch& batch);
 
-  /// Submit every row of `batch` as pointwise queries and wait for all of
-  /// them (closed-loop convenience; rows coalesce with any other queued
-  /// traffic).
+  /// Submit every row of `batch` as pointwise queries to `model` and wait
+  /// for all of them (closed-loop convenience; rows coalesce with any other
+  /// queued traffic).
+  std::vector<double> predict_rows(std::string_view model,
+                                   const data::Batch& batch);
+
+  /// Single-model conveniences: route to the first registered model (the
+  /// one the single-model constructor registers as "default").
+  std::future<double> submit(data::Batch row);
+  void submit(data::Batch row, Callback done);
+  std::vector<double> predict_batch(const data::Batch& batch);
   std::vector<double> predict_rows(const data::Batch& batch);
 
   /// Stop accepting queries, drain everything accepted, join the workers.
   /// Idempotent; also run by the destructor.
   void shutdown();
 
+  ModelStats stats(std::string_view model) const;
   ServerStats stats() const;
   void reset_stats();
 
-  EndToEndCache& cache() { return cache_; }
+  /// The live (possibly AIMD-tuned) batch cap of `model`.
+  std::size_t current_max_batch(std::string_view model) const;
+
+  EndToEndCache& cache(std::string_view model);
+  EndToEndCache& cache();  // first registered model
+  const core::OptimizedPipeline& pipeline(std::string_view model) const;
   const ServerConfig& config() const { return cfg_; }
-  const core::OptimizedPipeline& pipeline() const { return *pipeline_; }
 
  private:
   struct Request {
     data::Batch row;
-    std::promise<double> promise;
+    std::promise<double> promise;  // used when `done` is empty
+    Callback done;                 // async path when non-empty
     std::uint64_t cache_key = 0;
     std::chrono::steady_clock::time_point accepted;
   };
 
-  void worker_loop();
-  /// Execute one coalesced batch and fulfill its promises.
-  void execute(std::vector<Request>& reqs);
-  void record_latencies(const std::vector<Request>& reqs,
-                        std::chrono::steady_clock::time_point completed);
+  struct ModelEntry {
+    std::string name;
+    const core::OptimizedPipeline* pipeline;
+    ModelConfig cfg;
+    EndToEndCache cache;
+    runtime::RequestQueue<Request> queue;
+    AimdBatchController aimd;
 
-  const core::OptimizedPipeline* pipeline_;
+    mutable std::mutex stats_mu;
+    std::size_t queries = 0;
+    std::size_t cache_hits = 0;
+    std::size_t batches = 0;
+    std::size_t rows = 0;
+    std::size_t largest_batch = 0;
+    std::size_t stolen_batches = 0;
+    double inference_seconds = 0.0;
+    common::LatencyRecorder latencies;
+
+    ModelEntry(std::string model_name, const core::OptimizedPipeline* p,
+               ModelConfig c)
+        : name(std::move(model_name)),
+          pipeline(p),
+          cfg(c),
+          cache(c.e2e_cache_capacity),
+          queue(c.queue_capacity),
+          aimd(c.max_batch, c.aimd) {}
+  };
+
+  /// Lookup that throws std::invalid_argument for unknown names. The
+  /// registry is append-only and frozen once serving starts, so lookups
+  /// from serving threads need no lock (see start_serving).
+  ModelEntry& find_model(std::string_view model) const;
+  ModelEntry& first_model() const;
+
+  /// Spawn the workers on the first request (freezes the registry).
+  void start_serving();
+  /// Shared enqueue path behind both submit overloads.
+  void submit_request(ModelEntry& m, data::Batch row, Callback done,
+                      std::promise<double>* inline_promise);
+  void worker_loop(std::size_t worker_index);
+  /// Coalesce up to the model's live cap starting from `first`, execute,
+  /// and fulfill completions.
+  void run_batch(ModelEntry& m, Request first, bool stolen);
+  void execute(ModelEntry& m, std::vector<Request>& reqs, bool stolen);
+  /// True once shutdown started and every model queue is empty.
+  bool drained_after_close() const;
+  static void complete(Request& req, double prediction);
+  static void complete_error(Request& req, const std::exception_ptr& err);
+
+  /// Heterogeneous lookup support: find by string_view with no per-request
+  /// std::string materialization on the submit hot path.
+  struct NameHash {
+    using is_transparent = void;
+    std::size_t operator()(std::string_view s) const {
+      return std::hash<std::string_view>{}(s);
+    }
+  };
+
   const ServerConfig cfg_;
-  EndToEndCache cache_;
-  runtime::RequestQueue<Request> queue_;
+
+  mutable std::mutex registry_mu_;  // guards registration & start
+  std::vector<std::unique_ptr<ModelEntry>> models_;  // registration order
+  std::unordered_map<std::string, ModelEntry*, NameHash, std::equal_to<>>
+      by_name_;
+  std::atomic<bool> started_{false};
+  std::atomic<bool> stopping_{false};
+
+  std::vector<ModelEntry*> shards_;  // worker i's home model
   std::vector<std::thread> workers_;
   bool joined_ = false;
   std::mutex shutdown_mu_;
-
-  mutable std::mutex stats_mu_;
-  std::size_t queries_ = 0;
-  std::size_t cache_hits_ = 0;
-  std::size_t batches_ = 0;
-  std::size_t rows_ = 0;
-  std::size_t largest_batch_ = 0;
-  double inference_seconds_ = 0.0;
-  common::LatencyRecorder latencies_;
 };
 
 }  // namespace willump::serving

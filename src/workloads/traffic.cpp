@@ -2,7 +2,9 @@
 
 #include <chrono>
 #include <cmath>
-#include <future>
+#include <condition_variable>
+#include <functional>
+#include <mutex>
 #include <thread>
 
 #include "common/timer.hpp"
@@ -11,14 +13,17 @@ namespace willump::workloads {
 
 namespace {
 
-/// Shared TrafficResult assembly from server-stats deltas and client-side
-/// latencies (offered_qps stays 0 unless the caller sets it).
-TrafficResult make_result(const serving::ServerStats& before,
-                          const serving::ServerStats& after,
+/// Shared TrafficResult assembly from serving-stats deltas and client-side
+/// latencies (offered_qps stays 0 unless the caller sets it). Works for
+/// both per-model (ModelStats) and aggregate (ServerStats) snapshots,
+/// which share their counter fields.
+template <typename Stats>
+TrafficResult make_result(const Stats& before, const Stats& after,
                           const common::LatencyRecorder& latencies,
-                          double duration) {
+                          double duration, std::size_t errors = 0) {
   TrafficResult res;
   res.completed = latencies.count();
+  res.errors = errors;
   res.duration_seconds = duration;
   res.achieved_qps =
       duration > 0.0 ? static_cast<double>(res.completed) / duration : 0.0;
@@ -30,6 +35,99 @@ TrafficResult make_result(const serving::ServerStats& before,
                    : static_cast<double>(after.rows - before.rows) /
                          static_cast<double>(batches);
   return res;
+}
+
+/// Completion rendezvous of the open-loop drivers: callbacks record their
+/// slice's latency at the moment they fire (on the executing worker), and
+/// the dispatcher blocks on the condition variable until every in-flight
+/// request has completed — no thread or future per request.
+class CompletionBoard {
+ public:
+  explicit CompletionBoard(std::size_t slices)
+      : latencies_(slices), errors_(slices, 0) {}
+
+  void launched() {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++pending_;
+  }
+
+  void finish(std::size_t slice, double seconds, bool error) {
+    std::lock_guard<std::mutex> lock(mu_);
+    latencies_[slice].record(seconds);
+    if (error) ++errors_[slice];
+    if (--pending_ == 0) all_done_.notify_all();
+  }
+
+  void wait_all() {
+    std::unique_lock<std::mutex> lock(mu_);
+    all_done_.wait(lock, [this] { return pending_ == 0; });
+  }
+
+  const common::LatencyRecorder& latencies(std::size_t slice) const {
+    return latencies_[slice];
+  }
+  std::size_t errors(std::size_t slice) const { return errors_[slice]; }
+
+  common::LatencyRecorder merged() const {
+    common::LatencyRecorder all;
+    for (const auto& r : latencies_) all.merge(r);
+    return all;
+  }
+  std::size_t total_errors() const {
+    std::size_t n = 0;
+    for (auto e : errors_) n += e;
+    return n;
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable all_done_;
+  std::size_t pending_ = 0;
+  std::vector<common::LatencyRecorder> latencies_;
+  std::vector<std::size_t> errors_;
+};
+
+/// Dispatch one Poisson-paced open-loop stream. `pick_slice` chooses the
+/// mixed-traffic slice for each arrival; `samplers` and `models` are
+/// indexed by slice.
+void dispatch_open_loop(serving::Server& server,
+                        const std::vector<std::string>& models,
+                        std::vector<QuerySampler>& samplers,
+                        const std::function<std::size_t()>& pick_slice,
+                        std::size_t n_queries, double qps, std::uint64_t seed,
+                        CompletionBoard& board) {
+  common::Rng arrival_rng(seed ^ 0xA881);
+  const auto gaps = poisson_interarrival_seconds(n_queries, qps, arrival_rng);
+
+  const auto start = std::chrono::steady_clock::now();
+  double next_arrival = 0.0;
+  for (std::size_t q = 0; q < n_queries; ++q) {
+    next_arrival += gaps[q];
+    const auto when =
+        start + std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                    std::chrono::duration<double>(next_arrival));
+    std::this_thread::sleep_until(when);
+
+    const std::size_t slice = pick_slice();
+    const auto submitted = std::chrono::steady_clock::now();
+    board.launched();
+    try {
+      server.submit(models[slice], samplers[slice].next(),
+                    [&board, slice, submitted](double /*prediction*/,
+                                               std::exception_ptr error) {
+                      const double secs =
+                          std::chrono::duration<double>(
+                              std::chrono::steady_clock::now() - submitted)
+                              .count();
+                      board.finish(slice, secs, error != nullptr);
+                    });
+    } catch (...) {
+      // Rejected at submission (engine shut down mid-run): account it as an
+      // errored zero-latency completion so wait_all() still terminates.
+      board.finish(slice, 0.0, /*error=*/true);
+    }
+  }
+  board.wait_all();
 }
 
 }  // namespace
@@ -62,82 +160,147 @@ std::vector<double> poisson_interarrival_seconds(std::size_t n, double qps,
   return gaps;
 }
 
+TrafficResult run_closed_loop(serving::Server& server, const std::string& model,
+                              const Workload& wl, std::size_t clients,
+                              std::size_t queries_per_client, double zipf_s,
+                              std::uint64_t seed) {
+  std::vector<ModelTraffic> mix(1);
+  mix[0].model = model;
+  mix[0].wl = &wl;
+  mix[0].zipf_s = zipf_s;
+  mix[0].clients = clients;
+  auto res = run_mixed_closed_loop(server, mix, queries_per_client, seed);
+  return res.per_model.front().second;
+}
+
 TrafficResult run_closed_loop(serving::Server& server, const Workload& wl,
                               std::size_t clients,
                               std::size_t queries_per_client, double zipf_s,
                               std::uint64_t seed) {
-  std::vector<common::LatencyRecorder> per_client(clients);
-  std::vector<std::thread> threads;
-  threads.reserve(clients);
+  return run_closed_loop(server, server.model_names().front(), wl, clients,
+                         queries_per_client, zipf_s, seed);
+}
 
-  const auto before = server.stats();
-  common::Timer wall;
-  for (std::size_t c = 0; c < clients; ++c) {
-    threads.emplace_back([&, c] {
-      // Per-client sampler: deterministic run-to-run regardless of thread
-      // interleaving.
-      QuerySampler sampler(wl, zipf_s, seed + 0x9E3779B9u * (c + 1));
-      for (std::size_t q = 0; q < queries_per_client; ++q) {
-        common::Timer t;
-        server.submit(sampler.next()).get();
-        per_client[c].record(t.elapsed_seconds());
-      }
-    });
-  }
-  for (auto& t : threads) t.join();
-  const double duration = wall.elapsed_seconds();
-  const auto after = server.stats();
-
-  common::LatencyRecorder all;
-  for (const auto& r : per_client) all.merge(r);
-  return make_result(before, after, all, duration);
+TrafficResult run_open_loop(serving::Server& server, const std::string& model,
+                            const Workload& wl, std::size_t n_queries,
+                            double qps, double zipf_s, std::uint64_t seed) {
+  std::vector<ModelTraffic> mix(1);
+  mix[0].model = model;
+  mix[0].wl = &wl;
+  mix[0].zipf_s = zipf_s;
+  mix[0].weight = 1.0;
+  auto res = run_mixed_open_loop(server, mix, n_queries, qps, seed);
+  return res.per_model.front().second;
 }
 
 TrafficResult run_open_loop(serving::Server& server, const Workload& wl,
                             std::size_t n_queries, double qps, double zipf_s,
                             std::uint64_t seed) {
-  QuerySampler sampler(wl, zipf_s, seed);
-  common::Rng arrival_rng(seed ^ 0xA881);
-  const auto gaps = poisson_interarrival_seconds(n_queries, qps, arrival_rng);
+  return run_open_loop(server, server.model_names().front(), wl, n_queries,
+                       qps, zipf_s, seed);
+}
 
-  struct InFlight {
-    std::future<double> future;
-    std::chrono::steady_clock::time_point submitted;
+MixedTrafficResult run_mixed_closed_loop(serving::Server& server,
+                                         const std::vector<ModelTraffic>& mix,
+                                         std::size_t queries_per_client,
+                                         std::uint64_t seed) {
+  struct ClientSlot {
+    std::size_t slice;
+    common::LatencyRecorder latencies;
   };
-  std::vector<InFlight> in_flight;
-  in_flight.reserve(n_queries);
+  std::vector<ClientSlot> slots;
+  for (std::size_t s = 0; s < mix.size(); ++s) {
+    for (std::size_t c = 0; c < mix[s].clients; ++c) slots.push_back({s, {}});
+  }
 
-  const auto before = server.stats();
+  std::vector<serving::ModelStats> before_model;
+  before_model.reserve(mix.size());
+  for (const auto& t : mix) before_model.push_back(server.stats(t.model));
+  const auto before_all = server.stats();
+
+  std::vector<std::thread> threads;
+  threads.reserve(slots.size());
   common::Timer wall;
-  const auto start = std::chrono::steady_clock::now();
-  double next_arrival = 0.0;
-  for (std::size_t q = 0; q < n_queries; ++q) {
-    next_arrival += gaps[q];
-    const auto when =
-        start + std::chrono::duration_cast<std::chrono::steady_clock::duration>(
-                    std::chrono::duration<double>(next_arrival));
-    std::this_thread::sleep_until(when);
-    in_flight.push_back({server.submit(sampler.next()),
-                         std::chrono::steady_clock::now()});
+  for (std::size_t i = 0; i < slots.size(); ++i) {
+    threads.emplace_back([&, i] {
+      const ModelTraffic& t = mix[slots[i].slice];
+      // Per-client sampler: deterministic run-to-run regardless of thread
+      // interleaving.
+      QuerySampler sampler(*t.wl, t.zipf_s, seed + 0x9E3779B9u * (i + 1));
+      for (std::size_t q = 0; q < queries_per_client; ++q) {
+        common::Timer timer;
+        server.submit(t.model, sampler.next()).get();
+        slots[i].latencies.record(timer.elapsed_seconds());
+      }
+    });
   }
-
-  common::LatencyRecorder all;
-  for (auto& f : in_flight) {
-    f.future.wait();
-    // Completion observed in submission order: a query that finished while
-    // an earlier one was still pending is charged its true completion only
-    // approximately (bounded by the earlier wait). The engine's own stats
-    // record exact per-query latency if needed.
-    all.record(std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                             f.submitted)
-                   .count());
-  }
+  for (auto& th : threads) th.join();
   const double duration = wall.elapsed_seconds();
-  const auto after = server.stats();
 
-  TrafficResult res = make_result(before, after, all, duration);
-  res.offered_qps = qps;
-  return res;
+  MixedTrafficResult out;
+  common::LatencyRecorder all;
+  for (std::size_t s = 0; s < mix.size(); ++s) {
+    common::LatencyRecorder model_lat;
+    for (const auto& slot : slots) {
+      if (slot.slice == s) model_lat.merge(slot.latencies);
+    }
+    all.merge(model_lat);
+    out.per_model.emplace_back(
+        mix[s].model, make_result(before_model[s], server.stats(mix[s].model),
+                                  model_lat, duration));
+  }
+  out.aggregate = make_result(before_all, server.stats(), all, duration);
+  return out;
+}
+
+MixedTrafficResult run_mixed_open_loop(serving::Server& server,
+                                       const std::vector<ModelTraffic>& mix,
+                                       std::size_t n_queries, double total_qps,
+                                       std::uint64_t seed) {
+  std::vector<std::string> models;
+  std::vector<QuerySampler> samplers;
+  std::vector<double> cumulative;
+  double total_weight = 0.0;
+  for (std::size_t s = 0; s < mix.size(); ++s) {
+    models.push_back(mix[s].model);
+    samplers.emplace_back(*mix[s].wl, mix[s].zipf_s,
+                          seed + 0x51ED2705u * (s + 1));
+    total_weight += mix[s].weight;
+    cumulative.push_back(total_weight);
+  }
+
+  std::vector<serving::ModelStats> before_model;
+  before_model.reserve(mix.size());
+  for (const auto& t : mix) before_model.push_back(server.stats(t.model));
+  const auto before_all = server.stats();
+
+  common::Rng route_rng(seed ^ 0xB07E);
+  CompletionBoard board(mix.size());
+  common::Timer wall;
+  dispatch_open_loop(
+      server, models, samplers,
+      [&]() -> std::size_t {
+        const double u = route_rng.next_double() * total_weight;
+        for (std::size_t s = 0; s < cumulative.size(); ++s) {
+          if (u < cumulative[s]) return s;
+        }
+        return cumulative.size() - 1;
+      },
+      n_queries, total_qps, seed, board);
+  const double duration = wall.elapsed_seconds();
+
+  MixedTrafficResult out;
+  for (std::size_t s = 0; s < mix.size(); ++s) {
+    TrafficResult r =
+        make_result(before_model[s], server.stats(mix[s].model),
+                    board.latencies(s), duration, board.errors(s));
+    r.offered_qps = total_qps * mix[s].weight / total_weight;
+    out.per_model.emplace_back(mix[s].model, std::move(r));
+  }
+  out.aggregate = make_result(before_all, server.stats(), board.merged(),
+                              duration, board.total_errors());
+  out.aggregate.offered_qps = total_qps;
+  return out;
 }
 
 }  // namespace willump::workloads

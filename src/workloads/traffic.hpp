@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "common/rng.hpp"
@@ -35,9 +36,11 @@ class QuerySampler {
 std::vector<double> poisson_interarrival_seconds(std::size_t n, double qps,
                                                  common::Rng& rng);
 
-/// Result of driving one traffic run against a serving engine.
+/// Result of driving one traffic run against a serving engine (either one
+/// model's share of a mixed run, or the aggregate).
 struct TrafficResult {
   std::size_t completed = 0;
+  std::size_t errors = 0;     // completions that delivered an exception
   double duration_seconds = 0.0;
   double offered_qps = 0.0;   // 0 for closed-loop runs (load is self-clocked)
   double achieved_qps = 0.0;
@@ -46,19 +49,70 @@ struct TrafficResult {
   double mean_batch_rows = 0.0;
 };
 
-/// Closed-loop traffic: `clients` threads each issue `queries_per_client`
-/// pointwise queries back-to-back — the next query is submitted only when
-/// the previous completes. Measures the engine at self-clocked saturation.
+/// One model's slice of a mixed multi-model traffic run.
+struct ModelTraffic {
+  std::string model;          // registered name in the serving::Server
+  const Workload* wl = nullptr;
+  double zipf_s = 0.0;        // per-model entity skew
+  /// Open loop: this model's share of the Poisson arrival stream
+  /// (normalized over all slices).
+  double weight = 1.0;
+  /// Closed loop: how many self-clocked client threads hit this model.
+  std::size_t clients = 1;
+};
+
+/// Per-model and aggregate results of a mixed run.
+struct MixedTrafficResult {
+  TrafficResult aggregate;
+  std::vector<std::pair<std::string, TrafficResult>> per_model;
+};
+
+/// Closed-loop traffic against one registered model: `clients` threads each
+/// issue `queries_per_client` pointwise queries back-to-back — the next
+/// query is submitted only when the previous completes. Measures the engine
+/// at self-clocked saturation.
+TrafficResult run_closed_loop(serving::Server& server, const std::string& model,
+                              const Workload& wl, std::size_t clients,
+                              std::size_t queries_per_client, double zipf_s,
+                              std::uint64_t seed);
+
+/// Single-model convenience: closed loop against the first registered model.
 TrafficResult run_closed_loop(serving::Server& server, const Workload& wl,
                               std::size_t clients,
                               std::size_t queries_per_client, double zipf_s,
                               std::uint64_t seed);
 
-/// Open-loop traffic: one dispatcher submits `n_queries` at Poisson arrival
-/// times paced to `qps`, never waiting for completions (arrivals do not slow
-/// down when the engine falls behind), then waits for everything to finish.
+/// Open-loop traffic against one registered model: one dispatcher submits
+/// `n_queries` at Poisson arrival times paced to `qps`, never waiting for
+/// completions (arrivals do not slow down when the engine falls behind),
+/// then waits for everything to finish. Uses the engine's async completion
+/// path: per-query latency is recorded by the completion callback at the
+/// moment it fires, with no thread or future per in-flight request.
+TrafficResult run_open_loop(serving::Server& server, const std::string& model,
+                            const Workload& wl, std::size_t n_queries,
+                            double qps, double zipf_s, std::uint64_t seed);
+
+/// Single-model convenience: open loop against the first registered model.
 TrafficResult run_open_loop(serving::Server& server, const Workload& wl,
                             std::size_t n_queries, double qps, double zipf_s,
                             std::uint64_t seed);
+
+/// Mixed closed-loop traffic: every slice's clients hammer their model
+/// concurrently (sum of all `clients` threads), so the engine serves all
+/// registered models at self-clocked saturation at once.
+MixedTrafficResult run_mixed_closed_loop(serving::Server& server,
+                                         const std::vector<ModelTraffic>& mix,
+                                         std::size_t queries_per_client,
+                                         std::uint64_t seed);
+
+/// Mixed open-loop traffic: one dispatcher draws a single Poisson arrival
+/// process at `total_qps` and routes each arrival to a slice with
+/// probability proportional to its `weight`, sampling that slice's workload
+/// at its own Zipf skew — several workloads sharing one frontend, the
+/// Clipper deployment shape.
+MixedTrafficResult run_mixed_open_loop(serving::Server& server,
+                                       const std::vector<ModelTraffic>& mix,
+                                       std::size_t n_queries, double total_qps,
+                                       std::uint64_t seed);
 
 }  // namespace willump::workloads

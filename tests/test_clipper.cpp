@@ -142,6 +142,37 @@ TEST(ClipperSim, RpcOverheadAmortizedOverBatch) {
   EXPECT_LT(lat100, lat1 * 50.0);
 }
 
+TEST(ClipperSim, HostsMultipleModelsWithPerModelAccounting) {
+  auto& f = fixture();
+  ClipperConfig cfg;
+  cfg.rpc_fixed_micros = 10.0;
+  ClipperSim clipper(cfg);
+  clipper.add_model("music-like", &f.pipeline);
+  clipper.add_model("toxic-like", &f.pipeline);
+
+  const auto batch_a = f.wl.test.inputs.select_rows(std::vector<std::size_t>{0, 1, 2});
+  const auto batch_b =
+      f.wl.test.inputs.select_rows(std::vector<std::size_t>{3, 4, 5, 6, 7});
+  const auto served_a = clipper.serve("music-like", batch_a);
+  const auto served_b = clipper.serve("toxic-like", batch_b);
+  const auto direct_a = f.pipeline.predict(batch_a);
+  const auto direct_b = f.pipeline.predict(batch_b);
+  for (std::size_t i = 0; i < served_a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(served_a[i], direct_a[i]);
+  }
+  for (std::size_t i = 0; i < served_b.size(); ++i) {
+    EXPECT_DOUBLE_EQ(served_b[i], direct_b[i]);
+  }
+
+  // The registry accounts each hosted model separately; the frontend's wire
+  // stats aggregate.
+  EXPECT_EQ(clipper.server().stats("music-like").rows, 3u);
+  EXPECT_EQ(clipper.server().stats("toxic-like").rows, 5u);
+  EXPECT_EQ(clipper.stats().queries, 2u);
+  EXPECT_EQ(clipper.stats().rows, 8u);
+  EXPECT_THROW((void)clipper.serve("unknown", batch_a), std::invalid_argument);
+}
+
 TEST(EndToEndCache, KeyCoversAllColumns) {
   data::Batch a;
   a.add("x", data::Column(data::IntColumn{1}));

@@ -1,6 +1,8 @@
 // Concurrency surface of the request-level serving engine: future-returning
-// ThreadPool::submit, the bounded MPMC RequestQueue, the Server's adaptive
-// micro-batching policy (flush-on-max-batch and flush-on-deadline), and
+// ThreadPool::submit, the bounded MPMC RequestQueue, and the multi-model
+// registry Server — routing, per-model adaptive micro-batching
+// (flush-on-max-batch and flush-on-deadline), AIMD max_batch tuning, the
+// async (callback) completion path, work stealing across model shards, and
 // thread-safe end-to-end caching under concurrent clients. This suite is
 // labeled `concurrency` and runs under ThreadSanitizer in CI.
 
@@ -18,7 +20,9 @@
 #include "core/optimizer.hpp"
 #include "runtime/request_queue.hpp"
 #include "runtime/thread_pool.hpp"
+#include "serving/aimd.hpp"
 #include "serving/server.hpp"
+#include "workloads/credit.hpp"
 #include "workloads/toxic.hpp"
 
 namespace willump {
@@ -70,6 +74,17 @@ TEST(ThreadPoolSubmit, QueuedTasksDrainAtDestruction) {
     }
   }
   for (int i = 0; i < 64; ++i) {
+    EXPECT_EQ(futures[static_cast<std::size_t>(i)].get(), i);
+  }
+}
+
+TEST(ThreadPoolSubmit, ZeroSpinBudgetStillDeliversWork) {
+  // spin_rounds 0: workers park on the condition variable immediately; the
+  // CV path alone must hand off every task.
+  runtime::ThreadPool pool(2, /*spin_rounds=*/0);
+  std::vector<std::future<int>> futures;
+  for (int i = 0; i < 32; ++i) futures.push_back(pool.submit([i] { return i; }));
+  for (int i = 0; i < 32; ++i) {
     EXPECT_EQ(futures[static_cast<std::size_t>(i)].get(), i);
   }
 }
@@ -129,6 +144,29 @@ TEST(RequestQueue, TryPushRespectsCapacity) {
   EXPECT_FALSE(q.try_push(3));
   EXPECT_EQ(q.pop(), 1);
   EXPECT_TRUE(q.try_push(3));
+}
+
+TEST(RequestQueue, DrainTakesUpToMaxInFifoOrder) {
+  runtime::RequestQueue<int> q;
+  for (int i = 0; i < 6; ++i) ASSERT_TRUE(q.push(i));
+  std::vector<int> out;
+  EXPECT_EQ(q.drain(out, 4), 4u);
+  EXPECT_EQ(out, (std::vector<int>{0, 1, 2, 3}));
+  EXPECT_EQ(q.drain(out, 10), 2u);  // takes what is there
+  EXPECT_EQ(out, (std::vector<int>{0, 1, 2, 3, 4, 5}));
+  EXPECT_EQ(q.drain(out, 1), 0u);   // empty queue drains nothing
+}
+
+TEST(RequestQueue, DrainUnblocksProducers) {
+  runtime::RequestQueue<int> q(2);
+  ASSERT_TRUE(q.push(1));
+  ASSERT_TRUE(q.push(2));
+  std::thread producer([&q] { EXPECT_TRUE(q.push(3)); });
+  std::vector<int> out;
+  while (q.drain(out, 4) == 0) std::this_thread::yield();
+  producer.join();
+  (void)q.drain(out, 4);
+  EXPECT_EQ(out.size(), 3u);
 }
 
 TEST(RequestQueue, PushBlocksUntilSpace) {
@@ -201,7 +239,73 @@ TEST(RequestQueue, ManyProducersManyConsumers) {
 }
 
 // ---------------------------------------------------------------------------
-// Server: adaptive micro-batching over a real optimized pipeline
+// AIMD max_batch controller
+// ---------------------------------------------------------------------------
+
+TEST(AimdController, DisabledPinsCap) {
+  serving::AimdBatchController c(16, serving::AimdConfig{});
+  EXPECT_EQ(c.cap(), 16u);
+  c.on_batch(16, /*batch_seconds=*/10.0);  // would be a gross violation
+  EXPECT_EQ(c.cap(), 16u);
+  EXPECT_EQ(c.counters().observations, 0u);
+}
+
+TEST(AimdController, GrowsAdditivelyWhileUnderSlo) {
+  serving::AimdConfig cfg;
+  cfg.enabled = true;
+  cfg.slo_micros = 1e6;  // 1 s: nothing here violates it
+  cfg.additive_step = 2;
+  cfg.max_batch = 10;
+  serving::AimdBatchController c(4, cfg);
+  c.on_batch(4, 0.0001);
+  EXPECT_EQ(c.cap(), 6u);
+  c.on_batch(6, 0.0001);
+  EXPECT_EQ(c.cap(), 8u);
+  c.on_batch(8, 0.0001);
+  c.on_batch(10, 0.0001);  // clamped at max_batch
+  EXPECT_EQ(c.cap(), 10u);
+  const auto counters = c.counters();
+  EXPECT_EQ(counters.increases, 3u);  // the clamped step does not count
+  EXPECT_EQ(counters.backoffs, 0u);
+  EXPECT_EQ(counters.observations, 4u);
+}
+
+TEST(AimdController, BacksOffMultiplicativelyOnViolation) {
+  serving::AimdConfig cfg;
+  cfg.enabled = true;
+  cfg.slo_micros = 100.0;
+  cfg.backoff = 0.5;
+  cfg.min_batch = 2;
+  serving::AimdBatchController c(32, cfg);
+  c.on_batch(32, /*batch_seconds=*/0.01);  // 10 ms >> 100 us
+  EXPECT_EQ(c.cap(), 16u);
+  c.on_batch(16, 0.01);
+  EXPECT_EQ(c.cap(), 8u);
+  c.on_batch(8, 0.01);
+  c.on_batch(4, 0.01);
+  EXPECT_EQ(c.cap(), 2u);  // clamped at min_batch
+  c.on_batch(2, 0.01);
+  EXPECT_EQ(c.cap(), 2u);
+  const auto counters = c.counters();
+  EXPECT_EQ(counters.backoffs, 4u);  // the clamped decrease does not count
+  EXPECT_EQ(counters.increases, 0u);
+}
+
+TEST(AimdController, RecoversAfterBackoff) {
+  serving::AimdConfig cfg;
+  cfg.enabled = true;
+  cfg.slo_micros = 1000.0;
+  cfg.additive_step = 1;
+  serving::AimdBatchController c(8, cfg);
+  c.on_batch(8, 0.01);  // violation: 8 -> 4
+  EXPECT_EQ(c.cap(), 4u);
+  c.on_batch(4, 0.0001);  // under SLO again: probe upward
+  c.on_batch(5, 0.0001);
+  EXPECT_EQ(c.cap(), 6u);
+}
+
+// ---------------------------------------------------------------------------
+// Server: multi-model registry over real optimized pipelines
 // ---------------------------------------------------------------------------
 
 struct EngineFixture {
@@ -228,6 +332,22 @@ EngineFixture& fixture() {
   return *f;
 }
 
+/// A second, cheap pipeline with a different schema (Credit regression,
+/// local tables, no cascades): the registry's routing and misrouting tests
+/// need two models whose predictions and input schemas differ.
+EngineFixture& credit_fixture() {
+  static EngineFixture* f = [] {
+    workloads::CreditConfig cfg;
+    cfg.seed = 505;
+    cfg.sizes = {.train = 400, .valid = 150, .test = 200};
+    auto wl = workloads::make_credit(cfg);
+    auto pipeline =
+        core::WillumpOptimizer::optimize(wl.pipeline, wl.train, wl.valid, {});
+    return new EngineFixture{std::move(wl), std::move(pipeline)};
+  }();
+  return *f;
+}
+
 TEST(Server, SubmitMatchesDirectPrediction) {
   auto& f = fixture();
   serving::Server server(&f.pipeline, {});
@@ -236,6 +356,7 @@ TEST(Server, SubmitMatchesDirectPrediction) {
     EXPECT_DOUBLE_EQ(server.submit(row).get(), f.pipeline.predict_one(row));
   }
   EXPECT_EQ(server.stats().queries, 5u);
+  EXPECT_EQ(server.stats("default").queries, 5u);
 }
 
 TEST(Server, PredictBatchMatchesDirectPrediction) {
@@ -257,9 +378,10 @@ TEST(Server, FlushOnMaxBatch) {
   auto& f = fixture();
   serving::ServerConfig cfg;
   cfg.num_workers = 1;
-  cfg.max_batch = 2;
-  cfg.max_delay_micros = 5e6;  // 5 s: only the size trigger can flush
-  serving::Server server(&f.pipeline, cfg);
+  serving::ModelConfig model_cfg;
+  model_cfg.max_batch = 2;
+  model_cfg.max_delay_micros = 5e6;  // 5 s: only the size trigger can flush
+  serving::Server server(&f.pipeline, cfg, model_cfg);
 
   std::vector<std::future<double>> futures;
   for (std::size_t r = 0; r < 4; ++r) {
@@ -279,9 +401,10 @@ TEST(Server, FlushOnDeadline) {
   auto& f = fixture();
   serving::ServerConfig cfg;
   cfg.num_workers = 1;
-  cfg.max_batch = 64;           // never fills from one query
-  cfg.max_delay_micros = 8e4;   // 80 ms flush window
-  serving::Server server(&f.pipeline, cfg);
+  serving::ModelConfig model_cfg;
+  model_cfg.max_batch = 64;          // never fills from one query
+  model_cfg.max_delay_micros = 8e4;  // 80 ms flush window
+  serving::Server server(&f.pipeline, cfg, model_cfg);
 
   common::Timer t;
   (void)server.submit(f.wl.test.inputs.row(0)).get();
@@ -296,8 +419,9 @@ TEST(Server, ConcurrentClientsMatchSerialPredictions) {
   auto& f = fixture();
   serving::ServerConfig cfg;
   cfg.num_workers = 2;
-  cfg.max_batch = 8;
-  serving::Server server(&f.pipeline, cfg);
+  serving::ModelConfig model_cfg;
+  model_cfg.max_batch = 8;
+  serving::Server server(&f.pipeline, cfg, model_cfg);
 
   constexpr std::size_t kClients = 4;
   constexpr std::size_t kPerClient = 25;
@@ -330,8 +454,9 @@ TEST(Server, CacheHitsUnderConcurrentClients) {
   auto& f = fixture();
   serving::ServerConfig cfg;
   cfg.num_workers = 2;
-  cfg.enable_e2e_cache = true;
-  serving::Server server(&f.pipeline, cfg);
+  serving::ModelConfig model_cfg;
+  model_cfg.enable_e2e_cache = true;
+  serving::Server server(&f.pipeline, cfg, model_cfg);
 
   // Warm the cache serially so the concurrent phase is all hits.
   constexpr std::size_t kDistinct = 5;
@@ -387,8 +512,9 @@ TEST(Server, FullyCachedBatchCountsNoPipelineExecution) {
   auto& f = fixture();
   serving::ServerConfig cfg;
   cfg.num_workers = 0;
-  cfg.enable_e2e_cache = true;
-  serving::Server server(&f.pipeline, cfg);
+  serving::ModelConfig model_cfg;
+  model_cfg.enable_e2e_cache = true;
+  serving::Server server(&f.pipeline, cfg, model_cfg);
   const auto batch =
       f.wl.test.inputs.select_rows(std::vector<std::size_t>{0, 1, 2});
   const auto first = server.predict_batch(batch);
@@ -407,8 +533,9 @@ TEST(Server, ShutdownDrainsAcceptedWorkAndRejectsNew) {
   auto& f = fixture();
   serving::ServerConfig cfg;
   cfg.num_workers = 1;
-  cfg.max_batch = 4;
-  serving::Server server(&f.pipeline, cfg);
+  serving::ModelConfig model_cfg;
+  model_cfg.max_batch = 4;
+  serving::Server server(&f.pipeline, cfg, model_cfg);
 
   std::vector<std::future<double>> futures;
   for (std::size_t r = 0; r < 3; ++r) {
@@ -421,6 +548,326 @@ TEST(Server, ShutdownDrainsAcceptedWorkAndRejectsNew) {
   EXPECT_THROW((void)server.submit(f.wl.test.inputs.row(0)),
                runtime::QueueClosedError);
 }
+
+// ---------------------------------------------------------------------------
+// Server: registry semantics (registration, routing, misrouting)
+// ---------------------------------------------------------------------------
+
+TEST(ServerRegistry, RegistersAndListsModels) {
+  auto& tox = fixture();
+  auto& cred = credit_fixture();
+  serving::Server server;
+  server.register_model("toxic", &tox.pipeline);
+  server.register_model("credit", &cred.pipeline);
+  EXPECT_EQ(server.model_names(),
+            (std::vector<std::string>{"toxic", "credit"}));
+  EXPECT_TRUE(server.has_model("toxic"));
+  EXPECT_FALSE(server.has_model("music"));
+  EXPECT_EQ(server.stats().models, 2u);
+  EXPECT_EQ(server.stats("credit").model, "credit");
+}
+
+TEST(ServerRegistry, RejectsDuplicateUnknownAndLateRegistration) {
+  auto& tox = fixture();
+  auto& cred = credit_fixture();
+  serving::Server server;
+  server.register_model("toxic", &tox.pipeline);
+  EXPECT_THROW(server.register_model("toxic", &cred.pipeline),
+               std::invalid_argument);
+  EXPECT_THROW((void)server.submit("nope", tox.wl.test.inputs.row(0)),
+               std::invalid_argument);
+  // The first request starts serving and freezes the registry.
+  (void)server.submit("toxic", tox.wl.test.inputs.row(0)).get();
+  EXPECT_THROW(server.register_model("credit", &cred.pipeline),
+               std::logic_error);
+}
+
+TEST(ServerRegistry, RoutesConcurrentClientsToTheRightPipeline) {
+  auto& tox = fixture();
+  auto& cred = credit_fixture();
+  serving::ServerConfig cfg;
+  cfg.num_workers = 2;
+  serving::Server server(cfg);
+  serving::ModelConfig model_cfg;
+  model_cfg.max_batch = 4;
+  server.register_model("toxic", &tox.pipeline, model_cfg);
+  server.register_model("credit", &cred.pipeline, model_cfg);
+
+  constexpr std::size_t kPerClient = 20;
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> clients;
+  for (int c = 0; c < 2; ++c) {
+    clients.emplace_back([&, c] {
+      for (std::size_t q = 0; q < kPerClient; ++q) {
+        const auto row = tox.wl.test.inputs.row(2 * q + static_cast<std::size_t>(c));
+        if (server.submit("toxic", row).get() != tox.pipeline.predict_one(row)) {
+          ++mismatches;
+        }
+      }
+    });
+    clients.emplace_back([&, c] {
+      for (std::size_t q = 0; q < kPerClient; ++q) {
+        const auto row =
+            cred.wl.test.inputs.row(2 * q + static_cast<std::size_t>(c));
+        if (server.submit("credit", row).get() !=
+            cred.pipeline.predict_one(row)) {
+          ++mismatches;
+        }
+      }
+    });
+  }
+  for (auto& c : clients) c.join();
+
+  // Requests never execute against the wrong model's pipeline: every
+  // prediction equals its own pipeline's serial answer, and the per-model
+  // row counters account for exactly their own traffic.
+  EXPECT_EQ(mismatches.load(), 0);
+  EXPECT_EQ(server.stats("toxic").rows, 2 * kPerClient);
+  EXPECT_EQ(server.stats("credit").rows, 2 * kPerClient);
+}
+
+TEST(ServerRegistry, MisroutedRowFailsItsOwnRequestOnly) {
+  auto& tox = fixture();
+  auto& cred = credit_fixture();
+  serving::ServerConfig cfg;
+  cfg.num_workers = 1;
+  serving::Server server(cfg);
+  server.register_model("toxic", &tox.pipeline);
+  server.register_model("credit", &cred.pipeline);
+
+  // A credit-schema row sent to the toxic model fails (its columns do not
+  // exist there) — through its own future, without killing the worker.
+  auto bad = server.submit("toxic", cred.wl.test.inputs.row(0));
+  EXPECT_THROW((void)bad.get(), std::exception);
+  const auto row = tox.wl.test.inputs.row(1);
+  EXPECT_DOUBLE_EQ(server.submit("toxic", row).get(),
+                   tox.pipeline.predict_one(row));
+}
+
+TEST(ServerRegistry, MisroutedRowDoesNotFailCoalescedBatchMates) {
+  auto& tox = fixture();
+  auto& cred = credit_fixture();
+  serving::ServerConfig cfg;
+  cfg.num_workers = 1;
+  serving::ModelConfig model_cfg;
+  model_cfg.max_batch = 3;
+  model_cfg.max_delay_micros = 5e4;  // 50 ms window: the three coalesce
+  serving::Server server(cfg);
+  server.register_model("toxic", &tox.pipeline, model_cfg);
+  server.register_model("credit", &cred.pipeline, model_cfg);
+
+  // good, bad, good submitted back-to-back: whether or not they land in one
+  // micro-batch, the malformed row fails alone and its batch-mates still
+  // get their own predictions (the engine retries batch-mates individually
+  // on a failed combined execution).
+  auto good1 = server.submit("toxic", tox.wl.test.inputs.row(0));
+  auto bad = server.submit("toxic", cred.wl.test.inputs.row(0));
+  auto good2 = server.submit("toxic", tox.wl.test.inputs.row(1));
+  EXPECT_DOUBLE_EQ(good1.get(),
+                   tox.pipeline.predict_one(tox.wl.test.inputs.row(0)));
+  EXPECT_THROW((void)bad.get(), std::exception);
+  EXPECT_DOUBLE_EQ(good2.get(),
+                   tox.pipeline.predict_one(tox.wl.test.inputs.row(1)));
+}
+
+TEST(ServerRegistry, NoStealingWithUncoveredModelIsRejected) {
+  auto& tox = fixture();
+  auto& cred = credit_fixture();
+  serving::ServerConfig cfg;
+  cfg.num_workers = 1;      // only the first model would get a home worker
+  cfg.work_stealing = false;
+  serving::Server server(cfg);
+  server.register_model("toxic", &tox.pipeline);
+  server.register_model("credit", &cred.pipeline);
+  // Starting to serve would strand credit's queue forever; the registry
+  // rejects the configuration instead of hanging the first credit submit.
+  EXPECT_THROW((void)server.submit("toxic", tox.wl.test.inputs.row(0)),
+               std::logic_error);
+}
+
+TEST(ServerRegistry, MultiModelShutdownDrainsEveryQueue) {
+  auto& tox = fixture();
+  auto& cred = credit_fixture();
+  serving::ServerConfig cfg;
+  cfg.num_workers = 1;  // one worker homes "toxic"; "credit" drains by steal
+  serving::Server server(cfg);
+  server.register_model("toxic", &tox.pipeline);
+  server.register_model("credit", &cred.pipeline);
+
+  std::vector<std::future<double>> futures;
+  for (std::size_t r = 0; r < 3; ++r) {
+    futures.push_back(server.submit("toxic", tox.wl.test.inputs.row(r)));
+    futures.push_back(server.submit("credit", cred.wl.test.inputs.row(r)));
+  }
+  server.shutdown();
+  for (auto& fut : futures) EXPECT_NO_THROW((void)fut.get());
+  EXPECT_EQ(server.stats("toxic").rows, 3u);
+  EXPECT_EQ(server.stats("credit").rows, 3u);
+}
+
+TEST(ServerRegistry, WorkStealingDrainsModelWithNoHomeWorker) {
+  auto& tox = fixture();
+  auto& cred = credit_fixture();
+  serving::ServerConfig cfg;
+  cfg.num_workers = 1;  // the single worker homes the first model
+  cfg.steal_quantum_micros = 200.0;
+  serving::Server server(cfg);
+  server.register_model("toxic", &tox.pipeline);
+  server.register_model("credit", &cred.pipeline);
+
+  std::vector<std::future<double>> futures;
+  for (std::size_t r = 0; r < 5; ++r) {
+    futures.push_back(server.submit("credit", cred.wl.test.inputs.row(r)));
+  }
+  for (std::size_t r = 0; r < 5; ++r) {
+    EXPECT_DOUBLE_EQ(futures[r].get(),
+                     cred.pipeline.predict_one(cred.wl.test.inputs.row(r)));
+  }
+  const auto stats = server.stats("credit");
+  EXPECT_EQ(stats.rows, 5u);
+  // Credit has no home worker, so every one of its batches was stolen.
+  EXPECT_EQ(stats.stolen_batches, stats.batches);
+  EXPECT_GT(stats.stolen_batches, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Server: async (callback) completion path
+// ---------------------------------------------------------------------------
+
+TEST(ServerAsync, CallbackDeliversPrediction) {
+  auto& f = fixture();
+  serving::Server server(&f.pipeline, {});
+  const auto row = f.wl.test.inputs.row(2);
+
+  std::promise<double> got;
+  server.submit("default", row,
+                [&got](double prediction, std::exception_ptr error) {
+                  ASSERT_EQ(error, nullptr);
+                  got.set_value(prediction);
+                });
+  EXPECT_DOUBLE_EQ(got.get_future().get(), f.pipeline.predict_one(row));
+  EXPECT_EQ(server.stats().latency_samples, 1u);
+}
+
+TEST(ServerAsync, CallbackDeliversErrorForBadRow) {
+  auto& tox = fixture();
+  auto& cred = credit_fixture();
+  serving::Server server(&tox.pipeline, {});
+
+  std::promise<bool> errored;
+  server.submit("default", cred.wl.test.inputs.row(0),
+                [&errored](double, std::exception_ptr error) {
+                  errored.set_value(error != nullptr);
+                });
+  EXPECT_TRUE(errored.get_future().get());
+  // The engine survives the failed request.
+  const auto row = tox.wl.test.inputs.row(0);
+  EXPECT_DOUBLE_EQ(server.submit(row).get(), tox.pipeline.predict_one(row));
+}
+
+TEST(ServerAsync, CacheHitCompletesThroughCallback) {
+  auto& f = fixture();
+  serving::ServerConfig cfg;
+  serving::ModelConfig model_cfg;
+  model_cfg.enable_e2e_cache = true;
+  serving::Server server(&f.pipeline, cfg, model_cfg);
+  const auto row = f.wl.test.inputs.row(4);
+  const double expected = server.submit(row).get();  // warm the cache
+
+  std::promise<double> got;
+  server.submit(row, [&got](double prediction, std::exception_ptr error) {
+    ASSERT_EQ(error, nullptr);
+    got.set_value(prediction);
+  });
+  EXPECT_DOUBLE_EQ(got.get_future().get(), expected);
+  EXPECT_EQ(server.stats().cache_hits, 1u);
+  EXPECT_EQ(server.stats().rows, 1u);  // the hit never reached the pipeline
+}
+
+TEST(ServerAsync, ThrowingCallbackDoesNotKillTheWorker) {
+  auto& f = fixture();
+  serving::Server server(&f.pipeline, {});
+  std::promise<void> fired;
+  server.submit("default", f.wl.test.inputs.row(0),
+                [&fired](double, std::exception_ptr) {
+                  fired.set_value();
+                  throw std::runtime_error("client bug");
+                });
+  fired.get_future().wait();
+  // The worker that swallowed the throw still serves.
+  const auto row = f.wl.test.inputs.row(1);
+  EXPECT_DOUBLE_EQ(server.submit(row).get(), f.pipeline.predict_one(row));
+}
+
+// ---------------------------------------------------------------------------
+// Server: AIMD batch-cap tuning end to end
+// ---------------------------------------------------------------------------
+
+TEST(ServerAimd, CapGrowsUnderLightLoad) {
+  auto& f = fixture();
+  serving::ServerConfig cfg;
+  cfg.num_workers = 1;
+  serving::ModelConfig model_cfg;
+  model_cfg.max_batch = 4;  // initial cap
+  model_cfg.aimd.enabled = true;
+  model_cfg.aimd.slo_micros = 60e6;  // 60 s: no batch here violates it
+  model_cfg.aimd.additive_step = 2;
+  model_cfg.aimd.max_batch = 64;
+  serving::Server server(&f.pipeline, cfg, model_cfg);
+
+  ASSERT_EQ(server.current_max_batch("default"), 4u);
+  // 40 sequential queries = 40 under-SLO batches: the cap climbs from 4 to
+  // the 64 clamp ((64-4)/2 = 30 increases) and stays there.
+  for (std::size_t q = 0; q < 40; ++q) {
+    (void)server.submit(f.wl.test.inputs.row(q % 50)).get();
+  }
+  EXPECT_EQ(server.current_max_batch("default"), 64u);
+  const auto stats = server.stats("default");
+  EXPECT_EQ(stats.current_max_batch, 64u);
+  EXPECT_EQ(stats.aimd_increases, 30u);
+  EXPECT_EQ(stats.aimd_backoffs, 0u);
+}
+
+TEST(ServerAimd, CapBacksOffUnderSloViolations) {
+  auto& f = fixture();
+  serving::ServerConfig cfg;
+  cfg.num_workers = 1;
+  serving::ModelConfig model_cfg;
+  model_cfg.max_batch = 32;  // initial cap, deliberately too high for the SLO
+  model_cfg.aimd.enabled = true;
+  // An SLO no real batch can meet: every execution is a violation, so the
+  // controller must walk the cap down to min_batch.
+  model_cfg.aimd.slo_micros = 0.001;
+  model_cfg.aimd.backoff = 0.5;
+  model_cfg.aimd.min_batch = 1;
+  serving::Server server(&f.pipeline, cfg, model_cfg);
+
+  for (std::size_t q = 0; q < 12; ++q) {
+    (void)server.submit(f.wl.test.inputs.row(q % 50)).get();
+  }
+  EXPECT_EQ(server.current_max_batch("default"), 1u);
+  const auto stats = server.stats("default");
+  EXPECT_GT(stats.aimd_backoffs, 0u);
+  EXPECT_EQ(stats.aimd_increases, 0u);
+}
+
+TEST(ServerAimd, DisabledCapStaysFixed) {
+  auto& f = fixture();
+  serving::ServerConfig cfg;
+  cfg.num_workers = 1;
+  serving::ModelConfig model_cfg;
+  model_cfg.max_batch = 16;
+  serving::Server server(&f.pipeline, cfg, model_cfg);
+  for (std::size_t q = 0; q < 8; ++q) {
+    (void)server.submit(f.wl.test.inputs.row(q)).get();
+  }
+  EXPECT_EQ(server.current_max_batch("default"), 16u);
+  EXPECT_EQ(server.stats("default").aimd_increases, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// EndToEndCache under concurrency
+// ---------------------------------------------------------------------------
 
 TEST(EndToEndCacheConcurrent, MixedGetPutFromManyThreads) {
   serving::EndToEndCache cache(64);

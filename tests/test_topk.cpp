@@ -4,6 +4,7 @@
 
 #include <unordered_set>
 
+#include "common/stats.hpp"
 #include "models/metrics.hpp"
 #include "test_support.hpp"
 
@@ -66,7 +67,14 @@ TEST(TopKPipeline, HighPrecisionVsExactTopK) {
   const auto full_scores =
       f.cascade.full_model->predict(f.compiled->compute_matrix(f.wl.test.inputs));
   const auto exact = models::top_k_indices(full_scores, 50);
-  EXPECT_GT(models::precision_at_k(approx, exact), 0.7);
+  // Precision@K is a binomial proportion over K trials (each returned item
+  // is either in the exact top-K or not). Accept the approximation when its
+  // shortfall from the exact query's precision (1.0 by construction) is not
+  // statistically significant — the paper's §6.3 acceptance rule, as in
+  // Optimizer.PredictFullIgnoresCascades — instead of a hand-tuned bound.
+  const double precision = models::precision_at_k(approx, exact);
+  EXPECT_TRUE(common::accuracy_within_ci95(1.0, precision, 50))
+      << "precision@50 = " << precision;
   // Average value of the approximate top-K is close to the true top-K's.
   const double av_approx = models::average_value(approx, full_scores);
   const double av_exact = models::average_value(exact, full_scores);
