@@ -178,6 +178,25 @@ void Executor::probe_layout(const data::Batch& probe) {
   }
 }
 
+void Executor::restore_layout(std::vector<std::size_t> block_cols,
+                              std::vector<std::size_t> col_begin) {
+  const std::size_t n = analysis_.num_generators();
+  if (block_cols.size() != n || col_begin.size() != n) {
+    throw std::invalid_argument(
+        "restore_layout: layout width does not match this graph's generators");
+  }
+  std::size_t offset = 0;
+  for (std::size_t f = 0; f < n; ++f) {
+    if (col_begin[f] != offset) {
+      throw std::invalid_argument(
+          "restore_layout: column offsets are not a prefix sum of the widths");
+    }
+    offset += block_cols[f];
+  }
+  analysis_.block_cols = std::move(block_cols);
+  analysis_.col_begin = std::move(col_begin);
+}
+
 // ---------------------------------------------------------------------------
 // Interpreted engine
 // ---------------------------------------------------------------------------

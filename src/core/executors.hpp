@@ -67,6 +67,12 @@ class Executor {
   /// analysis (cascades need the column layout before training models).
   void probe_layout(const data::Batch& probe);
 
+  /// Restore a previously probed column layout (what an artifact recorded)
+  /// instead of re-executing a probe batch. Throws std::invalid_argument
+  /// when the vectors do not describe this graph's generators.
+  void restore_layout(std::vector<std::size_t> block_cols,
+                      std::vector<std::size_t> col_begin);
+
   const Graph& graph() const { return graph_; }
   const IfvAnalysis& analysis() const { return analysis_; }
 

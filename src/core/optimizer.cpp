@@ -5,6 +5,35 @@
 
 namespace willump::core {
 
+OptimizedPipeline::OptimizedPipeline(Parts parts) {
+  if (parts.executor == nullptr) {
+    throw std::invalid_argument("OptimizedPipeline: null executor");
+  }
+  if (parts.cascade.full_model == nullptr) {
+    throw std::invalid_argument("OptimizedPipeline: cascade lacks a full model");
+  }
+  executor_ = std::move(parts.executor);
+  cascade_ = std::move(parts.cascade);
+  use_cascades_ = parts.use_cascades && cascade_.enabled();
+  topk_cfg_ = parts.topk;
+  if (parts.feature_cache) {
+    cache_ = std::make_shared<FeatureCacheBank>(
+        executor_->analysis().num_generators(), parts.cache_capacity);
+  }
+  if (parts.parallel_threads > 1) {
+    pool_ = std::make_shared<runtime::ThreadPool>(parts.parallel_threads - 1);
+  }
+}
+
+std::size_t OptimizedPipeline::cache_capacity_per_ifv() const {
+  if (cache_ == nullptr || cache_->num_caches() == 0) return 0;
+  return cache_->cache(0).capacity();
+}
+
+std::size_t OptimizedPipeline::parallel_threads() const {
+  return pool_ == nullptr ? 0 : pool_->num_threads() + 1;
+}
+
 ExecOptions OptimizedPipeline::exec_options() const {
   ExecOptions opts;
   opts.cache = cache_.get();

@@ -51,6 +51,23 @@ struct OptimizeOptions {
 /// topk_stats() accessors are meant to be read once serving quiesces.
 class OptimizedPipeline {
  public:
+  /// Everything a trained pipeline is made of — what WillumpOptimizer
+  /// produces and what an artifact round-trips (serialize/artifact.hpp).
+  /// The optimizer keeps being the normal way to get one; this constructor
+  /// exists so deserialization is not a friend-class backdoor.
+  struct Parts {
+    std::shared_ptr<const Executor> executor;
+    TrainedCascade cascade;  // full_model must be set
+    bool use_cascades = false;
+    TopKConfig topk;
+    bool feature_cache = false;
+    std::size_t cache_capacity = 0;
+    std::size_t parallel_threads = 0;
+  };
+
+  OptimizedPipeline() = default;
+  explicit OptimizedPipeline(Parts parts);
+
   /// Batch prediction (throughput-oriented; Figure 5).
   std::vector<double> predict(const data::Batch& batch) const;
 
@@ -72,6 +89,14 @@ class OptimizedPipeline {
   FeatureCacheBank* cache() const { return cache_.get(); }
   CascadeRunStats& run_stats() const { return run_stats_; }
   TopKRunStats& topk_stats() const { return topk_stats_; }
+
+  /// Tuned-state accessors (what an artifact records; see Parts).
+  bool use_cascades() const { return use_cascades_; }
+  const TopKConfig& topk_config() const { return topk_cfg_; }
+  std::size_t cache_capacity_per_ifv() const;
+  /// The parallel_threads the pipeline was optimized with (0 = sequential).
+  std::size_t parallel_threads() const;
+  std::shared_ptr<const Executor> executor_ptr() const { return executor_; }
 
  private:
   friend class WillumpOptimizer;

@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "common/rng.hpp"
+#include "serialize/buffer.hpp"
 
 namespace willump::models {
 
@@ -312,6 +313,94 @@ void Gbdt::compute_permutation_importance(const data::DenseMatrix& x,
 std::vector<double> Gbdt::feature_importances() const {
   if (cfg_.permutation_rows > 0) return perm_importance_;
   return gain_importance_;
+}
+
+void Gbdt::save(serialize::Writer& w) const {
+  w.i32(cfg_.n_trees);
+  w.i32(cfg_.max_depth);
+  w.f64(cfg_.learning_rate);
+  w.i32(cfg_.min_samples_leaf);
+  w.i32(cfg_.n_bins);
+  w.f64(cfg_.lambda);
+  w.f64(cfg_.subsample);
+  w.u8(cfg_.classification ? 1 : 0);
+  w.u64(cfg_.seed);
+  w.u64(cfg_.permutation_rows);
+  w.f64(base_score_);
+  w.u64(trees_.size());
+  for (const auto& tree : trees_) {
+    const auto& nodes = tree.nodes();
+    w.u64(nodes.size());
+    for (const auto& n : nodes) {
+      w.i32(n.feature);
+      w.f64(n.threshold);
+      w.i32(n.left);
+      w.i32(n.right);
+      w.f64(n.value);
+    }
+  }
+  w.doubles(gain_importance_);
+  w.doubles(perm_importance_);
+}
+
+std::unique_ptr<Gbdt> Gbdt::load(serialize::Reader& r) {
+  GbdtConfig cfg;
+  cfg.n_trees = r.i32();
+  cfg.max_depth = r.i32();
+  cfg.learning_rate = r.f64();
+  cfg.min_samples_leaf = r.i32();
+  cfg.n_bins = r.i32();
+  cfg.lambda = r.f64();
+  cfg.subsample = r.f64();
+  cfg.classification = r.u8() != 0;
+  cfg.seed = r.u64();
+  cfg.permutation_rows = static_cast<std::size_t>(r.u64());
+  auto m = std::make_unique<Gbdt>(cfg);
+  m->base_score_ = r.f64();
+  const std::uint64_t n_trees = r.length(8, "gbdt trees");
+  m->trees_.resize(static_cast<std::size_t>(n_trees));
+  std::int32_t max_feature = -1;
+  for (auto& tree : m->trees_) {
+    const std::uint64_t n_nodes = r.length(28, "gbdt tree nodes");
+    if (n_nodes == 0) {
+      throw serialize::SerializeError(serialize::ErrorCode::CorruptData,
+                                      "gbdt tree has no nodes");
+    }
+    auto& nodes = tree.nodes();
+    nodes.resize(static_cast<std::size_t>(n_nodes));
+    const auto count = static_cast<std::int32_t>(n_nodes);
+    for (std::int32_t i = 0; i < count; ++i) {
+      auto& n = nodes[static_cast<std::size_t>(i)];
+      n.feature = r.i32();
+      n.threshold = r.f64();
+      n.left = r.i32();
+      n.right = r.i32();
+      n.value = r.f64();
+      // predict_row walks child indices unchecked; an out-of-range child
+      // would read out of bounds, and a back/self edge would loop forever.
+      // Trees are built root-first, so children of a valid tree always sit
+      // at strictly larger indices — enforce exactly that.
+      if (n.feature >= 0 &&
+          (n.left <= i || n.right <= i || n.left >= count || n.right >= count)) {
+        throw serialize::SerializeError(serialize::ErrorCode::CorruptData,
+                                        "gbdt tree node indices invalid");
+      }
+      max_feature = std::max(max_feature, n.feature);
+    }
+  }
+  m->gain_importance_ = r.doubles();
+  m->perm_importance_ = r.doubles();
+  // Split features index into predict-time rows; the per-feature gain
+  // vector recorded at fit time carries the training width to check
+  // against. fit() always sizes it, so trees with internal nodes but no
+  // recorded width are themselves corrupt — don't let an emptied vector
+  // disable the bound check.
+  if (max_feature >= 0 &&
+      max_feature >= static_cast<std::int32_t>(m->gain_importance_.size())) {
+    throw serialize::SerializeError(serialize::ErrorCode::CorruptData,
+                                    "gbdt split feature exceeds training width");
+  }
+  return m;
 }
 
 }  // namespace willump::models

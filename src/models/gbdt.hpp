@@ -67,6 +67,9 @@ class Gbdt final : public Model {
     return std::make_unique<Gbdt>(cfg_);
   }
   std::string name() const override { return "gbdt"; }
+  void save(serialize::Writer& w) const override;
+
+  static std::unique_ptr<Gbdt> load(serialize::Reader& r);
 
   std::span<const double> gain_importances() const { return gain_importance_; }
   std::span<const double> permutation_importances() const {

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/rng.hpp"
+#include "serialize/buffer.hpp"
 
 namespace willump::models {
 
@@ -104,6 +105,48 @@ std::vector<double> LinearModelBase::feature_importances() const {
     imp[i] = std::abs(w_[i]) * mean_abs_[i];
   }
   return imp;
+}
+
+void LinearModelBase::save(serialize::Writer& w) const {
+  w.i32(cfg_.epochs);
+  w.f64(cfg_.learning_rate);
+  w.f64(cfg_.l2);
+  w.u64(cfg_.seed);
+  w.doubles(w_);
+  w.f64(b_);
+  w.doubles(mean_abs_);
+}
+
+LinearConfig LinearModelBase::load_config(serialize::Reader& r) {
+  LinearConfig cfg;
+  cfg.epochs = r.i32();
+  cfg.learning_rate = r.f64();
+  cfg.l2 = r.f64();
+  cfg.seed = r.u64();
+  return cfg;
+}
+
+void LinearModelBase::load_state(serialize::Reader& r) {
+  w_ = r.doubles();
+  b_ = r.f64();
+  mean_abs_ = r.doubles();
+  if (mean_abs_.size() != w_.size()) {
+    throw serialize::SerializeError(serialize::ErrorCode::CorruptData,
+                                    "linear model weight/mean size mismatch");
+  }
+}
+
+std::unique_ptr<LogisticRegression> LogisticRegression::load(
+    serialize::Reader& r) {
+  auto m = std::make_unique<LogisticRegression>(load_config(r));
+  m->load_state(r);
+  return m;
+}
+
+std::unique_ptr<LinearRegression> LinearRegression::load(serialize::Reader& r) {
+  auto m = std::make_unique<LinearRegression>(load_config(r));
+  m->load_state(r);
+  return m;
 }
 
 }  // namespace willump::models

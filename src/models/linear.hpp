@@ -29,11 +29,17 @@ class LinearModelBase : public Model {
   void fit(const data::FeatureMatrix& x, std::span<const double> y) override;
   std::vector<double> predict(const data::FeatureMatrix& x) const override;
   std::vector<double> feature_importances() const override;
+  void save(serialize::Writer& w) const override;
 
   std::span<const double> weights() const { return w_; }
   double bias() const { return b_; }
 
  protected:
+  /// Reads what save() wrote (config first, then trained state); shared by
+  /// the derived classes' registry loaders.
+  static LinearConfig load_config(serialize::Reader& r);
+  void load_state(serialize::Reader& r);
+
   /// Link function applied to the raw margin (identity or sigmoid).
   virtual double link(double margin) const = 0;
   /// d(loss)/d(margin) for one example: prediction - target for both
@@ -58,6 +64,8 @@ class LogisticRegression final : public LinearModelBase {
   }
   std::string name() const override { return "logistic_regression"; }
 
+  static std::unique_ptr<LogisticRegression> load(serialize::Reader& r);
+
  protected:
   double link(double margin) const override;
 };
@@ -70,6 +78,8 @@ class LinearRegression final : public LinearModelBase {
     return std::make_unique<LinearRegression>(cfg_);
   }
   std::string name() const override { return "linear_regression"; }
+
+  static std::unique_ptr<LinearRegression> load(serialize::Reader& r);
 
  protected:
   double link(double margin) const override { return margin; }

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/rng.hpp"
+#include "serialize/buffer.hpp"
 
 namespace willump::models {
 
@@ -145,6 +146,52 @@ std::vector<double> Mlp::predict(const data::FeatureMatrix& x) const {
     out[r] = output_of(z);
   }
   return out;
+}
+
+void Mlp::save(serialize::Writer& w) const {
+  w.i32(cfg_.hidden);
+  w.i32(cfg_.epochs);
+  w.f64(cfg_.learning_rate);
+  w.f64(cfg_.l2);
+  w.u8(cfg_.classification ? 1 : 0);
+  w.u64(cfg_.seed);
+  w.u64(in_dim_);
+  w.doubles(w1_);
+  w.doubles(b1_);
+  w.doubles(w2_);
+  w.f64(b2_);
+}
+
+std::unique_ptr<Mlp> Mlp::load(serialize::Reader& r) {
+  MlpConfig cfg;
+  cfg.hidden = r.i32();
+  cfg.epochs = r.i32();
+  cfg.learning_rate = r.f64();
+  cfg.l2 = r.f64();
+  cfg.classification = r.u8() != 0;
+  cfg.seed = r.u64();
+  if (cfg.hidden < 0) {
+    throw serialize::SerializeError(serialize::ErrorCode::CorruptData,
+                                    "mlp hidden size negative");
+  }
+  auto m = std::make_unique<Mlp>(cfg);
+  m->in_dim_ = static_cast<std::size_t>(r.u64());
+  m->w1_ = r.doubles();
+  m->b1_ = r.doubles();
+  m->w2_ = r.doubles();
+  m->b2_ = r.f64();
+  const auto hidden = static_cast<std::size_t>(cfg.hidden);
+  // Shape check by division, not multiplication: hidden * in_dim_ can wrap
+  // for absurd in_dim_ values and make an undersized w1_ "match".
+  const bool w1_ok = hidden == 0
+                         ? m->w1_.empty()
+                         : (m->w1_.size() % hidden == 0 &&
+                            m->w1_.size() / hidden == m->in_dim_);
+  if (!w1_ok || m->b1_.size() != hidden || m->w2_.size() != hidden) {
+    throw serialize::SerializeError(serialize::ErrorCode::CorruptData,
+                                    "mlp layer shapes inconsistent");
+  }
+  return m;
 }
 
 }  // namespace willump::models

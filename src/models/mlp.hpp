@@ -39,6 +39,9 @@ class Mlp final : public Model {
     return std::make_unique<Mlp>(cfg_);
   }
   std::string name() const override { return "mlp"; }
+  void save(serialize::Writer& w) const override;
+
+  static std::unique_ptr<Mlp> load(serialize::Reader& r);
 
  private:
   /// Forward pass for one row; fills `hidden_buf` with post-ReLU activations.

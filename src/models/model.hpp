@@ -2,10 +2,16 @@
 
 #include <memory>
 #include <span>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
 #include "data/matrix.hpp"
+
+namespace willump::serialize {
+class Reader;
+class Writer;
+}
 
 namespace willump::models {
 
@@ -42,6 +48,15 @@ class Model {
   virtual std::unique_ptr<Model> clone_untrained() const = 0;
 
   virtual std::string name() const = 0;
+
+  /// Write hyperparameters and trained state so the model registry
+  /// (serialize/model_registry.hpp) can rebuild this model under the type
+  /// tag name() returns. Built-in models override this; the default keeps
+  /// user-defined models compiling until they implement the contract.
+  virtual void save(serialize::Writer& w) const {
+    (void)w;
+    throw std::logic_error("model \"" + name() + "\" is not serializable");
+  }
 };
 
 /// Binary prediction threshold shared across the library.

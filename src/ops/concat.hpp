@@ -13,6 +13,8 @@ class ConcatOp final : public Operator {
   std::string name() const override { return "concat"; }
   data::Value eval_batch(std::span<const data::Value> inputs) const override;
   bool commutative() const override { return true; }
+  std::string_view serial_tag() const override { return "concat"; }
+  void save(serialize::Writer&) const override {}  // stateless
 };
 
 }  // namespace willump::ops

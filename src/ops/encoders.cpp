@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "common/hash.hpp"
+#include "serialize/buffer.hpp"
 
 namespace willump::ops {
 
@@ -122,6 +123,20 @@ data::Value ColumnMathOp::eval_batch(std::span<const data::Value> inputs) const 
     }
   }
   return data::Value(data::Column(std::move(out)));
+}
+
+void OneHotHashOp::save(serialize::Writer& w) const {
+  w.i32(n_buckets_);
+  w.u64(salt_);
+  w.str(label_);
+}
+
+void NumericColumnsOp::save(serialize::Writer& w) const { w.str(label_); }
+
+void BucketizeOp::save(serialize::Writer& w) const { w.doubles(boundaries_); }
+
+void ColumnMathOp::save(serialize::Writer& w) const {
+  w.u8(static_cast<std::uint8_t>(kind_));
 }
 
 }  // namespace willump::ops

@@ -18,6 +18,8 @@ class OneHotHashOp final : public Operator {
 
   std::string name() const override { return label_; }
   data::Value eval_batch(std::span<const data::Value> inputs) const override;
+  std::string_view serial_tag() const override { return "one_hot_hash"; }
+  void save(serialize::Writer& w) const override;
 
   std::int32_t bucket_of(std::int64_t key) const;
 
@@ -36,6 +38,8 @@ class NumericColumnsOp final : public Operator {
 
   std::string name() const override { return label_; }
   data::Value eval_batch(std::span<const data::Value> inputs) const override;
+  std::string_view serial_tag() const override { return "numeric_columns"; }
+  void save(serialize::Writer& w) const override;
 
  private:
   std::string label_;
@@ -50,6 +54,8 @@ class BucketizeOp final : public Operator {
 
   std::string name() const override { return "bucketize"; }
   data::Value eval_batch(std::span<const data::Value> inputs) const override;
+  std::string_view serial_tag() const override { return "bucketize"; }
+  void save(serialize::Writer& w) const override;
 
  private:
   std::vector<double> boundaries_;
@@ -65,6 +71,8 @@ class ColumnMathOp final : public Operator {
 
   std::string name() const override;
   data::Value eval_batch(std::span<const data::Value> inputs) const override;
+  std::string_view serial_tag() const override { return "column_math"; }
+  void save(serialize::Writer& w) const override;
 
  private:
   Kind kind_;

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "serialize/buffer.hpp"
+
 namespace willump::ops {
 
 data::Value TableLookupOp::eval_batch(std::span<const data::Value> inputs) const {
@@ -22,6 +24,12 @@ data::Value TableLookupOp::eval_batch(std::span<const data::Value> inputs) const
     std::copy(src.begin(), src.end(), dst.begin());
   }
   return data::Value(data::FeatureMatrix(std::move(out)));
+}
+
+void TableLookupOp::save(serialize::Writer& w) const {
+  w.str(client_->table().name());
+  w.f64(client_->network().rtt_micros);
+  w.f64(client_->network().per_key_micros);
 }
 
 }  // namespace willump::ops

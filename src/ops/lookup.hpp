@@ -26,6 +26,10 @@ class TableLookupOp final : public Operator {
   }
   data::Value eval_batch(std::span<const data::Value> inputs) const override;
   bool compilable() const override { return false; }
+  std::string_view serial_tag() const override { return "table_lookup"; }
+  /// Writes the table name and network model; the table's contents travel
+  /// in the artifact's table section (see serialize/op_registry.hpp).
+  void save(serialize::Writer& w) const override;
 
   const store::TableClient& client() const { return *client_; }
 

@@ -2,10 +2,15 @@
 
 #include <memory>
 #include <span>
+#include <stdexcept>
 #include <string>
 #include <string_view>
 
 #include "data/value.hpp"
+
+namespace willump::serialize {
+class Writer;
+}
 
 namespace willump::ops {
 
@@ -39,6 +44,20 @@ class Operator {
   virtual std::string map_string(std::string_view s) const {
     (void)s;
     return {};
+  }
+
+  /// Stable type tag under which the serialization registry reconstructs
+  /// this op (serialize/op_registry.hpp). Empty = not serializable; a
+  /// pipeline containing such an op cannot be saved to an artifact.
+  virtual std::string_view serial_tag() const { return {}; }
+
+  /// Write the op's parameters so the registry loader paired with
+  /// serial_tag() can rebuild an equivalent op. Built-in ops override this;
+  /// the default keeps user-defined ops compiling (they simply cannot be
+  /// saved until they implement the contract).
+  virtual void save(serialize::Writer& w) const {
+    (void)w;
+    throw std::logic_error("operator \"" + name() + "\" is not serializable");
   }
 };
 

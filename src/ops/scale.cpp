@@ -3,6 +3,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "serialize/buffer.hpp"
+
 namespace willump::ops {
 
 ScaleOp ScaleOp::standardize(const data::FeatureMatrix& train) {
@@ -72,6 +74,11 @@ data::FeatureMatrix ScaleOp::apply_columns(
     out.append_row(entries);
   }
   return data::FeatureMatrix(std::move(out));
+}
+
+void ScaleOp::save(serialize::Writer& w) const {
+  w.doubles(scale_);
+  w.doubles(offset_);
 }
 
 }  // namespace willump::ops

@@ -24,6 +24,8 @@ class ScaleOp final : public Operator, public ColumnSliceable {
   std::string name() const override { return "scale"; }
   data::Value eval_batch(std::span<const data::Value> inputs) const override;
   bool commutative() const override { return true; }
+  std::string_view serial_tag() const override { return "scale"; }
+  void save(serialize::Writer& w) const override;
 
   data::FeatureMatrix apply_columns(
       const data::FeatureMatrix& m,

@@ -6,6 +6,8 @@
 
 #include "common/string_util.hpp"
 
+#include "serialize/buffer.hpp"
+
 namespace willump::ops {
 
 namespace {
@@ -83,6 +85,11 @@ data::Value KeywordCountOp::eval_batch(std::span<const data::Value> inputs) cons
     row[keywords_.size()] = total;
   }
   return data::Value(data::FeatureMatrix(std::move(out)));
+}
+
+void KeywordCountOp::save(serialize::Writer& w) const {
+  w.u64(keywords_.size());
+  for (const auto& k : keywords_) w.str(k);
 }
 
 }  // namespace willump::ops

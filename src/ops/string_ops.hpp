@@ -14,6 +14,8 @@ class LowercaseOp final : public Operator {
   data::Value eval_batch(std::span<const data::Value> inputs) const override;
   bool is_string_map() const override { return true; }
   std::string map_string(std::string_view s) const override;
+  std::string_view serial_tag() const override { return "lowercase"; }
+  void save(serialize::Writer&) const override {}  // stateless
 };
 
 /// Element-wise punctuation stripping (string map; fusable).
@@ -23,6 +25,8 @@ class StripPunctOp final : public Operator {
   data::Value eval_batch(std::span<const data::Value> inputs) const override;
   bool is_string_map() const override { return true; }
   std::string map_string(std::string_view s) const override;
+  std::string_view serial_tag() const override { return "strip_punct"; }
+  void save(serialize::Writer&) const override {}  // stateless
 };
 
 /// Cheap per-string summary features: length, word count, mean word length,
@@ -35,6 +39,8 @@ class StringStatsOp final : public Operator {
 
   std::string name() const override { return "string_stats"; }
   data::Value eval_batch(std::span<const data::Value> inputs) const override;
+  std::string_view serial_tag() const override { return "string_stats"; }
+  void save(serialize::Writer&) const override {}  // stateless
 
   /// Compute the feature row for one string (used by tests and fused paths).
   static void features_of(std::string_view s, std::span<double> out);
@@ -50,6 +56,8 @@ class KeywordCountOp final : public Operator {
 
   std::string name() const override { return "keyword_count"; }
   data::Value eval_batch(std::span<const data::Value> inputs) const override;
+  std::string_view serial_tag() const override { return "keyword_count"; }
+  void save(serialize::Writer& w) const override;
 
   std::size_t num_features() const { return keywords_.size() + 1; }
   const std::vector<std::string>& keywords() const { return keywords_; }

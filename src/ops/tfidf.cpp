@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "serialize/buffer.hpp"
+
 namespace willump::ops {
 
 TfIdfModel TfIdfModel::fit(const data::StringColumn& corpus, TfIdfConfig cfg) {
@@ -90,6 +92,69 @@ data::CsrMatrix TfIdfModel::transform(const data::StringColumn& docs) const {
   data::CsrMatrix out(dim_);
   for (const auto& doc : docs) out.append_row(transform_one(doc));
   return out;
+}
+
+void TfIdfModel::save(serialize::Writer& w) const {
+  w.u8(static_cast<std::uint8_t>(cfg_.analyzer));
+  w.i32(cfg_.ngrams.min_n);
+  w.i32(cfg_.ngrams.max_n);
+  w.i32(cfg_.max_features);
+  w.i32(cfg_.min_df);
+  w.u8(cfg_.use_idf ? 1 : 0);
+  w.u8(cfg_.sublinear_tf ? 1 : 0);
+  w.u8(cfg_.l2_normalize ? 1 : 0);
+  // Vocabulary in index order: deterministic bytes regardless of the
+  // unordered_map's layout, and load can rebuild indices positionally.
+  std::vector<std::string_view> terms(static_cast<std::size_t>(dim_));
+  for (const auto& [term, idx] : vocab_) {
+    terms[static_cast<std::size_t>(idx)] = term;
+  }
+  w.u64(terms.size());
+  for (auto t : terms) w.str(t);
+  w.doubles(idf_);
+}
+
+TfIdfModel TfIdfModel::load(serialize::Reader& r) {
+  TfIdfModel m;
+  const std::uint8_t analyzer = r.u8();
+  if (analyzer > static_cast<std::uint8_t>(Analyzer::Char)) {
+    throw serialize::SerializeError(serialize::ErrorCode::CorruptData,
+                                    "tfidf analyzer out of range");
+  }
+  m.cfg_.analyzer = static_cast<Analyzer>(analyzer);
+  m.cfg_.ngrams.min_n = r.i32();
+  m.cfg_.ngrams.max_n = r.i32();
+  m.cfg_.max_features = r.i32();
+  m.cfg_.min_df = r.i32();
+  m.cfg_.use_idf = r.u8() != 0;
+  m.cfg_.sublinear_tf = r.u8() != 0;
+  m.cfg_.l2_normalize = r.u8() != 0;
+  if (m.cfg_.ngrams.min_n < 1 || m.cfg_.ngrams.max_n < m.cfg_.ngrams.min_n) {
+    throw serialize::SerializeError(serialize::ErrorCode::CorruptData,
+                                    "tfidf ngram range invalid");
+  }
+  const std::uint64_t n_terms = r.length(8, "tfidf vocabulary");
+  m.vocab_.reserve(static_cast<std::size_t>(n_terms));
+  for (std::uint64_t i = 0; i < n_terms; ++i) {
+    const auto [it, inserted] =
+        m.vocab_.emplace(r.str(), static_cast<std::int32_t>(i));
+    if (!inserted) {
+      throw serialize::SerializeError(serialize::ErrorCode::CorruptData,
+                                      "tfidf vocabulary has duplicate term");
+    }
+  }
+  m.idf_ = r.doubles();
+  if (m.idf_.size() != n_terms) {
+    throw serialize::SerializeError(serialize::ErrorCode::CorruptData,
+                                    "tfidf idf/vocabulary size mismatch");
+  }
+  m.dim_ = static_cast<std::int32_t>(n_terms);
+  return m;
+}
+
+void TfIdfOp::save(serialize::Writer& w) const {
+  w.str(label_);
+  model_->save(w);
 }
 
 data::Value TfIdfOp::eval_batch(std::span<const data::Value> inputs) const {

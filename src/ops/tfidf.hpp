@@ -10,6 +10,10 @@
 #include "ops/operator.hpp"
 #include "ops/tokenizer.hpp"
 
+namespace willump::serialize {
+class Reader;
+}
+
 namespace willump::ops {
 
 /// TF-IDF vectorizer settings (scikit-learn-compatible subset).
@@ -44,6 +48,11 @@ class TfIdfModel {
   /// Term index, or -1 if out of vocabulary.
   std::int32_t term_index(const std::string& term) const;
 
+  /// Fitted-state round trip (vocabulary is written index-ordered so the
+  /// byte stream is deterministic across hash-map layouts).
+  void save(serialize::Writer& w) const;
+  static TfIdfModel load(serialize::Reader& r);
+
  private:
   TfIdfConfig cfg_;
   std::int32_t dim_ = 0;
@@ -61,6 +70,8 @@ class TfIdfOp final : public Operator {
 
   std::string name() const override { return label_; }
   data::Value eval_batch(std::span<const data::Value> inputs) const override;
+  std::string_view serial_tag() const override { return "tfidf"; }
+  void save(serialize::Writer& w) const override;
 
   const TfIdfModel& model() const { return *model_; }
 

@@ -1,0 +1,79 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/optimizer.hpp"
+#include "serialize/buffer.hpp"
+
+namespace willump::serialize {
+
+/// Artifact format version. Bump on any incompatible layout change; load
+/// rejects versions it does not read (no silent cross-version parsing).
+inline constexpr std::uint32_t kFormatVersion = 1;
+
+/// File layout (all integers little-endian):
+///
+///   "WLMP"  magic (4 bytes)
+///   u32     format version
+///   u32     artifact kind ('WPIP' pipeline | 'WCSC' cascade bundle)
+///   u32     section count
+///   repeat: u32 section tag, u64 payload size, u32 payload CRC-32, payload
+///
+/// Sections of a pipeline artifact: 'META' (engine + optimization flags),
+/// 'TABL' (feature tables, dedup'd by name), 'GRPH' (graph topology + op
+/// payloads via the op registry), 'LAYT' (probed column layout + measured
+/// generator costs), 'CASC' (trained cascade + models via the model
+/// registry). A cascade bundle carries 'LAYT' + 'CASC' only.
+///
+/// Every load failure throws SerializeError; corrupt bytes can never
+/// construct a pipeline (per-section CRCs catch flips, every read is
+/// bounds-checked, and cross-field invariants are validated on load).
+
+/// Serialize a trained pipeline. Throws std::logic_error if the pipeline
+/// contains an op or model outside the serialization registries.
+std::vector<std::uint8_t> pipeline_to_bytes(const core::OptimizedPipeline& p);
+
+/// Reconstruct a pipeline; the artifact is self-contained (fitted
+/// vocabularies, model weights, cascade thresholds, and feature tables all
+/// travel inside it).
+core::OptimizedPipeline pipeline_from_bytes(std::span<const std::uint8_t> bytes);
+
+void save_pipeline(const core::OptimizedPipeline& p, const std::string& path);
+core::OptimizedPipeline load_pipeline(const std::string& path);
+
+/// A trained cascade plus the probed layout and measured per-generator
+/// costs — what the test fixture cache stores so slow suites skip cascade
+/// training. The executor itself is rebuilt from the (regenerated)
+/// workload graph; bind_cascade_bundle() re-attaches the tuned state.
+struct CascadeBundle {
+  core::TrainedCascade cascade;
+  std::vector<std::size_t> block_cols;
+  std::vector<std::size_t> col_begin;
+  std::vector<double> fg_costs;
+};
+
+std::vector<std::uint8_t> cascade_bundle_to_bytes(const CascadeBundle& b);
+CascadeBundle cascade_bundle_from_bytes(std::span<const std::uint8_t> bytes);
+
+void save_cascade_bundle(const CascadeBundle& b, const std::string& path);
+CascadeBundle load_cascade_bundle(const std::string& path);
+
+/// Restore a bundle's layout/costs onto an executor rebuilt from the same
+/// graph. Throws SerializeError(CorruptData) when the bundle does not match
+/// the executor's generator structure.
+void bind_cascade_bundle(CascadeBundle& bundle, core::Executor& executor);
+
+/// Whole-file read; missing/unreadable files throw SerializeError(IoError).
+std::vector<std::uint8_t> read_file(const std::string& path);
+
+/// Crash/concurrency-safe write: bytes land in a temp file first and are
+/// renamed into place, so readers only ever see complete artifacts (a
+/// half-written file additionally fails its CRCs). Parallel writers of the
+/// same path race benignly — last rename wins with identical content.
+void write_file_atomic(const std::string& path,
+                       std::span<const std::uint8_t> bytes);
+
+}  // namespace willump::serialize

@@ -1,0 +1,173 @@
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "serialize/error.hpp"
+
+namespace willump::serialize {
+
+/// CRC-32 (ISO-HDLC polynomial, the zlib convention) over a byte span.
+std::uint32_t crc32(std::span<const std::uint8_t> bytes);
+
+/// Append-only little-endian byte sink. All multi-byte integers are written
+/// fixed-width little-endian; doubles are written as their IEEE-754 bit
+/// pattern, so a round trip is bit-exact.
+class Writer {
+ public:
+  void u8(std::uint8_t v) { buf_.push_back(v); }
+  void u32(std::uint32_t v) { put_le(v); }
+  void u64(std::uint64_t v) { put_le(v); }
+  void i32(std::int32_t v) { put_le(static_cast<std::uint32_t>(v)); }
+  void i64(std::int64_t v) { put_le(static_cast<std::uint64_t>(v)); }
+  void f64(double v) { put_le(std::bit_cast<std::uint64_t>(v)); }
+
+  /// Length-prefixed UTF-8/opaque bytes.
+  void str(std::string_view s) {
+    u64(s.size());
+    buf_.insert(buf_.end(), s.begin(), s.end());
+  }
+
+  /// Un-prefixed raw bytes (bulk append; the container packer uses this for
+  /// section payloads, which carry their own length in the section header).
+  void raw(std::span<const std::uint8_t> bytes) {
+    buf_.insert(buf_.end(), bytes.begin(), bytes.end());
+  }
+
+  void doubles(std::span<const double> xs) {
+    u64(xs.size());
+    for (double x : xs) f64(x);
+  }
+
+  void sizes(std::span<const std::size_t> xs) {
+    u64(xs.size());
+    for (std::size_t x : xs) u64(x);
+  }
+
+  /// Bool vectors (cascade masks) as one byte per element.
+  void bools(const std::vector<bool>& xs) {
+    u64(xs.size());
+    for (bool x : xs) u8(x ? 1 : 0);
+  }
+
+  std::span<const std::uint8_t> bytes() const { return buf_; }
+  std::size_t size() const { return buf_.size(); }
+  std::vector<std::uint8_t> take() { return std::move(buf_); }
+
+ private:
+  template <typename T>
+  void put_le(T v) {
+    for (std::size_t i = 0; i < sizeof(T); ++i) {
+      buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+  }
+
+  std::vector<std::uint8_t> buf_;
+};
+
+/// Bounds-checked little-endian reader over a borrowed byte span. Every
+/// overrun throws SerializeError(Truncated); element counts are validated
+/// against the bytes actually remaining before any allocation, so a
+/// bit-flipped length cannot trigger a multi-gigabyte resize.
+class Reader {
+ public:
+  explicit Reader(std::span<const std::uint8_t> bytes) : buf_(bytes) {}
+
+  std::uint8_t u8() { return take_le<std::uint8_t>(); }
+  std::uint32_t u32() { return take_le<std::uint32_t>(); }
+  std::uint64_t u64() { return take_le<std::uint64_t>(); }
+  std::int32_t i32() { return static_cast<std::int32_t>(take_le<std::uint32_t>()); }
+  std::int64_t i64() { return static_cast<std::int64_t>(take_le<std::uint64_t>()); }
+  double f64() { return std::bit_cast<double>(take_le<std::uint64_t>()); }
+
+  std::string str() {
+    const std::uint64_t n = length(1, "string");
+    std::string s(reinterpret_cast<const char*>(buf_.data() + pos_),
+                  static_cast<std::size_t>(n));
+    pos_ += static_cast<std::size_t>(n);
+    return s;
+  }
+
+  std::vector<double> doubles() {
+    const std::uint64_t n = length(8, "double vector");
+    std::vector<double> xs;
+    xs.reserve(static_cast<std::size_t>(n));
+    for (std::uint64_t i = 0; i < n; ++i) xs.push_back(f64());
+    return xs;
+  }
+
+  std::vector<std::size_t> sizes() {
+    const std::uint64_t n = length(8, "size vector");
+    std::vector<std::size_t> xs;
+    xs.reserve(static_cast<std::size_t>(n));
+    for (std::uint64_t i = 0; i < n; ++i) {
+      xs.push_back(static_cast<std::size_t>(u64()));
+    }
+    return xs;
+  }
+
+  std::vector<bool> bools() {
+    const std::uint64_t n = length(1, "bool vector");
+    std::vector<bool> xs(static_cast<std::size_t>(n));
+    for (std::uint64_t i = 0; i < n; ++i) {
+      const std::uint8_t b = u8();
+      if (b > 1) {
+        throw SerializeError(ErrorCode::CorruptData, "bool byte out of range");
+      }
+      xs[static_cast<std::size_t>(i)] = b != 0;
+    }
+    return xs;
+  }
+
+  /// Read an element count and validate it against the remaining payload
+  /// (each element consumes at least `min_elem_bytes`).
+  std::uint64_t length(std::size_t min_elem_bytes, const char* what) {
+    const std::uint64_t n = u64();
+    if (min_elem_bytes > 0 && n > remaining() / min_elem_bytes) {
+      throw SerializeError(ErrorCode::Truncated,
+                           std::string(what) + " length exceeds payload");
+    }
+    return n;
+  }
+
+  std::size_t remaining() const { return buf_.size() - pos_; }
+  bool at_end() const { return pos_ == buf_.size(); }
+  std::size_t position() const { return pos_; }
+
+  /// Borrow `n` raw bytes (used for nested section payloads).
+  std::span<const std::uint8_t> raw(std::size_t n) {
+    require(n, "raw bytes");
+    auto out = buf_.subspan(pos_, n);
+    pos_ += n;
+    return out;
+  }
+
+ private:
+  void require(std::size_t n, const char* what) const {
+    if (remaining() < n) {
+      throw SerializeError(ErrorCode::Truncated,
+                           std::string("reading ") + what + " past the end");
+    }
+  }
+
+  template <typename T>
+  T take_le() {
+    require(sizeof(T), "integer");
+    T v = 0;
+    for (std::size_t i = 0; i < sizeof(T); ++i) {
+      v = static_cast<T>(v | (static_cast<T>(buf_[pos_ + i]) << (8 * i)));
+    }
+    pos_ += sizeof(T);
+    return v;
+  }
+
+  std::span<const std::uint8_t> buf_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace willump::serialize

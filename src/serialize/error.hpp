@@ -1,0 +1,54 @@
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace willump::serialize {
+
+/// Why an artifact was rejected. Every load failure maps to one of these;
+/// corrupt input must never surface as UB, a crash, or a silently wrong
+/// pipeline (the hardening standard ClipperSim::deserialize_batch set for
+/// the wire format applies to artifacts too).
+enum class ErrorCode {
+  IoError,             // file missing / unreadable / unwritable
+  BadMagic,            // not a Willump artifact
+  UnsupportedVersion,  // format version this build does not read
+  WrongKind,           // a valid artifact of a different artifact kind
+  Truncated,           // ran out of bytes mid-structure
+  ChecksumMismatch,    // a section's payload fails its CRC
+  UnknownTypeTag,      // op/model tag missing from the type registry
+  CorruptData,         // structurally invalid payload (bad enum, bad id, ...)
+  MissingSection,      // a required section is absent
+};
+
+const char* error_code_name(ErrorCode code);
+
+/// The one exception type every serialization failure throws.
+class SerializeError : public std::runtime_error {
+ public:
+  SerializeError(ErrorCode code, const std::string& what)
+      : std::runtime_error(std::string(error_code_name(code)) + ": " + what),
+        code_(code) {}
+
+  ErrorCode code() const { return code_; }
+
+ private:
+  ErrorCode code_;
+};
+
+inline const char* error_code_name(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::IoError: return "artifact io error";
+    case ErrorCode::BadMagic: return "bad magic";
+    case ErrorCode::UnsupportedVersion: return "unsupported format version";
+    case ErrorCode::WrongKind: return "wrong artifact kind";
+    case ErrorCode::Truncated: return "truncated artifact";
+    case ErrorCode::ChecksumMismatch: return "checksum mismatch";
+    case ErrorCode::UnknownTypeTag: return "unknown type tag";
+    case ErrorCode::CorruptData: return "corrupt data";
+    case ErrorCode::MissingSection: return "missing section";
+  }
+  return "serialize error";
+}
+
+}  // namespace willump::serialize

@@ -1,0 +1,31 @@
+#include "serialize/model_registry.hpp"
+
+#include <stdexcept>
+
+#include "models/gbdt.hpp"
+#include "models/linear.hpp"
+#include "models/mlp.hpp"
+
+namespace willump::serialize {
+
+void save_model(Writer& w, const models::Model& model) {
+  const std::string tag = model.name();
+  if (tag != "logistic_regression" && tag != "linear_regression" &&
+      tag != "gbdt" && tag != "mlp") {
+    throw std::logic_error("model \"" + tag +
+                           "\" has no registered serialization tag");
+  }
+  w.str(tag);
+  model.save(w);
+}
+
+std::shared_ptr<models::Model> load_model(Reader& r) {
+  const std::string tag = r.str();
+  if (tag == "logistic_regression") return models::LogisticRegression::load(r);
+  if (tag == "linear_regression") return models::LinearRegression::load(r);
+  if (tag == "gbdt") return models::Gbdt::load(r);
+  if (tag == "mlp") return models::Mlp::load(r);
+  throw SerializeError(ErrorCode::UnknownTypeTag, "model tag \"" + tag + "\"");
+}
+
+}  // namespace willump::serialize

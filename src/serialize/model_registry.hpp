@@ -1,0 +1,18 @@
+#pragma once
+
+#include <memory>
+
+#include "models/model.hpp"
+#include "serialize/buffer.hpp"
+
+namespace willump::serialize {
+
+/// Write `model` as [type tag][model payload]; the tag is the model's
+/// name(). Throws std::logic_error for models outside the registry.
+void save_model(Writer& w, const models::Model& model);
+
+/// Reconstruct a model from [type tag][payload]. Throws SerializeError
+/// (UnknownTypeTag / CorruptData / Truncated) on malformed input.
+std::shared_ptr<models::Model> load_model(Reader& r);
+
+}  // namespace willump::serialize

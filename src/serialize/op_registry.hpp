@@ -1,0 +1,33 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "ops/operator.hpp"
+#include "serialize/buffer.hpp"
+#include "store/kv_store.hpp"
+
+namespace willump::serialize {
+
+/// Context threaded through polymorphic op loading. Feature tables are
+/// stored once in the artifact's table section (dedup'd by name) and bound
+/// here before the graph loads; a table_lookup op payload references its
+/// table by name.
+struct OpLoadContext {
+  std::unordered_map<std::string, std::shared_ptr<const store::FeatureTable>>
+      tables;
+};
+
+/// Write `op` as [type tag][op payload]. Throws std::logic_error for ops
+/// outside the registry (serial_tag() empty / unknown) — a pipeline carrying
+/// a user op that has not implemented the contract cannot be saved.
+void save_op(Writer& w, const ops::Operator& op);
+
+/// Reconstruct an op from [type tag][payload]. Throws SerializeError with
+/// UnknownTypeTag for tags this build does not know, CorruptData /
+/// Truncated for malformed payloads, and MissingSection when a table_lookup
+/// references a table absent from `ctx`.
+ops::OperatorPtr load_op(Reader& r, const OpLoadContext& ctx);
+
+}  // namespace willump::serialize

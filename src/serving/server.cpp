@@ -4,7 +4,9 @@
 #include <stdexcept>
 #include <utility>
 
+#include "common/hash.hpp"
 #include "common/timer.hpp"
+#include "serialize/artifact.hpp"
 
 namespace willump::serving {
 
@@ -36,6 +38,20 @@ void Server::register_model(std::string name,
   if (pipeline == nullptr) {
     throw std::invalid_argument("Server::register_model: null pipeline");
   }
+  // Borrowed registration: alias a no-op deleter so ownership stays with
+  // the caller, as it always has for this overload.
+  register_model(std::move(name),
+                 std::shared_ptr<const core::OptimizedPipeline>(
+                     pipeline, [](const core::OptimizedPipeline*) {}),
+                 cfg);
+}
+
+void Server::register_model(
+    std::string name, std::shared_ptr<const core::OptimizedPipeline> pipeline,
+    ModelConfig cfg) {
+  if (pipeline == nullptr) {
+    throw std::invalid_argument("Server::register_model: null pipeline");
+  }
   std::lock_guard<std::mutex> lock(registry_mu_);
   if (stopping_.load(std::memory_order_acquire)) {
     throw std::logic_error(
@@ -50,9 +66,44 @@ void Server::register_model(std::string name,
     throw std::invalid_argument("Server::register_model: duplicate model \"" +
                                 name + "\"");
   }
-  auto entry = std::make_unique<ModelEntry>(name, pipeline, cfg);
+  auto entry = std::make_unique<ModelEntry>(name, std::move(pipeline), cfg);
   by_name_.emplace(entry->name, entry.get());
   models_.push_back(std::move(entry));
+}
+
+void Server::load_model(std::string name, const std::string& artifact_path,
+                        ModelConfig cfg) {
+  // Load before touching the registry: a corrupt artifact throws
+  // SerializeError and the registry is exactly as it was.
+  auto pipeline = std::make_shared<const core::OptimizedPipeline>(
+      serialize::load_pipeline(artifact_path));
+  register_model(std::move(name), std::move(pipeline), cfg);
+}
+
+void Server::swap_model(std::string_view model,
+                        const std::string& artifact_path) {
+  swap_model(model, std::make_shared<const core::OptimizedPipeline>(
+                        serialize::load_pipeline(artifact_path)));
+}
+
+void Server::swap_model(
+    std::string_view model,
+    std::shared_ptr<const core::OptimizedPipeline> pipeline) {
+  if (pipeline == nullptr) {
+    throw std::invalid_argument("Server::swap_model: null pipeline");
+  }
+  ModelEntry& m = find_model(model);
+  {
+    std::lock_guard<std::mutex> lock(m.pipeline_mu);
+    m.pipeline = std::move(pipeline);
+  }
+  // Cached predictions belong to the retired pipeline. Bumping the
+  // generation retires the old key space (requests already past submit
+  // keep their old-generation salt, so their late puts are unreachable,
+  // never served as the new version's answers); the clear reclaims the
+  // memory behind the retired keys.
+  m.generation.fetch_add(1, std::memory_order_release);
+  m.cache.clear();
 }
 
 std::vector<std::string> Server::model_names() const {
@@ -247,7 +298,8 @@ void Server::submit_request(ModelEntry& m, data::Batch row, Callback done,
   if (inline_promise != nullptr) req.promise = std::move(*inline_promise);
 
   if (m.cfg.enable_e2e_cache) {
-    req.cache_key = EndToEndCache::key_of(row);
+    req.cache_key = common::hash_combine(
+        EndToEndCache::key_of(row), m.generation.load(std::memory_order_acquire));
     if (auto hit = m.cache.get(req.cache_key)) {
       // Answered before enqueue: the whole pipeline is skipped, which is
       // the point of end-to-end caching (paper §4.5).
@@ -351,6 +403,10 @@ void Server::run_batch(ModelEntry& m, Request first, bool stolen) {
 void Server::execute(ModelEntry& m, std::vector<Request>& reqs, bool stolen) {
   common::Timer timer;
   std::vector<double> preds;
+  // One snapshot per batch: a concurrent swap_model cannot retire this
+  // pipeline until the batch finishes, and every row of the batch runs on
+  // the same pipeline version.
+  const auto pipeline = m.snapshot();
   try {
     // Combining inside the try keeps a malformed row (e.g. a schema that
     // does not match the model's) from escaping on the worker thread: the
@@ -359,7 +415,7 @@ void Server::execute(ModelEntry& m, std::vector<Request>& reqs, bool stolen) {
     for (std::size_t i = 1; i < reqs.size(); ++i) {
       combined.append_rows(reqs[i].row);
     }
-    preds = m.pipeline->predict(combined);
+    preds = pipeline->predict(combined);
   } catch (...) {
     if (reqs.size() == 1) {
       complete_error(reqs.front(), std::current_exception());
@@ -409,6 +465,7 @@ void Server::execute(ModelEntry& m, std::vector<Request>& reqs, bool stolen) {
 std::vector<double> Server::predict_batch(std::string_view model,
                                           const data::Batch& batch) {
   ModelEntry& m = find_model(model);
+  const auto pipeline = m.snapshot();  // whole client batch on one version
   const std::size_t n = batch.num_rows();
   std::vector<double> preds(n, 0.0);
   std::size_t batch_hits = 0;
@@ -416,11 +473,12 @@ std::vector<double> Server::predict_batch(std::string_view model,
   double secs = 0.0;
 
   if (m.cfg.enable_e2e_cache) {
+    const std::uint64_t gen = m.generation.load(std::memory_order_acquire);
     std::vector<std::size_t> missing;
     std::vector<std::uint64_t> keys(n);
     for (std::size_t r = 0; r < n; ++r) {
       const data::Batch row = batch.row(r);
-      keys[r] = EndToEndCache::key_of(row);
+      keys[r] = common::hash_combine(EndToEndCache::key_of(row), gen);
       if (auto hit = m.cache.get(keys[r])) {
         preds[r] = *hit;
         ++batch_hits;
@@ -431,7 +489,7 @@ std::vector<double> Server::predict_batch(std::string_view model,
     if (!missing.empty()) {
       common::Timer timer;
       const auto missing_preds =
-          m.pipeline->predict(batch.select_rows(missing));
+          pipeline->predict(batch.select_rows(missing));
       secs = timer.elapsed_seconds();
       executed_rows = missing.size();
       for (std::size_t i = 0; i < missing.size(); ++i) {
@@ -441,7 +499,7 @@ std::vector<double> Server::predict_batch(std::string_view model,
     }
   } else {
     common::Timer timer;
-    preds = m.pipeline->predict(batch);
+    preds = pipeline->predict(batch);
     secs = timer.elapsed_seconds();
     executed_rows = n;
   }
@@ -554,7 +612,12 @@ EndToEndCache& Server::cache(std::string_view model) {
 EndToEndCache& Server::cache() { return first_model().cache; }
 
 const core::OptimizedPipeline& Server::pipeline(std::string_view model) const {
-  return *find_model(model).pipeline;
+  return *find_model(model).snapshot();
+}
+
+std::shared_ptr<const core::OptimizedPipeline> Server::pipeline_snapshot(
+    std::string_view model) const {
+  return find_model(model).snapshot();
 }
 
 }  // namespace willump::serving

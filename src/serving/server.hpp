@@ -148,9 +148,33 @@ class Server {
 
   /// Register a named pipeline. Throws std::invalid_argument on a duplicate
   /// name and std::logic_error once serving has started (first submit) or
-  /// after shutdown.
+  /// after shutdown. The borrowed pointer must outlive the server.
   void register_model(std::string name, const core::OptimizedPipeline* pipeline,
                       ModelConfig cfg = {});
+
+  /// Owning registration: the registry keeps the pipeline alive. This is
+  /// what load_model/swap_model use internally.
+  void register_model(std::string name,
+                      std::shared_ptr<const core::OptimizedPipeline> pipeline,
+                      ModelConfig cfg = {});
+
+  /// Cold-start path: deserialize a trained pipeline artifact
+  /// (serialize::load_pipeline) and register it under `name`. Same
+  /// registration rules as register_model; artifact failures surface as
+  /// serialize::SerializeError and leave the registry untouched.
+  void load_model(std::string name, const std::string& artifact_path,
+                  ModelConfig cfg = {});
+
+  /// Hot-reload: atomically replace `model`'s pipeline with one loaded from
+  /// `artifact_path`, at any point in the serving lifecycle. In-flight
+  /// batches finish on the pipeline they started with (they hold a
+  /// snapshot); requests picked up afterwards run the new one — no request
+  /// is dropped. The model's end-to-end cache is invalidated (its entries
+  /// were the old pipeline's predictions). Queue, batching policy, AIMD
+  /// state, and counters carry over.
+  void swap_model(std::string_view model, const std::string& artifact_path);
+  void swap_model(std::string_view model,
+                  std::shared_ptr<const core::OptimizedPipeline> pipeline);
 
   /// Registered model names, in registration order.
   std::vector<std::string> model_names() const;
@@ -201,7 +225,13 @@ class Server {
 
   EndToEndCache& cache(std::string_view model);
   EndToEndCache& cache();  // first registered model
+  /// The model's live pipeline. With concurrent swap_model calls prefer
+  /// pipeline_snapshot(): the reference returned here is only safe while no
+  /// swap retires the pipeline it points at.
   const core::OptimizedPipeline& pipeline(std::string_view model) const;
+  /// Shared ownership of the model's current pipeline (stable across swaps).
+  std::shared_ptr<const core::OptimizedPipeline> pipeline_snapshot(
+      std::string_view model) const;
   const ServerConfig& config() const { return cfg_; }
 
  private:
@@ -215,11 +245,27 @@ class Server {
 
   struct ModelEntry {
     std::string name;
-    const core::OptimizedPipeline* pipeline;
+    /// Current pipeline, swappable at runtime (hot-reload). Workers take a
+    /// snapshot per batch under pipeline_mu — a mutex-guarded shared_ptr
+    /// copy, microseconds against a milliseconds-scale inference — so a
+    /// swap never frees a pipeline mid-predict.
+    std::shared_ptr<const core::OptimizedPipeline> pipeline;
+    mutable std::mutex pipeline_mu;
+    /// Pipeline version counter, bumped by every swap. E2e cache keys are
+    /// salted with the generation observed at submit time, so an in-flight
+    /// batch that started on a retired version writes its predictions into
+    /// that version's (now unreachable) key space instead of re-polluting
+    /// the cache after the swap's clear().
+    std::atomic<std::uint64_t> generation{0};
     ModelConfig cfg;
     EndToEndCache cache;
     runtime::RequestQueue<Request> queue;
     AimdBatchController aimd;
+
+    std::shared_ptr<const core::OptimizedPipeline> snapshot() const {
+      std::lock_guard<std::mutex> lock(pipeline_mu);
+      return pipeline;
+    }
 
     mutable std::mutex stats_mu;
     std::size_t queries = 0;
@@ -231,10 +277,10 @@ class Server {
     double inference_seconds = 0.0;
     common::LatencyRecorder latencies;
 
-    ModelEntry(std::string model_name, const core::OptimizedPipeline* p,
-               ModelConfig c)
+    ModelEntry(std::string model_name,
+               std::shared_ptr<const core::OptimizedPipeline> p, ModelConfig c)
         : name(std::move(model_name)),
-          pipeline(p),
+          pipeline(std::move(p)),
           cfg(c),
           cache(c.e2e_cache_capacity),
           queue(c.queue_capacity),

@@ -31,6 +31,12 @@ class FeatureTable {
   std::size_t feature_dim() const { return dim_; }
   std::size_t size() const { return rows_.size(); }
 
+  /// All stored rows (serialization iterates these; sort keys for a
+  /// deterministic byte stream — map order is arbitrary).
+  const std::unordered_map<std::int64_t, data::DenseVector>& rows() const {
+    return rows_;
+  }
+
  private:
   std::string name_;
   std::size_t dim_;

@@ -45,9 +45,17 @@ TEST(CascadeTrainer, EfficientSetCostsLessThanHalf) {
   EXPECT_LE(eff_cost, c.stats.total_cost() / 2.0 + 1e-12);
 }
 
-TEST(CascadeTrainer, ValidationAccuracyWithinTarget) {
-  const auto& c = fixture().cascade;
-  EXPECT_GE(c.cascade_valid_accuracy, c.full_valid_accuracy - 0.001 - 1e-12);
+TEST(CascadeTrainer, ValidationAccuracyWithinCi) {
+  // The paper's own acceptance rule (§6.3): the cascade's accuracy loss is
+  // acceptable when it is not statistically significant at the validation
+  // size — not when it clears a hand-tuned constant.
+  auto& f = fixture();
+  const auto& c = f.cascade;
+  EXPECT_TRUE(common::accuracy_within_ci95(c.cascade_valid_accuracy,
+                                           c.full_valid_accuracy,
+                                           f.wl.valid.targets.size()))
+      << "cascade " << c.cascade_valid_accuracy << " vs full "
+      << c.full_valid_accuracy << " over " << f.wl.valid.targets.size();
 }
 
 TEST(CascadePredict, AccuracyWithinCiOfFullModel) {

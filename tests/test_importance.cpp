@@ -3,7 +3,9 @@
 #include <gtest/gtest.h>
 
 #include "common/rng.hpp"
+#include "common/stats.hpp"
 #include "models/linear.hpp"
+#include "models/metrics.hpp"
 #include "models/mlp.hpp"
 
 namespace willump::core {
@@ -24,10 +26,28 @@ data::DenseMatrix make_informative(common::Rng& rng, std::size_t n,
   return x;
 }
 
+/// Accuracy of a fresh copy of `proto` trained on a column subset of `x`.
+/// The CI-based criterion of §6.3 turns importance claims into statistics:
+/// a feature set is "as good" when its accuracy is within the 95% CI of the
+/// full set's, and "worse" when it is not — no hand-tuned margins.
+double subset_accuracy(const models::Model& proto, const data::DenseMatrix& x,
+                       std::span<const double> y,
+                       const std::vector<std::size_t>& cols) {
+  data::DenseMatrix sub(x.rows(), cols.size());
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    for (std::size_t j = 0; j < cols.size(); ++j) sub(r, j) = x(r, cols[j]);
+  }
+  auto m = proto.clone_untrained();
+  const data::FeatureMatrix fsub(std::move(sub));
+  m->fit(fsub, y);
+  return models::accuracy(m->predict(fsub), y);
+}
+
 TEST(FeatureImportances, LinearModelReportsNativeMeasure) {
   common::Rng rng(11);
   std::vector<double> y;
-  const data::FeatureMatrix x(make_informative(rng, 1200, y));
+  data::DenseMatrix xd = make_informative(rng, 1200, y);
+  const data::FeatureMatrix x(xd);
   models::LogisticRegression m;
   m.fit(x, y);
 
@@ -37,12 +57,22 @@ TEST(FeatureImportances, LinearModelReportsNativeMeasure) {
   ASSERT_EQ(imp.size(), 3u);
   EXPECT_GT(imp[0], imp[1]);
   EXPECT_GT(imp[0], imp[2]);
+
+  // The ranking is statistically grounded (CI criterion, not a magic
+  // margin): the top-ranked feature alone is as accurate as all three,
+  // while the rest without it are significantly worse.
+  const double full_acc = subset_accuracy(m, xd, y, {0, 1, 2});
+  EXPECT_TRUE(common::accuracy_within_ci95(subset_accuracy(m, xd, y, {0}),
+                                           full_acc, y.size()));
+  EXPECT_FALSE(common::accuracy_within_ci95(subset_accuracy(m, xd, y, {1, 2}),
+                                            full_acc, y.size()));
 }
 
 TEST(FeatureImportances, MlpFallsBackToGbdtProxy) {
   common::Rng rng(12);
   std::vector<double> y;
-  const data::FeatureMatrix x(make_informative(rng, 1200, y));
+  data::DenseMatrix xd = make_informative(rng, 1200, y);
+  const data::FeatureMatrix x(xd);
   models::MlpConfig cfg;
   cfg.classification = true;
   cfg.seed = 5;
@@ -57,6 +87,13 @@ TEST(FeatureImportances, MlpFallsBackToGbdtProxy) {
   for (double v : imp) EXPECT_GE(v, 0.0);
   EXPECT_GT(imp[0], imp[1]);
   EXPECT_GT(imp[0], imp[2]);
+
+  // Same CI-based grounding for the proxy's ranking.
+  const double full_acc = subset_accuracy(m, xd, y, {0, 1, 2});
+  EXPECT_TRUE(common::accuracy_within_ci95(subset_accuracy(m, xd, y, {0}),
+                                           full_acc, y.size()));
+  EXPECT_FALSE(common::accuracy_within_ci95(subset_accuracy(m, xd, y, {1, 2}),
+                                            full_acc, y.size()));
 }
 
 /// Layout-only analysis: three generators of widths 2, 1, 3.

@@ -866,6 +866,105 @@ TEST(ServerAimd, DisabledCapStaysFixed) {
 }
 
 // ---------------------------------------------------------------------------
+// Hot-reload: swap_model under live traffic
+// ---------------------------------------------------------------------------
+
+TEST(ServerHotReload, SwapUnderLoadDropsNoRequestAndServesBothVersions) {
+  auto& f = fixture();
+  // Second pipeline version of the same workload, compiled without
+  // cascades: same schema, different (full-model-only) predictions.
+  static core::OptimizedPipeline* plain = [] {
+    auto& fx = fixture();
+    return new core::OptimizedPipeline(core::WillumpOptimizer::optimize(
+        fx.wl.pipeline, fx.wl.train, fx.wl.valid, {}));
+  }();
+
+  serving::ServerConfig cfg;
+  cfg.num_workers = 2;
+  serving::Server server(cfg);
+  serving::ModelConfig mc;
+  mc.max_batch = 4;
+  server.register_model("m", &f.pipeline, mc);
+
+  constexpr std::size_t kClients = 4;
+  constexpr std::size_t kPerClient = 60;
+  std::atomic<std::size_t> completed{0};
+  std::atomic<std::size_t> errors{0};
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (std::size_t c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      for (std::size_t i = 0; i < kPerClient; ++i) {
+        const auto row = f.wl.test.inputs.row((c * kPerClient + i) %
+                                              f.wl.test.inputs.num_rows());
+        try {
+          const double p = server.submit("m", row).get();
+          // Every prediction must be one of the two versions' answers —
+          // never a torn or mixed result.
+          const double old_p = f.pipeline.predict_one(row);
+          const double new_p = plain->predict_one(row);
+          if (p != old_p && p != new_p) ++errors;
+          completed.fetch_add(1, std::memory_order_relaxed);
+        } catch (...) {
+          ++errors;
+        }
+      }
+    });
+  }
+  // Swap back and forth while the clients hammer the queue.
+  for (int s = 0; s < 6; ++s) {
+    server.swap_model(
+        "m", std::shared_ptr<const core::OptimizedPipeline>(
+                 s % 2 == 0 ? plain : &f.pipeline,
+                 [](const core::OptimizedPipeline*) {}));
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  for (auto& t : clients) t.join();
+  server.shutdown();
+  EXPECT_EQ(completed.load(), kClients * kPerClient);
+  EXPECT_EQ(errors.load(), 0u);
+  EXPECT_EQ(server.stats("m").queries, kClients * kPerClient);
+}
+
+TEST(ServerHotReload, SwapInvalidatesEndToEndCache) {
+  auto& f = fixture();
+  serving::ServerConfig cfg;
+  cfg.num_workers = 1;
+  serving::Server server(cfg);
+  serving::ModelConfig mc;
+  mc.enable_e2e_cache = true;
+  server.register_model("m", &f.pipeline, mc);
+
+  const auto row = f.wl.test.inputs.row(0);
+  (void)server.submit("m", row).get();
+  (void)server.submit("m", row).get();
+  EXPECT_EQ(server.stats("m").cache_hits, 1u);
+
+  // After the swap the cached prediction belongs to the retired version and
+  // must not be served.
+  static core::OptimizedPipeline* plain = [] {
+    auto& fx = fixture();
+    return new core::OptimizedPipeline(core::WillumpOptimizer::optimize(
+        fx.wl.pipeline, fx.wl.train, fx.wl.valid, {}));
+  }();
+  server.swap_model("m", std::shared_ptr<const core::OptimizedPipeline>(
+                             plain, [](const core::OptimizedPipeline*) {}));
+  EXPECT_EQ(server.submit("m", row).get(), plain->predict_one(row));
+  server.shutdown();
+}
+
+TEST(ServerHotReload, SwapUnknownModelThrows) {
+  auto& f = fixture();
+  serving::Server server(serving::ServerConfig{.num_workers = 0});
+  server.register_model("m", &f.pipeline);
+  EXPECT_THROW(
+      server.swap_model("ghost",
+                        std::shared_ptr<const core::OptimizedPipeline>(
+                            &f.pipeline, [](const core::OptimizedPipeline*) {})),
+      std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
 // EndToEndCache under concurrency
 // ---------------------------------------------------------------------------
 

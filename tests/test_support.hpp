@@ -7,14 +7,33 @@
 // each binary builds it at most once (function-local statics). Every factory
 // seeds its workload explicitly: a parallel `ctest -j` run must be
 // reproducible run-to-run regardless of suite scheduling.
+//
+// On top of the per-binary statics sits an on-disk trained-fixture cache
+// (directory from $WILLUMP_FIXTURE_CACHE, set per test by CMake): the first
+// binary to need a workload's trained state saves it as a serialization
+// artifact, and every later binary — including every later ctest run —
+// deserializes instead of re-training. Keys combine the fixture tag, the
+// workload seed, the artifact format version, and a fingerprint of the
+// workload's generated data, so editing a workload generator or bumping the
+// format invalidates stale entries instead of silently serving them. Any
+// artifact failure (missing, truncated, corrupted, version-mismatched)
+// falls back to training; the cache can be deleted at any time.
 
+#include <algorithm>
+#include <bit>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
 #include <memory>
+#include <string>
 #include <vector>
 
+#include "common/hash.hpp"
 #include "core/cascades.hpp"
 #include "core/executors.hpp"
 #include "core/ifv_analysis.hpp"
 #include "core/optimizer.hpp"
+#include "serialize/artifact.hpp"
 #include "workloads/credit.hpp"
 #include "workloads/product.hpp"
 #include "workloads/toxic.hpp"
@@ -57,15 +76,80 @@ inline workloads::Workload small_credit_remote() {
   return wl;
 }
 
+/// Directory of the on-disk trained-fixture cache. Empty path disables
+/// caching (set WILLUMP_FIXTURE_CACHE="" to force re-training everywhere).
+inline std::filesystem::path fixture_cache_dir() {
+  if (const char* env = std::getenv("WILLUMP_FIXTURE_CACHE")) {
+    return std::filesystem::path(env);
+  }
+  return std::filesystem::path("willump-fixture-cache");
+}
+
+/// Fingerprint of a workload's generated data: if a generator's output
+/// changes (code edit, size change), cached trained state keyed on the old
+/// fingerprint simply misses instead of being served stale. Inputs matter
+/// as much as targets — several generators draw the label first and derive
+/// the raw input from it, so a generator edit can leave every target
+/// bit-identical while changing the text/features the model trains on.
+inline std::uint64_t workload_fingerprint(const workloads::Workload& wl) {
+  std::uint64_t h = common::fnv1a(wl.name);
+  h = common::hash_combine(h, wl.train.targets.size());
+  h = common::hash_combine(h, wl.valid.targets.size());
+  h = common::hash_combine(h, wl.train.inputs.num_columns());
+  const std::size_t probe = std::min<std::size_t>(wl.train.targets.size(), 64);
+  for (std::size_t i = 0; i < probe; ++i) {
+    h = common::hash_combine(h,
+                             std::bit_cast<std::uint64_t>(wl.train.targets[i]));
+  }
+  for (const auto& name : wl.train.inputs.names()) {
+    h = common::hash_combine(h, common::fnv1a(name));
+    const data::Column& col = wl.train.inputs.get(name);
+    const std::size_t rows = std::min<std::size_t>(col.size(), probe);
+    for (std::size_t i = 0; i < rows; ++i) {
+      switch (col.type()) {
+        case data::ColumnType::Int:
+          h = common::hash_combine(h,
+                                   static_cast<std::uint64_t>(col.ints()[i]));
+          break;
+        case data::ColumnType::Double:
+          h = common::hash_combine(
+              h, std::bit_cast<std::uint64_t>(col.doubles()[i]));
+          break;
+        case data::ColumnType::String:
+          h = common::hash_combine(h, common::fnv1a(col.strings()[i]));
+          break;
+      }
+    }
+  }
+  return h;
+}
+
+inline std::string fixture_cache_path(const std::string& tag,
+                                      std::uint64_t seed,
+                                      const workloads::Workload& wl) {
+  const auto dir = fixture_cache_dir();
+  if (dir.empty()) return {};
+  char fp[17];
+  std::snprintf(fp, sizeof(fp), "%016llx",
+                static_cast<unsigned long long>(workload_fingerprint(wl)));
+  return (dir / (tag + "-s" + std::to_string(seed) + "-v" +
+                 std::to_string(serialize::kFormatVersion) + "-" + fp + ".wlmp"))
+      .string();
+}
+
 /// A workload with both execution engines built, layout probed, and a
-/// default-config cascade trained.
+/// default-config cascade trained — deserialized from the fixture cache
+/// when a matching artifact exists.
 struct ExecutorFixture {
   workloads::Workload wl;
   std::shared_ptr<core::CompiledExecutor> compiled;
   std::shared_ptr<core::InterpretedExecutor> interpreted;
   core::TrainedCascade cascade;
+  bool cascade_from_cache = false;
 
-  explicit ExecutorFixture(workloads::Workload workload)
+  explicit ExecutorFixture(workloads::Workload workload,
+                           std::string cache_tag = {},
+                           std::uint64_t cache_seed = 0)
       : wl(std::move(workload)) {
     compiled = std::make_shared<core::CompiledExecutor>(
         wl.pipeline.graph, core::analyze_ifvs(wl.pipeline.graph));
@@ -73,21 +157,51 @@ struct ExecutorFixture {
         wl.pipeline.graph, core::analyze_ifvs(wl.pipeline.graph));
     compiled->probe_layout(
         wl.train.inputs.select_rows(std::vector<std::size_t>{0, 1}));
+
+    const std::string cache_path =
+        cache_tag.empty() ? std::string{}
+                          : fixture_cache_path(cache_tag, cache_seed, wl);
+    if (!cache_path.empty()) {
+      try {
+        auto bundle = serialize::load_cascade_bundle(cache_path);
+        // The probe above already recorded the live layout; a cached bundle
+        // whose layout disagrees is stale (generator change) — retrain.
+        if (bundle.block_cols == compiled->analysis().block_cols) {
+          serialize::bind_cascade_bundle(bundle, *compiled);
+          cascade = std::move(bundle.cascade);
+          cascade_from_cache = true;
+          return;
+        }
+      } catch (const serialize::SerializeError&) {
+        // Missing or unreadable artifact: train below and refresh it.
+      }
+    }
     cascade = core::CascadeTrainer::train(*compiled, *wl.pipeline.model_proto,
                                           wl.train, wl.valid,
                                           core::CascadeConfig{});
+    if (!cache_path.empty()) {
+      try {
+        serialize::save_cascade_bundle(
+            {cascade, compiled->analysis().block_cols,
+             compiled->analysis().col_begin, cascade.stats.cost_seconds},
+            cache_path);
+      } catch (const serialize::SerializeError&) {
+        // A read-only cache dir must not fail the suite.
+      }
+    }
   }
 };
 
 /// Process-wide Toxic fixture (built on first use).
 inline ExecutorFixture& shared_toxic() {
-  static ExecutorFixture f(small_toxic());
+  static ExecutorFixture f(small_toxic(), "toxic-cascade", kToxicSeed);
   return f;
 }
 
 /// Process-wide Credit-with-remote-tables fixture (built on first use).
 inline ExecutorFixture& shared_credit_remote() {
-  static ExecutorFixture f(small_credit_remote());
+  static ExecutorFixture f(small_credit_remote(), "credit-remote-cascade",
+                           kCreditSeed);
   return f;
 }
 
@@ -99,20 +213,46 @@ inline const workloads::Workload& shared_product_wl() {
 }
 
 /// A workload plus the default-options optimized pipeline Willump produces
-/// for it (serving-layer suites exercise the end product, not the engines).
+/// for it (serving-layer suites exercise the end product, not the engines)
+/// — cold-started from a pipeline artifact when the cache has one.
 struct OptimizedFixture {
   workloads::Workload wl;
   core::OptimizedPipeline pipeline;
+  bool pipeline_from_cache = false;
 
-  explicit OptimizedFixture(workloads::Workload workload)
-      : wl(std::move(workload)),
-        pipeline(core::WillumpOptimizer::optimize(wl.pipeline, wl.train,
-                                                  wl.valid, {})) {}
+  explicit OptimizedFixture(workloads::Workload workload,
+                            std::string cache_tag = {},
+                            std::uint64_t cache_seed = 0)
+      : wl(std::move(workload)) {
+    const std::string cache_path =
+        cache_tag.empty() ? std::string{}
+                          : fixture_cache_path(cache_tag, cache_seed, wl);
+    if (!cache_path.empty()) {
+      try {
+        pipeline = serialize::load_pipeline(cache_path);
+        pipeline_from_cache = true;
+        return;
+      } catch (const serialize::SerializeError&) {
+        // Fall through to in-process optimization.
+      }
+    }
+    pipeline =
+        core::WillumpOptimizer::optimize(wl.pipeline, wl.train, wl.valid, {});
+    if (!cache_path.empty()) {
+      try {
+        serialize::save_pipeline(pipeline, cache_path);
+      } catch (const serialize::SerializeError&) {
+        // A read-only cache dir must not fail the suite.
+      } catch (const std::logic_error&) {
+        // Pipelines carrying unregistered ops/models skip the cache.
+      }
+    }
+  }
 };
 
 /// Process-wide optimized Toxic pipeline (built on first use).
 inline OptimizedFixture& shared_toxic_optimized() {
-  static OptimizedFixture f(small_toxic());
+  static OptimizedFixture f(small_toxic(), "toxic-optimized", kToxicSeed);
   return f;
 }
 
