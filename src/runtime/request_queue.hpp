@@ -7,6 +7,7 @@
 #include <mutex>
 #include <optional>
 #include <stdexcept>
+#include <type_traits>
 #include <vector>
 
 namespace willump::runtime {
@@ -77,6 +78,21 @@ class RequestQueue {
     return pop_locked(lock);
   }
 
+  /// Apply `f` to the oldest queued item under the queue lock, without
+  /// dequeuing it, and return the result; nullopt when empty. This is the
+  /// primitive behind priority-aware multi-queue draining: a scheduler
+  /// peeks each queue's head (e.g. its accept timestamp) to decide which
+  /// queue to drain next, paying one lock and no element move per
+  /// candidate. `f` must be cheap and must not re-enter the queue — it
+  /// runs with the queue lock held.
+  template <typename F>
+  auto peek_front(F&& f) const
+      -> std::optional<std::invoke_result_t<F&, const T&>> {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (items_.empty()) return std::nullopt;
+    return f(items_.front());
+  }
+
   /// Bulk non-blocking dequeue: move up to `max_items` items into `out`
   /// under a single lock acquisition. Returns how many were taken. This is
   /// the coalescing fast path of an adaptive-batching worker — one lock per
@@ -127,6 +143,8 @@ class RequestQueue {
     std::lock_guard<std::mutex> lock(mu_);
     return items_.size();
   }
+
+  bool empty() const { return size() == 0; }
 
   std::size_t capacity() const { return capacity_; }
 

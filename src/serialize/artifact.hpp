@@ -28,9 +28,19 @@ inline constexpr std::uint32_t kFormatVersion = 1;
 /// generator costs), 'CASC' (trained cascade + models via the model
 /// registry). A cascade bundle carries 'LAYT' + 'CASC' only.
 ///
-/// Every load failure throws SerializeError; corrupt bytes can never
-/// construct a pipeline (per-section CRCs catch flips, every read is
-/// bounds-checked, and cross-field invariants are validated on load).
+/// Error semantics: every load failure throws SerializeError with a typed
+/// ErrorCode (see error.hpp); corrupt bytes can never construct a pipeline
+/// (per-section CRCs catch flips, every read is bounds-checked, and
+/// cross-field invariants are validated on load). Save failures throw
+/// std::logic_error only for unserializable content (an op/model outside
+/// the registries) and SerializeError(IoError) for filesystem problems.
+///
+/// Thread safety: these are free functions over value types — concurrent
+/// saves and loads of *different* pipelines/paths need no coordination,
+/// and concurrent loads of the same file are fine (the file is read once
+/// into memory, then parsed). Writers to the same path race benignly via
+/// write_file_atomic (temp file + rename: last writer wins whole). None
+/// of these functions block beyond file I/O.
 
 /// Serialize a trained pipeline. Throws std::logic_error if the pipeline
 /// contains an op or model outside the serialization registries.

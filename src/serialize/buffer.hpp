@@ -18,6 +18,10 @@ std::uint32_t crc32(std::span<const std::uint8_t> bytes);
 /// Append-only little-endian byte sink. All multi-byte integers are written
 /// fixed-width little-endian; doubles are written as their IEEE-754 bit
 /// pattern, so a round trip is bit-exact.
+///
+/// Not thread-safe (one Writer per serialization in progress; nothing in
+/// the artifact layer shares one across threads). Writes never fail short
+/// of allocation failure; nothing here blocks.
 class Writer {
  public:
   void u8(std::uint8_t v) { buf_.push_back(v); }
@@ -74,6 +78,11 @@ class Writer {
 /// overrun throws SerializeError(Truncated); element counts are validated
 /// against the bytes actually remaining before any allocation, so a
 /// bit-flipped length cannot trigger a multi-gigabyte resize.
+///
+/// Borrows, never copies: the span must outlive the Reader. Not
+/// thread-safe (the cursor is mutable state); concurrent loads each parse
+/// their own Reader over their own bytes. A Reader that has thrown is
+/// positioned mid-structure and must be discarded, not resumed.
 class Reader {
  public:
   explicit Reader(std::span<const std::uint8_t> bytes) : buf_(bytes) {}

@@ -9,6 +9,13 @@ namespace willump::serialize {
 /// corrupt input must never surface as UB, a crash, or a silently wrong
 /// pipeline (the hardening standard ClipperSim::deserialize_batch set for
 /// the wire format applies to artifacts too).
+///
+/// Callers branch on the code, not the message: `code()` is API, the
+/// what() string is diagnostics. The typed split matters operationally —
+/// IoError is retryable (file still being copied into place),
+/// UnsupportedVersion calls for a re-export from the matching build, and
+/// everything else means the artifact itself is damaged and no retry will
+/// help.
 enum class ErrorCode {
   IoError,             // file missing / unreadable / unwritable
   BadMagic,            // not a Willump artifact

@@ -9,10 +9,15 @@ namespace willump::serialize {
 
 /// Write `model` as [type tag][model payload]; the tag is the model's
 /// name(). Throws std::logic_error for models outside the registry.
+/// Stateless and safe to call concurrently for different (Writer, model)
+/// pairs; the tag table is immutable after static initialization.
 void save_model(Writer& w, const models::Model& model);
 
 /// Reconstruct a model from [type tag][payload]. Throws SerializeError
-/// (UnknownTypeTag / CorruptData / Truncated) on malformed input.
+/// (UnknownTypeTag / CorruptData / Truncated) on malformed input — a
+/// malformed payload never yields a partially constructed model, and
+/// cross-field invariants (tree child indices, layer shapes) are validated
+/// here so a decoded model cannot crash at predict time.
 std::shared_ptr<models::Model> load_model(Reader& r);
 
 }  // namespace willump::serialize

@@ -13,7 +13,13 @@ namespace willump::serialize {
 /// Context threaded through polymorphic op loading. Feature tables are
 /// stored once in the artifact's table section (dedup'd by name) and bound
 /// here before the graph loads; a table_lookup op payload references its
-/// table by name.
+/// table by name. The context is read-only during the load and owned by
+/// the caller; the loaded ops share ownership of the tables they bind
+/// (shared_ptr), so the context may be discarded after load.
+///
+/// The save/load pair below is stateless and thread-safe to call
+/// concurrently for different (Writer/Reader, op) pairs; the registry
+/// tables themselves are immutable after static initialization.
 struct OpLoadContext {
   std::unordered_map<std::string, std::shared_ptr<const store::FeatureTable>>
       tables;

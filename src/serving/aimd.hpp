@@ -17,7 +17,12 @@ namespace willump::serving {
 struct AimdConfig {
   bool enabled = false;
   /// Batch processing-latency objective the controller tunes against.
-  double slo_micros = 5000.0;
+  /// 0 (the default) means "derive from the model's SLO class": the
+  /// registry resolves it to `SloClass::batch_slo_micros()` — a fraction
+  /// of the per-query deadline, leaving the rest as queueing/coalescing
+  /// headroom — before constructing the controller. Set a positive value
+  /// to pin the batch target independently of the deadline.
+  double slo_micros = 0.0;
   /// Additive step: cap += step after a batch under the SLO.
   std::size_t additive_step = 2;
   /// Multiplicative decrease: cap = max(min_batch, cap * backoff) on
@@ -42,6 +47,14 @@ struct AimdCounters {
 /// executed batch's size and latency to `on_batch()`. When disabled the
 /// controller simply pins the cap at its initial value (the hand-tuned
 /// constant the registry replaces it with).
+///
+/// Thread safety: `cap()` is lock-free and safe from any thread;
+/// `on_batch()`, `counters()`, and `reset_counters()` serialize on an
+/// internal mutex. Nothing blocks beyond that mutex and nothing throws.
+///
+/// The controller uses `cfg.slo_micros` exactly as given; callers that
+/// want the 0 = derive-from-deadline convention (see AimdConfig) must
+/// resolve it first, as `serving::Server` does at registration.
 class AimdBatchController {
  public:
   AimdBatchController(std::size_t initial_cap, AimdConfig cfg);

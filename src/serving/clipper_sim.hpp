@@ -50,6 +50,16 @@ struct ClipperStats {
 /// or use the single-model convenience constructor. Pre-batched client
 /// batches go through the engine's synchronous path, preserving their
 /// composition exactly.
+///
+/// Thread safety: NOT internally synchronized. serve()/serve_timed()
+/// mutate the frontend's wire counters without a lock, so one ClipperSim
+/// belongs to one driver thread (use one instance per thread, or your own
+/// lock, if you need concurrent frontends — the registry behind them is
+/// thread-safe either way). add_model() is registration-phase only (the
+/// usual registry freeze rules apply through the backing Server). serve()
+/// propagates pipeline errors (e.g. a schema-mismatched batch) as
+/// exceptions to the caller; deserialize_* reject malformed wire input
+/// with std::invalid_argument and never construct a partial batch.
 class ClipperSim {
  public:
   /// Multi-model frontend: host models added via add_model().

@@ -21,7 +21,14 @@ namespace willump::serving {
 /// All operations are thread-safe: the serving engine consults this cache
 /// from concurrent client threads (before enqueue) and worker threads
 /// (after inference). A single mutex suffices — one LRU lookup is orders of
-/// magnitude cheaper than the inference it short-circuits.
+/// magnitude cheaper than the inference it short-circuits. No operation
+/// blocks beyond that mutex and none throws (key_of and get/put on a
+/// present/absent key are total); eviction is LRU at `capacity`.
+///
+/// Version coherence across hot reloads is the *caller's* job: the
+/// registry salts keys with the model's swap generation and clears the
+/// cache at swap, so entries computed by a retired pipeline version are
+/// never served as the new version's answers (see Server::swap_model).
 class EndToEndCache {
  public:
   /// capacity 0 = unbounded (the paper's Table 2/3 configuration).

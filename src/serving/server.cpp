@@ -19,7 +19,39 @@ std::chrono::steady_clock::duration micros_duration(double micros) {
       std::max<std::int64_t>(0, static_cast<std::int64_t>(micros)));
 }
 
+/// Resolve the 0 = derive-from-deadline convention (see AimdConfig) before
+/// the controller is constructed: the batch-latency target defaults to a
+/// fraction of the model's per-query deadline.
+AimdConfig resolve_aimd(const ModelConfig& cfg) {
+  AimdConfig a = cfg.aimd;
+  if (a.enabled && a.slo_micros <= 0.0) a.slo_micros = cfg.slo.batch_slo_micros();
+  return a;
+}
+
 }  // namespace
+
+Server::ModelEntry::ModelEntry(std::string model_name,
+                               std::shared_ptr<const core::OptimizedPipeline> p,
+                               ModelConfig c)
+    : name(std::move(model_name)),
+      cfg(c),
+      cache(c.e2e_cache_capacity),
+      queue(c.queue_capacity),
+      aimd(c.max_batch, resolve_aimd(c)) {
+  // The initial replica group shares the registered pipeline instance
+  // (execution slots); add_replica() appends slots with their own.
+  const std::size_t n = std::max<std::size_t>(1, c.replicas);
+  replicas.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    replicas.push_back(std::make_unique<Replica>(i, p));
+  }
+  replica_rows.assign(n, 0);
+}
+
+std::chrono::steady_clock::duration Server::ModelEntry::deadline_duration()
+    const {
+  return micros_duration(cfg.slo.deadline_micros);
+}
 
 Server::Server(ServerConfig cfg) : cfg_(cfg) {}
 
@@ -52,6 +84,10 @@ void Server::register_model(
   if (pipeline == nullptr) {
     throw std::invalid_argument("Server::register_model: null pipeline");
   }
+  if (cfg.slo.deadline_micros <= 0.0) {
+    throw std::invalid_argument("Server::register_model: model \"" + name +
+                                "\" has a non-positive SLO deadline");
+  }
   std::lock_guard<std::mutex> lock(registry_mu_);
   if (stopping_.load(std::memory_order_acquire)) {
     throw std::logic_error(
@@ -80,6 +116,41 @@ void Server::load_model(std::string name, const std::string& artifact_path,
   register_model(std::move(name), std::move(pipeline), cfg);
 }
 
+void Server::add_replica(
+    std::string_view model,
+    std::shared_ptr<const core::OptimizedPipeline> pipeline) {
+  if (pipeline == nullptr) {
+    throw std::invalid_argument("Server::add_replica: null pipeline");
+  }
+  ModelEntry& m = find_model(model);
+  std::lock_guard<std::mutex> lock(registry_mu_);
+  if (started_.load(std::memory_order_acquire) ||
+      stopping_.load(std::memory_order_acquire)) {
+    // Workers index the replica vector without a lock, so the group is
+    // frozen with the rest of the registry; grow groups before serving.
+    throw std::logic_error(
+        "Server::add_replica: serving has started; build replica groups "
+        "before the first request");
+  }
+  m.replicas.push_back(
+      std::make_unique<Replica>(m.replicas.size(), std::move(pipeline)));
+  std::lock_guard<std::mutex> stats_lock(m.stats_mu);
+  m.replica_rows.push_back(0);
+}
+
+void Server::add_replica(std::string_view model,
+                         const std::string& artifact_path) {
+  add_replica(model, std::make_shared<const core::OptimizedPipeline>(
+                         serialize::load_pipeline(artifact_path)));
+}
+
+std::size_t Server::replica_count(std::string_view model) const {
+  ModelEntry& m = find_model(model);
+  std::unique_lock<std::mutex> lock(registry_mu_, std::defer_lock);
+  if (!started_.load(std::memory_order_acquire)) lock.lock();
+  return m.replicas.size();
+}
+
 void Server::swap_model(std::string_view model,
                         const std::string& artifact_path) {
   swap_model(model, std::make_shared<const core::OptimizedPipeline>(
@@ -94,14 +165,53 @@ void Server::swap_model(
   }
   ModelEntry& m = find_model(model);
   {
-    std::lock_guard<std::mutex> lock(m.pipeline_mu);
-    m.pipeline = std::move(pipeline);
+    // Pre-start the replica vector may still be growing (add_replica);
+    // post-start it is frozen and the per-replica mutexes suffice.
+    std::unique_lock<std::mutex> reg_lock(registry_mu_, std::defer_lock);
+    if (!started_.load(std::memory_order_acquire)) reg_lock.lock();
+    for (auto& rep : m.replicas) {
+      std::lock_guard<std::mutex> lock(rep->pipeline_mu);
+      rep->pipeline = pipeline;
+    }
   }
   // Cached predictions belong to the retired pipeline. Bumping the
   // generation retires the old key space (requests already past submit
   // keep their old-generation salt, so their late puts are unreachable,
   // never served as the new version's answers); the clear reclaims the
   // memory behind the retired keys.
+  m.generation.fetch_add(1, std::memory_order_release);
+  m.cache.clear();
+}
+
+void Server::swap_replica(std::string_view model, std::size_t replica,
+                          const std::string& artifact_path) {
+  swap_replica(model, replica,
+               std::make_shared<const core::OptimizedPipeline>(
+                   serialize::load_pipeline(artifact_path)));
+}
+
+void Server::swap_replica(
+    std::string_view model, std::size_t replica,
+    std::shared_ptr<const core::OptimizedPipeline> pipeline) {
+  if (pipeline == nullptr) {
+    throw std::invalid_argument("Server::swap_replica: null pipeline");
+  }
+  ModelEntry& m = find_model(model);
+  {
+    // Same pre-start guard as swap_model: the group may still be growing.
+    std::unique_lock<std::mutex> reg_lock(registry_mu_, std::defer_lock);
+    if (!started_.load(std::memory_order_acquire)) reg_lock.lock();
+    if (replica >= m.replicas.size()) {
+      throw std::invalid_argument("Server::swap_replica: model \"" +
+                                  std::string(model) + "\" has no replica " +
+                                  std::to_string(replica));
+    }
+    std::lock_guard<std::mutex> lock(m.replicas[replica]->pipeline_mu);
+    m.replicas[replica]->pipeline = std::move(pipeline);
+  }
+  // A rolling upgrade serves two versions side by side; cached predictions
+  // cannot be attributed to the surviving version, so the whole key space
+  // is retired exactly as in a full swap.
   m.generation.fetch_add(1, std::memory_order_release);
   m.cache.clear();
 }
@@ -306,6 +416,7 @@ void Server::submit_request(ModelEntry& m, data::Batch row, Callback done,
       {
         std::lock_guard<std::mutex> lock(m.stats_mu);
         ++m.cache_hits;
+        ++m.deadline_hits;  // zero-latency completions meet any deadline
         m.latencies.record(0.0);
       }
       complete(req, *hit);
@@ -315,10 +426,13 @@ void Server::submit_request(ModelEntry& m, data::Batch row, Callback done,
   req.row = std::move(row);
   if (cfg_.num_workers == 0) {
     // Synchronous-only configuration: execute the lone request inline on
-    // the caller's thread. No queue, no coalescing.
+    // the caller's thread. No queue, no coalescing; concurrent inline
+    // callers serialize per replica like worker batches do.
     std::vector<Request> reqs;
     reqs.push_back(std::move(req));
-    execute(m, reqs, /*stolen=*/false);
+    Replica& rep = acquire_replica(m);
+    execute(m, rep, reqs, /*stolen=*/false);
+    release_replica(m, rep);
     return;
   }
   if (!m.queue.push(std::move(req))) {
@@ -326,18 +440,77 @@ void Server::submit_request(ModelEntry& m, data::Batch row, Callback done,
   }
 }
 
+Server::ModelEntry* Server::pick_model_slo() const {
+  // One pass over the (frozen) registry: among models with queued work and
+  // a free replica, take the one whose head request is most urgent by
+  // (class priority, earliest absolute deadline). Peeking each head costs
+  // one queue lock and no element move. Models with every replica busy are
+  // skipped — not blocked on — so a saturated batch model cannot absorb
+  // workers a latency-critical arrival will need; the workers executing
+  // its batches re-scan the moment they finish.
+  ModelEntry* best = nullptr;
+  ScheduleKey best_key;
+  for (const auto& m : models_) {
+    if (m->busy_replicas.load(std::memory_order_acquire) >=
+        m->replicas.size()) {
+      continue;
+    }
+    const auto accepted = m->queue.peek_front(
+        [](const Request& r) { return r.accepted; });
+    if (!accepted) continue;
+    const ScheduleKey key{m->cfg.slo.priority, *accepted + m->deadline_duration()};
+    if (best == nullptr || before(key, best_key)) {
+      best = m.get();
+      best_key = key;
+    }
+  }
+  return best;
+}
+
 void Server::worker_loop(std::size_t worker_index) {
   ModelEntry* home = shards_[worker_index];
   const auto quantum = micros_duration(std::max(1.0, cfg_.steal_quantum_micros));
   // Rotating sweep start so concurrently idle workers don't all gang up on
-  // the same victim queue.
+  // the same victim queue (legacy scheduler only).
   std::size_t sweep_start = worker_index + 1;
   const bool single_queue = models_.size() == 1;
+  // SLO-aware scheduling replaces home-first FIFO only when cross-queue
+  // dequeue is allowed at all (work stealing on, several queues). With
+  // stealing off the shards are strict isolation domains; with one model
+  // there is nothing to order.
+  const bool slo_sched =
+      cfg_.slo_scheduling && cfg_.work_stealing && !single_queue;
 
   for (;;) {
-    // Idle policy: a condition-variable wait on the home queue, bounded by
-    // one steal quantum — not a spin. With a single queue the wait is
-    // unbounded (nothing to steal; close() wakes it for shutdown).
+    if (slo_sched) {
+      if (ModelEntry* m = pick_model_slo()) {
+        if (auto first = m->queue.try_pop()) {
+          run_batch(*m, std::move(*first), m != home);
+        }
+        // Lost the pop race: the item went to another worker; re-scan.
+        continue;
+      }
+      if (drained_after_close()) return;
+      // Nothing schedulable. If the home queue holds work that is only
+      // capacity-gated (all home replicas busy), popping it would block
+      // this worker on a replica another class may need — sleep a quantum
+      // instead and let the executing workers pick the backlog up as
+      // their replicas free. (Ditto once the queue is closed, where a CV
+      // wait would return immediately and spin.) Otherwise park on the
+      // home queue's CV.
+      if (!home->queue.empty() || home->queue.closed()) {
+        std::this_thread::sleep_for(quantum);
+        continue;
+      }
+      if (auto first =
+              home->queue.pop_until(std::chrono::steady_clock::now() + quantum)) {
+        run_batch(*home, std::move(*first), /*stolen=*/false);
+      }
+      continue;
+    }
+
+    // Legacy scheduler: home-queue FIFO with an idle-steal sweep — the
+    // baseline the SLO-attainment benchmark compares against.
     std::optional<Request> first =
         single_queue
             ? home->queue.pop()
@@ -374,7 +547,53 @@ bool Server::drained_after_close() const {
   return true;
 }
 
+Server::Replica& Server::acquire_replica(ModelEntry& m) {
+  const std::size_t n = m.replicas.size();
+  if (n == 1) {
+    m.replicas[0]->exec_mu.lock();
+    m.busy_replicas.fetch_add(1, std::memory_order_acq_rel);
+    return *m.replicas[0];
+  }
+  // Least-outstanding-requests balancing. With one batch at a time per
+  // replica, a free slot has no in-flight rows, so "least-outstanding
+  // free replica" reduces to "first free slot in rotated order" — the
+  // rotating ticket is what spreads work round-robin over equally idle
+  // slots. No allocation on this per-batch hot path.
+  const std::size_t start =
+      m.replica_ticket.fetch_add(1, std::memory_order_relaxed) % n;
+  for (std::size_t i = 0; i < n; ++i) {
+    Replica& cand = *m.replicas[(start + i) % n];
+    if (cand.exec_mu.try_lock()) {
+      m.busy_replicas.fetch_add(1, std::memory_order_acq_rel);
+      return cand;
+    }
+  }
+  // Every slot was claimed between the scheduler's capacity check and now
+  // (or the caller bypassed the gate, e.g. the legacy scheduler / inline
+  // mode): wait on the slot with the fewest in-flight rows.
+  Replica* least = m.replicas[start].get();
+  for (const auto& rep : m.replicas) {
+    if (rep->inflight_rows.load(std::memory_order_relaxed) <
+        least->inflight_rows.load(std::memory_order_relaxed)) {
+      least = rep.get();
+    }
+  }
+  least->exec_mu.lock();
+  m.busy_replicas.fetch_add(1, std::memory_order_acq_rel);
+  return *least;
+}
+
+void Server::release_replica(ModelEntry& m, Replica& rep) {
+  m.busy_replicas.fetch_sub(1, std::memory_order_acq_rel);
+  rep.exec_mu.unlock();
+}
+
 void Server::run_batch(ModelEntry& m, Request first, bool stolen) {
+  // Claim the execution slot before coalescing: if the group is momentarily
+  // saturated, everything that queues while we wait for a replica joins
+  // this batch, so the wait buys amortization instead of being dead time.
+  Replica& rep = acquire_replica(m);
+
   std::vector<Request> reqs;
   reqs.push_back(std::move(first));
 
@@ -397,16 +616,20 @@ void Server::run_batch(ModelEntry& m, Request first, bool stolen) {
       if (reqs.size() < cap) m.queue.drain(reqs, cap - reqs.size());
     }
   }
-  execute(m, reqs, stolen);
+  execute(m, rep, reqs, stolen);
+  release_replica(m, rep);
 }
 
-void Server::execute(ModelEntry& m, std::vector<Request>& reqs, bool stolen) {
+void Server::execute(ModelEntry& m, Replica& rep, std::vector<Request>& reqs,
+                     bool stolen) {
   common::Timer timer;
   std::vector<double> preds;
-  // One snapshot per batch: a concurrent swap_model cannot retire this
-  // pipeline until the batch finishes, and every row of the batch runs on
-  // the same pipeline version.
-  const auto pipeline = m.snapshot();
+  // One snapshot per batch: a concurrent swap cannot retire this pipeline
+  // until the batch finishes, and every row of the batch runs on the same
+  // pipeline version (of this replica; a rolling upgrade may have other
+  // replicas on a newer one).
+  const auto pipeline = rep.snapshot();
+  rep.inflight_rows.fetch_add(reqs.size(), std::memory_order_relaxed);
   try {
     // Combining inside the try keeps a malformed row (e.g. a schema that
     // does not match the model's) from escaping on the worker thread: the
@@ -417,21 +640,24 @@ void Server::execute(ModelEntry& m, std::vector<Request>& reqs, bool stolen) {
     }
     preds = pipeline->predict(combined);
   } catch (...) {
+    rep.inflight_rows.fetch_sub(reqs.size(), std::memory_order_relaxed);
     if (reqs.size() == 1) {
       complete_error(reqs.front(), std::current_exception());
       return;
     }
     // Isolate the failure: one malformed request must not fail the
     // well-formed queries that happened to coalesce with it. Re-execute
-    // each request as its own batch — only the offending one(s) see the
-    // error. Failures are the rare path, so the lost amortization is noise.
+    // each request as its own batch on the already-held replica — only the
+    // offending one(s) see the error. Failures are the rare path, so the
+    // lost amortization is noise.
     for (auto& r : reqs) {
       std::vector<Request> one;
       one.push_back(std::move(r));
-      execute(m, one, stolen);
+      execute(m, rep, one, stolen);
     }
     return;
   }
+  rep.inflight_rows.fetch_sub(reqs.size(), std::memory_order_relaxed);
   const double secs = timer.elapsed_seconds();
   const auto completed = std::chrono::steady_clock::now();
 
@@ -442,15 +668,18 @@ void Server::execute(ModelEntry& m, std::vector<Request>& reqs, bool stolen) {
   // Record stats before fulfilling any completion: a client observing its
   // future ready must also observe the counters for its own batch.
   {
+    const auto deadline = m.deadline_duration();
     std::lock_guard<std::mutex> lock(m.stats_mu);
     ++m.batches;
     m.rows += reqs.size();
     m.largest_batch = std::max(m.largest_batch, reqs.size());
     if (stolen) ++m.stolen_batches;
     m.inference_seconds += secs;
+    m.replica_rows[rep.index] += reqs.size();
     for (const auto& r : reqs) {
-      m.latencies.record(
-          std::chrono::duration<double>(completed - r.accepted).count());
+      const auto waited = completed - r.accepted;
+      if (waited <= deadline) ++m.deadline_hits;
+      m.latencies.record(std::chrono::duration<double>(waited).count());
     }
   }
 
@@ -465,7 +694,34 @@ void Server::execute(ModelEntry& m, std::vector<Request>& reqs, bool stolen) {
 std::vector<double> Server::predict_batch(std::string_view model,
                                           const data::Batch& batch) {
   ModelEntry& m = find_model(model);
-  const auto pipeline = m.snapshot();  // whole client batch on one version
+  // The synchronous pre-batched path bypasses the queue and the replica
+  // capacity gate (it never blocks behind queued batches); it snapshots
+  // the least-loaded replica's pipeline so a frontend's client batches
+  // still spread over the group. This path deliberately does NOT freeze
+  // the registry (ClipperSim keeps add_model legal between serve()
+  // calls), so pre-start the replica vector can still grow concurrently:
+  // hold the registry lock for the scan. Replica objects are heap-stable,
+  // so the picked slot stays valid after the lock drops.
+  Replica* least = nullptr;
+  {
+    std::unique_lock<std::mutex> reg_lock(registry_mu_, std::defer_lock);
+    if (!started_.load(std::memory_order_acquire)) reg_lock.lock();
+    // Rotated scan start: the sync path does not mark its own rows
+    // in-flight, so without rotation every all-idle tie would fall to
+    // slot 0 and concurrent client batches would pile onto one replica.
+    const std::size_t n = m.replicas.size();
+    const std::size_t start =
+        m.replica_ticket.fetch_add(1, std::memory_order_relaxed) % n;
+    least = m.replicas[start].get();
+    for (std::size_t i = 1; i < n; ++i) {
+      Replica& cand = *m.replicas[(start + i) % n];
+      if (cand.inflight_rows.load(std::memory_order_relaxed) <
+          least->inflight_rows.load(std::memory_order_relaxed)) {
+        least = &cand;
+      }
+    }
+  }
+  const auto pipeline = least->snapshot();  // whole client batch on one version
   const std::size_t n = batch.num_rows();
   std::vector<double> preds(n, 0.0);
   std::size_t batch_hits = 0;
@@ -513,6 +769,7 @@ std::vector<double> Server::predict_batch(std::string_view model,
     m.rows += executed_rows;
     m.largest_batch = std::max(m.largest_batch, executed_rows);
     m.inference_seconds += secs;
+    m.replica_rows[least->index] += executed_rows;
   }
   return preds;
 }
@@ -550,12 +807,15 @@ ModelStats Server::stats(std::string_view model) const {
   s.rows = m.rows;
   s.largest_batch = m.largest_batch;
   s.stolen_batches = m.stolen_batches;
+  s.deadline_hits = m.deadline_hits;
   s.inference_seconds = m.inference_seconds;
   s.latency = m.latencies.summary();
   s.latency_samples = m.latencies.count();
   s.current_max_batch = aimd.current_max_batch;
   s.aimd_increases = aimd.increases;
   s.aimd_backoffs = aimd.backoffs;
+  s.replicas = m.replica_rows.size();
+  s.replica_rows = m.replica_rows;
   return s;
 }
 
@@ -576,6 +836,7 @@ ServerStats Server::stats() const {
     s.rows += m->rows;
     s.largest_batch = std::max(s.largest_batch, m->largest_batch);
     s.stolen_batches += m->stolen_batches;
+    s.deadline_hits += m->deadline_hits;
     s.inference_seconds += m->inference_seconds;
     merged.merge(m->latencies);
   }
@@ -595,7 +856,9 @@ void Server::reset_stats() {
     m->rows = 0;
     m->largest_batch = 0;
     m->stolen_batches = 0;
+    m->deadline_hits = 0;
     m->inference_seconds = 0.0;
+    std::fill(m->replica_rows.begin(), m->replica_rows.end(), 0);
     m->latencies.clear();
     m->aimd.reset_counters();
   }
@@ -612,12 +875,21 @@ EndToEndCache& Server::cache(std::string_view model) {
 EndToEndCache& Server::cache() { return first_model().cache; }
 
 const core::OptimizedPipeline& Server::pipeline(std::string_view model) const {
-  return *find_model(model).snapshot();
+  return *pipeline_snapshot(model, 0);
 }
 
 std::shared_ptr<const core::OptimizedPipeline> Server::pipeline_snapshot(
-    std::string_view model) const {
-  return find_model(model).snapshot();
+    std::string_view model, std::size_t replica) const {
+  ModelEntry& m = find_model(model);
+  // Pre-start the group may still be growing; see predict_batch.
+  std::unique_lock<std::mutex> reg_lock(registry_mu_, std::defer_lock);
+  if (!started_.load(std::memory_order_acquire)) reg_lock.lock();
+  if (replica >= m.replicas.size()) {
+    throw std::invalid_argument("Server::pipeline_snapshot: model \"" +
+                                std::string(model) + "\" has no replica " +
+                                std::to_string(replica));
+  }
+  return m.replicas[replica]->snapshot();
 }
 
 }  // namespace willump::serving

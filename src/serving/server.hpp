@@ -18,12 +18,32 @@
 #include "runtime/request_queue.hpp"
 #include "serving/aimd.hpp"
 #include "serving/e2e_cache.hpp"
+#include "serving/slo.hpp"
 
 namespace willump::serving {
 
-/// Per-model policy of a registry entry: its queue bound, batching policy
-/// (fixed cap or AIMD-tuned), end-to-end cache, and worker-shard weight.
+/// Heterogeneous string hashing for the name tables of the serving layer:
+/// lookups by std::string_view materialize no per-request std::string on
+/// the submit hot paths (Server's registry and Router's placement table).
+struct NameHash {
+  using is_transparent = void;
+  std::size_t operator()(std::string_view s) const {
+    return std::hash<std::string_view>{}(s);
+  }
+};
+
+/// Per-model policy of a registry entry: its SLO class, queue bound,
+/// batching policy (fixed cap or AIMD-tuned), end-to-end cache, replica
+/// count, and worker-shard weight.
+///
+/// A ModelConfig is copied at registration; later mutation of the caller's
+/// copy has no effect on the registered model.
 struct ModelConfig {
+  /// Latency objective + scheduling class (see slo.hpp). Drives the
+  /// cross-model dequeue order under `ServerConfig::slo_scheduling` and,
+  /// when `aimd.slo_micros` is 0, the derived AIMD batch-latency target.
+  /// `deadline_micros` must be positive (registration rejects otherwise).
+  SloClass slo;
   /// Batch cap the adaptive micro-batching starts from. With AIMD enabled
   /// this is only the initial value; otherwise it is the fixed cap.
   std::size_t max_batch = 16;
@@ -40,12 +60,25 @@ struct ModelConfig {
   /// Workers are dealt round-robin over a list where each model appears
   /// `workers` times; an idle worker steals from other models regardless.
   std::size_t workers = 1;
+  /// Initial replica-group size: how many execution slots the model starts
+  /// with, all sharing the registered pipeline (min 1). Each replica runs
+  /// one batch at a time — the Clipper model-container execution model —
+  /// so N replicas admit N concurrent batch executions. add_replica()
+  /// appends further replicas, each with its own pipeline instance.
+  ///
+  /// NOTE: this bounds the model's execution concurrency. The default of
+  /// 1 serializes the model's queued batches even under many workers
+  /// (larger batches coalesce while the slot is busy — usually the higher
+  /// throughput regime); a model that wants N-way concurrent pipeline
+  /// execution of *queued* traffic sets `replicas` (e.g. to num_workers).
+  /// The synchronous predict_batch path is not gated by the slots.
+  std::size_t replicas = 1;
   /// Online AIMD tuning of `max_batch` (Clipper's controller). Disabled by
   /// default: the cap stays fixed.
   AimdConfig aimd;
 };
 
-/// Engine-wide threading policy of the serving registry.
+/// Engine-wide threading and scheduling policy of the serving registry.
 struct ServerConfig {
   /// Worker threads shared by all registered models, sharded by
   /// ModelConfig::workers weights. 0 = synchronous-only: no threads are
@@ -53,12 +86,23 @@ struct ServerConfig {
   /// the right mode for a batch-at-a-time frontend embedding the engine.
   std::size_t num_workers = 1;
   /// Let a worker whose home queue is idle drain other models' queues, so
-  /// a hot model borrows an idle model's workers.
+  /// a hot model borrows an idle model's workers. With stealing disabled,
+  /// every worker serves only its home model (strict shard isolation) and
+  /// start-up rejects configurations that would strand a model with no
+  /// home worker.
   bool work_stealing = true;
+  /// SLO-aware cross-queue dequeue order (requires `work_stealing`): a
+  /// worker picks the next model by (class priority descending, earliest
+  /// head deadline first) over every queue with a free replica, instead
+  /// of home-queue-first FIFO with an idle-steal sweep. Disable to get
+  /// the legacy FIFO/steal scheduler — the baseline the SLO-attainment
+  /// bench compares against.
+  bool slo_scheduling = true;
   /// How long an idle worker waits on its home queue's condition variable
-  /// before one non-blocking steal sweep over the other queues. This is a
-  /// CV wait, not a spin: an idle engine costs one wakeup per worker per
-  /// quantum.
+  /// before re-scanning the other queues (one non-blocking sweep in the
+  /// legacy scheduler; a priority re-scan in the SLO scheduler). This is
+  /// a CV wait, not a spin: an idle engine costs one wakeup per worker
+  /// per quantum.
   double steal_quantum_micros = 500.0;
 };
 
@@ -74,14 +118,27 @@ struct ModelStats {
   double inference_seconds = 0.0;
   common::Summary latency;       // submit()-to-completion seconds per query
   std::size_t latency_samples = 0;
+  /// Queries completed within the model's SLO-class deadline (of those
+  /// with a recorded latency; cache hits count as within-deadline).
+  std::size_t deadline_hits = 0;
   /// AIMD controller state: the live cap and how it got there.
   std::size_t current_max_batch = 0;
   std::size_t aimd_increases = 0;
   std::size_t aimd_backoffs = 0;
+  /// Replica group: slot count and rows executed per slot (least-
+  /// outstanding balancing should spread saturating load across slots).
+  std::size_t replicas = 0;
+  std::vector<std::size_t> replica_rows;
 
   double mean_batch_rows() const {
     return batches == 0 ? 0.0
                         : static_cast<double>(rows) / static_cast<double>(batches);
+  }
+  /// Fraction of completed queries that met the class deadline.
+  double deadline_attainment() const {
+    return latency_samples == 0 ? 0.0
+                                : static_cast<double>(deadline_hits) /
+                                      static_cast<double>(latency_samples);
   }
 };
 
@@ -97,6 +154,7 @@ struct ServerStats {
   double inference_seconds = 0.0;
   common::Summary latency;
   std::size_t latency_samples = 0;
+  std::size_t deadline_hits = 0;
 
   double mean_batch_rows() const {
     return batches == 0 ? 0.0
@@ -104,26 +162,42 @@ struct ServerStats {
   }
 };
 
-/// A multi-model request-level serving engine: the registry frontend the
-/// paper's Table 6 deployment (Willump behind Clipper) presupposes.
+/// A multi-model, SLO-aware request-level serving engine: the registry
+/// frontend the paper's Table 6 deployment (Willump behind Clipper)
+/// presupposes, grown to production scheduling semantics.
 ///
-/// `Server` hosts N named `core::OptimizedPipeline`s. Each registered model
-/// owns a bounded MPMC `runtime::RequestQueue`, a batching policy whose
-/// `max_batch` can be tuned online by an AIMD controller against a latency
-/// SLO (Clipper, NSDI 2017 §4.3), and an optional end-to-end prediction
-/// cache consulted before enqueue. The engine's workers are sharded across
-/// models by `ModelConfig::workers` weight; an idle worker parks on its
-/// home queue's condition variable and periodically steals from hot
-/// models' queues, so capacity follows load.
+/// `Server` hosts N named models. Each registered model owns:
+///
+/// - an **SLO class** (`SloClass`: per-query deadline + priority) that
+///   orders the cross-model dequeue — workers serve the highest-priority
+///   queue first, breaking ties by earliest absolute head deadline
+///   (accept time + deadline), so a latency-critical model is never stuck
+///   behind a saturating batch model's backlog;
+/// - a **replica group**: one or more execution slots behind the model's
+///   name. A replica runs one batch at a time (the Clipper model-container
+///   execution model); batches are balanced over replicas by
+///   least-outstanding-requests, so N replicas give N-way concurrent
+///   execution and each replica is independently hot-swappable
+///   (`swap_replica`) and cold-startable from an artifact (`add_replica`);
+/// - a bounded MPMC `runtime::RequestQueue`, a batching policy whose
+///   `max_batch` can be tuned online by an AIMD controller whose
+///   batch-latency target derives from the class deadline (Clipper,
+///   NSDI 2017 §4.3), and an optional end-to-end prediction cache
+///   consulted before enqueue.
 ///
 /// Completion is delivered either through a `std::future` or — the
 /// open-loop-friendly async path — through a callback invoked on the worker
 /// that executed the batch. Every accepted request is eventually completed:
 /// shutdown closes the queues to new work but drains accepted requests
-/// first.
+/// first. Deadlines are objectives, not admission control: a request that
+/// misses its deadline still completes (and is counted in
+/// `ModelStats::deadline_hits`' complement).
 ///
-/// Registration happens before serving: `register_model` throws
-/// std::logic_error once the first request has started the workers.
+/// Thread safety: every public method is safe to call concurrently once
+/// serving has started, except the registration family (`register_model`,
+/// `load_model`, `add_replica`), which must finish before the first
+/// request and throws std::logic_error afterwards. `swap_model` /
+/// `swap_replica` are safe at any point in the serving lifecycle.
 class Server {
  public:
   /// Completion callback of the async path: exactly one of `prediction`
@@ -147,8 +221,9 @@ class Server {
   Server& operator=(const Server&) = delete;
 
   /// Register a named pipeline. Throws std::invalid_argument on a duplicate
-  /// name and std::logic_error once serving has started (first submit) or
-  /// after shutdown. The borrowed pointer must outlive the server.
+  /// name, a null pipeline, or a non-positive SLO deadline, and
+  /// std::logic_error once serving has started (first submit) or after
+  /// shutdown. The borrowed pointer must outlive the server.
   void register_model(std::string name, const core::OptimizedPipeline* pipeline,
                       ModelConfig cfg = {});
 
@@ -165,16 +240,41 @@ class Server {
   void load_model(std::string name, const std::string& artifact_path,
                   ModelConfig cfg = {});
 
-  /// Hot-reload: atomically replace `model`'s pipeline with one loaded from
-  /// `artifact_path`, at any point in the serving lifecycle. In-flight
-  /// batches finish on the pipeline they started with (they hold a
-  /// snapshot); requests picked up afterwards run the new one — no request
-  /// is dropped. The model's end-to-end cache is invalidated (its entries
-  /// were the old pipeline's predictions). Queue, batching policy, AIMD
-  /// state, and counters carry over.
+  /// Append one replica to `model`'s group, serving the given pipeline
+  /// instance. Registration-phase only (std::logic_error once serving has
+  /// started); throws std::invalid_argument for an unknown model or null
+  /// pipeline. Replicas share the model's queue, cache, batching policy,
+  /// and counters; batches are balanced across them by least outstanding
+  /// requests.
+  void add_replica(std::string_view model,
+                   std::shared_ptr<const core::OptimizedPipeline> pipeline);
+  /// Cold-start replica: deserialize `artifact_path` and append it. A
+  /// corrupt artifact throws serialize::SerializeError and leaves the
+  /// group unchanged.
+  void add_replica(std::string_view model, const std::string& artifact_path);
+
+  std::size_t replica_count(std::string_view model) const;
+
+  /// Hot-reload every replica of `model` to one pipeline (a full rollout),
+  /// at any point in the serving lifecycle. In-flight batches finish on
+  /// the pipeline version they started with (each batch holds a snapshot);
+  /// batches picked up afterwards run the new one — no request is dropped.
+  /// The model's end-to-end cache is invalidated (its entries were the old
+  /// version's predictions). Queue, batching policy, AIMD state, and
+  /// counters carry over.
   void swap_model(std::string_view model, const std::string& artifact_path);
   void swap_model(std::string_view model,
                   std::shared_ptr<const core::OptimizedPipeline> pipeline);
+
+  /// Hot-reload a single replica (a rolling rollout: swap replicas one at
+  /// a time while the rest keep serving). Throws std::invalid_argument for
+  /// an unknown model or a replica index out of range. The model's e2e
+  /// cache is invalidated — during a rolling upgrade two versions serve
+  /// side by side, so version-tagged cached predictions cannot be reused.
+  void swap_replica(std::string_view model, std::size_t replica,
+                    const std::string& artifact_path);
+  void swap_replica(std::string_view model, std::size_t replica,
+                    std::shared_ptr<const core::OptimizedPipeline> pipeline);
 
   /// Registered model names, in registration order.
   std::vector<std::string> model_names() const;
@@ -194,7 +294,9 @@ class Server {
   /// Synchronous pre-batched entry: run a whole client batch through the
   /// model's e2e cache and pipeline on the calling thread. This is the path
   /// a batch-at-a-time frontend (ClipperSim) uses; it shares the cache and
-  /// accounting with submit() but bypasses the queue, so the client's batch
+  /// accounting with submit() but bypasses the queue — and the replica
+  /// capacity gate: it snapshots the least-loaded replica's pipeline and
+  /// runs concurrently with queued batches — so the client's batch
   /// composition is preserved exactly.
   std::vector<double> predict_batch(std::string_view model,
                                     const data::Batch& batch);
@@ -225,13 +327,14 @@ class Server {
 
   EndToEndCache& cache(std::string_view model);
   EndToEndCache& cache();  // first registered model
-  /// The model's live pipeline. With concurrent swap_model calls prefer
+  /// The model's live pipeline (replica 0). With concurrent swaps prefer
   /// pipeline_snapshot(): the reference returned here is only safe while no
   /// swap retires the pipeline it points at.
   const core::OptimizedPipeline& pipeline(std::string_view model) const;
-  /// Shared ownership of the model's current pipeline (stable across swaps).
+  /// Shared ownership of a replica's current pipeline (stable across
+  /// swaps). The default reads replica 0.
   std::shared_ptr<const core::OptimizedPipeline> pipeline_snapshot(
-      std::string_view model) const;
+      std::string_view model, std::size_t replica = 0) const;
   const ServerConfig& config() const { return cfg_; }
 
  private:
@@ -243,29 +346,50 @@ class Server {
     std::chrono::steady_clock::time_point accepted;
   };
 
-  struct ModelEntry {
-    std::string name;
-    /// Current pipeline, swappable at runtime (hot-reload). Workers take a
-    /// snapshot per batch under pipeline_mu — a mutex-guarded shared_ptr
-    /// copy, microseconds against a milliseconds-scale inference — so a
-    /// swap never frees a pipeline mid-predict.
+  /// One execution slot of a model's replica group. The pipeline pointer
+  /// is swappable at runtime (hot-reload): workers take a snapshot per
+  /// batch under pipeline_mu — a mutex-guarded shared_ptr copy,
+  /// microseconds against a milliseconds-scale inference — so a swap never
+  /// frees a pipeline mid-predict. exec_mu serializes batch execution on
+  /// the slot (one batch at a time per replica); inflight_rows is the
+  /// least-outstanding balancing signal.
+  struct Replica {
+    std::size_t index = 0;
     std::shared_ptr<const core::OptimizedPipeline> pipeline;
     mutable std::mutex pipeline_mu;
-    /// Pipeline version counter, bumped by every swap. E2e cache keys are
-    /// salted with the generation observed at submit time, so an in-flight
-    /// batch that started on a retired version writes its predictions into
-    /// that version's (now unreachable) key space instead of re-polluting
-    /// the cache after the swap's clear().
-    std::atomic<std::uint64_t> generation{0};
-    ModelConfig cfg;
-    EndToEndCache cache;
-    runtime::RequestQueue<Request> queue;
-    AimdBatchController aimd;
+    std::mutex exec_mu;
+    std::atomic<std::size_t> inflight_rows{0};
+
+    Replica(std::size_t i, std::shared_ptr<const core::OptimizedPipeline> p)
+        : index(i), pipeline(std::move(p)) {}
 
     std::shared_ptr<const core::OptimizedPipeline> snapshot() const {
       std::lock_guard<std::mutex> lock(pipeline_mu);
       return pipeline;
     }
+  };
+
+  struct ModelEntry {
+    std::string name;
+    ModelConfig cfg;
+    /// Replica group; append-only until serving starts, then frozen (only
+    /// each replica's pipeline pointer remains mutable, under its mutex).
+    std::vector<std::unique_ptr<Replica>> replicas;
+    /// Replicas currently executing a batch; the scheduler's capacity
+    /// gate (a model with every replica busy is skipped, not blocked on).
+    std::atomic<std::size_t> busy_replicas{0};
+    /// Rotates the replica scan start so equally idle replicas share work
+    /// round-robin instead of slot 0 taking everything.
+    std::atomic<std::uint64_t> replica_ticket{0};
+    /// Pipeline version counter, bumped by every swap (full or rolling).
+    /// E2e cache keys are salted with the generation observed at submit
+    /// time, so an in-flight batch that started on a retired version
+    /// writes its predictions into that version's (now unreachable) key
+    /// space instead of re-polluting the cache after the swap's clear().
+    std::atomic<std::uint64_t> generation{0};
+    EndToEndCache cache;
+    runtime::RequestQueue<Request> queue;
+    AimdBatchController aimd;
 
     mutable std::mutex stats_mu;
     std::size_t queries = 0;
@@ -274,17 +398,15 @@ class Server {
     std::size_t rows = 0;
     std::size_t largest_batch = 0;
     std::size_t stolen_batches = 0;
+    std::size_t deadline_hits = 0;
     double inference_seconds = 0.0;
+    std::vector<std::size_t> replica_rows;
     common::LatencyRecorder latencies;
 
     ModelEntry(std::string model_name,
-               std::shared_ptr<const core::OptimizedPipeline> p, ModelConfig c)
-        : name(std::move(model_name)),
-          pipeline(std::move(p)),
-          cfg(c),
-          cache(c.e2e_cache_capacity),
-          queue(c.queue_capacity),
-          aimd(c.max_batch, c.aimd) {}
+               std::shared_ptr<const core::OptimizedPipeline> p, ModelConfig c);
+
+    std::chrono::steady_clock::duration deadline_duration() const;
   };
 
   /// Lookup that throws std::invalid_argument for unknown names. The
@@ -299,23 +421,25 @@ class Server {
   void submit_request(ModelEntry& m, data::Batch row, Callback done,
                       std::promise<double>* inline_promise);
   void worker_loop(std::size_t worker_index);
-  /// Coalesce up to the model's live cap starting from `first`, execute,
-  /// and fulfill completions.
+  /// SLO-aware pick: the schedulable model (non-empty queue, free replica)
+  /// whose head request is most urgent by (priority, earliest deadline);
+  /// nullptr when nothing is schedulable right now.
+  ModelEntry* pick_model_slo() const;
+  /// Claim an execution slot: the least-outstanding free replica (rotating
+  /// ties), or — if a racing worker took the last free slot — a blocking
+  /// wait on the least-loaded one. Returns with exec_mu held.
+  Replica& acquire_replica(ModelEntry& m);
+  void release_replica(ModelEntry& m, Replica& rep);
+  /// Acquire a replica, coalesce up to the model's live cap starting from
+  /// `first` (after the replica is held, so the batch fills with whatever
+  /// queued during the wait), execute, and fulfill completions.
   void run_batch(ModelEntry& m, Request first, bool stolen);
-  void execute(ModelEntry& m, std::vector<Request>& reqs, bool stolen);
+  void execute(ModelEntry& m, Replica& rep, std::vector<Request>& reqs,
+               bool stolen);
   /// True once shutdown started and every model queue is empty.
   bool drained_after_close() const;
   static void complete(Request& req, double prediction);
   static void complete_error(Request& req, const std::exception_ptr& err);
-
-  /// Heterogeneous lookup support: find by string_view with no per-request
-  /// std::string materialization on the submit hot path.
-  struct NameHash {
-    using is_transparent = void;
-    std::size_t operator()(std::string_view s) const {
-      return std::hash<std::string_view>{}(s);
-    }
-  };
 
   const ServerConfig cfg_;
 

@@ -1,0 +1,29 @@
+#include "serving/slo.hpp"
+
+#include <algorithm>
+
+namespace willump::serving {
+
+double SloClass::batch_slo_micros() const {
+  const double fraction = std::clamp(batch_slo_fraction, 1e-6, 1.0);
+  return std::max(1.0, deadline_micros * fraction);
+}
+
+SloClass SloClass::latency_critical(double deadline_micros) {
+  return SloClass{.deadline_micros = deadline_micros, .priority = 10};
+}
+
+SloClass SloClass::standard(double deadline_micros) {
+  return SloClass{.deadline_micros = deadline_micros, .priority = 0};
+}
+
+SloClass SloClass::best_effort(double deadline_micros) {
+  return SloClass{.deadline_micros = deadline_micros, .priority = -10};
+}
+
+bool before(const ScheduleKey& a, const ScheduleKey& b) {
+  if (a.priority != b.priority) return a.priority > b.priority;
+  return a.deadline < b.deadline;
+}
+
+}  // namespace willump::serving

@@ -1,6 +1,8 @@
 #include "store/kv_store.hpp"
 
+#include <chrono>
 #include <stdexcept>
+#include <thread>
 
 #include "common/timer.hpp"
 
@@ -25,7 +27,15 @@ void TableClient::get_batch(std::span<const std::int64_t> keys,
   if (keys.empty()) return;
   if (net_.is_remote()) {
     const double wait = net_.batch_cost_micros(keys.size());
-    common::spin_wait_micros(wait);
+    if (net_.blocking) {
+      // A real remote fetch releases the CPU while the bytes are in
+      // flight; sleeping (instead of spinning) lets concurrent fetches
+      // from replicas/workers overlap even on one core.
+      std::this_thread::sleep_for(std::chrono::nanoseconds(
+          static_cast<std::int64_t>(wait * 1e3)));
+    } else {
+      common::spin_wait_micros(wait);
+    }
     stats_.round_trips.fetch_add(1, std::memory_order_relaxed);
     stats_.keys_fetched.fetch_add(keys.size(), std::memory_order_relaxed);
     stats_.simulated_wait_nanos.fetch_add(

@@ -50,6 +50,16 @@ class FeatureTable {
 struct NetworkModel {
   double rtt_micros = 0.0;      // 0 = local table, no simulated delay
   double per_key_micros = 0.0;
+  /// How the simulated delay is realized. false (default): a spin-wait —
+  /// deterministically measurable at the 100 µs scale the latency
+  /// microbenchmarks operate at, but it burns a core, so concurrent
+  /// fetches contend for CPU. true: a blocking sleep — what a real remote
+  /// fetch does to the local machine (no CPU while waiting), so N
+  /// concurrent fetches genuinely overlap in wall-clock time even on a
+  /// single core. The serving concurrency experiments (replica scaling)
+  /// use blocking mode. Process-local simulation knob: NOT persisted in
+  /// pipeline artifacts — a loaded pipeline's tables default to spin.
+  bool blocking = false;
 
   bool is_remote() const { return rtt_micros > 0.0 || per_key_micros > 0.0; }
   double batch_cost_micros(std::size_t keys) const {

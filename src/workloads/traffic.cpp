@@ -16,11 +16,14 @@ namespace {
 /// Shared TrafficResult assembly from serving-stats deltas and client-side
 /// latencies (offered_qps stays 0 unless the caller sets it). Works for
 /// both per-model (ModelStats) and aggregate (ServerStats) snapshots,
-/// which share their counter fields.
+/// which share their counter fields. `deadline_micros` > 0 additionally
+/// counts the recorded latencies that met the deadline (client-side SLO
+/// attainment).
 template <typename Stats>
 TrafficResult make_result(const Stats& before, const Stats& after,
                           const common::LatencyRecorder& latencies,
-                          double duration, std::size_t errors = 0) {
+                          double duration, std::size_t errors = 0,
+                          double deadline_micros = 0.0) {
   TrafficResult res;
   res.completed = latencies.count();
   res.errors = errors;
@@ -34,7 +37,23 @@ TrafficResult make_result(const Stats& before, const Stats& after,
       batches == 0 ? 0.0
                    : static_cast<double>(after.rows - before.rows) /
                          static_cast<double>(batches);
+  res.deadline_micros = deadline_micros;
+  if (deadline_micros > 0.0) {
+    const double deadline_seconds = deadline_micros * 1e-6;
+    for (double s : latencies.samples()) {
+      if (s <= deadline_seconds) ++res.deadline_hits;
+    }
+  }
   return res;
+}
+
+/// Aggregate serving counters of either engine type: a Server's own stats,
+/// or the fleet-wide sum a Router reports for its shards.
+serving::ServerStats engine_aggregate(serving::Server& server) {
+  return server.stats();
+}
+serving::ServerStats engine_aggregate(serving::Router& router) {
+  return router.stats().serving;
 }
 
 /// Completion rendezvous of the open-loop drivers: callbacks record their
@@ -87,10 +106,12 @@ class CompletionBoard {
   std::vector<std::size_t> errors_;
 };
 
-/// Dispatch one Poisson-paced open-loop stream. `pick_slice` chooses the
-/// mixed-traffic slice for each arrival; `samplers` and `models` are
+/// Dispatch one Poisson-paced open-loop stream against either engine type
+/// (Server or Router; both expose the async submit). `pick_slice` chooses
+/// the mixed-traffic slice for each arrival; `samplers` and `models` are
 /// indexed by slice.
-void dispatch_open_loop(serving::Server& server,
+template <typename Engine>
+void dispatch_open_loop(Engine& engine,
                         const std::vector<std::string>& models,
                         std::vector<QuerySampler>& samplers,
                         const std::function<std::size_t()>& pick_slice,
@@ -112,7 +133,7 @@ void dispatch_open_loop(serving::Server& server,
     const auto submitted = std::chrono::steady_clock::now();
     board.launched();
     try {
-      server.submit(models[slice], samplers[slice].next(),
+      engine.submit(models[slice], samplers[slice].next(),
                     [&board, slice, submitted](double /*prediction*/,
                                                std::exception_ptr error) {
                       const double secs =
@@ -128,6 +149,124 @@ void dispatch_open_loop(serving::Server& server,
     }
   }
   board.wait_all();
+}
+
+template <typename Engine>
+MixedTrafficResult run_mixed_closed_loop_impl(
+    Engine& engine, const std::vector<ModelTraffic>& mix,
+    std::size_t queries_per_client, std::uint64_t seed) {
+  struct ClientSlot {
+    std::size_t slice;
+    common::LatencyRecorder latencies;
+  };
+  std::vector<ClientSlot> slots;
+  for (std::size_t s = 0; s < mix.size(); ++s) {
+    for (std::size_t c = 0; c < mix[s].clients; ++c) slots.push_back({s, {}});
+  }
+
+  std::vector<serving::ModelStats> before_model;
+  before_model.reserve(mix.size());
+  for (const auto& t : mix) before_model.push_back(engine.stats(t.model));
+  const auto before_all = engine_aggregate(engine);
+
+  std::vector<std::thread> threads;
+  threads.reserve(slots.size());
+  common::Timer wall;
+  for (std::size_t i = 0; i < slots.size(); ++i) {
+    threads.emplace_back([&, i] {
+      const ModelTraffic& t = mix[slots[i].slice];
+      // Per-client sampler: deterministic run-to-run regardless of thread
+      // interleaving.
+      QuerySampler sampler(*t.wl, t.zipf_s, seed + 0x9E3779B9u * (i + 1));
+      for (std::size_t q = 0; q < queries_per_client; ++q) {
+        common::Timer timer;
+        engine.submit(t.model, sampler.next()).get();
+        slots[i].latencies.record(timer.elapsed_seconds());
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  const double duration = wall.elapsed_seconds();
+
+  MixedTrafficResult out;
+  common::LatencyRecorder all;
+  for (std::size_t s = 0; s < mix.size(); ++s) {
+    common::LatencyRecorder model_lat;
+    for (const auto& slot : slots) {
+      if (slot.slice == s) model_lat.merge(slot.latencies);
+    }
+    all.merge(model_lat);
+    out.per_model.emplace_back(
+        mix[s].model,
+        make_result(before_model[s], engine.stats(mix[s].model), model_lat,
+                    duration, /*errors=*/0, mix[s].deadline_micros));
+  }
+  out.aggregate =
+      make_result(before_all, engine_aggregate(engine), all, duration);
+  return out;
+}
+
+template <typename Engine>
+MixedTrafficResult run_mixed_open_loop_impl(Engine& engine,
+                                            const std::vector<ModelTraffic>& mix,
+                                            std::size_t n_queries,
+                                            double total_qps,
+                                            std::uint64_t seed) {
+  std::vector<std::string> models;
+  std::vector<QuerySampler> samplers;
+  std::vector<double> cumulative;
+  double total_weight = 0.0;
+  for (std::size_t s = 0; s < mix.size(); ++s) {
+    models.push_back(mix[s].model);
+    samplers.emplace_back(*mix[s].wl, mix[s].zipf_s,
+                          seed + 0x51ED2705u * (s + 1));
+    total_weight += mix[s].weight;
+    cumulative.push_back(total_weight);
+  }
+
+  std::vector<serving::ModelStats> before_model;
+  before_model.reserve(mix.size());
+  for (const auto& t : mix) before_model.push_back(engine.stats(t.model));
+  const auto before_all = engine_aggregate(engine);
+
+  common::Rng route_rng(seed ^ 0xB07E);
+  CompletionBoard board(mix.size());
+  common::Timer wall;
+  dispatch_open_loop(
+      engine, models, samplers,
+      [&]() -> std::size_t {
+        const double u = route_rng.next_double() * total_weight;
+        for (std::size_t s = 0; s < cumulative.size(); ++s) {
+          if (u < cumulative[s]) return s;
+        }
+        return cumulative.size() - 1;
+      },
+      n_queries, total_qps, seed, board);
+  const double duration = wall.elapsed_seconds();
+
+  MixedTrafficResult out;
+  for (std::size_t s = 0; s < mix.size(); ++s) {
+    TrafficResult r = make_result(before_model[s], engine.stats(mix[s].model),
+                                  board.latencies(s), duration,
+                                  board.errors(s), mix[s].deadline_micros);
+    r.offered_qps = total_qps * mix[s].weight / total_weight;
+    out.per_model.emplace_back(mix[s].model, std::move(r));
+  }
+  out.aggregate = make_result(before_all, engine_aggregate(engine),
+                              board.merged(), duration, board.total_errors());
+  out.aggregate.offered_qps = total_qps;
+  return out;
+}
+
+ModelTraffic single_slice(const std::string& model, const Workload& wl,
+                          double zipf_s, std::size_t clients, double weight) {
+  ModelTraffic t;
+  t.model = model;
+  t.wl = &wl;
+  t.zipf_s = zipf_s;
+  t.clients = clients;
+  t.weight = weight;
+  return t;
 }
 
 }  // namespace
@@ -164,11 +303,8 @@ TrafficResult run_closed_loop(serving::Server& server, const std::string& model,
                               const Workload& wl, std::size_t clients,
                               std::size_t queries_per_client, double zipf_s,
                               std::uint64_t seed) {
-  std::vector<ModelTraffic> mix(1);
-  mix[0].model = model;
-  mix[0].wl = &wl;
-  mix[0].zipf_s = zipf_s;
-  mix[0].clients = clients;
+  const std::vector<ModelTraffic> mix{
+      single_slice(model, wl, zipf_s, clients, 1.0)};
   auto res = run_mixed_closed_loop(server, mix, queries_per_client, seed);
   return res.per_model.front().second;
 }
@@ -184,11 +320,8 @@ TrafficResult run_closed_loop(serving::Server& server, const Workload& wl,
 TrafficResult run_open_loop(serving::Server& server, const std::string& model,
                             const Workload& wl, std::size_t n_queries,
                             double qps, double zipf_s, std::uint64_t seed) {
-  std::vector<ModelTraffic> mix(1);
-  mix[0].model = model;
-  mix[0].wl = &wl;
-  mix[0].zipf_s = zipf_s;
-  mix[0].weight = 1.0;
+  const std::vector<ModelTraffic> mix{
+      single_slice(model, wl, zipf_s, /*clients=*/0, 1.0)};
   auto res = run_mixed_open_loop(server, mix, n_queries, qps, seed);
   return res.per_model.front().second;
 }
@@ -204,103 +337,47 @@ MixedTrafficResult run_mixed_closed_loop(serving::Server& server,
                                          const std::vector<ModelTraffic>& mix,
                                          std::size_t queries_per_client,
                                          std::uint64_t seed) {
-  struct ClientSlot {
-    std::size_t slice;
-    common::LatencyRecorder latencies;
-  };
-  std::vector<ClientSlot> slots;
-  for (std::size_t s = 0; s < mix.size(); ++s) {
-    for (std::size_t c = 0; c < mix[s].clients; ++c) slots.push_back({s, {}});
-  }
-
-  std::vector<serving::ModelStats> before_model;
-  before_model.reserve(mix.size());
-  for (const auto& t : mix) before_model.push_back(server.stats(t.model));
-  const auto before_all = server.stats();
-
-  std::vector<std::thread> threads;
-  threads.reserve(slots.size());
-  common::Timer wall;
-  for (std::size_t i = 0; i < slots.size(); ++i) {
-    threads.emplace_back([&, i] {
-      const ModelTraffic& t = mix[slots[i].slice];
-      // Per-client sampler: deterministic run-to-run regardless of thread
-      // interleaving.
-      QuerySampler sampler(*t.wl, t.zipf_s, seed + 0x9E3779B9u * (i + 1));
-      for (std::size_t q = 0; q < queries_per_client; ++q) {
-        common::Timer timer;
-        server.submit(t.model, sampler.next()).get();
-        slots[i].latencies.record(timer.elapsed_seconds());
-      }
-    });
-  }
-  for (auto& th : threads) th.join();
-  const double duration = wall.elapsed_seconds();
-
-  MixedTrafficResult out;
-  common::LatencyRecorder all;
-  for (std::size_t s = 0; s < mix.size(); ++s) {
-    common::LatencyRecorder model_lat;
-    for (const auto& slot : slots) {
-      if (slot.slice == s) model_lat.merge(slot.latencies);
-    }
-    all.merge(model_lat);
-    out.per_model.emplace_back(
-        mix[s].model, make_result(before_model[s], server.stats(mix[s].model),
-                                  model_lat, duration));
-  }
-  out.aggregate = make_result(before_all, server.stats(), all, duration);
-  return out;
+  return run_mixed_closed_loop_impl(server, mix, queries_per_client, seed);
 }
 
 MixedTrafficResult run_mixed_open_loop(serving::Server& server,
                                        const std::vector<ModelTraffic>& mix,
                                        std::size_t n_queries, double total_qps,
                                        std::uint64_t seed) {
-  std::vector<std::string> models;
-  std::vector<QuerySampler> samplers;
-  std::vector<double> cumulative;
-  double total_weight = 0.0;
-  for (std::size_t s = 0; s < mix.size(); ++s) {
-    models.push_back(mix[s].model);
-    samplers.emplace_back(*mix[s].wl, mix[s].zipf_s,
-                          seed + 0x51ED2705u * (s + 1));
-    total_weight += mix[s].weight;
-    cumulative.push_back(total_weight);
-  }
+  return run_mixed_open_loop_impl(server, mix, n_queries, total_qps, seed);
+}
 
-  std::vector<serving::ModelStats> before_model;
-  before_model.reserve(mix.size());
-  for (const auto& t : mix) before_model.push_back(server.stats(t.model));
-  const auto before_all = server.stats();
+TrafficResult run_closed_loop(serving::Router& router, const std::string& model,
+                              const Workload& wl, std::size_t clients,
+                              std::size_t queries_per_client, double zipf_s,
+                              std::uint64_t seed) {
+  const std::vector<ModelTraffic> mix{
+      single_slice(model, wl, zipf_s, clients, 1.0)};
+  auto res = run_mixed_closed_loop(router, mix, queries_per_client, seed);
+  return res.per_model.front().second;
+}
 
-  common::Rng route_rng(seed ^ 0xB07E);
-  CompletionBoard board(mix.size());
-  common::Timer wall;
-  dispatch_open_loop(
-      server, models, samplers,
-      [&]() -> std::size_t {
-        const double u = route_rng.next_double() * total_weight;
-        for (std::size_t s = 0; s < cumulative.size(); ++s) {
-          if (u < cumulative[s]) return s;
-        }
-        return cumulative.size() - 1;
-      },
-      n_queries, total_qps, seed, board);
-  const double duration = wall.elapsed_seconds();
+TrafficResult run_open_loop(serving::Router& router, const std::string& model,
+                            const Workload& wl, std::size_t n_queries,
+                            double qps, double zipf_s, std::uint64_t seed) {
+  const std::vector<ModelTraffic> mix{
+      single_slice(model, wl, zipf_s, /*clients=*/0, 1.0)};
+  auto res = run_mixed_open_loop(router, mix, n_queries, qps, seed);
+  return res.per_model.front().second;
+}
 
-  MixedTrafficResult out;
-  for (std::size_t s = 0; s < mix.size(); ++s) {
-    TrafficResult r =
-        make_result(before_model[s], server.stats(mix[s].model),
-                    board.latencies(s), duration, board.errors(s));
-    r.offered_qps = total_qps * mix[s].weight / total_weight;
-    out.per_model.emplace_back(mix[s].model, std::move(r));
-  }
-  out.aggregate = make_result(before_all, server.stats(), board.merged(),
-                              duration, board.total_errors());
-  out.aggregate.offered_qps = total_qps;
-  return out;
+MixedTrafficResult run_mixed_closed_loop(serving::Router& router,
+                                         const std::vector<ModelTraffic>& mix,
+                                         std::size_t queries_per_client,
+                                         std::uint64_t seed) {
+  return run_mixed_closed_loop_impl(router, mix, queries_per_client, seed);
+}
+
+MixedTrafficResult run_mixed_open_loop(serving::Router& router,
+                                       const std::vector<ModelTraffic>& mix,
+                                       std::size_t n_queries, double total_qps,
+                                       std::uint64_t seed) {
+  return run_mixed_open_loop_impl(router, mix, n_queries, total_qps, seed);
 }
 
 }  // namespace willump::workloads

@@ -6,6 +6,7 @@
 
 #include "common/rng.hpp"
 #include "common/stats.hpp"
+#include "serving/router.hpp"
 #include "serving/server.hpp"
 #include "workloads/workload.hpp"
 
@@ -47,11 +48,24 @@ struct TrafficResult {
   common::Summary latency;    // client-observed per-query seconds
   std::size_t cache_hits = 0;
   double mean_batch_rows = 0.0;
+  /// SLO attainment of this slice, measured client-side: how many of the
+  /// completed queries finished within `deadline_micros` (the slice's
+  /// ModelTraffic::deadline_micros; 0 = not tracked, hits stay 0).
+  double deadline_micros = 0.0;
+  std::size_t deadline_hits = 0;
+
+  /// Fraction of completed queries that met the deadline (0 when nothing
+  /// completed or no deadline was set).
+  double attainment() const {
+    return completed == 0 ? 0.0
+                          : static_cast<double>(deadline_hits) /
+                                static_cast<double>(completed);
+  }
 };
 
 /// One model's slice of a mixed multi-model traffic run.
 struct ModelTraffic {
-  std::string model;          // registered name in the serving::Server
+  std::string model;          // registered name in the serving engine
   const Workload* wl = nullptr;
   double zipf_s = 0.0;        // per-model entity skew
   /// Open loop: this model's share of the Poisson arrival stream
@@ -59,6 +73,11 @@ struct ModelTraffic {
   double weight = 1.0;
   /// Closed loop: how many self-clocked client threads hit this model.
   std::size_t clients = 1;
+  /// SLO-class deadline to measure this slice's attainment against,
+  /// microseconds (client-observed submit-to-completion). 0 = don't
+  /// track. Typically copied from the model's SloClass::deadline_micros
+  /// so the driver report matches the scheduler's objective.
+  double deadline_micros = 0.0;
 };
 
 /// Per-model and aggregate results of a mixed run.
@@ -99,7 +118,8 @@ TrafficResult run_open_loop(serving::Server& server, const Workload& wl,
 
 /// Mixed closed-loop traffic: every slice's clients hammer their model
 /// concurrently (sum of all `clients` threads), so the engine serves all
-/// registered models at self-clocked saturation at once.
+/// registered models at self-clocked saturation at once. Slices with a
+/// `deadline_micros` report per-class SLO attainment.
 MixedTrafficResult run_mixed_closed_loop(serving::Server& server,
                                          const std::vector<ModelTraffic>& mix,
                                          std::size_t queries_per_client,
@@ -109,8 +129,30 @@ MixedTrafficResult run_mixed_closed_loop(serving::Server& server,
 /// process at `total_qps` and routes each arrival to a slice with
 /// probability proportional to its `weight`, sampling that slice's workload
 /// at its own Zipf skew — several workloads sharing one frontend, the
-/// Clipper deployment shape.
+/// Clipper deployment shape. This is the driver for two-class SLO
+/// experiments: give each slice its class deadline and read per-class
+/// attainment from the per-model results.
 MixedTrafficResult run_mixed_open_loop(serving::Server& server,
+                                       const std::vector<ModelTraffic>& mix,
+                                       std::size_t n_queries, double total_qps,
+                                       std::uint64_t seed);
+
+/// Router-fronted variants: identical semantics, but every submit goes
+/// through the router's consistent-hash placement (and the async
+/// completions come back through its forwarding wrapper), so a run
+/// exercises the full multi-registry path.
+TrafficResult run_closed_loop(serving::Router& router, const std::string& model,
+                              const Workload& wl, std::size_t clients,
+                              std::size_t queries_per_client, double zipf_s,
+                              std::uint64_t seed);
+TrafficResult run_open_loop(serving::Router& router, const std::string& model,
+                            const Workload& wl, std::size_t n_queries,
+                            double qps, double zipf_s, std::uint64_t seed);
+MixedTrafficResult run_mixed_closed_loop(serving::Router& router,
+                                         const std::vector<ModelTraffic>& mix,
+                                         std::size_t queries_per_client,
+                                         std::uint64_t seed);
+MixedTrafficResult run_mixed_open_loop(serving::Router& router,
                                        const std::vector<ModelTraffic>& mix,
                                        std::size_t n_queries, double total_qps,
                                        std::uint64_t seed);
