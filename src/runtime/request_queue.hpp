@@ -19,13 +19,21 @@ class QueueClosedError : public std::runtime_error {
   QueueClosedError();
 };
 
+/// Outcome of a bounded-wait push (see RequestQueue::try_push_for): the
+/// admission-control paths need "full" and "closed" distinguished, because
+/// a full queue is a typed load-shedding rejection while a closed one is a
+/// shutdown error.
+enum class PushResult { kPushed, kFull, kClosed };
+
 /// A bounded, blocking, multi-producer/multi-consumer FIFO queue.
 ///
 /// This is the admission-control point of the serving engine: client
 /// threads push pointwise requests, worker threads drain them into
-/// micro-batches. A bounded capacity turns overload into producer
-/// back-pressure (blocked push) instead of unbounded memory growth — the
-/// standard serving-frontend design (Clipper, NSDI 2017, batches its
+/// micro-batches. A bounded capacity turns overload into either producer
+/// back-pressure (blocking push()) or — what the serving engine's submit
+/// paths use — a bounded-wait try_push_for() whose kFull outcome becomes a
+/// typed load-shedding rejection, instead of unbounded memory growth (the
+/// standard serving-frontend design; Clipper, NSDI 2017, batches its
 /// request queues the same way).
 ///
 /// close() initiates shutdown: pending and subsequent pushes return false,
@@ -50,6 +58,28 @@ class RequestQueue {
     lock.unlock();
     not_empty_.notify_one();
     return true;
+  }
+
+  /// Bounded-wait push — the submit-path primitive of an admission-
+  /// controlled engine: wait at most `timeout` for space instead of
+  /// blocking indefinitely like push(). On kFull or kClosed, `item` is
+  /// left untouched so the caller still owns its completion channel
+  /// (promise/callback) and can resolve it with a typed rejection instead
+  /// of silently dropping it. A zero or negative timeout degrades to a
+  /// non-blocking try.
+  PushResult try_push_for(T& item, std::chrono::steady_clock::duration timeout) {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (timeout > std::chrono::steady_clock::duration::zero() && !closed_ &&
+        full_locked()) {
+      not_full_.wait_for(lock, timeout,
+                         [this] { return closed_ || !full_locked(); });
+    }
+    if (closed_) return PushResult::kClosed;
+    if (full_locked()) return PushResult::kFull;
+    items_.push_back(std::move(item));
+    lock.unlock();
+    not_empty_.notify_one();
+    return PushResult::kPushed;
   }
 
   /// Enqueue without blocking. Returns false when full or closed.

@@ -35,10 +35,12 @@ void AimdBatchController::on_batch(std::size_t rows, double batch_seconds) {
                               static_cast<double>(cap) * cfg_.backoff)),
         cfg_);
     if (next < cap) ++backoffs_;
+    consecutive_violations_.fetch_add(1, std::memory_order_relaxed);
   } else {
     // Under the SLO: additive increase, probing for more amortization.
     next = clamp_cap(cap + std::max<std::size_t>(cfg_.additive_step, 1), cfg_);
     if (next > cap) ++increases_;
+    consecutive_violations_.store(0, std::memory_order_relaxed);
   }
   cap_.store(next, std::memory_order_relaxed);
 }

@@ -66,15 +66,34 @@ class AimdBatchController {
   /// No-op when tuning is disabled.
   void on_batch(std::size_t rows, double batch_seconds);
 
+  /// SLO-violating batches observed in a row (reset by any compliant
+  /// batch). Violations are counted even when the cap is already at its
+  /// floor and cannot back off further — that saturated state is exactly
+  /// the overload the shed path needs to see. Lock-free, safe from any
+  /// thread.
+  std::size_t consecutive_violations() const {
+    return consecutive_violations_.load(std::memory_order_relaxed);
+  }
+
+  /// Overload signal the admission controller coordinates with: true once
+  /// the controller has seen >= 2 consecutive violating batches, i.e. it
+  /// is actively backing off (or pinned at the floor) rather than probing.
+  /// Load control sheds best-effort classes while a higher class's
+  /// controller reports pressure, so the two mechanisms push the same
+  /// direction instead of AIMD shrinking batches while shedding starves
+  /// them. Lock-free.
+  bool under_pressure() const { return consecutive_violations() >= 2; }
+
   AimdCounters counters() const;
   bool enabled() const { return cfg_.enabled; }
 
-  /// Reset the counters (not the learned cap).
+  /// Reset the counters (not the learned cap or the violation streak).
   void reset_counters();
 
  private:
   AimdConfig cfg_;
   std::atomic<std::size_t> cap_;
+  std::atomic<std::size_t> consecutive_violations_{0};
   mutable std::mutex mu_;
   std::size_t increases_ = 0;
   std::size_t backoffs_ = 0;

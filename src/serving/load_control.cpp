@@ -1,0 +1,164 @@
+#include "serving/load_control.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/stats.hpp"
+
+namespace willump::serving {
+
+std::string_view to_string(RejectReason reason) {
+  switch (reason) {
+    case RejectReason::kQueueFull:
+      return "queue-full";
+    case RejectReason::kShedBestEffort:
+      return "shed-best-effort";
+    case RejectReason::kPredictedMiss:
+      return "predicted-miss";
+    case RejectReason::kExpired:
+      return "expired";
+  }
+  return "unknown";
+}
+
+RejectedError::RejectedError(std::string model, RejectReason reason)
+    : std::runtime_error("request to model \"" + model + "\" rejected: " +
+                         std::string(to_string(reason))),
+      model_(std::move(model)),
+      reason_(reason) {}
+
+LoadController::LoadController(LoadControlConfig cfg, double deadline_micros)
+    : cfg_(cfg), deadline_seconds_(std::max(deadline_micros, 1.0) * 1e-6) {}
+
+void LoadController::on_arrival(std::chrono::steady_clock::time_point now) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (have_arrival_) {
+    const double gap =
+        std::chrono::duration<double>(now - last_arrival_).count();
+    if (gap > 0.0) {
+      const double rate = 1.0 / gap;
+      const double a = std::clamp(cfg_.ewma_alpha, 1e-3, 1.0);
+      rate_ewma_ = rate_ewma_ == 0.0 ? rate : (1.0 - a) * rate_ewma_ + a * rate;
+    }
+  }
+  last_arrival_ = now;
+  have_arrival_ = true;
+}
+
+void LoadController::on_batch(std::size_t rows, double seconds) {
+  if (rows == 0) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  const double per_row = std::max(seconds, 0.0) / static_cast<double>(rows);
+  const double a = std::clamp(cfg_.ewma_alpha, 1e-3, 1.0);
+  service_ewma_ =
+      service_ewma_ == 0.0 ? per_row : (1.0 - a) * service_ewma_ + a * per_row;
+  ++batches_;
+  rows_ += rows;
+}
+
+double LoadController::service_seconds_per_row() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return service_ewma_;
+}
+
+double LoadController::arrival_qps() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return rate_ewma_;
+}
+
+std::size_t LoadController::observations() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return batches_;
+}
+
+bool LoadController::warmed_up() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return batches_ >= cfg_.min_observations && service_ewma_ > 0.0;
+}
+
+double LoadController::sojourn_locked(std::size_t queue_depth,
+                                      std::size_t replicas) const {
+  // This request drains after the queue_depth requests ahead of it, spread
+  // over the replica group, then takes one service time itself.
+  const double k = static_cast<double>(std::max<std::size_t>(replicas, 1));
+  return service_ewma_ * (static_cast<double>(queue_depth) + 1.0) / k +
+         service_ewma_;
+}
+
+double LoadController::steady_sojourn_locked(std::size_t replicas) const {
+  const double k = static_cast<double>(std::max<std::size_t>(replicas, 1));
+  const double rho = rate_ewma_ * service_ewma_ / k;
+  if (rho >= 1.0) {
+    // Saturated: the queue grows without bound; report an effectively
+    // infinite sojourn so attainment goes to zero.
+    return std::numeric_limits<double>::infinity();
+  }
+  return service_ewma_ + service_ewma_ * rho / (k * (1.0 - rho));
+}
+
+double LoadController::attainment_of_sojourn(double sojourn_seconds) const {
+  if (!(sojourn_seconds > 0.0)) return 1.0;
+  if (std::isinf(sojourn_seconds)) return 0.0;
+  return 1.0 - std::exp(-deadline_seconds_ / sojourn_seconds);
+}
+
+bool LoadController::passes_target_locked(double attainment) const {
+  // Statistical acceptance, not a hard threshold: an attainment below the
+  // target still passes while it is within the 95% binomial CI at the
+  // observed sample size (paper §6.3 criterion).
+  return attainment >= cfg_.target_attainment ||
+         common::accuracy_within_ci95(attainment, cfg_.target_attainment,
+                                      std::max<std::size_t>(rows_, 1));
+}
+
+double LoadController::predicted_sojourn_seconds(std::size_t queue_depth,
+                                                 std::size_t replicas) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return sojourn_locked(queue_depth, replicas);
+}
+
+double LoadController::predicted_attainment(std::size_t queue_depth,
+                                            std::size_t replicas) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return attainment_of_sojourn(sojourn_locked(queue_depth, replicas));
+}
+
+double LoadController::steady_state_attainment(std::size_t replicas) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return attainment_of_sojourn(steady_sojourn_locked(replicas));
+}
+
+bool LoadController::admit(std::size_t queue_depth,
+                           std::size_t replicas) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (batches_ < cfg_.min_observations || service_ewma_ <= 0.0) return true;
+  return passes_target_locked(
+      attainment_of_sojourn(sojourn_locked(queue_depth, replicas)));
+}
+
+bool LoadController::overloaded(std::size_t replicas) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (batches_ < cfg_.min_observations || service_ewma_ <= 0.0) return false;
+  return !passes_target_locked(
+      attainment_of_sojourn(steady_sojourn_locked(replicas)));
+}
+
+std::size_t LoadController::recommended_replicas(std::size_t current) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::size_t floor = std::max<std::size_t>(current, 1);
+  if (batches_ < cfg_.min_observations || service_ewma_ <= 0.0 ||
+      rate_ewma_ <= 0.0) {
+    return floor;
+  }
+  const std::size_t cap = std::max(cfg_.max_replicas, floor);
+  for (std::size_t k = 1; k <= cap; ++k) {
+    if (passes_target_locked(
+            attainment_of_sojourn(steady_sojourn_locked(k)))) {
+      return k;
+    }
+  }
+  return cap;
+}
+
+}  // namespace willump::serving

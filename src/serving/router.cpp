@@ -202,6 +202,14 @@ void Router::submit(std::string_view model, data::Batch row,
              forwarded_completions_.fetch_add(1, std::memory_order_relaxed);
              if (error != nullptr) {
                forwarded_errors_.fetch_add(1, std::memory_order_relaxed);
+               // Typed overload rejections are accounted separately so a
+               // fleet dashboard can tell shed load from broken models.
+               try {
+                 std::rethrow_exception(error);
+               } catch (const RejectedError&) {
+                 forwarded_rejections_.fetch_add(1, std::memory_order_relaxed);
+               } catch (...) {
+               }
              }
              done(prediction, error);
            });
@@ -232,6 +240,10 @@ std::vector<double> Router::predict_rows(std::string_view model,
   return preds;
 }
 
+std::size_t Router::recommended_replicas(std::string_view model) const {
+  return owner(model).recommended_replicas(model);
+}
+
 ModelStats Router::stats(std::string_view model) const {
   return owner(model).stats(model);
 }
@@ -243,6 +255,8 @@ RouterStats Router::stats() const {
   out.forwarded_completions =
       forwarded_completions_.load(std::memory_order_relaxed);
   out.forwarded_errors = forwarded_errors_.load(std::memory_order_relaxed);
+  out.forwarded_rejections =
+      forwarded_rejections_.load(std::memory_order_relaxed);
   // Per-shard latency distributions stay per-shard (Summary objects do not
   // merge); out.serving.latency is left zeroed — read shard(i).stats() for
   // distribution detail.
@@ -258,6 +272,9 @@ RouterStats Router::stats() const {
         std::max(out.serving.largest_batch, ss.largest_batch);
     out.serving.stolen_batches += ss.stolen_batches;
     out.serving.deadline_hits += ss.deadline_hits;
+    out.serving.completions += ss.completions;
+    out.serving.expired += ss.expired;
+    out.serving.shed += ss.shed;
     out.serving.inference_seconds += ss.inference_seconds;
     out.serving.latency_samples += ss.latency_samples;
   }
@@ -268,6 +285,7 @@ void Router::reset_stats() {
   routed_queries_.store(0, std::memory_order_relaxed);
   forwarded_completions_.store(0, std::memory_order_relaxed);
   forwarded_errors_.store(0, std::memory_order_relaxed);
+  forwarded_rejections_.store(0, std::memory_order_relaxed);
   for (const auto& s : shards_) s->reset_stats();
 }
 

@@ -40,6 +40,12 @@ struct RouterStats {
   /// how many of them delivered an error.
   std::size_t forwarded_completions = 0;
   std::size_t forwarded_errors = 0;
+  /// Subset of forwarded_errors that were typed overload rejections
+  /// (`RejectedError`: queue-full, shed, predicted-miss, or expired) from
+  /// the owning shard — shed load passing back through the router, not
+  /// execution failures. Future-path rejections travel inside the future
+  /// and are counted by the shard's own ModelStats, not here.
+  std::size_t forwarded_rejections = 0;
   /// Sum of the shards' aggregate ServerStats.
   ServerStats serving;
 };
@@ -131,6 +137,10 @@ class Router {
   std::vector<double> predict_rows(std::string_view model,
                                    const data::Batch& batch);
 
+  /// Predictive replica sizing from the owning shard's online load model
+  /// (see Server::recommended_replicas).
+  std::size_t recommended_replicas(std::string_view model) const;
+
   /// Per-model counters from the owning shard.
   ModelStats stats(std::string_view model) const;
   /// Fleet aggregate plus router-level forwarding counters.
@@ -163,6 +173,7 @@ class Router {
   mutable std::atomic<std::size_t> routed_queries_{0};
   mutable std::atomic<std::size_t> forwarded_completions_{0};
   mutable std::atomic<std::size_t> forwarded_errors_{0};
+  mutable std::atomic<std::size_t> forwarded_rejections_{0};
 };
 
 }  // namespace willump::serving

@@ -37,7 +37,8 @@ Server::ModelEntry::ModelEntry(std::string model_name,
       cfg(c),
       cache(c.e2e_cache_capacity),
       queue(c.queue_capacity),
-      aimd(c.max_batch, resolve_aimd(c)) {
+      aimd(c.max_batch, resolve_aimd(c)),
+      load(c.load_control, c.slo.deadline_micros) {
   // The initial replica group shares the registered pipeline instance
   // (execution slots); add_replica() appends slots with their own.
   const std::size_t n = std::max<std::size_t>(1, c.replicas);
@@ -416,7 +417,11 @@ void Server::submit_request(ModelEntry& m, data::Batch row, Callback done,
       {
         std::lock_guard<std::mutex> lock(m.stats_mu);
         ++m.cache_hits;
-        ++m.deadline_hits;  // zero-latency completions meet any deadline
+        // Zero-latency completions meet any deadline — and must land in
+        // the same outcome rows as executed completions, so attainment()
+        // keeps one denominator across the cached and executed paths.
+        ++m.deadline_hits;
+        ++m.completions;
         m.latencies.record(0.0);
       }
       complete(req, *hit);
@@ -424,6 +429,26 @@ void Server::submit_request(ModelEntry& m, data::Batch row, Callback done,
     }
   }
   req.row = std::move(row);
+
+  // The load model sees every request that will consume execution capacity
+  // (cache hits never reach here), so its arrival-rate EWMA reflects the
+  // work the replicas actually face.
+  m.load.on_arrival(req.accepted);
+
+  // Admission control (admission → shed → expire pipeline, stage one).
+  // Rejections resolve the request through its future/callback — submit
+  // itself never throws for overload — shedding best-effort classes first.
+  if (m.cfg.load_control.enabled) {
+    if (m.cfg.slo.is_best_effort() && higher_class_pressure(m)) {
+      reject(m, req, RejectReason::kShedBestEffort);
+      return;
+    }
+    if (!m.load.admit(m.queue.size(), m.replicas.size())) {
+      reject(m, req, RejectReason::kPredictedMiss);
+      return;
+    }
+  }
+
   if (cfg_.num_workers == 0) {
     // Synchronous-only configuration: execute the lone request inline on
     // the caller's thread. No queue, no coalescing; concurrent inline
@@ -435,9 +460,76 @@ void Server::submit_request(ModelEntry& m, data::Batch row, Callback done,
     release_replica(m, rep);
     return;
   }
-  if (!m.queue.push(std::move(req))) {
-    throw runtime::QueueClosedError();
+
+  // Never block the producer against a saturated model: wait at most the
+  // configured bound for space, then shed with a typed kQueueFull. The old
+  // blocking push() could deadlock a submitting thread forever behind a
+  // model whose workers were themselves wedged.
+  switch (m.queue.try_push_for(
+      req, micros_duration(m.cfg.load_control.submit_wait_micros))) {
+    case runtime::PushResult::kPushed:
+      return;
+    case runtime::PushResult::kClosed:
+      throw runtime::QueueClosedError();
+    case runtime::PushResult::kFull:
+      reject(m, req, RejectReason::kQueueFull);
+      return;
   }
+}
+
+void Server::reject(ModelEntry& m, Request& req, RejectReason reason) {
+  {
+    std::lock_guard<std::mutex> lock(m.stats_mu);
+    switch (reason) {
+      case RejectReason::kQueueFull:
+        ++m.shed_queue_full;
+        break;
+      case RejectReason::kShedBestEffort:
+        ++m.shed_best_effort;
+        break;
+      case RejectReason::kPredictedMiss:
+        ++m.shed_predicted_miss;
+        break;
+      case RejectReason::kExpired:
+        // Expiries go through expire(): they carry attainment accounting.
+        break;
+    }
+  }
+  complete_error(req, std::make_exception_ptr(RejectedError(m.name, reason)));
+}
+
+void Server::expire(ModelEntry& m, Request& req) {
+  const auto waited = std::chrono::steady_clock::now() - req.accepted;
+  {
+    std::lock_guard<std::mutex> lock(m.stats_mu);
+    ++m.expired;
+    // The miss is counted exactly once, here: the request never reaches
+    // execute(), so recording its wait as a (necessarily over-deadline)
+    // latency keeps deadline_attainment() honest without double counting.
+    m.latencies.record(std::chrono::duration<double>(waited).count());
+  }
+  complete_error(req, std::make_exception_ptr(
+                          RejectedError(m.name, RejectReason::kExpired)));
+  // Drop the worker's shared-state reference now rather than when the
+  // dequeue loop later overwrites this Request: while the submitter still
+  // holds its future, the final release of the state — and of the rethrown
+  // exception inside it — then happens on the consumer's thread.
+  { auto fulfilled = std::move(req.promise); }
+}
+
+bool Server::higher_class_pressure(const ModelEntry& m) const {
+  // One pass over the frozen registry: a strictly higher class is "under
+  // pressure" when its AIMD controller reports a violation streak (it is
+  // backing off, not probing) or its load model statistically predicts
+  // missed attainment at steady state. Either signal means capacity that
+  // best-effort work would consume is about to be needed.
+  for (const auto& other : models_) {
+    if (other.get() == &m) continue;
+    if (other->cfg.slo.priority <= m.cfg.slo.priority) continue;
+    if (other->aimd.under_pressure()) return true;
+    if (other->load.overloaded(other->replicas.size())) return true;
+  }
+  return false;
 }
 
 Server::ModelEntry* Server::pick_model_slo() const {
@@ -589,6 +681,24 @@ void Server::release_replica(ModelEntry& m, Replica& rep) {
 }
 
 void Server::run_batch(ModelEntry& m, Request first, bool stolen) {
+  const bool drop_expired = m.cfg.load_control.enabled;
+  const auto deadline = m.deadline_duration();
+
+  // Expiry drop (admission → shed → expire pipeline, final stage): a
+  // dequeued request whose deadline has already passed is completed with
+  // kExpired *before* a replica is claimed — under overload, running
+  // dead-on-arrival work is exactly the capacity the live requests need.
+  // Without load control, deadlines stay pure objectives and the request
+  // runs regardless (legacy semantics).
+  if (drop_expired) {
+    while (std::chrono::steady_clock::now() - first.accepted > deadline) {
+      expire(m, first);
+      auto next = m.queue.try_pop();
+      if (!next) return;
+      first = std::move(*next);
+    }
+  }
+
   // Claim the execution slot before coalescing: if the group is momentarily
   // saturated, everything that queues while we wait for a replica joins
   // this batch, so the wait buys amortization instead of being dead time.
@@ -614,6 +724,26 @@ void Server::run_batch(ModelEntry& m, Request first, bool stolen) {
       if (!next) break;
       reqs.push_back(std::move(*next));
       if (reqs.size() < cap) m.queue.drain(reqs, cap - reqs.size());
+    }
+  }
+  if (drop_expired) {
+    // Requests that expired while queued behind the batch head (or during
+    // the replica wait / flush window) are dropped from the coalesced
+    // batch the same way, so they never occupy batch rows either.
+    const auto now = std::chrono::steady_clock::now();
+    std::vector<Request> live;
+    live.reserve(reqs.size());
+    for (auto& r : reqs) {
+      if (now - r.accepted > deadline) {
+        expire(m, r);
+      } else {
+        live.push_back(std::move(r));
+      }
+    }
+    reqs = std::move(live);
+    if (reqs.empty()) {
+      release_replica(m, rep);
+      return;
     }
   }
   execute(m, rep, reqs, stolen);
@@ -661,9 +791,11 @@ void Server::execute(ModelEntry& m, Replica& rep, std::vector<Request>& reqs,
   const double secs = timer.elapsed_seconds();
   const auto completed = std::chrono::steady_clock::now();
 
-  // Feed the controller before the next batch is coalesced so the cap
-  // reflects this batch's observed latency.
+  // Feed the controllers before the next batch is coalesced so the cap —
+  // and the admission model's service-time estimate — reflect this batch's
+  // observed latency.
   m.aimd.on_batch(reqs.size(), secs);
+  m.load.on_batch(reqs.size(), secs);
 
   // Record stats before fulfilling any completion: a client observing its
   // future ready must also observe the counters for its own batch.
@@ -676,6 +808,7 @@ void Server::execute(ModelEntry& m, Replica& rep, std::vector<Request>& reqs,
     if (stolen) ++m.stolen_batches;
     m.inference_seconds += secs;
     m.replica_rows[rep.index] += reqs.size();
+    m.completions += reqs.size();
     for (const auto& r : reqs) {
       const auto waited = completed - r.accepted;
       if (waited <= deadline) ++m.deadline_hits;
@@ -808,6 +941,11 @@ ModelStats Server::stats(std::string_view model) const {
   s.largest_batch = m.largest_batch;
   s.stolen_batches = m.stolen_batches;
   s.deadline_hits = m.deadline_hits;
+  s.completions = m.completions;
+  s.expired = m.expired;
+  s.shed_queue_full = m.shed_queue_full;
+  s.shed_best_effort = m.shed_best_effort;
+  s.shed_predicted_miss = m.shed_predicted_miss;
   s.inference_seconds = m.inference_seconds;
   s.latency = m.latencies.summary();
   s.latency_samples = m.latencies.count();
@@ -837,6 +975,9 @@ ServerStats Server::stats() const {
     s.largest_batch = std::max(s.largest_batch, m->largest_batch);
     s.stolen_batches += m->stolen_batches;
     s.deadline_hits += m->deadline_hits;
+    s.completions += m->completions;
+    s.expired += m->expired;
+    s.shed += m->shed_queue_full + m->shed_best_effort + m->shed_predicted_miss;
     s.inference_seconds += m->inference_seconds;
     merged.merge(m->latencies);
   }
@@ -857,6 +998,11 @@ void Server::reset_stats() {
     m->largest_batch = 0;
     m->stolen_batches = 0;
     m->deadline_hits = 0;
+    m->completions = 0;
+    m->expired = 0;
+    m->shed_queue_full = 0;
+    m->shed_best_effort = 0;
+    m->shed_predicted_miss = 0;
     m->inference_seconds = 0.0;
     std::fill(m->replica_rows.begin(), m->replica_rows.end(), 0);
     m->latencies.clear();
@@ -866,6 +1012,15 @@ void Server::reset_stats() {
 
 std::size_t Server::current_max_batch(std::string_view model) const {
   return find_model(model).aimd.cap();
+}
+
+std::size_t Server::recommended_replicas(std::string_view model) const {
+  ModelEntry& m = find_model(model);
+  // Pre-start the group may still be growing (add_replica); see
+  // replica_count.
+  std::unique_lock<std::mutex> lock(registry_mu_, std::defer_lock);
+  if (!started_.load(std::memory_order_acquire)) lock.lock();
+  return m.load.recommended_replicas(m.replicas.size());
 }
 
 EndToEndCache& Server::cache(std::string_view model) {

@@ -18,6 +18,7 @@
 #include "runtime/request_queue.hpp"
 #include "serving/aimd.hpp"
 #include "serving/e2e_cache.hpp"
+#include "serving/load_control.hpp"
 #include "serving/slo.hpp"
 
 namespace willump::serving {
@@ -50,8 +51,10 @@ struct ModelConfig {
   /// Flush a partially filled batch once this much time has elapsed since
   /// its first query was accepted. 0 = drain-only (no added idle latency).
   double max_delay_micros = 0.0;
-  /// Per-model request-queue bound; pushes beyond it block (back-pressure).
-  /// 0 = unbounded.
+  /// Per-model request-queue bound; 0 = unbounded. Submits against a full
+  /// queue never block: they wait at most `load_control.submit_wait_micros`
+  /// for space, then resolve the request with a typed kQueueFull rejection
+  /// through its future/callback (see serving/load_control.hpp).
   std::size_t queue_capacity = 0;
   /// Clipper-style end-to-end prediction cache, checked before enqueue.
   bool enable_e2e_cache = false;
@@ -76,6 +79,11 @@ struct ModelConfig {
   /// Online AIMD tuning of `max_batch` (Clipper's controller). Disabled by
   /// default: the cap stays fixed.
   AimdConfig aimd;
+  /// Statistical load control: admission (predicted-miss + best-effort
+  /// shedding), the workers' expired-request drop, and the bounded submit
+  /// wait on a full queue. Estimators always run (recommended_replicas
+  /// works regardless); decisions require `load_control.enabled`.
+  LoadControlConfig load_control;
 };
 
 /// Engine-wide threading and scheduling policy of the serving registry.
@@ -109,7 +117,7 @@ struct ServerConfig {
 /// Per-model serving counters (snapshot; see Server::stats(model)).
 struct ModelStats {
   std::string model;
-  std::size_t queries = 0;       // pointwise queries accepted via submit()
+  std::size_t queries = 0;       // pointwise queries offered via submit()
   std::size_t cache_hits = 0;    // answered from the e2e cache, never enqueued
   std::size_t batches = 0;       // pipeline executions (coalesced or client batches)
   std::size_t rows = 0;          // rows through the pipeline
@@ -121,6 +129,17 @@ struct ModelStats {
   /// Queries completed within the model's SLO-class deadline (of those
   /// with a recorded latency; cache hits count as within-deadline).
   std::size_t deadline_hits = 0;
+  /// Per-outcome rows of the overload pipeline (admission → shed →
+  /// expire; see serving/load_control.hpp). Every offered query lands in
+  /// exactly one outcome: a completion with a prediction (`completions`,
+  /// cached or executed — the cached path increments the same row, so
+  /// attainment() denominators stay consistent across both), an expiry
+  /// drop, one of the typed sheds, or an execution error.
+  std::size_t completions = 0;
+  std::size_t expired = 0;             // kExpired drops (counted as misses)
+  std::size_t shed_queue_full = 0;     // kQueueFull rejections
+  std::size_t shed_best_effort = 0;    // kShedBestEffort rejections
+  std::size_t shed_predicted_miss = 0; // kPredictedMiss rejections
   /// AIMD controller state: the live cap and how it got there.
   std::size_t current_max_batch = 0;
   std::size_t aimd_increases = 0;
@@ -140,6 +159,20 @@ struct ModelStats {
                                 : static_cast<double>(deadline_hits) /
                                       static_cast<double>(latency_samples);
   }
+  /// Outcome-row attainment: hits over everything that reached a terminal
+  /// deadline verdict — completions (cached or executed) plus expiry
+  /// drops, each of which is a miss counted exactly once. Typed admission
+  /// sheds are excluded: a request the engine refused to run was never
+  /// given a deadline to meet.
+  double attainment() const {
+    const std::size_t den = completions + expired;
+    return den == 0 ? 0.0
+                    : static_cast<double>(deadline_hits) /
+                          static_cast<double>(den);
+  }
+  std::size_t total_shed() const {
+    return shed_queue_full + shed_best_effort + shed_predicted_miss;
+  }
 };
 
 /// Aggregate serving counters over every registered model.
@@ -155,6 +188,10 @@ struct ServerStats {
   common::Summary latency;
   std::size_t latency_samples = 0;
   std::size_t deadline_hits = 0;
+  /// Fleet totals of the overload outcome rows (see ModelStats).
+  std::size_t completions = 0;
+  std::size_t expired = 0;
+  std::size_t shed = 0;  // all typed admission rejections
 
   double mean_batch_rows() const {
     return batches == 0 ? 0.0
@@ -187,11 +224,17 @@ struct ServerStats {
 ///
 /// Completion is delivered either through a `std::future` or — the
 /// open-loop-friendly async path — through a callback invoked on the worker
-/// that executed the batch. Every accepted request is eventually completed:
-/// shutdown closes the queues to new work but drains accepted requests
-/// first. Deadlines are objectives, not admission control: a request that
-/// misses its deadline still completes (and is counted in
-/// `ModelStats::deadline_hits`' complement).
+/// that executed the batch. Every submitted request resolves exactly once:
+/// a prediction, a typed overload rejection (`RejectedError`; see
+/// serving/load_control.hpp), or an expiry. Shutdown closes the queues to
+/// new work but drains accepted requests first. By default deadlines are
+/// objectives, not admission control: a request that misses its deadline
+/// still completes (and is counted in `ModelStats::deadline_hits`'
+/// complement). With `LoadControlConfig::enabled` the engine turns them
+/// into operational decisions — admission control sheds requests that are
+/// statistically predicted to miss (best-effort classes first), and
+/// workers drop dead-on-arrival requests instead of wasting a replica slot
+/// on them. Submits never block on a full queue in either mode.
 ///
 /// Thread safety: every public method is safe to call concurrently once
 /// serving has started, except the registration family (`register_model`,
@@ -281,8 +324,12 @@ class Server {
   bool has_model(std::string_view model) const;
 
   /// Submit one pointwise query (a single-row batch) to `model`. Returns a
-  /// future for its prediction; blocks only when the model's queue is full.
-  /// Throws std::invalid_argument for an unknown model and
+  /// future for its prediction. Never blocks on a full queue: after at most
+  /// `LoadControlConfig::submit_wait_micros`, the future delivers a typed
+  /// `RejectedError{kQueueFull}` instead (overload rejections — including
+  /// kShedBestEffort / kPredictedMiss / kExpired — always arrive through
+  /// the future, not as exceptions from this call). Throws
+  /// std::invalid_argument for an unknown model and
   /// runtime::QueueClosedError after shutdown().
   std::future<double> submit(std::string_view model, data::Batch row);
 
@@ -324,6 +371,16 @@ class Server {
 
   /// The live (possibly AIMD-tuned) batch cap of `model`.
   std::size_t current_max_batch(std::string_view model) const;
+
+  /// Predictive replica sizing: the smallest replica count whose
+  /// steady-state predicted attainment passes the 95%-CI criterion against
+  /// the model's `LoadControlConfig::target_attainment`, from the online
+  /// EWMA service-time/arrival-rate model (see LoadController). Returns
+  /// the current replica count while the estimators are cold. Advisory
+  /// only — the group itself is frozen once serving starts; an operator
+  /// (or the bench's grow/shrink demo) reads this to size the next
+  /// deployment.
+  std::size_t recommended_replicas(std::string_view model) const;
 
   EndToEndCache& cache(std::string_view model);
   EndToEndCache& cache();  // first registered model
@@ -390,6 +447,10 @@ class Server {
     EndToEndCache cache;
     runtime::RequestQueue<Request> queue;
     AimdBatchController aimd;
+    /// Online latency/queue model behind admission control and
+    /// recommended_replicas. Always fed (estimates are cheap); decisions
+    /// gated by cfg.load_control.enabled.
+    LoadController load;
 
     mutable std::mutex stats_mu;
     std::size_t queries = 0;
@@ -399,6 +460,13 @@ class Server {
     std::size_t largest_batch = 0;
     std::size_t stolen_batches = 0;
     std::size_t deadline_hits = 0;
+    /// Overload outcome rows (see ModelStats): every offered query ends in
+    /// exactly one of completion / expiry / typed shed / error.
+    std::size_t completions = 0;
+    std::size_t expired = 0;
+    std::size_t shed_queue_full = 0;
+    std::size_t shed_best_effort = 0;
+    std::size_t shed_predicted_miss = 0;
     double inference_seconds = 0.0;
     std::vector<std::size_t> replica_rows;
     common::LatencyRecorder latencies;
@@ -436,6 +504,17 @@ class Server {
   void run_batch(ModelEntry& m, Request first, bool stolen);
   void execute(ModelEntry& m, Replica& rep, std::vector<Request>& reqs,
                bool stolen);
+  /// Resolve `req` with a typed overload rejection and bump the matching
+  /// shed counter. Never throws into the submit path.
+  void reject(ModelEntry& m, Request& req, RejectReason reason);
+  /// Complete a dead-on-arrival request with kExpired, counting the miss
+  /// exactly once in the attainment accounting.
+  void expire(ModelEntry& m, Request& req);
+  /// True when any model of a strictly higher SLO class than `m` reports
+  /// overload: its AIMD controller is backing off or its load model
+  /// statistically predicts missed attainment at steady state. This is
+  /// the shed-best-effort-first signal.
+  bool higher_class_pressure(const ModelEntry& m) const;
   /// True once shutdown started and every model queue is empty.
   bool drained_after_close() const;
   static void complete(Request& req, double prediction);

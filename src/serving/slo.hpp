@@ -51,6 +51,13 @@ struct SloClass {
   /// The derived AIMD batch-latency target, microseconds (>= 1).
   double batch_slo_micros() const;
 
+  /// Shed ordering under overload: classes with negative priority are
+  /// best-effort and are the first the admission controller sheds
+  /// (`RejectReason::kShedBestEffort`) when a higher class is under
+  /// pressure — before any standard or latency-critical request is put at
+  /// risk. See serving/load_control.hpp.
+  bool is_best_effort() const { return priority < 0; }
+
   /// Preset: an interactive model that preempts everything else.
   static SloClass latency_critical(double deadline_micros = 20'000.0);
   /// Preset: the default class (priority 0).

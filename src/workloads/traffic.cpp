@@ -13,6 +13,30 @@ namespace willump::workloads {
 
 namespace {
 
+/// How one submit resolved, from the driver's point of view: a prediction,
+/// a typed overload rejection (shed at admission), a typed expiry (dropped
+/// dead-on-arrival by a worker), or a real execution error.
+enum class Outcome { kOk, kRejected, kExpired, kError };
+
+Outcome classify(const std::exception_ptr& error) {
+  if (error == nullptr) return Outcome::kOk;
+  try {
+    std::rethrow_exception(error);
+  } catch (const serving::RejectedError& e) {
+    return e.reason() == serving::RejectReason::kExpired ? Outcome::kExpired
+                                                         : Outcome::kRejected;
+  } catch (...) {
+    return Outcome::kError;
+  }
+}
+
+/// Per-slice non-latency outcome counts of one run.
+struct OutcomeCounts {
+  std::size_t errors = 0;
+  std::size_t rejected = 0;
+  std::size_t expired = 0;
+};
+
 /// Shared TrafficResult assembly from serving-stats deltas and client-side
 /// latencies (offered_qps stays 0 unless the caller sets it). Works for
 /// both per-model (ModelStats) and aggregate (ServerStats) snapshots,
@@ -22,11 +46,13 @@ namespace {
 template <typename Stats>
 TrafficResult make_result(const Stats& before, const Stats& after,
                           const common::LatencyRecorder& latencies,
-                          double duration, std::size_t errors = 0,
+                          double duration, OutcomeCounts counts = {},
                           double deadline_micros = 0.0) {
   TrafficResult res;
   res.completed = latencies.count();
-  res.errors = errors;
+  res.errors = counts.errors;
+  res.rejected = counts.rejected;
+  res.expired = counts.expired;
   res.duration_seconds = duration;
   res.achieved_qps =
       duration > 0.0 ? static_cast<double>(res.completed) / duration : 0.0;
@@ -63,17 +89,33 @@ serving::ServerStats engine_aggregate(serving::Router& router) {
 class CompletionBoard {
  public:
   explicit CompletionBoard(std::size_t slices)
-      : latencies_(slices), errors_(slices, 0) {}
+      : latencies_(slices), counts_(slices) {}
 
   void launched() {
     std::lock_guard<std::mutex> lock(mu_);
     ++pending_;
   }
 
-  void finish(std::size_t slice, double seconds, bool error) {
+  /// Record exactly one resolution per launched submit. Latency is only
+  /// recorded for real predictions: typed rejections and expiries are
+  /// counted as shed load (they carry no service latency worth averaging),
+  /// and execution errors as errors.
+  void finish(std::size_t slice, double seconds, Outcome outcome) {
     std::lock_guard<std::mutex> lock(mu_);
-    latencies_[slice].record(seconds);
-    if (error) ++errors_[slice];
+    switch (outcome) {
+      case Outcome::kOk:
+        latencies_[slice].record(seconds);
+        break;
+      case Outcome::kRejected:
+        ++counts_[slice].rejected;
+        break;
+      case Outcome::kExpired:
+        ++counts_[slice].expired;
+        break;
+      case Outcome::kError:
+        ++counts_[slice].errors;
+        break;
+    }
     if (--pending_ == 0) all_done_.notify_all();
   }
 
@@ -85,16 +127,20 @@ class CompletionBoard {
   const common::LatencyRecorder& latencies(std::size_t slice) const {
     return latencies_[slice];
   }
-  std::size_t errors(std::size_t slice) const { return errors_[slice]; }
+  OutcomeCounts counts(std::size_t slice) const { return counts_[slice]; }
 
   common::LatencyRecorder merged() const {
     common::LatencyRecorder all;
     for (const auto& r : latencies_) all.merge(r);
     return all;
   }
-  std::size_t total_errors() const {
-    std::size_t n = 0;
-    for (auto e : errors_) n += e;
+  OutcomeCounts total_counts() const {
+    OutcomeCounts n;
+    for (const auto& c : counts_) {
+      n.errors += c.errors;
+      n.rejected += c.rejected;
+      n.expired += c.expired;
+    }
     return n;
   }
 
@@ -103,23 +149,26 @@ class CompletionBoard {
   std::condition_variable all_done_;
   std::size_t pending_ = 0;
   std::vector<common::LatencyRecorder> latencies_;
-  std::vector<std::size_t> errors_;
+  std::vector<OutcomeCounts> counts_;
 };
 
 /// Dispatch one Poisson-paced open-loop stream against either engine type
 /// (Server or Router; both expose the async submit). `pick_slice` chooses
 /// the mixed-traffic slice for each arrival; `samplers` and `models` are
 /// indexed by slice.
+/// Returns the longest any single submit() call blocked the dispatcher,
+/// seconds — the no-blocked-producer watchdog signal of the overload bench.
 template <typename Engine>
-void dispatch_open_loop(Engine& engine,
-                        const std::vector<std::string>& models,
-                        std::vector<QuerySampler>& samplers,
-                        const std::function<std::size_t()>& pick_slice,
-                        std::size_t n_queries, double qps, std::uint64_t seed,
-                        CompletionBoard& board) {
+double dispatch_open_loop(Engine& engine,
+                          const std::vector<std::string>& models,
+                          std::vector<QuerySampler>& samplers,
+                          const std::function<std::size_t()>& pick_slice,
+                          std::size_t n_queries, double qps, std::uint64_t seed,
+                          CompletionBoard& board) {
   common::Rng arrival_rng(seed ^ 0xA881);
   const auto gaps = poisson_interarrival_seconds(n_queries, qps, arrival_rng);
 
+  double max_submit_seconds = 0.0;
   const auto start = std::chrono::steady_clock::now();
   double next_arrival = 0.0;
   for (std::size_t q = 0; q < n_queries; ++q) {
@@ -140,15 +189,22 @@ void dispatch_open_loop(Engine& engine,
                           std::chrono::duration<double>(
                               std::chrono::steady_clock::now() - submitted)
                               .count();
-                      board.finish(slice, secs, error != nullptr);
+                      board.finish(slice, secs, classify(error));
                     });
     } catch (...) {
-      // Rejected at submission (engine shut down mid-run): account it as an
-      // errored zero-latency completion so wait_all() still terminates.
-      board.finish(slice, 0.0, /*error=*/true);
+      // Thrown at submission (engine shut down mid-run): account it as an
+      // errored completion so wait_all() still terminates. Typed overload
+      // rejections never take this path — they arrive via the callback.
+      board.finish(slice, 0.0, Outcome::kError);
     }
+    max_submit_seconds = std::max(
+        max_submit_seconds,
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      submitted)
+            .count());
   }
   board.wait_all();
+  return max_submit_seconds;
 }
 
 template <typename Engine>
@@ -158,10 +214,13 @@ MixedTrafficResult run_mixed_closed_loop_impl(
   struct ClientSlot {
     std::size_t slice;
     common::LatencyRecorder latencies;
+    OutcomeCounts counts;
   };
   std::vector<ClientSlot> slots;
   for (std::size_t s = 0; s < mix.size(); ++s) {
-    for (std::size_t c = 0; c < mix[s].clients; ++c) slots.push_back({s, {}});
+    for (std::size_t c = 0; c < mix[s].clients; ++c) {
+      slots.push_back({s, {}, {}});
+    }
   }
 
   std::vector<serving::ModelStats> before_model;
@@ -180,8 +239,18 @@ MixedTrafficResult run_mixed_closed_loop_impl(
       QuerySampler sampler(*t.wl, t.zipf_s, seed + 0x9E3779B9u * (i + 1));
       for (std::size_t q = 0; q < queries_per_client; ++q) {
         common::Timer timer;
-        engine.submit(t.model, sampler.next()).get();
-        slots[i].latencies.record(timer.elapsed_seconds());
+        try {
+          engine.submit(t.model, sampler.next()).get();
+          slots[i].latencies.record(timer.elapsed_seconds());
+        } catch (const serving::RejectedError& e) {
+          // A load-controlled engine sheds instead of queueing: keep the
+          // client loop self-clocking and record the typed outcome.
+          if (e.reason() == serving::RejectReason::kExpired) {
+            ++slots[i].counts.expired;
+          } else {
+            ++slots[i].counts.rejected;
+          }
+        }
       }
     });
   }
@@ -190,19 +259,28 @@ MixedTrafficResult run_mixed_closed_loop_impl(
 
   MixedTrafficResult out;
   common::LatencyRecorder all;
+  OutcomeCounts all_counts;
   for (std::size_t s = 0; s < mix.size(); ++s) {
     common::LatencyRecorder model_lat;
+    OutcomeCounts model_counts;
     for (const auto& slot : slots) {
-      if (slot.slice == s) model_lat.merge(slot.latencies);
+      if (slot.slice != s) continue;
+      model_lat.merge(slot.latencies);
+      model_counts.errors += slot.counts.errors;
+      model_counts.rejected += slot.counts.rejected;
+      model_counts.expired += slot.counts.expired;
     }
     all.merge(model_lat);
+    all_counts.errors += model_counts.errors;
+    all_counts.rejected += model_counts.rejected;
+    all_counts.expired += model_counts.expired;
     out.per_model.emplace_back(
         mix[s].model,
         make_result(before_model[s], engine.stats(mix[s].model), model_lat,
-                    duration, /*errors=*/0, mix[s].deadline_micros));
+                    duration, model_counts, mix[s].deadline_micros));
   }
-  out.aggregate =
-      make_result(before_all, engine_aggregate(engine), all, duration);
+  out.aggregate = make_result(before_all, engine_aggregate(engine), all,
+                              duration, all_counts);
   return out;
 }
 
@@ -232,7 +310,7 @@ MixedTrafficResult run_mixed_open_loop_impl(Engine& engine,
   common::Rng route_rng(seed ^ 0xB07E);
   CompletionBoard board(mix.size());
   common::Timer wall;
-  dispatch_open_loop(
+  const double max_submit = dispatch_open_loop(
       engine, models, samplers,
       [&]() -> std::size_t {
         const double u = route_rng.next_double() * total_weight;
@@ -248,13 +326,15 @@ MixedTrafficResult run_mixed_open_loop_impl(Engine& engine,
   for (std::size_t s = 0; s < mix.size(); ++s) {
     TrafficResult r = make_result(before_model[s], engine.stats(mix[s].model),
                                   board.latencies(s), duration,
-                                  board.errors(s), mix[s].deadline_micros);
+                                  board.counts(s), mix[s].deadline_micros);
     r.offered_qps = total_qps * mix[s].weight / total_weight;
+    r.max_submit_seconds = max_submit;
     out.per_model.emplace_back(mix[s].model, std::move(r));
   }
   out.aggregate = make_result(before_all, engine_aggregate(engine),
-                              board.merged(), duration, board.total_errors());
+                              board.merged(), duration, board.total_counts());
   out.aggregate.offered_qps = total_qps;
+  out.aggregate.max_submit_seconds = max_submit;
   return out;
 }
 

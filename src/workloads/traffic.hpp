@@ -40,8 +40,17 @@ std::vector<double> poisson_interarrival_seconds(std::size_t n, double qps,
 /// Result of driving one traffic run against a serving engine (either one
 /// model's share of a mixed run, or the aggregate).
 struct TrafficResult {
-  std::size_t completed = 0;
-  std::size_t errors = 0;     // completions that delivered an exception
+  std::size_t completed = 0;  // resolved with a prediction
+  std::size_t errors = 0;     // completions that delivered a real execution
+                              // error (typed overload rejections and
+                              // expiries are counted separately below)
+  /// Typed admission rejections (queue-full, shed-best-effort,
+  /// predicted-miss): requests the engine refused to run. Zero unless the
+  /// target model bounds its queue or enables load control.
+  std::size_t rejected = 0;
+  /// Typed kExpired completions: requests dropped dead-on-arrival by a
+  /// worker after their deadline passed. Counted as attainment misses.
+  std::size_t expired = 0;
   double duration_seconds = 0.0;
   double offered_qps = 0.0;   // 0 for closed-loop runs (load is self-clocked)
   double achieved_qps = 0.0;
@@ -53,13 +62,29 @@ struct TrafficResult {
   /// ModelTraffic::deadline_micros; 0 = not tracked, hits stay 0).
   double deadline_micros = 0.0;
   std::size_t deadline_hits = 0;
+  /// Longest any single submit() call blocked the dispatcher, seconds
+  /// (open-loop drivers only; the overload bench's no-blocked-producer
+  /// watchdog asserts on this). 0 for closed-loop runs.
+  double max_submit_seconds = 0.0;
 
-  /// Fraction of completed queries that met the deadline (0 when nothing
-  /// completed or no deadline was set).
+  /// Fraction of queries that reached a deadline verdict and met it:
+  /// expiries are misses (they waited past the deadline and were dropped),
+  /// counted exactly once. Admission rejections are excluded — the engine
+  /// never accepted them against a deadline. 0 when nothing completed or
+  /// no deadline was set.
   double attainment() const {
-    return completed == 0 ? 0.0
-                          : static_cast<double>(deadline_hits) /
-                                static_cast<double>(completed);
+    const std::size_t den = completed + expired;
+    return den == 0 ? 0.0
+                    : static_cast<double>(deadline_hits) /
+                          static_cast<double>(den);
+  }
+  /// Fraction of offered queries the engine shed or expired instead of
+  /// serving (the overload report's shed rate).
+  double shed_rate() const {
+    const std::size_t offered = completed + errors + rejected + expired;
+    return offered == 0 ? 0.0
+                        : static_cast<double>(rejected + expired) /
+                              static_cast<double>(offered);
   }
 };
 
@@ -131,7 +156,11 @@ MixedTrafficResult run_mixed_closed_loop(serving::Server& server,
 /// at its own Zipf skew — several workloads sharing one frontend, the
 /// Clipper deployment shape. This is the driver for two-class SLO
 /// experiments: give each slice its class deadline and read per-class
-/// attainment from the per-model results.
+/// attainment from the per-model results. The drivers are rejection-aware:
+/// typed overload rejections and expiries from a load-controlled engine
+/// are recorded as per-slice shed/expired rates (TrafficResult::rejected /
+/// ::expired), not as errors, and every submit still gets exactly one
+/// resolution.
 MixedTrafficResult run_mixed_open_loop(serving::Server& server,
                                        const std::vector<ModelTraffic>& mix,
                                        std::size_t n_queries, double total_qps,

@@ -6,9 +6,13 @@
 // SLO-class priority/EDF scheduling (including the starvation /
 // priority-inversion guarantee, asserted with the CI-based statistical
 // criterion), replica groups (least-outstanding balancing, artifact
-// cold-start, rolling swap under load), the consistent-hash Router, and
-// thread-safe end-to-end caching under concurrent clients. This suite is
-// labeled `concurrency` and runs under ThreadSanitizer in CI.
+// cold-start, rolling swap under load), the consistent-hash Router, the
+// overload pipeline (typed queue-full rejection with a no-blocked-producer
+// watchdog, best-effort-shed-first ordering, expired-request drop under a
+// machine-calibrated deadline, and a shed-under-open-loop run that loses
+// no completion), and thread-safe end-to-end caching under concurrent
+// clients. This suite is labeled `concurrency` and runs under
+// ThreadSanitizer in CI.
 
 #include <gtest/gtest.h>
 
@@ -29,6 +33,7 @@
 #include "runtime/thread_pool.hpp"
 #include "serialize/artifact.hpp"
 #include "serving/aimd.hpp"
+#include "serving/load_control.hpp"
 #include "serving/router.hpp"
 #include "serving/server.hpp"
 #include "serving/slo.hpp"
@@ -155,6 +160,45 @@ TEST(RequestQueue, TryPushRespectsCapacity) {
   EXPECT_FALSE(q.try_push(3));
   EXPECT_EQ(q.pop(), 1);
   EXPECT_TRUE(q.try_push(3));
+}
+
+TEST(RequestQueue, TryPushForReturnsTypedResultAndKeepsItemOnFailure) {
+  runtime::RequestQueue<int> q(1);
+  int item = 1;
+  EXPECT_EQ(q.try_push_for(item, std::chrono::milliseconds(0)),
+            runtime::PushResult::kPushed);
+  // Full queue, zero wait: immediate kFull, and the caller keeps the item
+  // (the serving engine still owns its completion channel after a reject).
+  int rejected = 2;
+  EXPECT_EQ(q.try_push_for(rejected, std::chrono::milliseconds(0)),
+            runtime::PushResult::kFull);
+  EXPECT_EQ(rejected, 2);
+  // Bounded wait: space appears inside the window and the push lands.
+  std::thread consumer([&q] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    EXPECT_EQ(q.pop(), 1);
+  });
+  EXPECT_EQ(q.try_push_for(rejected, std::chrono::seconds(5)),
+            runtime::PushResult::kPushed);
+  consumer.join();
+  EXPECT_EQ(q.pop(), 2);
+}
+
+TEST(RequestQueue, TryPushForBoundsTheWaitOnAFullQueue) {
+  runtime::RequestQueue<int> q(1);
+  int head = 7;
+  ASSERT_EQ(q.try_push_for(head, std::chrono::milliseconds(0)),
+            runtime::PushResult::kPushed);
+  int item = 8;
+  common::Timer t;
+  EXPECT_EQ(q.try_push_for(item, std::chrono::milliseconds(30)),
+            runtime::PushResult::kFull);
+  const double waited = t.elapsed_seconds();
+  EXPECT_GE(waited, 0.020);  // it did wait for space...
+  EXPECT_LT(waited, 5.0);    // ...but returned, unlike the blocking push
+  q.close();
+  EXPECT_EQ(q.try_push_for(item, std::chrono::milliseconds(0)),
+            runtime::PushResult::kClosed);
 }
 
 TEST(RequestQueue, DrainTakesUpToMaxInFifoOrder) {
@@ -1145,6 +1189,303 @@ TEST(ServerSlo, SaturatingBestEffortDoesNotStarveLatencyCritical) {
       << high_res.latency.p99 * 1e3 << " ms)";
   // The best-effort stream was genuinely saturating, not idle filler.
   EXPECT_GT(low_res.completed, 150u);
+}
+
+// ---------------------------------------------------------------------------
+// LoadController: the online latency/queue model behind admission control
+// and predictive replica sizing. Fed synthetic timestamps so the queueing
+// math is asserted deterministically, independent of machine speed.
+// ---------------------------------------------------------------------------
+
+TEST(LoadController, ColdModelAdmitsEverythingAndKeepsCurrentReplicas) {
+  serving::LoadControlConfig cfg;
+  cfg.enabled = true;
+  serving::LoadController lc(cfg, /*deadline_micros=*/1e4);
+  EXPECT_FALSE(lc.warmed_up());
+  // A cold estimator has a wide CI: it must never self-shed or resize.
+  EXPECT_TRUE(lc.admit(/*queue_depth=*/1000, /*replicas=*/1));
+  EXPECT_FALSE(lc.overloaded(1));
+  EXPECT_EQ(lc.recommended_replicas(3), 3u);
+}
+
+TEST(LoadController, EstimatorsTrackServiceTimeAndArrivalRate) {
+  serving::LoadControlConfig cfg;
+  serving::LoadController lc(cfg, 1e4);
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int i = 0; i < 50; ++i) {
+    lc.on_arrival(t0 + std::chrono::milliseconds(i));  // 1 kHz arrivals
+    lc.on_batch(8, 8e-4);                              // 100 us per row
+  }
+  EXPECT_TRUE(lc.warmed_up());
+  EXPECT_NEAR(lc.service_seconds_per_row(), 1e-4, 1e-6);
+  EXPECT_NEAR(lc.arrival_qps(), 1000.0, 50.0);
+}
+
+// The replica-sizing decision uses the CI-based statistical criterion
+// against the attainment target, not a hard threshold: one replica at
+// rho = 2 is statistically hopeless (grow), and a near-idle stream passes
+// at one replica even from a four-replica group (shrink).
+TEST(LoadController, RecommendsGrowthUnderOverloadAndShrinkWhenIdle) {
+  serving::LoadControlConfig cfg;
+  serving::LoadController hot(cfg, /*deadline_micros=*/1e4);  // 10 ms
+  const auto t0 = std::chrono::steady_clock::now();
+  // 100 us/row service at 20k rows/s offered: rho = 2 at one replica,
+  // comfortable (rho ~ 0.67, sojourn far under deadline) at three.
+  for (int i = 0; i < 50; ++i) {
+    hot.on_arrival(t0 + std::chrono::microseconds(50 * i));
+    hot.on_batch(8, 8e-4);
+  }
+  EXPECT_TRUE(hot.overloaded(1));
+  const std::size_t grown = hot.recommended_replicas(1);
+  EXPECT_GT(grown, 1u);
+  EXPECT_LE(grown, cfg.max_replicas);
+  EXPECT_FALSE(hot.overloaded(grown));  // the recommendation is sufficient
+
+  serving::LoadController idle(cfg, 1e4);
+  for (int i = 0; i < 50; ++i) {
+    idle.on_arrival(t0 + std::chrono::milliseconds(10 * i));  // 100 qps
+    idle.on_batch(8, 8e-4);
+  }
+  EXPECT_FALSE(idle.overloaded(1));
+  EXPECT_EQ(idle.recommended_replicas(4), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Overload pipeline: admission control, typed shedding, expiry drop
+// ---------------------------------------------------------------------------
+
+// A full bounded queue must reject, not block: the old blocking push could
+// park a producer indefinitely behind a saturated model. Occupy the
+// engine's only worker inside another model's coalescing window, burst
+// more submits than the victim's queue holds, and watchdog-assert the
+// producer never blocked while every submit still resolved exactly once.
+TEST(ServerOverload, QueueFullRejectsInsteadOfBlockingSubmit) {
+  auto& victim_f = fixture();
+  auto& blocker_f = credit_fixture();
+  serving::ServerConfig cfg;
+  cfg.num_workers = 1;
+  serving::Server server(cfg);
+  serving::ModelConfig blocker_cfg;
+  blocker_cfg.max_batch = 64;          // never fills from one query
+  blocker_cfg.max_delay_micros = 8e5;  // 800 ms coalescing window
+  server.register_model("blocker", &blocker_f.pipeline, blocker_cfg);
+  serving::ModelConfig victim_cfg;
+  victim_cfg.queue_capacity = 2;
+  victim_cfg.max_batch = 1;
+  server.register_model("victim", &victim_f.pipeline, victim_cfg);
+
+  // Park the sole worker inside the blocker's flush window.
+  auto parked = server.submit("blocker", blocker_f.wl.test.inputs.row(0));
+  std::this_thread::sleep_for(std::chrono::milliseconds(250));
+
+  // Burst 6 submits at a capacity-2 queue. The old behavior blocked here
+  // until the worker drained the queue (~550 ms away); the fixed path
+  // returns immediately with typed rejections for the overflow.
+  common::Timer watchdog;
+  std::vector<std::future<double>> futures;
+  for (std::size_t q = 0; q < 6; ++q) {
+    futures.push_back(server.submit("victim", victim_f.wl.test.inputs.row(q)));
+  }
+  EXPECT_LT(watchdog.elapsed_seconds(), 1.0) << "submit blocked the producer";
+
+  std::size_t ok = 0;
+  std::size_t queue_full = 0;
+  for (auto& fut : futures) {
+    try {
+      (void)fut.get();
+      ++ok;
+    } catch (const serving::RejectedError& e) {
+      EXPECT_EQ(e.reason(), serving::RejectReason::kQueueFull);
+      EXPECT_EQ(e.model(), "victim");
+      ++queue_full;
+    }
+  }
+  (void)parked.get();
+  server.shutdown();
+  EXPECT_EQ(ok + queue_full, 6u);  // every submit resolved exactly once
+  EXPECT_EQ(ok, 2u);               // the two that fit the queue completed
+  EXPECT_EQ(queue_full, 4u);
+  EXPECT_EQ(server.stats("victim").shed_queue_full, 4u);
+}
+
+// Shed-lowest-class-first ordering: sustained SLO violations on a
+// latency-critical model (its AIMD controller's pressure signal) make a
+// load-controlled best-effort model shed its own traffic with the typed
+// kShedBestEffort reason — while the critical class itself stays admitted.
+TEST(ServerOverload, BestEffortShedsFirstWhenCriticalClassIsUnderPressure) {
+  auto& crit = credit_fixture();
+  auto& be = fixture();
+  serving::ServerConfig cfg;
+  cfg.num_workers = 1;
+  serving::Server server(cfg);
+  serving::ModelConfig crit_cfg;
+  // 2 ns deadline: every real batch violates the derived AIMD target, so
+  // the controller reports sustained pressure after two batches.
+  crit_cfg.slo = serving::SloClass::latency_critical(0.002);
+  crit_cfg.aimd.enabled = true;
+  server.register_model("credit-rt", &crit.pipeline, crit_cfg);
+  serving::ModelConfig be_cfg;
+  be_cfg.slo = serving::SloClass::best_effort();
+  be_cfg.load_control.enabled = true;
+  server.register_model("toxic-be", &be.pipeline, be_cfg);
+
+  // No pressure yet: best-effort traffic completes normally.
+  (void)server.submit("toxic-be", be.wl.test.inputs.row(0)).get();
+
+  // Drive the critical model into sustained violation.
+  for (std::size_t q = 0; q < 6; ++q) {
+    (void)server.submit("credit-rt", crit.wl.test.inputs.row(q)).get();
+  }
+
+  // Now best-effort is shed with the typed reason...
+  bool shed = false;
+  try {
+    (void)server.submit("toxic-be", be.wl.test.inputs.row(1)).get();
+  } catch (const serving::RejectedError& e) {
+    shed = true;
+    EXPECT_EQ(e.reason(), serving::RejectReason::kShedBestEffort);
+    EXPECT_EQ(e.model(), "toxic-be");
+  }
+  EXPECT_TRUE(shed);
+  // ...while the critical class itself is still admitted and served.
+  const auto crit_row = crit.wl.test.inputs.row(7);
+  EXPECT_DOUBLE_EQ(server.submit("credit-rt", crit_row).get(),
+                   crit.pipeline.predict_one(crit_row));
+  server.shutdown();
+
+  const auto be_stats = server.stats("toxic-be");
+  EXPECT_EQ(be_stats.shed_best_effort, 1u);
+  EXPECT_EQ(be_stats.completions, 1u);  // the pre-pressure query
+  EXPECT_EQ(server.stats("credit-rt").shed_best_effort, 0u);
+  EXPECT_EQ(server.stats().shed, 1u);
+}
+
+// Dead-on-arrival requests are dropped with kExpired before claiming a
+// replica, and counted as attainment misses exactly once. The deadline is
+// calibrated to this machine (and sanitizer): well above one pipeline
+// execution — an unloaded engine would trivially meet it — but well below
+// the window the worker is parked for, so expiry at dequeue is certain.
+TEST(ServerOverload, ExpiredRequestsDropBeforeExecution) {
+  auto& victim_f = fixture();
+  auto& blocker_f = credit_fixture();
+
+  common::Timer calib;
+  (void)victim_f.pipeline.predict_one(victim_f.wl.test.inputs.row(0));
+  const double exec_seconds = std::max(1e-4, calib.elapsed_seconds());
+  const double deadline_micros = std::max(0.1e6, 10.0 * exec_seconds * 1e6);
+  const double window_micros = 8.0 * deadline_micros;
+
+  serving::ServerConfig cfg;
+  cfg.num_workers = 1;
+  serving::Server server(cfg);
+  serving::ModelConfig blocker_cfg;
+  blocker_cfg.max_batch = 64;
+  blocker_cfg.max_delay_micros = window_micros;
+  server.register_model("blocker", &blocker_f.pipeline, blocker_cfg);
+  serving::ModelConfig victim_cfg;
+  victim_cfg.slo = serving::SloClass::latency_critical(deadline_micros);
+  victim_cfg.max_batch = 1;
+  victim_cfg.load_control.enabled = true;
+  server.register_model("victim", &victim_f.pipeline, victim_cfg);
+
+  auto parked = server.submit("blocker", blocker_f.wl.test.inputs.row(0));
+  std::this_thread::sleep_for(
+      std::chrono::duration<double, std::micro>(window_micros / 4));
+
+  // These join the queue with >= 3/4 of the window still to wait — several
+  // deadlines past due by the time the worker dequeues them.
+  std::vector<std::future<double>> futures;
+  for (std::size_t q = 0; q < 3; ++q) {
+    futures.push_back(server.submit("victim", victim_f.wl.test.inputs.row(q)));
+  }
+
+  std::size_t expired = 0;
+  for (auto& fut : futures) {
+    try {
+      (void)fut.get();
+    } catch (const serving::RejectedError& e) {
+      EXPECT_EQ(e.reason(), serving::RejectReason::kExpired);
+      ++expired;
+    }
+  }
+  (void)parked.get();
+  server.shutdown();
+  EXPECT_EQ(expired, 3u);
+  const auto stats = server.stats("victim");
+  EXPECT_EQ(stats.expired, 3u);
+  EXPECT_EQ(stats.completions, 0u);
+  EXPECT_EQ(stats.deadline_hits, 0u);
+  EXPECT_EQ(stats.latency_samples, 3u);  // each miss recorded exactly once
+  EXPECT_DOUBLE_EQ(stats.attainment(), 0.0);
+  EXPECT_EQ(stats.batches, 0u);  // dropped before any execution
+}
+
+// Zero-latency cache hits land in the same per-class outcome rows as
+// executed completions, so ModelStats::attainment() divides hits by a
+// denominator that is consistent across the cached and executed paths.
+TEST(ServerOverload, CacheHitCountsInAttainmentDenominator) {
+  auto& f = fixture();
+  serving::ModelConfig mc;
+  mc.enable_e2e_cache = true;
+  mc.slo.deadline_micros = 60e6;  // every completion meets it
+  serving::Server server(&f.pipeline, {}, mc);
+  const auto row = f.wl.test.inputs.row(2);
+  (void)server.submit(row).get();  // executed
+  (void)server.submit(row).get();  // zero-latency cache hit
+  const auto stats = server.stats("default");
+  EXPECT_EQ(stats.cache_hits, 1u);
+  EXPECT_EQ(stats.completions, 2u);
+  EXPECT_EQ(stats.deadline_hits, 2u);
+  EXPECT_EQ(stats.latency_samples, 2u);
+  EXPECT_DOUBLE_EQ(stats.attainment(), 1.0);
+}
+
+// Shed-under-open-loop, in the tsan suite: a saturating Poisson stream
+// against a bounded, load-controlled model must lose no completion. Every
+// submit resolves exactly once (prediction, typed shed, or expiry), no
+// submit blocks past the watchdog, the engine genuinely sheds instead of
+// queueing without bound, and the replica-sizing recommendation reflects
+// the overload.
+TEST(ServerOverload, ShedUnderOpenLoopLosesNoCompletion) {
+  auto& f = fixture();
+  common::Timer calib;
+  (void)f.pipeline.predict(f.wl.test.inputs.select_rows(
+      std::vector<std::size_t>{0, 1, 2, 3, 4, 5, 6, 7}));
+  const double batch_seconds = std::max(1e-4, calib.elapsed_seconds());
+  const double row_seconds = batch_seconds / 8.0;
+  const double deadline_micros = std::max(0.2e6, 20.0 * batch_seconds * 1e6);
+
+  serving::ServerConfig cfg;
+  cfg.num_workers = 1;
+  serving::ModelConfig mc;
+  mc.slo = serving::SloClass::latency_critical(deadline_micros);
+  mc.max_batch = 8;
+  mc.queue_capacity = 16;
+  mc.load_control.enabled = true;
+  serving::Server server(&f.pipeline, cfg, mc);
+
+  std::vector<workloads::ModelTraffic> mix(1);
+  mix[0] = {.model = "default", .wl = &f.wl, .zipf_s = 0.0, .weight = 1.0,
+            .clients = 0, .deadline_micros = deadline_micros};
+  constexpr std::size_t kQueries = 240;
+  const double offered_qps = 4.0 / row_seconds;  // ~4x serial capacity
+  const auto res =
+      workloads::run_mixed_open_loop(server, mix, kQueries, offered_qps, 0x5EED);
+  server.shutdown();
+
+  const auto& agg = res.aggregate;
+  EXPECT_EQ(agg.completed + agg.errors + agg.rejected + agg.expired, kQueries);
+  EXPECT_EQ(agg.errors, 0u);  // overload is typed, never an execution error
+  EXPECT_GT(agg.completed, 0u);
+  EXPECT_GT(agg.rejected + agg.expired, 0u);  // 4x overload must shed
+  EXPECT_LT(agg.max_submit_seconds, 1.0);     // no blocked producer
+
+  // Client-side and engine-side accounting agree outcome for outcome.
+  const auto stats = server.stats("default");
+  EXPECT_EQ(stats.completions + stats.expired + stats.total_shed(), kQueries);
+  EXPECT_EQ(agg.completed, stats.completions);
+  EXPECT_EQ(agg.rejected, stats.total_shed());
+  EXPECT_EQ(agg.expired, stats.expired);
 }
 
 // ---------------------------------------------------------------------------

@@ -24,7 +24,7 @@ from pathlib import Path
 REPO = Path(__file__).resolve().parent.parent
 
 # Markdown files under version control (skip build trees and externals).
-SKIP_DIRS = {"build", "build-tsan", ".git", ".claude"}
+SKIP_DIRS = {"build", "build-tsan", "build-asan", ".git", ".claude"}
 # Externally supplied context (task text, scraped paper/related-work dumps):
 # not maintained by this repo's doc passes, so not linted.
 SKIP_FILES = {"ISSUE.md", "PAPER.md", "PAPERS.md", "SNIPPETS.md"}
