@@ -125,6 +125,15 @@ std::vector<double> cascade_predict(const Executor& executor,
                                     const data::Batch& batch,
                                     const ExecOptions& opts,
                                     CascadeRunStats* stats) {
+  std::vector<double> preds(batch.num_rows());
+  cascade_predict_into(executor, cascade, batch, opts, preds, stats);
+  return preds;
+}
+
+void cascade_predict_into(const Executor& executor,
+                          const TrainedCascade& cascade,
+                          const data::Batch& batch, const ExecOptions& opts,
+                          std::span<double> preds, CascadeRunStats* stats) {
   const std::size_t n = batch.num_rows();
 
   // Stage 5a: compute efficient IFVs and predict with the small model.
@@ -133,19 +142,22 @@ std::vector<double> cascade_predict(const Executor& executor,
   const auto eff_blocks = executor.compute_blocks(batch, eff_opts);
   const data::FeatureMatrix x_eff =
       executor.assemble(eff_blocks, cascade.efficient_mask);
-  std::vector<double> preds = cascade.small_model->predict(x_eff);
 
-  // Stage 5b: rows whose confidence does not exceed the threshold cascade
-  // to the full model.
+  // Stage 5a/5b fused: the model marks the rows whose confidence does not
+  // exceed the threshold (and may short-circuit its own evaluation for rows
+  // it can prove hard mid-way — the GBDT's per-tree margin bounds do).
+  // Hard rows may carry partial predictions; they are overwritten below.
+  std::vector<std::uint8_t> hard(n);
+  cascade.small_model->predict_cascade(x_eff, cascade.threshold, preds, hard);
   std::vector<std::size_t> hard_rows;
   for (std::size_t i = 0; i < n; ++i) {
-    if (models::confidence(preds[i]) <= cascade.threshold) hard_rows.push_back(i);
+    if (hard[i] != 0) hard_rows.push_back(i);
   }
   if (stats != nullptr) {
     stats->total_rows += n;
     stats->short_circuited += n - hard_rows.size();
   }
-  if (hard_rows.empty()) return preds;
+  if (hard_rows.empty()) return;
 
   // Compute only the remaining IFVs, only for the hard rows; reuse the
   // already-computed efficient blocks for those rows.
@@ -164,7 +176,6 @@ std::vector<double> cascade_predict(const Executor& executor,
   for (std::size_t i = 0; i < hard_rows.size(); ++i) {
     preds[hard_rows[i]] = full_preds[i];
   }
-  return preds;
 }
 
 }  // namespace willump::core

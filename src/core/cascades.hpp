@@ -89,4 +89,13 @@ std::vector<double> cascade_predict(const Executor& executor,
                                     const ExecOptions& opts,
                                     CascadeRunStats* stats = nullptr);
 
+/// cascade_predict into caller-owned storage (`preds.size()` must equal
+/// batch.num_rows()) — the serving path, which reuses one per-worker buffer
+/// across requests instead of allocating a result vector per call.
+void cascade_predict_into(const Executor& executor,
+                          const TrainedCascade& cascade,
+                          const data::Batch& batch, const ExecOptions& opts,
+                          std::span<double> preds,
+                          CascadeRunStats* stats = nullptr);
+
 }  // namespace willump::core

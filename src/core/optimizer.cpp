@@ -16,6 +16,7 @@ OptimizedPipeline::OptimizedPipeline(Parts parts) {
   cascade_ = std::move(parts.cascade);
   use_cascades_ = parts.use_cascades && cascade_.enabled();
   topk_cfg_ = parts.topk;
+  autotune_ = std::move(parts.autotune);
   if (parts.feature_cache) {
     cache_ = std::make_shared<FeatureCacheBank>(
         executor_->analysis().num_generators(), parts.cache_capacity);
@@ -42,6 +43,13 @@ ExecOptions OptimizedPipeline::exec_options() const {
 }
 
 std::vector<double> OptimizedPipeline::predict(const data::Batch& batch) const {
+  std::vector<double> out(batch.num_rows());
+  predict_into(batch, out);
+  return out;
+}
+
+void OptimizedPipeline::predict_into(const data::Batch& batch,
+                                     std::span<double> out) const {
   const ExecOptions opts = exec_options();
   if (cascades_enabled()) {
     // Accumulate run counters locally, then merge atomically: concurrent
@@ -50,14 +58,14 @@ std::vector<double> OptimizedPipeline::predict(const data::Batch& batch) const {
     // stateless per call; these counters are the only mutable state on
     // this path).
     CascadeRunStats local;
-    auto preds = cascade_predict(*executor_, cascade_, batch, opts, &local);
+    cascade_predict_into(*executor_, cascade_, batch, opts, out, &local);
     std::atomic_ref<std::size_t>(run_stats_.total_rows)
         .fetch_add(local.total_rows, std::memory_order_relaxed);
     std::atomic_ref<std::size_t>(run_stats_.short_circuited)
         .fetch_add(local.short_circuited, std::memory_order_relaxed);
-    return preds;
+    return;
   }
-  return cascade_.full_model->predict(executor_->compute_matrix(batch, opts));
+  cascade_.full_model->predict_into(executor_->compute_matrix(batch, opts), out);
 }
 
 double OptimizedPipeline::predict_one(const data::Batch& row) const {
@@ -126,6 +134,28 @@ OptimizedPipeline WillumpOptimizer::optimize(const Pipeline& pipeline,
   }
 
   executor->set_fg_costs(out.cascade_.stats.cost_seconds);
+
+  // Kernel selection: force one config everywhere, autotune against a
+  // training sample, or keep the machine defaults (DESIGN.md §9). The
+  // chosen configs live on the models and serialize with them.
+  if (opts.kernel_config.has_value()) {
+    out.cascade_.full_model->set_kernel_config(*opts.kernel_config);
+    out.autotune_.full = *opts.kernel_config;
+    if (out.cascade_.small_model != nullptr) {
+      out.cascade_.small_model->set_kernel_config(*opts.kernel_config);
+      out.autotune_.has_small = true;
+      out.autotune_.small = *opts.kernel_config;
+    }
+  } else if (opts.autotune_kernels) {
+    out.autotune_ = autotune_pipeline_kernels(out.cascade_, *executor,
+                                              train.inputs, opts.autotune);
+  } else {
+    out.autotune_.full = out.cascade_.full_model->kernel_config();
+    if (out.cascade_.small_model != nullptr) {
+      out.autotune_.has_small = true;
+      out.autotune_.small = out.cascade_.small_model->kernel_config();
+    }
+  }
 
   if (opts.feature_cache) {
     out.cache_ = std::make_shared<FeatureCacheBank>(

@@ -6,6 +6,7 @@
 
 #include "core/cascades.hpp"
 #include "core/topk.hpp"
+#include "kernels/autotune.hpp"
 
 namespace willump::core {
 
@@ -37,6 +38,15 @@ struct OptimizeOptions {
   /// Build the automatic top-K filter model (§4.3).
   bool topk_filter = false;
   TopKConfig topk;
+  /// Kernel autotuning (DESIGN.md §9): after model training, time kernel
+  /// variant x block-size candidates on a training sample and install the
+  /// fastest per model. The winners are serialized with the models, so a
+  /// saved artifact cold-starts tuned.
+  bool autotune_kernels = true;
+  kernels::AutotuneConfig autotune;
+  /// Force one kernel config on every model instead of tuning (benchmark
+  /// baselines and ablations). Takes precedence over autotune_kernels.
+  std::optional<kernels::KernelConfig> kernel_config;
 };
 
 /// The optimized pipeline Willump returns: same serving interface as the
@@ -63,6 +73,7 @@ class OptimizedPipeline {
     bool feature_cache = false;
     std::size_t cache_capacity = 0;
     std::size_t parallel_threads = 0;
+    kernels::AutotuneReport autotune;
   };
 
   OptimizedPipeline() = default;
@@ -70,6 +81,11 @@ class OptimizedPipeline {
 
   /// Batch prediction (throughput-oriented; Figure 5).
   std::vector<double> predict(const data::Batch& batch) const;
+
+  /// Batch prediction into caller-owned storage (`out.size()` must equal
+  /// batch.num_rows()): the serving path, which reuses one per-worker
+  /// buffer across requests instead of allocating a result per call.
+  void predict_into(const data::Batch& batch, std::span<double> out) const;
 
   /// Example-at-a-time prediction (latency-oriented; Figure 6).
   double predict_one(const data::Batch& row) const;
@@ -97,6 +113,9 @@ class OptimizedPipeline {
   /// The parallel_threads the pipeline was optimized with (0 = sequential).
   std::size_t parallel_threads() const;
   std::shared_ptr<const Executor> executor_ptr() const { return executor_; }
+  /// Kernel-autotuning outcome (winning configs + candidate timings); the
+  /// per-model winners also travel inside each serialized model.
+  const kernels::AutotuneReport& autotune_report() const { return autotune_; }
 
  private:
   friend class WillumpOptimizer;
@@ -109,6 +128,7 @@ class OptimizedPipeline {
   TopKConfig topk_cfg_;
   std::shared_ptr<FeatureCacheBank> cache_;
   std::shared_ptr<runtime::ThreadPool> pool_;
+  kernels::AutotuneReport autotune_;
   mutable CascadeRunStats run_stats_;
   mutable TopKRunStats topk_stats_;
 };

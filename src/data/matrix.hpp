@@ -74,6 +74,12 @@ class CsrMatrix {
 
   SparseVector row_vector(std::size_t r) const;
 
+  /// Raw CSR arrays (indptr has rows()+1 entries) for batched kernels that
+  /// stream all rows without per-row RowView construction.
+  std::span<const std::size_t> indptr() const { return indptr_; }
+  std::span<const std::int32_t> indices() const { return indices_; }
+  std::span<const double> values() const { return values_; }
+
   CsrMatrix select_rows(std::span<const std::size_t> idx) const;
 
   static CsrMatrix hconcat(const CsrMatrix& a, const CsrMatrix& b);

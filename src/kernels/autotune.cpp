@@ -1,0 +1,54 @@
+#include "kernels/autotune.hpp"
+
+#include "serialize/buffer.hpp"
+#include "serialize/error.hpp"
+
+namespace willump::kernels {
+
+std::vector<DotVariant> candidate_dots() {
+  std::vector<DotVariant> out = {DotVariant::Scalar, DotVariant::Unrolled};
+  if (dot_supported(DotVariant::Avx2)) out.push_back(DotVariant::Avx2);
+  if (dot_supported(DotVariant::Avx512)) out.push_back(DotVariant::Avx512);
+  return out;
+}
+
+void save_autotune_report(serialize::Writer& w, const AutotuneReport& rep) {
+  w.u8(rep.tuned ? 1 : 0);
+  save_kernel_config(w, rep.full);
+  w.u8(rep.has_small ? 1 : 0);
+  save_kernel_config(w, rep.small);
+  w.u64(rep.timings.size());
+  for (const auto& t : rep.timings) {
+    w.str(t.name);
+    w.f64(t.seconds);
+  }
+}
+
+AutotuneReport load_autotune_report(serialize::Reader& r) {
+  AutotuneReport rep;
+  const std::uint8_t tuned = r.u8();
+  if (tuned > 1) {
+    throw serialize::SerializeError(serialize::ErrorCode::CorruptData,
+                                    "autotune tuned flag out of range");
+  }
+  rep.tuned = tuned != 0;
+  rep.full = load_kernel_config(r);
+  const std::uint8_t has_small = r.u8();
+  if (has_small > 1) {
+    throw serialize::SerializeError(serialize::ErrorCode::CorruptData,
+                                    "autotune has_small flag out of range");
+  }
+  rep.has_small = has_small != 0;
+  rep.small = load_kernel_config(r);
+  const std::uint64_t n = r.length(9, "autotune timing list");
+  rep.timings.reserve(static_cast<std::size_t>(n));
+  for (std::uint64_t i = 0; i < n; ++i) {
+    VariantTiming t;
+    t.name = r.str();
+    t.seconds = r.f64();
+    rep.timings.push_back(std::move(t));
+  }
+  return rep;
+}
+
+}  // namespace willump::kernels

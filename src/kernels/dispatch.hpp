@@ -1,0 +1,75 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace willump::serialize {
+class Reader;
+class Writer;
+}
+
+namespace willump::kernels {
+
+/// Dense dot-product / GEMV kernel variant. Scalar is the bit-exact
+/// reference (single accumulator, left-to-right — the summation order the
+/// pre-kernel model code used); the others trade summation order for
+/// throughput and agree with Scalar to ~1e-12 relative (see DESIGN.md §9).
+enum class DotVariant : std::uint8_t {
+  Scalar = 0,    // reference: one accumulator, strict left-to-right
+  Unrolled = 1,  // four independent accumulators (ILP without intrinsics)
+  Avx2 = 2,      // 256-bit FMA lanes (x86 with AVX2+FMA)
+  Avx512 = 3,    // 512-bit FMA lanes (x86 with AVX-512F)
+};
+
+/// Forest-traversal kernel variant. RowWise is the reference (walk each row
+/// through each tree with branches, the pre-kernel Tree::predict_row shape);
+/// Blocked walks a block of rows through a tree level together, branch-free,
+/// so the per-node dependency chains of different rows overlap. Both
+/// accumulate per-row tree outputs in the same order, so they are bit-exact
+/// equals, not tolerance equals.
+enum class TreeVariant : std::uint8_t {
+  RowWise = 0,
+  Blocked = 1,
+};
+
+/// Upper bound on rows per traversal block (stack-buffer sizing).
+inline constexpr std::uint32_t kMaxTreeBlock = 64;
+
+/// Per-model kernel selection. Defaults come from native_config() (best
+/// instruction set the CPU supports, untuned block size); the optimizer's
+/// autotuner refines them and the values are serialized with the model, so
+/// a loaded artifact reproduces the tuned pipeline's exact arithmetic.
+struct KernelConfig {
+  DotVariant dot = DotVariant::Unrolled;
+  TreeVariant tree = TreeVariant::Blocked;
+  std::uint32_t tree_block = 32;  // rows per block, clamped to [1, kMaxTreeBlock]
+
+  bool operator==(const KernelConfig&) const = default;
+};
+
+/// Whether this CPU can execute `v` (Scalar/Unrolled always can).
+bool dot_supported(DotVariant v);
+
+/// Best dot variant this CPU supports (probed once).
+DotVariant best_supported_dot();
+
+/// Downgrade `v` to the best supported variant at or below it, so an
+/// artifact tuned on a wider machine still runs (within tolerance of the
+/// recorded arithmetic) on a narrower one.
+DotVariant effective_dot(DotVariant v);
+
+/// Default config for this machine: best supported dot variant, blocked
+/// tree traversal with the untuned default block size.
+KernelConfig native_config();
+
+const char* variant_name(DotVariant v);
+const char* variant_name(TreeVariant v);
+
+/// Serialize/deserialize a config (fixed 6 bytes). load validates ranges
+/// and throws SerializeError(CorruptData) on out-of-range values; it does
+/// NOT clamp to this machine's capabilities — the recorded choice
+/// round-trips bit-exactly and is downgraded only at dispatch time.
+void save_kernel_config(serialize::Writer& w, const KernelConfig& c);
+KernelConfig load_kernel_config(serialize::Reader& r);
+
+}  // namespace willump::kernels

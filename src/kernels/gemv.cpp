@@ -1,0 +1,183 @@
+#include "kernels/gemv.hpp"
+
+#if (defined(__x86_64__) || defined(__i386__)) && \
+    (defined(__GNUC__) || defined(__clang__))
+#define WILLUMP_X86_SIMD 1
+#include <immintrin.h>
+#endif
+
+namespace willump::kernels {
+
+namespace {
+
+double dot_scalar(const double* a, const double* b, std::size_t n) {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < n; ++i) acc += a[i] * b[i];
+  return acc;
+}
+
+double dot_unrolled(const double* a, const double* b, std::size_t n) {
+  double a0 = 0.0, a1 = 0.0, a2 = 0.0, a3 = 0.0;
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    a0 += a[i] * b[i];
+    a1 += a[i + 1] * b[i + 1];
+    a2 += a[i + 2] * b[i + 2];
+    a3 += a[i + 3] * b[i + 3];
+  }
+  double tail = 0.0;
+  for (; i < n; ++i) tail += a[i] * b[i];
+  return ((a0 + a1) + (a2 + a3)) + tail;
+}
+
+#ifdef WILLUMP_X86_SIMD
+
+__attribute__((target("avx2,fma"))) double dot_avx2(const double* a,
+                                                    const double* b,
+                                                    std::size_t n) {
+  __m256d v0 = _mm256_setzero_pd();
+  __m256d v1 = _mm256_setzero_pd();
+  __m256d v2 = _mm256_setzero_pd();
+  __m256d v3 = _mm256_setzero_pd();
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    v0 = _mm256_fmadd_pd(_mm256_loadu_pd(a + i), _mm256_loadu_pd(b + i), v0);
+    v1 = _mm256_fmadd_pd(_mm256_loadu_pd(a + i + 4), _mm256_loadu_pd(b + i + 4), v1);
+    v2 = _mm256_fmadd_pd(_mm256_loadu_pd(a + i + 8), _mm256_loadu_pd(b + i + 8), v2);
+    v3 = _mm256_fmadd_pd(_mm256_loadu_pd(a + i + 12), _mm256_loadu_pd(b + i + 12), v3);
+  }
+  for (; i + 4 <= n; i += 4) {
+    v0 = _mm256_fmadd_pd(_mm256_loadu_pd(a + i), _mm256_loadu_pd(b + i), v0);
+  }
+  const __m256d sum = _mm256_add_pd(_mm256_add_pd(v0, v1), _mm256_add_pd(v2, v3));
+  const __m128d lo = _mm256_castpd256_pd128(sum);
+  const __m128d hi = _mm256_extractf128_pd(sum, 1);
+  const __m128d pair = _mm_add_pd(lo, hi);
+  double acc = _mm_cvtsd_f64(_mm_add_sd(pair, _mm_unpackhi_pd(pair, pair)));
+  for (; i < n; ++i) acc += a[i] * b[i];
+  return acc;
+}
+
+__attribute__((target("avx512f"))) double dot_avx512(const double* a,
+                                                     const double* b,
+                                                     std::size_t n) {
+  __m512d v0 = _mm512_setzero_pd();
+  __m512d v1 = _mm512_setzero_pd();
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    v0 = _mm512_fmadd_pd(_mm512_loadu_pd(a + i), _mm512_loadu_pd(b + i), v0);
+    v1 = _mm512_fmadd_pd(_mm512_loadu_pd(a + i + 8), _mm512_loadu_pd(b + i + 8), v1);
+  }
+  for (; i + 8 <= n; i += 8) {
+    v0 = _mm512_fmadd_pd(_mm512_loadu_pd(a + i), _mm512_loadu_pd(b + i), v0);
+  }
+  // Spill-and-reduce: _mm512_reduce_add_pd (and the extract intrinsics it
+  // is built from) trip a spurious -Wuninitialized in GCC 12's header.
+  alignas(64) double lanes[8];
+  _mm512_store_pd(lanes, _mm512_add_pd(v0, v1));
+  double acc = ((lanes[0] + lanes[1]) + (lanes[2] + lanes[3])) +
+               ((lanes[4] + lanes[5]) + (lanes[6] + lanes[7]));
+  for (; i < n; ++i) acc += a[i] * b[i];
+  return acc;
+}
+
+#endif  // WILLUMP_X86_SIMD
+
+}  // namespace
+
+double dot(DotVariant v, const double* a, const double* b, std::size_t n) {
+  switch (effective_dot(v)) {
+    case DotVariant::Scalar:
+      return dot_scalar(a, b, n);
+    case DotVariant::Unrolled:
+      return dot_unrolled(a, b, n);
+#ifdef WILLUMP_X86_SIMD
+    case DotVariant::Avx2:
+      return dot_avx2(a, b, n);
+    case DotVariant::Avx512:
+      return dot_avx512(a, b, n);
+#else
+    case DotVariant::Avx2:
+    case DotVariant::Avx512:
+      return dot_unrolled(a, b, n);
+#endif
+  }
+  return dot_scalar(a, b, n);
+}
+
+void dense_margins(DotVariant v, const double* x, std::size_t rows,
+                   std::size_t stride, const double* w, std::size_t d,
+                   double bias, double* out) {
+  // Resolve the variant once per batch, not once per row.
+  const DotVariant ev = effective_dot(v);
+  if (ev == DotVariant::Scalar) {
+    // Reference order: accumulator seeded with the bias, exactly the
+    // pre-kernel per-row loop.
+    for (std::size_t r = 0; r < rows; ++r) {
+      const double* row = x + r * stride;
+      double acc = bias;
+      for (std::size_t i = 0; i < d; ++i) acc += row[i] * w[i];
+      out[r] = acc;
+    }
+    return;
+  }
+  for (std::size_t r = 0; r < rows; ++r) {
+    out[r] = bias + dot(ev, x + r * stride, w, d);
+  }
+}
+
+void csr_margins(DotVariant v, const std::size_t* indptr,
+                 const std::int32_t* indices, const double* values,
+                 const double* w, double bias, std::size_t rows, double* out) {
+  if (v == DotVariant::Scalar) {
+    for (std::size_t r = 0; r < rows; ++r) {
+      double acc = bias;
+      for (std::size_t k = indptr[r]; k < indptr[r + 1]; ++k) {
+        acc += values[k] * w[static_cast<std::size_t>(indices[k])];
+      }
+      out[r] = acc;
+    }
+    return;
+  }
+  for (std::size_t r = 0; r < rows; ++r) {
+    const std::size_t lo = indptr[r];
+    const std::size_t hi = indptr[r + 1];
+    double a0 = 0.0, a1 = 0.0;
+    std::size_t k = lo;
+    for (; k + 2 <= hi; k += 2) {
+      a0 += values[k] * w[static_cast<std::size_t>(indices[k])];
+      a1 += values[k + 1] * w[static_cast<std::size_t>(indices[k + 1])];
+    }
+    double tail = 0.0;
+    for (; k < hi; ++k) {
+      tail += values[k] * w[static_cast<std::size_t>(indices[k])];
+    }
+    out[r] = bias + ((a0 + a1) + tail);
+  }
+}
+
+void hidden_relu(DotVariant v, const double* x, std::size_t rows,
+                 std::size_t stride, const double* w1, const double* b1,
+                 std::size_t hidden, std::size_t in_dim, double* h) {
+  const DotVariant ev = effective_dot(v);
+  for (std::size_t j = 0; j < hidden; ++j) {
+    const double* wrow = w1 + j * in_dim;
+    const double bj = b1[j];
+    if (ev == DotVariant::Scalar) {
+      // Reference order: bias-seeded accumulator (the pre-kernel loop).
+      for (std::size_t r = 0; r < rows; ++r) {
+        const double* row = x + r * stride;
+        double z = bj;
+        for (std::size_t i = 0; i < in_dim; ++i) z += wrow[i] * row[i];
+        h[r * hidden + j] = z > 0.0 ? z : 0.0;
+      }
+      continue;
+    }
+    for (std::size_t r = 0; r < rows; ++r) {
+      const double z = bj + dot(ev, x + r * stride, wrow, in_dim);
+      h[r * hidden + j] = z > 0.0 ? z : 0.0;
+    }
+  }
+}
+
+}  // namespace willump::kernels

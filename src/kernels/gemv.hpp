@@ -1,0 +1,40 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "kernels/dispatch.hpp"
+
+namespace willump::kernels {
+
+/// Dot product of two contiguous length-n arrays under `v` (downgraded to
+/// the best supported variant if this CPU lacks `v`). Scalar is the strict
+/// left-to-right reference; the others split the sum across independent
+/// accumulators/lanes and agree to ~1e-12 relative.
+double dot(DotVariant v, const double* a, const double* b, std::size_t n);
+
+/// Batched linear margins over a row-major block:
+///   out[r] = bias + dot(x + r*stride, w)   for r in [0, rows).
+/// This is the GEMV shape of LinearModelBase::predict on dense input.
+void dense_margins(DotVariant v, const double* x, std::size_t rows,
+                   std::size_t stride, const double* w, std::size_t d,
+                   double bias, double* out);
+
+/// Batched linear margins over CSR rows:
+///   out[r] = bias + sum_k values[k] * w[indices[k]]  over row r's entries.
+/// Scalar keeps the reference order; every other variant uses a two-way
+/// accumulator split (index gathers defeat wider vectorization).
+void csr_margins(DotVariant v, const std::size_t* indptr,
+                 const std::int32_t* indices, const double* values,
+                 const double* w, double bias, std::size_t rows, double* out);
+
+/// Hidden-layer forward for a row block (the GEMM shape of the MLP):
+///   h[r*hidden + j] = relu(b1[j] + dot(x + r*stride, w1 + j*in_dim))
+/// Loops hidden-major so each weight row streams once per block and is
+/// reused across every row of the block (FluidML's contiguous-operand
+/// argument: the caller blocks rows so x stays cache-resident).
+void hidden_relu(DotVariant v, const double* x, std::size_t rows,
+                 std::size_t stride, const double* w1, const double* b1,
+                 std::size_t hidden, std::size_t in_dim, double* h);
+
+}  // namespace willump::kernels

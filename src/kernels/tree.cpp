@@ -1,0 +1,253 @@
+#include "kernels/tree.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace willump::kernels {
+
+namespace {
+
+std::uint32_t clamp_block(std::uint32_t block) {
+  return std::clamp<std::uint32_t>(block, 1, kMaxTreeBlock);
+}
+
+}  // namespace
+
+void FlatForest::reset(double base) {
+  base_ = base;
+  feature_.clear();
+  col_.clear();
+  split_.clear();
+  left_.clear();
+  right_.clear();
+  roots_.clear();
+  depths_.clear();
+  max_abs_leaf_.clear();
+  suffix_abs_bound_.clear();
+}
+
+void FlatForest::add_tree(std::span<const std::int32_t> feature,
+                          std::span<const double> threshold,
+                          std::span<const std::int32_t> left,
+                          std::span<const std::int32_t> right,
+                          std::span<const double> value) {
+  const std::int32_t off = static_cast<std::int32_t>(feature_.size());
+  const std::size_t n = feature.size();
+  roots_.push_back(off);
+
+  // Children have larger intra-tree ids than their parents (the trainer
+  // emits nodes in creation order and the loader validates this), so one
+  // forward pass computes every node's depth.
+  std::vector<std::int32_t> depth(n, 0);
+  std::int32_t max_depth = 0;
+  double max_abs = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const bool leaf = feature[i] < 0;
+    feature_.push_back(feature[i]);
+    col_.push_back(leaf ? 0 : feature[i]);
+    split_.push_back(leaf ? value[i] : threshold[i]);
+    if (leaf) {
+      // Self-loop: extra branch-free traversal levels park here harmlessly.
+      left_.push_back(off + static_cast<std::int32_t>(i));
+      right_.push_back(off + static_cast<std::int32_t>(i));
+      max_abs = std::max(max_abs, std::fabs(value[i]));
+      max_depth = std::max(max_depth, depth[i]);
+    } else {
+      left_.push_back(off + left[i]);
+      right_.push_back(off + right[i]);
+      depth[static_cast<std::size_t>(left[i])] = depth[i] + 1;
+      depth[static_cast<std::size_t>(right[i])] = depth[i] + 1;
+    }
+  }
+  depths_.push_back(max_depth);
+  max_abs_leaf_.push_back(max_abs);
+}
+
+void FlatForest::finalize() {
+  const std::size_t t = roots_.size();
+  suffix_abs_bound_.assign(t + 1, 0.0);
+  for (std::size_t i = t; i-- > 0;) {
+    suffix_abs_bound_[i] = suffix_abs_bound_[i + 1] + max_abs_leaf_[i];
+  }
+}
+
+void FlatForest::margins(TreeVariant v, std::uint32_t block, const double* x,
+                         std::size_t rows, std::size_t stride,
+                         double* out) const {
+  if (v == TreeVariant::RowWise) {
+    margins_rowwise(x, rows, stride, out);
+  } else {
+    margins_blocked(clamp_block(block), x, rows, stride, out);
+  }
+}
+
+void FlatForest::margins_rowwise(const double* x, std::size_t rows,
+                                 std::size_t stride, double* out) const {
+  const std::size_t trees = roots_.size();
+  for (std::size_t r = 0; r < rows; ++r) {
+    const double* row = x + r * stride;
+    double acc = base_;
+    for (std::size_t t = 0; t < trees; ++t) {
+      std::int32_t i = roots_[t];
+      while (feature_[static_cast<std::size_t>(i)] >= 0) {
+        const std::size_t ni = static_cast<std::size_t>(i);
+        const double xv = row[static_cast<std::size_t>(feature_[ni])];
+        // NaN fails `<=` and goes right, matching the blocked kernel.
+        i = xv <= split_[ni] ? left_[ni] : right_[ni];
+      }
+      acc += split_[static_cast<std::size_t>(i)];
+    }
+    out[r] = acc;
+  }
+}
+
+void FlatForest::margins_blocked(std::uint32_t block, const double* x,
+                                 std::size_t rows, std::size_t stride,
+                                 double* out) const {
+  const std::size_t trees = roots_.size();
+  for (std::size_t r = 0; r < rows; ++r) out[r] = base_;
+  if (trees == 0) return;
+
+  // Tile trees into cache-sized groups and run every row block through one
+  // group before touching the next. A production forest's node arrays are
+  // megabytes — walking block-outer/tree-inner would re-stream the whole
+  // forest once per 64 rows, and that memory traffic (not the traversal
+  // arithmetic) dominates. With the group resident, per-node work is an
+  // L1/L2 hit and the independent per-row dependency chains actually
+  // overlap. Groups advance in tree order and acc round-trips through
+  // out[] exactly, so per-row accumulation order — hence bit-exactness
+  // with the row-wise reference — is unchanged.
+  constexpr std::size_t kGroupBytes = 256 * 1024;
+  const std::size_t node_bytes =
+      sizeof(std::int32_t) * 3 + sizeof(double);  // col/left/right/split
+  std::size_t g0 = 0;
+  while (g0 < trees) {
+    std::size_t g1 = g0;
+    std::size_t bytes = 0;
+    while (g1 < trees && (bytes == 0 || bytes < kGroupBytes)) {
+      const std::size_t begin = static_cast<std::size_t>(roots_[g1]);
+      const std::size_t end = g1 + 1 < trees
+                                  ? static_cast<std::size_t>(roots_[g1 + 1])
+                                  : feature_.size();
+      bytes += (end - begin) * node_bytes;
+      ++g1;
+    }
+
+    for (std::size_t r0 = 0; r0 < rows; r0 += block) {
+      const std::size_t bsz = std::min<std::size_t>(block, rows - r0);
+      double acc[kMaxTreeBlock];
+      std::int32_t idx[kMaxTreeBlock];
+      for (std::size_t b = 0; b < bsz; ++b) acc[b] = out[r0 + b];
+      for (std::size_t t = g0; t < g1; ++t) {
+        const std::int32_t root = roots_[t];
+        const std::int32_t levels = depths_[t];
+        for (std::size_t b = 0; b < bsz; ++b) idx[b] = root;
+        for (std::int32_t lvl = 0; lvl < levels; ++lvl) {
+          for (std::size_t b = 0; b < bsz; ++b) {
+            // Branch-free advance. col_ is leaf-safe (clamped to 0) and a
+            // leaf's children self-point, so finished rows park on their
+            // leaf with no masking: the whole step is loads + one compare
+            // + one register-register cmov. Keep it that way — a load
+            // inside a ternary arm, or a select on `feature_[i] >= 0`,
+            // makes the compiler emit a data-dependent branch, and tree
+            // splits are the branch predictor's worst case (~50/50).
+            const std::size_t i = static_cast<std::size_t>(idx[b]);
+            const double xv =
+                x[(r0 + b) * stride + static_cast<std::size_t>(col_[i])];
+            const std::int32_t lc = left_[i];
+            const std::int32_t rc = right_[i];
+            idx[b] = xv <= split_[i] ? lc : rc;
+          }
+        }
+        for (std::size_t b = 0; b < bsz; ++b) {
+          acc[b] += split_[static_cast<std::size_t>(idx[b])];
+        }
+      }
+      for (std::size_t b = 0; b < bsz; ++b) out[r0 + b] = acc[b];
+    }
+    g0 = g1;
+  }
+}
+
+void FlatForest::cascade_margins(std::uint32_t block, const double* x,
+                                 std::size_t rows, std::size_t stride,
+                                 double bound, double* out,
+                                 std::uint8_t* hard) const {
+  block = clamp_block(block);
+  const std::size_t trees = roots_.size();
+  for (std::size_t r0 = 0; r0 < rows; r0 += block) {
+    const std::size_t bsz = std::min<std::size_t>(block, rows - r0);
+    double acc[kMaxTreeBlock];
+    std::int32_t idx[kMaxTreeBlock];
+    std::uint32_t act[kMaxTreeBlock];  // block-relative ids still accumulating
+    for (std::size_t b = 0; b < bsz; ++b) {
+      acc[b] = base_;
+      hard[r0 + b] = 0;
+      act[b] = static_cast<std::uint32_t>(b);
+    }
+    std::size_t nact = bsz;
+
+    // A row is provably HARD once |partial| + (bound on remaining trees)
+    // cannot exceed `bound`: its final margin stays inside [-bound, bound],
+    // so the full model will run regardless and the partial sum in out[] is
+    // never consumed. Check before any trees (catches threshold 1.0, where
+    // bound is +inf and every row short-circuits immediately)...
+    if (std::fabs(base_) + suffix_abs_bound_[0] <= bound) {
+      for (std::size_t b = 0; b < bsz; ++b) {
+        hard[r0 + b] = 1;
+        out[r0 + b] = base_;
+      }
+      continue;
+    }
+
+    for (std::size_t t = 0; t < trees && nact > 0; ++t) {
+      const std::int32_t root = roots_[t];
+      const std::int32_t levels = depths_[t];
+      for (std::size_t a = 0; a < nact; ++a) idx[a] = root;
+      for (std::int32_t lvl = 0; lvl < levels; ++lvl) {
+        for (std::size_t a = 0; a < nact; ++a) {
+          // Same maskless branch-free step as margins_blocked: leaf-safe
+          // col_ plus leaf self-loops keep finished rows parked via the
+          // single register-register cmov.
+          const std::size_t i = static_cast<std::size_t>(idx[a]);
+          const double xv =
+              x[(r0 + act[a]) * stride + static_cast<std::size_t>(col_[i])];
+          const std::int32_t lc = left_[i];
+          const std::int32_t rc = right_[i];
+          idx[a] = xv <= split_[i] ? lc : rc;
+        }
+      }
+      for (std::size_t a = 0; a < nact; ++a) {
+        acc[act[a]] += split_[static_cast<std::size_t>(idx[a])];
+      }
+
+      // ...then re-check (and compact the active list) every 8 trees; the
+      // test is cheap but retiring rows mid-forest is where the win is.
+      // Deliberately not checked after the last tree: completed rows keep
+      // hard = 0 so the caller's sigmoid-confidence comparison — the same
+      // one the non-kernel path applies — decides them, keeping knife-edge
+      // rows bit-identical to the reference cascade.
+      if ((t & 7u) == 7u && t + 1 < trees) {
+        const double rem = suffix_abs_bound_[t + 1];
+        std::size_t w = 0;
+        for (std::size_t a = 0; a < nact; ++a) {
+          const std::uint32_t b = act[a];
+          if (std::fabs(acc[b]) + rem <= bound) {
+            hard[r0 + b] = 1;
+            out[r0 + b] = acc[b];  // partial; caller must ignore
+          } else {
+            act[w++] = b;
+          }
+        }
+        nact = w;
+      }
+    }
+
+    // Survivors ran every tree: exact margins, caller decides confidence.
+    for (std::size_t a = 0; a < nact; ++a) {
+      out[r0 + act[a]] = acc[act[a]];
+    }
+  }
+}
+
+}  // namespace willump::kernels

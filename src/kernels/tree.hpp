@@ -1,0 +1,75 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "kernels/dispatch.hpp"
+
+namespace willump::kernels {
+
+/// Flattened structure-of-arrays layout of a boosted forest, built once at
+/// fit/load time (the LightGBM predictor idiom). All trees' nodes live in
+/// four parallel contiguous arrays; children are absolute node ids, leaves
+/// keep feature < 0 and store their output in `split`. Traversal kernels
+/// walk a block of rows through a tree level together, so the per-node
+/// load->compare->load dependency chains of different rows overlap instead
+/// of serializing (the pointer-chasing predict_row shape).
+class FlatForest {
+ public:
+  /// Reset to an empty forest with the given base margin.
+  void reset(double base);
+
+  /// Append one tree given parallel intra-tree node arrays (node i's
+  /// children are intra-tree ids > i, as the trainer builds and the loader
+  /// validates; leaves have feature < 0 and their output in `value`).
+  void add_tree(std::span<const std::int32_t> feature,
+                std::span<const double> threshold,
+                std::span<const std::int32_t> left,
+                std::span<const std::int32_t> right,
+                std::span<const double> value);
+
+  /// Compute the suffix leaf-magnitude bounds the cascade early-exit needs.
+  /// Call after the last add_tree.
+  void finalize();
+
+  bool empty() const { return roots_.empty(); }
+  std::size_t num_trees() const { return roots_.size(); }
+  double base() const { return base_; }
+
+  /// out[r] = base + sum of per-tree leaf outputs for row r. `x` is a
+  /// row-major block of `rows` rows with `stride` doubles per row. Both
+  /// variants accumulate trees in the same order, so RowWise and Blocked
+  /// are bit-exact equals.
+  void margins(TreeVariant v, std::uint32_t block, const double* x,
+               std::size_t rows, std::size_t stride, double* out) const;
+
+  /// Early-exit margins for cascade routing: a row whose final margin is
+  /// provably inside [-bound, bound] (partial sum + remaining-tree bound)
+  /// stops accumulating — it gets hard[r] = 1 and a PARTIAL margin in
+  /// out[r] that callers must not use (the cascade overwrites hard rows
+  /// with the full model). Rows that finish get their exact margin and
+  /// hard[r] = 0; the caller applies its own confidence check to those.
+  void cascade_margins(std::uint32_t block, const double* x, std::size_t rows,
+                       std::size_t stride, double bound, double* out,
+                       std::uint8_t* hard) const;
+
+ private:
+  void margins_rowwise(const double* x, std::size_t rows, std::size_t stride,
+                       double* out) const;
+  void margins_blocked(std::uint32_t block, const double* x, std::size_t rows,
+                       std::size_t stride, double* out) const;
+
+  double base_ = 0.0;
+  std::vector<std::int32_t> feature_;  // < 0 => leaf
+  std::vector<std::int32_t> col_;      // max(feature, 0): leaf-safe x column
+  std::vector<double> split_;          // threshold (internal) or output (leaf)
+  std::vector<std::int32_t> left_;     // absolute node ids; leaves self-point
+  std::vector<std::int32_t> right_;
+  std::vector<std::int32_t> roots_;        // per-tree root node id
+  std::vector<std::int32_t> depths_;       // per-tree max depth
+  std::vector<double> max_abs_leaf_;       // per-tree max |leaf output|
+  std::vector<double> suffix_abs_bound_;   // suffix sums of max_abs_leaf_
+};
+
+}  // namespace willump::kernels

@@ -45,10 +45,20 @@ struct Binner {
     return b;
   }
 
-  std::uint8_t bin_of(std::size_t f, double v) const {
-    const auto& e = edges[f];
-    const auto it = std::upper_bound(e.begin(), e.end(), v);
-    return static_cast<std::uint8_t>(it - e.begin());
+  /// Bin a whole contiguous column at once: out[r] = count of edges e with
+  /// !(col[r] < e) — exactly the index std::upper_bound would return per
+  /// element (NaN fails every `<` and lands past the last edge in both
+  /// formulations). One sequential pass per edge over a contiguous column
+  /// auto-vectorizes; the per-element binary search it replaces paid an
+  /// unpredictable branch per probe.
+  void bin_column(std::size_t f, std::span<const double> col,
+                  std::span<std::uint8_t> out) const {
+    std::fill(out.begin(), out.end(), std::uint8_t{0});
+    for (const double e : edges[f]) {
+      for (std::size_t r = 0; r < col.size(); ++r) {
+        out[r] = static_cast<std::uint8_t>(out[r] + (col[r] < e ? 0 : 1));
+      }
+    }
   }
 
   /// Raw threshold value corresponding to "bin <= b" for feature f.
@@ -95,10 +105,15 @@ void Gbdt::fit(const data::FeatureMatrix& xin, std::span<const double> y) {
   common::Rng rng(cfg_.seed);
   const Binner binner = Binner::build(x, cfg_.n_bins, rng);
 
-  // Pre-bin all columns (column-major uint8 codes).
+  // Pre-bin all columns (column-major uint8 codes). Each column is gathered
+  // into one contiguous buffer so bin_column streams it edge-at-a-time.
   std::vector<std::vector<std::uint8_t>> codes(d, std::vector<std::uint8_t>(n));
-  for (std::size_t f = 0; f < d; ++f) {
-    for (std::size_t r = 0; r < n; ++r) codes[f][r] = binner.bin_of(f, x(r, f));
+  {
+    std::vector<double> colbuf(n);
+    for (std::size_t f = 0; f < d; ++f) {
+      for (std::size_t r = 0; r < n; ++r) colbuf[r] = x(r, f);
+      binner.bin_column(f, colbuf, codes[f]);
+    }
   }
 
   // Initial margin.
@@ -256,6 +271,36 @@ void Gbdt::fit(const data::FeatureMatrix& xin, std::span<const double> y) {
   } else {
     perm_importance_ = gain_importance_;
   }
+
+  rebuild_forest();
+}
+
+void Gbdt::rebuild_forest() {
+  forest_.reset(base_score_);
+  std::vector<std::int32_t> feature, left, right;
+  std::vector<double> threshold, value;
+  for (const auto& tree : trees_) {
+    const auto& nodes = tree.nodes();
+    feature.clear();
+    threshold.clear();
+    left.clear();
+    right.clear();
+    value.clear();
+    feature.reserve(nodes.size());
+    threshold.reserve(nodes.size());
+    left.reserve(nodes.size());
+    right.reserve(nodes.size());
+    value.reserve(nodes.size());
+    for (const auto& nd : nodes) {
+      feature.push_back(nd.feature);
+      threshold.push_back(nd.threshold);
+      left.push_back(nd.left);
+      right.push_back(nd.right);
+      value.push_back(nd.value);
+    }
+    forest_.add_tree(feature, threshold, left, right, value);
+  }
+  forest_.finalize();
 }
 
 double Gbdt::predict_margin_row(std::span<const double> row) const {
@@ -265,13 +310,83 @@ double Gbdt::predict_margin_row(std::span<const double> row) const {
 }
 
 std::vector<double> Gbdt::predict(const data::FeatureMatrix& xin) const {
-  const data::DenseMatrix x = xin.is_dense() ? xin.dense() : xin.sparse().to_dense();
-  std::vector<double> out(x.rows());
-  for (std::size_t r = 0; r < x.rows(); ++r) {
-    const double m = predict_margin_row(x.row(r));
-    out[r] = cfg_.classification ? sigmoid(m) : m;
-  }
+  std::vector<double> out(xin.rows());
+  predict_into(xin, out);
   return out;
+}
+
+void Gbdt::margins_block(const double* x, std::size_t rows, std::size_t stride,
+                         double* out) const {
+  forest_.margins(kcfg_.tree, kcfg_.tree_block, x, rows, stride, out);
+}
+
+void Gbdt::predict_into(const data::FeatureMatrix& xin,
+                        std::span<double> out) const {
+  const std::size_t n = xin.rows();
+  if (forest_.num_trees() != trees_.size()) {
+    // Forest not rebuilt (shouldn't happen via fit/load): row-wise fallback.
+    const data::DenseMatrix x =
+        xin.is_dense() ? xin.dense() : xin.sparse().to_dense();
+    for (std::size_t r = 0; r < n; ++r) out[r] = predict_margin_row(x.row(r));
+  } else if (xin.is_dense()) {
+    const auto& x = xin.dense();
+    margins_block(x.data().data(), n, x.cols(), out.data());
+  } else {
+    // Densify kMaxTreeBlock rows at a time into reused thread-local scratch
+    // (scatter entries, run the block kernel, scatter zeros back), instead
+    // of materializing the whole matrix per call as to_dense() did.
+    const auto& s = xin.sparse();
+    const std::size_t d = static_cast<std::size_t>(s.cols());
+    const auto indptr = s.indptr();
+    const auto indices = s.indices();
+    const auto values = s.values();
+    constexpr std::size_t kBlock = kernels::kMaxTreeBlock;
+    thread_local std::vector<double> scratch;  // invariant: all zeros between calls
+    if (scratch.size() < kBlock * d) scratch.assign(kBlock * d, 0.0);
+    for (std::size_t r0 = 0; r0 < n; r0 += kBlock) {
+      const std::size_t bsz = std::min(kBlock, n - r0);
+      for (std::size_t b = 0; b < bsz; ++b) {
+        for (std::size_t k = indptr[r0 + b]; k < indptr[r0 + b + 1]; ++k) {
+          scratch[b * d + static_cast<std::size_t>(indices[k])] = values[k];
+        }
+      }
+      margins_block(scratch.data(), bsz, d, out.data() + r0);
+      for (std::size_t b = 0; b < bsz; ++b) {
+        for (std::size_t k = indptr[r0 + b]; k < indptr[r0 + b + 1]; ++k) {
+          scratch[b * d + static_cast<std::size_t>(indices[k])] = 0.0;
+        }
+      }
+    }
+  }
+  if (cfg_.classification) {
+    for (std::size_t r = 0; r < n; ++r) out[r] = sigmoid(out[r]);
+  }
+}
+
+void Gbdt::predict_cascade(const data::FeatureMatrix& xin, double threshold,
+                           std::span<double> preds,
+                           std::span<std::uint8_t> hard) const {
+  if (!cfg_.classification || forest_.num_trees() != trees_.size() ||
+      !xin.is_dense()) {
+    Model::predict_cascade(xin, threshold, preds, hard);
+    return;
+  }
+  // hard ⟺ max(p, 1-p) <= t ⟺ |margin| <= logit(t). threshold 1.0 gives
+  // bound = +inf: every row is provably hard before the first tree.
+  const double bound =
+      threshold >= 1.0 ? std::numeric_limits<double>::infinity()
+                       : std::log(threshold / (1.0 - threshold));
+  const auto& x = xin.dense();
+  const std::size_t n = xin.rows();
+  forest_.cascade_margins(kcfg_.tree_block, x.data().data(), n, x.cols(),
+                          bound, preds.data(), hard.data());
+  for (std::size_t i = 0; i < n; ++i) {
+    // Hard rows carry sigmoid of a partial margin (callers overwrite them);
+    // completed rows get the same sigmoid-confidence test the row-wise
+    // cascade applies, so knife-edge rows match it bit-for-bit.
+    preds[i] = sigmoid(preds[i]);
+    if (!hard[i]) hard[i] = confidence(preds[i]) <= threshold ? 1 : 0;
+  }
 }
 
 void Gbdt::compute_permutation_importance(const data::DenseMatrix& x,
@@ -341,6 +456,7 @@ void Gbdt::save(serialize::Writer& w) const {
   }
   w.doubles(gain_importance_);
   w.doubles(perm_importance_);
+  kernels::save_kernel_config(w, kcfg_);
 }
 
 std::unique_ptr<Gbdt> Gbdt::load(serialize::Reader& r) {
@@ -400,6 +516,8 @@ std::unique_ptr<Gbdt> Gbdt::load(serialize::Reader& r) {
     throw serialize::SerializeError(serialize::ErrorCode::CorruptData,
                                     "gbdt split feature exceeds training width");
   }
+  m->kcfg_ = kernels::load_kernel_config(r);
+  m->rebuild_forest();
   return m;
 }
 

@@ -5,6 +5,7 @@
 #include <span>
 #include <vector>
 
+#include "kernels/tree.hpp"
 #include "models/model.hpp"
 
 namespace willump::models {
@@ -61,6 +62,11 @@ class Gbdt final : public Model {
 
   void fit(const data::FeatureMatrix& x, std::span<const double> y) override;
   std::vector<double> predict(const data::FeatureMatrix& x) const override;
+  void predict_into(const data::FeatureMatrix& x,
+                    std::span<double> out) const override;
+  void predict_cascade(const data::FeatureMatrix& x, double threshold,
+                       std::span<double> preds,
+                       std::span<std::uint8_t> hard) const override;
   bool is_classifier() const override { return cfg_.classification; }
   std::vector<double> feature_importances() const override;
   std::unique_ptr<Model> clone_untrained() const override {
@@ -81,10 +87,16 @@ class Gbdt final : public Model {
   double predict_margin_row(std::span<const double> row) const;
   void compute_permutation_importance(const data::DenseMatrix& x,
                                       std::span<const double> y);
+  /// Flatten trees_ into the SoA traversal layout (end of fit and load).
+  void rebuild_forest();
+  /// Batched margins over a row-major block via the flat-forest kernel.
+  void margins_block(const double* x, std::size_t rows, std::size_t stride,
+                     double* out) const;
 
   GbdtConfig cfg_;
   double base_score_ = 0.0;  // initial margin
   std::vector<Tree> trees_;
+  kernels::FlatForest forest_;  // rebuilt from trees_, not serialized
   std::vector<double> gain_importance_;
   std::vector<double> perm_importance_;
 };

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/rng.hpp"
+#include "kernels/gemv.hpp"
 #include "serialize/buffer.hpp"
 
 namespace willump::models {
@@ -87,16 +88,23 @@ void LinearModelBase::fit(const data::FeatureMatrix& x, std::span<const double> 
 
 std::vector<double> LinearModelBase::predict(const data::FeatureMatrix& x) const {
   std::vector<double> out(x.rows());
-  if (x.is_dense()) {
-    for (std::size_t r = 0; r < x.rows(); ++r) {
-      out[r] = link(margin_dense(x.dense().row(r)));
-    }
-  } else {
-    for (std::size_t r = 0; r < x.rows(); ++r) {
-      out[r] = link(margin_sparse(x.sparse().row(r)));
-    }
-  }
+  predict_into(x, out);
   return out;
+}
+
+void LinearModelBase::predict_into(const data::FeatureMatrix& x,
+                                   std::span<double> out) const {
+  const std::size_t n = x.rows();
+  if (x.is_dense()) {
+    const auto& m = x.dense();
+    kernels::dense_margins(kcfg_.dot, m.data().data(), n, m.cols(), w_.data(),
+                           m.cols(), b_, out.data());
+  } else {
+    const auto& m = x.sparse();
+    kernels::csr_margins(kcfg_.dot, m.indptr().data(), m.indices().data(),
+                         m.values().data(), w_.data(), b_, n, out.data());
+  }
+  for (std::size_t r = 0; r < n; ++r) out[r] = link(out[r]);
 }
 
 std::vector<double> LinearModelBase::feature_importances() const {
@@ -115,6 +123,7 @@ void LinearModelBase::save(serialize::Writer& w) const {
   w.doubles(w_);
   w.f64(b_);
   w.doubles(mean_abs_);
+  kernels::save_kernel_config(w, kcfg_);
 }
 
 LinearConfig LinearModelBase::load_config(serialize::Reader& r) {
@@ -134,6 +143,7 @@ void LinearModelBase::load_state(serialize::Reader& r) {
     throw serialize::SerializeError(serialize::ErrorCode::CorruptData,
                                     "linear model weight/mean size mismatch");
   }
+  kcfg_ = kernels::load_kernel_config(r);
 }
 
 std::unique_ptr<LogisticRegression> LogisticRegression::load(

@@ -28,6 +28,8 @@ class LinearModelBase : public Model {
 
   void fit(const data::FeatureMatrix& x, std::span<const double> y) override;
   std::vector<double> predict(const data::FeatureMatrix& x) const override;
+  void predict_into(const data::FeatureMatrix& x,
+                    std::span<double> out) const override;
   std::vector<double> feature_importances() const override;
   void save(serialize::Writer& w) const override;
 

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/rng.hpp"
+#include "kernels/gemv.hpp"
 #include "serialize/buffer.hpp"
 
 namespace willump::models {
@@ -139,13 +140,50 @@ void Mlp::fit(const data::FeatureMatrix& x, std::span<const double> y) {
 
 std::vector<double> Mlp::predict(const data::FeatureMatrix& x) const {
   std::vector<double> out(x.rows());
-  std::vector<double> h;
-  for (std::size_t r = 0; r < x.rows(); ++r) {
-    const double z = x.is_dense() ? forward_dense(x.dense().row(r), h)
-                                  : forward_sparse(x.sparse().row(r), h);
-    out[r] = output_of(z);
-  }
+  predict_into(x, out);
   return out;
+}
+
+void Mlp::predict_into(const data::FeatureMatrix& x,
+                       std::span<double> out) const {
+  const std::size_t n = x.rows();
+  const auto hidden = static_cast<std::size_t>(cfg_.hidden);
+  if (!x.is_dense()) {
+    // CSR rows gather into the hidden layer without densification; the
+    // dense-block kernels don't apply. Reuse one post-ReLU buffer.
+    thread_local std::vector<double> hbuf;
+    for (std::size_t r = 0; r < n; ++r) {
+      out[r] = output_of(forward_sparse(x.sparse().row(r), hbuf));
+    }
+    return;
+  }
+
+  // Blocked GEMM shape: run a block of rows through the hidden layer
+  // (each weight row streams once per block), then the output layer over
+  // the contiguous activations.
+  const auto& m = x.dense();
+  const std::size_t stride = m.cols();
+  constexpr std::size_t kRows = 32;
+  const auto ev = kernels::effective_dot(kcfg_.dot);
+  thread_local std::vector<double> h;
+  if (h.size() < kRows * hidden) h.resize(kRows * hidden);
+  for (std::size_t r0 = 0; r0 < n; r0 += kRows) {
+    const std::size_t bsz = std::min(kRows, n - r0);
+    kernels::hidden_relu(ev, m.data().data() + r0 * stride, bsz, stride,
+                         w1_.data(), b1_.data(), hidden, in_dim_, h.data());
+    for (std::size_t b = 0; b < bsz; ++b) {
+      const double* hb = h.data() + b * hidden;
+      double z;
+      if (ev == kernels::DotVariant::Scalar) {
+        // Reference order: bias-seeded accumulator (the pre-kernel loop).
+        z = b2_;
+        for (std::size_t j = 0; j < hidden; ++j) z += w2_[j] * hb[j];
+      } else {
+        z = b2_ + kernels::dot(ev, w2_.data(), hb, hidden);
+      }
+      out[r0 + b] = output_of(z);
+    }
+  }
 }
 
 void Mlp::save(serialize::Writer& w) const {
@@ -160,6 +198,7 @@ void Mlp::save(serialize::Writer& w) const {
   w.doubles(b1_);
   w.doubles(w2_);
   w.f64(b2_);
+  kernels::save_kernel_config(w, kcfg_);
 }
 
 std::unique_ptr<Mlp> Mlp::load(serialize::Reader& r) {
@@ -191,6 +230,7 @@ std::unique_ptr<Mlp> Mlp::load(serialize::Reader& r) {
     throw serialize::SerializeError(serialize::ErrorCode::CorruptData,
                                     "mlp layer shapes inconsistent");
   }
+  m->kcfg_ = kernels::load_kernel_config(r);
   return m;
 }
 

@@ -33,6 +33,8 @@ class Mlp final : public Model {
 
   void fit(const data::FeatureMatrix& x, std::span<const double> y) override;
   std::vector<double> predict(const data::FeatureMatrix& x) const override;
+  void predict_into(const data::FeatureMatrix& x,
+                    std::span<double> out) const override;
   bool is_classifier() const override { return cfg_.classification; }
   std::vector<double> feature_importances() const override { return {}; }
   std::unique_ptr<Model> clone_untrained() const override {

@@ -1,5 +1,7 @@
 #pragma once
 
+#include <algorithm>
+#include <cstdint>
 #include <memory>
 #include <span>
 #include <stdexcept>
@@ -7,6 +9,7 @@
 #include <vector>
 
 #include "data/matrix.hpp"
+#include "kernels/dispatch.hpp"
 
 namespace willump::serialize {
 class Reader;
@@ -31,6 +34,35 @@ class Model {
 
   /// Per-row probability (classifier) or score (regressor).
   virtual std::vector<double> predict(const data::FeatureMatrix& x) const = 0;
+
+  /// Batched prediction into caller-owned storage (`out.size()` must be
+  /// x.rows()). The kernel-backed built-ins override this allocation-free —
+  /// it is the serving batch path, where per-request allocations dominate
+  /// small-model cost — while the default wraps predict() so user models
+  /// keep working unchanged.
+  virtual void predict_into(const data::FeatureMatrix& x,
+                            std::span<double> out) const {
+    const std::vector<double> p = predict(x);
+    std::copy(p.begin(), p.end(), out.begin());
+  }
+
+  /// Cascade-aware prediction: fill `preds` and mark hard[i] = 1 exactly
+  /// when confidence(preds[i]) <= threshold (the rows the cascade must send
+  /// to the full model, paper §4.2). hard[i] = 1 permits a PARTIAL value in
+  /// preds[i] — the cascade overwrites hard rows, so models may short-
+  /// circuit their own evaluation once a row is provably hard (the GBDT
+  /// does, via per-tree margin bounds). Defined out of line after
+  /// confidence(); default evaluates fully then thresholds.
+  virtual void predict_cascade(const data::FeatureMatrix& x, double threshold,
+                               std::span<double> preds,
+                               std::span<std::uint8_t> hard) const;
+
+  /// Kernel-variant selection used by the batched prediction paths of the
+  /// built-in models (ignored by models without kernels). Set by the
+  /// optimizer's autotuner and serialized with the model so a loaded
+  /// artifact reproduces the tuned pipeline's exact arithmetic.
+  const kernels::KernelConfig& kernel_config() const { return kcfg_; }
+  void set_kernel_config(const kernels::KernelConfig& c) { kcfg_ = c; }
 
   /// Whether `predict` returns probabilities of the positive class.
   virtual bool is_classifier() const = 0;
@@ -57,6 +89,9 @@ class Model {
     (void)w;
     throw std::logic_error("model \"" + name() + "\" is not serializable");
   }
+
+ protected:
+  kernels::KernelConfig kcfg_ = kernels::native_config();
 };
 
 /// Binary prediction threshold shared across the library.
@@ -64,5 +99,14 @@ inline double predicted_label(double proba) { return proba > 0.5 ? 1.0 : 0.0; }
 
 /// Confidence of a binary probabilistic prediction: max(p, 1-p).
 inline double confidence(double proba) { return proba > 0.5 ? proba : 1.0 - proba; }
+
+inline void Model::predict_cascade(const data::FeatureMatrix& x,
+                                   double threshold, std::span<double> preds,
+                                   std::span<std::uint8_t> hard) const {
+  predict_into(x, preds);
+  for (std::size_t i = 0; i < preds.size(); ++i) {
+    hard[i] = confidence(preds[i]) <= threshold ? 1 : 0;
+  }
+}
 
 }  // namespace willump::models

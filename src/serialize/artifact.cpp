@@ -12,6 +12,7 @@
 
 #include "core/executors.hpp"
 #include "core/ifv_analysis.hpp"
+#include "kernels/autotune.hpp"
 #include "ops/lookup.hpp"
 #include "serialize/model_registry.hpp"
 #include "serialize/op_registry.hpp"
@@ -36,6 +37,7 @@ constexpr std::uint32_t kSecTables = fourcc("TABL");
 constexpr std::uint32_t kSecGraph = fourcc("GRPH");
 constexpr std::uint32_t kSecLayout = fourcc("LAYT");
 constexpr std::uint32_t kSecCascade = fourcc("CASC");
+constexpr std::uint32_t kSecKernels = fourcc("KERN");
 
 struct Section {
   std::uint32_t tag;
@@ -322,11 +324,15 @@ std::vector<std::uint8_t> pipeline_to_bytes(const core::OptimizedPipeline& p) {
   Writer cascade;
   save_cascade(cascade, p.cascade());
 
+  Writer kern;
+  kernels::save_autotune_report(kern, p.autotune_report());
+
   return pack(kPipelineKind, {{kSecMeta, meta.take()},
                               {kSecTables, tables.take()},
                               {kSecGraph, graph.take()},
                               {kSecLayout, layout.take()},
-                              {kSecCascade, cascade.take()}});
+                              {kSecCascade, cascade.take()},
+                              {kSecKernels, kern.take()}});
 }
 
 core::OptimizedPipeline pipeline_from_bytes(
@@ -393,9 +399,13 @@ core::OptimizedPipeline pipeline_from_bytes(
                          "cascade masks do not match the graph's generators");
   }
 
+  Reader kern_r = section_reader(sections, kSecKernels, "kernel section");
+  kernels::AutotuneReport autotune = kernels::load_autotune_report(kern_r);
+
   core::OptimizedPipeline::Parts parts;
   parts.executor = std::move(executor);
   parts.cascade = std::move(cascade);
+  parts.autotune = std::move(autotune);
   parts.use_cascades = use_cascades;
   parts.topk = topk;
   parts.feature_cache = feature_cache;

@@ -12,7 +12,9 @@ namespace willump::serialize {
 
 /// Artifact format version. Bump on any incompatible layout change; load
 /// rejects versions it does not read (no silent cross-version parsing).
-inline constexpr std::uint32_t kFormatVersion = 1;
+/// v2: model payloads carry a kernel config; pipelines carry a 'KERN'
+/// autotune-report section.
+inline constexpr std::uint32_t kFormatVersion = 2;
 
 /// File layout (all integers little-endian):
 ///
@@ -26,7 +28,10 @@ inline constexpr std::uint32_t kFormatVersion = 1;
 /// 'TABL' (feature tables, dedup'd by name), 'GRPH' (graph topology + op
 /// payloads via the op registry), 'LAYT' (probed column layout + measured
 /// generator costs), 'CASC' (trained cascade + models via the model
-/// registry). A cascade bundle carries 'LAYT' + 'CASC' only.
+/// registry), 'KERN' (kernel autotune report: winning configs + candidate
+/// timings — the per-model winners also travel inside each model payload,
+/// so a loaded pipeline cold-starts tuned). A cascade bundle carries
+/// 'LAYT' + 'CASC' only.
 ///
 /// Error semantics: every load failure throws SerializeError with a typed
 /// ErrorCode (see error.hpp); corrupt bytes can never construct a pipeline

@@ -753,7 +753,11 @@ void Server::run_batch(ModelEntry& m, Request first, bool stolen) {
 void Server::execute(ModelEntry& m, Replica& rep, std::vector<Request>& reqs,
                      bool stolen) {
   common::Timer timer;
-  std::vector<double> preds;
+  // Per-worker result buffer, reused across batches: the batch predict path
+  // is allocation-free down through the model kernels. Safe across the
+  // error-isolation recursion below — the outer frame never reads its preds
+  // after re-executing requests one by one.
+  thread_local std::vector<double> preds;
   // One snapshot per batch: a concurrent swap cannot retire this pipeline
   // until the batch finishes, and every row of the batch runs on the same
   // pipeline version (of this replica; a rolling upgrade may have other
@@ -768,7 +772,8 @@ void Server::execute(ModelEntry& m, Replica& rep, std::vector<Request>& reqs,
     for (std::size_t i = 1; i < reqs.size(); ++i) {
       combined.append_rows(reqs[i].row);
     }
-    preds = pipeline->predict(combined);
+    preds.resize(combined.num_rows());
+    pipeline->predict_into(combined, preds);
   } catch (...) {
     rep.inflight_rows.fetch_sub(reqs.size(), std::memory_order_relaxed);
     if (reqs.size() == 1) {

@@ -1,0 +1,535 @@
+// Golden parity suite for the batched prediction kernels (DESIGN.md §9).
+//
+// The kernel layer's correctness contract has two tiers, and each test pins
+// one of them:
+//  - BIT-EXACT (EXPECT_EQ on doubles): the scalar dot variant and the
+//    row-wise tree variant preserve the pre-kernel accumulation order, and
+//    the blocked tree variant accumulates per row in the same tree order as
+//    row-wise, so those pairs must agree to the bit — as must dense vs
+//    block-densified sparse GBDT input, and any model round-tripped through
+//    its serialized payload (the kernel config travels with the weights).
+//  - TOLERANCE (<= 1e-12 relative): unrolled/AVX dot variants re-associate
+//    the sum across independent accumulators; they may differ from scalar
+//    only by that documented bound.
+// Cascade early-exit may skip work ONLY for rows it proves hard, so its
+// hard bitmap must match the evaluate-everything reference exactly and its
+// margins must match on every row it did finish.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/cost_model.hpp"
+#include "core/optimizer.hpp"
+#include "data/matrix.hpp"
+#include "kernels/autotune.hpp"
+#include "kernels/dispatch.hpp"
+#include "kernels/gemv.hpp"
+#include "models/gbdt.hpp"
+#include "models/linear.hpp"
+#include "models/mlp.hpp"
+#include "serialize/artifact.hpp"
+#include "serialize/buffer.hpp"
+#include "serialize/error.hpp"
+#include "workloads/synthetic.hpp"
+
+namespace willump {
+namespace {
+
+using kernels::DotVariant;
+using kernels::KernelConfig;
+using kernels::TreeVariant;
+
+constexpr double kRelTol = 1e-12;
+
+KernelConfig reference_config() {
+  return {DotVariant::Scalar, TreeVariant::RowWise, 1};
+}
+
+std::vector<double> gaussian(std::size_t n, common::Rng& rng) {
+  std::vector<double> v(n);
+  for (auto& x : v) x = rng.next_gaussian();
+  return v;
+}
+
+data::DenseMatrix dense_matrix(std::size_t rows, std::size_t cols,
+                               common::Rng& rng, double zero_prob = 0.0) {
+  data::DenseMatrix m(rows, cols);
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      m(r, c) = rng.next_bernoulli(zero_prob) ? 0.0 : rng.next_gaussian();
+    }
+  }
+  return m;
+}
+
+std::vector<double> labels(const data::DenseMatrix& x, common::Rng& rng) {
+  std::vector<double> y(x.rows());
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    double m = x(r, 0) - x(r, 1) + 0.3 * rng.next_gaussian();
+    y[r] = m > 0.0 ? 1.0 : 0.0;
+  }
+  return y;
+}
+
+void expect_close(std::span<const double> a, std::span<const double> b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double scale = std::max({std::fabs(a[i]), std::fabs(b[i]), 1.0});
+    EXPECT_NEAR(a[i], b[i], kRelTol * scale) << "row " << i;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Dot-product variants.
+// ---------------------------------------------------------------------------
+
+TEST(DotVariants, ScalarIsStrictLeftToRight) {
+  common::Rng rng(1);
+  const auto a = gaussian(257, rng);
+  const auto b = gaussian(257, rng);
+  double expected = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) expected += a[i] * b[i];
+  EXPECT_EQ(kernels::dot(DotVariant::Scalar, a.data(), b.data(), a.size()),
+            expected);
+}
+
+TEST(DotVariants, AgreeWithScalarWithinTolerance) {
+  common::Rng rng(2);
+  for (std::size_t n : {1u, 7u, 64u, 1000u}) {
+    const auto a = gaussian(n, rng);
+    const auto b = gaussian(n, rng);
+    const double ref = kernels::dot(DotVariant::Scalar, a.data(), b.data(), n);
+    for (DotVariant v : kernels::candidate_dots()) {
+      const double got = kernels::dot(v, a.data(), b.data(), n);
+      const double scale = std::max(std::fabs(ref), 1.0);
+      EXPECT_NEAR(got, ref, kRelTol * scale)
+          << "n=" << n << " variant=" << kernels::variant_name(v);
+    }
+  }
+}
+
+TEST(DotVariants, DispatchIsClosedUnderDowngrade) {
+  EXPECT_TRUE(kernels::dot_supported(DotVariant::Scalar));
+  EXPECT_TRUE(kernels::dot_supported(DotVariant::Unrolled));
+  for (DotVariant v : {DotVariant::Scalar, DotVariant::Unrolled,
+                       DotVariant::Avx2, DotVariant::Avx512}) {
+    EXPECT_TRUE(kernels::dot_supported(kernels::effective_dot(v)))
+        << kernels::variant_name(v);
+  }
+  // candidate_dots only lists what the machine executes natively, so the
+  // autotuner never installs a config that would silently downgrade.
+  for (DotVariant v : kernels::candidate_dots()) {
+    EXPECT_TRUE(kernels::dot_supported(v));
+  }
+  EXPECT_EQ(kernels::native_config().dot, kernels::best_supported_dot());
+}
+
+TEST(DenseMargins, VariantsAgreeAndScalarMatchesReference) {
+  common::Rng rng(3);
+  const std::size_t rows = 13, d = 129;
+  const data::DenseMatrix x = dense_matrix(rows, d, rng);
+  const auto w = gaussian(d, rng);
+  const double bias = 0.25;
+
+  std::vector<double> ref(rows);
+  for (std::size_t r = 0; r < rows; ++r) {
+    double acc = bias;  // the pre-kernel order: bias-seeded, left-to-right
+    for (std::size_t c = 0; c < d; ++c) acc += x(r, c) * w[c];
+    ref[r] = acc;
+  }
+
+  std::vector<double> out(rows);
+  kernels::dense_margins(DotVariant::Scalar, x.data().data(), rows, d,
+                         w.data(), d, bias, out.data());
+  EXPECT_EQ(out, ref);  // bit-exact tier
+
+  for (DotVariant v : kernels::candidate_dots()) {
+    kernels::dense_margins(v, x.data().data(), rows, d, w.data(), d, bias,
+                           out.data());
+    expect_close(out, ref);
+  }
+}
+
+TEST(CsrMargins, VariantsAgreeAndScalarMatchesReference) {
+  common::Rng rng(4);
+  const std::size_t rows = 17, d = 64;
+  const data::CsrMatrix x =
+      data::FeatureMatrix(dense_matrix(rows, d, rng, 0.7)).to_csr();
+  const auto w = gaussian(d, rng);
+  const double bias = -0.5;
+
+  std::vector<double> ref(rows);
+  for (std::size_t r = 0; r < rows; ++r) {
+    const auto row = x.row(r);
+    double acc = bias;
+    for (std::size_t k = 0; k < row.nnz(); ++k) {
+      acc += row.values[k] * w[static_cast<std::size_t>(row.indices[k])];
+    }
+    ref[r] = acc;
+  }
+
+  std::vector<double> out(rows);
+  kernels::csr_margins(DotVariant::Scalar, x.indptr().data(),
+                       x.indices().data(), x.values().data(), w.data(), bias,
+                       rows, out.data());
+  EXPECT_EQ(out, ref);
+
+  for (DotVariant v : kernels::candidate_dots()) {
+    kernels::csr_margins(v, x.indptr().data(), x.indices().data(),
+                         x.values().data(), w.data(), bias, rows, out.data());
+    expect_close(out, ref);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// GBDT traversal variants.
+// ---------------------------------------------------------------------------
+
+models::Gbdt trained_gbdt(common::Rng& rng, bool classification = true) {
+  models::GbdtConfig cfg;
+  cfg.n_trees = 25;
+  cfg.max_depth = 5;
+  cfg.classification = classification;
+  cfg.permutation_rows = 0;
+  models::Gbdt model(cfg);
+  const data::DenseMatrix xtr = dense_matrix(600, 12, rng);
+  model.fit(data::FeatureMatrix(xtr), labels(xtr, rng));
+  return model;
+}
+
+TEST(GbdtKernels, BlockedIsBitExactWithRowWiseAcrossBatchAndBlockSizes) {
+  common::Rng rng(5);
+  models::Gbdt model = trained_gbdt(rng);
+  for (std::size_t rows : {1u, 7u, 64u, 1000u}) {
+    const data::FeatureMatrix x(dense_matrix(rows, 12, rng));
+    std::vector<double> ref(rows), got(rows);
+    model.set_kernel_config(reference_config());
+    model.predict_into(x, ref);
+    for (std::uint32_t block : {1u, 7u, 8u, 32u, 64u}) {
+      model.set_kernel_config(
+          {DotVariant::Scalar, TreeVariant::Blocked, block});
+      model.predict_into(x, got);
+      EXPECT_EQ(got, ref) << "rows=" << rows << " block=" << block;
+    }
+  }
+}
+
+TEST(GbdtKernels, SparseInputIsBitExactWithDense) {
+  common::Rng rng(6);
+  models::GbdtConfig cfg;
+  cfg.n_trees = 20;
+  cfg.max_depth = 4;
+  cfg.permutation_rows = 0;
+  models::Gbdt model(cfg);
+  // Train and predict on zero-heavy data so the sparse path hits both
+  // explicit values and implicit zeros.
+  const data::DenseMatrix xtr = dense_matrix(500, 10, rng, 0.6);
+  model.fit(data::FeatureMatrix(xtr), labels(xtr, rng));
+
+  for (std::size_t rows : {1u, 7u, 64u, 1000u}) {
+    const data::DenseMatrix xd = dense_matrix(rows, 10, rng, 0.6);
+    const data::FeatureMatrix dense(xd);
+    const data::FeatureMatrix sparse(dense.to_csr());
+    std::vector<double> from_dense(rows), from_sparse(rows);
+    model.predict_into(dense, from_dense);
+    model.predict_into(sparse, from_sparse);
+    EXPECT_EQ(from_sparse, from_dense) << "rows=" << rows;
+  }
+}
+
+TEST(GbdtKernels, PredictMatchesPredictInto) {
+  common::Rng rng(7);
+  models::Gbdt model = trained_gbdt(rng);
+  const data::FeatureMatrix x(dense_matrix(101, 12, rng));
+  std::vector<double> out(101);
+  model.predict_into(x, out);
+  EXPECT_EQ(model.predict(x), out);
+}
+
+TEST(GbdtKernels, CascadeEarlyExitMatchesEvaluateEverythingReference) {
+  common::Rng rng(8);
+  models::Gbdt model = trained_gbdt(rng);
+  const std::size_t rows = 500;
+  const data::FeatureMatrix x(dense_matrix(rows, 12, rng));
+
+  std::vector<double> full(rows);
+  model.predict_into(x, full);
+
+  for (double threshold : {0.5, 0.6, 0.9, 1.0}) {
+    // The evaluate-everything reference the default Model::predict_cascade
+    // implements: full predictions, then the confidence cut.
+    std::vector<std::uint8_t> expected_hard(rows);
+    for (std::size_t i = 0; i < rows; ++i) {
+      expected_hard[i] = models::confidence(full[i]) <= threshold ? 1 : 0;
+    }
+
+    std::vector<double> preds(rows);
+    std::vector<std::uint8_t> hard(rows);
+    model.predict_cascade(x, threshold, preds, hard);
+    EXPECT_EQ(hard, expected_hard) << "threshold=" << threshold;
+    for (std::size_t i = 0; i < rows; ++i) {
+      // Early exit may leave partial values only in rows it proved hard.
+      if (!hard[i]) {
+        EXPECT_EQ(preds[i], full[i]) << "threshold=" << threshold;
+      }
+    }
+  }
+}
+
+TEST(GbdtKernels, RegressionFallsBackToFullEvaluationCascade) {
+  common::Rng rng(9);
+  models::Gbdt model = trained_gbdt(rng, /*classification=*/false);
+  const std::size_t rows = 64;
+  const data::FeatureMatrix x(dense_matrix(rows, 12, rng));
+  std::vector<double> full(rows), preds(rows);
+  std::vector<std::uint8_t> hard(rows);
+  model.predict_into(x, full);
+  model.predict_cascade(x, 0.7, preds, hard);
+  EXPECT_EQ(preds, full);  // no early exit for regressors: exact margins
+}
+
+// ---------------------------------------------------------------------------
+// Linear / MLP variants.
+// ---------------------------------------------------------------------------
+
+TEST(LinearKernels, VariantsAgreeOnDenseAndSparse) {
+  common::Rng rng(10);
+  models::LogisticRegression model;
+  const data::DenseMatrix xtr = dense_matrix(400, 40, rng, 0.4);
+  model.fit(data::FeatureMatrix(xtr), labels(xtr, rng));
+
+  for (std::size_t rows : {1u, 7u, 64u, 1000u}) {
+    const data::DenseMatrix xd = dense_matrix(rows, 40, rng, 0.4);
+    for (bool sparse : {false, true}) {
+      const data::FeatureMatrix x =
+          sparse ? data::FeatureMatrix(data::FeatureMatrix(xd).to_csr())
+                 : data::FeatureMatrix(xd);
+      std::vector<double> ref(rows), got(rows);
+      model.set_kernel_config(reference_config());
+      model.predict_into(x, ref);
+      for (DotVariant v : kernels::candidate_dots()) {
+        model.set_kernel_config({v, TreeVariant::Blocked, 32});
+        model.predict_into(x, got);
+        if (v == DotVariant::Scalar) {
+          EXPECT_EQ(got, ref) << "rows=" << rows << " sparse=" << sparse;
+        } else {
+          expect_close(got, ref);
+        }
+      }
+    }
+  }
+}
+
+TEST(MlpKernels, VariantsAgreeOnDenseAndSparse) {
+  common::Rng rng(11);
+  models::MlpConfig cfg;
+  cfg.hidden = 17;  // not a SIMD-friendly multiple on purpose
+  cfg.epochs = 2;
+  models::Mlp model(cfg);
+  const data::DenseMatrix xtr = dense_matrix(300, 33, rng, 0.3);
+  model.fit(data::FeatureMatrix(xtr), labels(xtr, rng));
+
+  for (std::size_t rows : {1u, 7u, 64u, 100u}) {
+    const data::DenseMatrix xd = dense_matrix(rows, 33, rng, 0.3);
+    for (bool sparse : {false, true}) {
+      const data::FeatureMatrix x =
+          sparse ? data::FeatureMatrix(data::FeatureMatrix(xd).to_csr())
+                 : data::FeatureMatrix(xd);
+      std::vector<double> ref(rows), got(rows);
+      model.set_kernel_config(reference_config());
+      model.predict_into(x, ref);
+      for (DotVariant v : kernels::candidate_dots()) {
+        model.set_kernel_config({v, TreeVariant::Blocked, 32});
+        model.predict_into(x, got);
+        if (v == DotVariant::Scalar) {
+          EXPECT_EQ(got, ref) << "rows=" << rows << " sparse=" << sparse;
+        } else {
+          expect_close(got, ref);
+        }
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Config serialization and per-model round-trips.
+// ---------------------------------------------------------------------------
+
+TEST(KernelConfigSerialize, RoundTripsExactly) {
+  const KernelConfig cfg{DotVariant::Avx512, TreeVariant::Blocked, 48};
+  serialize::Writer w;
+  kernels::save_kernel_config(w, cfg);
+  serialize::Reader r(w.bytes());
+  EXPECT_EQ(kernels::load_kernel_config(r), cfg);
+}
+
+TEST(KernelConfigSerialize, RejectsOutOfRangeValues) {
+  const auto corrupt = [](std::uint8_t dot, std::uint8_t tree,
+                          std::uint32_t block) {
+    serialize::Writer w;
+    w.u8(dot);
+    w.u8(tree);
+    w.u32(block);
+    serialize::Reader r(w.bytes());
+    try {
+      kernels::load_kernel_config(r);
+      return false;  // should have thrown
+    } catch (const serialize::SerializeError& e) {
+      return e.code() == serialize::ErrorCode::CorruptData;
+    }
+  };
+  EXPECT_TRUE(corrupt(200, 1, 32));  // unknown dot variant
+  EXPECT_TRUE(corrupt(0, 9, 32));    // unknown tree variant
+  EXPECT_TRUE(corrupt(0, 1, 0));     // zero block
+  EXPECT_TRUE(corrupt(0, 1, 65));    // block above kMaxTreeBlock
+}
+
+TEST(AutotuneReportSerialize, RoundTripsExactly) {
+  kernels::AutotuneReport rep;
+  rep.tuned = true;
+  rep.full = {DotVariant::Avx2, TreeVariant::Blocked, 16};
+  rep.has_small = true;
+  rep.small = {DotVariant::Unrolled, TreeVariant::RowWise, 1};
+  rep.timings = {{"full/dot:avx2", 1.5e-4}, {"small/tree:rowwise", 2.5e-5}};
+
+  serialize::Writer w;
+  kernels::save_autotune_report(w, rep);
+  serialize::Reader r(w.bytes());
+  const kernels::AutotuneReport got = kernels::load_autotune_report(r);
+  EXPECT_EQ(got.tuned, rep.tuned);
+  EXPECT_EQ(got.full, rep.full);
+  EXPECT_EQ(got.has_small, rep.has_small);
+  EXPECT_EQ(got.small, rep.small);
+  ASSERT_EQ(got.timings.size(), rep.timings.size());
+  for (std::size_t i = 0; i < rep.timings.size(); ++i) {
+    EXPECT_EQ(got.timings[i].name, rep.timings[i].name);
+    EXPECT_EQ(got.timings[i].seconds, rep.timings[i].seconds);
+  }
+}
+
+template <typename ModelT>
+void expect_model_roundtrip_preserves_config_and_bits(
+    ModelT& model, const data::FeatureMatrix& x) {
+  serialize::Writer w;
+  model.save(w);
+  serialize::Reader r(w.bytes());
+  const auto loaded = ModelT::load(r);
+  EXPECT_EQ(loaded->kernel_config(), model.kernel_config());
+  EXPECT_EQ(loaded->predict(x), model.predict(x));
+}
+
+TEST(ModelRoundtrip, KernelConfigTravelsWithEveryModelFamily) {
+  common::Rng rng(12);
+  const KernelConfig forced{DotVariant::Unrolled, TreeVariant::Blocked, 24};
+  const data::DenseMatrix xtr = dense_matrix(300, 10, rng);
+  const auto y = labels(xtr, rng);
+  const data::FeatureMatrix x(dense_matrix(50, 10, rng));
+
+  models::GbdtConfig gcfg;
+  gcfg.n_trees = 8;
+  gcfg.max_depth = 3;
+  gcfg.permutation_rows = 0;
+  models::Gbdt gbdt(gcfg);
+  gbdt.fit(data::FeatureMatrix(xtr), y);
+  gbdt.set_kernel_config(forced);
+  expect_model_roundtrip_preserves_config_and_bits(gbdt, x);
+
+  models::LogisticRegression lr;
+  lr.fit(data::FeatureMatrix(xtr), y);
+  lr.set_kernel_config(forced);
+  expect_model_roundtrip_preserves_config_and_bits(lr, x);
+
+  models::MlpConfig mcfg;
+  mcfg.epochs = 1;
+  models::Mlp mlp(mcfg);
+  mlp.fit(data::FeatureMatrix(xtr), y);
+  mlp.set_kernel_config(forced);
+  expect_model_roundtrip_preserves_config_and_bits(mlp, x);
+}
+
+// ---------------------------------------------------------------------------
+// Autotuner and optimizer wiring.
+// ---------------------------------------------------------------------------
+
+TEST(Autotune, InstallsASupportedWinnerAndRecordsEveryCandidate) {
+  common::Rng rng(13);
+  models::Gbdt model = trained_gbdt(rng);
+  const data::FeatureMatrix x(dense_matrix(128, 12, rng));
+
+  kernels::AutotuneConfig cfg;
+  cfg.reps = 1;
+  std::vector<kernels::VariantTiming> timings;
+  const KernelConfig winner =
+      core::tune_model_kernels(model, x, cfg, "gbdt", &timings);
+  EXPECT_EQ(model.kernel_config(), winner);
+  EXPECT_TRUE(kernels::dot_supported(winner.dot));
+  EXPECT_GE(winner.tree_block, 1u);
+  EXPECT_LE(winner.tree_block, kernels::kMaxTreeBlock);
+  // Stage 1 times every candidate dot; stage 2 times row-wise plus each
+  // configured block size.
+  EXPECT_EQ(timings.size(),
+            kernels::candidate_dots().size() + 1 + cfg.tree_blocks.size());
+  for (const auto& t : timings) {
+    EXPECT_EQ(t.name.rfind("gbdt/", 0), 0u) << t.name;
+    EXPECT_GT(t.seconds, 0.0) << t.name;
+  }
+}
+
+workloads::Workload tiny_synthetic() {
+  workloads::SyntheticParallelConfig cfg;
+  cfg.sizes = {.train = 250, .valid = 100, .test = 100};
+  cfg.n_generators = 2;
+  cfg.tfidf_features = 500;
+  return workloads::make_synthetic_parallel(cfg);
+}
+
+TEST(Autotune, PipelineReportRoundTripsThroughArtifactWithIdenticalBits) {
+  const auto wl = tiny_synthetic();
+  core::OptimizeOptions opts;
+  opts.autotune.reps = 1;  // keep optimize-time tuning cheap in tests
+  opts.autotune.sample_rows = 64;
+  const auto tuned =
+      core::WillumpOptimizer::optimize(wl.pipeline, wl.train, wl.valid, opts);
+  ASSERT_TRUE(tuned.autotune_report().tuned);
+  EXPECT_EQ(tuned.autotune_report().full,
+            tuned.full_model().kernel_config());
+  EXPECT_FALSE(tuned.autotune_report().timings.empty());
+
+  const auto loaded =
+      serialize::pipeline_from_bytes(serialize::pipeline_to_bytes(tuned));
+  EXPECT_EQ(loaded.autotune_report().tuned, tuned.autotune_report().tuned);
+  EXPECT_EQ(loaded.autotune_report().full, tuned.autotune_report().full);
+  EXPECT_EQ(loaded.autotune_report().timings.size(),
+            tuned.autotune_report().timings.size());
+  EXPECT_EQ(loaded.full_model().kernel_config(),
+            tuned.full_model().kernel_config());
+  EXPECT_EQ(loaded.predict(wl.test.inputs), tuned.predict(wl.test.inputs));
+}
+
+TEST(Autotune, ForcedKernelConfigSkipsTuningAndWinsEverywhere) {
+  const auto wl = tiny_synthetic();
+  core::OptimizeOptions opts;
+  opts.kernel_config = reference_config();  // takes precedence over autotune
+  const auto pipeline =
+      core::WillumpOptimizer::optimize(wl.pipeline, wl.train, wl.valid, opts);
+  EXPECT_FALSE(pipeline.autotune_report().tuned);
+  EXPECT_EQ(pipeline.full_model().kernel_config(), reference_config());
+  EXPECT_EQ(pipeline.autotune_report().full, reference_config());
+}
+
+TEST(Autotune, DisabledTuningKeepsNativeDefaults) {
+  const auto wl = tiny_synthetic();
+  core::OptimizeOptions opts;
+  opts.autotune_kernels = false;
+  const auto pipeline =
+      core::WillumpOptimizer::optimize(wl.pipeline, wl.train, wl.valid, opts);
+  EXPECT_FALSE(pipeline.autotune_report().tuned);
+  EXPECT_EQ(pipeline.full_model().kernel_config(), kernels::native_config());
+}
+
+}  // namespace
+}  // namespace willump
