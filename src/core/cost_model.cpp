@@ -6,6 +6,7 @@
 
 #include "common/timer.hpp"
 #include "core/cascades.hpp"
+#include "ops/tfidf.hpp"
 
 namespace willump::core {
 
@@ -42,6 +43,21 @@ double time_predict_into(const models::Model& m, const data::FeatureMatrix& x,
   m.predict_into(x, out);
   return common::time_median_seconds(reps,
                                      [&m, &x, out] { m.predict_into(x, out); });
+}
+
+/// One feature-pipeline measurement: warmup then the median of `reps`
+/// compute_matrix runs (the quantity op-level choices change).
+double time_compute_matrix(const Executor& e, const data::Batch& b, int reps) {
+  (void)e.compute_matrix(b);
+  return common::time_median_seconds(reps, [&e, &b] { (void)e.compute_matrix(b); });
+}
+
+bool graph_has_tfidf(const Graph& g) {
+  for (std::size_t i = 0; i < g.size(); ++i) {
+    const auto* op = g.node(static_cast<int>(i)).op.get();
+    if (dynamic_cast<const ops::TfIdfOp*>(op) != nullptr) return true;
+  }
+  return false;
 }
 
 }  // namespace
@@ -102,12 +118,119 @@ kernels::KernelConfig tune_model_kernels(
     }
   }
   best = tree_pick;
+
+  // Stage 3: sparse traversal cutoff — only meaningful when the feature
+  // matrix is CSR (dense inputs never consult it). Two poles: 0 forces the
+  // no-densify CSR traversal, UINT32_MAX forces the densify-block path; the
+  // winner is pinned so serving dispatches without re-measuring.
+  if (!x.is_dense()) {
+    struct CutCand {
+      std::uint32_t cutoff;
+      const char* name;
+    };
+    const CutCand cuts[] = {
+        {0u, "csr"}, {std::numeric_limits<std::uint32_t>::max(), "densify"}};
+    best_s = std::numeric_limits<double>::infinity();
+    kernels::KernelConfig cut_pick = best;
+    for (const auto& cand : cuts) {
+      kernels::KernelConfig c = best;
+      c.sparse_cutoff = cand.cutoff;
+      model.set_kernel_config(c);
+      const double s = time_predict_into(model, x, out, cfg.reps);
+      if (timings != nullptr) {
+        timings->push_back({label + "/sparse:" + cand.name, s});
+      }
+      if (s < best_s) {
+        best_s = s;
+        cut_pick = c;
+      }
+    }
+    best = cut_pick;
+  }
   model.set_kernel_config(best);
   return best;
 }
 
+kernels::FeatureOpConfig tune_feature_ops(
+    CompiledExecutor& executor, const data::Batch& sample,
+    const kernels::AutotuneConfig& cfg,
+    std::vector<kernels::VariantTiming>* timings) {
+  kernels::FeatureOpConfig best = executor.featureop_config();
+  if (sample.num_rows() == 0 || cfg.reps <= 0) return best;
+
+  // Stage 1: vocabulary lookup strategy. Only TF-IDF consults it, so other
+  // pipelines skip the measurement entirely.
+  if (graph_has_tfidf(executor.graph())) {
+    double best_s = std::numeric_limits<double>::infinity();
+    kernels::FeatureOpConfig pick = best;
+    for (const auto v :
+         {kernels::LookupVariant::HashMap, kernels::LookupVariant::SortedVocab}) {
+      kernels::FeatureOpConfig c = best;
+      c.lookup = v;
+      executor.set_featureop_config(c);
+      const double s = time_compute_matrix(executor, sample, cfg.reps);
+      if (timings != nullptr) {
+        timings->push_back(
+            {std::string("ops/lookup:") + kernels::variant_name(v), s});
+      }
+      if (s < best_s) {
+        best_s = s;
+        pick = c;
+      }
+    }
+    best = pick;
+  }
+
+  // Stage 2: zero-copy planned assembly off/on. Off is the reference
+  // blocks+hconcat path; both produce bit-identical matrices.
+  {
+    double best_s = std::numeric_limits<double>::infinity();
+    kernels::FeatureOpConfig pick = best;
+    for (const bool zc : {false, true}) {
+      kernels::FeatureOpConfig c = best;
+      c.zero_copy = zc;
+      executor.set_featureop_config(c);
+      const double s = time_compute_matrix(executor, sample, cfg.reps);
+      if (timings != nullptr) {
+        timings->push_back(
+            {std::string("ops/zero_copy:") + (zc ? "on" : "off"), s});
+      }
+      if (s < best_s) {
+        best_s = s;
+        pick = c;
+      }
+    }
+    best = pick;
+  }
+
+  // Stage 3: dense assembly row-chunk size — the cache-blocking granularity
+  // of the fused concat. Irrelevant when stage 2 kept the fallback path.
+  if (best.zero_copy && !cfg.block_rows.empty()) {
+    double best_s = std::numeric_limits<double>::infinity();
+    kernels::FeatureOpConfig pick = best;
+    for (std::uint32_t b : cfg.block_rows) {
+      b = std::clamp<std::uint32_t>(b, 1, kernels::kMaxBlockRows);
+      kernels::FeatureOpConfig c = best;
+      c.block_rows = b;
+      executor.set_featureop_config(c);
+      const double s = time_compute_matrix(executor, sample, cfg.reps);
+      if (timings != nullptr) {
+        timings->push_back({"ops/block_rows:" + std::to_string(b), s});
+      }
+      if (s < best_s) {
+        best_s = s;
+        pick = c;
+      }
+    }
+    best = pick;
+  }
+
+  executor.set_featureop_config(best);
+  return best;
+}
+
 kernels::AutotuneReport autotune_pipeline_kernels(
-    TrainedCascade& cascade, const Executor& executor,
+    TrainedCascade& cascade, Executor& executor,
     const data::Batch& train_inputs, const kernels::AutotuneConfig& cfg) {
   kernels::AutotuneReport rep;
   rep.full = cascade.full_model->kernel_config();
@@ -131,6 +254,11 @@ kernels::AutotuneReport autotune_pipeline_kernels(
     rep.small = tune_model_kernels(*cascade.small_model,
                                    executor.compute_matrix(sample, eff), cfg,
                                    "small", &rep.timings);
+  }
+  if (auto* compiled = dynamic_cast<CompiledExecutor*>(&executor);
+      compiled != nullptr && cfg.tune_feature_ops) {
+    rep.ops = tune_feature_ops(*compiled, sample, cfg, &rep.timings);
+    rep.tuned_ops = true;
   }
   rep.tuned = true;
   return rep;

@@ -44,6 +44,17 @@ kernels::KernelConfig tune_model_kernels(
     const kernels::AutotuneConfig& cfg, const std::string& label,
     std::vector<kernels::VariantTiming>* timings);
 
+/// Time op-level choices for a compiled executor's feature pipeline on a
+/// sample batch and install the winners: vocabulary lookup strategy (only
+/// when the graph tokenizes — a TF-IDF op consults it), zero-copy planned
+/// assembly off/on, and the dense assembly row-chunk size. Greedy stages on
+/// independent axes, same measurement discipline as tune_model_kernels;
+/// every feature-op choice is bit-exact, so timing is the only criterion.
+kernels::FeatureOpConfig tune_feature_ops(
+    CompiledExecutor& executor, const data::Batch& sample,
+    const kernels::AutotuneConfig& cfg,
+    std::vector<kernels::VariantTiming>* timings);
+
 /// Autotune both models of a trained cascade against features computed from
 /// a training-set sample (first `cfg.sample_rows` rows): the full model on
 /// the full feature matrix, the small model (when present) on the
@@ -51,8 +62,13 @@ kernels::KernelConfig tune_model_kernels(
 /// kernel section persists; when there is nothing to measure (empty
 /// training set, zero reps) the models keep their configs and the report
 /// says tuned = false.
+///
+/// When the executor is compiled and `cfg.tune_feature_ops` is set, the
+/// op-level autotuner (tune_feature_ops) also runs against the sample and
+/// its winners are installed on the executor and recorded in the report
+/// (`tuned_ops` / `ops`) — hence the mutable executor reference.
 kernels::AutotuneReport autotune_pipeline_kernels(
-    TrainedCascade& cascade, const Executor& executor,
+    TrainedCascade& cascade, Executor& executor,
     const data::Batch& train_inputs, const kernels::AutotuneConfig& cfg);
 
 }  // namespace willump::core

@@ -6,6 +6,7 @@
 #include <stdexcept>
 
 #include "common/timer.hpp"
+#include "ops/block_kernels.hpp"
 #include "runtime/boxed.hpp"
 
 namespace willump::core {
@@ -140,7 +141,12 @@ data::FeatureMatrix Executor::assemble(
     }
   }
   data::FeatureMatrix m = data::FeatureMatrix::hconcat_all(selected);
+  return apply_post_chain(std::move(m), mask, full);
+}
 
+data::FeatureMatrix Executor::apply_post_chain(data::FeatureMatrix m,
+                                               const std::vector<bool>& mask,
+                                               bool full) const {
   for (int post : analysis_.post_chain) {
     const auto& op = *graph_.node(post).op;
     if (full) {
@@ -445,7 +451,24 @@ CompiledExecutor::CompiledExecutor(Graph graph, IfvAnalysis analysis)
     : Executor(std::move(graph), std::move(analysis)),
       plan_(compile_plan(graph_, analysis_)) {}
 
-void CompiledExecutor::run_steps(const std::vector<PlanStep>& steps,
+void CompiledExecutor::gather_inputs(const Node& node, const data::Batch& batch,
+                                     std::vector<data::Value>& store,
+                                     std::vector<data::Value>& inputs) const {
+  for (int in : node.inputs) {
+    const Node& src = graph_.node(in);
+    if (src.kind == NodeKind::Source &&
+        store[static_cast<std::size_t>(in)].empty()) {
+      store[static_cast<std::size_t>(in)] = data::Value(batch.get(src.name));
+    }
+  }
+  inputs.clear();
+  inputs.reserve(node.inputs.size());
+  for (int in : node.inputs) {
+    inputs.push_back(store[static_cast<std::size_t>(in)]);
+  }
+}
+
+void CompiledExecutor::run_steps(std::span<const PlanStep> steps,
                                  const data::Batch& batch,
                                  std::vector<data::Value>& store,
                                  const ExecOptions& opts) const {
@@ -454,18 +477,8 @@ void CompiledExecutor::run_steps(const std::vector<PlanStep>& steps,
     // Driver stage: bind source inputs and gather operand values — the O(1)
     // marshaling the paper's C++ drivers perform.
     const Node& first = graph_.node(step.nodes.front());
-    for (int in : first.inputs) {
-      const Node& src = graph_.node(in);
-      if (src.kind == NodeKind::Source &&
-          store[static_cast<std::size_t>(in)].empty()) {
-        store[static_cast<std::size_t>(in)] = data::Value(batch.get(src.name));
-      }
-    }
     std::vector<data::Value> inputs;
-    inputs.reserve(first.inputs.size());
-    for (int in : first.inputs) {
-      inputs.push_back(store[static_cast<std::size_t>(in)]);
-    }
+    gather_inputs(first, batch, store, inputs);
     const double driver_s = driver_timer.elapsed_seconds();
 
     common::Timer kernel_timer;
@@ -484,6 +497,14 @@ void CompiledExecutor::run_steps(const std::vector<PlanStep>& steps,
         out_col.push_back(std::move(cur));
       }
       out = data::Value(data::Column(std::move(out_col)));
+    } else if (const auto* emitter =
+                   dynamic_cast<const ops::SparseBlockEmitter*>(first.op.get());
+               emitter != nullptr) {
+      // Sparse block producers run their batched kernel with the tuned
+      // lookup strategy even outside the zero-copy plan (cached, pooled and
+      // masked paths included); rows are bit-identical to eval_batch.
+      const ops::BlockExecContext ctx{opcfg_};
+      out = data::Value(data::FeatureMatrix(emitter->emit_batch(inputs, ctx)));
     } else {
       out = first.op->eval_batch(inputs);
     }
@@ -630,6 +651,195 @@ std::vector<data::FeatureMatrix> CompiledExecutor::compute_blocks(
     blocks[f] = compute_block_plain(batch, f, store, opts);
   }
   return blocks;
+}
+
+// ---------------------------------------------------------------------------
+// Zero-copy planned assembly
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Fused k-way dense concat: copy every selected block's rows into its
+/// column slice of one preallocated matrix, row-chunk-major so the
+/// destination chunk stays cache-resident across the k sources. One copy
+/// per element vs the pairwise hconcat fold's O(k) copies.
+data::DenseMatrix fused_dense_concat(
+    const std::vector<const data::FeatureMatrix*>& blocks, std::size_t rows,
+    std::size_t total_cols, std::size_t block_rows) {
+  data::DenseMatrix out(rows, total_cols);
+  double* dst = out.mutable_data().data();
+  for (std::size_t r0 = 0; r0 < rows; r0 += block_rows) {
+    const std::size_t r1 = std::min(rows, r0 + block_rows);
+    std::size_t col_off = 0;
+    for (const auto* b : blocks) {
+      const auto& d = b->dense();
+      const std::size_t w = d.cols();
+      for (std::size_t r = r0; r < r1; ++r) {
+        auto src = d.row(r);
+        std::copy(src.begin(), src.end(), dst + r * total_cols + col_off);
+      }
+      col_off += w;
+    }
+  }
+  return out;
+}
+
+/// Fused k-way sparse concat: stream every block's row entries (with column
+/// offsets; dense blocks drop zeros, exactly as FeatureMatrix::to_csr does
+/// inside the pairwise fold) into one output CSR — a single pass instead of
+/// k-1 intermediate matrices.
+data::CsrMatrix fused_sparse_concat(
+    const std::vector<const data::FeatureMatrix*>& blocks, std::size_t rows,
+    std::size_t total_cols) {
+  std::size_t nnz_guess = 0;
+  for (const auto* b : blocks) {
+    nnz_guess += b->is_sparse() ? b->sparse().nnz() : b->rows();
+  }
+  data::CsrMatrix out(static_cast<std::int32_t>(total_cols));
+  out.reserve(rows, nnz_guess);
+  std::vector<data::SparseEntry> row;
+  for (std::size_t r = 0; r < rows; ++r) {
+    row.clear();
+    std::int32_t col_off = 0;
+    for (const auto* b : blocks) {
+      if (b->is_sparse()) {
+        const auto rv = b->sparse().row(r);
+        for (std::size_t k = 0; k < rv.nnz(); ++k) {
+          row.push_back({rv.indices[k] + col_off, rv.values[k]});
+        }
+        col_off += b->sparse().cols();
+      } else {
+        const auto rv = b->dense().row(r);
+        for (std::size_t c = 0; c < rv.size(); ++c) {
+          if (rv[c] != 0.0) {
+            row.push_back({col_off + static_cast<std::int32_t>(c), rv[c]});
+          }
+        }
+        col_off += static_cast<std::int32_t>(rv.size());
+      }
+    }
+    out.append_row(row);
+  }
+  return out;
+}
+
+}  // namespace
+
+data::FeatureMatrix CompiledExecutor::compute_matrix(
+    const data::Batch& batch, const ExecOptions& opts) const {
+  const std::size_t num_fg = analysis_.generators.size();
+  const std::size_t rows = batch.num_rows();
+  // Planning needs the probed layout and exclusive use of the sequential
+  // step machinery; every other mode falls back to the reference path
+  // (which produces the identical matrix).
+  if (!opcfg_.zero_copy || rows == 0 || opts.cache != nullptr ||
+      opts.pool != nullptr || opts.profiler != nullptr ||
+      opts.drivers != nullptr || analysis_.block_cols.size() != num_fg) {
+    return Executor::compute_matrix(batch, opts);
+  }
+
+  std::vector<std::size_t> selected;
+  bool full = true;
+  for (std::size_t f = 0; f < num_fg; ++f) {
+    if (fg_selected(opts.fg_mask, f)) {
+      selected.push_back(f);
+    } else {
+      full = false;
+    }
+  }
+  if (selected.empty()) return Executor::compute_matrix(batch, opts);
+
+  // Classify each selected generator by its terminal op's block interface.
+  // The terminal step must be the generator's (unfused) output node.
+  bool all_dense_writers = true;
+  bool all_sparse_emitters = true;
+  for (std::size_t f : selected) {
+    const auto& steps = plan_.fg_steps[f];
+    const auto& fg = analysis_.generators[f];
+    if (steps.empty() || steps.back().fused() ||
+        steps.back().nodes.back() != fg.output_node) {
+      return Executor::compute_matrix(batch, opts);
+    }
+    const ops::Operator* op = graph_.node(fg.output_node).op.get();
+    if (dynamic_cast<const ops::DenseBlockWriter*>(op) == nullptr) {
+      all_dense_writers = false;
+    }
+    if (dynamic_cast<const ops::SparseBlockEmitter*>(op) == nullptr) {
+      all_sparse_emitters = false;
+    }
+  }
+
+  const ops::BlockExecContext ctx{opcfg_};
+  std::vector<data::Value> store(graph_.size());
+  run_steps(plan_.preprocessing, batch, store, opts);
+
+  if (all_dense_writers) {
+    // Dense plan: one allocation for the downstream model's whole input;
+    // every generator writes its column slice in place. No per-op
+    // DenseMatrix, no hconcat.
+    std::size_t total_cols = 0;
+    for (std::size_t f : selected) total_cols += analysis_.block_cols[f];
+    data::DenseMatrix out(rows, total_cols);
+    double* base = out.mutable_data().data();
+    std::size_t col_off = 0;
+    std::vector<data::Value> inputs;
+    for (std::size_t f : selected) {
+      const auto& fg = analysis_.generators[f];
+      const auto& steps = plan_.fg_steps[f];
+      run_steps(std::span<const PlanStep>(steps.data(), steps.size() - 1), batch,
+                store, opts);
+      const Node& node = graph_.node(fg.output_node);
+      gather_inputs(node, batch, store, inputs);
+      const auto* writer =
+          dynamic_cast<const ops::DenseBlockWriter*>(node.op.get());
+      writer->write_block(inputs, ctx, base + col_off, rows, total_cols);
+      col_off += analysis_.block_cols[f];
+    }
+    return apply_post_chain(data::FeatureMatrix(std::move(out)), opts.fg_mask,
+                            full);
+  }
+
+  if (all_sparse_emitters && selected.size() == 1) {
+    // Single sparse generator: the emitted CSR IS the model input.
+    const std::size_t f = selected[0];
+    const auto& fg = analysis_.generators[f];
+    const auto& steps = plan_.fg_steps[f];
+    run_steps(std::span<const PlanStep>(steps.data(), steps.size() - 1), batch,
+                store, opts);
+    const Node& node = graph_.node(fg.output_node);
+    std::vector<data::Value> inputs;
+    gather_inputs(node, batch, store, inputs);
+    const auto* emitter =
+        dynamic_cast<const ops::SparseBlockEmitter*>(node.op.get());
+    return apply_post_chain(data::FeatureMatrix(emitter->emit_batch(inputs, ctx)),
+                            opts.fg_mask, full);
+  }
+
+  // Mixed plan: compute the selected blocks (sparse producers still run
+  // their tuned batch kernels via run_steps), then assemble with a fused
+  // one-pass k-way concat instead of the pairwise fold.
+  std::vector<data::FeatureMatrix> computed(num_fg);
+  std::vector<const data::FeatureMatrix*> parts;
+  bool any_sparse = false;
+  std::size_t total_cols = 0;
+  for (std::size_t f : selected) {
+    computed[f] = compute_block_plain(batch, f, store, opts);
+    const auto& b = computed[f];
+    if (b.rows() == 0 && b.cols() == 0) continue;  // identity, as hconcat
+    parts.push_back(&b);
+    any_sparse = any_sparse || b.is_sparse();
+    total_cols += b.cols();
+  }
+  data::FeatureMatrix m;
+  if (parts.empty()) {
+    m = data::FeatureMatrix();
+  } else if (any_sparse) {
+    m = data::FeatureMatrix(fused_sparse_concat(parts, rows, total_cols));
+  } else {
+    m = data::FeatureMatrix(
+        fused_dense_concat(parts, rows, total_cols, opcfg_.block_rows));
+  }
+  return apply_post_chain(std::move(m), opts.fg_mask, full);
 }
 
 }  // namespace willump::core

@@ -6,6 +6,7 @@
 #include "core/feature_cache.hpp"
 #include "core/graph.hpp"
 #include "core/ifv_analysis.hpp"
+#include "kernels/dispatch.hpp"
 #include "runtime/profiler.hpp"
 #include "runtime/thread_pool.hpp"
 
@@ -59,9 +60,10 @@ class Executor {
   data::FeatureMatrix assemble(const std::vector<data::FeatureMatrix>& blocks,
                                const std::vector<bool>& mask) const;
 
-  /// compute_blocks + assemble in one call.
-  data::FeatureMatrix compute_matrix(const data::Batch& batch,
-                                     const ExecOptions& opts = {}) const;
+  /// compute_blocks + assemble in one call. Virtual so engines can plan the
+  /// final matrix directly (the compiled engine's zero-copy block path).
+  virtual data::FeatureMatrix compute_matrix(const data::Batch& batch,
+                                             const ExecOptions& opts = {}) const;
 
   /// Execute once on `probe` to record each generator's block width in the
   /// analysis (cascades need the column layout before training models).
@@ -85,6 +87,12 @@ class Executor {
   bool fg_selected(const std::vector<bool>& mask, std::size_t f) const {
     return mask.empty() || (f < mask.size() && mask[f]);
   }
+
+  /// Run the post-concatenation commutative chain over an assembled matrix
+  /// (`full` = every generator contributed, so ops see the full layout).
+  data::FeatureMatrix apply_post_chain(data::FeatureMatrix m,
+                                       const std::vector<bool>& mask,
+                                       bool full) const;
 
   Graph graph_;
   IfvAnalysis analysis_;
@@ -142,11 +150,28 @@ class CompiledExecutor final : public Executor {
   std::vector<data::FeatureMatrix> compute_blocks(
       const data::Batch& batch, const ExecOptions& opts) const override;
 
+  /// Zero-copy planned assembly: when the layout is known and every
+  /// selected generator ends in a block-kernel op, the final feature matrix
+  /// is allocated once and ops write their column slices (dense) or stream
+  /// their CSR rows (sparse) straight into it — no per-op block, no
+  /// pairwise hconcat copies. Falls back to the reference
+  /// compute_blocks+assemble path whenever planning does not apply
+  /// (caching, pooling, profiling, unknown layout, zero_copy disabled);
+  /// both paths produce bit-identical matrices.
+  data::FeatureMatrix compute_matrix(const data::Batch& batch,
+                                     const ExecOptions& opts = {}) const override;
+
   const CompiledPlan& plan() const { return plan_; }
+
+  /// Tuned feature-op choices (lookup strategy, assembly row-block size,
+  /// zero-copy planning). Set by the op-level autotuner and by artifact
+  /// deserialization; defaults are the untuned reference choices.
+  void set_featureop_config(const kernels::FeatureOpConfig& c) { opcfg_ = c; }
+  const kernels::FeatureOpConfig& featureop_config() const { return opcfg_; }
 
  private:
   /// Evaluate a step list over `batch` into `store` (node id -> value).
-  void run_steps(const std::vector<PlanStep>& steps, const data::Batch& batch,
+  void run_steps(std::span<const PlanStep> steps, const data::Batch& batch,
                  std::vector<data::Value>& store, const ExecOptions& opts) const;
 
   /// Compute one generator's block with per-row feature caching.
@@ -161,7 +186,14 @@ class CompiledExecutor final : public Executor {
                                           std::vector<data::Value>& store,
                                           const ExecOptions& opts) const;
 
+  /// Bind source columns and gather a node's operand values from `store`
+  /// (the run_steps driver stage, reused by the zero-copy planner).
+  void gather_inputs(const Node& node, const data::Batch& batch,
+                     std::vector<data::Value>& store,
+                     std::vector<data::Value>& inputs) const;
+
   CompiledPlan plan_;
+  kernels::FeatureOpConfig opcfg_;
 };
 
 }  // namespace willump::core

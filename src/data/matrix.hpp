@@ -33,6 +33,10 @@ class DenseMatrix {
 
   std::span<const double> data() const { return v_; }
 
+  /// Whole backing store, writable — for block kernels that fill column
+  /// slices of a preallocated output matrix in place.
+  std::span<double> mutable_data() { return v_; }
+
   /// Extract a column (copies).
   std::vector<double> column(std::size_t c) const;
 
@@ -64,6 +68,14 @@ class CsrMatrix {
   void append_row(std::span<const SparseEntry> entries);
   void append_row(const SparseVector& row) { append_row(row.entries()); }
 
+  /// Pre-size the backing arrays (batched transforms that know their
+  /// row count and can estimate nnz).
+  void reserve(std::size_t rows, std::size_t nnz) {
+    indptr_.reserve(rows + 1);
+    indices_.reserve(nnz);
+    values_.reserve(nnz);
+  }
+
   /// Entries of row r as (index, value) pairs.
   struct RowView {
     std::span<const std::int32_t> indices;
@@ -79,6 +91,10 @@ class CsrMatrix {
   std::span<const std::size_t> indptr() const { return indptr_; }
   std::span<const std::int32_t> indices() const { return indices_; }
   std::span<const double> values() const { return values_; }
+
+  /// Writable value strip for elementwise kernels (scaling); the sparsity
+  /// pattern stays fixed.
+  std::span<double> mutable_values() { return values_; }
 
   CsrMatrix select_rows(std::span<const std::size_t> idx) const;
 

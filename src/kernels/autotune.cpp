@@ -17,6 +17,8 @@ void save_autotune_report(serialize::Writer& w, const AutotuneReport& rep) {
   save_kernel_config(w, rep.full);
   w.u8(rep.has_small ? 1 : 0);
   save_kernel_config(w, rep.small);
+  w.u8(rep.tuned_ops ? 1 : 0);
+  save_featureop_config(w, rep.ops);
   w.u64(rep.timings.size());
   for (const auto& t : rep.timings) {
     w.str(t.name);
@@ -40,6 +42,13 @@ AutotuneReport load_autotune_report(serialize::Reader& r) {
   }
   rep.has_small = has_small != 0;
   rep.small = load_kernel_config(r);
+  const std::uint8_t tuned_ops = r.u8();
+  if (tuned_ops > 1) {
+    throw serialize::SerializeError(serialize::ErrorCode::CorruptData,
+                                    "autotune tuned_ops flag out of range");
+  }
+  rep.tuned_ops = tuned_ops != 0;
+  rep.ops = load_featureop_config(r);
   const std::uint64_t n = r.length(9, "autotune timing list");
   rep.timings.reserve(static_cast<std::size_t>(n));
   for (std::uint64_t i = 0; i < n; ++i) {

@@ -21,6 +21,12 @@ struct AutotuneConfig {
   int reps = 5;                  // timed repetitions per candidate (median)
   std::size_t sample_rows = 256; // rows of the training set to time against
   std::vector<std::uint32_t> tree_blocks = {8, 16, 32, 64};
+  /// Row-chunk sizes to try for zero-copy dense block assembly.
+  std::vector<std::uint32_t> block_rows = {64, 256, 1024};
+  /// Also tune op-level choices (lookup strategy, zero-copy assembly) on a
+  /// compiled executor. The optimizer turns this off when the caller forced
+  /// a FeatureOpConfig.
+  bool tune_feature_ops = true;
 };
 
 /// One timed candidate, kept for observability (surfaced by benches and
@@ -38,6 +44,12 @@ struct AutotuneReport {
   KernelConfig full;       // winner for the full (original) model
   bool has_small = false;  // cascades only
   KernelConfig small;      // winner for the small/approximate model
+  /// Op-level winners (feature pipeline, not models). tuned_ops says the
+  /// `ops` field is meaningful — set both by the op autotuner and by a
+  /// forced FeatureOpConfig — and tells artifact load to install it on the
+  /// compiled executor.
+  bool tuned_ops = false;
+  FeatureOpConfig ops;
   std::vector<VariantTiming> timings;
 };
 

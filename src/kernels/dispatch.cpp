@@ -74,10 +74,19 @@ const char* variant_name(TreeVariant v) {
   return "?";
 }
 
+const char* variant_name(LookupVariant v) {
+  switch (v) {
+    case LookupVariant::HashMap: return "hashmap";
+    case LookupVariant::SortedVocab: return "sorted";
+  }
+  return "?";
+}
+
 void save_kernel_config(serialize::Writer& w, const KernelConfig& c) {
   w.u8(static_cast<std::uint8_t>(c.dot));
   w.u8(static_cast<std::uint8_t>(c.tree));
   w.u32(c.tree_block);
+  w.u32(c.sparse_cutoff);
 }
 
 KernelConfig load_kernel_config(serialize::Reader& r) {
@@ -85,6 +94,7 @@ KernelConfig load_kernel_config(serialize::Reader& r) {
   const std::uint8_t dot = r.u8();
   const std::uint8_t tree = r.u8();
   const std::uint32_t block = r.u32();
+  const std::uint32_t cutoff = r.u32();
   if (dot > static_cast<std::uint8_t>(DotVariant::Avx512) ||
       tree > static_cast<std::uint8_t>(TreeVariant::Blocked) || block == 0 ||
       block > kMaxTreeBlock) {
@@ -94,6 +104,29 @@ KernelConfig load_kernel_config(serialize::Reader& r) {
   c.dot = static_cast<DotVariant>(dot);
   c.tree = static_cast<TreeVariant>(tree);
   c.tree_block = block;
+  c.sparse_cutoff = cutoff;  // any u32 is a valid threshold
+  return c;
+}
+
+void save_featureop_config(serialize::Writer& w, const FeatureOpConfig& c) {
+  w.u8(static_cast<std::uint8_t>(c.lookup));
+  w.u32(c.block_rows);
+  w.u8(c.zero_copy ? 1 : 0);
+}
+
+FeatureOpConfig load_featureop_config(serialize::Reader& r) {
+  FeatureOpConfig c;
+  const std::uint8_t lookup = r.u8();
+  const std::uint32_t block_rows = r.u32();
+  const std::uint8_t zero_copy = r.u8();
+  if (lookup > static_cast<std::uint8_t>(LookupVariant::SortedVocab) ||
+      block_rows == 0 || block_rows > kMaxBlockRows || zero_copy > 1) {
+    throw serialize::SerializeError(serialize::ErrorCode::CorruptData,
+                                    "feature-op config out of range");
+  }
+  c.lookup = static_cast<LookupVariant>(lookup);
+  c.block_rows = block_rows;
+  c.zero_copy = zero_copy != 0;
   return c;
 }
 

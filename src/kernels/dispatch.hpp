@@ -35,6 +35,13 @@ enum class TreeVariant : std::uint8_t {
 /// Upper bound on rows per traversal block (stack-buffer sizing).
 inline constexpr std::uint32_t kMaxTreeBlock = 64;
 
+/// Column count at or above which a sparse GBDT input skips the per-block
+/// densify scratch and traverses the CSR rows directly. Wide TF-IDF blocks
+/// blow the densify scratch out of L1/L2; compact CSR rows stay resident.
+/// The autotuner pins this to 0 (always CSR) or UINT32_MAX (always densify)
+/// per model after timing both on real data.
+inline constexpr std::uint32_t kDefaultSparseCutoff = 2048;
+
 /// Per-model kernel selection. Defaults come from native_config() (best
 /// instruction set the CPU supports, untuned block size); the optimizer's
 /// autotuner refines them and the values are serialized with the model, so
@@ -43,9 +50,35 @@ struct KernelConfig {
   DotVariant dot = DotVariant::Unrolled;
   TreeVariant tree = TreeVariant::Blocked;
   std::uint32_t tree_block = 32;  // rows per block, clamped to [1, kMaxTreeBlock]
+  // Sparse inputs with >= this many columns use the no-densify CSR
+  // traversal; narrower ones densify per block. Any u32 is valid.
+  std::uint32_t sparse_cutoff = kDefaultSparseCutoff;
 
   bool operator==(const KernelConfig&) const = default;
 };
+
+/// Vocabulary-lookup strategy for term-indexed feature ops (TF-IDF).
+/// HashMap is the reference (heterogeneous unordered_map find); SortedVocab
+/// binary-searches an index-sorted term permutation — fewer cache lines for
+/// small vocabularies, no hashing. Both produce identical features.
+enum class LookupVariant : std::uint8_t {
+  HashMap = 0,
+  SortedVocab = 1,
+};
+
+/// Pipeline-level feature-operator selection, tuned by the op-level
+/// autotuner and persisted in the artifact KERN section so load_model
+/// cold-starts with the tuned feature path.
+struct FeatureOpConfig {
+  LookupVariant lookup = LookupVariant::HashMap;
+  std::uint32_t block_rows = 256;  // rows per feature block, [1, 2^20]
+  bool zero_copy = true;           // plan contiguous output blocks in the executor
+
+  bool operator==(const FeatureOpConfig&) const = default;
+};
+
+/// Upper bound on block_rows (sanity bound for deserialization).
+inline constexpr std::uint32_t kMaxBlockRows = 1u << 20;
 
 /// Whether this CPU can execute `v` (Scalar/Unrolled always can).
 bool dot_supported(DotVariant v);
@@ -64,12 +97,18 @@ KernelConfig native_config();
 
 const char* variant_name(DotVariant v);
 const char* variant_name(TreeVariant v);
+const char* variant_name(LookupVariant v);
 
-/// Serialize/deserialize a config (fixed 6 bytes). load validates ranges
+/// Serialize/deserialize a config (fixed 10 bytes). load validates ranges
 /// and throws SerializeError(CorruptData) on out-of-range values; it does
 /// NOT clamp to this machine's capabilities — the recorded choice
 /// round-trips bit-exactly and is downgraded only at dispatch time.
 void save_kernel_config(serialize::Writer& w, const KernelConfig& c);
 KernelConfig load_kernel_config(serialize::Reader& r);
+
+/// Serialize/deserialize a feature-op config (fixed 6 bytes). Same
+/// validation discipline as the kernel config.
+void save_featureop_config(serialize::Writer& w, const FeatureOpConfig& c);
+FeatureOpConfig load_featureop_config(serialize::Reader& r);
 
 }  // namespace willump::kernels

@@ -1,0 +1,30 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "kernels/dispatch.hpp"
+
+namespace willump::kernels {
+
+/// Elementwise block kernels for the feature operators. Unlike dot products,
+/// these have no cross-element reduction — every variant computes each
+/// output element with the same two-operation expression `(x - off) * s` —
+/// so all variants are bit-exact equals of Scalar, not tolerance equals.
+
+/// Standardize a dense row-major block in one pass:
+///   dst[r*stride + c] = (src[r*stride + c] - offsets[c]) * scales[c]
+/// for r in [0, rows), c in [0, cols). src and dst may alias exactly
+/// (in-place) but must not partially overlap.
+void affine_scale_block(DotVariant v, const double* src, double* dst,
+                        std::size_t rows, std::size_t cols, std::size_t stride,
+                        const double* offsets, const double* scales);
+
+/// Scale a CSR value strip by per-column factors (offsets do not apply to
+/// sparse standardization — the reference path scales only):
+///   dst[i] = src[i] * scales_by_col[indices[i]]
+void scale_csr_values(DotVariant v, const std::int32_t* indices,
+                      const double* src, double* dst, std::size_t nnz,
+                      const double* scales_by_col);
+
+}  // namespace willump::kernels

@@ -69,6 +69,25 @@ void FlatForest::finalize() {
   for (std::size_t i = t; i-- > 0;) {
     suffix_abs_bound_[i] = suffix_abs_bound_[i + 1] + max_abs_leaf_[i];
   }
+
+  // Compact column space for the CSR path: the sorted set of features any
+  // internal node splits on, and every node's column remapped into it.
+  // Leaves keep the same clamp-to-0 convention as col_ (their loads are
+  // parked self-loop reads that never affect the traversal).
+  used_cols_.clear();
+  for (const std::int32_t f : feature_) {
+    if (f >= 0) used_cols_.push_back(f);
+  }
+  std::sort(used_cols_.begin(), used_cols_.end());
+  used_cols_.erase(std::unique(used_cols_.begin(), used_cols_.end()),
+                   used_cols_.end());
+  ccol_.assign(col_.size(), 0);
+  for (std::size_t i = 0; i < col_.size(); ++i) {
+    if (feature_[i] < 0) continue;
+    const auto it =
+        std::lower_bound(used_cols_.begin(), used_cols_.end(), col_[i]);
+    ccol_[i] = static_cast<std::int32_t>(it - used_cols_.begin());
+  }
 }
 
 void FlatForest::margins(TreeVariant v, std::uint32_t block, const double* x,
@@ -104,6 +123,13 @@ void FlatForest::margins_rowwise(const double* x, std::size_t rows,
 void FlatForest::margins_blocked(std::uint32_t block, const double* x,
                                  std::size_t rows, std::size_t stride,
                                  double* out) const {
+  margins_blocked_cols(col_.data(), block, x, rows, stride, out);
+}
+
+void FlatForest::margins_blocked_cols(const std::int32_t* cols,
+                                      std::uint32_t block, const double* x,
+                                      std::size_t rows, std::size_t stride,
+                                      double* out) const {
   const std::size_t trees = roots_.size();
   for (std::size_t r = 0; r < rows; ++r) out[r] = base_;
   if (trees == 0) return;
@@ -153,7 +179,7 @@ void FlatForest::margins_blocked(std::uint32_t block, const double* x,
             // splits are the branch predictor's worst case (~50/50).
             const std::size_t i = static_cast<std::size_t>(idx[b]);
             const double xv =
-                x[(r0 + b) * stride + static_cast<std::size_t>(col_[i])];
+                x[(r0 + b) * stride + static_cast<std::size_t>(cols[i])];
             const std::int32_t lc = left_[i];
             const std::int32_t rc = right_[i];
             idx[b] = xv <= split_[i] ? lc : rc;
@@ -169,84 +195,171 @@ void FlatForest::margins_blocked(std::uint32_t block, const double* x,
   }
 }
 
+void FlatForest::margins_csr(const std::size_t* indptr,
+                             const std::int32_t* indices, const double* values,
+                             std::size_t rows, double* out) const {
+  const std::size_t trees = roots_.size();
+  if (trees == 0) {
+    for (std::size_t r = 0; r < rows; ++r) out[r] = base_;
+    return;
+  }
+
+  // Gather each row block into a compact scratch with one slot per
+  // forest-referenced column (used_cols_), then run the branch-free blocked
+  // kernel over it. The scratch is block × |used_cols_| doubles — L1/L2
+  // resident for realistic forests — where a full-width densify scratch on
+  // a TF-IDF-wide matrix is tens of MiB of scattered misses. The gather is
+  // a two-pointer merge of the row's sorted indices with used_cols_;
+  // columns the forest never reads are simply skipped. Unmatched slots hold
+  // 0.0 (all-zeros invariant, restored from a touched list), exactly what a
+  // densify scratch would hold, and margins_blocked_cols accumulates trees
+  // in the same per-row order — so outputs stay bit-exact with the dense
+  // path.
+  const std::size_t cd = used_cols_.size();
+  const std::int32_t* uc = used_cols_.data();
+  thread_local std::vector<double> scratch;  // all zeros between calls
+  thread_local std::vector<std::size_t> touched;
+  if (scratch.size() < kMaxTreeBlock * cd) {
+    scratch.assign(kMaxTreeBlock * cd, 0.0);
+  }
+
+  for (std::size_t r0 = 0; r0 < rows; r0 += kMaxTreeBlock) {
+    const std::size_t bsz = std::min<std::size_t>(kMaxTreeBlock, rows - r0);
+    touched.clear();
+    for (std::size_t b = 0; b < bsz; ++b) {
+      std::size_t k = indptr[r0 + b];
+      const std::size_t hi = indptr[r0 + b + 1];
+      std::size_t u = 0;
+      while (k < hi && u < cd) {
+        const std::int32_t c = indices[k];
+        if (uc[u] < c) {
+          ++u;
+        } else if (uc[u] == c) {
+          const std::size_t slot = b * cd + u;
+          scratch[slot] = values[k];
+          touched.push_back(slot);
+          ++u;
+          ++k;
+        } else {
+          ++k;
+        }
+      }
+    }
+    margins_blocked_cols(ccol_.data(), kMaxTreeBlock, scratch.data(), bsz, cd,
+                         out + r0);
+    for (const std::size_t slot : touched) scratch[slot] = 0.0;
+  }
+}
+
 void FlatForest::cascade_margins(std::uint32_t block, const double* x,
                                  std::size_t rows, std::size_t stride,
                                  double bound, double* out,
                                  std::uint8_t* hard) const {
   block = clamp_block(block);
   const std::size_t trees = roots_.size();
-  for (std::size_t r0 = 0; r0 < rows; r0 += block) {
-    const std::size_t bsz = std::min<std::size_t>(block, rows - r0);
-    double acc[kMaxTreeBlock];
-    std::int32_t idx[kMaxTreeBlock];
-    std::uint32_t act[kMaxTreeBlock];  // block-relative ids still accumulating
-    for (std::size_t b = 0; b < bsz; ++b) {
-      acc[b] = base_;
-      hard[r0 + b] = 0;
-      act[b] = static_cast<std::uint32_t>(b);
-    }
-    std::size_t nact = bsz;
 
-    // A row is provably HARD once |partial| + (bound on remaining trees)
-    // cannot exceed `bound`: its final margin stays inside [-bound, bound],
-    // so the full model will run regardless and the partial sum in out[] is
-    // never consumed. Check before any trees (catches threshold 1.0, where
-    // bound is +inf and every row short-circuits immediately)...
-    if (std::fabs(base_) + suffix_abs_bound_[0] <= bound) {
+  // A row is provably HARD once |partial| + (bound on remaining trees)
+  // cannot exceed `bound`: its final margin stays inside [-bound, bound],
+  // so the full model will run regardless and the partial sum in out[] is
+  // never consumed. Check before any trees (catches threshold 1.0, where
+  // bound is +inf and every row short-circuits immediately)...
+  if (std::fabs(base_) + suffix_abs_bound_[0] <= bound) {
+    for (std::size_t r = 0; r < rows; ++r) {
+      hard[r] = 1;
+      out[r] = base_;
+    }
+    return;
+  }
+  for (std::size_t r = 0; r < rows; ++r) {
+    out[r] = base_;
+    hard[r] = 0;
+  }
+  if (trees == 0) return;  // every row "survived": exact margin base_
+
+  // Same ~256 KiB tree-group tiling as margins_blocked, same reason: a
+  // production forest's node arrays are megabytes, and block-outer order
+  // re-streams all of them once per row block. Partial sums round-trip
+  // through out[] between groups and the retirement checkpoints fire at
+  // the same global tree indices, so retirement decisions — and the
+  // surviving rows' margins — are bit-identical to the untiled order.
+  constexpr std::size_t kGroupBytes = 256 * 1024;
+  const std::size_t node_bytes = sizeof(std::int32_t) * 3 + sizeof(double);
+  std::size_t g0 = 0;
+  while (g0 < trees) {
+    std::size_t g1 = g0;
+    std::size_t bytes = 0;
+    while (g1 < trees && (bytes == 0 || bytes < kGroupBytes)) {
+      const std::size_t begin = static_cast<std::size_t>(roots_[g1]);
+      const std::size_t end = g1 + 1 < trees
+                                  ? static_cast<std::size_t>(roots_[g1 + 1])
+                                  : feature_.size();
+      bytes += (end - begin) * node_bytes;
+      ++g1;
+    }
+
+    for (std::size_t r0 = 0; r0 < rows; r0 += block) {
+      const std::size_t bsz = std::min<std::size_t>(block, rows - r0);
+      double acc[kMaxTreeBlock];
+      std::int32_t idx[kMaxTreeBlock];
+      std::uint32_t act[kMaxTreeBlock];  // block-relative ids still active
+      std::size_t nact = 0;
       for (std::size_t b = 0; b < bsz; ++b) {
-        hard[r0 + b] = 1;
-        out[r0 + b] = base_;
+        if (hard[r0 + b]) continue;  // retired in an earlier group
+        acc[b] = out[r0 + b];
+        act[nact++] = static_cast<std::uint32_t>(b);
       }
-      continue;
-    }
+      if (nact == 0) continue;
 
-    for (std::size_t t = 0; t < trees && nact > 0; ++t) {
-      const std::int32_t root = roots_[t];
-      const std::int32_t levels = depths_[t];
-      for (std::size_t a = 0; a < nact; ++a) idx[a] = root;
-      for (std::int32_t lvl = 0; lvl < levels; ++lvl) {
-        for (std::size_t a = 0; a < nact; ++a) {
-          // Same maskless branch-free step as margins_blocked: leaf-safe
-          // col_ plus leaf self-loops keep finished rows parked via the
-          // single register-register cmov.
-          const std::size_t i = static_cast<std::size_t>(idx[a]);
-          const double xv =
-              x[(r0 + act[a]) * stride + static_cast<std::size_t>(col_[i])];
-          const std::int32_t lc = left_[i];
-          const std::int32_t rc = right_[i];
-          idx[a] = xv <= split_[i] ? lc : rc;
-        }
-      }
-      for (std::size_t a = 0; a < nact; ++a) {
-        acc[act[a]] += split_[static_cast<std::size_t>(idx[a])];
-      }
-
-      // ...then re-check (and compact the active list) every 8 trees; the
-      // test is cheap but retiring rows mid-forest is where the win is.
-      // Deliberately not checked after the last tree: completed rows keep
-      // hard = 0 so the caller's sigmoid-confidence comparison — the same
-      // one the non-kernel path applies — decides them, keeping knife-edge
-      // rows bit-identical to the reference cascade.
-      if ((t & 7u) == 7u && t + 1 < trees) {
-        const double rem = suffix_abs_bound_[t + 1];
-        std::size_t w = 0;
-        for (std::size_t a = 0; a < nact; ++a) {
-          const std::uint32_t b = act[a];
-          if (std::fabs(acc[b]) + rem <= bound) {
-            hard[r0 + b] = 1;
-            out[r0 + b] = acc[b];  // partial; caller must ignore
-          } else {
-            act[w++] = b;
+      for (std::size_t t = g0; t < g1 && nact > 0; ++t) {
+        const std::int32_t root = roots_[t];
+        const std::int32_t levels = depths_[t];
+        for (std::size_t a = 0; a < nact; ++a) idx[a] = root;
+        for (std::int32_t lvl = 0; lvl < levels; ++lvl) {
+          for (std::size_t a = 0; a < nact; ++a) {
+            // Same maskless branch-free step as margins_blocked: leaf-safe
+            // col_ plus leaf self-loops keep finished rows parked via the
+            // single register-register cmov.
+            const std::size_t i = static_cast<std::size_t>(idx[a]);
+            const double xv =
+                x[(r0 + act[a]) * stride + static_cast<std::size_t>(col_[i])];
+            const std::int32_t lc = left_[i];
+            const std::int32_t rc = right_[i];
+            idx[a] = xv <= split_[i] ? lc : rc;
           }
         }
-        nact = w;
+        for (std::size_t a = 0; a < nact; ++a) {
+          acc[act[a]] += split_[static_cast<std::size_t>(idx[a])];
+        }
+
+        // ...then re-check (and compact the active list) every 8 trees; the
+        // test is cheap but retiring rows mid-forest is where the win is.
+        // Deliberately not checked after the last tree: completed rows keep
+        // hard = 0 so the caller's sigmoid-confidence comparison — the same
+        // one the non-kernel path applies — decides them, keeping knife-edge
+        // rows bit-identical to the reference cascade.
+        if ((t & 7u) == 7u && t + 1 < trees) {
+          const double rem = suffix_abs_bound_[t + 1];
+          std::size_t w = 0;
+          for (std::size_t a = 0; a < nact; ++a) {
+            const std::uint32_t b = act[a];
+            if (std::fabs(acc[b]) + rem <= bound) {
+              hard[r0 + b] = 1;
+              out[r0 + b] = acc[b];  // partial; caller must ignore
+            } else {
+              act[w++] = b;
+            }
+          }
+          nact = w;
+        }
+      }
+
+      // Active rows carry their partial (or, after the last group, exact)
+      // margins forward through out[].
+      for (std::size_t a = 0; a < nact; ++a) {
+        out[r0 + act[a]] = acc[act[a]];
       }
     }
-
-    // Survivors ran every tree: exact margins, caller decides confidence.
-    for (std::size_t a = 0; a < nact; ++a) {
-      out[r0 + act[a]] = acc[act[a]];
-    }
+    g0 = g1;
   }
 }
 

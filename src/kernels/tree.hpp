@@ -44,6 +44,18 @@ class FlatForest {
   void margins(TreeVariant v, std::uint32_t block, const double* x,
                std::size_t rows, std::size_t stride, double* out) const;
 
+  /// margins() over CSR rows without densifying the column space: each row
+  /// block is gathered into a forest-column-compacted scratch (one slot per
+  /// column any tree references — a few hundred for a TF-IDF-wide input
+  /// whose trees pick the discriminative terms) and traversed with the same
+  /// branch-free blocked kernel. Absent columns read as 0.0 — exactly what
+  /// the densify scratch would have held — and per-row tree order is
+  /// unchanged, so outputs are bit-exact with the dense path. Wins when the
+  /// full-width scratch (block × cols doubles) is far beyond cache while
+  /// the compacted one stays in L1/L2.
+  void margins_csr(const std::size_t* indptr, const std::int32_t* indices,
+                   const double* values, std::size_t rows, double* out) const;
+
   /// Early-exit margins for cascade routing: a row whose final margin is
   /// provably inside [-bound, bound] (partial sum + remaining-tree bound)
   /// stops accumulating — it gets hard[r] = 1 and a PARTIAL margin in
@@ -59,6 +71,11 @@ class FlatForest {
                        double* out) const;
   void margins_blocked(std::uint32_t block, const double* x, std::size_t rows,
                        std::size_t stride, double* out) const;
+  /// margins_blocked body over an arbitrary per-node column array (col_ for
+  /// the dense path, ccol_ for the compact-gather CSR path).
+  void margins_blocked_cols(const std::int32_t* cols, std::uint32_t block,
+                            const double* x, std::size_t rows,
+                            std::size_t stride, double* out) const;
 
   double base_ = 0.0;
   std::vector<std::int32_t> feature_;  // < 0 => leaf
@@ -70,6 +87,8 @@ class FlatForest {
   std::vector<std::int32_t> depths_;       // per-tree max depth
   std::vector<double> max_abs_leaf_;       // per-tree max |leaf output|
   std::vector<double> suffix_abs_bound_;   // suffix sums of max_abs_leaf_
+  std::vector<std::int32_t> used_cols_;    // sorted unique split features
+  std::vector<std::int32_t> ccol_;         // col_ remapped into used_cols_
 };
 
 }  // namespace willump::kernels

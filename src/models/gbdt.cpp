@@ -331,6 +331,14 @@ void Gbdt::predict_into(const data::FeatureMatrix& xin,
   } else if (xin.is_dense()) {
     const auto& x = xin.dense();
     margins_block(x.data().data(), n, x.cols(), out.data());
+  } else if (static_cast<std::size_t>(xin.cols()) >= kcfg_.sparse_cutoff) {
+    // Wide-sparse inputs (TF-IDF tails): traverse the CSR rows directly.
+    // Each tree probes O(depth) columns by binary search over a row's
+    // entries, so skipping the densify/re-zero sweep over all columns wins
+    // once the matrix is wide; the autotuner pins the cutoff per model.
+    const auto& s = xin.sparse();
+    forest_.margins_csr(s.indptr().data(), s.indices().data(),
+                        s.values().data(), n, out.data());
   } else {
     // Densify kMaxTreeBlock rows at a time into reused thread-local scratch
     // (scatter entries, run the block kernel, scatter zeros back), instead

@@ -1,0 +1,45 @@
+#pragma once
+
+#include <span>
+
+#include "data/matrix.hpp"
+#include "data/value.hpp"
+#include "kernels/dispatch.hpp"
+
+namespace willump::ops {
+
+/// Tuned feature-op choices threaded through the blocked execution path
+/// (the executor owns the pipeline-level FeatureOpConfig).
+struct BlockExecContext {
+  kernels::FeatureOpConfig cfg;
+};
+
+/// Mixin for ops whose output is a dense block of known width: the executor
+/// preallocates the downstream model's whole input matrix and the op writes
+/// its columns straight into it — no per-op DenseMatrix, no hconcat copy.
+class DenseBlockWriter {
+ public:
+  virtual ~DenseBlockWriter() = default;
+
+  /// Write `rows` output rows into `dst`, a row-major window with `stride`
+  /// doubles per row; dst points at this op's first column of row 0. The
+  /// values written must be bit-identical to eval_batch's dense output.
+  virtual void write_block(std::span<const data::Value> inputs,
+                           const BlockExecContext& ctx, double* dst,
+                           std::size_t rows, std::size_t stride) const = 0;
+};
+
+/// Mixin for ops that produce sparse blocks: emit the whole batch as CSR in
+/// one pass using the tuned lookup strategy and per-worker scratch. The
+/// executor moves the result out (single-generator plans) or streams it
+/// through the fused k-way concat. Rows must be bit-identical to
+/// eval_batch's sparse output.
+class SparseBlockEmitter {
+ public:
+  virtual ~SparseBlockEmitter() = default;
+
+  virtual data::CsrMatrix emit_batch(std::span<const data::Value> inputs,
+                                     const BlockExecContext& ctx) const = 0;
+};
+
+}  // namespace willump::ops

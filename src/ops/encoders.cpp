@@ -50,6 +50,24 @@ data::Value OneHotHashOp::eval_batch(std::span<const data::Value> inputs) const 
   return data::Value(data::FeatureMatrix(std::move(out)));
 }
 
+data::CsrMatrix OneHotHashOp::emit_batch(std::span<const data::Value> inputs,
+                                         const BlockExecContext& ctx) const {
+  (void)ctx;  // hashing has no lookup-variant choice
+  if (inputs.size() != 1 || !inputs[0].is_column() ||
+      inputs[0].column().type() != data::ColumnType::Int) {
+    throw std::invalid_argument("one_hot_hash: expects one int column");
+  }
+  const auto& keys = inputs[0].column().ints();
+  data::CsrMatrix out(n_buckets_);
+  out.reserve(keys.size(), keys.size());  // exactly one entry per row
+  data::SparseEntry e[1];
+  for (std::int64_t k : keys) {
+    e[0] = {bucket_of(k), 1.0};
+    out.append_row(std::span<const data::SparseEntry>(e, 1));
+  }
+  return out;
+}
+
 data::Value NumericColumnsOp::eval_batch(std::span<const data::Value> inputs) const {
   if (inputs.empty()) {
     throw std::invalid_argument("numeric_columns: expects at least one column");
@@ -71,6 +89,43 @@ data::Value NumericColumnsOp::eval_batch(std::span<const data::Value> inputs) co
     for (std::size_t r = 0; r < n; ++r) out(r, c) = cols[c][r];
   }
   return data::Value(data::FeatureMatrix(std::move(out)));
+}
+
+void NumericColumnsOp::write_block(std::span<const data::Value> inputs,
+                                   const BlockExecContext& ctx, double* dst,
+                                   std::size_t rows, std::size_t stride) const {
+  (void)ctx;
+  if (inputs.empty()) {
+    throw std::invalid_argument("numeric_columns: expects at least one column");
+  }
+  // Column-at-a-time straight into the shared block: no DoubleColumn
+  // temporaries, no per-op DenseMatrix. Same int->double casts as
+  // eval_batch, so the written values are bit-identical.
+  for (std::size_t c = 0; c < inputs.size(); ++c) {
+    if (!inputs[c].is_column()) {
+      throw std::invalid_argument("numeric_columns: expects raw columns");
+    }
+    const auto& col = inputs[c].column();
+    if (col.size() != rows) {
+      throw std::invalid_argument("numeric_columns: column length mismatch");
+    }
+    switch (col.type()) {
+      case data::ColumnType::Double: {
+        const auto& v = col.doubles();
+        for (std::size_t r = 0; r < rows; ++r) dst[r * stride + c] = v[r];
+        break;
+      }
+      case data::ColumnType::Int: {
+        const auto& v = col.ints();
+        for (std::size_t r = 0; r < rows; ++r) {
+          dst[r * stride + c] = static_cast<double>(v[r]);
+        }
+        break;
+      }
+      default:
+        throw std::invalid_argument("numeric_columns: expects numeric column");
+    }
+  }
 }
 
 data::Value BucketizeOp::eval_batch(std::span<const data::Value> inputs) const {

@@ -3,6 +3,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "ops/block_kernels.hpp"
 #include "ops/operator.hpp"
 
 namespace willump::ops {
@@ -10,7 +11,7 @@ namespace willump::ops {
 /// Hashed one-hot encoding of an integer key column into `n_buckets` sparse
 /// indicator features (the "feature encoding" operator family of the Price
 /// benchmark, Table 1).
-class OneHotHashOp final : public Operator {
+class OneHotHashOp final : public Operator, public SparseBlockEmitter {
  public:
   OneHotHashOp(std::int32_t n_buckets, std::uint64_t salt = 0,
                std::string label = "one_hot_hash")
@@ -18,6 +19,8 @@ class OneHotHashOp final : public Operator {
 
   std::string name() const override { return label_; }
   data::Value eval_batch(std::span<const data::Value> inputs) const override;
+  data::CsrMatrix emit_batch(std::span<const data::Value> inputs,
+                             const BlockExecContext& ctx) const override;
   std::string_view serial_tag() const override { return "one_hot_hash"; }
   void save(serialize::Writer& w) const override;
 
@@ -31,13 +34,16 @@ class OneHotHashOp final : public Operator {
 
 /// Pass-through assembly of one or more numeric (int/double) columns into a
 /// dense feature block, one column per feature.
-class NumericColumnsOp final : public Operator {
+class NumericColumnsOp final : public Operator, public DenseBlockWriter {
  public:
   explicit NumericColumnsOp(std::string label = "numeric_columns")
       : label_(std::move(label)) {}
 
   std::string name() const override { return label_; }
   data::Value eval_batch(std::span<const data::Value> inputs) const override;
+  void write_block(std::span<const data::Value> inputs,
+                   const BlockExecContext& ctx, double* dst, std::size_t rows,
+                   std::size_t stride) const override;
   std::string_view serial_tag() const override { return "numeric_columns"; }
   void save(serialize::Writer& w) const override;
 

@@ -26,6 +26,31 @@ data::Value TableLookupOp::eval_batch(std::span<const data::Value> inputs) const
   return data::Value(data::FeatureMatrix(std::move(out)));
 }
 
+void TableLookupOp::write_block(std::span<const data::Value> inputs,
+                                const BlockExecContext& ctx, double* dst,
+                                std::size_t rows, std::size_t stride) const {
+  (void)ctx;
+  if (inputs.size() != 1 || !inputs[0].is_column() ||
+      inputs[0].column().type() != data::ColumnType::Int) {
+    throw std::invalid_argument(name() + ": expects one int key column");
+  }
+  const auto& keys = inputs[0].column().ints();
+  if (keys.size() != rows) {
+    throw std::invalid_argument(name() + ": key count mismatch");
+  }
+
+  // Still one pipelined round trip, but rows land straight in the shared
+  // feature block — the per-op DenseMatrix (and its later hconcat copy)
+  // disappears.
+  thread_local std::vector<const data::DenseVector*> row_ptrs;
+  row_ptrs.clear();
+  client_->get_batch(keys, row_ptrs);
+  for (std::size_t r = 0; r < row_ptrs.size(); ++r) {
+    auto src = row_ptrs[r]->values();
+    std::copy(src.begin(), src.end(), dst + r * stride);
+  }
+}
+
 void TableLookupOp::save(serialize::Writer& w) const {
   w.str(client_->table().name());
   w.f64(client_->network().rtt_micros);

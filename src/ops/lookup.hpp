@@ -2,6 +2,7 @@
 
 #include <memory>
 
+#include "ops/block_kernels.hpp"
 #include "ops/operator.hpp"
 #include "store/kv_store.hpp"
 
@@ -16,7 +17,7 @@ namespace willump::ops {
 /// compilable: it is external I/O ("Willump does not compile RPC
 /// processing"), so it never joins a fused block and its cost dominates when
 /// the table is remote.
-class TableLookupOp final : public Operator {
+class TableLookupOp final : public Operator, public DenseBlockWriter {
  public:
   explicit TableLookupOp(std::shared_ptr<store::TableClient> client)
       : client_(std::move(client)) {}
@@ -25,6 +26,9 @@ class TableLookupOp final : public Operator {
     return "lookup_" + client_->table().name();
   }
   data::Value eval_batch(std::span<const data::Value> inputs) const override;
+  void write_block(std::span<const data::Value> inputs,
+                   const BlockExecContext& ctx, double* dst, std::size_t rows,
+                   std::size_t stride) const override;
   bool compilable() const override { return false; }
   std::string_view serial_tag() const override { return "table_lookup"; }
   /// Writes the table name and network model; the table's contents travel

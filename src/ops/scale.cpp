@@ -3,6 +3,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "kernels/featureops.hpp"
 #include "serialize/buffer.hpp"
 
 namespace willump::ops {
@@ -48,31 +49,35 @@ data::FeatureMatrix ScaleOp::apply_columns(
   if (m.cols() != global_cols.size()) {
     throw std::invalid_argument("scale: column mapping size mismatch");
   }
+  // Gather the slice's parameters into contiguous per-local-column arrays
+  // once, then hand the whole block to the SIMD elementwise kernel. The
+  // kernel computes the same (x - offset) * scale expression per element,
+  // so vectorized output is bit-identical to the scalar reference.
+  thread_local std::vector<double> offs, scals;
+  offs.resize(global_cols.size());
+  scals.resize(global_cols.size());
+  for (std::size_t c = 0; c < global_cols.size(); ++c) {
+    offs[c] = offset_[global_cols[c]];
+    scals[c] = scale_[global_cols[c]];
+  }
+
   if (m.is_dense()) {
     data::DenseMatrix out = m.dense();
-    for (std::size_t r = 0; r < out.rows(); ++r) {
-      auto row = out.mutable_row(r);
-      for (std::size_t c = 0; c < row.size(); ++c) {
-        const std::size_t g = global_cols[c];
-        row[c] = (row[c] - offset_[g]) * scale_[g];
-      }
-    }
+    const std::size_t cols = out.cols();
+    double* p = out.mutable_data().data();
+    kernels::affine_scale_block(kernels::best_supported_dot(), p, p,
+                                out.rows(), cols, cols, offs.data(),
+                                scals.data());
     return data::FeatureMatrix(std::move(out));
   }
   // Sparse: scaling only (offsets would densify; sparse pipelines fit
   // offset = 0, which standardize() does not produce for sparse inputs).
-  const auto& in = m.sparse();
-  data::CsrMatrix out(in.cols());
-  std::vector<data::SparseEntry> entries;
-  for (std::size_t r = 0; r < in.rows(); ++r) {
-    auto rv = in.row(r);
-    entries.clear();
-    for (std::size_t k = 0; k < rv.nnz(); ++k) {
-      const std::size_t g = global_cols[static_cast<std::size_t>(rv.indices[k])];
-      entries.push_back({rv.indices[k], rv.values[k] * scale_[g]});
-    }
-    out.append_row(entries);
-  }
+  // One pass over the value strip; the sparsity pattern is untouched.
+  data::CsrMatrix out = m.sparse();
+  kernels::scale_csr_values(kernels::best_supported_dot(),
+                            out.indices().data(), out.values().data(),
+                            out.mutable_values().data(), out.nnz(),
+                            scals.data());
   return data::FeatureMatrix(std::move(out));
 }
 

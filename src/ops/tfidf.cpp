@@ -1,6 +1,7 @@
 #include "ops/tfidf.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 #include <stdexcept>
 
@@ -53,44 +54,136 @@ TfIdfModel TfIdfModel::fit(const data::StringColumn& corpus, TfIdfConfig cfg) {
     m.idf_.push_back(idf);
   }
   m.dim_ = static_cast<std::int32_t>(m.idf_.size());
+  m.finalize_index();
   return m;
 }
 
-std::int32_t TfIdfModel::term_index(const std::string& term) const {
+void TfIdfModel::finalize_index() {
+  // unordered_map is node-based: key strings stay put across rehash, so
+  // index-ordered views into them are stable for the model's lifetime.
+  terms_.assign(static_cast<std::size_t>(dim_), {});
+  for (const auto& [term, idx] : vocab_) {
+    terms_[static_cast<std::size_t>(idx)] = term;
+  }
+  sorted_perm_.resize(static_cast<std::size_t>(dim_));
+  for (std::int32_t i = 0; i < dim_; ++i) {
+    sorted_perm_[static_cast<std::size_t>(i)] = i;
+  }
+  std::sort(sorted_perm_.begin(), sorted_perm_.end(),
+            [&](std::int32_t a, std::int32_t b) {
+              return terms_[static_cast<std::size_t>(a)] <
+                     terms_[static_cast<std::size_t>(b)];
+            });
+
+  // Flat probe table at <= 50% load; minimum size keeps the probe loop
+  // in-bounds even for an empty vocabulary (every slot reads as empty).
+  const std::size_t slots = std::max<std::size_t>(
+      16, std::bit_ceil(static_cast<std::size_t>(dim_) * 2));
+  flat_mask_ = slots - 1;
+  flat_.assign(slots, {});
+  for (std::int32_t i = 0; i < dim_; ++i) {
+    const std::uint64_t h =
+        std::hash<std::string_view>{}(terms_[static_cast<std::size_t>(i)]);
+    std::size_t s = h & flat_mask_;
+    while (flat_[s].idx != -1) s = (s + 1) & flat_mask_;
+    flat_[s] = {h, i};
+  }
+}
+
+std::int32_t TfIdfModel::term_index(std::string_view term) const {
   auto it = vocab_.find(term);
   return it == vocab_.end() ? -1 : it->second;
 }
 
-data::SparseVector TfIdfModel::transform_one(std::string_view doc) const {
-  // Accumulate term counts into a small flat map (vocab hits only).
-  std::unordered_map<std::int32_t, double> counts;
-  for_each_ngram(doc, cfg_.analyzer, cfg_.ngrams, [&](std::string_view g) {
-    // Transparent lookup via temporary string; acceptable since fitting
-    // dominates and serving strings are short.
-    auto it = vocab_.find(std::string(g));
-    if (it != vocab_.end()) counts[it->second] += 1.0;
-  });
-
-  std::vector<data::SparseEntry> entries;
-  entries.reserve(counts.size());
-  for (const auto& [idx, c] : counts) {
-    double tf = cfg_.sublinear_tf ? 1.0 + std::log(c) : c;
-    entries.push_back({idx, tf * idf_[static_cast<std::size_t>(idx)]});
+void TfIdfModel::count_terms(std::string_view doc,
+                             kernels::LookupVariant lookup,
+                             TfIdfScratch& scratch) const {
+  scratch.counts.resize(static_cast<std::size_t>(dim_), 0.0);
+  scratch.touched.clear();
+  auto hit = [&](std::int32_t idx) {
+    double& c = scratch.counts[static_cast<std::size_t>(idx)];
+    if (c == 0.0) scratch.touched.push_back(idx);
+    c += 1.0;
+  };
+  if (lookup == kernels::LookupVariant::SortedVocab) {
+    for_each_ngram_t(doc, cfg_.analyzer, cfg_.ngrams, scratch.tok,
+                     [&](std::string_view g) {
+                       auto it = std::lower_bound(
+                           sorted_perm_.begin(), sorted_perm_.end(), g,
+                           [&](std::int32_t i, std::string_view key) {
+                             return terms_[static_cast<std::size_t>(i)] < key;
+                           });
+                       if (it != sorted_perm_.end() &&
+                           terms_[static_cast<std::size_t>(*it)] == g) {
+                         hit(*it);
+                       }
+                     });
+  } else {
+    for_each_ngram_t(doc, cfg_.analyzer, cfg_.ngrams, scratch.tok,
+                     [&](std::string_view g) {
+                       const std::uint64_t h = std::hash<std::string_view>{}(g);
+                       std::size_t s = h & flat_mask_;
+                       for (std::int32_t idx; (idx = flat_[s].idx) != -1;
+                            s = (s + 1) & flat_mask_) {
+                         if (flat_[s].hash == h &&
+                             terms_[static_cast<std::size_t>(idx)] == g) {
+                           hit(idx);
+                           break;
+                         }
+                       }
+                     });
   }
-  std::sort(entries.begin(), entries.end(),
-            [](const auto& a, const auto& b) { return a.index < b.index; });
+}
 
-  data::SparseVector v(dim_, std::move(entries));
+void TfIdfModel::build_row(TfIdfScratch& scratch) const {
+  // Index-sorted entries; zeroing each touched slot restores the counts
+  // all-zeros invariant for the next document.
+  std::sort(scratch.touched.begin(), scratch.touched.end());
+  scratch.row.clear();
+  for (const std::int32_t idx : scratch.touched) {
+    double& c = scratch.counts[static_cast<std::size_t>(idx)];
+    const double tf = cfg_.sublinear_tf ? 1.0 + std::log(c) : c;
+    scratch.row.push_back({idx, tf * idf_[static_cast<std::size_t>(idx)]});
+    c = 0.0;
+  }
   if (cfg_.l2_normalize) {
-    const double norm = v.l2_norm();
-    if (norm > 0.0) v.scale(1.0 / norm);
+    // Same arithmetic as SparseVector::l2_norm + scale(1/norm): sum of
+    // v*v in index order, sqrt, multiply — bit-exact with transform_one.
+    double sq = 0.0;
+    for (const auto& e : scratch.row) sq += e.value * e.value;
+    const double norm = std::sqrt(sq);
+    if (norm > 0.0) {
+      const double inv = 1.0 / norm;
+      for (auto& e : scratch.row) e.value *= inv;
+    }
   }
-  return v;
+}
+
+data::SparseVector TfIdfModel::transform_one(std::string_view doc) const {
+  thread_local TfIdfScratch scratch;
+  count_terms(doc, kernels::LookupVariant::HashMap, scratch);
+  build_row(scratch);
+  std::vector<data::SparseEntry> entries(scratch.row.begin(),
+                                         scratch.row.end());
+  return data::SparseVector(dim_, std::move(entries));
+}
+
+void TfIdfModel::transform_into(std::span<const std::string> docs,
+                                kernels::LookupVariant lookup,
+                                TfIdfScratch& scratch,
+                                data::CsrMatrix& out) const {
+  for (const auto& doc : docs) {
+    count_terms(doc, lookup, scratch);
+    build_row(scratch);
+    out.append_row(scratch.row);
+  }
 }
 
 data::CsrMatrix TfIdfModel::transform(const data::StringColumn& docs) const {
+  thread_local TfIdfScratch scratch;
   data::CsrMatrix out(dim_);
-  for (const auto& doc : docs) out.append_row(transform_one(doc));
+  transform_into(std::span<const std::string>(docs.data(), docs.size()),
+                 kernels::LookupVariant::HashMap, scratch, out);
   return out;
 }
 
@@ -105,12 +198,8 @@ void TfIdfModel::save(serialize::Writer& w) const {
   w.u8(cfg_.l2_normalize ? 1 : 0);
   // Vocabulary in index order: deterministic bytes regardless of the
   // unordered_map's layout, and load can rebuild indices positionally.
-  std::vector<std::string_view> terms(static_cast<std::size_t>(dim_));
-  for (const auto& [term, idx] : vocab_) {
-    terms[static_cast<std::size_t>(idx)] = term;
-  }
-  w.u64(terms.size());
-  for (auto t : terms) w.str(t);
+  w.u64(terms_.size());
+  for (auto t : terms_) w.str(t);
   w.doubles(idf_);
 }
 
@@ -149,6 +238,7 @@ TfIdfModel TfIdfModel::load(serialize::Reader& r) {
                                     "tfidf idf/vocabulary size mismatch");
   }
   m.dim_ = static_cast<std::int32_t>(n_terms);
+  m.finalize_index();
   return m;
 }
 
@@ -164,6 +254,21 @@ data::Value TfIdfOp::eval_batch(std::span<const data::Value> inputs) const {
   }
   return data::Value(
       data::FeatureMatrix(model_->transform(inputs[0].column().strings())));
+}
+
+data::CsrMatrix TfIdfOp::emit_batch(std::span<const data::Value> inputs,
+                                    const BlockExecContext& ctx) const {
+  if (inputs.size() != 1 || !inputs[0].is_column() ||
+      inputs[0].column().type() != data::ColumnType::String) {
+    throw std::invalid_argument("tfidf: expects one string column");
+  }
+  const auto& docs = inputs[0].column().strings();
+  thread_local TfIdfScratch scratch;
+  data::CsrMatrix out(model_->vocabulary_size());
+  out.reserve(docs.size(), docs.size() * 16);  // ~16 hits/doc starting guess
+  model_->transform_into(std::span<const std::string>(docs.data(), docs.size()),
+                         ctx.cfg.lookup, scratch, out);
+  return out;
 }
 
 }  // namespace willump::ops

@@ -1,40 +1,11 @@
 #include "ops/tokenizer.hpp"
 
-#include "common/string_util.hpp"
-
 namespace willump::ops {
 
 void for_each_ngram(std::string_view s, Analyzer analyzer, NgramRange range,
                     const std::function<void(std::string_view)>& sink) {
-  if (analyzer == Analyzer::Char) {
-    for (int n = range.min_n; n <= range.max_n; ++n) {
-      if (n <= 0 || static_cast<std::size_t>(n) > s.size()) continue;
-      for (std::size_t i = 0; i + static_cast<std::size_t>(n) <= s.size(); ++i) {
-        sink(s.substr(i, static_cast<std::size_t>(n)));
-      }
-    }
-    return;
-  }
-
-  const auto tokens = common::split_ws(s);
-  // Unigrams need no buffer; higher-order n-grams are joined with spaces
-  // into a reusable buffer to avoid per-gram allocations in the hot path.
-  std::string buf;
-  for (int n = range.min_n; n <= range.max_n; ++n) {
-    if (n <= 0 || static_cast<std::size_t>(n) > tokens.size()) continue;
-    if (n == 1) {
-      for (auto t : tokens) sink(t);
-      continue;
-    }
-    for (std::size_t i = 0; i + static_cast<std::size_t>(n) <= tokens.size(); ++i) {
-      buf.clear();
-      for (int j = 0; j < n; ++j) {
-        if (j > 0) buf.push_back(' ');
-        buf.append(tokens[i + static_cast<std::size_t>(j)]);
-      }
-      sink(buf);
-    }
-  }
+  thread_local TokenizerScratch scratch;
+  for_each_ngram_t(s, analyzer, range, scratch, sink);
 }
 
 std::vector<std::string> ngrams_of(std::string_view s, Analyzer analyzer,

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <cctype>
 #include <functional>
 #include <string>
 #include <string_view>
@@ -17,11 +18,67 @@ struct NgramRange {
   int max_n = 1;
 };
 
-/// Emit every n-gram of `s` under (analyzer, range) to `sink`.
+/// Reusable tokenization buffers: one per worker (or thread_local) so the
+/// hot transform path does zero per-document allocations after warmup.
+struct TokenizerScratch {
+  std::vector<std::string_view> tokens;  // whitespace split (word analyzer)
+  std::string buf;                       // joined higher-order n-grams
+};
+
+/// Emit every n-gram of `s` under (analyzer, range) to `sink`, reusing
+/// `scratch` across calls. Templated on the sink so the per-gram callback
+/// inlines (no std::function dispatch in the hot loop).
 ///
 /// Word analyzer: whitespace tokens joined by a single space.
 /// Char analyzer: sliding character windows (including spaces, as in
 /// scikit-learn's `analyzer='char'`).
+template <typename Sink>
+void for_each_ngram_t(std::string_view s, Analyzer analyzer, NgramRange range,
+                      TokenizerScratch& scratch, Sink&& sink) {
+  if (analyzer == Analyzer::Char) {
+    for (int n = range.min_n; n <= range.max_n; ++n) {
+      if (n <= 0 || static_cast<std::size_t>(n) > s.size()) continue;
+      for (std::size_t i = 0; i + static_cast<std::size_t>(n) <= s.size();
+           ++i) {
+        sink(s.substr(i, static_cast<std::size_t>(n)));
+      }
+    }
+    return;
+  }
+
+  // Whitespace split into the reusable token vector (split_ws allocates a
+  // fresh vector per call — this is the per-doc temporary the hot path
+  // must not pay).
+  auto& tokens = scratch.tokens;
+  tokens.clear();
+  std::size_t i = 0;
+  while (i < s.size()) {
+    while (i < s.size() && std::isspace(static_cast<unsigned char>(s[i]))) ++i;
+    const std::size_t start = i;
+    while (i < s.size() && !std::isspace(static_cast<unsigned char>(s[i]))) ++i;
+    if (i > start) tokens.push_back(s.substr(start, i - start));
+  }
+
+  auto& buf = scratch.buf;
+  for (int n = range.min_n; n <= range.max_n; ++n) {
+    if (n <= 0 || static_cast<std::size_t>(n) > tokens.size()) continue;
+    if (n == 1) {
+      for (auto t : tokens) sink(t);
+      continue;
+    }
+    for (std::size_t k = 0; k + static_cast<std::size_t>(n) <= tokens.size();
+         ++k) {
+      buf.clear();
+      for (int j = 0; j < n; ++j) {
+        if (j > 0) buf.push_back(' ');
+        buf.append(tokens[k + static_cast<std::size_t>(j)]);
+      }
+      sink(buf);
+    }
+  }
+}
+
+/// Type-erased convenience wrapper (fitting and cold paths).
 void for_each_ngram(std::string_view s, Analyzer analyzer, NgramRange range,
                     const std::function<void(std::string_view)>& sink);
 

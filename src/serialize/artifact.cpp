@@ -401,6 +401,14 @@ core::OptimizedPipeline pipeline_from_bytes(
 
   Reader kern_r = section_reader(sections, kSecKernels, "kernel section");
   kernels::AutotuneReport autotune = kernels::load_autotune_report(kern_r);
+  // Op-level winners live on the executor, not the models: install them
+  // while it is still mutable so a loaded pipeline cold-starts tuned.
+  if (autotune.tuned_ops) {
+    if (auto* compiled =
+            dynamic_cast<core::CompiledExecutor*>(executor.get())) {
+      compiled->set_featureop_config(autotune.ops);
+    }
+  }
 
   core::OptimizedPipeline::Parts parts;
   parts.executor = std::move(executor);

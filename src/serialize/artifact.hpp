@@ -14,7 +14,10 @@ namespace willump::serialize {
 /// rejects versions it does not read (no silent cross-version parsing).
 /// v2: model payloads carry a kernel config; pipelines carry a 'KERN'
 /// autotune-report section.
-inline constexpr std::uint32_t kFormatVersion = 2;
+/// v3: kernel configs gain a sparse-traversal cutoff; the 'KERN' report
+/// gains the op-level feature-pipeline winners (lookup strategy, zero-copy
+/// assembly, row-chunk size), installed on the compiled executor at load.
+inline constexpr std::uint32_t kFormatVersion = 3;
 
 /// File layout (all integers little-endian):
 ///

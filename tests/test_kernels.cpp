@@ -360,7 +360,7 @@ TEST(MlpKernels, VariantsAgreeOnDenseAndSparse) {
 // ---------------------------------------------------------------------------
 
 TEST(KernelConfigSerialize, RoundTripsExactly) {
-  const KernelConfig cfg{DotVariant::Avx512, TreeVariant::Blocked, 48};
+  const KernelConfig cfg{DotVariant::Avx512, TreeVariant::Blocked, 48, 4096};
   serialize::Writer w;
   kernels::save_kernel_config(w, cfg);
   serialize::Reader r(w.bytes());
@@ -374,6 +374,7 @@ TEST(KernelConfigSerialize, RejectsOutOfRangeValues) {
     w.u8(dot);
     w.u8(tree);
     w.u32(block);
+    w.u32(kernels::kDefaultSparseCutoff);  // valid cutoff: any u32 is legal
     serialize::Reader r(w.bytes());
     try {
       kernels::load_kernel_config(r);
@@ -394,6 +395,8 @@ TEST(AutotuneReportSerialize, RoundTripsExactly) {
   rep.full = {DotVariant::Avx2, TreeVariant::Blocked, 16};
   rep.has_small = true;
   rep.small = {DotVariant::Unrolled, TreeVariant::RowWise, 1};
+  rep.tuned_ops = true;
+  rep.ops = {kernels::LookupVariant::SortedVocab, 512, false};
   rep.timings = {{"full/dot:avx2", 1.5e-4}, {"small/tree:rowwise", 2.5e-5}};
 
   serialize::Writer w;
@@ -404,6 +407,8 @@ TEST(AutotuneReportSerialize, RoundTripsExactly) {
   EXPECT_EQ(got.full, rep.full);
   EXPECT_EQ(got.has_small, rep.has_small);
   EXPECT_EQ(got.small, rep.small);
+  EXPECT_EQ(got.tuned_ops, rep.tuned_ops);
+  EXPECT_EQ(got.ops, rep.ops);
   ASSERT_EQ(got.timings.size(), rep.timings.size());
   for (std::size_t i = 0; i < rep.timings.size(); ++i) {
     EXPECT_EQ(got.timings[i].name, rep.timings[i].name);
