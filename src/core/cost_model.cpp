@@ -6,6 +6,7 @@
 
 #include "common/timer.hpp"
 #include "core/cascades.hpp"
+#include "ops/encoders.hpp"
 #include "ops/tfidf.hpp"
 
 namespace willump::core {
@@ -56,6 +57,14 @@ bool graph_has_tfidf(const Graph& g) {
   for (std::size_t i = 0; i < g.size(); ++i) {
     const auto* op = g.node(static_cast<int>(i)).op.get();
     if (dynamic_cast<const ops::TfIdfOp*>(op) != nullptr) return true;
+  }
+  return false;
+}
+
+bool graph_has_onehot(const Graph& g) {
+  for (std::size_t i = 0; i < g.size(); ++i) {
+    const auto* op = g.node(static_cast<int>(i)).op.get();
+    if (dynamic_cast<const ops::OneHotHashOp*>(op) != nullptr) return true;
   }
   return false;
 }
@@ -172,6 +181,31 @@ kernels::FeatureOpConfig tune_feature_ops(
       if (timings != nullptr) {
         timings->push_back(
             {std::string("ops/lookup:") + kernels::variant_name(v), s});
+      }
+      if (s < best_s) {
+        best_s = s;
+        pick = c;
+      }
+    }
+    best = pick;
+  }
+
+  // Stage 1b: one-hot hashing shape. Scalar hashes and appends per row;
+  // Batched stages the whole block's buckets first (arena/thread-local) and
+  // appends in a second tight loop. Identical rows either way, so only
+  // graphs that actually hash pay for the measurement.
+  if (graph_has_onehot(executor.graph())) {
+    double best_s = std::numeric_limits<double>::infinity();
+    kernels::FeatureOpConfig pick = best;
+    for (const auto v :
+         {kernels::OneHotVariant::Scalar, kernels::OneHotVariant::Batched}) {
+      kernels::FeatureOpConfig c = best;
+      c.onehot = v;
+      executor.set_featureop_config(c);
+      const double s = time_compute_matrix(executor, sample, cfg.reps);
+      if (timings != nullptr) {
+        timings->push_back(
+            {std::string("ops/onehot:") + kernels::variant_name(v), s});
       }
       if (s < best_s) {
         best_s = s;

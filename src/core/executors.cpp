@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cstdlib>
 #include <numeric>
 #include <stdexcept>
 
@@ -10,6 +11,41 @@
 #include "runtime/boxed.hpp"
 
 namespace willump::core {
+
+namespace {
+
+/// -1 = unset (read WILLUMP_ARENA on first use), else 0/1.
+std::atomic<int> g_request_scratch_enabled{-1};
+
+bool request_scratch_on() {
+  int v = g_request_scratch_enabled.load(std::memory_order_relaxed);
+  if (v < 0) {
+    const char* e = std::getenv("WILLUMP_ARENA");
+    v = (e != nullptr && e[0] == '0' && e[1] == '\0') ? 0 : 1;
+    g_request_scratch_enabled.store(v, std::memory_order_relaxed);
+  }
+  return v != 0;
+}
+
+std::size_t request_arena_chunk_bytes() {
+  if (const char* e = std::getenv("WILLUMP_ARENA_CHUNK_KB")) {
+    const long kb = std::strtol(e, nullptr, 10);
+    if (kb > 0) return static_cast<std::size_t>(kb) * 1024;
+  }
+  return 256u * 1024;
+}
+
+}  // namespace
+
+ExecScratch* request_scratch() {
+  if (!request_scratch_on()) return nullptr;
+  thread_local ExecScratch scratch(request_arena_chunk_bytes());
+  return &scratch;
+}
+
+void set_request_scratch_enabled(bool enabled) {
+  g_request_scratch_enabled.store(enabled ? 1 : 0, std::memory_order_relaxed);
+}
 
 namespace {
 
@@ -170,6 +206,15 @@ data::FeatureMatrix Executor::apply_post_chain(data::FeatureMatrix m,
 data::FeatureMatrix Executor::compute_matrix(const data::Batch& batch,
                                              const ExecOptions& opts) const {
   return assemble(compute_blocks(batch, opts), opts.fg_mask);
+}
+
+const data::FeatureMatrix& Executor::compute_matrix_into(
+    const data::Batch& batch, ExecScratch& scratch,
+    const ExecOptions& opts) const {
+  ExecOptions o = opts;
+  o.scratch = &scratch;
+  scratch.result = compute_matrix(batch, o);
+  return scratch.result;
 }
 
 void Executor::probe_layout(const data::Batch& probe) {
@@ -451,38 +496,55 @@ CompiledExecutor::CompiledExecutor(Graph graph, IfvAnalysis analysis)
     : Executor(std::move(graph), std::move(analysis)),
       plan_(compile_plan(graph_, analysis_)) {}
 
-void CompiledExecutor::gather_inputs(const Node& node, const data::Batch& batch,
-                                     std::vector<data::Value>& store,
-                                     std::vector<data::Value>& inputs) const {
+std::span<const data::Value> CompiledExecutor::gather_inputs(
+    const Node& node, const data::Batch& batch, Frame& frame,
+    std::vector<data::Value>& tmp) const {
+  auto& store = frame.store;
   for (int in : node.inputs) {
     const Node& src = graph_.node(in);
-    if (src.kind == NodeKind::Source &&
-        store[static_cast<std::size_t>(in)].empty()) {
-      store[static_cast<std::size_t>(in)] = data::Value(batch.get(src.name));
+    if (src.kind != NodeKind::Source) continue;
+    const auto i = static_cast<std::size_t>(in);
+    if (frame.source_bound != nullptr) {
+      // Persistent store: the slot may hold last batch's column, so an
+      // explicit per-entry bit is the bind indicator; assign_column reuses
+      // the stale column's heap capacity.
+      if (!(*frame.source_bound)[i]) {
+        store[i].assign_column(batch.get(src.name));
+        (*frame.source_bound)[i] = 1;
+      }
+    } else if (store[i].empty()) {
+      store[i] = data::Value(batch.get(src.name));
     }
   }
-  inputs.clear();
-  inputs.reserve(node.inputs.size());
-  for (int in : node.inputs) {
-    inputs.push_back(store[static_cast<std::size_t>(in)]);
+  if (node.inputs.size() == 1) {
+    // Single-operand nodes (the common case) read the store slot in place —
+    // no per-step deep Value copy.
+    return {&store[static_cast<std::size_t>(node.inputs[0])], 1};
   }
+  tmp.clear();
+  tmp.reserve(node.inputs.size());
+  for (int in : node.inputs) {
+    tmp.push_back(store[static_cast<std::size_t>(in)]);
+  }
+  return {tmp.data(), tmp.size()};
 }
 
 void CompiledExecutor::run_steps(std::span<const PlanStep> steps,
-                                 const data::Batch& batch,
-                                 std::vector<data::Value>& store,
+                                 const data::Batch& batch, Frame& frame,
                                  const ExecOptions& opts) const {
+  std::vector<data::Value> local_tmp;
+  std::vector<data::Value>& tmp =
+      frame.gather_tmp != nullptr ? *frame.gather_tmp : local_tmp;
   for (const auto& step : steps) {
     common::Timer driver_timer;
     // Driver stage: bind source inputs and gather operand values — the O(1)
     // marshaling the paper's C++ drivers perform.
     const Node& first = graph_.node(step.nodes.front());
-    std::vector<data::Value> inputs;
-    gather_inputs(first, batch, store, inputs);
+    const auto inputs = gather_inputs(first, batch, frame, tmp);
     const double driver_s = driver_timer.elapsed_seconds();
 
     common::Timer kernel_timer;
-    data::Value out;
+    data::Value& slot = frame.store[static_cast<std::size_t>(step.nodes.back())];
     if (step.fused()) {
       // Fused string chain: one pass over the column, no intermediate
       // materialization (loop fusion).
@@ -496,21 +558,28 @@ void CompiledExecutor::run_steps(std::span<const PlanStep> steps,
         }
         out_col.push_back(std::move(cur));
       }
-      out = data::Value(data::Column(std::move(out_col)));
+      slot = data::Value(data::Column(std::move(out_col)));
     } else if (const auto* emitter =
                    dynamic_cast<const ops::SparseBlockEmitter*>(first.op.get());
                emitter != nullptr) {
       // Sparse block producers run their batched kernel with the tuned
       // lookup strategy even outside the zero-copy plan (cached, pooled and
       // masked paths included); rows are bit-identical to eval_batch.
-      const ops::BlockExecContext ctx{opcfg_};
-      out = data::Value(data::FeatureMatrix(emitter->emit_batch(inputs, ctx)));
+      const ops::BlockExecContext ctx{opcfg_, frame.arena};
+      if (frame.source_bound != nullptr) {
+        // Persistent store: rebuild the slot's CSR in place so its index /
+        // value arrays keep last batch's capacity.
+        if (!slot.is_features()) {
+          slot = data::Value(data::FeatureMatrix(data::CsrMatrix(0)));
+        }
+        emitter->emit_into(inputs, ctx, slot.mutable_features().ensure_sparse());
+      } else {
+        slot = data::Value(data::FeatureMatrix(emitter->emit_batch(inputs, ctx)));
+      }
     } else {
-      out = first.op->eval_batch(inputs);
+      slot = first.op->eval_batch(inputs);
     }
     const double kernel_s = kernel_timer.elapsed_seconds();
-
-    store[static_cast<std::size_t>(step.nodes.back())] = std::move(out);
 
     if (opts.profiler != nullptr) {
       opts.profiler->record(step.nodes.back(), driver_s + kernel_s);
@@ -524,11 +593,11 @@ void CompiledExecutor::run_steps(std::span<const PlanStep> steps,
 }
 
 data::FeatureMatrix CompiledExecutor::compute_block_plain(
-    const data::Batch& batch, std::size_t f, std::vector<data::Value>& store,
+    const data::Batch& batch, std::size_t f, Frame& frame,
     const ExecOptions& opts) const {
   const auto& fg = analysis_.generators[f];
-  run_steps(plan_.fg_steps[f], batch, store, opts);
-  return store[static_cast<std::size_t>(fg.output_node)].features();
+  run_steps(plan_.fg_steps[f], batch, frame, opts);
+  return frame.store[static_cast<std::size_t>(fg.output_node)].features();
 }
 
 data::FeatureMatrix CompiledExecutor::compute_block_cached(
@@ -559,8 +628,9 @@ data::FeatureMatrix CompiledExecutor::compute_block_cached(
     // row subset (so a remote lookup fetches only the missing keys).
     const data::Batch sub = batch.select_rows(missing);
     std::vector<data::Value> store(graph_.size());
-    run_steps(plan_.preprocessing, sub, store, opts);
-    const data::FeatureMatrix block = compute_block_plain(sub, f, store, opts);
+    Frame frame{store};
+    run_steps(plan_.preprocessing, sub, frame, opts);
+    const data::FeatureMatrix block = compute_block_plain(sub, f, frame, opts);
     for (std::size_t i = 0; i < missing.size(); ++i) {
       cache.insert(f, keys[missing[i]], cached_row_of(block, i));
     }
@@ -594,12 +664,25 @@ std::vector<data::FeatureMatrix> CompiledExecutor::compute_blocks(
     return blocks;
   }
 
-  std::vector<data::Value> store(graph_.size());
-  run_steps(plan_.preprocessing, batch, store, opts);
+  // The persistent scratch store only backs the serial path: pooled tasks
+  // copy the seeded store into private vectors (and must not share the
+  // single-threaded arena).
+  ExecScratch* sc = opts.pool == nullptr ? opts.scratch : nullptr;
+  std::vector<data::Value> local_store;
+  if (sc != nullptr) {
+    sc->begin(graph_.size());
+  } else {
+    local_store.resize(graph_.size());
+  }
+  Frame frame = sc != nullptr
+                    ? Frame{sc->store, &sc->source_bound, &sc->arena,
+                            &sc->gather_tmp}
+                    : Frame{local_store};
+  run_steps(plan_.preprocessing, batch, frame, opts);
 
   if (opts.pool == nullptr || selected.size() < 2) {
     for (std::size_t f : selected) {
-      blocks[f] = compute_block_plain(batch, f, store, opts);
+      blocks[f] = compute_block_plain(batch, f, frame, opts);
     }
     return blocks;
   }
@@ -633,22 +716,24 @@ std::vector<data::FeatureMatrix> CompiledExecutor::compute_blocks(
   std::vector<std::function<void()>> tasks;
   for (auto& group : groups) {
     if (group.empty()) continue;
-    tasks.push_back([this, &batch, &blocks, &store, &opts, group] {
+    tasks.push_back([this, &batch, &blocks, &local_store, &opts, group] {
       // Each task gets its own store copy seeded with preprocessing
       // results; generators write disjoint block slots.
-      std::vector<data::Value> local = store;
+      std::vector<data::Value> local = local_store;
+      Frame local_frame{local};
       ExecOptions local_opts = opts;
       local_opts.profiler = nullptr;  // profiler is not thread-safe
       local_opts.drivers = nullptr;
+      local_opts.scratch = nullptr;   // per-worker state, not shareable
       for (std::size_t f : group) {
-        blocks[f] = compute_block_plain(batch, f, local, local_opts);
+        blocks[f] = compute_block_plain(batch, f, local_frame, local_opts);
       }
     });
   }
   opts.pool->run_all(std::move(tasks));
 
   for (std::size_t f : serial_fgs) {
-    blocks[f] = compute_block_plain(batch, f, store, opts);
+    blocks[f] = compute_block_plain(batch, f, frame, opts);
   }
   return blocks;
 }
@@ -662,11 +747,12 @@ namespace {
 /// Fused k-way dense concat: copy every selected block's rows into its
 /// column slice of one preallocated matrix, row-chunk-major so the
 /// destination chunk stays cache-resident across the k sources. One copy
-/// per element vs the pairwise hconcat fold's O(k) copies.
-data::DenseMatrix fused_dense_concat(
-    const std::vector<const data::FeatureMatrix*>& blocks, std::size_t rows,
-    std::size_t total_cols, std::size_t block_rows) {
-  data::DenseMatrix out(rows, total_cols);
+/// per element vs the pairwise hconcat fold's O(k) copies. `out` is rebuilt
+/// in place (capacity reuse on persistent destinations).
+void fused_dense_concat(const std::vector<const data::FeatureMatrix*>& blocks,
+                        std::size_t rows, std::size_t total_cols,
+                        std::size_t block_rows, data::DenseMatrix& out) {
+  out.reshape(rows, total_cols);
   double* dst = out.mutable_data().data();
   for (std::size_t r0 = 0; r0 < rows; r0 += block_rows) {
     const std::size_t r1 = std::min(rows, r0 + block_rows);
@@ -681,21 +767,20 @@ data::DenseMatrix fused_dense_concat(
       col_off += w;
     }
   }
-  return out;
 }
 
 /// Fused k-way sparse concat: stream every block's row entries (with column
 /// offsets; dense blocks drop zeros, exactly as FeatureMatrix::to_csr does
 /// inside the pairwise fold) into one output CSR — a single pass instead of
-/// k-1 intermediate matrices.
-data::CsrMatrix fused_sparse_concat(
-    const std::vector<const data::FeatureMatrix*>& blocks, std::size_t rows,
-    std::size_t total_cols) {
+/// k-1 intermediate matrices. `out` is rebuilt in place.
+void fused_sparse_concat(const std::vector<const data::FeatureMatrix*>& blocks,
+                         std::size_t rows, std::size_t total_cols,
+                         data::CsrMatrix& out) {
   std::size_t nnz_guess = 0;
   for (const auto* b : blocks) {
     nnz_guess += b->is_sparse() ? b->sparse().nnz() : b->rows();
   }
-  data::CsrMatrix out(static_cast<std::int32_t>(total_cols));
+  out.reset(static_cast<std::int32_t>(total_cols));
   out.reserve(rows, nnz_guess);
   std::vector<data::SparseEntry> row;
   for (std::size_t r = 0; r < rows; ++r) {
@@ -720,13 +805,13 @@ data::CsrMatrix fused_sparse_concat(
     }
     out.append_row(row);
   }
-  return out;
 }
 
 }  // namespace
 
-data::FeatureMatrix CompiledExecutor::compute_matrix(
-    const data::Batch& batch, const ExecOptions& opts) const {
+bool CompiledExecutor::plan_matrix_into(const data::Batch& batch,
+                                        const ExecOptions& opts,
+                                        data::FeatureMatrix& result) const {
   const std::size_t num_fg = analysis_.generators.size();
   const std::size_t rows = batch.num_rows();
   // Planning needs the probed layout and exclusive use of the sequential
@@ -735,10 +820,14 @@ data::FeatureMatrix CompiledExecutor::compute_matrix(
   if (!opcfg_.zero_copy || rows == 0 || opts.cache != nullptr ||
       opts.pool != nullptr || opts.profiler != nullptr ||
       opts.drivers != nullptr || analysis_.block_cols.size() != num_fg) {
-    return Executor::compute_matrix(batch, opts);
+    return false;
   }
 
-  std::vector<std::size_t> selected;
+  ExecScratch* sc = opts.scratch;
+  std::vector<std::size_t> selected_local;
+  std::vector<std::size_t>& selected =
+      sc != nullptr ? sc->selected : selected_local;
+  selected.clear();
   bool full = true;
   for (std::size_t f = 0; f < num_fg; ++f) {
     if (fg_selected(opts.fg_mask, f)) {
@@ -747,7 +836,7 @@ data::FeatureMatrix CompiledExecutor::compute_matrix(
       full = false;
     }
   }
-  if (selected.empty()) return Executor::compute_matrix(batch, opts);
+  if (selected.empty()) return false;
 
   // Classify each selected generator by its terminal op's block interface.
   // The terminal step must be the generator's (unfused) output node.
@@ -758,7 +847,7 @@ data::FeatureMatrix CompiledExecutor::compute_matrix(
     const auto& fg = analysis_.generators[f];
     if (steps.empty() || steps.back().fused() ||
         steps.back().nodes.back() != fg.output_node) {
-      return Executor::compute_matrix(batch, opts);
+      return false;
     }
     const ops::Operator* op = graph_.node(fg.output_node).op.get();
     if (dynamic_cast<const ops::DenseBlockWriter*>(op) == nullptr) {
@@ -769,50 +858,63 @@ data::FeatureMatrix CompiledExecutor::compute_matrix(
     }
   }
 
-  const ops::BlockExecContext ctx{opcfg_};
-  std::vector<data::Value> store(graph_.size());
-  run_steps(plan_.preprocessing, batch, store, opts);
+  std::vector<data::Value> local_store;
+  if (sc != nullptr) {
+    sc->begin(graph_.size());
+  } else {
+    local_store.resize(graph_.size());
+  }
+  Frame frame = sc != nullptr
+                    ? Frame{sc->store, &sc->source_bound, &sc->arena,
+                            &sc->gather_tmp}
+                    : Frame{local_store};
+  const ops::BlockExecContext ctx{opcfg_, frame.arena};
+  std::vector<data::Value> gather_local;
+  std::vector<data::Value>& gtmp =
+      frame.gather_tmp != nullptr ? *frame.gather_tmp : gather_local;
+  run_steps(plan_.preprocessing, batch, frame, opts);
 
   if (all_dense_writers) {
-    // Dense plan: one allocation for the downstream model's whole input;
-    // every generator writes its column slice in place. No per-op
-    // DenseMatrix, no hconcat.
+    // Dense plan: one matrix for the downstream model's whole input (reused
+    // in place on persistent destinations); every generator writes its
+    // column slice. No per-op DenseMatrix, no hconcat.
     std::size_t total_cols = 0;
     for (std::size_t f : selected) total_cols += analysis_.block_cols[f];
-    data::DenseMatrix out(rows, total_cols);
+    auto& out = result.ensure_dense();
+    out.reshape(rows, total_cols);
     double* base = out.mutable_data().data();
     std::size_t col_off = 0;
-    std::vector<data::Value> inputs;
     for (std::size_t f : selected) {
       const auto& fg = analysis_.generators[f];
       const auto& steps = plan_.fg_steps[f];
       run_steps(std::span<const PlanStep>(steps.data(), steps.size() - 1), batch,
-                store, opts);
+                frame, opts);
       const Node& node = graph_.node(fg.output_node);
-      gather_inputs(node, batch, store, inputs);
+      const auto inputs = gather_inputs(node, batch, frame, gtmp);
       const auto* writer =
           dynamic_cast<const ops::DenseBlockWriter*>(node.op.get());
       writer->write_block(inputs, ctx, base + col_off, rows, total_cols);
       col_off += analysis_.block_cols[f];
     }
-    return apply_post_chain(data::FeatureMatrix(std::move(out)), opts.fg_mask,
-                            full);
+    result = apply_post_chain(std::move(result), opts.fg_mask, full);
+    return true;
   }
 
   if (all_sparse_emitters && selected.size() == 1) {
-    // Single sparse generator: the emitted CSR IS the model input.
+    // Single sparse generator: the emitted CSR IS the model input, rebuilt
+    // in place on persistent destinations.
     const std::size_t f = selected[0];
     const auto& fg = analysis_.generators[f];
     const auto& steps = plan_.fg_steps[f];
     run_steps(std::span<const PlanStep>(steps.data(), steps.size() - 1), batch,
-                store, opts);
+                frame, opts);
     const Node& node = graph_.node(fg.output_node);
-    std::vector<data::Value> inputs;
-    gather_inputs(node, batch, store, inputs);
+    const auto inputs = gather_inputs(node, batch, frame, gtmp);
     const auto* emitter =
         dynamic_cast<const ops::SparseBlockEmitter*>(node.op.get());
-    return apply_post_chain(data::FeatureMatrix(emitter->emit_batch(inputs, ctx)),
-                            opts.fg_mask, full);
+    emitter->emit_into(inputs, ctx, result.ensure_sparse());
+    result = apply_post_chain(std::move(result), opts.fg_mask, full);
+    return true;
   }
 
   // Mixed plan: compute the selected blocks (sparse producers still run
@@ -823,23 +925,40 @@ data::FeatureMatrix CompiledExecutor::compute_matrix(
   bool any_sparse = false;
   std::size_t total_cols = 0;
   for (std::size_t f : selected) {
-    computed[f] = compute_block_plain(batch, f, store, opts);
+    computed[f] = compute_block_plain(batch, f, frame, opts);
     const auto& b = computed[f];
     if (b.rows() == 0 && b.cols() == 0) continue;  // identity, as hconcat
     parts.push_back(&b);
     any_sparse = any_sparse || b.is_sparse();
     total_cols += b.cols();
   }
-  data::FeatureMatrix m;
   if (parts.empty()) {
-    m = data::FeatureMatrix();
+    result = data::FeatureMatrix();
   } else if (any_sparse) {
-    m = data::FeatureMatrix(fused_sparse_concat(parts, rows, total_cols));
+    fused_sparse_concat(parts, rows, total_cols, result.ensure_sparse());
   } else {
-    m = data::FeatureMatrix(
-        fused_dense_concat(parts, rows, total_cols, opcfg_.block_rows));
+    fused_dense_concat(parts, rows, total_cols, opcfg_.block_rows,
+                       result.ensure_dense());
   }
-  return apply_post_chain(std::move(m), opts.fg_mask, full);
+  result = apply_post_chain(std::move(result), opts.fg_mask, full);
+  return true;
+}
+
+data::FeatureMatrix CompiledExecutor::compute_matrix(
+    const data::Batch& batch, const ExecOptions& opts) const {
+  data::FeatureMatrix result;
+  if (plan_matrix_into(batch, opts, result)) return result;
+  return Executor::compute_matrix(batch, opts);
+}
+
+const data::FeatureMatrix& CompiledExecutor::compute_matrix_into(
+    const data::Batch& batch, ExecScratch& scratch,
+    const ExecOptions& opts) const {
+  ExecOptions o = opts;
+  o.scratch = &scratch;
+  if (plan_matrix_into(batch, o, scratch.result)) return scratch.result;
+  scratch.result = Executor::compute_matrix(batch, o);
+  return scratch.result;
 }
 
 }  // namespace willump::core

@@ -1,8 +1,10 @@
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <vector>
 
+#include "common/arena.hpp"
 #include "core/feature_cache.hpp"
 #include "core/graph.hpp"
 #include "core/ifv_analysis.hpp"
@@ -11,6 +13,53 @@
 #include "runtime/thread_pool.hpp"
 
 namespace willump::core {
+
+/// Reusable per-worker execution state. One instance per worker thread; the
+/// executor rewinds it at every compute entry so the steady-state request
+/// path performs (almost) zero heap allocations:
+///  - `arena`: bump allocator for trivially-destructible op staging
+///    (densify buffers, hash staging) — reset per entry, chunks retained;
+///  - `store` + `source_bound`: the persistent node store. Values keep their
+///    heap capacity across requests; `source_bound` (cleared per entry)
+///    replaces the fresh-store `empty()` check as the source-bind indicator,
+///    so a stale column from the previous batch is never mistaken for a
+///    bound one;
+///  - `result`: destination matrix of compute_matrix_into, reused in place.
+///
+/// Not thread-safe. Never share one scratch between concurrent calls; the
+/// serving layer keys them thread_local (see request_scratch()).
+struct ExecScratch {
+  explicit ExecScratch(std::size_t arena_chunk_bytes = 1u << 18)
+      : arena(arena_chunk_bytes) {}
+
+  common::Arena arena;
+  std::vector<data::Value> store;
+  std::vector<std::uint8_t> source_bound;
+  std::vector<data::Value> gather_tmp;  // multi-input gather staging
+  std::vector<std::size_t> selected;    // plan staging (selected generators)
+  data::FeatureMatrix result;
+
+  /// Rewind for a new compute entry over a graph of `graph_size` nodes.
+  void begin(std::size_t graph_size) {
+    arena.reset();
+    if (store.size() != graph_size) {
+      store.assign(graph_size, {});
+      source_bound.assign(graph_size, 0);
+    } else {
+      std::fill(source_bound.begin(), source_bound.end(), 0);
+    }
+  }
+};
+
+/// The calling thread's request scratch, or nullptr when arena-path reuse is
+/// disabled (WILLUMP_ARENA=0 or set_request_scratch_enabled(false)). The
+/// serving engine's worker threads each get their own instance lazily; the
+/// first-chunk size is WILLUMP_ARENA_CHUNK_KB (default 256).
+ExecScratch* request_scratch();
+
+/// Process-wide override of the WILLUMP_ARENA gate (benchmarks toggle the
+/// arena path to measure both sides in one process).
+void set_request_scratch_enabled(bool enabled);
 
 /// Marshaling/kernel time split of a compiled execution — the analog of the
 /// paper's Weld-driver overhead measurement (§6.4, "Weld Drivers").
@@ -39,6 +88,10 @@ struct ExecOptions {
   runtime::Profiler* profiler = nullptr;
   /// Driver/kernel split accounting; nullptr disables.
   DriverStats* drivers = nullptr;
+  /// Per-worker reusable execution state; nullptr = allocate per call. Only
+  /// the serial uncached path uses it (pooled tasks and cached sub-batches
+  /// always build private stores); passing one is always safe.
+  ExecScratch* scratch = nullptr;
 };
 
 /// Common machinery of both execution engines: graph + IFV analysis
@@ -64,6 +117,15 @@ class Executor {
   /// final matrix directly (the compiled engine's zero-copy block path).
   virtual data::FeatureMatrix compute_matrix(const data::Batch& batch,
                                              const ExecOptions& opts = {}) const;
+
+  /// Allocation-reusing variant: computes the same matrix as compute_matrix
+  /// but into `scratch.result` (valid until the next call with the same
+  /// scratch) and threads `scratch` through the engine so node values and
+  /// op staging reuse the previous request's capacity. Base implementation
+  /// moves compute_matrix's result into the slot.
+  virtual const data::FeatureMatrix& compute_matrix_into(
+      const data::Batch& batch, ExecScratch& scratch,
+      const ExecOptions& opts = {}) const;
 
   /// Execute once on `probe` to record each generator's block width in the
   /// analysis (cascades need the column layout before training models).
@@ -161,6 +223,14 @@ class CompiledExecutor final : public Executor {
   data::FeatureMatrix compute_matrix(const data::Batch& batch,
                                      const ExecOptions& opts = {}) const override;
 
+  /// Zero-copy planning into a persistent destination: the planned matrix is
+  /// rebuilt inside `scratch.result` (ensure_dense/ensure_sparse keep the
+  /// previous request's heap capacity) and the whole entry runs against the
+  /// scratch's node store and arena.
+  const data::FeatureMatrix& compute_matrix_into(
+      const data::Batch& batch, ExecScratch& scratch,
+      const ExecOptions& opts = {}) const override;
+
   const CompiledPlan& plan() const { return plan_; }
 
   /// Tuned feature-op choices (lookup strategy, assembly row-block size,
@@ -170,9 +240,20 @@ class CompiledExecutor final : public Executor {
   const kernels::FeatureOpConfig& featureop_config() const { return opcfg_; }
 
  private:
-  /// Evaluate a step list over `batch` into `store` (node id -> value).
+  /// One compute entry's mutable state: the node store plus the optional
+  /// scratch extensions. `source_bound`/`arena`/`gather_tmp` are null on the
+  /// fresh-store paths (pooled tasks, cached sub-batches), where the
+  /// original `empty()` source-bind check and per-step temporaries apply.
+  struct Frame {
+    std::vector<data::Value>& store;
+    std::vector<std::uint8_t>* source_bound = nullptr;
+    common::Arena* arena = nullptr;
+    std::vector<data::Value>* gather_tmp = nullptr;
+  };
+
+  /// Evaluate a step list over `batch` into the frame's store.
   void run_steps(std::span<const PlanStep> steps, const data::Batch& batch,
-                 std::vector<data::Value>& store, const ExecOptions& opts) const;
+                 Frame& frame, const ExecOptions& opts) const;
 
   /// Compute one generator's block with per-row feature caching.
   data::FeatureMatrix compute_block_cached(const data::Batch& batch,
@@ -182,15 +263,23 @@ class CompiledExecutor final : public Executor {
   /// Plain (uncached) computation of one generator's block given computed
   /// preprocessing values.
   data::FeatureMatrix compute_block_plain(const data::Batch& batch,
-                                          std::size_t f,
-                                          std::vector<data::Value>& store,
+                                          std::size_t f, Frame& frame,
                                           const ExecOptions& opts) const;
 
-  /// Bind source columns and gather a node's operand values from `store`
-  /// (the run_steps driver stage, reused by the zero-copy planner).
-  void gather_inputs(const Node& node, const data::Batch& batch,
-                     std::vector<data::Value>& store,
-                     std::vector<data::Value>& inputs) const;
+  /// Bind source columns and gather a node's operand values from the store
+  /// (the run_steps driver stage, reused by the zero-copy planner). The
+  /// returned span views store slots directly for single-input nodes (no
+  /// Value copies); multi-input nodes stage copies in `tmp`.
+  std::span<const data::Value> gather_inputs(const Node& node,
+                                             const data::Batch& batch,
+                                             Frame& frame,
+                                             std::vector<data::Value>& tmp) const;
+
+  /// Attempt the zero-copy planned assembly into `result`; returns false
+  /// when planning preconditions fail and the caller must fall back to the
+  /// reference compute_blocks+assemble path.
+  bool plan_matrix_into(const data::Batch& batch, const ExecOptions& opts,
+                        data::FeatureMatrix& result) const;
 
   CompiledPlan plan_;
   kernels::FeatureOpConfig opcfg_;

@@ -50,7 +50,12 @@ std::vector<double> OptimizedPipeline::predict(const data::Batch& batch) const {
 
 void OptimizedPipeline::predict_into(const data::Batch& batch,
                                      std::span<double> out) const {
-  const ExecOptions opts = exec_options();
+  ExecOptions opts = exec_options();
+  // Per-worker reusable execution state (thread_local): node store, op
+  // staging arena and result matrix keep their capacity across requests, so
+  // the steady-state serving path stops allocating. Disabled via
+  // WILLUMP_ARENA=0; predictions are bit-identical either way.
+  opts.scratch = request_scratch();
   if (cascades_enabled()) {
     // Accumulate run counters locally, then merge atomically: concurrent
     // serving workers share one pipeline, and plain increments on the
@@ -63,6 +68,11 @@ void OptimizedPipeline::predict_into(const data::Batch& batch,
         .fetch_add(local.total_rows, std::memory_order_relaxed);
     std::atomic_ref<std::size_t>(run_stats_.short_circuited)
         .fetch_add(local.short_circuited, std::memory_order_relaxed);
+    return;
+  }
+  if (opts.scratch != nullptr) {
+    cascade_.full_model->predict_into(
+        executor_->compute_matrix_into(batch, *opts.scratch, opts), out);
     return;
   }
   cascade_.full_model->predict_into(executor_->compute_matrix(batch, opts), out);

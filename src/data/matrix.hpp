@@ -21,6 +21,14 @@ class DenseMatrix {
   std::size_t rows() const { return rows_; }
   std::size_t cols() const { return cols_; }
 
+  /// Reshape to rows x cols filled with `fill`, reusing the backing
+  /// store's capacity (per-batch scratch matrices shrink/grow for free).
+  void reshape(std::size_t rows, std::size_t cols, double fill = 0.0) {
+    rows_ = rows;
+    cols_ = cols;
+    v_.assign(rows * cols, fill);
+  }
+
   double operator()(std::size_t r, std::size_t c) const { return v_[r * cols_ + c]; }
   double& operator()(std::size_t r, std::size_t c) { return v_[r * cols_ + c]; }
 
@@ -67,6 +75,16 @@ class CsrMatrix {
   /// Append one sparse row; entries must be sorted by index and < cols().
   void append_row(std::span<const SparseEntry> entries);
   void append_row(const SparseVector& row) { append_row(row.entries()); }
+
+  /// Drop all rows but keep the backing arrays' capacity — per-batch
+  /// scratch CSR emitters reset instead of reallocating.
+  void reset(std::int32_t cols) {
+    cols_ = cols;
+    indptr_.clear();
+    indptr_.push_back(0);
+    indices_.clear();
+    values_.clear();
+  }
 
   /// Pre-size the backing arrays (batched transforms that know their
   /// row count and can estimate nnz).
@@ -126,6 +144,17 @@ class FeatureMatrix {
 
   const DenseMatrix& dense() const { return std::get<DenseMatrix>(m_); }
   const CsrMatrix& sparse() const { return std::get<CsrMatrix>(m_); }
+
+  /// Mutable access that switches the alternative only when needed, so a
+  /// scratch FeatureMatrix reused across batches keeps its heap capacity.
+  DenseMatrix& ensure_dense() {
+    if (!is_dense()) m_.emplace<DenseMatrix>();
+    return std::get<DenseMatrix>(m_);
+  }
+  CsrMatrix& ensure_sparse() {
+    if (!is_sparse()) m_.emplace<CsrMatrix>();
+    return std::get<CsrMatrix>(m_);
+  }
 
   std::size_t rows() const;
   std::size_t cols() const;

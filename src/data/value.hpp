@@ -63,6 +63,27 @@ class Value {
   const Column& column() const { return std::get<Column>(v_); }
   const FeatureMatrix& features() const { return std::get<FeatureMatrix>(v_); }
 
+  /// Mutable feature-block access for the executor's persistent store:
+  /// batched emitters rebuild the slot's matrix in place (capacity reuse)
+  /// instead of materializing a fresh one. Throws if not holding features.
+  FeatureMatrix& mutable_features() { return std::get<FeatureMatrix>(v_); }
+
+  /// Rebind this slot to hold `c` by copy, reusing the existing column's
+  /// heap capacity when the slot already holds one (variant copy-assign of
+  /// the same alternative copy-assigns the contained vectors in place).
+  /// The executor's persistent node store re-binds sources through this
+  /// every batch instead of constructing fresh Values.
+  void assign_column(const Column& c) {
+    if (is_column()) {
+      std::get<Column>(v_) = c;
+    } else {
+      v_ = c;
+    }
+  }
+
+  /// Reset to the empty state (slot reads as unset again).
+  void clear() { v_.emplace<std::monostate>(); }
+
   /// Number of examples represented (rows of the column / matrix).
   std::size_t size() const;
 

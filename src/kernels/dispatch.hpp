@@ -66,6 +66,15 @@ enum class LookupVariant : std::uint8_t {
   SortedVocab = 1,
 };
 
+/// Hashed one-hot encoding strategy. Scalar is the reference (hash + append
+/// per row inline); Batched precomputes the whole block's buckets into the
+/// worker arena first, so the hash loop and the CSR append loop each stay
+/// tight. Both produce identical features.
+enum class OneHotVariant : std::uint8_t {
+  Scalar = 0,
+  Batched = 1,
+};
+
 /// Pipeline-level feature-operator selection, tuned by the op-level
 /// autotuner and persisted in the artifact KERN section so load_model
 /// cold-starts with the tuned feature path.
@@ -73,6 +82,7 @@ struct FeatureOpConfig {
   LookupVariant lookup = LookupVariant::HashMap;
   std::uint32_t block_rows = 256;  // rows per feature block, [1, 2^20]
   bool zero_copy = true;           // plan contiguous output blocks in the executor
+  OneHotVariant onehot = OneHotVariant::Scalar;
 
   bool operator==(const FeatureOpConfig&) const = default;
 };
@@ -98,6 +108,7 @@ KernelConfig native_config();
 const char* variant_name(DotVariant v);
 const char* variant_name(TreeVariant v);
 const char* variant_name(LookupVariant v);
+const char* variant_name(OneHotVariant v);
 
 /// Serialize/deserialize a config (fixed 10 bytes). load validates ranges
 /// and throws SerializeError(CorruptData) on out-of-range values; it does
@@ -106,8 +117,10 @@ const char* variant_name(LookupVariant v);
 void save_kernel_config(serialize::Writer& w, const KernelConfig& c);
 KernelConfig load_kernel_config(serialize::Reader& r);
 
-/// Serialize/deserialize a feature-op config (fixed 6 bytes). Same
-/// validation discipline as the kernel config.
+/// Serialize/deserialize a feature-op config (fixed 6 bytes in v3
+/// artifacts, 7 in v4 — the one-hot variant byte rides the format-version
+/// gate the Writer/Reader carry). Same validation discipline as the
+/// kernel config.
 void save_featureop_config(serialize::Writer& w, const FeatureOpConfig& c);
 FeatureOpConfig load_featureop_config(serialize::Reader& r);
 

@@ -6,6 +6,7 @@
 
 #include "common/rng.hpp"
 #include "serialize/buffer.hpp"
+#include "serialize/intern.hpp"
 
 namespace willump::models {
 
@@ -276,7 +277,8 @@ void Gbdt::fit(const data::FeatureMatrix& xin, std::span<const double> y) {
 }
 
 void Gbdt::rebuild_forest() {
-  forest_.reset(base_score_);
+  auto forest = std::make_shared<kernels::FlatForest>();
+  forest->reset(base_score_);
   std::vector<std::int32_t> feature, left, right;
   std::vector<double> threshold, value;
   for (const auto& tree : trees_) {
@@ -298,9 +300,10 @@ void Gbdt::rebuild_forest() {
       right.push_back(nd.right);
       value.push_back(nd.value);
     }
-    forest_.add_tree(feature, threshold, left, right, value);
+    forest->add_tree(feature, threshold, left, right, value);
   }
-  forest_.finalize();
+  forest->finalize();
+  forest_ = std::move(forest);
 }
 
 double Gbdt::predict_margin_row(std::span<const double> row) const {
@@ -317,13 +320,13 @@ std::vector<double> Gbdt::predict(const data::FeatureMatrix& xin) const {
 
 void Gbdt::margins_block(const double* x, std::size_t rows, std::size_t stride,
                          double* out) const {
-  forest_.margins(kcfg_.tree, kcfg_.tree_block, x, rows, stride, out);
+  forest_->margins(kcfg_.tree, kcfg_.tree_block, x, rows, stride, out);
 }
 
 void Gbdt::predict_into(const data::FeatureMatrix& xin,
                         std::span<double> out) const {
   const std::size_t n = xin.rows();
-  if (forest_.num_trees() != trees_.size()) {
+  if (forest_ == nullptr || forest_->num_trees() != trees_.size()) {
     // Forest not rebuilt (shouldn't happen via fit/load): row-wise fallback.
     const data::DenseMatrix x =
         xin.is_dense() ? xin.dense() : xin.sparse().to_dense();
@@ -337,8 +340,8 @@ void Gbdt::predict_into(const data::FeatureMatrix& xin,
     // entries, so skipping the densify/re-zero sweep over all columns wins
     // once the matrix is wide; the autotuner pins the cutoff per model.
     const auto& s = xin.sparse();
-    forest_.margins_csr(s.indptr().data(), s.indices().data(),
-                        s.values().data(), n, out.data());
+    forest_->margins_csr(s.indptr().data(), s.indices().data(),
+                         s.values().data(), n, out.data());
   } else {
     // Densify kMaxTreeBlock rows at a time into reused thread-local scratch
     // (scatter entries, run the block kernel, scatter zeros back), instead
@@ -374,8 +377,8 @@ void Gbdt::predict_into(const data::FeatureMatrix& xin,
 void Gbdt::predict_cascade(const data::FeatureMatrix& xin, double threshold,
                            std::span<double> preds,
                            std::span<std::uint8_t> hard) const {
-  if (!cfg_.classification || forest_.num_trees() != trees_.size() ||
-      !xin.is_dense()) {
+  if (!cfg_.classification || forest_ == nullptr ||
+      forest_->num_trees() != trees_.size() || !xin.is_dense()) {
     Model::predict_cascade(xin, threshold, preds, hard);
     return;
   }
@@ -386,8 +389,8 @@ void Gbdt::predict_cascade(const data::FeatureMatrix& xin, double threshold,
                        : std::log(threshold / (1.0 - threshold));
   const auto& x = xin.dense();
   const std::size_t n = xin.rows();
-  forest_.cascade_margins(kcfg_.tree_block, x.data().data(), n, x.cols(),
-                          bound, preds.data(), hard.data());
+  forest_->cascade_margins(kcfg_.tree_block, x.data().data(), n, x.cols(),
+                           bound, preds.data(), hard.data());
   for (std::size_t i = 0; i < n; ++i) {
     // Hard rows carry sigmoid of a partial margin (callers overwrite them);
     // completed rows get the same sigmoid-confidence test the row-wise
@@ -468,6 +471,7 @@ void Gbdt::save(serialize::Writer& w) const {
 }
 
 std::unique_ptr<Gbdt> Gbdt::load(serialize::Reader& r) {
+  const std::size_t wire_start = r.position();
   GbdtConfig cfg;
   cfg.n_trees = r.i32();
   cfg.max_depth = r.i32();
@@ -524,8 +528,14 @@ std::unique_ptr<Gbdt> Gbdt::load(serialize::Reader& r) {
     throw serialize::SerializeError(serialize::ErrorCode::CorruptData,
                                     "gbdt split feature exceeds training width");
   }
+  // The flat forest derives purely from the bytes read so far (trees +
+  // base score); the kernel config that follows is per-artifact tuning and
+  // stays private. Snapshot the window before reading it.
+  const auto forest_bytes = r.window(wire_start);
   m->kcfg_ = kernels::load_kernel_config(r);
   m->rebuild_forest();
+  m->forest_ = serialize::InternPool::instance().intern<kernels::FlatForest>(
+      "forest", forest_bytes, std::move(m->forest_));
   return m;
 }
 

@@ -96,7 +96,10 @@ class Gbdt final : public Model {
   GbdtConfig cfg_;
   double base_score_ = 0.0;  // initial margin
   std::vector<Tree> trees_;
-  kernels::FlatForest forest_;  // rebuilt from trees_, not serialized
+  /// Flattened SoA traversal layout, rebuilt from trees_ (not serialized).
+  /// Immutable once built and shared: replicas loading byte-identical
+  /// model payloads intern to one forest instead of N private copies.
+  std::shared_ptr<const kernels::FlatForest> forest_;
   std::vector<double> gain_importance_;
   std::vector<double> perm_importance_;
 };

@@ -2,6 +2,7 @@
 
 #include <span>
 
+#include "common/arena.hpp"
 #include "data/matrix.hpp"
 #include "data/value.hpp"
 #include "kernels/dispatch.hpp"
@@ -9,9 +10,15 @@
 namespace willump::ops {
 
 /// Tuned feature-op choices threaded through the blocked execution path
-/// (the executor owns the pipeline-level FeatureOpConfig).
+/// (the executor owns the pipeline-level FeatureOpConfig). `arena`, when
+/// set, is the calling worker's per-batch bump allocator: ops may stage
+/// trivially-destructible scratch (bucket arrays, densify buffers) there
+/// instead of the heap; the executor resets it between batches. Null means
+/// no arena is threaded (interpreted engine, tests) — ops must fall back
+/// to their own allocation.
 struct BlockExecContext {
   kernels::FeatureOpConfig cfg;
+  common::Arena* arena = nullptr;
 };
 
 /// Mixin for ops whose output is a dense block of known width: the executor
@@ -40,6 +47,18 @@ class SparseBlockEmitter {
 
   virtual data::CsrMatrix emit_batch(std::span<const data::Value> inputs,
                                      const BlockExecContext& ctx) const = 0;
+
+  /// Emit into a caller-owned CSR whose backing arrays persist across
+  /// batches: the op reset()s `out` to its own column count (keeping the
+  /// arrays' capacity) and appends this batch's rows, so the steady-state
+  /// request path reuses capacity instead of allocating a fresh matrix per
+  /// batch. Default delegates to emit_batch; ops with reusable scratch
+  /// override.
+  virtual void emit_into(std::span<const data::Value> inputs,
+                         const BlockExecContext& ctx,
+                         data::CsrMatrix& out) const {
+    out = emit_batch(inputs, ctx);
+  }
 };
 
 }  // namespace willump::ops

@@ -52,20 +52,47 @@ data::Value OneHotHashOp::eval_batch(std::span<const data::Value> inputs) const 
 
 data::CsrMatrix OneHotHashOp::emit_batch(std::span<const data::Value> inputs,
                                          const BlockExecContext& ctx) const {
-  (void)ctx;  // hashing has no lookup-variant choice
+  data::CsrMatrix out(n_buckets_);
+  emit_into(inputs, ctx, out);
+  return out;
+}
+
+void OneHotHashOp::emit_into(std::span<const data::Value> inputs,
+                             const BlockExecContext& ctx,
+                             data::CsrMatrix& out) const {
   if (inputs.size() != 1 || !inputs[0].is_column() ||
       inputs[0].column().type() != data::ColumnType::Int) {
     throw std::invalid_argument("one_hot_hash: expects one int column");
   }
   const auto& keys = inputs[0].column().ints();
-  data::CsrMatrix out(n_buckets_);
+  out.reset(n_buckets_);
   out.reserve(keys.size(), keys.size());  // exactly one entry per row
   data::SparseEntry e[1];
+  if (ctx.cfg.onehot == kernels::OneHotVariant::Batched) {
+    // Hash the whole block into a staged bucket array first (worker arena
+    // when threaded, reused thread-local otherwise), then run the CSR
+    // append as its own tight loop. Identical buckets to the scalar path.
+    std::span<std::int32_t> buckets;
+    thread_local std::vector<std::int32_t> fallback;
+    if (ctx.arena != nullptr) {
+      buckets = ctx.arena->make_span<std::int32_t>(keys.size());
+    } else {
+      fallback.resize(keys.size());
+      buckets = fallback;
+    }
+    for (std::size_t i = 0; i < keys.size(); ++i) {
+      buckets[i] = bucket_of(keys[i]);
+    }
+    for (std::size_t i = 0; i < keys.size(); ++i) {
+      e[0] = {buckets[i], 1.0};
+      out.append_row(std::span<const data::SparseEntry>(e, 1));
+    }
+    return;
+  }
   for (std::int64_t k : keys) {
     e[0] = {bucket_of(k), 1.0};
     out.append_row(std::span<const data::SparseEntry>(e, 1));
   }
-  return out;
 }
 
 data::Value NumericColumnsOp::eval_batch(std::span<const data::Value> inputs) const {

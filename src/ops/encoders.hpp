@@ -21,6 +21,9 @@ class OneHotHashOp final : public Operator, public SparseBlockEmitter {
   data::Value eval_batch(std::span<const data::Value> inputs) const override;
   data::CsrMatrix emit_batch(std::span<const data::Value> inputs,
                              const BlockExecContext& ctx) const override;
+  void emit_into(std::span<const data::Value> inputs,
+                 const BlockExecContext& ctx,
+                 data::CsrMatrix& out) const override;
   std::string_view serial_tag() const override { return "one_hot_hash"; }
   void save(serialize::Writer& w) const override;
 

@@ -196,10 +196,38 @@ void TfIdfModel::save(serialize::Writer& w) const {
   w.u8(cfg_.use_idf ? 1 : 0);
   w.u8(cfg_.sublinear_tf ? 1 : 0);
   w.u8(cfg_.l2_normalize ? 1 : 0);
-  // Vocabulary in index order: deterministic bytes regardless of the
-  // unordered_map's layout, and load can rebuild indices positionally.
-  w.u64(terms_.size());
-  for (auto t : terms_) w.str(t);
+  if (w.format_version() >= 4) {
+    // v4: vocabulary front-coded in lexicographic order (n-gram vocabularies
+    // share long prefixes, so most terms reduce to a shared-prefix length
+    // plus a short suffix), followed by the permutation mapping sorted
+    // position -> vocab index, and a CRC over the *decoded* index-ordered
+    // terms so a codec fault can never ship a silently wrong vocabulary.
+    w.varint(terms_.size());
+    std::string_view prev;
+    for (std::int32_t vi : sorted_perm_) {
+      const std::string_view t = terms_[static_cast<std::size_t>(vi)];
+      std::size_t shared = 0;
+      const std::size_t cap = std::min(prev.size(), t.size());
+      while (shared < cap && prev[shared] == t[shared]) ++shared;
+      w.varint(shared);
+      w.varint(t.size() - shared);
+      w.raw(std::span<const std::uint8_t>(
+          reinterpret_cast<const std::uint8_t*>(t.data()) + shared,
+          t.size() - shared));
+      prev = t;
+    }
+    for (std::int32_t vi : sorted_perm_) {
+      w.varint(static_cast<std::uint64_t>(vi));
+    }
+    serialize::Writer probe(w.format_version());
+    for (auto t : terms_) probe.str(t);
+    w.u32(serialize::crc32(probe.bytes()));
+  } else {
+    // Vocabulary in index order: deterministic bytes regardless of the
+    // unordered_map's layout, and load can rebuild indices positionally.
+    w.u64(terms_.size());
+    for (auto t : terms_) w.str(t);
+  }
   w.doubles(idf_);
 }
 
@@ -222,17 +250,70 @@ TfIdfModel TfIdfModel::load(serialize::Reader& r) {
     throw serialize::SerializeError(serialize::ErrorCode::CorruptData,
                                     "tfidf ngram range invalid");
   }
-  const std::uint64_t n_terms = r.length(8, "tfidf vocabulary");
-  m.vocab_.reserve(static_cast<std::size_t>(n_terms));
-  for (std::uint64_t i = 0; i < n_terms; ++i) {
-    const auto [it, inserted] =
-        m.vocab_.emplace(r.str(), static_cast<std::int32_t>(i));
-    if (!inserted) {
-      throw serialize::SerializeError(serialize::ErrorCode::CorruptData,
-                                      "tfidf vocabulary has duplicate term");
+  if (r.format_version() >= 4) {
+    const std::uint64_t n_terms = r.varlength(2, "tfidf vocabulary");
+    std::vector<std::string> by_index(static_cast<std::size_t>(n_terms));
+    std::vector<std::uint8_t> placed(static_cast<std::size_t>(n_terms), 0);
+    std::string prev;
+    std::vector<std::string> sorted_terms;
+    sorted_terms.reserve(static_cast<std::size_t>(n_terms));
+    for (std::uint64_t j = 0; j < n_terms; ++j) {
+      const std::uint64_t shared = r.varint();
+      const std::uint64_t suffix_len = r.varint();
+      if (shared > prev.size()) {
+        throw serialize::SerializeError(
+            serialize::ErrorCode::CorruptData,
+            "tfidf front-coded prefix exceeds previous term");
+      }
+      const auto suffix = r.raw(static_cast<std::size_t>(suffix_len));
+      std::string term = prev.substr(0, static_cast<std::size_t>(shared));
+      term.append(reinterpret_cast<const char*>(suffix.data()),
+                  suffix.size());
+      if (j > 0 && term <= prev) {
+        throw serialize::SerializeError(
+            serialize::ErrorCode::CorruptData,
+            "tfidf front-coded vocabulary not strictly ascending");
+      }
+      prev = term;
+      sorted_terms.push_back(std::move(term));
+    }
+    for (std::uint64_t j = 0; j < n_terms; ++j) {
+      const std::uint64_t vi = r.varint();
+      if (vi >= n_terms || placed[static_cast<std::size_t>(vi)] != 0) {
+        throw serialize::SerializeError(
+            serialize::ErrorCode::CorruptData,
+            "tfidf vocabulary permutation is not a bijection");
+      }
+      placed[static_cast<std::size_t>(vi)] = 1;
+      by_index[static_cast<std::size_t>(vi)] =
+          std::move(sorted_terms[static_cast<std::size_t>(j)]);
+    }
+    serialize::Writer probe(r.format_version());
+    for (const auto& t : by_index) probe.str(t);
+    if (r.u32() != serialize::crc32(probe.bytes())) {
+      throw serialize::SerializeError(
+          serialize::ErrorCode::ChecksumMismatch,
+          "decoded tfidf vocabulary fails its CRC");
+    }
+    m.vocab_.reserve(static_cast<std::size_t>(n_terms));
+    for (std::uint64_t i = 0; i < n_terms; ++i) {
+      m.vocab_.emplace(std::move(by_index[static_cast<std::size_t>(i)]),
+                       static_cast<std::int32_t>(i));
+    }
+  } else {
+    const std::uint64_t n_terms = r.length(8, "tfidf vocabulary");
+    m.vocab_.reserve(static_cast<std::size_t>(n_terms));
+    for (std::uint64_t i = 0; i < n_terms; ++i) {
+      const auto [it, inserted] =
+          m.vocab_.emplace(r.str(), static_cast<std::int32_t>(i));
+      if (!inserted) {
+        throw serialize::SerializeError(serialize::ErrorCode::CorruptData,
+                                        "tfidf vocabulary has duplicate term");
+      }
     }
   }
   m.idf_ = r.doubles();
+  const std::uint64_t n_terms = m.vocab_.size();
   if (m.idf_.size() != n_terms) {
     throw serialize::SerializeError(serialize::ErrorCode::CorruptData,
                                     "tfidf idf/vocabulary size mismatch");
@@ -258,17 +339,24 @@ data::Value TfIdfOp::eval_batch(std::span<const data::Value> inputs) const {
 
 data::CsrMatrix TfIdfOp::emit_batch(std::span<const data::Value> inputs,
                                     const BlockExecContext& ctx) const {
+  data::CsrMatrix out(model_->vocabulary_size());
+  emit_into(inputs, ctx, out);
+  return out;
+}
+
+void TfIdfOp::emit_into(std::span<const data::Value> inputs,
+                        const BlockExecContext& ctx,
+                        data::CsrMatrix& out) const {
   if (inputs.size() != 1 || !inputs[0].is_column() ||
       inputs[0].column().type() != data::ColumnType::String) {
     throw std::invalid_argument("tfidf: expects one string column");
   }
   const auto& docs = inputs[0].column().strings();
   thread_local TfIdfScratch scratch;
-  data::CsrMatrix out(model_->vocabulary_size());
+  out.reset(model_->vocabulary_size());
   out.reserve(docs.size(), docs.size() * 16);  // ~16 hits/doc starting guess
   model_->transform_into(std::span<const std::string>(docs.data(), docs.size()),
                          ctx.cfg.lookup, scratch, out);
-  return out;
 }
 
 }  // namespace willump::ops

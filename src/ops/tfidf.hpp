@@ -158,6 +158,9 @@ class TfIdfOp final : public Operator, public SparseBlockEmitter {
   data::Value eval_batch(std::span<const data::Value> inputs) const override;
   data::CsrMatrix emit_batch(std::span<const data::Value> inputs,
                              const BlockExecContext& ctx) const override;
+  void emit_into(std::span<const data::Value> inputs,
+                 const BlockExecContext& ctx,
+                 data::CsrMatrix& out) const override;
   std::string_view serial_tag() const override { return "tfidf"; }
   void save(serialize::Writer& w) const override;
 

@@ -4,6 +4,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <map>
@@ -14,6 +15,7 @@
 #include "core/ifv_analysis.hpp"
 #include "kernels/autotune.hpp"
 #include "ops/lookup.hpp"
+#include "serialize/intern.hpp"
 #include "serialize/model_registry.hpp"
 #include "serialize/op_registry.hpp"
 
@@ -31,6 +33,7 @@ constexpr std::uint32_t fourcc(const char (&s)[5]) {
 constexpr std::uint32_t kMagic = fourcc("WLMP");
 constexpr std::uint32_t kPipelineKind = fourcc("WPIP");
 constexpr std::uint32_t kCascadeKind = fourcc("WCSC");
+constexpr std::uint32_t kSplitKind = fourcc("WSPL");
 
 constexpr std::uint32_t kSecMeta = fourcc("META");
 constexpr std::uint32_t kSecTables = fourcc("TABL");
@@ -38,17 +41,18 @@ constexpr std::uint32_t kSecGraph = fourcc("GRPH");
 constexpr std::uint32_t kSecLayout = fourcc("LAYT");
 constexpr std::uint32_t kSecCascade = fourcc("CASC");
 constexpr std::uint32_t kSecKernels = fourcc("KERN");
+constexpr std::uint32_t kSecSplits = fourcc("SPLT");
 
 struct Section {
   std::uint32_t tag;
   std::vector<std::uint8_t> payload;
 };
 
-std::vector<std::uint8_t> pack(std::uint32_t kind,
+std::vector<std::uint8_t> pack(std::uint32_t kind, std::uint32_t version,
                                const std::vector<Section>& sections) {
-  Writer w;
+  Writer w(version);
   w.u32(kMagic);
-  w.u32(kFormatVersion);
+  w.u32(version);
   w.u32(kind);
   w.u32(static_cast<std::uint32_t>(sections.size()));
   for (const auto& s : sections) {
@@ -60,10 +64,18 @@ std::vector<std::uint8_t> pack(std::uint32_t kind,
   return w.take();
 }
 
+/// Container contents after header/CRC verification; `version` is threaded
+/// into every section Reader so the codec layer decodes the layout the
+/// artifact was written with.
+struct Unpacked {
+  std::uint32_t version = kFormatVersion;
+  std::map<std::uint32_t, std::vector<std::uint8_t>> sections;
+};
+
 /// Parse and verify the container: magic, version, kind, and every
-/// section's bounds and checksum. Returns tag -> payload.
-std::map<std::uint32_t, std::vector<std::uint8_t>> unpack(
-    std::span<const std::uint8_t> bytes, std::uint32_t expected_kind) {
+/// section's bounds and checksum.
+Unpacked unpack(std::span<const std::uint8_t> bytes,
+                std::uint32_t expected_kind) {
   Reader r(bytes);
   if (r.remaining() < 16) {
     throw SerializeError(ErrorCode::Truncated, "artifact smaller than header");
@@ -72,10 +84,11 @@ std::map<std::uint32_t, std::vector<std::uint8_t>> unpack(
     throw SerializeError(ErrorCode::BadMagic, "not a Willump artifact");
   }
   const std::uint32_t version = r.u32();
-  if (version != kFormatVersion) {
+  if (version < kMinReadVersion || version > kFormatVersion) {
     throw SerializeError(ErrorCode::UnsupportedVersion,
                          "artifact version " + std::to_string(version) +
                              ", this build reads " +
+                             std::to_string(kMinReadVersion) + ".." +
                              std::to_string(kFormatVersion));
   }
   const std::uint32_t kind = r.u32();
@@ -89,7 +102,8 @@ std::map<std::uint32_t, std::vector<std::uint8_t>> unpack(
     throw SerializeError(ErrorCode::Truncated,
                          "section count exceeds artifact size");
   }
-  std::map<std::uint32_t, std::vector<std::uint8_t>> sections;
+  Unpacked out;
+  out.version = version;
   for (std::uint32_t i = 0; i < n_sections; ++i) {
     const std::uint32_t tag = r.u32();
     const std::uint64_t size = r.u64();
@@ -102,23 +116,22 @@ std::map<std::uint32_t, std::vector<std::uint8_t>> unpack(
       throw SerializeError(ErrorCode::ChecksumMismatch,
                            "section payload fails its CRC");
     }
-    if (!sections.emplace(tag, std::vector<std::uint8_t>(payload.begin(),
-                                                         payload.end()))
+    if (!out.sections
+             .emplace(tag,
+                      std::vector<std::uint8_t>(payload.begin(), payload.end()))
              .second) {
       throw SerializeError(ErrorCode::CorruptData, "duplicate section tag");
     }
   }
-  return sections;
+  return out;
 }
 
-Reader section_reader(
-    const std::map<std::uint32_t, std::vector<std::uint8_t>>& sections,
-    std::uint32_t tag, const char* what) {
-  auto it = sections.find(tag);
-  if (it == sections.end()) {
+Reader section_reader(const Unpacked& u, std::uint32_t tag, const char* what) {
+  auto it = u.sections.find(tag);
+  if (it == u.sections.end()) {
     throw SerializeError(ErrorCode::MissingSection, what);
   }
-  return Reader(it->second);
+  return Reader(it->second, u.version);
 }
 
 // --- graph ---------------------------------------------------------------
@@ -203,6 +216,7 @@ void save_tables(Writer& w, const core::Graph& g) {
     }
   }
   w.u64(tables.size());
+  const bool v4 = w.format_version() >= 4;
   for (const auto& [name, table] : tables) {
     w.str(name);
     w.u64(table->feature_dim());
@@ -210,36 +224,80 @@ void save_tables(Writer& w, const core::Graph& g) {
     keys.reserve(table->rows().size());
     for (const auto& [key, row] : table->rows()) keys.push_back(key);
     std::sort(keys.begin(), keys.end());
-    w.u64(keys.size());
-    for (std::int64_t key : keys) {
-      w.i64(key);
-      for (double v : table->rows().at(key).values()) w.f64(v);
+    if (v4) {
+      // Keys as one delta-coded block (dense entity-id spaces collapse to
+      // ~1 byte/key), rows as one double vector in key order so the
+      // dictionary codec sees the whole table at once.
+      w.i64s_delta(keys);
+      std::vector<double> flat;
+      flat.reserve(keys.size() * table->feature_dim());
+      for (std::int64_t key : keys) {
+        const auto& row = table->rows().at(key).values();
+        flat.insert(flat.end(), row.begin(), row.end());
+      }
+      w.doubles(flat);
+    } else {
+      w.u64(keys.size());
+      for (std::int64_t key : keys) {
+        w.i64(key);
+        for (double v : table->rows().at(key).values()) w.f64(v);
+      }
     }
   }
 }
 
 OpLoadContext load_tables(Reader& r) {
   OpLoadContext ctx;
-  const std::uint64_t n_tables = r.length(16, "table list");
+  const bool v4 = r.format_version() >= 4;
+  const std::uint64_t n_tables = r.length(v4 ? 2 : 16, "table list");
   for (std::uint64_t t = 0; t < n_tables; ++t) {
+    // Remember where this table's wire image starts: byte-identical
+    // payloads across replicas / swap generations intern to one object.
+    const std::size_t start = r.position();
     std::string name = r.str();
     const std::uint64_t dim = r.u64();
-    const std::uint64_t n_rows = r.length(8, "table rows");
-    if (dim > r.remaining() / 8) {
-      throw SerializeError(ErrorCode::Truncated,
-                           "table row width exceeds payload");
-    }
     auto table = std::make_shared<store::FeatureTable>(
         name, static_cast<std::size_t>(dim));
-    for (std::uint64_t i = 0; i < n_rows; ++i) {
-      const std::int64_t key = r.i64();
-      data::DenseVector row(static_cast<std::size_t>(dim));
-      for (std::uint64_t c = 0; c < dim; ++c) {
-        row[static_cast<std::size_t>(c)] = r.f64();
+    if (v4) {
+      const std::vector<std::int64_t> keys = r.i64s_delta();
+      const std::vector<double> flat = r.doubles();
+      // Overflow-safe keys*dim == flat.size() check (dim is attacker data).
+      const bool shape_ok =
+          keys.empty() ? flat.empty()
+                       : (flat.size() % keys.size() == 0 &&
+                          flat.size() / keys.size() == dim);
+      if (!shape_ok) {
+        throw SerializeError(ErrorCode::CorruptData,
+                             "table row block does not match key count");
       }
-      table->put(key, std::move(row));
+      for (std::size_t i = 0; i < keys.size(); ++i) {
+        data::DenseVector row(static_cast<std::size_t>(dim));
+        for (std::uint64_t c = 0; c < dim; ++c) {
+          row[static_cast<std::size_t>(c)] =
+              flat[i * static_cast<std::size_t>(dim) +
+                   static_cast<std::size_t>(c)];
+        }
+        table->put(keys[i], std::move(row));
+      }
+    } else {
+      const std::uint64_t n_rows = r.length(8, "table rows");
+      if (dim > r.remaining() / 8) {
+        throw SerializeError(ErrorCode::Truncated,
+                             "table row width exceeds payload");
+      }
+      for (std::uint64_t i = 0; i < n_rows; ++i) {
+        const std::int64_t key = r.i64();
+        data::DenseVector row(static_cast<std::size_t>(dim));
+        for (std::uint64_t c = 0; c < dim; ++c) {
+          row[static_cast<std::size_t>(c)] = r.f64();
+        }
+        table->put(key, std::move(row));
+      }
     }
-    if (!ctx.tables.emplace(std::move(name), std::move(table)).second) {
+    std::shared_ptr<const store::FeatureTable> shared =
+        InternPool::instance().intern<store::FeatureTable>(
+            "table", r.window(start), std::move(table));
+    if (!ctx.tables.emplace(std::move(name), std::move(shared)).second) {
       throw SerializeError(ErrorCode::CorruptData, "duplicate table name");
     }
   }
@@ -297,12 +355,23 @@ core::TrainedCascade load_cascade(Reader& r) {
 
 // --- pipeline artifact ----------------------------------------------------
 
+std::uint32_t artifact_write_version() {
+  const char* env = std::getenv("WILLUMP_WLMP_CODECS");
+  if (env != nullptr && env[0] == '0' && env[1] == '\0') return 3;
+  return kFormatVersion;
+}
+
 std::vector<std::uint8_t> pipeline_to_bytes(const core::OptimizedPipeline& p) {
+  return pipeline_to_bytes(p, artifact_write_version());
+}
+
+std::vector<std::uint8_t> pipeline_to_bytes(const core::OptimizedPipeline& p,
+                                            std::uint32_t format_version) {
   const core::Executor& exec = p.executor();
   const bool compiled =
       dynamic_cast<const core::CompiledExecutor*>(&exec) != nullptr;
 
-  Writer meta;
+  Writer meta(format_version);
   meta.u8(compiled ? 1 : 0);
   meta.u8(p.use_cascades() ? 1 : 0);
   meta.f64(p.topk_config().ck);
@@ -311,28 +380,29 @@ std::vector<std::uint8_t> pipeline_to_bytes(const core::OptimizedPipeline& p) {
   meta.u64(p.cache_capacity_per_ifv());
   meta.u64(p.parallel_threads());
 
-  Writer tables;
+  Writer tables(format_version);
   save_tables(tables, exec.graph());
 
-  Writer graph;
+  Writer graph(format_version);
   save_graph(graph, exec.graph());
 
-  Writer layout;
+  Writer layout(format_version);
   save_layout(layout, exec.analysis().block_cols, exec.analysis().col_begin,
               exec.fg_costs());
 
-  Writer cascade;
+  Writer cascade(format_version);
   save_cascade(cascade, p.cascade());
 
-  Writer kern;
+  Writer kern(format_version);
   kernels::save_autotune_report(kern, p.autotune_report());
 
-  return pack(kPipelineKind, {{kSecMeta, meta.take()},
-                              {kSecTables, tables.take()},
-                              {kSecGraph, graph.take()},
-                              {kSecLayout, layout.take()},
-                              {kSecCascade, cascade.take()},
-                              {kSecKernels, kern.take()}});
+  return pack(kPipelineKind, format_version,
+              {{kSecMeta, meta.take()},
+               {kSecTables, tables.take()},
+               {kSecGraph, graph.take()},
+               {kSecLayout, layout.take()},
+               {kSecCascade, cascade.take()},
+               {kSecKernels, kern.take()}});
 }
 
 core::OptimizedPipeline pipeline_from_bytes(
@@ -433,11 +503,12 @@ core::OptimizedPipeline load_pipeline(const std::string& path) {
 // --- cascade bundle -------------------------------------------------------
 
 std::vector<std::uint8_t> cascade_bundle_to_bytes(const CascadeBundle& b) {
-  Writer layout;
+  const std::uint32_t version = artifact_write_version();
+  Writer layout(version);
   save_layout(layout, b.block_cols, b.col_begin, b.fg_costs);
-  Writer cascade;
+  Writer cascade(version);
   save_cascade(cascade, b.cascade);
-  return pack(kCascadeKind,
+  return pack(kCascadeKind, version,
               {{kSecLayout, layout.take()}, {kSecCascade, cascade.take()}});
 }
 
@@ -473,6 +544,133 @@ void bind_cascade_bundle(CascadeBundle& bundle, core::Executor& executor) {
     throw SerializeError(ErrorCode::CorruptData, e.what());
   }
   executor.set_fg_costs(bundle.fg_costs);
+}
+
+// --- workload splits ------------------------------------------------------
+
+namespace {
+
+void save_column(Writer& w, const data::Column& c) {
+  w.u8(static_cast<std::uint8_t>(c.type()));
+  const bool v4 = w.format_version() >= 4;
+  switch (c.type()) {
+    case data::ColumnType::Int: {
+      const auto& xs = c.ints();
+      if (v4) {
+        w.varint(xs.size());
+        for (std::int64_t x : xs) w.svarint(x);
+      } else {
+        w.u64(xs.size());
+        for (std::int64_t x : xs) w.i64(x);
+      }
+      break;
+    }
+    case data::ColumnType::Double:
+      w.doubles(c.doubles());
+      break;
+    case data::ColumnType::String: {
+      const auto& xs = c.strings();
+      if (v4) {
+        w.varint(xs.size());
+      } else {
+        w.u64(xs.size());
+      }
+      for (const auto& s : xs) w.str(s);
+      break;
+    }
+  }
+}
+
+data::Column load_column(Reader& r) {
+  const std::uint8_t type = r.u8();
+  if (type > static_cast<std::uint8_t>(data::ColumnType::String)) {
+    throw SerializeError(ErrorCode::CorruptData, "column type out of range");
+  }
+  const bool v4 = r.format_version() >= 4;
+  switch (static_cast<data::ColumnType>(type)) {
+    case data::ColumnType::Int: {
+      const std::uint64_t n = v4 ? r.varlength(1, "int column")
+                                 : r.length(8, "int column");
+      data::IntColumn xs;
+      xs.reserve(static_cast<std::size_t>(n));
+      for (std::uint64_t i = 0; i < n; ++i) {
+        xs.push_back(v4 ? r.svarint() : r.i64());
+      }
+      return data::Column(std::move(xs));
+    }
+    case data::ColumnType::Double:
+      return data::Column(data::DoubleColumn(r.doubles()));
+    default: {
+      const std::uint64_t n = v4 ? r.varlength(1, "string column")
+                                 : r.length(8, "string column");
+      data::StringColumn xs;
+      xs.reserve(static_cast<std::size_t>(n));
+      for (std::uint64_t i = 0; i < n; ++i) xs.push_back(r.str());
+      return data::Column(std::move(xs));
+    }
+  }
+}
+
+void save_labeled(Writer& w, const core::LabeledData& d) {
+  const auto& names = d.inputs.names();
+  w.u64(names.size());
+  for (const auto& name : names) {
+    w.str(name);
+    save_column(w, d.inputs.get(name));
+  }
+  w.doubles(d.targets);
+}
+
+core::LabeledData load_labeled(Reader& r) {
+  core::LabeledData d;
+  const std::uint64_t n_cols = r.length(2, "split columns");
+  for (std::uint64_t i = 0; i < n_cols; ++i) {
+    std::string name = r.str();
+    d.inputs.add(std::move(name), load_column(r));
+  }
+  d.targets = r.doubles();
+  if (d.inputs.num_columns() > 0 && d.targets.size() != d.inputs.num_rows()) {
+    throw SerializeError(ErrorCode::CorruptData,
+                         "split target count does not match its rows");
+  }
+  return d;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> split_bundle_to_bytes(const SplitBundle& b) {
+  const std::uint32_t version = artifact_write_version();
+  Writer w(version);
+  w.str(b.workload);
+  w.u8(b.classification ? 1 : 0);
+  save_labeled(w, b.train);
+  save_labeled(w, b.valid);
+  save_labeled(w, b.test);
+  return pack(kSplitKind, version, {{kSecSplits, w.take()}});
+}
+
+SplitBundle split_bundle_from_bytes(std::span<const std::uint8_t> bytes) {
+  const auto sections = unpack(bytes, kSplitKind);
+  Reader r = section_reader(sections, kSecSplits, "split section");
+  SplitBundle b;
+  b.workload = r.str();
+  const std::uint8_t cls = r.u8();
+  if (cls > 1) {
+    throw SerializeError(ErrorCode::CorruptData, "split classification flag");
+  }
+  b.classification = cls != 0;
+  b.train = load_labeled(r);
+  b.valid = load_labeled(r);
+  b.test = load_labeled(r);
+  return b;
+}
+
+void save_split_bundle(const SplitBundle& b, const std::string& path) {
+  write_file_atomic(path, split_bundle_to_bytes(b));
+}
+
+SplitBundle load_split_bundle(const std::string& path) {
+  return split_bundle_from_bytes(read_file(path));
 }
 
 // --- file io --------------------------------------------------------------

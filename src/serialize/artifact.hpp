@@ -10,20 +10,15 @@
 
 namespace willump::serialize {
 
-/// Artifact format version. Bump on any incompatible layout change; load
-/// rejects versions it does not read (no silent cross-version parsing).
-/// v2: model payloads carry a kernel config; pipelines carry a 'KERN'
-/// autotune-report section.
-/// v3: kernel configs gain a sparse-traversal cutoff; the 'KERN' report
-/// gains the op-level feature-pipeline winners (lookup strategy, zero-copy
-/// assembly, row-chunk size), installed on the compiled executor at load.
-inline constexpr std::uint32_t kFormatVersion = 3;
+// kFormatVersion / kMinReadVersion live in buffer.hpp beside the Writer/
+// Reader that implement each version's wire layout.
 
 /// File layout (all integers little-endian):
 ///
 ///   "WLMP"  magic (4 bytes)
 ///   u32     format version
-///   u32     artifact kind ('WPIP' pipeline | 'WCSC' cascade bundle)
+///   u32     artifact kind ('WPIP' pipeline | 'WCSC' cascade bundle |
+///           'WSPL' workload splits)
 ///   u32     section count
 ///   repeat: u32 section tag, u64 payload size, u32 payload CRC-32, payload
 ///
@@ -50,9 +45,16 @@ inline constexpr std::uint32_t kFormatVersion = 3;
 /// write_file_atomic (temp file + rename: last writer wins whole). None
 /// of these functions block beyond file I/O.
 
+/// The version save paths emit by default: kFormatVersion, or 3 when the
+/// WILLUMP_WLMP_CODECS=0 kill switch disables the v4 codecs (artifacts
+/// then reproduce the legacy fixed-width layout byte for byte).
+std::uint32_t artifact_write_version();
+
 /// Serialize a trained pipeline. Throws std::logic_error if the pipeline
 /// contains an op or model outside the serialization registries.
 std::vector<std::uint8_t> pipeline_to_bytes(const core::OptimizedPipeline& p);
+std::vector<std::uint8_t> pipeline_to_bytes(const core::OptimizedPipeline& p,
+                                            std::uint32_t format_version);
 
 /// Reconstruct a pipeline; the artifact is self-contained (fitted
 /// vocabularies, model weights, cascade thresholds, and feature tables all
@@ -83,6 +85,24 @@ CascadeBundle load_cascade_bundle(const std::string& path);
 /// graph. Throws SerializeError(CorruptData) when the bundle does not match
 /// the executor's generator structure.
 void bind_cascade_bundle(CascadeBundle& bundle, core::Executor& executor);
+
+/// Raw workload train/valid/test splits as a 'WSPL' artifact — the test
+/// fixture cache stores these so warm runs skip workload *generation*
+/// (text synthesis, TF-IDF fitting data, Zipf sampling), the remaining
+/// fixed cost of the slow suites once pipelines themselves are cached.
+struct SplitBundle {
+  std::string workload;       // generator tag the splits came from
+  bool classification = true; // label semantics (accuracy vs regression)
+  core::LabeledData train;
+  core::LabeledData valid;
+  core::LabeledData test;
+};
+
+std::vector<std::uint8_t> split_bundle_to_bytes(const SplitBundle& b);
+SplitBundle split_bundle_from_bytes(std::span<const std::uint8_t> bytes);
+
+void save_split_bundle(const SplitBundle& b, const std::string& path);
+SplitBundle load_split_bundle(const std::string& path);
 
 /// Whole-file read; missing/unreadable files throw SerializeError(IoError).
 std::vector<std::uint8_t> read_file(const std::string& path);

@@ -9,6 +9,7 @@
 #include "ops/scale.hpp"
 #include "ops/string_ops.hpp"
 #include "ops/tfidf.hpp"
+#include "serialize/intern.hpp"
 
 namespace willump::serialize {
 
@@ -57,7 +58,9 @@ ops::OperatorPtr load_scale(Reader& r, const OpLoadContext&) {
 }
 
 ops::OperatorPtr load_keyword_count(Reader& r, const OpLoadContext&) {
-  const std::uint64_t n = r.length(8, "keyword list");
+  // v4 strings carry 1-byte varint prefixes, so the per-element floor drops.
+  const std::uint64_t n =
+      r.length(r.format_version() >= 4 ? 1 : 8, "keyword list");
   std::vector<std::string> keywords;
   keywords.reserve(static_cast<std::size_t>(n));
   for (std::uint64_t i = 0; i < n; ++i) keywords.push_back(r.str());
@@ -66,7 +69,13 @@ ops::OperatorPtr load_keyword_count(Reader& r, const OpLoadContext&) {
 
 ops::OperatorPtr load_tfidf(Reader& r, const OpLoadContext&) {
   std::string label = r.str();
-  auto model = std::make_shared<ops::TfIdfModel>(ops::TfIdfModel::load(r));
+  // Key the intern pool by the model's exact wire image: replicas and
+  // swap generations loading byte-identical fitted state share one model.
+  const std::size_t start = r.position();
+  std::shared_ptr<const ops::TfIdfModel> model =
+      std::make_shared<ops::TfIdfModel>(ops::TfIdfModel::load(r));
+  model = InternPool::instance().intern<ops::TfIdfModel>(
+      "tfidf", r.window(start), std::move(model));
   return std::make_shared<ops::TfIdfOp>(std::move(model), std::move(label));
 }
 

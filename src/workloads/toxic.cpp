@@ -14,6 +14,53 @@ const std::vector<std::string>& toxic_curse_vocab() {
   return vocab;
 }
 
+namespace {
+
+/// Fit the TF-IDF vectorizers on `w.train` and build the toxic graph +
+/// model prototype. Shared by the generator and the from-splits rebuild so
+/// both produce bit-identical pipelines from the same train split.
+void build_toxic_pipeline(const ToxicConfig& cfg, Workload& w) {
+  data::StringColumn train_corpus = w.train.inputs.get("comment").strings();
+  for (auto& doc : train_corpus) doc = common::to_lower(doc);
+
+  ops::TfIdfConfig word_cfg;
+  word_cfg.analyzer = ops::Analyzer::Word;
+  word_cfg.ngrams = {1, 1};
+  word_cfg.max_features = cfg.word_tfidf_features;
+  auto word_model = std::make_shared<ops::TfIdfModel>(
+      ops::TfIdfModel::fit(train_corpus, word_cfg));
+
+  ops::TfIdfConfig char_cfg;
+  char_cfg.analyzer = ops::Analyzer::Char;
+  char_cfg.ngrams = {3, 5};
+  char_cfg.max_features = cfg.char_tfidf_features;
+  auto char_model = std::make_shared<ops::TfIdfModel>(
+      ops::TfIdfModel::fit(train_corpus, char_cfg));
+
+  core::Graph& g = w.pipeline.graph;
+  const int comment = g.add_source("comment", data::ColumnType::String);
+  const int curses = g.add_transform(
+      "curse_count", std::make_shared<ops::KeywordCountOp>(toxic_curse_vocab()),
+      {comment});
+  const int lower =
+      g.add_transform("lower", std::make_shared<ops::LowercaseOp>(), {comment});
+  const int word_tfidf = g.add_transform(
+      "word_tfidf", std::make_shared<ops::TfIdfOp>(word_model, "word_tfidf"),
+      {lower});
+  const int char_tfidf = g.add_transform(
+      "char_tfidf", std::make_shared<ops::TfIdfOp>(char_model, "char_tfidf"),
+      {lower});
+  const int concat = g.add_transform("concat", std::make_shared<ops::ConcatOp>(),
+                                     {curses, word_tfidf, char_tfidf});
+  g.set_output(concat);
+
+  models::LinearConfig lin;
+  lin.epochs = 10;
+  w.pipeline.model_proto = std::make_shared<models::LogisticRegression>(lin);
+}
+
+}  // namespace
+
 Workload make_toxic(const ToxicConfig& cfg) {
   common::Rng rng(cfg.seed);
   const auto common_vocab = TextGen::make_vocab(600, 0xB2);
@@ -56,52 +103,27 @@ Workload make_toxic(const ToxicConfig& cfg) {
     labels.push_back(toxic ? 1.0 : 0.0);
   }
 
-  data::StringColumn train_corpus(
-      comments.begin(),
-      comments.begin() + static_cast<std::ptrdiff_t>(cfg.sizes.train));
-  for (auto& doc : train_corpus) doc = common::to_lower(doc);
-
-  ops::TfIdfConfig word_cfg;
-  word_cfg.analyzer = ops::Analyzer::Word;
-  word_cfg.ngrams = {1, 1};
-  word_cfg.max_features = cfg.word_tfidf_features;
-  auto word_model = std::make_shared<ops::TfIdfModel>(
-      ops::TfIdfModel::fit(train_corpus, word_cfg));
-
-  ops::TfIdfConfig char_cfg;
-  char_cfg.analyzer = ops::Analyzer::Char;
-  char_cfg.ngrams = {3, 5};
-  char_cfg.max_features = cfg.char_tfidf_features;
-  auto char_model = std::make_shared<ops::TfIdfModel>(
-      ops::TfIdfModel::fit(train_corpus, char_cfg));
-
   Workload w;
   w.name = "toxic";
   w.classification = true;
 
-  core::Graph& g = w.pipeline.graph;
-  const int comment = g.add_source("comment", data::ColumnType::String);
-  const int curses = g.add_transform(
-      "curse_count", std::make_shared<ops::KeywordCountOp>(curse_vocab), {comment});
-  const int lower =
-      g.add_transform("lower", std::make_shared<ops::LowercaseOp>(), {comment});
-  const int word_tfidf = g.add_transform(
-      "word_tfidf", std::make_shared<ops::TfIdfOp>(word_model, "word_tfidf"),
-      {lower});
-  const int char_tfidf = g.add_transform(
-      "char_tfidf", std::make_shared<ops::TfIdfOp>(char_model, "char_tfidf"),
-      {lower});
-  const int concat = g.add_transform("concat", std::make_shared<ops::ConcatOp>(),
-                                     {curses, word_tfidf, char_tfidf});
-  g.set_output(concat);
-
-  models::LinearConfig lin;
-  lin.epochs = 10;
-  w.pipeline.model_proto = std::make_shared<models::LogisticRegression>(lin);
-
   data::Batch inputs;
   inputs.add("comment", data::Column(std::move(comments)));
   split_labeled(inputs, labels, cfg.sizes, w);
+  build_toxic_pipeline(cfg, w);
+  return w;
+}
+
+Workload make_toxic_from_splits(const ToxicConfig& cfg, core::LabeledData train,
+                                core::LabeledData valid,
+                                core::LabeledData test) {
+  Workload w;
+  w.name = "toxic";
+  w.classification = true;
+  w.train = std::move(train);
+  w.valid = std::move(valid);
+  w.test = std::move(test);
+  build_toxic_pipeline(cfg, w);
   return w;
 }
 

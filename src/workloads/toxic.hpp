@@ -33,6 +33,14 @@ struct ToxicConfig {
 /// comments use insult words (FG2) or hostile character patterns (FG3).
 Workload make_toxic(const ToxicConfig& cfg = {});
 
+/// Rebuild the Toxic workload from already-materialized splits (e.g. a
+/// cached WSPL split bundle) instead of regenerating the text. The pipeline
+/// is re-fitted on the provided train split exactly as make_toxic fits it on
+/// freshly generated data, so a round-tripped split set yields a
+/// bit-identical pipeline; only the expensive text generation is skipped.
+Workload make_toxic_from_splits(const ToxicConfig& cfg, core::LabeledData train,
+                                core::LabeledData valid, core::LabeledData test);
+
 /// The curse-word vocabulary the generator and FG1 share (synthetic tokens).
 const std::vector<std::string>& toxic_curse_vocab();
 

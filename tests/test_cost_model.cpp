@@ -4,7 +4,9 @@
 
 #include <numeric>
 
+#include "kernels/autotune.hpp"
 #include "test_support.hpp"
+#include "workloads/price.hpp"
 
 namespace willump::core {
 namespace {
@@ -59,6 +61,65 @@ TEST(CostModel, RemoteNetworkRaisesLookupCosts) {
   const double remote_total =
       std::accumulate(remote.begin(), remote.end(), 0.0);
   EXPECT_GT(remote_total, local_total);
+}
+
+TEST(CostModel, OneHotStageTunesHashingGraphs) {
+  // Price's graph hashes brand/category one-hots, so the staged feature-op
+  // search must time both one-hot shapes and install a winner; both shapes
+  // must produce bit-identical matrices.
+  workloads::PriceConfig cfg;
+  cfg.sizes = {.train = 500, .valid = 200, .test = 200};
+  cfg.name_tfidf_features = 200;
+  const auto wl = workloads::make_price(cfg);
+  CompiledExecutor ex(wl.pipeline.graph, analyze_ifvs(wl.pipeline.graph));
+  std::vector<std::size_t> probe_rows{0, 1, 2, 3};
+  ex.probe_layout(wl.train.inputs.select_rows(probe_rows));
+
+  std::vector<std::size_t> rows(64);
+  std::iota(rows.begin(), rows.end(), std::size_t{0});
+  const data::Batch sample = wl.train.inputs.select_rows(rows);
+
+  // Parity across the one-hot shapes, independent of the tuner's pick.
+  kernels::FeatureOpConfig c = ex.featureop_config();
+  c.onehot = kernels::OneHotVariant::Scalar;
+  ex.set_featureop_config(c);
+  const auto scalar_m = ex.compute_matrix(sample).to_csr();
+  c.onehot = kernels::OneHotVariant::Batched;
+  ex.set_featureop_config(c);
+  const auto batched_m = ex.compute_matrix(sample).to_csr();
+  ASSERT_EQ(scalar_m.rows(), batched_m.rows());
+  for (std::size_t r = 0; r < scalar_m.rows(); ++r) {
+    EXPECT_TRUE(scalar_m.row_vector(r) == batched_m.row_vector(r))
+        << "row " << r;
+  }
+
+  kernels::AutotuneConfig acfg;
+  acfg.reps = 1;
+  std::vector<kernels::VariantTiming> timings;
+  (void)tune_feature_ops(ex, sample, acfg, &timings);
+  bool saw_scalar = false;
+  bool saw_batched = false;
+  for (const auto& t : timings) {
+    if (t.name == "ops/onehot:scalar") saw_scalar = true;
+    if (t.name == "ops/onehot:batched") saw_batched = true;
+  }
+  EXPECT_TRUE(saw_scalar);
+  EXPECT_TRUE(saw_batched);
+}
+
+TEST(CostModel, OneHotStageSkippedWithoutHashingOps) {
+  // Toxic has no one-hot op: the stage must not spend measurements on it.
+  auto& f = willump::testing::shared_toxic();
+  std::vector<std::size_t> rows(32);
+  std::iota(rows.begin(), rows.end(), std::size_t{0});
+  const data::Batch sample = f.wl.train.inputs.select_rows(rows);
+  kernels::AutotuneConfig acfg;
+  acfg.reps = 1;
+  std::vector<kernels::VariantTiming> timings;
+  (void)tune_feature_ops(*f.compiled, sample, acfg, &timings);
+  for (const auto& t : timings) {
+    EXPECT_EQ(t.name.find("ops/onehot:"), std::string::npos) << t.name;
+  }
 }
 
 TEST(CostModel, CascadeStatsUseMeasuredCosts) {

@@ -397,11 +397,12 @@ TEST(FeatureOpConfigSerialize, RoundTripsExactly) {
 
 TEST(FeatureOpConfigSerialize, RejectsOutOfRangeValues) {
   const auto corrupt = [](std::uint8_t lookup, std::uint32_t block_rows,
-                          std::uint8_t zero_copy) {
+                          std::uint8_t zero_copy, std::uint8_t onehot = 0) {
     serialize::Writer w;
     w.u8(lookup);
     w.u32(block_rows);
     w.u8(zero_copy);
+    w.u8(onehot);  // v4 wire carries the one-hot variant byte
     serialize::Reader r(w.bytes());
     try {
       kernels::load_featureop_config(r);
@@ -414,6 +415,7 @@ TEST(FeatureOpConfigSerialize, RejectsOutOfRangeValues) {
   EXPECT_TRUE(corrupt(0, 0, 1));                            // zero block_rows
   EXPECT_TRUE(corrupt(0, kernels::kMaxBlockRows + 1, 1));   // block_rows too big
   EXPECT_TRUE(corrupt(0, 256, 2));                          // bad bool
+  EXPECT_TRUE(corrupt(0, 256, 1, 2));                       // unknown one-hot
 }
 
 // ---------------------------------------------------------------------------

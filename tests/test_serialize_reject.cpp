@@ -212,6 +212,22 @@ TEST(SerializeReject, PipelineBitflipCorpus) {
   run_bitflip_corpus(pipeline_artifact(), load_pipeline_fn());
 }
 
+// The default artifact above exercises the v4 compressed sections; the v3
+// legacy layout must reject just as hard under the same reader.
+Bytes pipeline_artifact_v3() {
+  static const Bytes bytes = serialize::pipeline_to_bytes(
+      testing::shared_toxic_optimized().pipeline, 3);
+  return bytes;
+}
+
+TEST(SerializeReject, V3PipelineTruncationCorpus) {
+  run_truncation_corpus(pipeline_artifact_v3(), load_pipeline_fn());
+}
+
+TEST(SerializeReject, V3PipelineBitflipCorpus) {
+  run_bitflip_corpus(pipeline_artifact_v3(), load_pipeline_fn());
+}
+
 TEST(SerializeReject, CascadeBundleTruncationCorpus) {
   run_truncation_corpus(cascade_artifact(), load_cascade_fn());
 }
@@ -295,6 +311,121 @@ TEST(SerializeReject, LookupWithoutTableSectionIsMissingSection) {
   } catch (const SerializeError& e) {
     EXPECT_EQ(e.code(), ErrorCode::MissingSection);
   }
+}
+
+// --- v4 codec primitive rejections ---------------------------------------
+// Below the container CRCs, every codec payload self-validates: malformed
+// varints, out-of-range dictionary state, and decoded-side checksum
+// mismatches must all surface typed.
+
+TEST(SerializeReject, OverlongVarintIsCorruptData) {
+  // Eleven continuation bytes: longer than any u64 encoding.
+  Bytes overlong(11, 0x80);
+  serialize::Reader r(overlong);
+  try {
+    (void)r.varint();
+    FAIL() << "overlong varint accepted";
+  } catch (const SerializeError& e) {
+    EXPECT_EQ(e.code(), ErrorCode::CorruptData);
+  }
+  // Ten bytes whose final payload bits overflow the 64-bit range.
+  Bytes overflow(9, 0x80);
+  overflow.push_back(0x02);
+  serialize::Reader r2(overflow);
+  try {
+    (void)r2.varint();
+    FAIL() << "overflowing varint accepted";
+  } catch (const SerializeError& e) {
+    EXPECT_EQ(e.code(), ErrorCode::CorruptData);
+  }
+}
+
+TEST(SerializeReject, DictionaryCodecRejectsMalformedState) {
+  const auto decode = [](const serialize::Writer& w) {
+    serialize::Reader r(w.bytes());
+    (void)r.doubles();
+  };
+  {
+    serialize::Writer w;  // unknown codec mode byte
+    w.varint(16);
+    w.u8(2);
+    EXPECT_THROW(decode(w), SerializeError);
+  }
+  {
+    serialize::Writer w;  // empty dictionary
+    w.varint(16);
+    w.u8(1);
+    w.varint(0);
+    EXPECT_THROW(decode(w), SerializeError);
+  }
+  {
+    serialize::Writer w;  // index past the dictionary
+    w.varint(16);
+    w.u8(1);
+    w.varint(1);
+    w.f64(1.5);
+    w.varint(5);
+    EXPECT_THROW(decode(w), SerializeError);
+  }
+}
+
+TEST(SerializeReject, DictionaryCodecCrcCoversDecodedPayload) {
+  // A repetitive vector takes the dictionary encoding; flipping any payload
+  // byte (dictionary entry or index stream) must fail the decoded-side CRC
+  // or a range check — never decode to different doubles.
+  std::vector<double> xs(64);
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    xs[i] = static_cast<double>(i % 4);
+  }
+  serialize::Writer w;
+  w.doubles(xs);
+  const Bytes bytes(w.bytes().begin(), w.bytes().end());
+  ASSERT_EQ(bytes[1], 1) << "expected the dictionary encoding";
+  {
+    serialize::Reader ok(bytes);
+    EXPECT_EQ(ok.doubles(), xs);
+  }
+  for (std::size_t pos = 2; pos < bytes.size(); ++pos) {
+    Bytes flipped = bytes;
+    flipped[pos] ^= 0x10;
+    serialize::Reader r(flipped);
+    try {
+      const std::vector<double> got = r.doubles();
+      EXPECT_NE(got, xs) << "flip at " << pos << " was a no-op";
+      ADD_FAILURE() << "flip at " << pos << " decoded without a typed error";
+    } catch (const SerializeError&) {
+      // Typed rejection (ChecksumMismatch / CorruptData / Truncated).
+    }
+  }
+}
+
+TEST(SerializeReject, DeltaKeysCrcCoversDecodedPayload) {
+  std::vector<std::int64_t> keys;
+  for (std::int64_t k = -5; k < 60; ++k) keys.push_back(k * 3);
+  serialize::Writer w;
+  w.i64s_delta(keys);
+  const Bytes bytes(w.bytes().begin(), w.bytes().end());
+  {
+    serialize::Reader ok(bytes);
+    EXPECT_EQ(ok.i64s_delta(), keys);
+  }
+  for (std::size_t pos = 1; pos < bytes.size(); ++pos) {
+    Bytes flipped = bytes;
+    flipped[pos] ^= 0x08;
+    serialize::Reader r(flipped);
+    try {
+      const std::vector<std::int64_t> got = r.i64s_delta();
+      EXPECT_NE(got, keys) << "flip at " << pos << " was a no-op";
+      ADD_FAILURE() << "flip at " << pos << " decoded without a typed error";
+    } catch (const SerializeError&) {
+    }
+  }
+}
+
+TEST(SerializeReject, DeltaWriterRefusesUnsortedKeys) {
+  serialize::Writer w;
+  const std::int64_t keys[] = {3, 2, 1};
+  EXPECT_THROW(w.i64s_delta(keys), std::logic_error);
 }
 
 TEST(SerializeReject, GiantLengthPrefixDoesNotAllocate) {

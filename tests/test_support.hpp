@@ -26,6 +26,7 @@
 #include <filesystem>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/hash.hpp"
@@ -46,12 +47,17 @@ inline constexpr std::uint64_t kToxicSeed = 202;
 inline constexpr std::uint64_t kProductSeed = 101;
 inline constexpr std::uint64_t kCreditSeed = 404;
 
-/// Small Toxic classification workload (cascade-friendly easy/hard mixture).
-inline workloads::Workload small_toxic() {
+/// Config of the small Toxic workload the shared fixtures use.
+inline workloads::ToxicConfig small_toxic_config() {
   workloads::ToxicConfig cfg;
   cfg.seed = kToxicSeed;
   cfg.sizes = {.train = 1500, .valid = 700, .test = 700};
-  return workloads::make_toxic(cfg);
+  return cfg;
+}
+
+/// Small Toxic classification workload (cascade-friendly easy/hard mixture).
+inline workloads::Workload small_toxic() {
+  return workloads::make_toxic(small_toxic_config());
 }
 
 /// Small Product classification workload with shrunk TF-IDF vocabularies.
@@ -137,6 +143,94 @@ inline std::string fixture_cache_path(const std::string& tag,
       .string();
 }
 
+// ---------------------------------------------------------------------------
+// Raw-split cache (WSPL containers).
+//
+// The trained-fixture caches above skip training but still regenerate the
+// workload's raw data in every binary; the split cache persists the
+// generated train/valid/test splits themselves. Unlike the trained caches
+// it cannot be content-keyed (the key must exist before the data does), so
+// it is keyed by (workload, seed, sizes, format version) and validated
+// structurally on load. Editing a workload *generator* therefore requires
+// clearing the fixture-cache directory (or WILLUMP_SPLIT_CACHE=0); editing
+// sizes or seeds invalidates naturally.
+// ---------------------------------------------------------------------------
+
+inline bool split_cache_enabled() {
+  const char* e = std::getenv("WILLUMP_SPLIT_CACHE");
+  return e == nullptr || std::string_view(e) != "0";
+}
+
+inline std::string split_cache_path(const std::string& workload_name,
+                                    std::uint64_t seed,
+                                    const workloads::SplitSizes& sizes) {
+  const auto dir = fixture_cache_dir();
+  if (dir.empty() || !split_cache_enabled()) return {};
+  return (dir / (workload_name + "-splits-s" + std::to_string(seed) + "-n" +
+                 std::to_string(sizes.train) + "-" + std::to_string(sizes.valid) +
+                 "-" + std::to_string(sizes.test) + "-v" +
+                 std::to_string(serialize::kFormatVersion) + ".wlmp"))
+      .string();
+}
+
+/// Load cached splits into `out` (name/classification/train/valid/test
+/// only — the caller rebuilds the pipeline). Returns false on any miss,
+/// mismatch or artifact error.
+inline bool try_load_cached_splits(const std::string& workload_name,
+                                   std::uint64_t seed,
+                                   const workloads::SplitSizes& sizes,
+                                   workloads::Workload& out) {
+  const std::string path = split_cache_path(workload_name, seed, sizes);
+  if (path.empty()) return false;
+  try {
+    auto bundle = serialize::load_split_bundle(path);
+    if (bundle.workload != workload_name ||
+        bundle.train.targets.size() != sizes.train ||
+        bundle.valid.targets.size() != sizes.valid ||
+        bundle.test.targets.size() != sizes.test) {
+      return false;
+    }
+    out.name = bundle.workload;
+    out.classification = bundle.classification;
+    out.train = std::move(bundle.train);
+    out.valid = std::move(bundle.valid);
+    out.test = std::move(bundle.test);
+    return true;
+  } catch (const serialize::SerializeError&) {
+    return false;
+  }
+}
+
+/// Persist a generated workload's splits for later binaries (best-effort).
+inline void store_cached_splits(const workloads::Workload& wl,
+                                std::uint64_t seed,
+                                const workloads::SplitSizes& sizes) {
+  const std::string path = split_cache_path(wl.name, seed, sizes);
+  if (path.empty()) return;
+  try {
+    serialize::save_split_bundle(
+        {wl.name, wl.classification, wl.train, wl.valid, wl.test}, path);
+  } catch (const serialize::SerializeError&) {
+    // A read-only cache dir must not fail the suite.
+  }
+}
+
+/// The shared small-Toxic workload, cold-started from the split cache when
+/// possible: cached splits skip text generation, and the pipeline re-fitted
+/// on the cached train split is bit-identical to the freshly generated one.
+inline workloads::Workload small_toxic_cached() {
+  const workloads::ToxicConfig cfg = small_toxic_config();
+  workloads::Workload w;
+  if (try_load_cached_splits("toxic", cfg.seed, cfg.sizes, w)) {
+    return workloads::make_toxic_from_splits(cfg, std::move(w.train),
+                                             std::move(w.valid),
+                                             std::move(w.test));
+  }
+  w = workloads::make_toxic(cfg);
+  store_cached_splits(w, cfg.seed, cfg.sizes);
+  return w;
+}
+
 /// A workload with both execution engines built, layout probed, and a
 /// default-config cascade trained — deserialized from the fixture cache
 /// when a matching artifact exists.
@@ -194,7 +288,7 @@ struct ExecutorFixture {
 
 /// Process-wide Toxic fixture (built on first use).
 inline ExecutorFixture& shared_toxic() {
-  static ExecutorFixture f(small_toxic(), "toxic-cascade", kToxicSeed);
+  static ExecutorFixture f(small_toxic_cached(), "toxic-cascade", kToxicSeed);
   return f;
 }
 
@@ -252,7 +346,7 @@ struct OptimizedFixture {
 
 /// Process-wide optimized Toxic pipeline (built on first use).
 inline OptimizedFixture& shared_toxic_optimized() {
-  static OptimizedFixture f(small_toxic(), "toxic-optimized", kToxicSeed);
+  static OptimizedFixture f(small_toxic_cached(), "toxic-optimized", kToxicSeed);
   return f;
 }
 
