@@ -1,0 +1,158 @@
+#include "serving/autoscaler.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+
+#include "common/stats.hpp"
+#include "serving/server.hpp"
+
+namespace willump::serving {
+
+namespace {
+
+std::chrono::steady_clock::duration micros_duration(double micros) {
+  return std::chrono::microseconds(
+      std::max<std::int64_t>(0, static_cast<std::int64_t>(micros)));
+}
+
+}  // namespace
+
+double steady_state_attainment(const LoadSnapshot& snap, std::size_t replicas) {
+  const double k = static_cast<double>(std::max<std::size_t>(replicas, 1));
+  const double s = snap.service_seconds_per_row;
+  if (s <= 0.0) return 1.0;  // nothing measured executes instantly
+  const double rho = snap.arrival_qps * s / k;
+  if (rho >= 1.0) return 0.0;  // saturated: the queue grows without bound
+  const double sojourn = s + s * rho / (k * (1.0 - rho));
+  if (!(sojourn > 0.0)) return 1.0;
+  return 1.0 - std::exp(-snap.deadline_seconds / sojourn);
+}
+
+AutoscaleAction AutoscalePolicy::evaluate(
+    const LoadSnapshot& snap, std::size_t current_replicas,
+    std::chrono::steady_clock::time_point now) {
+  // Cold-start guard: before min_observations the estimators' CI is
+  // meaninglessly wide and the EWMAs may be zero — never resize, and carry
+  // no failing-streak evidence out of the cold phase.
+  if (snap.batches < cfg_.min_observations ||
+      snap.service_seconds_per_row <= 0.0 || snap.arrival_qps <= 0.0) {
+    streak_ = 0;
+    return AutoscaleAction::kHold;
+  }
+
+  const std::size_t n = std::max<std::size_t>(snap.rows, 1);
+  const double att = steady_state_attainment(snap, current_replicas);
+  const double half = common::binomial_ci95_half_width(att, n);
+
+  // Hysteresis leg 1 (scale-up evidence): the streak accumulates on every
+  // evaluation whose CI *upper* bound fails the target — even during a
+  // cooldown, which defers the action, not the evidence — and any passing
+  // evaluation resets it.
+  if (att + half < snap.target_attainment) {
+    ++streak_;
+  } else {
+    streak_ = 0;
+  }
+
+  if (resized_ && now - last_resize_ < micros_duration(cfg_.cooldown_micros)) {
+    return AutoscaleAction::kHold;
+  }
+
+  if (streak_ >= cfg_.scale_up_streak && current_replicas < cfg_.max_replicas) {
+    streak_ = 0;
+    resized_ = true;
+    last_resize_ = now;
+    return AutoscaleAction::kGrow;
+  }
+
+  // Hysteresis leg 2 (scale-down): shrink only when the CI *lower* bound of
+  // the predicted attainment at one FEWER replica still clears the target —
+  // the smaller group would confidently pass, so the slot is provably idle
+  // capacity. Between the two bounds the policy holds; that band is what
+  // makes a stationary trace's resize sequence eventually constant (a shrink
+  // to k-1 implies the upper bound at k-1 also passes, so it can never
+  // trigger an immediate re-grow).
+  if (current_replicas > cfg_.min_replicas) {
+    const double att_down =
+        steady_state_attainment(snap, current_replicas - 1);
+    const double lower =
+        att_down - common::binomial_ci95_half_width(att_down, n);
+    if (lower >= snap.target_attainment) {
+      streak_ = 0;
+      resized_ = true;
+      last_resize_ = now;
+      return AutoscaleAction::kShrink;
+    }
+  }
+  return AutoscaleAction::kHold;
+}
+
+Autoscaler::Autoscaler(Server& server, AutoscaleConfig cfg)
+    : server_(server), cfg_(cfg) {}
+
+Autoscaler::~Autoscaler() { stop(); }
+
+void Autoscaler::start() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (thread_.joinable() || stop_) return;
+  thread_ = std::thread([this] { loop(); });
+}
+
+void Autoscaler::stop() {
+  std::thread joinable;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+    joinable = std::move(thread_);
+  }
+  cv_.notify_all();
+  if (joinable.joinable()) joinable.join();
+}
+
+void Autoscaler::loop() {
+  const auto interval = micros_duration(std::max(1.0, cfg_.interval_micros));
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    cv_.wait_for(lock, interval, [this] { return stop_; });
+    if (stop_) return;
+    lock.unlock();
+    evaluate_once(std::chrono::steady_clock::now());
+    lock.lock();
+  }
+}
+
+void Autoscaler::evaluate_once(std::chrono::steady_clock::time_point now) {
+  for (const auto& name : server_.model_names()) {
+    AutoscalePolicy& policy =
+        policies_.try_emplace(name, cfg_).first->second;
+    const LoadSnapshot snap = server_.load_snapshot(name);
+    const std::size_t current = server_.replica_count(name);
+    switch (policy.evaluate(snap, current, now)) {
+      case AutoscaleAction::kGrow:
+        try {
+          server_.add_replica(name);
+        } catch (...) {
+          // A missing/corrupt artifact or a racing shutdown must not kill
+          // the controller; the cooldown the policy already armed keeps a
+          // persistent failure from being retried every tick.
+        }
+        break;
+      case AutoscaleAction::kShrink:
+        try {
+          server_.retire_replica(name);
+        } catch (...) {
+        }
+        break;
+      case AutoscaleAction::kHold:
+        break;
+    }
+  }
+  evaluations_.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::size_t Autoscaler::evaluations() const {
+  return evaluations_.load(std::memory_order_relaxed);
+}
+
+}  // namespace willump::serving

@@ -1,0 +1,161 @@
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+
+#include "serving/load_control.hpp"
+
+namespace willump::serving {
+
+class Server;
+
+/// Replica-autoscaling policy of one Server (part of ServerConfig). The
+/// controller closes the loop PR 6 left open: LoadController predicts
+/// per-model deadline attainment from its online EWMA latency/queue model,
+/// and the autoscaler acts on that prediction by growing or shrinking the
+/// model's replica group at runtime.
+///
+/// Every resize is gated by the paper's §6.3 statistical criterion, never a
+/// point estimate: the policy compares the *bounds* of the 95% binomial CI
+/// around predicted attainment (at the observed row count) against the
+/// class target, and the asymmetry of the two rules is the hysteresis that
+/// keeps a noisy estimate from flapping the group:
+///
+/// - **scale up** only after the CI *upper* bound at the current replica
+///   count falls below the target for `scale_up_streak` consecutive
+///   evaluations (the model is confidently failing, and keeps failing);
+/// - **scale down** only when the CI *lower* bound at one *fewer* replica
+///   still clears the target (the smaller group would confidently pass).
+///
+/// Between the bounds — the uncertain band — the policy holds. A cooldown
+/// after every resize lets the estimators re-converge on the new group
+/// before the next decision, and min/max bounds clamp the group size.
+struct AutoscaleConfig {
+  /// Spawn the background controller thread when serving starts. Off by
+  /// default: replica groups stay operator-sized, exactly the legacy
+  /// behavior.
+  bool enabled = false;
+  /// Controller evaluation period. Each tick evaluates every registered
+  /// model once against its LoadController snapshot.
+  double interval_micros = 20'000.0;
+  /// Group-size clamp: the controller never shrinks below min_replicas or
+  /// grows above max_replicas (operator resizes are not clamped).
+  std::size_t min_replicas = 1;
+  std::size_t max_replicas = 8;
+  /// Consecutive failing evaluations (CI upper bound below target) required
+  /// before a scale-up fires. The streak keeps accumulating during a
+  /// cooldown — the cooldown defers the action, not the evidence.
+  std::size_t scale_up_streak = 3;
+  /// Minimum time between two resizes of the same model, so the estimators
+  /// observe the resized group before the next decision.
+  double cooldown_micros = 100'000.0;
+  /// Cold-start guard: no resize before the model's estimators have
+  /// observed this many batches (mirrors LoadControlConfig::min_observations
+  /// — a cold CI is meaninglessly wide, so a cold model is never resized).
+  std::size_t min_observations = 5;
+};
+
+/// What one policy evaluation decided for one model.
+enum class AutoscaleAction {
+  kHold,
+  kGrow,    // add one replica
+  kShrink,  // retire one replica (drain, then free)
+};
+
+/// Steady-state predicted attainment of `snap`'s load at `replicas` slots —
+/// the same M/M/k-flavored model LoadController::steady_state_attainment
+/// evaluates, recomputed from a snapshot so the policy can ask "what would
+/// one fewer replica predict?" without touching the live controller.
+double steady_state_attainment(const LoadSnapshot& snap, std::size_t replicas);
+
+/// Pure per-model resize decision logic: no clock reads, no threads, no
+/// Server — `evaluate` consumes a LoadController snapshot and an injected
+/// `now`, so every hysteresis edge (streak, cooldown, clamps, cold-start
+/// guard) is a deterministic unit test. The background Autoscaler holds one
+/// policy per model and feeds it the real clock; tests feed synthetic
+/// snapshots and a synthetic clock (tests/test_autoscaler.cpp).
+///
+/// Not thread-safe: one evaluator owns a policy instance.
+class AutoscalePolicy {
+ public:
+  explicit AutoscalePolicy(AutoscaleConfig cfg) : cfg_(cfg) {}
+
+  /// Evaluate one tick: the decision for a model currently running
+  /// `current_replicas` slots under the load `snap` describes, at time
+  /// `now`. Returning kGrow/kShrink arms the cooldown immediately (the
+  /// caller is expected to act); kHold leaves all state untouched except
+  /// the failing streak.
+  AutoscaleAction evaluate(const LoadSnapshot& snap,
+                           std::size_t current_replicas,
+                           std::chrono::steady_clock::time_point now);
+
+  /// Consecutive evaluations whose CI upper bound failed the target
+  /// (diagnostics; reset by any resize or passing evaluation).
+  std::size_t failing_streak() const { return streak_; }
+
+  const AutoscaleConfig& config() const { return cfg_; }
+
+ private:
+  const AutoscaleConfig cfg_;
+  std::size_t streak_ = 0;
+  bool resized_ = false;  // last_resize_ is meaningful
+  std::chrono::steady_clock::time_point last_resize_{};
+};
+
+/// The background controller thread of one Server (opt-in via
+/// ServerConfig::autoscale): every `interval_micros` it snapshots each
+/// registered model's LoadController, runs that model's AutoscalePolicy,
+/// and applies the decision — `Server::add_replica(model)` (cold-started
+/// from the model's registered artifact path, falling back to cloning the
+/// live pipeline's Parts) or `Server::retire_replica(model)` (mark
+/// draining, stop routing, free after outstanding work completes).
+///
+/// Lifecycle: Server::start_serving constructs and starts it; shutdown
+/// stops and joins it before the queues close. stop() is idempotent.
+class Autoscaler {
+ public:
+  Autoscaler(Server& server, AutoscaleConfig cfg);
+  ~Autoscaler();
+
+  Autoscaler(const Autoscaler&) = delete;
+  Autoscaler& operator=(const Autoscaler&) = delete;
+
+  /// Spawn the controller thread (no-op if already running).
+  void start();
+  /// Stop and join the controller thread (idempotent, thread-safe).
+  void stop();
+
+  /// One controller tick: evaluate every registered model at `now` and
+  /// apply the decisions. Public so tests can drive the loop body
+  /// deterministically without the thread (construct with enabled=false
+  /// semantics: never call start()).
+  void evaluate_once(std::chrono::steady_clock::time_point now);
+
+  /// Controller ticks executed so far (thread + manual).
+  std::size_t evaluations() const;
+
+ private:
+  void loop();
+
+  Server& server_;
+  const AutoscaleConfig cfg_;
+
+  std::mutex mu_;  // guards thread_ and the stop CV
+  std::condition_variable cv_;
+  bool stop_ = false;
+  std::thread thread_;
+
+  /// Per-model policy state; touched only by the controller thread (or the
+  /// test driving evaluate_once single-threaded).
+  std::unordered_map<std::string, AutoscalePolicy> policies_;
+
+  std::atomic<std::size_t> evaluations_{0};
+};
+
+}  // namespace willump::serving

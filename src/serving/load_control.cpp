@@ -72,6 +72,18 @@ std::size_t LoadController::observations() const {
   return batches_;
 }
 
+LoadSnapshot LoadController::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  LoadSnapshot s;
+  s.service_seconds_per_row = service_ewma_;
+  s.arrival_qps = rate_ewma_;
+  s.batches = batches_;
+  s.rows = rows_;
+  s.deadline_seconds = deadline_seconds_;
+  s.target_attainment = cfg_.target_attainment;
+  return s;
+}
+
 bool LoadController::warmed_up() const {
   std::lock_guard<std::mutex> lock(mu_);
   return batches_ >= cfg_.min_observations && service_ewma_ > 0.0;

@@ -86,6 +86,26 @@ struct LoadControlConfig {
   std::size_t max_replicas = 8;
 };
 
+/// One coherent read of a LoadController's estimator state (all fields
+/// sampled under the same lock). This is the autoscaler's input: the pure
+/// AutoscalePolicy (serving/autoscaler.hpp) re-evaluates the steady-state
+/// attainment model from a snapshot at hypothetical replica counts, and
+/// tests fabricate snapshots directly to pin every decision edge.
+struct LoadSnapshot {
+  /// Smoothed per-row service time, seconds (0 while cold).
+  double service_seconds_per_row = 0.0;
+  /// Smoothed arrival rate, rows/second (0 before two arrivals).
+  double arrival_qps = 0.0;
+  /// Batches the estimators have observed (the cold-start guard's input).
+  std::size_t batches = 0;
+  /// Rows observed — the CI sample size of the statistical criterion.
+  std::size_t rows = 0;
+  /// The model's per-query deadline, seconds.
+  double deadline_seconds = 0.0;
+  /// Attainment objective predictions are judged against.
+  double target_attainment = 0.99;
+};
+
 /// Online per-model latency/queue model: EWMA service-time and
 /// arrival-rate estimators (fed from the same observations that populate
 /// ModelStats/LatencyRecorder) turned into deadline-attainment predictions.
@@ -129,6 +149,8 @@ class LoadController {
   double arrival_qps() const;
   /// Batches observed so far.
   std::size_t observations() const;
+  /// One coherent snapshot of the estimator state (see LoadSnapshot).
+  LoadSnapshot snapshot() const;
   /// True once min_observations batches have been seen.
   bool warmed_up() const;
 

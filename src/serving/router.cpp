@@ -108,8 +108,20 @@ void Router::add_replica(std::string_view model,
   owner(model).add_replica(model, artifact_path);
 }
 
+void Router::add_replica(std::string_view model) {
+  owner(model).add_replica(model);
+}
+
+void Router::retire_replica(std::string_view model) {
+  owner(model).retire_replica(model);
+}
+
 std::size_t Router::replica_count(std::string_view model) const {
   return owner(model).replica_count(model);
+}
+
+std::size_t Router::draining_replicas(std::string_view model) const {
+  return owner(model).draining_replicas(model);
 }
 
 void Router::swap_model(std::string_view model,
@@ -275,6 +287,9 @@ RouterStats Router::stats() const {
     out.serving.completions += ss.completions;
     out.serving.expired += ss.expired;
     out.serving.shed += ss.shed;
+    out.serving.scale_ups += ss.scale_ups;
+    out.serving.scale_downs += ss.scale_downs;
+    out.serving.draining += ss.draining;
     out.serving.inference_seconds += ss.inference_seconds;
     out.serving.latency_samples += ss.latency_samples;
   }

@@ -104,11 +104,22 @@ class Router {
                   ModelConfig cfg = {});
 
   /// Replica-group and rollout operations, forwarded to the owning shard;
-  /// same semantics and error contracts as the Server methods.
+  /// same semantics and error contracts as the Server methods. add_replica
+  /// and retire_replica are legal under live traffic (runtime resizes);
+  /// the per-shard autoscalers (RouterConfig::shard.autoscale, forwarded
+  /// into every shard's Server) drive the same paths automatically.
   void add_replica(std::string_view model,
                    std::shared_ptr<const core::OptimizedPipeline> pipeline);
   void add_replica(std::string_view model, const std::string& artifact_path);
+  /// Cold-start one replica from the model's registered artifact path
+  /// (ModelConfig::artifact_path), falling back to a Parts clone — the
+  /// autoscaler's scale-up path, forwarded.
+  void add_replica(std::string_view model);
+  /// Drain one replica away (see Server::retire_replica).
+  void retire_replica(std::string_view model);
   std::size_t replica_count(std::string_view model) const;
+  /// Retired replicas of `model` still finishing outstanding work.
+  std::size_t draining_replicas(std::string_view model) const;
   void swap_model(std::string_view model, const std::string& artifact_path);
   void swap_model(std::string_view model,
                   std::shared_ptr<const core::OptimizedPipeline> pipeline);

@@ -42,11 +42,31 @@ Server::ModelEntry::ModelEntry(std::string model_name,
   // The initial replica group shares the registered pipeline instance
   // (execution slots); add_replica() appends slots with their own.
   const std::size_t n = std::max<std::size_t>(1, c.replicas);
-  replicas.reserve(n);
+  auto g = std::make_shared<ReplicaGroup>();
+  g->reserve(n);
   for (std::size_t i = 0; i < n; ++i) {
-    replicas.push_back(std::make_unique<Replica>(i, p));
+    g->push_back(std::make_shared<Replica>(i, p));
   }
+  group = std::move(g);
+  live_replicas.store(n, std::memory_order_release);
+  next_replica_index = n;
   replica_rows.assign(n, 0);
+}
+
+std::shared_ptr<const Server::ReplicaGroup> Server::ModelEntry::snapshot_group()
+    const {
+  std::lock_guard<std::mutex> lock(group_mu);
+  return group;
+}
+
+std::size_t Server::ModelEntry::draining_count() const {
+  std::lock_guard<std::mutex> lock(group_mu);
+  drain_list.erase(std::remove_if(drain_list.begin(), drain_list.end(),
+                                  [](const std::weak_ptr<Replica>& w) {
+                                    return w.expired();
+                                  }),
+                   drain_list.end());
+  return drain_list.size();
 }
 
 std::chrono::steady_clock::duration Server::ModelEntry::deadline_duration()
@@ -114,6 +134,10 @@ void Server::load_model(std::string name, const std::string& artifact_path,
   // SerializeError and the registry is exactly as it was.
   auto pipeline = std::make_shared<const core::OptimizedPipeline>(
       serialize::load_pipeline(artifact_path));
+  // Remember where this model came from: add_replica(model) — the
+  // autoscaler's scale-up — cold-starts further replicas from the same
+  // artifact unless the caller registered a different one.
+  if (cfg.artifact_path.empty()) cfg.artifact_path = artifact_path;
   register_model(std::move(name), std::move(pipeline), cfg);
 }
 
@@ -124,19 +148,27 @@ void Server::add_replica(
     throw std::invalid_argument("Server::add_replica: null pipeline");
   }
   ModelEntry& m = find_model(model);
-  std::lock_guard<std::mutex> lock(registry_mu_);
-  if (started_.load(std::memory_order_acquire) ||
-      stopping_.load(std::memory_order_acquire)) {
-    // Workers index the replica vector without a lock, so the group is
-    // frozen with the rest of the registry; grow groups before serving.
-    throw std::logic_error(
-        "Server::add_replica: serving has started; build replica groups "
-        "before the first request");
+  if (stopping_.load(std::memory_order_acquire)) {
+    throw std::logic_error("Server::add_replica: the engine is shut down");
   }
-  m.replicas.push_back(
-      std::make_unique<Replica>(m.replicas.size(), std::move(pipeline)));
-  std::lock_guard<std::mutex> stats_lock(m.stats_mu);
-  m.replica_rows.push_back(0);
+  // Post-start additions are resizes (the autoscaler's scale-up or an
+  // operator grow); pre-start additions just build the initial group.
+  const bool resize = started_.load(std::memory_order_acquire);
+  {
+    // Publish a new group generation: copy, append, swap. In-flight
+    // batches keep their old snapshot; the next acquire sees the new slot.
+    std::lock_guard<std::mutex> lock(m.group_mu);
+    auto next = std::make_shared<ReplicaGroup>(*m.group);
+    next->push_back(
+        std::make_shared<Replica>(m.next_replica_index++, std::move(pipeline)));
+    {
+      std::lock_guard<std::mutex> stats_lock(m.stats_mu);
+      m.replica_rows.resize(m.next_replica_index, 0);
+      if (resize) ++m.scale_ups;
+    }
+    m.live_replicas.store(next->size(), std::memory_order_release);
+    m.group = std::move(next);
+  }
 }
 
 void Server::add_replica(std::string_view model,
@@ -145,11 +177,69 @@ void Server::add_replica(std::string_view model,
                          serialize::load_pipeline(artifact_path)));
 }
 
-std::size_t Server::replica_count(std::string_view model) const {
+void Server::add_replica(std::string_view model) {
   ModelEntry& m = find_model(model);
-  std::unique_lock<std::mutex> lock(registry_mu_, std::defer_lock);
-  if (!started_.load(std::memory_order_acquire)) lock.lock();
-  return m.replicas.size();
+  if (!m.cfg.artifact_path.empty()) {
+    add_replica(model, m.cfg.artifact_path);
+    return;
+  }
+  // No registered artifact: clone the live pipeline's Parts. The clone
+  // shares the fitted state (executor, cascade models — the same sharing
+  // the intern pool gives artifact loads) and owns fresh runtime state
+  // (feature cache, counters).
+  const auto live = m.snapshot_group()->front()->snapshot();
+  core::OptimizedPipeline::Parts parts;
+  parts.executor = live->executor_ptr();
+  parts.cascade = live->cascade();
+  parts.use_cascades = live->use_cascades();
+  parts.topk = live->topk_config();
+  parts.feature_cache = live->cache() != nullptr;
+  parts.cache_capacity = live->cache_capacity_per_ifv();
+  parts.parallel_threads = live->parallel_threads();
+  parts.autotune = live->autotune_report();
+  add_replica(model, std::make_shared<const core::OptimizedPipeline>(
+                         std::move(parts)));
+}
+
+void Server::retire_replica(std::string_view model) {
+  ModelEntry& m = find_model(model);
+  {
+    std::lock_guard<std::mutex> lock(m.group_mu);
+    if (m.group->size() <= 1) {
+      throw std::logic_error("Server::retire_replica: model \"" +
+                             std::string(model) +
+                             "\" has a single replica; a group never drains "
+                             "to zero");
+    }
+    // Retire the newest slot (LIFO): slot 0 — the originally registered
+    // pipeline — serves for the group's lifetime. Mark it draining before
+    // publishing the shrunk group, so even a worker holding the old
+    // generation stops routing new batches to it; the batch it may be
+    // executing right now finishes normally (the worker's shared_ptr keeps
+    // it alive), after which the refcount frees it and its drain_list
+    // entry expires.
+    std::shared_ptr<Replica> victim = m.group->back();
+    victim->draining.store(true, std::memory_order_release);
+    auto next = std::make_shared<ReplicaGroup>(m.group->begin(),
+                                               m.group->end() - 1);
+    m.live_replicas.store(next->size(), std::memory_order_release);
+    m.group = std::move(next);
+    m.drain_list.emplace_back(victim);
+  }
+  std::lock_guard<std::mutex> stats_lock(m.stats_mu);
+  ++m.scale_downs;
+}
+
+std::size_t Server::replica_count(std::string_view model) const {
+  return find_model(model).snapshot_group()->size();
+}
+
+std::size_t Server::draining_replicas(std::string_view model) const {
+  return find_model(model).draining_count();
+}
+
+LoadSnapshot Server::load_snapshot(std::string_view model) const {
+  return find_model(model).load.snapshot();
 }
 
 void Server::swap_model(std::string_view model,
@@ -166,11 +256,11 @@ void Server::swap_model(
   }
   ModelEntry& m = find_model(model);
   {
-    // Pre-start the replica vector may still be growing (add_replica);
-    // post-start it is frozen and the per-replica mutexes suffice.
-    std::unique_lock<std::mutex> reg_lock(registry_mu_, std::defer_lock);
-    if (!started_.load(std::memory_order_acquire)) reg_lock.lock();
-    for (auto& rep : m.replicas) {
+    // One group snapshot covers the rollout; a replica added concurrently
+    // with the swap keeps the pipeline it was added with (the caller
+    // chooses which version new capacity serves).
+    const auto group = m.snapshot_group();
+    for (const auto& rep : *group) {
       std::lock_guard<std::mutex> lock(rep->pipeline_mu);
       rep->pipeline = pipeline;
     }
@@ -199,16 +289,16 @@ void Server::swap_replica(
   }
   ModelEntry& m = find_model(model);
   {
-    // Same pre-start guard as swap_model: the group may still be growing.
-    std::unique_lock<std::mutex> reg_lock(registry_mu_, std::defer_lock);
-    if (!started_.load(std::memory_order_acquire)) reg_lock.lock();
-    if (replica >= m.replicas.size()) {
+    // `replica` indexes the current live group (position, not all-time
+    // slot index): a rolling rollout walks 0..replica_count()-1.
+    const auto group = m.snapshot_group();
+    if (replica >= group->size()) {
       throw std::invalid_argument("Server::swap_replica: model \"" +
                                   std::string(model) + "\" has no replica " +
                                   std::to_string(replica));
     }
-    std::lock_guard<std::mutex> lock(m.replicas[replica]->pipeline_mu);
-    m.replicas[replica]->pipeline = std::move(pipeline);
+    std::lock_guard<std::mutex> lock((*group)[replica]->pipeline_mu);
+    (*group)[replica]->pipeline = std::move(pipeline);
   }
   // A rolling upgrade serves two versions side by side; cached predictions
   // cannot be attributed to the surviving version, so the whole key space
@@ -314,16 +404,28 @@ void Server::start_serving() {
   for (std::size_t i = 0; i < cfg_.num_workers; ++i) {
     workers_.emplace_back([this, i] { worker_loop(i); });
   }
+  if (cfg_.autoscale.enabled && cfg_.num_workers > 0) {
+    // The controller starts only with a worker pool: the synchronous-only
+    // mode spawns no background threads by contract.
+    autoscaler_ = std::make_unique<Autoscaler>(*this, cfg_.autoscale);
+    autoscaler_->start();
+  }
 }
 
 void Server::shutdown() {
   stopping_.store(true, std::memory_order_release);
+  Autoscaler* scaler = nullptr;
   {
     // Close under the registry lock so a racing register_model either
-    // observes stopping_ or has its queue closed here.
+    // observes stopping_ or has its queue closed here. The autoscaler
+    // pointer is read under the same lock (start_serving sets it there)
+    // but stopped outside it: the controller thread takes registry_mu_
+    // through the public API it drives.
     std::lock_guard<std::mutex> lock(registry_mu_);
+    scaler = autoscaler_.get();
     for (const auto& m : models_) m->queue.close();
   }
+  if (scaler != nullptr) scaler->stop();
   std::lock_guard<std::mutex> lock(shutdown_mu_);
   if (joined_) return;
   for (auto& w : workers_) w.join();
@@ -443,7 +545,8 @@ void Server::submit_request(ModelEntry& m, data::Batch row, Callback done,
       reject(m, req, RejectReason::kShedBestEffort);
       return;
     }
-    if (!m.load.admit(m.queue.size(), m.replicas.size())) {
+    if (!m.load.admit(m.queue.size(),
+                      m.live_replicas.load(std::memory_order_acquire))) {
       reject(m, req, RejectReason::kPredictedMiss);
       return;
     }
@@ -455,9 +558,9 @@ void Server::submit_request(ModelEntry& m, data::Batch row, Callback done,
     // callers serialize per replica like worker batches do.
     std::vector<Request> reqs;
     reqs.push_back(std::move(req));
-    Replica& rep = acquire_replica(m);
-    execute(m, rep, reqs, /*stolen=*/false);
-    release_replica(m, rep);
+    const auto rep = acquire_replica(m);
+    execute(m, *rep, reqs, /*stolen=*/false);
+    release_replica(m, *rep);
     return;
   }
 
@@ -527,7 +630,10 @@ bool Server::higher_class_pressure(const ModelEntry& m) const {
     if (other.get() == &m) continue;
     if (other->cfg.slo.priority <= m.cfg.slo.priority) continue;
     if (other->aimd.under_pressure()) return true;
-    if (other->load.overloaded(other->replicas.size())) return true;
+    if (other->load.overloaded(
+            other->live_replicas.load(std::memory_order_acquire))) {
+      return true;
+    }
   }
   return false;
 }
@@ -543,8 +649,11 @@ Server::ModelEntry* Server::pick_model_slo() const {
   ModelEntry* best = nullptr;
   ScheduleKey best_key;
   for (const auto& m : models_) {
+    // busy >= live is conservative during a shrink: a draining replica
+    // finishing its last batch still counts busy, so the model is skipped
+    // until that batch completes — a transient, never a stall.
     if (m->busy_replicas.load(std::memory_order_acquire) >=
-        m->replicas.size()) {
+        m->live_replicas.load(std::memory_order_acquire)) {
       continue;
     }
     const auto accepted = m->queue.peek_front(
@@ -639,40 +748,49 @@ bool Server::drained_after_close() const {
   return true;
 }
 
-Server::Replica& Server::acquire_replica(ModelEntry& m) {
-  const std::size_t n = m.replicas.size();
-  if (n == 1) {
-    m.replicas[0]->exec_mu.lock();
+std::shared_ptr<Server::Replica> Server::acquire_replica(ModelEntry& m) {
+  for (;;) {
+    // One group snapshot per acquisition (a mutex-guarded shared_ptr copy);
+    // the returned replica is kept alive by the caller's shared_ptr even if
+    // a concurrent retire unpublishes it mid-batch.
+    const auto group = m.snapshot_group();
+    const std::size_t n = group->size();
+    // Least-outstanding-requests balancing. With one batch at a time per
+    // replica, a free slot has no in-flight rows, so "least-outstanding
+    // free replica" reduces to "first free non-draining slot in rotated
+    // order" — the rotating ticket is what spreads work round-robin over
+    // equally idle slots. No allocation on this per-batch hot path beyond
+    // the snapshot itself.
+    const std::size_t start =
+        m.replica_ticket.fetch_add(1, std::memory_order_relaxed) % n;
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto& cand = (*group)[(start + i) % n];
+      if (cand->draining.load(std::memory_order_acquire)) continue;
+      if (cand->exec_mu.try_lock()) {
+        m.busy_replicas.fetch_add(1, std::memory_order_acq_rel);
+        return cand;
+      }
+    }
+    // Every live slot was claimed between the scheduler's capacity check
+    // and now (or the caller bypassed the gate, e.g. the legacy scheduler
+    // / inline mode): wait on the live slot with the fewest in-flight
+    // rows. If every slot of this snapshot began draining meanwhile (a
+    // stale generation), re-read the group — the published one always
+    // holds a live replica.
+    std::shared_ptr<Replica> least;
+    for (const auto& rep : *group) {
+      if (rep->draining.load(std::memory_order_acquire)) continue;
+      if (least == nullptr ||
+          rep->inflight_rows.load(std::memory_order_relaxed) <
+              least->inflight_rows.load(std::memory_order_relaxed)) {
+        least = rep;
+      }
+    }
+    if (least == nullptr) continue;
+    least->exec_mu.lock();
     m.busy_replicas.fetch_add(1, std::memory_order_acq_rel);
-    return *m.replicas[0];
+    return least;
   }
-  // Least-outstanding-requests balancing. With one batch at a time per
-  // replica, a free slot has no in-flight rows, so "least-outstanding
-  // free replica" reduces to "first free slot in rotated order" — the
-  // rotating ticket is what spreads work round-robin over equally idle
-  // slots. No allocation on this per-batch hot path.
-  const std::size_t start =
-      m.replica_ticket.fetch_add(1, std::memory_order_relaxed) % n;
-  for (std::size_t i = 0; i < n; ++i) {
-    Replica& cand = *m.replicas[(start + i) % n];
-    if (cand.exec_mu.try_lock()) {
-      m.busy_replicas.fetch_add(1, std::memory_order_acq_rel);
-      return cand;
-    }
-  }
-  // Every slot was claimed between the scheduler's capacity check and now
-  // (or the caller bypassed the gate, e.g. the legacy scheduler / inline
-  // mode): wait on the slot with the fewest in-flight rows.
-  Replica* least = m.replicas[start].get();
-  for (const auto& rep : m.replicas) {
-    if (rep->inflight_rows.load(std::memory_order_relaxed) <
-        least->inflight_rows.load(std::memory_order_relaxed)) {
-      least = rep.get();
-    }
-  }
-  least->exec_mu.lock();
-  m.busy_replicas.fetch_add(1, std::memory_order_acq_rel);
-  return *least;
 }
 
 void Server::release_replica(ModelEntry& m, Replica& rep) {
@@ -702,7 +820,8 @@ void Server::run_batch(ModelEntry& m, Request first, bool stolen) {
   // Claim the execution slot before coalescing: if the group is momentarily
   // saturated, everything that queues while we wait for a replica joins
   // this batch, so the wait buys amortization instead of being dead time.
-  Replica& rep = acquire_replica(m);
+  const auto rep_ptr = acquire_replica(m);
+  Replica& rep = *rep_ptr;
 
   std::vector<Request> reqs;
   reqs.push_back(std::move(first));
@@ -834,30 +953,30 @@ std::vector<double> Server::predict_batch(std::string_view model,
   ModelEntry& m = find_model(model);
   // The synchronous pre-batched path bypasses the queue and the replica
   // capacity gate (it never blocks behind queued batches); it snapshots
-  // the least-loaded replica's pipeline so a frontend's client batches
-  // still spread over the group. This path deliberately does NOT freeze
-  // the registry (ClipperSim keeps add_model legal between serve()
-  // calls), so pre-start the replica vector can still grow concurrently:
-  // hold the registry lock for the scan. Replica objects are heap-stable,
-  // so the picked slot stays valid after the lock drops.
-  Replica* least = nullptr;
+  // the least-loaded live replica's pipeline so a frontend's client
+  // batches still spread over the group. The group snapshot keeps the
+  // picked slot alive across a concurrent retire.
+  const auto group = m.snapshot_group();
+  std::shared_ptr<Replica> least;
   {
-    std::unique_lock<std::mutex> reg_lock(registry_mu_, std::defer_lock);
-    if (!started_.load(std::memory_order_acquire)) reg_lock.lock();
     // Rotated scan start: the sync path does not mark its own rows
     // in-flight, so without rotation every all-idle tie would fall to
     // slot 0 and concurrent client batches would pile onto one replica.
-    const std::size_t n = m.replicas.size();
+    const std::size_t n = group->size();
     const std::size_t start =
         m.replica_ticket.fetch_add(1, std::memory_order_relaxed) % n;
-    least = m.replicas[start].get();
-    for (std::size_t i = 1; i < n; ++i) {
-      Replica& cand = *m.replicas[(start + i) % n];
-      if (cand.inflight_rows.load(std::memory_order_relaxed) <
-          least->inflight_rows.load(std::memory_order_relaxed)) {
-        least = &cand;
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto& cand = (*group)[(start + i) % n];
+      if (cand->draining.load(std::memory_order_acquire)) continue;
+      if (least == nullptr ||
+          cand->inflight_rows.load(std::memory_order_relaxed) <
+              least->inflight_rows.load(std::memory_order_relaxed)) {
+        least = cand;
       }
     }
+    // Stale snapshot whose every slot is draining: any slot still serves
+    // correctly (its pipeline lives until the last reference drops).
+    if (least == nullptr) least = (*group)[start];
   }
   const auto pipeline = least->snapshot();  // whole client batch on one version
   const std::size_t n = batch.num_rows();
@@ -937,6 +1056,10 @@ ModelStats Server::stats(std::string_view model) const {
   const ModelEntry& m = find_model(model);
   ModelStats s;
   const AimdCounters aimd = m.aimd.counters();
+  // Group state before stats_mu: lock order is group_mu -> stats_mu
+  // everywhere (add_replica nests them that way).
+  s.replicas = m.live_replicas.load(std::memory_order_acquire);
+  s.draining = m.draining_count();
   std::lock_guard<std::mutex> lock(m.stats_mu);
   s.model = m.name;
   s.queries = m.queries;
@@ -957,8 +1080,9 @@ ModelStats Server::stats(std::string_view model) const {
   s.current_max_batch = aimd.current_max_batch;
   s.aimd_increases = aimd.increases;
   s.aimd_backoffs = aimd.backoffs;
-  s.replicas = m.replica_rows.size();
   s.replica_rows = m.replica_rows;
+  s.scale_ups = m.scale_ups;
+  s.scale_downs = m.scale_downs;
   return s;
 }
 
@@ -972,6 +1096,7 @@ ServerStats Server::stats() const {
   common::LatencyRecorder merged;
   s.models = models_.size();
   for (const auto& m : models_) {
+    s.draining += m->draining_count();  // group_mu before stats_mu
     std::lock_guard<std::mutex> lock(m->stats_mu);
     s.queries += m->queries;
     s.cache_hits += m->cache_hits;
@@ -983,6 +1108,8 @@ ServerStats Server::stats() const {
     s.completions += m->completions;
     s.expired += m->expired;
     s.shed += m->shed_queue_full + m->shed_best_effort + m->shed_predicted_miss;
+    s.scale_ups += m->scale_ups;
+    s.scale_downs += m->scale_downs;
     s.inference_seconds += m->inference_seconds;
     merged.merge(m->latencies);
   }
@@ -1008,6 +1135,8 @@ void Server::reset_stats() {
     m->shed_queue_full = 0;
     m->shed_best_effort = 0;
     m->shed_predicted_miss = 0;
+    m->scale_ups = 0;
+    m->scale_downs = 0;
     m->inference_seconds = 0.0;
     std::fill(m->replica_rows.begin(), m->replica_rows.end(), 0);
     m->latencies.clear();
@@ -1021,11 +1150,8 @@ std::size_t Server::current_max_batch(std::string_view model) const {
 
 std::size_t Server::recommended_replicas(std::string_view model) const {
   ModelEntry& m = find_model(model);
-  // Pre-start the group may still be growing (add_replica); see
-  // replica_count.
-  std::unique_lock<std::mutex> lock(registry_mu_, std::defer_lock);
-  if (!started_.load(std::memory_order_acquire)) lock.lock();
-  return m.load.recommended_replicas(m.replicas.size());
+  return m.load.recommended_replicas(
+      m.live_replicas.load(std::memory_order_acquire));
 }
 
 EndToEndCache& Server::cache(std::string_view model) {
@@ -1041,15 +1167,13 @@ const core::OptimizedPipeline& Server::pipeline(std::string_view model) const {
 std::shared_ptr<const core::OptimizedPipeline> Server::pipeline_snapshot(
     std::string_view model, std::size_t replica) const {
   ModelEntry& m = find_model(model);
-  // Pre-start the group may still be growing; see predict_batch.
-  std::unique_lock<std::mutex> reg_lock(registry_mu_, std::defer_lock);
-  if (!started_.load(std::memory_order_acquire)) reg_lock.lock();
-  if (replica >= m.replicas.size()) {
+  const auto group = m.snapshot_group();
+  if (replica >= group->size()) {
     throw std::invalid_argument("Server::pipeline_snapshot: model \"" +
                                 std::string(model) + "\" has no replica " +
                                 std::to_string(replica));
   }
-  return m.replicas[replica]->snapshot();
+  return (*group)[replica]->snapshot();
 }
 
 }  // namespace willump::serving

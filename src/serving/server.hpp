@@ -17,6 +17,7 @@
 #include "core/optimizer.hpp"
 #include "runtime/request_queue.hpp"
 #include "serving/aimd.hpp"
+#include "serving/autoscaler.hpp"
 #include "serving/e2e_cache.hpp"
 #include "serving/load_control.hpp"
 #include "serving/slo.hpp"
@@ -67,7 +68,9 @@ struct ModelConfig {
   /// with, all sharing the registered pipeline (min 1). Each replica runs
   /// one batch at a time — the Clipper model-container execution model —
   /// so N replicas admit N concurrent batch executions. add_replica()
-  /// appends further replicas, each with its own pipeline instance.
+  /// appends further replicas (at any point in the serving lifecycle) and
+  /// retire_replica() drains one away; the autoscaler drives both when
+  /// ServerConfig::autoscale is enabled.
   ///
   /// NOTE: this bounds the model's execution concurrency. The default of
   /// 1 serializes the model's queued batches even under many workers
@@ -76,6 +79,12 @@ struct ModelConfig {
   /// execution of *queued* traffic sets `replicas` (e.g. to num_workers).
   /// The synchronous predict_batch path is not gated by the slots.
   std::size_t replicas = 1;
+  /// Artifact this model can cold-start additional replicas from:
+  /// `add_replica(model)` — the autoscaler's scale-up path — deserializes
+  /// this artifact, and falls back to cloning the live pipeline's Parts
+  /// when empty. load_model() fills it with the path it loaded from when
+  /// the caller left it empty.
+  std::string artifact_path;
   /// Online AIMD tuning of `max_batch` (Clipper's controller). Disabled by
   /// default: the cap stays fixed.
   AimdConfig aimd;
@@ -112,6 +121,14 @@ struct ServerConfig {
   /// a CV wait, not a spin: an idle engine costs one wakeup per worker
   /// per quantum.
   double steal_quantum_micros = 500.0;
+  /// Background replica autoscaling (serving/autoscaler.hpp): when enabled,
+  /// start_serving() spawns a controller thread that periodically evaluates
+  /// every model's LoadController snapshot through an AutoscalePolicy and
+  /// grows (add_replica from ModelConfig::artifact_path or a Parts clone)
+  /// or shrinks (retire_replica, drain-then-free) its group. Requires
+  /// num_workers > 0 — the synchronous-only mode has no background threads
+  /// by contract, and inline callers gain nothing from extra slots.
+  AutoscaleConfig autoscale;
 };
 
 /// Per-model serving counters (snapshot; see Server::stats(model)).
@@ -144,10 +161,18 @@ struct ModelStats {
   std::size_t current_max_batch = 0;
   std::size_t aimd_increases = 0;
   std::size_t aimd_backoffs = 0;
-  /// Replica group: slot count and rows executed per slot (least-
+  /// Replica group: live slot count and rows executed per slot (least-
   /// outstanding balancing should spread saturating load across slots).
+  /// `replica_rows` is indexed by all-time slot index — retired slots keep
+  /// their row totals — so it can be longer than `replicas`.
   std::size_t replicas = 0;
   std::vector<std::size_t> replica_rows;
+  /// Resize counters: replicas added / retired after serving started
+  /// (operator- or autoscaler-driven), and how many retired replicas are
+  /// still draining (falls to 0 once their outstanding work completes).
+  std::size_t scale_ups = 0;
+  std::size_t scale_downs = 0;
+  std::size_t draining = 0;
 
   double mean_batch_rows() const {
     return batches == 0 ? 0.0
@@ -192,6 +217,11 @@ struct ServerStats {
   std::size_t completions = 0;
   std::size_t expired = 0;
   std::size_t shed = 0;  // all typed admission rejections
+  /// Fleet totals of the resize counters (see ModelStats): replicas added /
+  /// retired at runtime and retired replicas still draining.
+  std::size_t scale_ups = 0;
+  std::size_t scale_downs = 0;
+  std::size_t draining = 0;
 
   double mean_batch_rows() const {
     return batches == 0 ? 0.0
@@ -215,7 +245,13 @@ struct ServerStats {
 ///   execution model); batches are balanced over replicas by
 ///   least-outstanding-requests, so N replicas give N-way concurrent
 ///   execution and each replica is independently hot-swappable
-///   (`swap_replica`) and cold-startable from an artifact (`add_replica`);
+///   (`swap_replica`) and cold-startable from an artifact (`add_replica`).
+///   The group is **runtime-mutable**: `add_replica` grows it under live
+///   traffic and `retire_replica` shrinks it by draining — the retired
+///   slot stops receiving batches immediately and is freed only after its
+///   outstanding work completes, so no request is dropped or resolved
+///   twice. With `ServerConfig::autoscale` enabled a background controller
+///   (serving/autoscaler.hpp) drives both from predicted attainment;
 /// - a bounded MPMC `runtime::RequestQueue`, a batching policy whose
 ///   `max_batch` can be tuned online by an AIMD controller whose
 ///   batch-latency target derives from the class deadline (Clipper,
@@ -238,9 +274,12 @@ struct ServerStats {
 ///
 /// Thread safety: every public method is safe to call concurrently once
 /// serving has started, except the registration family (`register_model`,
-/// `load_model`, `add_replica`), which must finish before the first
-/// request and throws std::logic_error afterwards. `swap_model` /
-/// `swap_replica` are safe at any point in the serving lifecycle.
+/// `load_model`), which must finish before the first request and throws
+/// std::logic_error afterwards. `swap_model` / `swap_replica` /
+/// `add_replica` / `retire_replica` are safe at any point in the serving
+/// lifecycle — the replica group is published RCU-style (workers take a
+/// per-batch snapshot of an immutable group vector), so resizes never
+/// invalidate an in-flight batch.
 class Server {
  public:
   /// Completion callback of the async path: exactly one of `prediction`
@@ -284,19 +323,42 @@ class Server {
                   ModelConfig cfg = {});
 
   /// Append one replica to `model`'s group, serving the given pipeline
-  /// instance. Registration-phase only (std::logic_error once serving has
-  /// started); throws std::invalid_argument for an unknown model or null
-  /// pipeline. Replicas share the model's queue, cache, batching policy,
-  /// and counters; batches are balanced across them by least outstanding
-  /// requests.
+  /// instance — legal at any point in the serving lifecycle (the group is
+  /// published RCU-style; in-flight batches are untouched). Throws
+  /// std::invalid_argument for an unknown model or null pipeline and
+  /// std::logic_error after shutdown. Replicas share the model's queue,
+  /// cache, batching policy, and counters; batches are balanced across
+  /// them by least outstanding requests. Post-start additions count in
+  /// ModelStats::scale_ups.
   void add_replica(std::string_view model,
                    std::shared_ptr<const core::OptimizedPipeline> pipeline);
   /// Cold-start replica: deserialize `artifact_path` and append it. A
   /// corrupt artifact throws serialize::SerializeError and leaves the
   /// group unchanged.
   void add_replica(std::string_view model, const std::string& artifact_path);
+  /// The autoscaler's scale-up path: cold-start one replica from the
+  /// model's registered `ModelConfig::artifact_path`, or — when no
+  /// artifact is registered — clone the live pipeline's Parts (sharing the
+  /// fitted state, owning fresh runtime state).
+  void add_replica(std::string_view model);
 
+  /// Retire one replica (the newest slot) from `model`'s group: mark it
+  /// draining, unpublish it so no further batch routes to it, and free it
+  /// once its outstanding work completes — zero dropped or double-resolved
+  /// requests. Throws std::logic_error when the group holds a single
+  /// replica (a group never drains to zero). Counts in
+  /// ModelStats::scale_downs; the slot appears in ModelStats::draining
+  /// until its last in-flight batch finishes.
+  void retire_replica(std::string_view model);
+
+  /// Live (routable) replicas of `model`.
   std::size_t replica_count(std::string_view model) const;
+  /// Retired replicas still finishing outstanding work (0 once drained).
+  std::size_t draining_replicas(std::string_view model) const;
+
+  /// One coherent snapshot of the model's online load estimators — the
+  /// autoscaler's (and a test's) window into the LoadController.
+  LoadSnapshot load_snapshot(std::string_view model) const;
 
   /// Hot-reload every replica of `model` to one pipeline (a full rollout),
   /// at any point in the serving lifecycle. In-flight batches finish on
@@ -376,10 +438,10 @@ class Server {
   /// steady-state predicted attainment passes the 95%-CI criterion against
   /// the model's `LoadControlConfig::target_attainment`, from the online
   /// EWMA service-time/arrival-rate model (see LoadController). Returns
-  /// the current replica count while the estimators are cold. Advisory
-  /// only — the group itself is frozen once serving starts; an operator
-  /// (or the bench's grow/shrink demo) reads this to size the next
-  /// deployment.
+  /// the current replica count while the estimators are cold. Advisory:
+  /// an operator reads this and acts via add_replica/retire_replica; the
+  /// background autoscaler applies the same model's CI bounds with
+  /// hysteresis instead of this point recommendation.
   std::size_t recommended_replicas(std::string_view model) const;
 
   EndToEndCache& cache(std::string_view model);
@@ -409,13 +471,17 @@ class Server {
   /// microseconds against a milliseconds-scale inference — so a swap never
   /// frees a pipeline mid-predict. exec_mu serializes batch execution on
   /// the slot (one batch at a time per replica); inflight_rows is the
-  /// least-outstanding balancing signal.
+  /// least-outstanding balancing signal. `draining` is the retire-on-drain
+  /// flag: a draining replica takes no new batches (acquire and the sync
+  /// path skip it) and is destroyed — via shared_ptr refcount — when the
+  /// last group snapshot or in-flight batch holding it lets go.
   struct Replica {
-    std::size_t index = 0;
+    std::size_t index = 0;  // all-time slot index (replica_rows key)
     std::shared_ptr<const core::OptimizedPipeline> pipeline;
     mutable std::mutex pipeline_mu;
     std::mutex exec_mu;
     std::atomic<std::size_t> inflight_rows{0};
+    std::atomic<bool> draining{false};
 
     Replica(std::size_t i, std::shared_ptr<const core::OptimizedPipeline> p)
         : index(i), pipeline(std::move(p)) {}
@@ -426,12 +492,32 @@ class Server {
     }
   };
 
+  /// An immutable published generation of a model's replica group. Resizes
+  /// never mutate a published vector: add/retire build a new vector and
+  /// swap the pointer under group_mu (RCU-style), so a worker's per-batch
+  /// group snapshot stays valid — and keeps every replica in it alive —
+  /// for as long as the worker holds it.
+  using ReplicaGroup = std::vector<std::shared_ptr<Replica>>;
+
   struct ModelEntry {
     std::string name;
     ModelConfig cfg;
-    /// Replica group; append-only until serving starts, then frozen (only
-    /// each replica's pipeline pointer remains mutable, under its mutex).
-    std::vector<std::unique_ptr<Replica>> replicas;
+    /// Published replica group (see ReplicaGroup); read via
+    /// snapshot_group(), swapped by add_replica/retire_replica under
+    /// group_mu. Never empty.
+    std::shared_ptr<const ReplicaGroup> group;
+    mutable std::mutex group_mu;
+    /// Lock-free mirror of group->size() for the scheduler's hot paths
+    /// (capacity gate, admission, pressure scan).
+    std::atomic<std::size_t> live_replicas{0};
+    /// All-time slot counter: replica indices grow monotonically so
+    /// replica_rows rows are never reused across retire/add. Under
+    /// group_mu.
+    std::size_t next_replica_index = 0;
+    /// Retired replicas still referenced by in-flight work; weak_ptrs so
+    /// drain completion is observable (they expire when the last batch
+    /// reference drops). Pruned on read, under group_mu.
+    mutable std::vector<std::weak_ptr<Replica>> drain_list;
     /// Replicas currently executing a batch; the scheduler's capacity
     /// gate (a model with every replica busy is skipped, not blocked on).
     std::atomic<std::size_t> busy_replicas{0};
@@ -467,7 +553,12 @@ class Server {
     std::size_t shed_queue_full = 0;
     std::size_t shed_best_effort = 0;
     std::size_t shed_predicted_miss = 0;
+    /// Post-start resizes of the replica group (operator or autoscaler).
+    std::size_t scale_ups = 0;
+    std::size_t scale_downs = 0;
     double inference_seconds = 0.0;
+    /// Rows executed per all-time slot index (grow-only; retired slots
+    /// keep their totals).
     std::vector<std::size_t> replica_rows;
     common::LatencyRecorder latencies;
 
@@ -475,6 +566,11 @@ class Server {
                std::shared_ptr<const core::OptimizedPipeline> p, ModelConfig c);
 
     std::chrono::steady_clock::duration deadline_duration() const;
+    /// The current group generation (a mutex-guarded shared_ptr copy —
+    /// same idiom and cost as Replica::snapshot()).
+    std::shared_ptr<const ReplicaGroup> snapshot_group() const;
+    /// Unexpired drain_list entries (prunes expired ones in place).
+    std::size_t draining_count() const;
   };
 
   /// Lookup that throws std::invalid_argument for unknown names. The
@@ -493,10 +589,12 @@ class Server {
   /// whose head request is most urgent by (priority, earliest deadline);
   /// nullptr when nothing is schedulable right now.
   ModelEntry* pick_model_slo() const;
-  /// Claim an execution slot: the least-outstanding free replica (rotating
-  /// ties), or — if a racing worker took the last free slot — a blocking
-  /// wait on the least-loaded one. Returns with exec_mu held.
-  Replica& acquire_replica(ModelEntry& m);
+  /// Claim an execution slot: the least-outstanding free live replica
+  /// (rotating ties; draining replicas are skipped), or — if a racing
+  /// worker took the last free slot — a blocking wait on the least-loaded
+  /// live one. Returns with exec_mu held; the shared_ptr keeps the replica
+  /// alive even if it is retired mid-batch.
+  std::shared_ptr<Replica> acquire_replica(ModelEntry& m);
   void release_replica(ModelEntry& m, Replica& rep);
   /// Acquire a replica, coalesce up to the model's live cap starting from
   /// `first` (after the replica is held, so the batch fills with whatever
@@ -533,6 +631,9 @@ class Server {
   std::vector<std::thread> workers_;
   bool joined_ = false;
   std::mutex shutdown_mu_;
+  /// Background replica controller (cfg_.autoscale.enabled); created in
+  /// start_serving under registry_mu_, stopped first in shutdown.
+  std::unique_ptr<Autoscaler> autoscaler_;
 };
 
 }  // namespace willump::serving

@@ -1,0 +1,270 @@
+// Deterministic unit matrix for the replica-autoscaling decision logic
+// (serving/autoscaler.hpp). AutoscalePolicy is pure — it consumes a
+// LoadController snapshot and an injected clock — so every hysteresis edge
+// is pinned here without threads or timing: the scale-up streak threshold,
+// the scale-down lower-bound rule, the cooldown, the min/max clamps, and
+// the cold-start guard (no resize before min_observations). The PR-6
+// synthetic-clock LoadController tests are the style template; the
+// oscillation property sweep and the engine-level drain tests live in
+// tests/test_serving_engine.cpp.
+
+#include "serving/autoscaler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstddef>
+
+#include "common/stats.hpp"
+#include "serving/load_control.hpp"
+
+namespace willump::serving {
+namespace {
+
+using std::chrono::steady_clock;
+using std::chrono::milliseconds;
+
+/// Synthetic estimator state: a model with per-row service time
+/// `service_s`, offered `qps` rows/s, judged against `deadline_s` at
+/// `target`, with `rows` observed (the CI sample size) over `batches`
+/// batches (the cold-start guard's input).
+LoadSnapshot snap(double service_s, double qps, double deadline_s,
+                  std::size_t rows = 5000, std::size_t batches = 100,
+                  double target = 0.99) {
+  LoadSnapshot s;
+  s.service_seconds_per_row = service_s;
+  s.arrival_qps = qps;
+  s.deadline_seconds = deadline_s;
+  s.rows = rows;
+  s.batches = batches;
+  s.target_attainment = target;
+  return s;
+}
+
+/// 2000 rows/s against a 1 ms/row model: one replica is 2x saturated
+/// (attainment 0), three replicas pass the target with room to spare.
+LoadSnapshot overloaded() { return snap(1e-3, 2000.0, 0.01); }
+
+/// 100 rows/s against a 0.1 ms/row model: one replica is 1% utilized and
+/// predicted attainment is ~1.0 with a zero-width CI.
+LoadSnapshot idle() { return snap(1e-4, 100.0, 0.05); }
+
+AutoscaleConfig config() {
+  AutoscaleConfig cfg;
+  cfg.enabled = true;
+  cfg.min_replicas = 1;
+  cfg.max_replicas = 8;
+  cfg.scale_up_streak = 3;
+  cfg.cooldown_micros = 100'000.0;
+  cfg.min_observations = 5;
+  return cfg;
+}
+
+const steady_clock::time_point kT0{};  // synthetic clock origin
+
+TEST(AutoscalePolicy, SteadyStateAttainmentMatchesLoadController) {
+  // The snapshot-based model the policy evaluates must agree with the live
+  // LoadController's steady_state_attainment at every replica count —
+  // that equivalence is what makes "what would one fewer replica predict"
+  // a legitimate question to ask of a snapshot.
+  LoadControlConfig lc_cfg;
+  lc_cfg.ewma_alpha = 0.2;
+  LoadController lc(lc_cfg, /*deadline_micros=*/10'000.0);
+  auto t = kT0;
+  for (int i = 0; i < 40; ++i) {
+    t += milliseconds(1);  // synthetic 1000 qps arrival clock
+    lc.on_arrival(t);
+    lc.on_batch(8, 8 * 5e-4);  // 0.5 ms per row
+  }
+  const LoadSnapshot s = lc.snapshot();
+  EXPECT_GT(s.service_seconds_per_row, 0.0);
+  EXPECT_GT(s.arrival_qps, 0.0);
+  EXPECT_EQ(s.batches, 40u);
+  EXPECT_EQ(s.rows, 320u);
+  for (std::size_t k = 1; k <= 4; ++k) {
+    EXPECT_DOUBLE_EQ(steady_state_attainment(s, k),
+                     lc.steady_state_attainment(k))
+        << "replicas=" << k;
+  }
+}
+
+TEST(AutoscalePolicy, ColdStartGuardHoldsBeforeMinObservations) {
+  AutoscalePolicy policy(config());
+  // Even a hopelessly overloaded snapshot must not resize while the
+  // estimators are cold — and cold evaluations must not bank scale-up
+  // evidence for later.
+  LoadSnapshot cold = overloaded();
+  cold.batches = config().min_observations - 1;
+  auto t = kT0;
+  for (int i = 0; i < 10; ++i) {
+    t += milliseconds(20);
+    EXPECT_EQ(policy.evaluate(cold, 1, t), AutoscaleAction::kHold);
+  }
+  EXPECT_EQ(policy.failing_streak(), 0u);
+
+  // Unmeasured estimators (no service time / no arrivals) are equally cold
+  // regardless of the batch count.
+  EXPECT_EQ(policy.evaluate(snap(0.0, 2000.0, 0.01), 1, t),
+            AutoscaleAction::kHold);
+  EXPECT_EQ(policy.evaluate(snap(1e-3, 0.0, 0.01), 1, t),
+            AutoscaleAction::kHold);
+
+  // Once warm, the streak starts from zero: the 3rd warm failing
+  // evaluation (not the 13th overall) fires the grow.
+  t += milliseconds(20);
+  EXPECT_EQ(policy.evaluate(overloaded(), 1, t), AutoscaleAction::kHold);
+  t += milliseconds(20);
+  EXPECT_EQ(policy.evaluate(overloaded(), 1, t), AutoscaleAction::kHold);
+  t += milliseconds(20);
+  EXPECT_EQ(policy.evaluate(overloaded(), 1, t), AutoscaleAction::kGrow);
+}
+
+TEST(AutoscalePolicy, ScaleUpRequiresConsecutiveFailingEvaluations) {
+  AutoscalePolicy policy(config());
+  auto t = kT0;
+  // Two failing evaluations are evidence, not action.
+  EXPECT_EQ(policy.evaluate(overloaded(), 1, t), AutoscaleAction::kHold);
+  EXPECT_EQ(policy.failing_streak(), 1u);
+  t += milliseconds(20);
+  EXPECT_EQ(policy.evaluate(overloaded(), 1, t), AutoscaleAction::kHold);
+  EXPECT_EQ(policy.failing_streak(), 2u);
+  // A single passing evaluation resets the streak: transient blips never
+  // accumulate into a resize.
+  t += milliseconds(20);
+  EXPECT_EQ(policy.evaluate(idle(), 1, t), AutoscaleAction::kHold);
+  EXPECT_EQ(policy.failing_streak(), 0u);
+  // Three consecutive failures fire exactly one grow.
+  for (int i = 0; i < 2; ++i) {
+    t += milliseconds(20);
+    EXPECT_EQ(policy.evaluate(overloaded(), 1, t), AutoscaleAction::kHold);
+  }
+  t += milliseconds(20);
+  EXPECT_EQ(policy.evaluate(overloaded(), 1, t), AutoscaleAction::kGrow);
+  EXPECT_EQ(policy.failing_streak(), 0u);  // consumed by the resize
+}
+
+TEST(AutoscalePolicy, ScaleDownRequiresConfidentPassAtOneFewer) {
+  // Idle at 3 replicas: attainment at 2 replicas is ~1.0 with a tight CI,
+  // so the lower bound clears the target and the shrink fires on the
+  // first evaluation — scale-down needs no streak, only confidence.
+  AutoscalePolicy shrinker(config());
+  EXPECT_EQ(shrinker.evaluate(idle(), 3, kT0), AutoscaleAction::kShrink);
+
+  // Same load shape but a marginal one-fewer prediction: ~0.985 attainment
+  // at 1 replica sits below a 0.99 target, so its CI lower bound can never
+  // clear the target and the policy holds — the uncertain band is sticky.
+  AutoscalePolicy holder(config());
+  // service 1 ms/row at 500 qps: rho(1) = 0.5, sojourn 2 ms; a 8.4 ms
+  // deadline gives attainment ~0.985 at 1 replica and ~0.999+ at 2.
+  const LoadSnapshot marginal = snap(1e-3, 500.0, 8.4e-3);
+  const double att1 = steady_state_attainment(marginal, 1);
+  ASSERT_LT(att1, 0.99);
+  ASSERT_GT(att1, 0.95);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(holder.evaluate(marginal, 2, kT0 + milliseconds(20 * i)),
+              AutoscaleAction::kHold);
+  }
+}
+
+TEST(AutoscalePolicy, UncertainBandAccumulatesNoEvidence) {
+  // Attainment ~0.97 against a 0.99 target, but only 100 observed rows:
+  // the CI upper bound (~1.0) still covers the target, so the evaluation
+  // is not a *confident* failure and the streak must stay at zero — the
+  // statistical criterion, not the point estimate, gates the controller.
+  const LoadSnapshot noisy = snap(1e-3, 500.0, 7e-3, /*rows=*/100);
+  const double att = steady_state_attainment(noisy, 1);
+  ASSERT_LT(att, 0.99);
+  ASSERT_GT(att + common::binomial_ci95_half_width(att, 100), 0.99);
+  AutoscalePolicy policy(config());
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(policy.evaluate(noisy, 1, kT0 + milliseconds(20 * i)),
+              AutoscaleAction::kHold);
+  }
+  EXPECT_EQ(policy.failing_streak(), 0u);
+}
+
+TEST(AutoscalePolicy, CooldownDefersActionNotEvidence) {
+  AutoscalePolicy policy(config());
+  auto t = kT0;
+  for (int i = 0; i < 2; ++i) {
+    EXPECT_EQ(policy.evaluate(overloaded(), 1, t), AutoscaleAction::kHold);
+    t += milliseconds(10);
+  }
+  EXPECT_EQ(policy.evaluate(overloaded(), 1, t), AutoscaleAction::kGrow);
+  const auto resize_time = t;
+  // Inside the 100 ms cooldown every decision is a hold, however loud the
+  // overload signal — but the failing streak keeps accumulating.
+  while (t < resize_time + milliseconds(90)) {
+    t += milliseconds(10);
+    EXPECT_EQ(policy.evaluate(overloaded(), 2, t), AutoscaleAction::kHold);
+  }
+  EXPECT_GE(policy.failing_streak(), config().scale_up_streak);
+  // First evaluation past the cooldown: the banked streak fires at once.
+  t = resize_time + milliseconds(101);
+  EXPECT_EQ(policy.evaluate(overloaded(), 2, t), AutoscaleAction::kGrow);
+
+  // An idle model inside the cooldown is likewise deferred, not shrunk.
+  AutoscalePolicy down(config());
+  EXPECT_EQ(down.evaluate(idle(), 4, kT0), AutoscaleAction::kShrink);
+  EXPECT_EQ(down.evaluate(idle(), 3, kT0 + milliseconds(50)),
+            AutoscaleAction::kHold);
+  EXPECT_EQ(down.evaluate(idle(), 3, kT0 + milliseconds(101)),
+            AutoscaleAction::kShrink);
+}
+
+TEST(AutoscalePolicy, MinMaxClampsBoundEveryDecision) {
+  AutoscaleConfig cfg = config();
+  cfg.min_replicas = 2;
+  cfg.max_replicas = 3;
+
+  // At the max, a model saturated even at 3 replicas (rho = 5/3) holds
+  // forever — and keeps accumulating its evidence.
+  const LoadSnapshot crushed = snap(1e-3, 5000.0, 0.01);
+  ASSERT_DOUBLE_EQ(steady_state_attainment(crushed, 3), 0.0);
+  AutoscalePolicy at_max(cfg);
+  auto t = kT0;
+  for (int i = 0; i < 10; ++i) {
+    t += milliseconds(20);
+    EXPECT_EQ(at_max.evaluate(crushed, 3, t), AutoscaleAction::kHold);
+  }
+  EXPECT_GE(at_max.failing_streak(), cfg.scale_up_streak);
+
+  // At the min, an idle model holds forever.
+  AutoscalePolicy at_min(cfg);
+  for (int i = 0; i < 10; ++i) {
+    t += milliseconds(20);
+    EXPECT_EQ(at_min.evaluate(idle(), 2, t), AutoscaleAction::kHold);
+  }
+
+  // One slot of headroom on each side still works.
+  AutoscalePolicy grow(cfg);
+  t = kT0;
+  for (int i = 0; i < 2; ++i) {
+    EXPECT_EQ(grow.evaluate(overloaded(), 2, t), AutoscaleAction::kHold);
+    t += milliseconds(20);
+  }
+  EXPECT_EQ(grow.evaluate(overloaded(), 2, t), AutoscaleAction::kGrow);
+  AutoscalePolicy shrink(cfg);
+  EXPECT_EQ(shrink.evaluate(idle(), 3, kT0), AutoscaleAction::kShrink);
+}
+
+TEST(AutoscalePolicy, SaturatedAttainmentIsZeroAndHealthyIsOne) {
+  // The snapshot attainment model's edges: rho >= 1 predicts zero
+  // attainment (the queue diverges), a near-idle group predicts ~1, and
+  // attainment is monotone in the replica count — the property the
+  // shrink rule's "one fewer" probe relies on.
+  const LoadSnapshot s = overloaded();  // rho(1) = 2.0
+  EXPECT_DOUBLE_EQ(steady_state_attainment(s, 1), 0.0);
+  EXPECT_DOUBLE_EQ(steady_state_attainment(s, 2), 0.0);  // rho = 1 exactly
+  EXPECT_GT(steady_state_attainment(s, 3), 0.99);
+  double prev = 0.0;
+  for (std::size_t k = 1; k <= 8; ++k) {
+    const double att = steady_state_attainment(s, k);
+    EXPECT_GE(att, prev) << "attainment must be monotone in replicas";
+    prev = att;
+  }
+  EXPECT_GT(steady_state_attainment(idle(), 1), 0.999);
+}
+
+}  // namespace
+}  // namespace willump::serving

@@ -10,9 +10,12 @@
 // overload pipeline (typed queue-full rejection with a no-blocked-producer
 // watchdog, best-effort-shed-first ordering, expired-request drop under a
 // machine-calibrated deadline, and a shed-under-open-loop run that loses
-// no completion), and thread-safe end-to-end caching under concurrent
-// clients. This suite is labeled `concurrency` and runs under
-// ThreadSanitizer in CI.
+// no completion), runtime replica resizing (growth under live traffic,
+// retire-on-drain under a saturating open loop with exactly-once
+// completion reconciliation, the no-oscillation property of the autoscale
+// policy over random stationary loads), the autoscaler controller thread,
+// and thread-safe end-to-end caching under concurrent clients. This suite
+// is labeled `concurrency` and runs under ThreadSanitizer in CI.
 
 #include <gtest/gtest.h>
 
@@ -22,6 +25,7 @@
 #include <cstdio>
 #include <filesystem>
 #include <future>
+#include <random>
 #include <stdexcept>
 #include <thread>
 #include <vector>
@@ -33,6 +37,7 @@
 #include "runtime/thread_pool.hpp"
 #include "serialize/artifact.hpp"
 #include "serving/aimd.hpp"
+#include "serving/autoscaler.hpp"
 #include "serving/load_control.hpp"
 #include "serving/router.hpp"
 #include "serving/server.hpp"
@@ -1492,7 +1497,7 @@ TEST(ServerOverload, ShedUnderOpenLoopLosesNoCompletion) {
 // Replica groups: balancing, artifact cold start, rolling swap under load
 // ---------------------------------------------------------------------------
 
-TEST(ReplicaGroup, RegistersCountsAndRejectsLateGrowth) {
+TEST(ReplicaGroup, RegistersCountsAndGrowsAtRuntime) {
   auto& f = fixture();
   serving::ServerConfig cfg;
   cfg.num_workers = 1;
@@ -1505,11 +1510,205 @@ TEST(ReplicaGroup, RegistersCountsAndRejectsLateGrowth) {
   EXPECT_EQ(server.replica_count("m"), 3u);
   EXPECT_THROW(server.replica_count("ghost"), std::invalid_argument);
 
-  // The first request freezes the group like it freezes the registry.
+  // Unlike registration (frozen by the first request), the replica group
+  // stays runtime-mutable — it is the autoscaler's actuation surface. The
+  // no-argument overload clones the live pipeline's parts (no registered
+  // artifact here), and the new slot serves identical predictions.
   (void)server.submit("m", f.wl.test.inputs.row(0)).get();
-  EXPECT_THROW(server.add_replica("m", server.pipeline_snapshot("m")),
-               std::logic_error);
-  EXPECT_EQ(server.stats("m").replicas, 3u);
+  server.add_replica("m");
+  EXPECT_EQ(server.replica_count("m"), 4u);
+  const auto row = f.wl.test.inputs.row(1);
+  EXPECT_DOUBLE_EQ(server.submit("m", row).get(), f.pipeline.predict_one(row));
+
+  const auto stats = server.stats("m");
+  EXPECT_EQ(stats.replicas, 4u);
+  // Only post-start growth is a *resize*; pre-start setup is not.
+  EXPECT_EQ(stats.scale_ups, 1u);
+  EXPECT_EQ(stats.scale_downs, 0u);
+  EXPECT_EQ(stats.draining, 0u);
+}
+
+TEST(ReplicaGroup, RetireBelowOneReplicaThrows) {
+  auto& f = fixture();
+  serving::Server server(serving::ServerConfig{.num_workers = 0});
+  server.register_model("m", &f.pipeline);
+  EXPECT_THROW(server.retire_replica("m"), std::logic_error);
+  EXPECT_THROW(server.retire_replica("ghost"), std::invalid_argument);
+  EXPECT_EQ(server.replica_count("m"), 1u);
+}
+
+// Retire-on-drain under saturating open-loop traffic, in the tsan suite:
+// shrinking the group 3 -> 1 while a Poisson stream overloads the engine
+// must lose no completion — every submit resolves exactly once
+// (prediction, typed shed, or expiry), the drained replicas are freed once
+// their in-flight batches resolve, and client-side and engine-side
+// accounting reconcile outcome for outcome. Mirrors
+// ServerOverload.ShedUnderOpenLoopLosesNoCompletion with the resize storm
+// layered on top.
+TEST(ReplicaGroup, RetireUnderOpenLoopDrainsAndLosesNoCompletion) {
+  auto& f = fixture();
+  common::Timer calib;
+  (void)f.pipeline.predict(f.wl.test.inputs.select_rows(
+      std::vector<std::size_t>{0, 1, 2, 3, 4, 5, 6, 7}));
+  const double batch_seconds = std::max(1e-4, calib.elapsed_seconds());
+  const double row_seconds = batch_seconds / 8.0;
+  const double deadline_micros = std::max(0.2e6, 20.0 * batch_seconds * 1e6);
+
+  serving::ServerConfig cfg;
+  cfg.num_workers = 2;
+  serving::ModelConfig mc;
+  mc.slo = serving::SloClass::latency_critical(deadline_micros);
+  mc.max_batch = 8;
+  mc.queue_capacity = 16;
+  mc.load_control.enabled = true;
+  mc.replicas = 3;
+  serving::Server server(&f.pipeline, cfg, mc);
+
+  std::vector<workloads::ModelTraffic> mix(1);
+  mix[0] = {.model = "default", .wl = &f.wl, .zipf_s = 0.0, .weight = 1.0,
+            .clients = 0, .deadline_micros = deadline_micros};
+  constexpr std::size_t kQueries = 240;
+  const double offered_qps = 4.0 / row_seconds;  // ~4x serial capacity
+
+  // Retire two replicas mid-stream, spaced across the run.
+  std::thread retirer([&] {
+    const auto pause =
+        std::chrono::duration<double>(kQueries / offered_qps / 4.0);
+    for (int r = 0; r < 2; ++r) {
+      std::this_thread::sleep_for(pause);
+      server.retire_replica("default");
+    }
+  });
+  const auto res =
+      workloads::run_mixed_open_loop(server, mix, kQueries, offered_qps, 0xD12A);
+  retirer.join();
+
+  EXPECT_EQ(server.replica_count("default"), 1u);
+  // Every submit has resolved, so the drained replicas' outstanding batches
+  // are done; their last references release as workers finish. Poll with a
+  // generous deadline rather than assuming instant release.
+  const auto give_up =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (server.draining_replicas("default") != 0 &&
+         std::chrono::steady_clock::now() < give_up) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(server.draining_replicas("default"), 0u);
+  server.shutdown();
+
+  const auto& agg = res.aggregate;
+  EXPECT_EQ(agg.completed + agg.errors + agg.rejected + agg.expired, kQueries);
+  EXPECT_EQ(agg.errors, 0u);  // a draining replica is never an error path
+  EXPECT_GT(agg.completed, 0u);
+  EXPECT_LT(agg.max_submit_seconds, 1.0);  // no blocked producer
+
+  const auto stats = server.stats("default");
+  EXPECT_EQ(stats.completions + stats.expired + stats.total_shed(), kQueries);
+  EXPECT_EQ(agg.completed, stats.completions);
+  EXPECT_EQ(agg.rejected, stats.total_shed());
+  EXPECT_EQ(agg.expired, stats.expired);
+  EXPECT_EQ(stats.scale_downs, 2u);
+  EXPECT_EQ(stats.replicas, 1u);
+  EXPECT_EQ(stats.draining, 0u);
+  // Retired slots keep their all-time row totals (grow-only accounting).
+  ASSERT_EQ(stats.replica_rows.size(), 3u);
+  std::size_t per_slot = 0;
+  for (const auto rows : stats.replica_rows) per_slot += rows;
+  EXPECT_EQ(per_slot, stats.rows);
+}
+
+// Property-style check of the autoscale policy's convergence: for ANY
+// stationary load (constant snapshot), the resize sequence is eventually
+// constant — the CI band between the scale-up and scale-down criteria is
+// the hysteresis that forbids oscillation, and attainment's monotonicity
+// in the replica count makes every trajectory monotone (a shrink to k-1
+// required the lower bound at k-1 to pass, so the upper bound at k-1 also
+// passes and can never immediately re-arm a grow; symmetrically for
+// grows). Seeded-RNG sweep over service-time / arrival-rate / deadline
+// mixes and random starting sizes.
+TEST(AutoscalePolicyProperty, StationaryLoadResizesEventuallyConstant) {
+  std::mt19937_64 rng(0xA5CA1E5u);
+  std::uniform_real_distribution<double> service_dist(1e-5, 5e-3);
+  std::uniform_real_distribution<double> qps_dist(10.0, 5000.0);
+  std::uniform_real_distribution<double> deadline_mult(2.0, 50.0);
+
+  for (int trial = 0; trial < 60; ++trial) {
+    serving::AutoscaleConfig cfg;
+    cfg.enabled = true;
+    cfg.min_replicas = 1;
+    cfg.max_replicas = 8;
+    cfg.scale_up_streak = 3;
+    cfg.cooldown_micros = 0.0;  // worst case: nothing slows the controller
+    cfg.min_observations = 1;
+    serving::AutoscalePolicy policy(cfg);
+
+    serving::LoadSnapshot snap;
+    snap.service_seconds_per_row = service_dist(rng);
+    snap.arrival_qps = qps_dist(rng);
+    snap.deadline_seconds = snap.service_seconds_per_row * deadline_mult(rng);
+    snap.rows = 5000;
+    snap.batches = 100;
+    snap.target_attainment = 0.99;
+
+    std::size_t replicas = 1 + static_cast<std::size_t>(rng() % 8);
+    constexpr int kEvals = 200;
+    std::size_t resizes = 0;
+    std::size_t late_resizes = 0;  // resizes in the second half
+    auto t = std::chrono::steady_clock::time_point{};
+    for (int i = 0; i < kEvals; ++i) {
+      t += std::chrono::milliseconds(20);
+      const auto action = policy.evaluate(snap, replicas, t);
+      if (action == serving::AutoscaleAction::kGrow) {
+        ++replicas;
+      } else if (action == serving::AutoscaleAction::kShrink) {
+        --replicas;
+      } else {
+        continue;
+      }
+      ++resizes;
+      if (i >= kEvals / 2) ++late_resizes;
+    }
+    const std::string ctx =
+        "trial=" + std::to_string(trial) +
+        " service=" + std::to_string(snap.service_seconds_per_row) +
+        " qps=" + std::to_string(snap.arrival_qps) +
+        " deadline=" + std::to_string(snap.deadline_seconds) +
+        " final_replicas=" + std::to_string(replicas);
+    EXPECT_EQ(late_resizes, 0u) << ctx;
+    EXPECT_GE(replicas, cfg.min_replicas) << ctx;
+    EXPECT_LE(replicas, cfg.max_replicas) << ctx;
+    // Monotone trajectories: at most the full travel across [min, max].
+    EXPECT_LE(resizes, cfg.max_replicas - cfg.min_replicas) << ctx;
+  }
+}
+
+// The embedded controller thread: enabling ServerConfig::autoscale spawns
+// it with the first serving start, it never resizes a cold or idle model,
+// and shutdown joins it (idempotently). The convergence behavior of the
+// full closed loop under a load step is asserted statistically by
+// bench_serving_throughput --trend, not here.
+TEST(Autoscale, ControllerThreadHoldsColdAndIdleModels) {
+  auto& f = fixture();
+  serving::ServerConfig cfg;
+  cfg.num_workers = 1;
+  cfg.autoscale.enabled = true;
+  cfg.autoscale.interval_micros = 500.0;
+  serving::ModelConfig mc;
+  mc.load_control.enabled = true;
+  serving::Server server(&f.pipeline, cfg, mc);
+  for (std::size_t r = 0; r < 4; ++r) {
+    (void)server.submit(f.wl.test.inputs.row(r)).get();
+  }
+  // Give the controller a few intervals: 4 batches is below the default
+  // min_observations, and even once warm an idle single replica is already
+  // at min_replicas — either way the group must not move.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_EQ(server.replica_count("default"), 1u);
+  const auto stats = server.stats("default");
+  EXPECT_EQ(stats.scale_ups, 0u);
+  EXPECT_EQ(stats.scale_downs, 0u);
+  server.shutdown();
+  server.shutdown();  // second join is a no-op
 }
 
 TEST(ReplicaGroup, BalancesBatchesAcrossReplicas) {
@@ -1574,6 +1773,18 @@ TEST(ReplicaGroup, ColdStartsReplicaFromArtifact) {
     EXPECT_DOUBLE_EQ(server.submit("m", row).get(),
                      f.pipeline.predict_one(row));
   }
+
+  // A model loaded from an artifact remembers its path
+  // (ModelConfig::artifact_path), so the no-argument add_replica — the
+  // autoscaler's scale-up actuation — cold-starts from disk.
+  serving::ServerConfig cfg2;
+  cfg2.num_workers = 1;
+  serving::Server loaded(cfg2);
+  loaded.load_model("m", path);
+  loaded.add_replica("m");
+  EXPECT_EQ(loaded.replica_count("m"), 2u);
+  const auto row = f.wl.test.inputs.row(3);
+  EXPECT_DOUBLE_EQ(loaded.submit("m", row).get(), f.pipeline.predict_one(row));
 }
 
 TEST(ReplicaGroup, RollingSwapUnderLoadDropsNoRequest) {
@@ -1765,6 +1976,60 @@ TEST(Router, MixedOpenLoopTrafficAcrossShards) {
   // this checks the per-class accounting plumbing, not the scheduler.
   EXPECT_EQ(res.per_model[0].second.deadline_hits,
             res.per_model[0].second.completed);
+}
+
+TEST(Router, ForwardsAutoscaleConfigAndAggregatesResizeCounters) {
+  auto& tox = fixture();
+  auto& cred = credit_fixture();
+  serving::RouterConfig cfg;
+  cfg.num_shards = 2;
+  cfg.shard.num_workers = 1;
+  cfg.shard.autoscale.enabled = true;
+  cfg.shard.autoscale.max_replicas = 4;
+  cfg.shard.autoscale.interval_micros = 50'000.0;
+  serving::Router router(cfg);
+  // Every shard engine receives the autoscale knobs verbatim, so each runs
+  // its own controller over the models it owns.
+  for (std::size_t s = 0; s < router.num_shards(); ++s) {
+    EXPECT_TRUE(router.shard(s).config().autoscale.enabled);
+    EXPECT_EQ(router.shard(s).config().autoscale.max_replicas, 4u);
+    EXPECT_DOUBLE_EQ(router.shard(s).config().autoscale.interval_micros,
+                     50'000.0);
+  }
+
+  router.register_model("toxic", &tox.pipeline);
+  router.register_model("credit", &cred.pipeline);
+  (void)router.submit("toxic", tox.wl.test.inputs.row(0)).get();
+  (void)router.submit("credit", cred.wl.test.inputs.row(0)).get();
+
+  // Runtime resizes forward to the owning shard; the fleet aggregate sums
+  // the per-shard counters regardless of where each model landed.
+  router.add_replica("toxic");
+  router.add_replica("credit");
+  EXPECT_EQ(router.replica_count("toxic"), 2u);
+  EXPECT_EQ(router.replica_count("credit"), 2u);
+  router.retire_replica("toxic");
+  EXPECT_EQ(router.replica_count("toxic"), 1u);
+  EXPECT_THROW(router.retire_replica("ghost"), std::invalid_argument);
+
+  EXPECT_EQ(router.stats("toxic").scale_ups, 1u);
+  EXPECT_EQ(router.stats("toxic").scale_downs, 1u);
+  EXPECT_EQ(router.stats("credit").scale_ups, 1u);
+  const auto stats = router.stats();
+  EXPECT_EQ(stats.serving.scale_ups, 2u);
+  EXPECT_EQ(stats.serving.scale_downs, 1u);
+
+  // Nothing was in flight, so the retired replica releases immediately;
+  // poll briefly for the worker to drop its last reference.
+  const auto give_up =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (router.draining_replicas("toxic") != 0 &&
+         std::chrono::steady_clock::now() < give_up) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(router.draining_replicas("toxic"), 0u);
+  EXPECT_EQ(router.stats().serving.draining, 0u);
+  router.shutdown();
 }
 
 // ---------------------------------------------------------------------------
